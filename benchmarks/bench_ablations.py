@@ -1,0 +1,35 @@
+"""Bench ABL — the three design-decision ablations (DESIGN.md A1–A3)."""
+
+from repro.experiments import ablations
+
+
+def test_bench_ablation_directed(benchmark, louvre_space):
+    """A1 — symmetrising the NRG admits impossible movements."""
+    result = benchmark(ablations.ablate_directed, louvre_space)
+    # The zone graph has one-way restrictions (Carrousel exit,
+    # Salle des États) that the undirected variant destroys.
+    assert len(result["one_way_restrictions"]) >= 2
+    assert result["wrongly_admitted_count"] \
+        == len(result["one_way_restrictions"])
+    assert result["undirected_transitions"] \
+        > result["directed_transitions"]
+
+
+def test_bench_ablation_static_hierarchy(benchmark, louvre_space):
+    """A2 — ad-hoc subdivision loses most multi-granularity entries."""
+    result = benchmark(ablations.ablate_static_hierarchy, louvre_space,
+                       0.02)
+    # The static hierarchy lifts everything; ad-hoc only the Denon wing.
+    assert result["static_entry_loss_share"] == 0.0
+    assert result["adhoc_entry_loss_share"] > 0.3
+    assert result["adhoc_liftable_trajectories"] \
+        <= result["static_liftable_trajectories"]
+
+
+def test_bench_ablation_exclusive_episodes(benchmark):
+    """A3 — exclusivity loses the multi-label semantics of Figure 5."""
+    result = benchmark(ablations.ablate_exclusive_episodes)
+    assert result["exclusivity_loses_multilabel"]
+    assert len(result["overlapping_labels_at_shop"]) == 2
+    assert result["exclusive_episodes"] \
+        <= result["overlapping_episodes"]

@@ -1,0 +1,20 @@
+"""Bench S41 — regenerate the Section 4.1 corpus statistics."""
+
+from repro.experiments import dataset_stats
+
+
+def test_bench_dataset_stats(benchmark, louvre_space):
+    """Full-scale corpus generation; every paper statistic must match."""
+    result = benchmark(dataset_stats.run, louvre_space, 1.0)
+    assert result["all_match"], result["comparison"]
+    measured = result["measured"]
+    assert measured["visits"] == 4945
+    assert measured["visitors"] == 3228
+    assert measured["returning_visitors"] == 1227
+    assert measured["repeat_visits"] == 1717
+    assert measured["zone_detections"] == 20245
+    assert measured["zone_transitions"] == 15300
+    assert measured["max_visit_duration_s"] == 27697
+    assert measured["max_detection_duration_s"] == 20360
+    assert 0.08 <= measured["zero_duration_share"] <= 0.12
+    assert measured["dataset_zones"] == 30

@@ -1,0 +1,18 @@
+"""Bench F1 — the Figure 1 two-layer Denon graph."""
+
+from repro.experiments import fig1
+
+
+def test_bench_fig1(benchmark):
+    """Graph construction plus both modelled claims of the figure."""
+    result = benchmark(fig1.run)
+    # A visitor in hall 5 can only be in 5a, 5b or 5c in layer i.
+    assert result["hall5_claim_holds"]
+    # Salle des États: exit 4→2 allowed, entry 2→4 prohibited.
+    assert result["salle_des_etats_rule_holds"]
+    assert result["validation_problems"] == []
+    assert result["overall_states_for_hall5"] == [
+        {"layer-i+1": "5", "layer-i": "5a"},
+        {"layer-i+1": "5", "layer-i": "5b"},
+        {"layer-i+1": "5", "layer-i": "5c"},
+    ]

@@ -1,0 +1,20 @@
+"""Bench F2 — the Figure 2 core layer hierarchy over the full Louvre."""
+
+from repro.experiments import fig2
+
+
+def test_bench_fig2(benchmark, louvre_space):
+    """Hierarchy validation, lifting, and QSR propagation."""
+    result = benchmark(fig2.run, louvre_space)
+    assert result["has_core_roles"]
+    assert result["validation_problems"] == []
+    # The paper: hundreds of rooms, several hundred RoIs.
+    assert result["layer_sizes"]["rooms"] >= 100
+    assert result["layer_sizes"]["rois"] >= 100
+    # Mona Lisa lifts through Salle des États to the Denon wing.
+    assert result["mona_lisa_wing"] == "wing:denon"
+    assert result["mona_lisa_chain"][-1] == "louvre"
+    # Parthood propagates upward: RoI inside room coveredBy floor
+    # composes to insideOf.
+    assert result["roi_floor_relations"] == ["insideOf"]
+    assert result["qsr_consistent"]

@@ -1,0 +1,23 @@
+"""Bench F3 — the Figure 3 ground-floor choropleth series.
+
+The paper gives no absolute per-zone counts, only the 11-zone
+choropleth; the shape checks assert what the map shows: all eleven
+zones received detections and the entrance halls dominate.
+"""
+
+from repro.experiments import fig3
+
+
+def test_bench_fig3(benchmark, louvre_space):
+    """Choropleth regeneration over a quarter-scale corpus."""
+    result = benchmark(fig3.run, louvre_space, 0.25)
+    assert result["ground_floor_zones"] == 11
+    series = result["series"]
+    assert len(series) == 11
+    assert all(item["detections"] > 0 for item in series)
+    # Entrance-adjacent zones out-rank the quiet galleries.
+    top_zones = {item["zone"] for item in series[:4]}
+    assert top_zones & {"zone60866", "zone60867"}
+    assert series[0]["detections"] >= series[-1]["detections"]
+    # Shares sum to 1.
+    assert abs(sum(item["share"] for item in series) - 1.0) < 1e-9

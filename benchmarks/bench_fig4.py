@@ -1,0 +1,17 @@
+"""Bench F4 — the Figure 4 full-coverage hypothesis analysis."""
+
+from repro.experiments import fig4
+
+
+def test_bench_fig4(benchmark, louvre_space):
+    """Coverage ratios at the Room and RoI hierarchy steps."""
+    result = benchmark(fig4.run, louvre_space)
+    # Rooms fully cover floors (the hypothesis holds there)...
+    assert result["floors_fully_covered"]
+    assert result["floor_coverage"]["min_ratio"] >= 0.999
+    # ...but RoIs do not fully cover rooms (the Figure 4 point).
+    assert not result["rois_fully_cover_rooms"]
+    assert result["roi_coverage"]["max_ratio"] < 0.5
+    # The figure's specific rooms in zones 60853/60854 are under-covered.
+    assert result["figure_rooms"]
+    assert all(r["ratio"] < 0.5 for r in result["figure_rooms"])

@@ -1,0 +1,21 @@
+"""Bench F5 — the Figure 5 overlapping episode segmentation."""
+
+from repro.experiments import fig5
+
+
+def test_bench_fig5(benchmark):
+    """Episode detection: both goals found, overlapping in time."""
+    result = benchmark(fig5.run)
+    assert result["episodes_overlap"]
+    # The whole E→P→S→C part carries 'exit museum'...
+    assert ["zone60887", "zone60888", "zone60890",
+            "zone60891"] in result["exit_episode_states"]
+    # ...and its E→P→S subsequence carries 'buy souvenir'.
+    assert ["zone60887", "zone60888",
+            "zone60890"] in result["buy_episode_states"]
+    # While in the shops, both meanings are active simultaneously.
+    assert result["labels_at_shop_time"] == ["buy souvenir",
+                                             "exit museum"]
+    # Forcing exclusivity can only lose tagged time.
+    assert result["exclusive_tagged_share"] \
+        <= result["overlapping_tagged_share"] + 1e-9

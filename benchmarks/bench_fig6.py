@@ -1,0 +1,19 @@
+"""Bench F6 — the Figure 6 missing-presence inference."""
+
+from repro.experiments import fig6
+
+
+def test_bench_fig6(benchmark, louvre_space):
+    """Topology-based repair of the E → (gap) → S trajectory."""
+    result = benchmark(fig6.run, louvre_space)
+    assert result["zone_p_is_inferred"]
+    assert result["repaired_states"] == [
+        "zone60887", "zone60888", "zone60890"]
+    assert result["tuples_inserted"] == 1
+    # The inserted tuple matches the paper's worked example.
+    assert result["inferred_transition"] == "checkpoint002"
+    assert result["inferred_interval"] == ("17:30:21", "17:31:42")
+    assert result["inferred_goals"] == [
+        "cloakroomPickup", "museumExit", "souvenirBuy"]
+    # The chain topology admits a single shortest path: certainty.
+    assert result["confidence"] == 1.0

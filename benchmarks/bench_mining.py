@@ -1,0 +1,83 @@
+"""Benchmarks of the mining layer and the future-work extensions."""
+
+from repro.core.timeutil import from_date
+from repro.louvre.restructure import (
+    StitchReport,
+    indicative_visits,
+    stitch_fragments,
+)
+from repro.mining.association import mine_rules
+from repro.mining.profiling import extract_features, k_medoids, standardize
+from repro.mining.similarity import hierarchy_similarity
+
+
+def test_bench_association_rules(benchmark, louvre_space,
+                                 full_corpus_trajectories):
+    """Apriori rules over visited-zone transactions (full corpus)."""
+    transactions = [set(t.distinct_state_sequence())
+                    for t in full_corpus_trajectories]
+
+    rules = benchmark(mine_rules, transactions, 0.02, 0.3, 3)
+    assert rules
+    for rule in rules:
+        assert rule.confidence >= 0.3
+        assert not rule.antecedent & rule.consequent
+
+
+def test_bench_hierarchy_similarity(benchmark, louvre_space,
+                                    full_corpus_trajectories):
+    """Hierarchy-aware similarity over 200 visit pairs."""
+    sequences = [t.distinct_state_sequence()
+                 for t in full_corpus_trajectories[:21]]
+    hierarchy = louvre_space.zone_hierarchy
+
+    def compare_all():
+        total = 0.0
+        for i, a in enumerate(sequences):
+            for b in sequences[i + 1:]:
+                total += hierarchy_similarity(hierarchy, a, b)
+        return total
+
+    total = benchmark(compare_all)
+    assert total >= 0.0
+
+
+def test_bench_profiling(benchmark, louvre_space,
+                         full_corpus_trajectories):
+    """Feature extraction + k-medoids over 300 visits."""
+    sample = full_corpus_trajectories[:300]
+
+    def profile():
+        features = [extract_features(t, louvre_space.zone_hierarchy)
+                    for t in sample]
+        vectors = standardize([f.as_vector() for f in features])
+        assignment, medoids = k_medoids(vectors, 4, seed=1)
+        return assignment
+
+    assignment = benchmark(profile)
+    assert len(set(assignment)) == 4
+
+
+def test_bench_stitch_and_indicative(benchmark, louvre_space,
+                                     full_corpus_trajectories):
+    """Sparsity repair: stitch 1,000 fragments, derive 5 indicative
+    visits."""
+    sample = full_corpus_trajectories[:1000]
+    nrg = louvre_space.dataset_zone_nrg()
+    epoch = from_date("19-01-2017")
+
+    def run():
+        report = StitchReport()
+        stitched = stitch_fragments(sample, nrg, epoch=epoch,
+                                    report=report)
+        visits = indicative_visits(stitched, k=5, seed=2)
+        return report, visits
+
+    report, visits = benchmark(run)
+    assert report.stitched_visits <= len(sample)
+    assert len(visits) == 5
+    # The headline claim: stitching yields longer visits than the
+    # average fragment.
+    mean_fragment_len = sum(
+        len(t.distinct_state_sequence()) for t in sample) / len(sample)
+    assert max(len(v.sequence) for v in visits) > mean_fragment_len

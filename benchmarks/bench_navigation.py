@@ -1,0 +1,81 @@
+"""Benchmarks for navigation, stop/move segmentation and flow."""
+
+from repro.indoor.navigation import RoutePlanner, plan_hierarchical
+from repro.louvre.zones import ZONE_C, ZONE_ENTRANCE
+from repro.mining.flow import flow_balances, hourly_occupancy
+from repro.mining.stops import StopMoveConfig, segment_stops_moves
+
+
+def test_bench_zone_routing(benchmark, louvre_space):
+    """All-pairs-ish routing load: 100 routes over the zone NRG."""
+    planner = RoutePlanner(louvre_space.dataset_zone_nrg())
+    nodes = [n for n in louvre_space.dataset_zone_nrg().nodes
+             if n != ZONE_C][:10]
+
+    def route_all():
+        hops = 0
+        for origin in nodes:
+            for destination in nodes:
+                if origin == destination:
+                    continue
+                hops += planner.plan(origin, destination).hop_count
+        return hops
+
+    hops = benchmark(route_all)
+    assert hops > 0
+    # Shape check: the entrance→exit route stays short, through the
+    # paper's E/P/S/C area.
+    route = planner.plan(ZONE_ENTRANCE, ZONE_C)
+    assert route.states[0] == ZONE_ENTRANCE
+    assert route.states[-1] == ZONE_C
+    assert route.hop_count <= 4
+
+
+def test_bench_hierarchical_routing(benchmark, louvre_space):
+    """Corridor-restricted room routing across the Denon +1 circuit."""
+    origin = louvre_space.floorplan.rooms_of_zone("zone60868")[0]
+    destination = louvre_space.floorplan.rooms_of_zone("zone60854")[-1]
+
+    coarse, fine = benchmark(plan_hierarchical,
+                             louvre_space.core_hierarchy, "rooms",
+                             origin, destination)
+    assert fine.states[0] == origin
+    assert fine.states[-1] == destination
+
+
+def test_bench_stop_move(benchmark, full_corpus_trajectories):
+    """Stop/move segmentation over 1,000 visits."""
+    sample = full_corpus_trajectories[:1000]
+    config = StopMoveConfig(min_stop_seconds=300.0)
+
+    def segment_all():
+        stops = 0
+        for trajectory in sample:
+            segmentation = segment_stops_moves(trajectory, config)
+            stops += sum(1 for e in segmentation if e.label == "stop")
+        return stops
+
+    stops = benchmark(segment_all)
+    assert stops > 0
+
+
+def test_bench_flow_analytics(benchmark, full_corpus_trajectories):
+    """Flow balances + hourly occupancy over the full corpus."""
+
+    def analyse():
+        balances = flow_balances(full_corpus_trajectories)
+        occupancy = hourly_occupancy(full_corpus_trajectories)
+        return balances, occupancy
+
+    balances, occupancy = benchmark(analyse)
+    # The pyramid entrance is the corpus' dominant source.
+    sources = [b for b in balances if b.imbalance < 0]
+    assert sources[0].state == "zone60886"
+    assert occupancy
+    # Visits start 09:00–17:00, so occupancy concentrates in opening
+    # hours.
+    total_by_hour = [0.0] * 24
+    for series in occupancy.values():
+        for hour, value in enumerate(series):
+            total_by_hour[hour] += value
+    assert sum(total_by_hour[9:20]) > sum(total_by_hour[0:9])

@@ -1,0 +1,106 @@
+"""Bench P1 — throughput of every pipeline stage.
+
+Measures the stages of the paper's data pipeline end to end on the
+paper-sized corpus: generation → trajectory building → storage
+indexing → query → sequential pattern mining, plus the positioning
+stack (RSSI → trilateration → EKF) that produced the raw data.
+"""
+
+import random
+
+from repro.core import TrajectoryBuilder
+from repro.core.annotations import AnnotationKind
+from repro.louvre.dataset import DatasetParameters, LouvreDatasetGenerator
+from repro.mining.prefixspan import prefixspan
+from repro.mining.sequences import state_sequences
+from repro.positioning import (
+    BeaconGrid,
+    ExtendedKalmanFilter2D,
+    RssiModel,
+    trilaterate,
+)
+from repro.spatial.geometry import BBox, Point
+from repro.storage import Query, TrajectoryStore
+
+
+def test_bench_generate_corpus(benchmark, louvre_space):
+    """Stage 1: generate the 20,245-record corpus."""
+    generator = LouvreDatasetGenerator(louvre_space, DatasetParameters())
+    records = benchmark(generator.detection_records)
+    assert len(records) == 20245
+
+
+def test_bench_build_trajectories(benchmark, louvre_space,
+                                  full_corpus_records):
+    """Stage 2: clean, segment and build 4,945 visits."""
+    builder = TrajectoryBuilder(louvre_space.dataset_zone_nrg())
+    trajectories, report = benchmark(builder.build_all,
+                                     full_corpus_records)
+    assert report.trajectories == len(trajectories)
+    assert 0.08 <= report.cleaning.zero_duration_share <= 0.12
+
+
+def test_bench_store_insert(benchmark, full_corpus_trajectories):
+    """Stage 3: index the full corpus into the trajectory store."""
+
+    def insert_all():
+        store = TrajectoryStore()
+        store.insert_many(full_corpus_trajectories)
+        return store
+
+    store = benchmark(insert_all)
+    assert len(store) == len(full_corpus_trajectories)
+
+
+def test_bench_store_query(benchmark, full_corpus_trajectories):
+    """Stage 4: an index-backed spatio-semantic query."""
+    store = TrajectoryStore()
+    store.insert_many(full_corpus_trajectories)
+
+    def query():
+        return (Query(store)
+                .visiting_state("zone60853")
+                .with_annotation(AnnotationKind.GOAL, "visit")
+                .min_entries(2)
+                .execute())
+
+    hits = benchmark(query)
+    assert hits
+    assert all(h.trajectory.trace.visits_state("zone60853")
+               for h in hits)
+
+
+def test_bench_prefixspan(benchmark, full_corpus_trajectories):
+    """Stage 5: sequential pattern mining on the full corpus."""
+    sequences = state_sequences(full_corpus_trajectories)
+    patterns = benchmark(prefixspan, sequences,
+                         max(2, len(sequences) // 20), 4)
+    assert patterns
+    assert patterns[0].support >= patterns[-1].support
+
+
+def test_bench_positioning_stack(benchmark):
+    """The sensing substrate: 100 scans → fixes → EKF track."""
+    grid = BeaconGrid(BBox(0, 0, 100, 50), floor=0, spacing=12.0)
+    registry = {b.beacon_id: b for b in grid.beacons}
+
+    def run_track():
+        model = RssiModel(rng=random.Random(7))
+        ekf = ExtendedKalmanFilter2D(initial_position=Point(5, 25))
+        fixes = 0
+        for step in range(100):
+            truth = Point(5.0 + step * 0.9, 25.0)
+            readings = model.scan(grid.beacons, truth, 0, float(step))
+            fix = trilaterate(readings, registry, model)
+            if fix is None:
+                continue
+            if step:
+                ekf.predict(1.0)
+            ekf.update_position(fix.position)
+            fixes += 1
+        return fixes, ekf.position
+
+    fixes, final = benchmark(run_track)
+    assert fixes > 90
+    # The EKF track ends near the true final position.
+    assert final.distance_to(Point(94.1, 25.0)) < 10.0

@@ -1,0 +1,20 @@
+"""Bench P2 — positioning estimator comparison (raw / EKF / PF).
+
+Documents the quality of the DESIGN.md positioning substitution: the
+smoothed estimators must beat raw trilateration on the same walk.
+"""
+
+from repro.experiments import positioning_accuracy
+
+
+def test_bench_positioning_accuracy(benchmark):
+    result = benchmark(positioning_accuracy.run, 20170119)
+    assert result["ekf_beats_raw"]
+    assert result["filters_beat_raw_median"]
+    raw = result["error_stats"]["raw"]["mean"]
+    ekf = result["error_stats"]["ekf"]["mean"]
+    pf = result["error_stats"]["pf"]["mean"]
+    # The shape the simulation must preserve: filtering helps, and by
+    # a sane (not magical) factor.
+    assert 0.3 < ekf / raw < 1.0
+    assert 0.3 < pf / raw < 1.0

@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the substrate layers.
+
+Not tied to a specific paper artefact; these document the costs of the
+primitives everything else is built from (topological relation
+computation, QSR propagation, interval-index queries, hierarchy
+lifting) and guard against accidental complexity regressions.
+"""
+
+import random
+
+from repro.core.inference import lift_trajectory
+from repro.spatial.geometry import Polygon
+from repro.spatial.qsr import RelationNetwork
+from repro.spatial.topology import TopologicalRelation, relate
+from repro.storage.intervals import Interval, IntervalIndex
+
+
+def test_bench_relate(benchmark):
+    """Pairwise topological relation over a 30-polygon field."""
+    rng = random.Random(3)
+    polygons = []
+    for _ in range(30):
+        x = rng.uniform(0, 100)
+        y = rng.uniform(0, 100)
+        w = rng.uniform(5, 25)
+        h = rng.uniform(5, 25)
+        polygons.append(Polygon.rectangle(x, y, x + w, y + h))
+
+    def relate_all():
+        counts = {}
+        for i, a in enumerate(polygons):
+            for b in polygons[i + 1:]:
+                relation = relate(a, b)
+                counts[relation] = counts.get(relation, 0) + 1
+        return counts
+
+    counts = benchmark(relate_all)
+    assert sum(counts.values()) == 30 * 29 // 2
+    assert TopologicalRelation.DISJOINT in counts
+
+
+def test_bench_qsr_propagation(benchmark):
+    """Path consistency over a 12-node containment chain network."""
+
+    def propagate():
+        network = RelationNetwork()
+        for i in range(11):
+            network.constrain("r{}".format(i), "r{}".format(i + 1),
+                              [TopologicalRelation.INSIDE])
+        ok = network.propagate()
+        return ok, network.definite("r0", "r11")
+
+    ok, definite = benchmark(propagate)
+    assert ok
+    # Containment is transitive: the chain endpoint relation is known.
+    assert definite is TopologicalRelation.INSIDE
+
+
+def test_bench_interval_index(benchmark):
+    """Build + 200 window queries over 20k presence intervals."""
+    rng = random.Random(11)
+    intervals = []
+    for i in range(20000):
+        start = rng.uniform(0, 1e6)
+        intervals.append(Interval(start, start + rng.uniform(1, 3600), i))
+
+    def build_and_query():
+        index = IntervalIndex(intervals)
+        hits = 0
+        for q in range(200):
+            t = q * 5000.0
+            hits += len(index.overlapping(t, t + 1800.0))
+        return hits
+
+    hits = benchmark(build_and_query)
+    assert hits > 0
+
+
+def test_bench_hierarchy_lifting(benchmark, louvre_space,
+                                 full_corpus_trajectories):
+    """Lift 500 zone-level trajectories to the floor layer."""
+    sample = full_corpus_trajectories[:500]
+
+    def lift_all():
+        lifted = 0
+        for trajectory in sample:
+            lift_trajectory(trajectory, louvre_space.zone_hierarchy,
+                            "floors")
+            lifted += 1
+        return lifted
+
+    lifted = benchmark(lift_all)
+    assert lifted == len(sample)

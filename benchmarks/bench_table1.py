@@ -1,0 +1,14 @@
+"""Bench T1 — regenerate Table 1 and its executable verifications."""
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark):
+    """Table 1 regeneration: all four row verifications must pass."""
+    result = benchmark(table1.run)
+    assert result["all_passed"]
+    assert len(result["table_rows"]) == 3
+    # The joint-edge column excludes disjoint and meet.
+    assert "disjoint" not in result["joint_edge_relations"]
+    assert "meet" not in result["joint_edge_relations"]
+    assert len(result["joint_edge_relations"]) == 6

@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+Expensive shared structures (the Louvre space model, the full corpus)
+are built once per session so each benchmark measures its own work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TrajectoryBuilder
+from repro.louvre.dataset import DatasetParameters, LouvreDatasetGenerator
+from repro.louvre.space import LouvreSpace
+
+
+@pytest.fixture(scope="session")
+def louvre_space() -> LouvreSpace:
+    """The full Louvre layered indoor graph."""
+    return LouvreSpace()
+
+
+@pytest.fixture(scope="session")
+def full_corpus_records(louvre_space):
+    """The paper-sized detection record corpus (20,245 records)."""
+    generator = LouvreDatasetGenerator(louvre_space, DatasetParameters())
+    return generator.detection_records()
+
+
+@pytest.fixture(scope="session")
+def full_corpus_trajectories(louvre_space, full_corpus_records):
+    """The corpus built into semantic trajectories."""
+    builder = TrajectoryBuilder(louvre_space.dataset_zone_nrg())
+    trajectories, _ = builder.build_all(full_corpus_records)
+    return trajectories

@@ -1,0 +1,132 @@
+"""The paper's Section 5 future-work directions, implemented.
+
+1. **Conceptual trajectories** — re-read movement as focus of
+   attention: which exhibits did the visitor actually engage with?
+2. **Ontology integration** — annotate stays with CIDOC-CRM-style
+   concepts and query at the concept level.
+3. **Sparsity repair** — stitch fragmented zone sequences into longer
+   indicative visits.
+
+Run:  python examples/future_work.py
+"""
+
+import random
+
+from repro.core import TrajectoryBuilder
+from repro.core.conceptual import (
+    AttentionExtractor,
+    AttentionReport,
+    attention_profile,
+    physical_vs_conceptual,
+)
+from repro.core.timeutil import from_date
+from repro.indoor.ontology import CellConceptMapping, cidoc_core
+from repro.louvre import (
+    DatasetParameters,
+    LouvreDatasetGenerator,
+    LouvreSpace,
+)
+from repro.louvre.floorplan import MONA_LISA_ROI, SALLE_DES_ETATS_ROOM
+from repro.louvre.restructure import (
+    StitchReport,
+    indicative_visits,
+    stitch_fragments,
+)
+from repro.louvre.zones import ZONE_SALLE_DES_ETATS
+from repro.movement.agents import GeometricAgent, WaypointPath
+from repro.positioning.detection import PositionFix
+
+
+def conceptual_demo(space: LouvreSpace) -> None:
+    print("=== 1. conceptual (focus of attention) trajectory ===")
+    plan = space.floorplan
+    # Ground truth: the visitor lingers at the Mona Lisa, then walks
+    # past the neighbouring exhibits without stopping.
+    mona = plan.roi_space.cell(MONA_LISA_ROI).geometry.centroid()
+    room = plan.room_space.cell(SALLE_DES_ETATS_ROOM)
+    # The doorway sits near a room corner, outside the engagement RoI.
+    room_box = room.geometry.bbox()
+    from repro.spatial.geometry import Point
+    doorway = Point(room_box.min_x + 0.5, room_box.min_y + 0.5)
+    path = WaypointPath([doorway, mona, doorway],
+                        [5.0, 180.0, 5.0], floor=1)
+    agent = GeometricAgent(path, speed=0.8, jitter=0.05,
+                           rng=random.Random(4))
+    fixes = [PositionFix(s.t, s.position, s.floor)
+             for s in agent.track(0.0, sample_interval=2.0)]
+
+    extractor = AttentionExtractor(plan.roi_space,
+                                   min_attention_seconds=10.0)
+    report = AttentionReport()
+    conceptual = extractor.extract("visitor-7", fixes, report=report)
+    print("  fixes: {} | attending: {:.0%} of the time".format(
+        report.fixes, report.focus_share))
+    for roi, seconds in attention_profile(conceptual).items():
+        print("  attended {} for {:.0f}s".format(roi, seconds))
+
+    # Contrast with the physical reading of the same movement.
+    from repro.core import AnnotationSet, SemanticTrajectory, Trace
+    from repro.core.trajectory import TraceEntry
+    physical = SemanticTrajectory(
+        "visitor-7",
+        Trace([TraceEntry(None, SALLE_DES_ETATS_ROOM, fixes[0].t,
+                          fixes[-1].t)]),
+        AnnotationSet.goals("visit"))
+    contrast = physical_vs_conceptual(physical, conceptual)
+    print("  physical: 1 room for {:.0f}s | conceptual: {:.0f} "
+          "exhibit(s), focus ratio {:.0%}".format(
+              contrast["physical_span"],
+              contrast["attended_exhibits"],
+              contrast["focus_ratio"]))
+
+
+def ontology_demo(space: LouvreSpace) -> None:
+    print("\n=== 2. CIDOC-CRM ontology integration ===")
+    ontology = cidoc_core()
+    mapping = CellConceptMapping(ontology)
+    mapping.assign(MONA_LISA_ROI, "museum:Painting")
+    print("  Mona Lisa is-a Exhibit:",
+          ontology.is_a("museum:Painting", "museum:Exhibit"))
+    print("  Mona Lisa is-a CRM Human-Made Object:",
+          ontology.is_a("museum:Painting",
+                        "crm:E22_Human-Made_Object"))
+    print("  concepts subsumed by Exhibit:",
+          sorted(ontology.descendants("museum:Exhibit")))
+    print("  room concept via semantic class:",
+          mapping.concept_of(SALLE_DES_ETATS_ROOM,
+                             semantic_class="Room"))
+
+
+def restructure_demo(space: LouvreSpace) -> None:
+    print("\n=== 3. restructuring indicative visits from fragments ===")
+    generator = LouvreDatasetGenerator(
+        space, DatasetParameters().scaled(0.05))
+    builder = TrajectoryBuilder(space.dataset_zone_nrg())
+    fragments, _ = builder.build_all(generator.detection_records())
+    report = StitchReport()
+    stitched = stitch_fragments(fragments, space.dataset_zone_nrg(),
+                                epoch=from_date("19-01-2017"),
+                                report=report)
+    print("  fragments in: {} | stitched visits out: {}".format(
+        report.input_trajectories, report.stitched_visits))
+    print("  seams joined: {} | presence tuples inferred: {}".format(
+        report.fragments_joined, report.inference.tuples_inserted))
+
+    visits = indicative_visits(stitched, k=4,
+                               hierarchy=space.zone_hierarchy, seed=9)
+    print("  indicative visits (cluster medoids):")
+    for visit in visits:
+        print("    {:3d} visits ~ {}".format(
+            visit.cluster_size, " → ".join(visit.sequence[:6])
+            + (" …" if len(visit.sequence) > 6 else "")))
+
+
+def main() -> None:
+    space = LouvreSpace()
+    conceptual_demo(space)
+    ontology_demo(space)
+    restructure_demo(space)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Way-finding and collective flow analytics over the Louvre model.
+
+The motivating services of Section 1: "multimedia guides offering
+Location-Based Services (e.g. way-finding, contextualized content
+delivery)" for visitors, and collective movement insight for the
+museum.
+
+Run:  python examples/wayfinding_and_flow.py
+"""
+
+from repro.core import TrajectoryBuilder
+from repro.core.timeutil import clock, from_date
+from repro.indoor.navigation import (
+    RoutePlanner,
+    UnreachableError,
+    plan_hierarchical,
+    route_instructions,
+)
+from repro.louvre import (
+    DatasetParameters,
+    LouvreDatasetGenerator,
+    LouvreSpace,
+)
+from repro.louvre.floorplan import SALLE_DES_ETATS_ROOM
+from repro.louvre.zones import ZONE_C, ZONE_E, ZONE_ENTRANCE
+from repro.mining.flow import (
+    congestion_profile,
+    flow_balances,
+    hourly_occupancy,
+    od_matrix,
+    peak_hour,
+)
+from repro.storage import TrajectoryStore
+
+
+def wayfinding_demo(space: LouvreSpace) -> None:
+    print("=== way-finding over the zone layer ===")
+    planner = RoutePlanner(space.dataset_zone_nrg())
+    route = planner.plan(ZONE_ENTRANCE, ZONE_C)
+    print("pyramid entrance → Carrousel exit:")
+    for line in route_instructions(route,
+                                   space.graph.space("zones")):
+        print("  " + line)
+
+    print("\none-way restrictions are honoured:")
+    try:
+        planner.plan(ZONE_C, ZONE_E)
+    except UnreachableError as error:
+        print("  re-entering from the exit: {}".format(error))
+
+    print("\nhierarchical room-level routing (corridor first):")
+    origin = space.floorplan.rooms_of_zone("zone60868")[0]
+    destination = space.floorplan.rooms_of_zone("zone60854")[-1]
+    coarse, fine = plan_hierarchical(space.core_hierarchy, "rooms",
+                                     origin, destination)
+    print("  corridor: " + " → ".join(coarse))
+    print("  {} rooms crossed, incl. {}".format(
+        fine.hop_count,
+        "Salle des États" if SALLE_DES_ETATS_ROOM in fine.states
+        else "no Salle des États"))
+
+
+def flow_demo(space: LouvreSpace) -> None:
+    print("\n=== collective flow analytics ===")
+    generator = LouvreDatasetGenerator(
+        space, DatasetParameters().scaled(0.1))
+    builder = TrajectoryBuilder(space.dataset_zone_nrg())
+    trajectories, _ = builder.build_all(generator.detection_records())
+
+    print("top origin→destination pairs:")
+    matrix = od_matrix(trajectories)
+    for (origin, destination), count in sorted(
+            matrix.items(), key=lambda kv: -kv[1])[:5]:
+        print("  {:5d}x  {} → {}".format(count, origin, destination))
+
+    print("\nflow imbalance (sources < 0 < sinks):")
+    for balance in flow_balances(trajectories)[:5]:
+        print("  {:10s} in={:5d} out={:5d} imbalance={:+d}".format(
+            balance.state, balance.inflow, balance.outflow,
+            balance.imbalance))
+
+    print("\nbusiest hour per headline zone:")
+    occupancy = hourly_occupancy(trajectories,
+                                 states=["zone60853", "zone60886"])
+    for zone, series in occupancy.items():
+        print("  {}: peak at {:02d}:00 ({:.0f} presence-hours)".format(
+            zone, peak_hour(series), series[peak_hour(series)] / 3600))
+
+    print("\ncongestion through one afternoon:")
+    store = TrajectoryStore()
+    store.insert_many(trajectories)
+    day = from_date("15-02-2017")
+    for t, total, busiest in congestion_profile(
+            store, day + 12 * 3600, day + 17 * 3600, step=3600.0):
+        print("  {}  {:4d} visitors present, busiest: {}".format(
+            clock(t), total, busiest))
+
+
+def main() -> None:
+    space = LouvreSpace()
+    wayfinding_demo(space)
+    flow_demo(space)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro — a Semantic Indoor Trajectory Model (SITM).
+
+A complete implementation of Kontarinis et al., *Towards a Semantic
+Indoor Trajectory Model* (EDBT/BMDA 2019), together with every
+substrate the model depends on:
+
+* :mod:`repro.spatial` — geometry kernel, RCC-8/n-intersection
+  relations, qualitative spatial reasoning;
+* :mod:`repro.indoor` — IndoorGML-compatible cell spaces, NRGs, the
+  multi-layered space model, static layer hierarchies, coverage
+  analysis, ontology integration, JSON I/O;
+* :mod:`repro.core` — the SITM itself (Definitions 3.1–3.4, events,
+  building, inference, validation, conceptual trajectories);
+* :mod:`repro.positioning` — simulated BLE sensing stack;
+* :mod:`repro.movement` — visitor profiles and synthetic agents;
+* :mod:`repro.louvre` — the Louvre case study with a
+  statistics-calibrated synthetic corpus;
+* :mod:`repro.mining` — sequential patterns, association rules,
+  similarity, profiling, floor-switching analysis;
+* :mod:`repro.storage` — trajectory store, indexes, query API;
+* :mod:`repro.experiments` — executable reproductions of every table
+  and figure in the paper;
+* :mod:`repro.cli` — command-line interface.
+
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

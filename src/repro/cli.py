@@ -1,0 +1,143 @@
+"""Command-line interface for the SITM reproduction.
+
+Usage (after installation)::
+
+    python -m repro.cli generate --scale 0.1 --out detections.csv
+    python -m repro.cli stats --scale 1.0
+    python -m repro.cli experiments --scale 1.0
+    python -m repro.cli validate detections.csv
+    python -m repro.cli zones
+
+Every subcommand is a thin shell over the library API, so scripted
+pipelines can do exactly what the CLI does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import TrajectoryBuilder, validate_trajectory
+from repro.core.validation import Severity
+from repro.experiments import dataset_stats
+from repro.experiments.runner import render_report, run_all
+from repro.louvre import (
+    DatasetParameters,
+    LouvreDatasetGenerator,
+    LouvreSpace,
+)
+from repro.louvre.zones import ZONES
+from repro.storage.csvio import (
+    read_detrecords_csv,
+    write_detections_csv,
+)
+
+
+def _parameters(scale: float) -> DatasetParameters:
+    if scale >= 1.0:
+        return DatasetParameters()
+    return DatasetParameters().scaled(scale)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Generate the synthetic corpus and write it as detection CSV."""
+    space = LouvreSpace()
+    generator = LouvreDatasetGenerator(space, _parameters(args.scale))
+    records = generator.detection_records()
+    count = write_detections_csv(records, args.out)
+    print("wrote {} detection records to {}".format(count, args.out))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Recompute the Section 4.1 statistics and compare to the paper."""
+    result = dataset_stats.run(scale=args.scale)
+    print(dataset_stats.render(result))
+    return 0 if result["all_match"] or args.scale < 1.0 else 1
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    """Run every table/figure reproduction and print the report."""
+    results = run_all(scale=args.scale)
+    print(render_report(results))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Validate a detection CSV against the Louvre zone topology."""
+    space = LouvreSpace()
+    records = read_detrecords_csv(args.path)
+    builder = TrajectoryBuilder(space.dataset_zone_nrg())
+    trajectories, report = builder.build_all(records)
+    nrg = space.dataset_zone_nrg()
+    error_total = warning_total = 0
+    for trajectory in trajectories:
+        for issue in validate_trajectory(trajectory, nrg):
+            if issue.severity is Severity.ERROR:
+                error_total += 1
+            elif issue.severity is Severity.WARNING:
+                warning_total += 1
+    print("records: {} | visits: {} | dropped zero-duration: {}".format(
+        report.cleaning.total, report.trajectories,
+        report.cleaning.dropped_zero_duration))
+    print("validation: {} errors, {} warnings".format(error_total,
+                                                      warning_total))
+    return 1 if error_total else 0
+
+
+def cmd_zones(args: argparse.Namespace) -> int:
+    """Print the 52-zone table."""
+    print("{:10s} {:10s} {:>5s} {:>8s}  {}".format(
+        "zone", "wing", "floor", "dataset", "theme"))
+    for zone in ZONES:
+        print("{:10s} {:10s} {:>5d} {:>8s}  {}".format(
+            zone.zone_id, zone.wing, zone.floor,
+            "yes" if zone.in_dataset else "no", zone.theme))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Assemble the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Semantic Indoor Trajectory Model reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate",
+                              help="generate the synthetic corpus")
+    generate.add_argument("--scale", type=float, default=1.0,
+                          help="corpus scale in (0, 1]")
+    generate.add_argument("--out", default="detections.csv",
+                          help="output CSV path")
+    generate.set_defaults(func=cmd_generate)
+
+    stats = sub.add_parser("stats",
+                           help="Section 4.1 statistics, paper vs measured")
+    stats.add_argument("--scale", type=float, default=1.0)
+    stats.set_defaults(func=cmd_stats)
+
+    experiments = sub.add_parser("experiments",
+                                 help="reproduce every table and figure")
+    experiments.add_argument("--scale", type=float, default=1.0)
+    experiments.set_defaults(func=cmd_experiments)
+
+    validate = sub.add_parser("validate",
+                              help="validate a detection CSV")
+    validate.add_argument("path", help="detection CSV path")
+    validate.set_defaults(func=cmd_validate)
+
+    zones = sub.add_parser("zones", help="print the 52-zone table")
+    zones.set_defaults(func=cmd_zones)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

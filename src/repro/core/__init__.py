@@ -1,0 +1,122 @@
+"""The Semantic Indoor Trajectory Model — the paper's core contribution.
+
+This package implements Section 3.3 of the paper:
+
+* :mod:`repro.core.annotations` — semantic annotations (``A_traj``,
+  ``A_i``, transition annotations);
+* :mod:`repro.core.trajectory` — Definitions 3.1/3.2
+  (:class:`SemanticTrajectory`, :class:`Trace`, :class:`TraceEntry`);
+* :mod:`repro.core.subtrajectory` — Definition 3.3;
+* :mod:`repro.core.episodes` — Definition 3.4 episodes, predicates, and
+  overlapping episodic segmentations;
+* :mod:`repro.core.events` — the event-based split/merge semantics;
+* :mod:`repro.core.builder` — raw zone detections → trajectories;
+* :mod:`repro.core.inference` — hierarchy lifting and missing-presence
+  inference (Figure 6);
+* :mod:`repro.core.validation` — data-error detection against the
+  accessibility topology.
+"""
+
+from repro.core.annotations import (
+    AnnotationKind,
+    AnnotationSet,
+    SemanticAnnotation,
+)
+from repro.core.trajectory import (
+    SemanticTrajectory,
+    Trace,
+    TraceEntry,
+    TraceValidationError,
+)
+from repro.core.subtrajectory import (
+    extract_by_entries,
+    extract_by_time,
+    is_subtrajectory,
+)
+from repro.core.episodes import (
+    Episode,
+    EpisodicSegmentation,
+    Predicate,
+    StateSequencePredicate,
+    VisitsStatePredicate,
+    find_episodes,
+    force_exclusive,
+    is_episode,
+)
+from repro.core.events import (
+    SemanticEvent,
+    SemanticEventLog,
+    apply_semantic_event,
+    merge_redundant_entries,
+)
+from repro.core.builder import (
+    BuildReport,
+    CleaningReport,
+    DetectionRecord,
+    TrajectoryBuilder,
+)
+from repro.core.inference import (
+    InferenceReport,
+    LiftReport,
+    infer_missing_presence,
+    lift_trajectory,
+    multi_granularity_views,
+)
+from repro.core.validation import (
+    Issue,
+    IssueCode,
+    Severity,
+    is_consistent,
+    validate_trajectory,
+)
+from repro.core.conceptual import (
+    AttentionExtractor,
+    AttentionReport,
+    attended_exhibits,
+    attention_profile,
+    physical_vs_conceptual,
+)
+
+__all__ = [
+    "AnnotationKind",
+    "AnnotationSet",
+    "SemanticAnnotation",
+    "SemanticTrajectory",
+    "Trace",
+    "TraceEntry",
+    "TraceValidationError",
+    "extract_by_entries",
+    "extract_by_time",
+    "is_subtrajectory",
+    "Episode",
+    "EpisodicSegmentation",
+    "Predicate",
+    "StateSequencePredicate",
+    "VisitsStatePredicate",
+    "find_episodes",
+    "force_exclusive",
+    "is_episode",
+    "SemanticEvent",
+    "SemanticEventLog",
+    "apply_semantic_event",
+    "merge_redundant_entries",
+    "BuildReport",
+    "CleaningReport",
+    "DetectionRecord",
+    "TrajectoryBuilder",
+    "InferenceReport",
+    "LiftReport",
+    "infer_missing_presence",
+    "lift_trajectory",
+    "multi_granularity_views",
+    "Issue",
+    "IssueCode",
+    "Severity",
+    "is_consistent",
+    "validate_trajectory",
+    "AttentionExtractor",
+    "AttentionReport",
+    "attended_exhibits",
+    "attention_profile",
+    "physical_vs_conceptual",
+]

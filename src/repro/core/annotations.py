@@ -1,0 +1,234 @@
+"""Semantic annotations (Sections 2.2 and 3.3).
+
+The paper adopts the annotation notion of Parent et al. [21]: "any
+additional data (captured or inferred) that enrich the knowledge about
+a trajectory or any part thereof.  It can be an attribute value, a link
+to an object, or a complex value composed of both."
+
+Whole-trajectory annotations (``A_traj``) "would typically be chosen to
+represent an activity, a behavior, or a goal" with the paper's specific
+reading:
+
+* **activity** — "more targeted/conscious actions";
+* **behavior** — "less intentional actions or reactions";
+* **goal** — "the potentiality of movement (e.g. a disrupted activity)".
+
+Per-stay annotations (``A_i``) and transition annotations (footnote 2)
+use the same machinery.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+#: Annotation values are scalars or links; complex values combine both
+#: via the ``link`` field of :class:`SemanticAnnotation`.
+AnnotationValue = Union[str, int, float, bool]
+
+
+class AnnotationKind(enum.Enum):
+    """The annotation vocabulary distinguished by the paper."""
+
+    ACTIVITY = "activity"
+    BEHAVIOR = "behavior"
+    GOAL = "goal"
+    #: semantics of places: links to geographic/semantic objects.
+    PLACE = "place"
+    #: provenance markers, e.g. for inferred presence tuples (Figure 6).
+    PROVENANCE = "provenance"
+    #: anything else ("not confined within specific types of
+    #: information" — Section 3.3).
+    CUSTOM = "custom"
+
+
+@dataclass(frozen=True)
+class SemanticAnnotation:
+    """One semantic annotation.
+
+    Attributes:
+        kind: the :class:`AnnotationKind`.
+        value: the attribute value, e.g. ``"visit"`` for a goal.
+        link: optional identifier of a linked object (an exhibit id, an
+            ontology concept IRI, ...) — the "link to an object" form.
+        source: free-form provenance, e.g. ``"inferred"``, ``"app"``.
+        confidence: optional degree of belief in [0, 1]; useful for
+            inferred annotations.
+    """
+
+    kind: AnnotationKind
+    value: AnnotationValue
+    link: Optional[str] = None
+    source: Optional[str] = None
+    confidence: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.confidence is not None \
+                and not 0.0 <= self.confidence <= 1.0:
+            raise ValueError("confidence must lie in [0, 1]")
+
+    @staticmethod
+    def goal(value: str, **kwargs: object) -> "SemanticAnnotation":
+        """Shorthand for a goal annotation."""
+        return SemanticAnnotation(AnnotationKind.GOAL, value, **kwargs)
+
+    @staticmethod
+    def activity(value: str, **kwargs: object) -> "SemanticAnnotation":
+        """Shorthand for an activity annotation."""
+        return SemanticAnnotation(AnnotationKind.ACTIVITY, value, **kwargs)
+
+    @staticmethod
+    def behavior(value: str, **kwargs: object) -> "SemanticAnnotation":
+        """Shorthand for a behavior annotation."""
+        return SemanticAnnotation(AnnotationKind.BEHAVIOR, value, **kwargs)
+
+    def describe(self) -> str:
+        """Compact human-readable form, e.g. ``goal:visit``."""
+        text = "{}:{}".format(self.kind.value, self.value)
+        if self.link is not None:
+            text += "→" + self.link
+        return text
+
+
+class AnnotationSet:
+    """An immutable set of semantic annotations.
+
+    Wraps a frozenset with kind/value query helpers.  Two sets are equal
+    when they contain the same annotations — the criterion Definition
+    3.4 uses (an episode requires ``A'_traj ≠ A_traj``) and the
+    event-based model uses (a new tuple is needed exactly when the
+    annotation set changes — Section 3.3).
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[SemanticAnnotation] = ()) -> None:
+        self._items: FrozenSet[SemanticAnnotation] = frozenset(items)
+
+    @staticmethod
+    def empty() -> "AnnotationSet":
+        """The empty annotation set (∅ in the paper's trace examples)."""
+        return _EMPTY
+
+    @staticmethod
+    def of(*items: SemanticAnnotation) -> "AnnotationSet":
+        """Build a set from the given annotations."""
+        return AnnotationSet(items)
+
+    @staticmethod
+    def goals(*values: str) -> "AnnotationSet":
+        """Build a set of goal annotations, e.g. the paper's
+        ``{goals:["visit","buy"]}``."""
+        return AnnotationSet(SemanticAnnotation.goal(v) for v in values)
+
+    # ------------------------------------------------------------------
+    # set behaviour
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[SemanticAnnotation]:
+        return iter(sorted(self._items, key=lambda a: a.describe()))
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __contains__(self, item: SemanticAnnotation) -> bool:
+        return item in self._items
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AnnotationSet):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __repr__(self) -> str:
+        if not self._items:
+            return "AnnotationSet(∅)"
+        return "AnnotationSet({})".format(
+            ", ".join(a.describe() for a in self))
+
+    def union(self, other: "AnnotationSet") -> "AnnotationSet":
+        """Set union."""
+        return AnnotationSet(self._items | other._items)
+
+    def with_annotation(self, item: SemanticAnnotation) -> "AnnotationSet":
+        """A copy with ``item`` added."""
+        return AnnotationSet(self._items | {item})
+
+    def without_kind(self, kind: AnnotationKind) -> "AnnotationSet":
+        """A copy with every annotation of ``kind`` removed."""
+        return AnnotationSet(a for a in self._items if a.kind is not kind)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: AnnotationKind) -> Tuple[SemanticAnnotation, ...]:
+        """All annotations of a kind, deterministically ordered."""
+        return tuple(a for a in self if a.kind is kind)
+
+    def values_of(self, kind: AnnotationKind) -> List[AnnotationValue]:
+        """The values of all annotations of a kind."""
+        return [a.value for a in self.of_kind(kind)]
+
+    def goal_values(self) -> List[AnnotationValue]:
+        """Values of the goal annotations."""
+        return self.values_of(AnnotationKind.GOAL)
+
+    def has(self, kind: AnnotationKind,
+            value: Optional[AnnotationValue] = None) -> bool:
+        """True when an annotation of ``kind`` (and ``value``) exists."""
+        for item in self._items:
+            if item.kind is kind and (value is None or item.value == value):
+                return True
+        return False
+
+    def links(self) -> List[str]:
+        """All non-null linked object identifiers."""
+        return sorted(a.link for a in self._items if a.link is not None)
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_list(self) -> List[Dict]:
+        """Plain-data form for JSON persistence."""
+        return [
+            {
+                "kind": a.kind.value,
+                "value": a.value,
+                "link": a.link,
+                "source": a.source,
+                "confidence": a.confidence,
+            }
+            for a in self
+        ]
+
+    @staticmethod
+    def from_list(data: Iterable[Mapping]) -> "AnnotationSet":
+        """Inverse of :meth:`to_list`."""
+        return AnnotationSet(
+            SemanticAnnotation(
+                kind=AnnotationKind(item["kind"]),
+                value=item["value"],
+                link=item.get("link"),
+                source=item.get("source"),
+                confidence=item.get("confidence"),
+            )
+            for item in data
+        )
+
+
+_EMPTY = AnnotationSet()

@@ -1,0 +1,185 @@
+"""Conceptual ("focus of attention") trajectories (Section 5).
+
+    "modeling conceptual instead of physical trajectories could be
+    compelling in the museum domain, where an interpretation of visitor
+    movement based on 'focus of attention' is sometimes even more
+    important than one based on physical presence."
+
+A **conceptual trajectory** re-reads a moving object's track as a
+sequence of *attended objects* rather than occupied cells.  The
+attention oracle is geometric: a visitor attends an exhibit while
+inside its RoI — "the predefined spatial area of engagement with the
+corresponding exhibit, outside of which a visitor is certainly not
+paying attention to it" (Section 4.2).  Time spent in no RoI is
+*unfocused* and simply absent from the conceptual trace (it is not a
+data hole; physically the visitor is still somewhere).
+
+The result is an ordinary :class:`SemanticTrajectory` over RoI states,
+so every SITM tool (episodes, lifting, mining, storage) applies to
+attention data unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.annotations import (
+    AnnotationKind,
+    AnnotationSet,
+    SemanticAnnotation,
+)
+from repro.core.trajectory import SemanticTrajectory, Trace, TraceEntry
+from repro.indoor.cells import CellSpace
+from repro.positioning.detection import PositionFix
+
+#: Annotation marking a conceptual (attention-based) trajectory.
+CONCEPTUAL = SemanticAnnotation(AnnotationKind.CUSTOM, "conceptual",
+                                source="attention-model")
+
+
+@dataclass
+class AttentionReport:
+    """Outcome of one attention extraction."""
+
+    fixes: int = 0
+    attended_fixes: int = 0
+    attention_spans: int = 0
+
+    @property
+    def focus_share(self) -> float:
+        """Fraction of fixes spent attending some exhibit."""
+        if self.fixes == 0:
+            return 0.0
+        return self.attended_fixes / self.fixes
+
+
+class AttentionExtractor:
+    """Builds conceptual trajectories from position fixes.
+
+    Args:
+        roi_space: the RoI layer's cell space (engagement areas).
+        min_attention_seconds: attention spans shorter than this are
+            treated as walk-bys and dropped (a glance is not
+            engagement).
+        max_gap: a silence longer than this ends the current span even
+            within the same RoI.
+    """
+
+    def __init__(self, roi_space: CellSpace,
+                 min_attention_seconds: float = 5.0,
+                 max_gap: float = 30.0) -> None:
+        self.roi_space = roi_space
+        self.min_attention_seconds = min_attention_seconds
+        self.max_gap = max_gap
+
+    def extract(self, mo_id: str, fixes: Iterable[PositionFix],
+                report: Optional[AttentionReport] = None
+                ) -> Optional[SemanticTrajectory]:
+        """Build the conceptual trajectory of one track.
+
+        Returns ``None`` when no attention span survives the minimum
+        duration filter (the visitor attended nothing).
+        """
+        if report is None:
+            report = AttentionReport()
+        spans: List[TraceEntry] = []
+        current_roi: Optional[str] = None
+        span_start = span_end = 0.0
+        last_t: Optional[float] = None
+
+        def close_span() -> None:
+            nonlocal current_roi
+            if current_roi is None:
+                return
+            duration = span_end - span_start
+            if duration >= self.min_attention_seconds:
+                roi_cell = self.roi_space.cell(current_roi)
+                # Attention shifts are not boundary crossings; a
+                # synthetic transition id keeps the trace well-formed
+                # and readable ("the gaze moved from X to Y").
+                transition = None
+                if spans and spans[-1].state != current_roi:
+                    transition = "attention:{}->{}".format(
+                        spans[-1].state, current_roi)
+                spans.append(TraceEntry(
+                    transition=transition,
+                    state=current_roi,
+                    t_start=span_start,
+                    t_end=span_end,
+                    annotations=AnnotationSet.of(SemanticAnnotation(
+                        AnnotationKind.PLACE, roi_cell.name or "exhibit",
+                        link=current_roi, source="attention-model")),
+                ))
+                report.attention_spans += 1
+            current_roi = None
+
+        for fix in fixes:
+            if last_t is not None and fix.t < last_t:
+                raise ValueError("fixes must be time-ordered")
+            gap = 0.0 if last_t is None else fix.t - last_t
+            last_t = fix.t
+            report.fixes += 1
+            cell = self.roi_space.locate_point(fix.position,
+                                               floor=fix.floor)
+            roi = cell.cell_id if cell is not None else None
+            if roi is not None:
+                report.attended_fixes += 1
+            if current_roi is not None and (roi != current_roi
+                                            or gap > self.max_gap):
+                close_span()
+            if roi is not None:
+                if current_roi is None:
+                    current_roi = roi
+                    span_start = fix.t
+                span_end = fix.t
+        close_span()
+
+        if not spans:
+            return None
+        return SemanticTrajectory(
+            mo_id=mo_id,
+            trace=Trace(spans),
+            annotations=AnnotationSet.of(
+                CONCEPTUAL, SemanticAnnotation.goal("attend")),
+        )
+
+
+def attended_exhibits(trajectory: SemanticTrajectory) -> List[str]:
+    """The distinct attended RoI states, in first-attention order."""
+    seen: List[str] = []
+    for state in trajectory.states():
+        if state not in seen:
+            seen.append(state)
+    return seen
+
+
+def attention_profile(trajectory: SemanticTrajectory
+                      ) -> Dict[str, float]:
+    """Total attention seconds per exhibit RoI."""
+    profile: Dict[str, float] = {}
+    for entry in trajectory.trace:
+        profile[entry.state] = profile.get(entry.state, 0.0) \
+            + entry.duration
+    return profile
+
+
+def physical_vs_conceptual(physical: SemanticTrajectory,
+                           conceptual: SemanticTrajectory
+                           ) -> Dict[str, float]:
+    """Compare the two readings of one movement.
+
+    Returns the paper-motivated contrast numbers: physical span,
+    total attention time, and the focus ratio (attention / span).
+    """
+    span = physical.duration
+    attention = conceptual.trace.total_duration()
+    return {
+        "physical_span": span,
+        "physical_states": float(
+            len(set(physical.distinct_state_sequence()))),
+        "attention_time": attention,
+        "attended_exhibits": float(
+            len(attended_exhibits(conceptual))),
+        "focus_ratio": attention / span if span > 0 else 0.0,
+    }

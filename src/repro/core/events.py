@@ -1,0 +1,183 @@
+"""Event-based trace maintenance (Section 3.3, last paragraph).
+
+    "the SITM is event-based in the sense that, only a change of the
+    spatial cell that the MO is located in, or a change of the semantic
+    information regarding the MO's presence in that cell, needs to be
+    accompanied by a new tuple and a corresponding timestamp."
+
+The paper's worked example: a visitor in room006 (exhibits + gift shop)
+changes goal mid-stay, so the single presence interval
+
+    (door005, room006, 14:12:00, 14:28:00, {goals:["visit"]})
+
+splits into
+
+    (door005, room006, 14:12:00, 14:21:45, {goals:["visit"]})
+    (_,       room006, 14:21:46, 14:28:00, {goals:["visit","buy"]})
+
+This module implements that split (:func:`apply_semantic_event`), its
+inverse normalisation (:func:`merge_redundant_entries`), and a
+:class:`SemanticEventLog` that replays a sequence of events onto a
+trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.core.annotations import AnnotationSet
+from repro.core.trajectory import SemanticTrajectory, Trace, TraceEntry
+
+#: The paper's example leaves a one-second gap between the two halves of
+#: a split (…14:21:45 / 14:21:46…), reflecting timestamping at integer
+#: seconds.  We reproduce that convention.
+SPLIT_GAP_SECONDS = 1.0
+
+
+@dataclass(frozen=True)
+class SemanticEvent:
+    """A change of semantic state at a point in time.
+
+    Attributes:
+        t: when the change happened.
+        annotations: the stay's annotation set from ``t`` onwards.
+    """
+
+    t: float
+    annotations: AnnotationSet
+
+
+def split_entry(entry: TraceEntry, t: float,
+                new_annotations: AnnotationSet,
+                gap: float = SPLIT_GAP_SECONDS) -> List[TraceEntry]:
+    """Split one presence interval at ``t`` with new semantics.
+
+    The first part keeps the entry's transition and annotations and ends
+    at ``t``; the second part starts ``gap`` seconds later, has no
+    transition (the cell did not change — the paper writes ``_``), and
+    carries ``new_annotations``.
+
+    Raises:
+        ValueError: when ``t`` does not fall strictly inside the stay
+            or the new annotations equal the old ones (no event).
+    """
+    if not entry.t_start < t < entry.t_end:
+        raise ValueError(
+            "split time {} outside the stay ({}, {})".format(
+                t, entry.t_start, entry.t_end))
+    if new_annotations == entry.annotations:
+        raise ValueError(
+            "a semantic event needs a *change* of semantic information; "
+            "the annotation sets are identical")
+    second_start = min(t + gap, entry.t_end)
+    return [
+        TraceEntry(entry.transition, entry.state, entry.t_start, t,
+                   entry.annotations, entry.transition_annotations),
+        TraceEntry(None, entry.state, second_start, entry.t_end,
+                   new_annotations),
+    ]
+
+
+def apply_semantic_event(trajectory: SemanticTrajectory,
+                         event: SemanticEvent,
+                         gap: float = SPLIT_GAP_SECONDS
+                         ) -> SemanticTrajectory:
+    """Apply one semantic event to a trajectory, splitting its stay.
+
+    Raises:
+        ValueError: when no stay contains the event time, or the event
+            does not change the annotation set.
+    """
+    entries = list(trajectory.trace.entries)
+    for index, entry in enumerate(entries):
+        if entry.t_start < event.t < entry.t_end:
+            parts = split_entry(entry, event.t, event.annotations, gap)
+            new_trace = trajectory.trace.with_entry_replaced(index, *parts)
+            return trajectory.with_trace(new_trace)
+    raise ValueError(
+        "no presence interval strictly contains event time {}".format(
+            event.t))
+
+
+def merge_redundant_entries(trace: Trace,
+                            max_gap: float = SPLIT_GAP_SECONDS
+                            ) -> Trace:
+    """Merge consecutive entries that an event-based model never splits.
+
+    Two consecutive entries merge when they share the same state *and*
+    the same annotation set and are separated by at most ``max_gap``
+    seconds — i.e. no spatial and no semantic change happened, so under
+    the event-based reading they are one stay.  This is the
+    normalisation applied after removing annotations or after joining
+    detection fragments.
+    """
+    merged: List[TraceEntry] = []
+    for entry in trace:
+        if merged:
+            previous = merged[-1]
+            same_state = previous.state == entry.state
+            same_semantics = previous.annotations == entry.annotations
+            contiguous = entry.t_start - previous.t_end <= max_gap
+            if same_state and same_semantics and contiguous:
+                merged[-1] = TraceEntry(
+                    previous.transition, previous.state,
+                    previous.t_start, max(previous.t_end, entry.t_end),
+                    previous.annotations,
+                    previous.transition_annotations)
+                continue
+        merged.append(entry)
+    return Trace(merged)
+
+
+def is_event_minimal(trace: Trace,
+                     max_gap: float = SPLIT_GAP_SECONDS) -> bool:
+    """True when no consecutive pair could be merged.
+
+    An event-minimal trace is the canonical form of Section 3.3: every
+    tuple witnesses a spatial or semantic change.
+    """
+    return len(merge_redundant_entries(trace, max_gap)) == len(trace)
+
+
+class SemanticEventLog:
+    """An ordered log of semantic events, replayable onto trajectories.
+
+    This is the integration point for "different data sources in order
+    to semantically enrich the trajectory": each source appends events
+    (e.g. a point-of-sale system appends a ``goal:buy`` event at the
+    purchase timestamp) and :meth:`apply_to` folds them into the trace.
+    """
+
+    def __init__(self, events: Iterable[SemanticEvent] = ()) -> None:
+        self._events: List[SemanticEvent] = sorted(
+            events, key=lambda e: e.t)
+
+    def append(self, event: SemanticEvent) -> None:
+        """Add an event, keeping the log time-ordered."""
+        self._events.append(event)
+        self._events.sort(key=lambda e: e.t)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def apply_to(self, trajectory: SemanticTrajectory,
+                 skip_unmatched: bool = True) -> SemanticTrajectory:
+        """Replay all events onto a trajectory.
+
+        Args:
+            trajectory: the trajectory to enrich.
+            skip_unmatched: silently ignore events falling outside any
+                stay (e.g. during a detection gap) instead of raising.
+        """
+        current = trajectory
+        for event in self._events:
+            try:
+                current = apply_semantic_event(current, event)
+            except ValueError:
+                if not skip_unmatched:
+                    raise
+        return current

@@ -1,0 +1,271 @@
+"""Location inference over the SITM (Sections 3.2 and 4.2).
+
+Two inference mechanisms fall out of the model:
+
+**Hierarchy lifting** — "By only allowing 'proper part' types of
+relationships, we allow inference of a MO's location at all levels of
+granularity above the detection data level" (Section 3.2).
+:func:`lift_trajectory` rewrites a trajectory at a coarser layer, so the
+same dataset yields room-level *and* floor-level pattern mining inputs.
+
+**Missing-presence inference** — Figure 6: "Based on the chain topology
+of zones, a visitor's presence in Zone 60888 can be inferred": detected
+in E (60887) then S (60890) with no direct accessibility edge between
+them, the visitor *must* have crossed P (60888).
+:func:`infer_missing_presence` inserts such undetected tuples, with a
+confidence reflecting path ambiguity and a provenance annotation, e.g.::
+
+    (checkpoint002, zone60888, 17:30:21, 17:31:42,
+     {goals:["cloakroomPickup","souvenirBuy","museumExit"]})
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.annotations import (
+    AnnotationKind,
+    AnnotationSet,
+    SemanticAnnotation,
+)
+from repro.core.events import merge_redundant_entries
+from repro.core.trajectory import SemanticTrajectory, Trace, TraceEntry
+from repro.indoor.hierarchy import LayerHierarchy
+from repro.indoor.nrg import NodeRelationGraph
+
+#: Annotation marking an inferred (never detected) presence tuple.
+INFERRED = SemanticAnnotation(AnnotationKind.PROVENANCE, "inferred",
+                              source="topology-inference")
+
+
+# ----------------------------------------------------------------------
+# hierarchy lifting
+# ----------------------------------------------------------------------
+@dataclass
+class LiftReport:
+    """Outcome of a lifting run."""
+
+    input_entries: int = 0
+    lifted_entries: int = 0
+    dropped_unliftable: int = 0
+
+
+def lift_trajectory(trajectory: SemanticTrajectory,
+                    hierarchy: LayerHierarchy,
+                    target_layer: str,
+                    merge_gap: float = float("inf"),
+                    report: Optional[LiftReport] = None
+                    ) -> SemanticTrajectory:
+    """Rewrite a trajectory at a coarser hierarchy layer.
+
+    Every entry's state is lifted via the parent chain; consecutive
+    entries that land in the same coarse cell merge into one presence
+    interval (no spatial change happened *at that granularity*).  Stay
+    annotations are preserved on the first constituent entry of each
+    merged run; ``A_traj`` is untouched.
+
+    Entries whose state cannot be lifted (orphans, or states outside
+    the hierarchy) are dropped and counted in ``report``.
+
+    Args:
+        trajectory: the fine-grained trajectory.
+        hierarchy: the layer hierarchy to lift through.
+        target_layer: the coarser layer name.
+        merge_gap: maximum gap (seconds) across which same-state lifted
+            entries merge; infinite by default because the MO provably
+            stayed within the coarse cell between its child detections.
+        report: optional mutable counters.
+
+    Raises:
+        ValueError: when every entry drops (nothing to lift).
+    """
+    if report is None:
+        report = LiftReport()
+    lifted: List[TraceEntry] = []
+    for entry in trajectory.trace:
+        report.input_entries += 1
+        coarse = hierarchy.lift(entry.state, target_layer)
+        if coarse is None:
+            report.dropped_unliftable += 1
+            continue
+        lifted.append(TraceEntry(
+            transition=entry.transition,
+            state=coarse,
+            t_start=entry.t_start,
+            t_end=entry.t_end,
+            annotations=entry.annotations,
+        ))
+    if not lifted:
+        raise ValueError(
+            "no entry of the trajectory could be lifted to layer "
+            "{!r}".format(target_layer))
+    # Transitions between same-coarse-cell entries are internal moves at
+    # the fine level; clear them so the merged trace stays event-based.
+    normalised: List[TraceEntry] = [lifted[0]]
+    for entry in lifted[1:]:
+        if entry.state == normalised[-1].state:
+            entry = TraceEntry(None, entry.state, entry.t_start,
+                               entry.t_end, entry.annotations)
+        normalised.append(entry)
+    merged = merge_redundant_entries(Trace(normalised), max_gap=merge_gap)
+    report.lifted_entries = len(merged)
+    return trajectory.with_trace(merged)
+
+
+def multi_granularity_views(trajectory: SemanticTrajectory,
+                            hierarchy: LayerHierarchy
+                            ) -> Dict[str, SemanticTrajectory]:
+    """The trajectory lifted to every layer at or above its own.
+
+    "It also enables the identification of certain types of movement
+    patterns at the 'room' level for instance, and at the same time of
+    other types of patterns at the 'floor' level, from the same
+    trajectory dataset" (Section 3.2).
+
+    Returns a mapping layer name → lifted trajectory, including the
+    original at its own layer.
+    """
+    own_layer = hierarchy.graph.layer_of(trajectory.trace.entries[0].state)
+    own_level = hierarchy.level_of_layer(own_layer)
+    views: Dict[str, SemanticTrajectory] = {own_layer: trajectory}
+    for layer_name in hierarchy.layers:
+        level = hierarchy.level_of_layer(layer_name)
+        if level >= own_level:
+            continue
+        try:
+            views[layer_name] = lift_trajectory(trajectory, hierarchy,
+                                                layer_name)
+        except ValueError:
+            continue
+    return views
+
+
+# ----------------------------------------------------------------------
+# missing-presence inference (Figure 6)
+# ----------------------------------------------------------------------
+@dataclass
+class InferenceReport:
+    """Outcome of a missing-presence inference run."""
+
+    gaps_examined: int = 0
+    tuples_inserted: int = 0
+    ambiguous_gaps: int = 0
+    unexplained_gaps: int = 0
+
+
+#: Optional callback giving domain annotations to an inferred tuple
+#: (e.g. the Louvre example's cloakroom/souvenir/exit goals).
+InferredAnnotator = Callable[[str], AnnotationSet]
+
+
+def infer_missing_presence(trajectory: SemanticTrajectory,
+                           nrg: NodeRelationGraph,
+                           annotator: Optional[InferredAnnotator] = None,
+                           max_path_length: int = 6,
+                           report: Optional[InferenceReport] = None
+                           ) -> SemanticTrajectory:
+    """Insert presence tuples for provably-traversed undetected cells.
+
+    For every consecutive entry pair ``(A, B)`` with no direct
+    accessibility edge ``A → B``, the shortest NRG path explains the
+    movement.  Its intermediate nodes are inserted as inferred entries
+    that share the gap time proportionally.  Each inferred entry carries
+    the :data:`INFERRED` provenance annotation with a confidence of
+    ``1 / (number of shortest paths)`` — a single shortest path (the
+    Figure 6 chain) gives certainty 1.0.
+
+    Gaps with no explaining path within ``max_path_length`` hops are
+    left untouched and counted as unexplained (data errors, in the
+    paper's reading).
+    """
+    if report is None:
+        report = InferenceReport()
+    entries = list(trajectory.trace.entries)
+    rebuilt: List[TraceEntry] = [entries[0]]
+    for entry in entries[1:]:
+        previous = rebuilt[-1]
+        if (entry.state == previous.state
+                or entry.state not in nrg or previous.state not in nrg
+                or nrg.has_transition(previous.state, entry.state)):
+            rebuilt.append(entry)
+            continue
+        report.gaps_examined += 1
+        paths = nrg.all_simple_paths(previous.state, entry.state,
+                                     max_length=max_path_length)
+        if not paths:
+            report.unexplained_gaps += 1
+            rebuilt.append(entry)
+            continue
+        shortest_length = len(paths[0])
+        shortest_paths = [p for p in paths if len(p) == shortest_length]
+        if len(shortest_paths) > 1:
+            report.ambiguous_gaps += 1
+        confidence = 1.0 / len(shortest_paths)
+        path = shortest_paths[0]
+        intermediates = path[1:-1]
+        gap_start = previous.t_end
+        gap_end = max(entry.t_start, gap_start)
+        slot = ((gap_end - gap_start) / len(intermediates)
+                if intermediates else 0.0)
+        for offset, state in enumerate(intermediates):
+            base = AnnotationSet.of(SemanticAnnotation(
+                AnnotationKind.PROVENANCE, "inferred",
+                source="topology-inference", confidence=confidence))
+            if annotator is not None:
+                base = base.union(annotator(state))
+            transition, _ = _transition_into(nrg, path[offset], state)
+            rebuilt.append(TraceEntry(
+                transition=transition,
+                state=state,
+                t_start=gap_start + offset * slot,
+                t_end=gap_start + (offset + 1) * slot,
+                annotations=base,
+            ))
+            report.tuples_inserted += 1
+        # Rewire the detected entry's transition to come from the last
+        # inferred cell instead of the impossible direct move.
+        last_hop, _ = _transition_into(nrg, path[-2], entry.state)
+        rebuilt.append(TraceEntry(
+            transition=last_hop,
+            state=entry.state,
+            t_start=entry.t_start,
+            t_end=entry.t_end,
+            annotations=entry.annotations,
+            transition_annotations=entry.transition_annotations,
+        ))
+    return trajectory.with_trace(Trace(rebuilt))
+
+
+def _transition_into(nrg: NodeRelationGraph, from_state: str,
+                     to_state: str) -> Tuple[Optional[str], bool]:
+    """The transition id of the (unique or first) edge between states."""
+    edges = nrg.edges_between(from_state, to_state)
+    if not edges:
+        return None, False
+    edge = edges[0]
+    return (edge.boundary_id or edge.edge_id), True
+
+
+def coverage_gap_states(trajectory: SemanticTrajectory,
+                        nrg: NodeRelationGraph,
+                        max_path_length: int = 6) -> List[str]:
+    """Just the states an object must have crossed without detection.
+
+    A lighter-weight query than :func:`infer_missing_presence` for
+    analytics that only need the set of provably-visited cells.
+    """
+    states: List[str] = []
+    sequence = trajectory.distinct_state_sequence()
+    for from_state, to_state in zip(sequence, sequence[1:]):
+        if from_state not in nrg or to_state not in nrg:
+            continue
+        if nrg.has_transition(from_state, to_state):
+            continue
+        paths = nrg.all_simple_paths(from_state, to_state,
+                                     max_length=max_path_length)
+        if paths:
+            for state in paths[0][1:-1]:
+                if state not in states:
+                    states.append(state)
+    return states

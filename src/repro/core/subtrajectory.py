@@ -1,0 +1,157 @@
+"""Semantic subtrajectories (Definition 3.3).
+
+A semantic subtrajectory is "for all practical purposes a semantic
+trajectory (similar to how a mathematical subsequence is itself a
+sequence) but necessarily referable to some other main semantic
+trajectory": ``T'`` is a subtrajectory of ``T`` iff ``trace'`` is a
+proper subsequence of ``trace`` and
+
+    t_start ≤ t'_start < t'_end < t_end   or
+    t_start < t'_start < t'_end ≤ t_end.
+
+Note the asymmetric strictness: a subtrajectory may share *one* end of
+the main trajectory's span but not both (that would be the whole
+trajectory, which Definition 3.3 excludes).  Its annotation set "may or
+may not be the same as that of its main trajectory" — contrary to
+CONSTAnT [8].
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.annotations import AnnotationSet
+from repro.core.trajectory import SemanticTrajectory, Trace, TraceEntry
+
+
+def is_proper_sub_span(main: SemanticTrajectory,
+                       t_start: float, t_end: float) -> bool:
+    """Check Definition 3.3's span condition for a candidate window."""
+    if t_start >= t_end:
+        return False
+    left_anchored = (main.t_start <= t_start < t_end < main.t_end)
+    right_anchored = (main.t_start < t_start < t_end <= main.t_end)
+    return left_anchored or right_anchored
+
+
+def is_subtrajectory(candidate: SemanticTrajectory,
+                     main: SemanticTrajectory) -> bool:
+    """True when ``candidate`` is a semantic subtrajectory of ``main``.
+
+    Checks moving-object identity, the proper-span condition, and that
+    the candidate's trace entries form a (contiguous-in-time, possibly
+    clipped) subsequence of the main trace.
+    """
+    if candidate.mo_id != main.mo_id:
+        return False
+    if not is_proper_sub_span(main, candidate.t_start, candidate.t_end):
+        return False
+    return _entries_are_subsequence(candidate.trace, main.trace)
+
+
+def _entries_are_subsequence(sub: Trace, main: Trace) -> bool:
+    """True when every sub entry matches (possibly clipped) a main entry."""
+    main_entries = list(main.entries)
+    cursor = 0
+    for entry in sub.entries:
+        while cursor < len(main_entries):
+            host = main_entries[cursor]
+            if (host.state == entry.state
+                    and host.t_start <= entry.t_start
+                    and entry.t_end <= host.t_end):
+                cursor += 1
+                break
+            cursor += 1
+        else:
+            return False
+    return True
+
+
+def extract_by_time(main: SemanticTrajectory, t_start: float, t_end: float,
+                    annotations: Optional[AnnotationSet] = None,
+                    clip: bool = True) -> SemanticTrajectory:
+    """Extract the subtrajectory covering ``[t_start, t_end]``.
+
+    Args:
+        main: the main semantic trajectory.
+        t_start: window start.
+        t_end: window end.
+        annotations: the subtrajectory's ``A'_traj``; defaults to the
+            main trajectory's ``A_traj`` (Definition 3.3 allows either).
+        clip: when True, boundary entries are clipped to the window;
+            when False, they are included whole.
+
+    Raises:
+        ValueError: when the window violates the proper-subsequence
+            condition or contains no trace entries.
+    """
+    if not is_proper_sub_span(main, t_start, t_end):
+        raise ValueError(
+            "window [{}, {}] is not a proper sub-span of [{}, {}]".format(
+                t_start, t_end, main.t_start, main.t_end))
+    selected: List[TraceEntry] = []
+    for entry in main.trace:
+        if not entry.overlaps_time(t_start, t_end):
+            continue
+        if clip:
+            clipped_start = max(entry.t_start, t_start)
+            clipped_end = min(entry.t_end, t_end)
+            if clipped_end < clipped_start:
+                continue
+            selected.append(TraceEntry(
+                transition=entry.transition
+                if entry.t_start >= t_start else None,
+                state=entry.state,
+                t_start=clipped_start,
+                t_end=clipped_end,
+                annotations=entry.annotations,
+                transition_annotations=entry.transition_annotations,
+            ))
+        else:
+            selected.append(entry)
+    if not selected:
+        raise ValueError("window contains no trace entries")
+    return SemanticTrajectory(
+        mo_id=main.mo_id,
+        trace=Trace(selected),
+        annotations=annotations if annotations is not None
+        else main.annotations,
+        t_start=t_start if t_start <= selected[0].t_start else None,
+        t_end=t_end if t_end >= selected[-1].t_end else None,
+    )
+
+
+def extract_by_entries(main: SemanticTrajectory, first: int, last: int,
+                       annotations: Optional[AnnotationSet] = None,
+                       ) -> SemanticTrajectory:
+    """Extract the subtrajectory spanning entries ``first..last`` inclusive.
+
+    Raises:
+        ValueError: when the range is the whole trace (not a *proper*
+            subsequence) or out of bounds.
+    """
+    entries = main.trace.entries
+    if not 0 <= first <= last < len(entries):
+        raise ValueError("entry range [{}, {}] out of bounds".format(
+            first, last))
+    if first == 0 and last == len(entries) - 1:
+        raise ValueError(
+            "the full entry range is not a proper subsequence "
+            "(Definition 3.3)")
+    selected = entries[first:last + 1]
+    trace_entries = list(selected)
+    if first > 0:
+        # The subtrajectory starts fresh: drop the incoming transition
+        # of its first entry, as the trace it came from is not part of
+        # the subtrajectory.
+        head = trace_entries[0]
+        trace_entries[0] = TraceEntry(
+            transition=None, state=head.state, t_start=head.t_start,
+            t_end=head.t_end, annotations=head.annotations,
+            transition_annotations=head.transition_annotations)
+    return SemanticTrajectory(
+        mo_id=main.mo_id,
+        trace=Trace(trace_entries),
+        annotations=annotations if annotations is not None
+        else main.annotations,
+    )

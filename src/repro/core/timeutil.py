@@ -1,0 +1,63 @@
+"""Timestamp helpers shared across the SITM.
+
+Timestamps throughout the library are POSIX seconds as ``float``.  This
+keeps interval arithmetic trivial and lets numpy vectorise over them,
+while these helpers give the human-readable clock forms used in the
+paper's examples (``11:30:00``) and duration forms used in Section 4.1
+(``7 hours, 41 min and 37 sec``).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+#: Seconds in a day, used by visit-day bucketing.
+SECONDS_PER_DAY = 86_400
+
+
+def clock(seconds: float) -> str:
+    """Format a timestamp as ``HH:MM:SS`` wall-clock time (UTC)."""
+    moment = _dt.datetime.fromtimestamp(seconds, tz=_dt.timezone.utc)
+    return moment.strftime("%H:%M:%S")
+
+
+def date(seconds: float) -> str:
+    """Format a timestamp as ``DD-MM-YYYY`` (the paper's date style)."""
+    moment = _dt.datetime.fromtimestamp(seconds, tz=_dt.timezone.utc)
+    return moment.strftime("%d-%m-%Y")
+
+
+def from_clock(day_start: float, hms: str) -> float:
+    """Timestamp for clock time ``hms`` (``HH:MM:SS``) on a given day.
+
+    Args:
+        day_start: timestamp of the day's midnight.
+        hms: wall-clock string, e.g. ``"11:30:00"``.
+    """
+    hours, minutes, seconds = (int(part) for part in hms.split(":"))
+    return day_start + hours * 3600 + minutes * 60 + seconds
+
+
+def from_date(dmy: str) -> float:
+    """Midnight timestamp of a ``DD-MM-YYYY`` date (UTC)."""
+    day, month, year = (int(part) for part in dmy.split("-"))
+    moment = _dt.datetime(year, month, day, tzinfo=_dt.timezone.utc)
+    return moment.timestamp()
+
+
+def duration_hms(seconds: float) -> str:
+    """Format a duration as ``Hh MMm SSs`` (paper: 7h 41m 37s)."""
+    total = int(round(seconds))
+    hours, rest = divmod(total, 3600)
+    minutes, secs = divmod(rest, 60)
+    return "{}h {:02d}m {:02d}s".format(hours, minutes, secs)
+
+
+def day_index(seconds: float, epoch: float = 0.0) -> int:
+    """Which day (since ``epoch``) a timestamp falls on.
+
+    Used to decide whether two visits by the same visitor happened on
+    the same day ("although not necessarily on different days" —
+    Section 4.1).
+    """
+    return int((seconds - epoch) // SECONDS_PER_DAY)

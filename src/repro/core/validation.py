@@ -1,0 +1,175 @@
+"""Model-level validation of semantic trajectories against a space.
+
+Section 4.2 observes that the hand-extracted accessibility topology
+"can therefore also assist in filtering out data errors".  This module
+systematises that: a trajectory is checked against the indoor space
+graph and every anomaly is reported as a typed :class:`Issue` with a
+severity, so pipelines can decide what to drop, repair (via
+:mod:`repro.core.inference`), or merely log.
+
+It also classifies temporal gaps following Parent et al. [21] (quoted
+in Section 2.2): gaps larger than the sampling rate are "either
+accidental ('holes') or intentional ('semantic gaps')" — intentional
+ones being recognisable here by an annotation on the following stay.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.annotations import AnnotationKind
+from repro.core.builder import UNOBSERVED_TRANSITION_PREFIX
+from repro.core.trajectory import SemanticTrajectory
+from repro.indoor.nrg import NodeRelationGraph
+
+
+class Severity(enum.Enum):
+    """How bad an issue is."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+class IssueCode(enum.Enum):
+    """Machine-readable issue categories."""
+
+    UNKNOWN_STATE = "unknown-state"
+    IMPOSSIBLE_TRANSITION = "impossible-transition"
+    UNOBSERVED_TRANSITION = "unobserved-transition"
+    WRONG_TRANSITION_ENDPOINTS = "wrong-transition-endpoints"
+    ZERO_DURATION = "zero-duration"
+    DETECTION_OVERLAP = "detection-overlap"
+    TEMPORAL_HOLE = "temporal-hole"
+    SEMANTIC_GAP = "semantic-gap"
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One validation finding.
+
+    Attributes:
+        severity: :class:`Severity`.
+        code: :class:`IssueCode`.
+        entry_index: index of the offending trace entry (the second of
+            a pair for transition/gap issues).
+        message: human-readable explanation.
+    """
+
+    severity: Severity
+    code: IssueCode
+    entry_index: int
+    message: str
+
+
+def validate_trajectory(trajectory: SemanticTrajectory,
+                        nrg: Optional[NodeRelationGraph] = None,
+                        sampling_rate_seconds: float = 60.0
+                        ) -> List[Issue]:
+    """Validate one trajectory, optionally against an accessibility NRG.
+
+    Checks performed:
+
+    * every state is a node of the NRG (ERROR otherwise);
+    * every state change is witnessed by a directed accessibility edge,
+      and by the *named* edge when the trace records one (ERROR when the
+      move is impossible, WARNING for builder-marked unobserved
+      transitions, ERROR when a named transition joins other cells);
+    * zero-duration stays (WARNING — "potential error" per Section 4.1);
+    * bounded detection overlaps (INFO — expected sensing artefact);
+    * temporal gaps above the sampling rate, split into semantic gaps
+      (INFO, next stay is annotated) and holes (WARNING).
+    """
+    issues: List[Issue] = []
+    entries = trajectory.trace.entries
+    for index, entry in enumerate(entries):
+        if nrg is not None and entry.state not in nrg:
+            issues.append(Issue(
+                Severity.ERROR, IssueCode.UNKNOWN_STATE, index,
+                "state {!r} is not a node of NRG {!r}".format(
+                    entry.state, nrg.name)))
+        if entry.duration == 0:
+            issues.append(Issue(
+                Severity.WARNING, IssueCode.ZERO_DURATION, index,
+                "zero-duration stay in {!r} (potential detection "
+                "error)".format(entry.state)))
+    for index in range(1, len(entries)):
+        previous = entries[index - 1]
+        current = entries[index]
+        _check_transition(issues, nrg, previous, current, index)
+        _check_timing(issues, trajectory, previous, current, index,
+                      sampling_rate_seconds)
+    return issues
+
+
+def _check_transition(issues: List[Issue],
+                      nrg: Optional[NodeRelationGraph],
+                      previous, current, index: int) -> None:
+    if current.state == previous.state:
+        return  # event-based split; no spatial move to check
+    transition = current.transition
+    if transition is not None \
+            and transition.startswith(UNOBSERVED_TRANSITION_PREFIX):
+        issues.append(Issue(
+            Severity.WARNING, IssueCode.UNOBSERVED_TRANSITION, index,
+            "move {} → {} has no accessibility edge; flagged by the "
+            "builder".format(previous.state, current.state)))
+        return
+    if nrg is None:
+        return
+    if previous.state not in nrg or current.state not in nrg:
+        return  # already reported as unknown states
+    if not nrg.has_transition(previous.state, current.state):
+        issues.append(Issue(
+            Severity.ERROR, IssueCode.IMPOSSIBLE_TRANSITION, index,
+            "move {} → {} is not permitted by the directed "
+            "accessibility NRG".format(previous.state, current.state)))
+        return
+    if transition is None:
+        return
+    edges = nrg.edges_between(previous.state, current.state)
+    ids = {e.edge_id for e in edges} | {
+        e.boundary_id for e in edges if e.boundary_id is not None}
+    if transition not in ids:
+        issues.append(Issue(
+            Severity.ERROR, IssueCode.WRONG_TRANSITION_ENDPOINTS, index,
+            "transition {!r} does not join {} and {}".format(
+                transition, previous.state, current.state)))
+
+
+def _check_timing(issues: List[Issue], trajectory: SemanticTrajectory,
+                  previous, current, index: int,
+                  sampling_rate_seconds: float) -> None:
+    gap = current.t_start - previous.t_end
+    if gap < 0:
+        issues.append(Issue(
+            Severity.INFO, IssueCode.DETECTION_OVERLAP, index,
+            "stays overlap by {:.1f}s (sensor detection area "
+            "overlap)".format(-gap)))
+        return
+    if gap <= sampling_rate_seconds:
+        return
+    if current.annotations or trajectory.annotations.has(
+            AnnotationKind.BEHAVIOR, "intentional-gap"):
+        issues.append(Issue(
+            Severity.INFO, IssueCode.SEMANTIC_GAP, index,
+            "annotated gap of {:.0f}s before {!r} (semantic gap)".format(
+                gap, current.state)))
+    else:
+        issues.append(Issue(
+            Severity.WARNING, IssueCode.TEMPORAL_HOLE, index,
+            "unannotated gap of {:.0f}s before {!r} (hole)".format(
+                gap, current.state)))
+
+
+def error_count(issues: List[Issue]) -> int:
+    """Number of ERROR-severity issues."""
+    return sum(1 for issue in issues if issue.severity is Severity.ERROR)
+
+
+def is_consistent(trajectory: SemanticTrajectory,
+                  nrg: Optional[NodeRelationGraph] = None) -> bool:
+    """True when validation finds no ERROR-severity issue."""
+    return error_count(validate_trajectory(trajectory, nrg)) == 0

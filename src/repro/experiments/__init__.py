@@ -1,0 +1,50 @@
+"""Executable reproductions of every table and figure in the paper.
+
+One module per artefact (see the experiment index in DESIGN.md):
+
+========  ==========================================================
+module    paper artefact
+========  ==========================================================
+table1    Table 1 — terminology correspondence
+fig1      Figure 1 — 2-level hierarchical graph (Denon wing)
+fig2      Figure 2 — core layer hierarchy with optional layers
+fig3      Figure 3 — ground-floor detection choropleth
+fig4      Figure 4 — RoI coverage / full-coverage hypothesis
+fig5      Figure 5 — overlapping episodes (exit museum / buy souvenir)
+fig6      Figure 6 — missing-presence inference (Zone 60888)
+dataset_stats  Section 4.1 — corpus statistics
+ablations A1 directed vs undirected; A2 static hierarchy vs ad-hoc;
+          A3 overlapping vs exclusive episodes
+========  ==========================================================
+
+Every module exposes ``run(...)`` returning a plain-data result dict
+and ``render(result)`` producing the text table/figure analogue.
+:mod:`repro.experiments.runner` executes everything and assembles the
+EXPERIMENTS.md comparison.
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    dataset_stats,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    table1,
+)
+from repro.experiments.runner import run_all
+
+__all__ = [
+    "ablations",
+    "dataset_stats",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table1",
+    "run_all",
+]

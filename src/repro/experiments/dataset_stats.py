@@ -1,0 +1,95 @@
+"""Section 4.1 — the corpus statistics, paper vs measured.
+
+The paper's only quantitative "evaluation" is the dataset description
+of Section 4.1.  This experiment regenerates the synthetic corpus with
+the default seed and recomputes every published number from the raw
+records, so the comparison is an actual measurement, not an echo of
+the generator's parameters.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional
+
+from repro.core.timeutil import duration_hms
+from repro.experiments.textable import render_table
+from repro.louvre.dataset import (
+    DatasetParameters,
+    LouvreDatasetGenerator,
+    PAPER_STATISTICS,
+)
+from repro.louvre.space import LouvreSpace
+
+
+def run(space: Optional[LouvreSpace] = None,
+        scale: float = 1.0) -> Dict[str, object]:
+    """Generate the corpus and measure all Section 4.1 statistics."""
+    space = space or LouvreSpace()
+    parameters = DatasetParameters() if scale >= 1.0 \
+        else DatasetParameters().scaled(scale)
+    generator = LouvreDatasetGenerator(space, parameters)
+    visits = generator.generate()
+
+    per_visitor = Counter(v.visitor_id for v in visits)
+    detections = [r for v in visits for r in v.records]
+    visit_durations = [v.duration for v in visits]
+    detection_durations = [r.duration for r in detections]
+    zero = sum(1 for d in detection_durations if d == 0)
+
+    measured = {
+        "visits": len(visits),
+        "visitors": len(per_visitor),
+        "returning_visitors": sum(
+            1 for c in per_visitor.values() if c >= 2),
+        "repeat_visits": sum(c - 1 for c in per_visitor.values()),
+        "zone_detections": len(detections),
+        "zone_transitions": sum(
+            len(v.records) - 1 for v in visits),
+        "max_visit_duration_s": int(max(visit_durations)),
+        "max_detection_duration_s": int(max(detection_durations)),
+        "min_visit_duration_s": int(min(visit_durations)),
+        "min_detection_duration_s": int(min(detection_durations)),
+        "zero_duration_share": zero / len(detections),
+        "dataset_zones": len({r.state for r in detections}),
+    }
+    comparison: List[Dict[str, object]] = []
+    for key, paper_value in PAPER_STATISTICS.items():
+        if key not in measured:
+            continue
+        measured_value = measured[key]
+        if isinstance(paper_value, float):
+            matches = abs(measured_value - paper_value) <= 0.02
+        else:
+            matches = (measured_value == paper_value) if scale >= 1.0 \
+                else True
+        comparison.append({
+            "statistic": key,
+            "paper": paper_value,
+            "measured": measured_value,
+            "matches": matches,
+        })
+    return {
+        "scale": scale,
+        "measured": measured,
+        "comparison": comparison,
+        "all_match": all(c["matches"] for c in comparison),
+    }
+
+
+def render(result: Dict[str, object]) -> str:
+    """Render the paper-vs-measured table."""
+    rows = []
+    for item in result["comparison"]:
+        paper = item["paper"]
+        measured = item["measured"]
+        if item["statistic"].endswith("duration_s"):
+            paper = "{} ({})".format(paper, duration_hms(float(paper)))
+            measured = "{} ({})".format(
+                measured, duration_hms(float(measured)))
+        elif isinstance(measured, float):
+            measured = "{:.4f}".format(measured)
+        rows.append((item["statistic"], paper, measured,
+                     "ok" if item["matches"] else "DIFF"))
+    return render_table(("statistic (Section 4.1)", "paper", "measured",
+                         "match"), rows)

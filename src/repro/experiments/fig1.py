@@ -1,0 +1,107 @@
+"""Figure 1 — the 2-level hierarchical graph of the Denon wing.
+
+The figure shows the central part of the Louvre's Denon wing first
+floor as a two-layer MLSM graph: layer ``i+1`` holds rooms 1, 2, 3,
+4 ("Salle des États", housing the Mona Lisa) and hall 5; layer ``i``
+refines hall 5 into 5a, 5b, 5c (replicating the unsplit rooms).
+
+Two modelled facts are checked against the paper's narrative:
+
+* the joint edges mean a visitor in hall 5 "can only be in either 5a,
+  5b, or 5c in layer i";
+* "entering it [room 4] from room 2 is often prohibited by the museum
+  personnel while exiting it that way is allowed" — so the directed
+  accessibility NRG has a 4→2 edge but no 2→4 edge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.textable import render_table
+from repro.indoor.multilayer import JointEdge, LayeredIndoorGraph
+from repro.indoor.nrg import EdgeKind, NodeRelationGraph
+from repro.spatial.topology import TopologicalRelation
+
+
+def build_graph() -> LayeredIndoorGraph:
+    """Construct the Figure 1 graph."""
+    upper = NodeRelationGraph("layer-i+1", EdgeKind.ACCESSIBILITY)
+    for node in ("1", "2", "3", "4", "5"):
+        upper.add_node(node)
+    upper.connect("1", "2", bidirectional=True)
+    upper.connect("2", "3", bidirectional=True)
+    upper.connect("3", "5", bidirectional=True)
+    upper.connect("1", "5", bidirectional=True)
+    # Salle des États one-way rule: exit 4→2 allowed, entry 2→4 not.
+    upper.connect("4", "2", bidirectional=False)
+    upper.connect("5", "4", bidirectional=True)
+
+    lower = NodeRelationGraph("layer-i", EdgeKind.ACCESSIBILITY)
+    for node in ("1i", "2i", "3i", "4i", "5a", "5b", "5c"):
+        lower.add_node(node)
+    lower.connect("1i", "2i", bidirectional=True)
+    lower.connect("2i", "3i", bidirectional=True)
+    lower.connect("3i", "5c", bidirectional=True)
+    lower.connect("1i", "5a", bidirectional=True)
+    lower.connect("4i", "2i", bidirectional=False)
+    lower.connect("5b", "4i", bidirectional=True)
+    lower.connect("5a", "5b", bidirectional=True)
+    lower.connect("5b", "5c", bidirectional=True)
+
+    graph = LayeredIndoorGraph("figure1")
+    graph.add_layer(upper)
+    graph.add_layer(lower)
+    # Hall 5 is subdivided; rooms 1-4 are replicated ('equal').
+    for part in ("5a", "5b", "5c"):
+        graph.add_joint_edge(JointEdge(
+            "layer-i+1", "5", "layer-i", part,
+            TopologicalRelation.CONTAINS))
+    for original, replica in (("1", "1i"), ("2", "2i"), ("3", "3i"),
+                              ("4", "4i")):
+        graph.add_joint_edge(JointEdge(
+            "layer-i+1", original, "layer-i", replica,
+            TopologicalRelation.EQUAL))
+    return graph
+
+
+def run() -> Dict[str, object]:
+    """Build the graph and verify the figure's two modelling claims."""
+    graph = build_graph()
+    upper = graph.layer("layer-i+1")
+
+    hall_partners = sorted(graph.joint_partners("5", layer="layer-i"))
+    one_way = sorted(upper.asymmetric_pairs())
+    overall = graph.overall_states("5", ["layer-i"])
+    return {
+        "layers": list(graph.layer_names),
+        "node_count": graph.node_count,
+        "intra_edges": graph.intra_edge_count,
+        "joint_edges": graph.joint_edge_count,
+        "hall5_active_states": hall_partners,
+        "hall5_claim_holds": hall_partners == ["5a", "5b", "5c"],
+        "one_way_pairs": [list(p) for p in one_way],
+        "salle_des_etats_rule_holds":
+            upper.has_transition("4", "2")
+            and not upper.has_transition("2", "4"),
+        "overall_states_for_hall5": overall,
+        "validation_problems": graph.validate(),
+    }
+
+
+def render(result: Dict[str, object]) -> str:
+    """Render the figure's facts as a table."""
+    rows = [
+        ("layers", ", ".join(result["layers"])),
+        ("nodes", result["node_count"]),
+        ("intra-layer edges", result["intra_edges"]),
+        ("joint edges (with converses)", result["joint_edges"]),
+        ("active states for hall 5 in layer i",
+         ", ".join(result["hall5_active_states"])),
+        ("'5 → {5a, 5b, 5c}' claim", result["hall5_claim_holds"]),
+        ("one-way pairs (exit-only)",
+         "; ".join("→".join(p) for p in result["one_way_pairs"])),
+        ("Salle des États rule (4→2 ok, 2→4 not)",
+         result["salle_des_etats_rule_holds"]),
+    ]
+    return render_table(("fact", "value"), rows)

@@ -1,0 +1,77 @@
+"""Figure 2 — the required core layer hierarchy with both optional layers.
+
+The figure depicts Building Complex → Building → Floor → Room → RoI.
+This experiment instantiates it for the whole Louvre (Section 4.2's
+layer correspondences), validates every Section 3.2 hierarchy rule,
+and demonstrates the two inferences the paper derives from a *static*
+hierarchy:
+
+* location lifting — the Mona Lisa RoI lifts to its room, floor, wing
+  and the museum;
+* relation propagation up the hierarchy via the transitivity of
+  parthood, checked with the RCC-8 composition table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.textable import render_table
+from repro.indoor.hierarchy import LayerRole
+from repro.louvre.floorplan import MONA_LISA_ROI, SALLE_DES_ETATS_ROOM
+from repro.louvre.space import LouvreSpace
+from repro.spatial.qsr import RelationNetwork
+from repro.spatial.topology import TopologicalRelation
+
+
+def run(space: LouvreSpace = None) -> Dict[str, object]:
+    """Build the Louvre hierarchy and verify the Figure 2 properties."""
+    space = space or LouvreSpace()
+    hierarchy = space.core_hierarchy
+
+    # Lifting the Mona Lisa RoI through every level.
+    chain = [MONA_LISA_ROI] + hierarchy.ancestors(MONA_LISA_ROI)
+    lift_to_wing = hierarchy.lift(MONA_LISA_ROI, "wings")
+
+    # Relation propagation: RoI inside room, room coveredBy floor
+    # ⇒ the RoI must be a proper part of (or overlap) the floor; the
+    # RCC-8 network confirms the composition is containment-only.
+    network = RelationNetwork()
+    network.constrain("roi", "room", [TopologicalRelation.INSIDE])
+    network.constrain("room", "floor", [TopologicalRelation.COVERED_BY])
+    consistent = network.propagate()
+    propagated = sorted(r.value for r in network.get("roi", "floor"))
+
+    layer_sizes = {name: len(space.graph.layer(name))
+                   for name in hierarchy.layers}
+    return {
+        "layers": list(hierarchy.layers),
+        "roles": [hierarchy.role_of_layer(layer).value
+                  for layer in hierarchy.layers],
+        "has_core_roles": hierarchy.has_core_roles(),
+        "validation_problems": hierarchy.validate(),
+        "layer_sizes": layer_sizes,
+        "mona_lisa_chain": chain,
+        "mona_lisa_wing": lift_to_wing,
+        "roi_floor_relations": propagated,
+        "qsr_consistent": consistent,
+        "roi_orphans": len(hierarchy.orphans("rois")),
+        "room_orphans": len(hierarchy.orphans("rooms")),
+    }
+
+
+def render(result: Dict[str, object]) -> str:
+    """Render the hierarchy card."""
+    rows: List = [
+        ("layer stack (top→bottom)", " → ".join(result["layers"])),
+        ("roles", " → ".join(result["roles"])),
+        ("core roles present in order", result["has_core_roles"]),
+        ("rule violations", len(result["validation_problems"])),
+    ]
+    for layer, size in result["layer_sizes"].items():
+        rows.append(("|{}|".format(layer), size))
+    rows.append(("Mona Lisa ancestor chain",
+                 " ⊂ ".join(result["mona_lisa_chain"])))
+    rows.append(("RoI-vs-floor relations (QSR-propagated)",
+                 ", ".join(result["roi_floor_relations"])))
+    return render_table(("fact", "value"), rows)

@@ -1,0 +1,66 @@
+"""Figure 3 — choropleth of detections over the 11 ground-floor zones.
+
+The paper's Figure 3 is a choropleth map of visitor detection counts
+across the Louvre's 11 ground-floor polygonal zones.  This experiment
+regenerates the underlying data series from the synthetic corpus —
+detections and distinct visitors per ground-floor zone — and renders
+the ASCII analogue of the map (a ranked bar chart; the geometry is
+available from the floorplan for anyone who wants to draw polygons).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core import TrajectoryBuilder
+from repro.experiments.textable import render_bar_chart, render_table
+from repro.louvre.dataset import DatasetParameters, LouvreDatasetGenerator
+from repro.louvre.space import LouvreSpace
+from repro.louvre.zones import GROUND_FLOOR_ZONE_IDS, ZONES_BY_ID
+from repro.mining.sequences import detection_counts, visitor_counts
+
+
+def run(space: Optional[LouvreSpace] = None,
+        scale: float = 1.0) -> Dict[str, object]:
+    """Generate the corpus and count ground-floor zone detections."""
+    space = space or LouvreSpace()
+    parameters = DatasetParameters() if scale >= 1.0 \
+        else DatasetParameters().scaled(scale)
+    generator = LouvreDatasetGenerator(space, parameters)
+    records = generator.detection_records()
+    builder = TrajectoryBuilder(space.dataset_zone_nrg())
+    trajectories, report = builder.build_all(records)
+
+    per_zone = detection_counts(trajectories, GROUND_FLOOR_ZONE_IDS)
+    per_zone_visitors = visitor_counts(trajectories,
+                                       GROUND_FLOOR_ZONE_IDS)
+    total = sum(per_zone.values())
+    series = []
+    for zone_id in sorted(per_zone, key=per_zone.get, reverse=True):
+        series.append({
+            "zone": zone_id,
+            "theme": ZONES_BY_ID[zone_id].theme,
+            "detections": per_zone[zone_id],
+            "visitors": per_zone_visitors[zone_id],
+            "share": per_zone[zone_id] / total if total else 0.0,
+        })
+    return {
+        "ground_floor_zones": len(GROUND_FLOOR_ZONE_IDS),
+        "total_ground_floor_detections": total,
+        "series": series,
+        "corpus_trajectories": len(trajectories),
+        "zero_duration_share": report.cleaning.zero_duration_share,
+    }
+
+
+def render(result: Dict[str, object]) -> str:
+    """Render the choropleth data table and bar chart."""
+    rows = [(item["zone"], item["theme"], item["detections"],
+             item["visitors"], "{:.1%}".format(item["share"]))
+            for item in result["series"]]
+    table = render_table(
+        ("zone", "theme", "detections", "visitors", "share"), rows)
+    chart = render_bar_chart(
+        [item["zone"] for item in result["series"]],
+        [item["detections"] for item in result["series"]])
+    return "{}\n\n{}".format(table, chart)

@@ -1,0 +1,88 @@
+"""Figure 4 — RoIs within zones 60853/60854 and the coverage hypothesis.
+
+Section 4.2: "is a floor fully covered by the rooms it contains
+(Figure 2)? ... the IndoorGML standard and related works seem to adhere
+to a full-coverage hypothesis ... However, it is often an unrealistic
+assumption.  In Figure 4 for instance, the RoIs of the displayed
+exhibits do not completely cover their room's surface."
+
+This experiment quantifies coverage at two hierarchy steps:
+
+* Floor → Room: full coverage (ratio 1.0) — rooms partition floors;
+* Room → RoI: partial coverage — and specifically for the rooms of
+  the figure's zones 60854 and 60853.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.textable import render_table
+from repro.indoor.coverage import (
+    coverage_summary,
+    layer_coverage_report,
+    node_coverage,
+)
+from repro.louvre.space import LouvreSpace
+from repro.louvre.zones import ZONE_GRANDE_GALERIE, ZONE_SALLE_DES_ETATS
+
+
+def run(space: Optional[LouvreSpace] = None) -> Dict[str, object]:
+    """Compute coverage at both hierarchy steps."""
+    space = space or LouvreSpace()
+    hierarchy = space.core_hierarchy
+
+    floor_reports = layer_coverage_report(hierarchy, "floors")
+    floor_summary = coverage_summary(floor_reports)
+
+    room_reports = layer_coverage_report(hierarchy, "rooms")
+    rooms_with_rois = [r for r in room_reports if r.child_count > 0]
+    room_summary = coverage_summary(rooms_with_rois)
+
+    figure_rooms: List[Dict[str, object]] = []
+    for zone_id in (ZONE_SALLE_DES_ETATS, ZONE_GRANDE_GALERIE):
+        for room_id in space.floorplan.rooms_of_zone(zone_id):
+            report = node_coverage(hierarchy, room_id)
+            if report is None:
+                continue
+            figure_rooms.append({
+                "zone": zone_id,
+                "room": room_id,
+                "rois": report.child_count,
+                "ratio": report.ratio,
+            })
+    return {
+        "floor_coverage": floor_summary,
+        "floors_fully_covered":
+            floor_summary["min_ratio"] >= 0.999,
+        "roi_coverage": room_summary,
+        "rois_fully_cover_rooms":
+            room_summary["count"] > 0
+            and room_summary["max_ratio"] >= 0.999,
+        "figure_rooms": figure_rooms,
+    }
+
+
+def render(result: Dict[str, object]) -> str:
+    """Render the coverage comparison."""
+    rows = [
+        ("Floor → Room: mean coverage",
+         "{:.3f}".format(result["floor_coverage"]["mean_ratio"])),
+        ("Floor → Room: min coverage",
+         "{:.3f}".format(result["floor_coverage"]["min_ratio"])),
+        ("full-coverage holds at Room level",
+         result["floors_fully_covered"]),
+        ("Room → RoI: mean coverage",
+         "{:.3f}".format(result["roi_coverage"]["mean_ratio"])),
+        ("Room → RoI: max coverage",
+         "{:.3f}".format(result["roi_coverage"]["max_ratio"])),
+        ("full-coverage holds at RoI level",
+         result["rois_fully_cover_rooms"]),
+    ]
+    summary = render_table(("fact", "value"), rows)
+    figure = render_table(
+        ("zone", "room", "RoIs", "coverage"),
+        [(r["zone"], r["room"], r["rois"],
+          "{:.3f}".format(r["ratio"])) for r in result["figure_rooms"]])
+    return "{}\n\nFigure 4 rooms (zones 60853/60854):\n{}".format(
+        summary, figure)

@@ -1,0 +1,140 @@
+"""Positioning-stack accuracy comparison (pipeline ablation P2).
+
+The paper's dataset provenance names three techniques — "RSSI-based
+trilateration, extended Kalman and particle filtering" (Section 4.1) —
+without evaluating them (the authors consumed the museum's output).
+This experiment evaluates our simulated stack so the substitution's
+quality is on record: mean/median position error of raw trilateration
+vs EKF smoothing vs particle filtering on the same noisy walk, plus
+the zone-detection accuracy each achieves after spatial aggregation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.experiments.textable import render_table
+from repro.movement.agents import GeometricAgent, WaypointPath
+from repro.positioning.beacons import BeaconGrid, RssiModel
+from repro.positioning.detection import PositionFix, ZoneDetector
+from repro.positioning.kalman import ExtendedKalmanFilter2D
+from repro.positioning.particle import ParticleFilter2D
+from repro.positioning.trilateration import trilaterate
+from repro.indoor.cells import Cell, CellSpace
+from repro.spatial.geometry import BBox, Point, Polygon
+
+
+def _walk_track(seed: int):
+    """A zig-zag walk through a 3-zone corridor."""
+    waypoints = [Point(5, 10), Point(35, 14), Point(65, 8),
+                 Point(95, 12)]
+    path = WaypointPath(waypoints, [20.0, 15.0, 15.0, 20.0], floor=0)
+    agent = GeometricAgent(path, speed=0.9, rng=random.Random(seed))
+    return agent.track(0.0, sample_interval=1.0)
+
+
+def _corridor_space() -> CellSpace:
+    space = CellSpace("corridor-zones", validate_geometry=False)
+    for index in range(3):
+        space.add_cell(Cell(
+            "cz{}".format(index),
+            geometry=Polygon.rectangle(index * 34.0, 0.0,
+                                       (index + 1) * 34.0, 20.0),
+            floor=0))
+    return space
+
+
+def run(seed: int = 20170119,
+        sigma: float = 4.0) -> Dict[str, object]:
+    """Run the three estimators on one noisy track and score them."""
+    track = _walk_track(seed)
+    grid = BeaconGrid(BBox(-5, -5, 107, 25), floor=0, spacing=12.0)
+    registry = {b.beacon_id: b for b in grid.beacons}
+    model = RssiModel(sigma=sigma, rng=random.Random(seed + 1))
+    space = _corridor_space()
+
+    ekf: Optional[ExtendedKalmanFilter2D] = None
+    pf = ParticleFilter2D(particle_count=300, step_sigma=1.5,
+                          seed=seed + 2)
+    errors: Dict[str, List[float]] = {"raw": [], "ekf": [], "pf": []}
+    fixes: Dict[str, List[PositionFix]] = {"raw": [], "ekf": [],
+                                           "pf": []}
+    truth_zone_time: Dict[str, float] = {}
+    last_t: Optional[float] = None
+    for sample in track:
+        truth_cell = space.locate_point(sample.position, sample.floor)
+        if truth_cell is not None and last_t is not None:
+            truth_zone_time[truth_cell.cell_id] = \
+                truth_zone_time.get(truth_cell.cell_id, 0.0) \
+                + (sample.t - last_t)
+        readings = model.scan(grid.beacons, sample.position,
+                              sample.floor, sample.t)
+        fix = trilaterate(readings, registry, model)
+        if fix is None:
+            last_t = sample.t
+            continue
+        if ekf is None:
+            ekf = ExtendedKalmanFilter2D(initial_position=fix.position)
+        elif last_t is not None and sample.t > last_t:
+            ekf.predict(sample.t - last_t)
+        ekf.update_position(fix.position)
+        if last_t is not None and sample.t > last_t:
+            pf.predict(sample.t - last_t)
+        pf.update(fix.position)
+        for name, estimate in (("raw", fix.position),
+                               ("ekf", ekf.position),
+                               ("pf", pf.position)):
+            errors[name].append(
+                estimate.distance_to(sample.position))
+            fixes[name].append(PositionFix(sample.t, estimate,
+                                           sample.floor))
+        last_t = sample.t
+
+    detector = ZoneDetector(space)
+    zone_accuracy: Dict[str, float] = {}
+    for name in ("raw", "ekf", "pf"):
+        records = detector.detect("probe", fixes[name])
+        correct = sum(
+            min(r.duration, truth_zone_time.get(r.state, 0.0))
+            for r in records)
+        total = sum(r.duration for r in records) or 1.0
+        zone_accuracy[name] = correct / total
+
+    def stats(values: List[float]) -> Dict[str, float]:
+        ordered = sorted(values)
+        return {
+            "mean": sum(values) / len(values),
+            "median": ordered[len(ordered) // 2],
+            "p90": ordered[int(len(ordered) * 0.9)],
+        }
+
+    return {
+        "fix_count": len(errors["raw"]),
+        "error_stats": {name: stats(values)
+                        for name, values in errors.items()},
+        "zone_accuracy": zone_accuracy,
+        "ekf_beats_raw": (stats(errors["ekf"])["mean"]
+                          < stats(errors["raw"])["mean"]),
+        "filters_beat_raw_median": (
+            min(stats(errors["ekf"])["median"],
+                stats(errors["pf"])["median"])
+            <= stats(errors["raw"])["median"]),
+    }
+
+
+def render(result: Dict[str, object]) -> str:
+    """Render the estimator comparison table."""
+    rows = []
+    for name in ("raw", "ekf", "pf"):
+        stats = result["error_stats"][name]
+        rows.append((
+            name,
+            "{:.2f}".format(stats["mean"]),
+            "{:.2f}".format(stats["median"]),
+            "{:.2f}".format(stats["p90"]),
+            "{:.1%}".format(result["zone_accuracy"][name]),
+        ))
+    return render_table(
+        ("estimator", "mean err (m)", "median", "p90",
+         "zone time correct"), rows)

@@ -1,0 +1,79 @@
+"""Run every experiment and assemble the full report.
+
+``python -m repro.experiments.runner`` prints the complete
+paper-vs-measured report (the source of EXPERIMENTS.md); ``run_all``
+returns the structured results for programmatic use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments import (
+    ablations,
+    dataset_stats,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    table1,
+)
+from repro.louvre.space import LouvreSpace
+
+#: Experiment registry: id → (title, module).
+EXPERIMENTS = (
+    ("T1", "Table 1 — terminology correspondence", table1),
+    ("F1", "Figure 1 — 2-level hierarchical graph (Denon)", fig1),
+    ("F2", "Figure 2 — core layer hierarchy", fig2),
+    ("F3", "Figure 3 — ground-floor detection choropleth", fig3),
+    ("F4", "Figure 4 — RoI coverage hypothesis", fig4),
+    ("F5", "Figure 5 — overlapping episodes", fig5),
+    ("F6", "Figure 6 — Zone 60888 inference", fig6),
+    ("S41", "Section 4.1 — dataset statistics", dataset_stats),
+    ("ABL", "Ablations A1–A3", ablations),
+)
+
+#: Experiments whose run() accepts a shared LouvreSpace.
+_TAKES_SPACE = {"F2", "F3", "F4", "F6", "S41", "ABL"}
+
+
+def run_all(scale: float = 1.0) -> Dict[str, Dict[str, object]]:
+    """Execute every experiment; returns id → result dict.
+
+    Args:
+        scale: corpus scale for the data-heavy experiments (1.0 is the
+            full paper-sized corpus; tests use smaller values).
+    """
+    space = LouvreSpace()
+    results: Dict[str, Dict[str, object]] = {}
+    for exp_id, _, module in EXPERIMENTS:
+        kwargs: Dict[str, object] = {}
+        if exp_id in _TAKES_SPACE:
+            kwargs["space"] = space
+        if exp_id in ("F3", "S41"):
+            kwargs["scale"] = scale
+        results[exp_id] = module.run(**kwargs)
+    return results
+
+
+def render_report(results: Dict[str, Dict[str, object]]) -> str:
+    """Render all experiment reports as one document."""
+    sections = []
+    for exp_id, title, module in EXPERIMENTS:
+        if exp_id not in results:
+            continue
+        body = module.render(results[exp_id])
+        sections.append("## {} — {}\n\n{}".format(exp_id, title, body))
+    return "\n\n".join(sections)
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    """CLI entry point: run everything at full scale and print."""
+    results = run_all(scale=1.0)
+    print(render_report(results))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,37 @@
+"""Tiny text-table renderer shared by the experiment modules."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned, pipe-separated text table."""
+    cells = [[str(h) for h in headers]]
+    cells.extend([str(value) for value in row] for row in rows)
+    widths = [max(len(row[col]) for row in cells)
+              for col in range(len(headers))]
+
+    def line(row: Sequence[str]) -> str:
+        return " | ".join(value.ljust(width)
+                          for value, width in zip(row, widths))
+
+    out: List[str] = [line(cells[0])]
+    out.append("-+-".join("-" * width for width in widths))
+    out.extend(line(row) for row in cells[1:])
+    return "\n".join(out)
+
+
+def render_bar_chart(labels: Sequence[str], values: Sequence[float],
+                     width: int = 40) -> str:
+    """Render a horizontal ASCII bar chart (the choropleth analogue)."""
+    peak = max(values) if values else 1.0
+    label_width = max((len(label) for label in labels), default=0)
+    lines: List[str] = []
+    for label, value in zip(labels, values):
+        bar = "█" * max(1, int(round(width * value / peak))) \
+            if value > 0 else ""
+        lines.append("{}  {} {}".format(
+            label.ljust(label_width), bar, value))
+    return "\n".join(lines)

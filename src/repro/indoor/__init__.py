@@ -1,0 +1,112 @@
+"""IndoorGML-compatible indoor space modelling (Sections 2.1 and 3.2).
+
+The paper represents a 2D multi-floor ("2.5D") indoor space as a layered
+multigraph ``G = (V, E)`` whose layers are directed accessibility
+Node-Relation Graphs (NRGs) and whose inter-layer "joint" edges carry
+binary topological relations.  This package implements that model:
+
+``repro.indoor.cells``
+    the primal space: cells (rooms, zones, RoIs...) and cell boundaries
+    (walls, doors, stairs...), grouped into per-layer cell spaces.
+``repro.indoor.dual``
+    the Poincaré duality mapping of Table 1: cells → nodes, boundaries →
+    edges, producing adjacency / connectivity / accessibility NRGs.
+``repro.indoor.nrg``
+    the Node-Relation Graph itself — a directed multigraph.
+``repro.indoor.multilayer``
+    the Multi-Layered Space Model: layers + directed joint edges.
+``repro.indoor.hierarchy``
+    the paper's static core layer hierarchy (Building Complex → Building
+    → Floor → Room → RoI) with its Section 3.2 validation rules, and
+    location lifting across granularities.
+``repro.indoor.coverage``
+    the full-coverage hypothesis analysis of Section 4.2 / Figure 4.
+``repro.indoor.indoorgml_io``
+    JSON import/export of layered indoor graphs.
+"""
+
+from repro.indoor.cells import (
+    BoundaryKind,
+    Cell,
+    CellBoundary,
+    CellSpace,
+)
+from repro.indoor.nrg import (
+    EdgeKind,
+    NodeRelationGraph,
+    NRGEdge,
+)
+from repro.indoor.dual import (
+    derive_accessibility_nrg,
+    derive_adjacency_nrg,
+    derive_connectivity_nrg,
+)
+from repro.indoor.multilayer import (
+    JointEdge,
+    LayeredIndoorGraph,
+)
+from repro.indoor.hierarchy import (
+    CORE_LAYER_ROLES,
+    LayerHierarchy,
+    LayerRole,
+)
+from repro.indoor.coverage import (
+    CoverageReport,
+    coverage_ratio,
+    layer_coverage_report,
+)
+from repro.indoor.ontology import (
+    CellConceptMapping,
+    Concept,
+    Ontology,
+    cidoc_core,
+)
+from repro.indoor.navigation import (
+    Route,
+    RoutePlanner,
+    UnreachableError,
+    plan_hierarchical,
+    route_instructions,
+)
+from repro.indoor.partitioning import (
+    SubdivisionResult,
+    subdivide,
+    too_big,
+    too_connected,
+    too_many_properties,
+)
+
+__all__ = [
+    "BoundaryKind",
+    "Cell",
+    "CellBoundary",
+    "CellSpace",
+    "EdgeKind",
+    "NodeRelationGraph",
+    "NRGEdge",
+    "derive_accessibility_nrg",
+    "derive_adjacency_nrg",
+    "derive_connectivity_nrg",
+    "JointEdge",
+    "LayeredIndoorGraph",
+    "CORE_LAYER_ROLES",
+    "LayerHierarchy",
+    "LayerRole",
+    "CoverageReport",
+    "coverage_ratio",
+    "layer_coverage_report",
+    "CellConceptMapping",
+    "Concept",
+    "Ontology",
+    "cidoc_core",
+    "Route",
+    "RoutePlanner",
+    "UnreachableError",
+    "plan_hierarchical",
+    "route_instructions",
+    "SubdivisionResult",
+    "subdivide",
+    "too_big",
+    "too_connected",
+    "too_many_properties",
+]

@@ -1,0 +1,333 @@
+"""Primal-space indoor entities: cells, boundaries, cell spaces.
+
+IndoorGML's core module "considers an indoor space as a set of
+non-overlapping cells that represent its smallest organizational /
+structural units: S = {c1, c2, ..., cn}, ci ∩ cj = ∅" (Section 2.1).
+A :class:`CellSpace` is one such decomposition — in MLSM terms, the
+primal-space content of a single layer.
+
+Cells may carry geometry (a simple polygon plus a floor index, giving
+the paper's 2.5D view) or be purely symbolic; semantic information lives
+in the cell's ``semantic_class`` and free-form ``attributes``, which is
+how the paper encodes "static semantic information about the regions ...
+through node classes and attributes" (Section 3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.spatial.geometry import Point, Polygon
+from repro.spatial.topology import TopologicalRelation, relate
+
+
+class BoundaryKind(enum.Enum):
+    """The physical/semantic nature of a shared cell boundary.
+
+    The kind decides which derived NRGs an edge appears in: a ``WALL``
+    yields only an adjacency edge, anything with an opening yields a
+    connectivity edge, and a traversable opening yields accessibility
+    edges (Section 2.1: "Connectivity suggests that there exists an
+    opening in the common boundary of two cells.  Accessibility
+    additionally suggests that the opening is traversable").
+    """
+
+    WALL = "wall"
+    DOOR = "door"
+    OPENING = "opening"
+    STAIRCASE = "staircase"
+    ELEVATOR = "elevator"
+    RAMP = "ramp"
+    CHECKPOINT = "checkpoint"
+    VIRTUAL = "virtual"
+
+    @property
+    def has_opening(self) -> bool:
+        """True when a moving object could in principle pass through."""
+        return self is not BoundaryKind.WALL
+
+    @property
+    def crosses_floors(self) -> bool:
+        """True for the vertical-transition boundary kinds."""
+        return self in (BoundaryKind.STAIRCASE, BoundaryKind.ELEVATOR,
+                        BoundaryKind.RAMP)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A cell of the indoor space — the paper's primary spatial primitive.
+
+    Attributes:
+        cell_id: unique identifier within the whole layered graph.
+        name: human-readable label (e.g. ``"Salle des États"``).
+        semantic_class: ontological class of the cell, e.g. ``"Room"``,
+            ``"Hall"``, ``"ThematicZone"``, ``"ExhibitRoI"``.
+        geometry: optional simple polygon footprint (primal space).
+        floor: optional integer floor index (e.g. ``-2`` .. ``2``); this
+            is the 2.5D component.
+        attributes: open-ended static semantic attributes (exhibition
+            theme, requires-separate-ticket, is-exit-zone, ...).
+    """
+
+    cell_id: str
+    name: str = ""
+    semantic_class: str = "Cell"
+    geometry: Optional[Polygon] = None
+    floor: Optional[int] = None
+    attributes: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.cell_id:
+            raise ValueError("cell_id must be a non-empty string")
+
+    def attribute(self, key: str, default: object = None) -> object:
+        """Look up a semantic attribute with a default."""
+        return self.attributes.get(key, default)
+
+    def has_geometry(self) -> bool:
+        """True when the cell has a polygon footprint."""
+        return self.geometry is not None
+
+    def representative_point(self) -> Point:
+        """A point strictly inside the cell footprint.
+
+        Raises:
+            ValueError: for a purely symbolic cell.
+        """
+        if self.geometry is None:
+            raise ValueError(
+                "cell {!r} has no geometry".format(self.cell_id))
+        return self.geometry.representative_point()
+
+
+@dataclass(frozen=True)
+class CellBoundary:
+    """A (potentially directed) boundary shared by two cells.
+
+    A boundary is the primal-space entity that dualises into an NRG edge
+    (Table 1 of the paper: "(cell) boundary → (intra-layer) edge →
+    transition").
+
+    Attributes:
+        boundary_id: unique identifier (e.g. ``"door012"``).
+        source: cell id on one side.
+        target: cell id on the other side.
+        kind: the :class:`BoundaryKind`.
+        bidirectional: when False, traversal is only permitted from
+            ``source`` to ``target`` — the paper's one-way "Salle des
+            États" rule (Section 3.2).
+        attributes: open-ended semantics (alarm probability, width, ...).
+    """
+
+    boundary_id: str
+    source: str
+    target: str
+    kind: BoundaryKind = BoundaryKind.DOOR
+    bidirectional: bool = True
+    attributes: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.boundary_id:
+            raise ValueError("boundary_id must be a non-empty string")
+        if self.source == self.target:
+            raise ValueError(
+                "boundary {!r} must join two distinct cells".format(
+                    self.boundary_id))
+
+    def joins(self, cell_a: str, cell_b: str) -> bool:
+        """True when the boundary joins the two given cells (any order)."""
+        return {self.source, self.target} == {cell_a, cell_b}
+
+    def allows(self, from_cell: str, to_cell: str) -> bool:
+        """True when traversal ``from_cell → to_cell`` is permitted."""
+        if not self.kind.has_opening:
+            return False
+        if self.source == from_cell and self.target == to_cell:
+            return True
+        if self.bidirectional and self.source == to_cell \
+                and self.target == from_cell:
+            return True
+        return False
+
+
+class DuplicateIdError(ValueError):
+    """Raised when a cell or boundary id is registered twice."""
+
+
+class OverlappingCellsError(ValueError):
+    """Raised when two same-layer cells violate ci ∩ cj = ∅."""
+
+
+class CellSpace:
+    """One decomposition of the indoor space (the cells of one layer).
+
+    Enforces IndoorGML's non-overlap invariant for cells that carry
+    geometry on the same floor: any pair must relate as ``disjoint`` or
+    ``meet``.  Purely symbolic cells are exempt (their consistency is
+    asserted by construction, e.g. thematic zones supplied by the museum
+    administration).
+    """
+
+    def __init__(self, name: str,
+                 validate_geometry: bool = True) -> None:
+        if not name:
+            raise ValueError("a CellSpace needs a non-empty name")
+        self.name = name
+        self._validate_geometry = validate_geometry
+        self._cells: Dict[str, Cell] = {}
+        self._boundaries: Dict[str, CellBoundary] = {}
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+    def add_cell(self, cell: Cell) -> Cell:
+        """Register a cell.
+
+        Raises:
+            DuplicateIdError: when the id is already present.
+            OverlappingCellsError: when geometric validation is on and
+                the new cell's interior intersects an existing same-floor
+                cell's interior.
+        """
+        if cell.cell_id in self._cells:
+            raise DuplicateIdError(
+                "cell id {!r} already in cell space {!r}".format(
+                    cell.cell_id, self.name))
+        if self._validate_geometry and cell.geometry is not None:
+            self._check_non_overlap(cell)
+        self._cells[cell.cell_id] = cell
+        return cell
+
+    def _check_non_overlap(self, new_cell: Cell) -> None:
+        for other in self._cells.values():
+            if other.geometry is None:
+                continue
+            if (other.floor is not None and new_cell.floor is not None
+                    and other.floor != new_cell.floor):
+                continue
+            relation = relate(new_cell.geometry, other.geometry)
+            if relation.implies_interior_intersection:
+                raise OverlappingCellsError(
+                    "cells {!r} and {!r} in layer {!r} are not "
+                    "interior-disjoint (relation: {})".format(
+                        new_cell.cell_id, other.cell_id, self.name,
+                        relation.value))
+
+    def add_boundary(self, boundary: CellBoundary) -> CellBoundary:
+        """Register a boundary between two already-registered cells.
+
+        Raises:
+            DuplicateIdError: when the id is already present.
+            KeyError: when either endpoint cell is unknown.
+        """
+        if boundary.boundary_id in self._boundaries:
+            raise DuplicateIdError(
+                "boundary id {!r} already in cell space {!r}".format(
+                    boundary.boundary_id, self.name))
+        if boundary.source not in self._cells:
+            raise KeyError("unknown source cell {!r}".format(boundary.source))
+        if boundary.target not in self._cells:
+            raise KeyError("unknown target cell {!r}".format(boundary.target))
+        self._boundaries[boundary.boundary_id] = boundary
+        return boundary
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def cell(self, cell_id: str) -> Cell:
+        """Fetch a cell by id (raises ``KeyError`` when absent)."""
+        return self._cells[cell_id]
+
+    def boundary(self, boundary_id: str) -> CellBoundary:
+        """Fetch a boundary by id (raises ``KeyError`` when absent)."""
+        return self._boundaries[boundary_id]
+
+    def __contains__(self, cell_id: str) -> bool:
+        return cell_id in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self._cells.values())
+
+    @property
+    def cells(self) -> Tuple[Cell, ...]:
+        """All cells, in insertion order."""
+        return tuple(self._cells.values())
+
+    @property
+    def boundaries(self) -> Tuple[CellBoundary, ...]:
+        """All boundaries, in insertion order."""
+        return tuple(self._boundaries.values())
+
+    def cells_on_floor(self, floor: int) -> List[Cell]:
+        """All cells with the given floor index."""
+        return [c for c in self._cells.values() if c.floor == floor]
+
+    def cells_of_class(self, semantic_class: str) -> List[Cell]:
+        """All cells with the given semantic class."""
+        return [c for c in self._cells.values()
+                if c.semantic_class == semantic_class]
+
+    def boundaries_between(self, cell_a: str,
+                           cell_b: str) -> List[CellBoundary]:
+        """All boundaries joining the two cells, in insertion order.
+
+        There may be several — the NRG is a multigraph precisely because
+        two rooms may share more than one door.
+        """
+        return [b for b in self._boundaries.values()
+                if b.joins(cell_a, cell_b)]
+
+    def locate_point(self, point: Point,
+                     floor: Optional[int] = None) -> Optional[Cell]:
+        """Find the cell whose footprint contains ``point``.
+
+        Boundary points resolve to the first matching cell in insertion
+        order.  Returns ``None`` when no cell contains the point (the
+        point is in a sensor-coverage gap, in paper terms).
+        """
+        for cell in self._cells.values():
+            if cell.geometry is None:
+                continue
+            if floor is not None and cell.floor is not None \
+                    and cell.floor != floor:
+                continue
+            if cell.geometry.contains_point(point):
+                return cell
+        return None
+
+    # ------------------------------------------------------------------
+    # derived relations
+    # ------------------------------------------------------------------
+    def geometric_relation(self, cell_a: str,
+                           cell_b: str) -> TopologicalRelation:
+        """Topological relation between two cells' footprints.
+
+        Raises:
+            ValueError: when either cell lacks geometry.
+        """
+        a = self.cell(cell_a)
+        b = self.cell(cell_b)
+        if a.geometry is None or b.geometry is None:
+            raise ValueError("both cells need geometry to be related")
+        return relate(a.geometry, b.geometry)
+
+    def adjacent_pairs(self) -> List[Tuple[str, str]]:
+        """All unordered same-floor cell pairs whose footprints meet.
+
+        This is the geometric ground truth behind the adjacency NRG.
+        """
+        pairs: List[Tuple[str, str]] = []
+        cells = [c for c in self._cells.values() if c.geometry is not None]
+        for i, a in enumerate(cells):
+            for b in cells[i + 1:]:
+                if (a.floor is not None and b.floor is not None
+                        and a.floor != b.floor):
+                    continue
+                if relate(a.geometry, b.geometry) is TopologicalRelation.MEET:
+                    pairs.append((a.cell_id, b.cell_id))
+        return pairs

@@ -1,0 +1,132 @@
+"""Full-coverage hypothesis analysis (Section 4.2 / Figure 4).
+
+    "an interesting space modeling decision concerns whether or not to
+    assume that the spatial region represented by a node in layer i+1
+    is fully covered by the union of the spatial regions represented by
+    its child nodes in layer i. ... the IndoorGML standard and related
+    works seem to adhere to a full-coverage hypothesis. ... However, it
+    is often an unrealistic assumption.  In Figure 4 for instance, the
+    RoIs of the displayed exhibits do not completely cover their room's
+    surface."
+
+This module quantifies that: for every parent node, the fraction of its
+footprint covered by its children's footprints.  Under the SITM the
+Room layer fully covers its Floor, but the RoI layer does **not** fully
+cover its rooms — which experiment F4 reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.indoor.hierarchy import LayerHierarchy
+from repro.spatial.geometry import Polygon, intersection_area
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Coverage of one parent node by its children.
+
+    Attributes:
+        parent: parent node id.
+        layer: the parent's layer name.
+        child_count: number of children with geometry.
+        parent_area: the parent footprint area.
+        covered_area: total child footprint area clipped to the parent.
+        ratio: ``covered_area / parent_area`` (0 when the parent has no
+            area).
+    """
+
+    parent: str
+    layer: str
+    child_count: int
+    parent_area: float
+    covered_area: float
+    ratio: float
+
+    @property
+    def fully_covered(self) -> bool:
+        """True when the children cover (at least) 99.9% of the parent.
+
+        The small tolerance absorbs clipping epsilon, not modelling
+        slack.
+        """
+        return self.ratio >= 0.999
+
+
+def coverage_ratio(parent_geometry: Polygon,
+                   child_geometries: List[Polygon]) -> float:
+    """Fraction of ``parent_geometry`` covered by the children.
+
+    Children are assumed pairwise interior-disjoint (the IndoorGML cell
+    invariant within a layer), so their clipped areas add up without
+    double counting.  The parent must be convex (rooms and zones in the
+    synthetic floorplan are rectangles); this is asserted by
+    ``intersection_area``.
+    """
+    parent_area = parent_geometry.area()
+    if parent_area <= 0:
+        return 0.0
+    covered = sum(intersection_area(child, parent_geometry)
+                  for child in child_geometries)
+    return min(1.0, covered / parent_area)
+
+
+def node_coverage(hierarchy: LayerHierarchy,
+                  parent: str) -> Optional[CoverageReport]:
+    """Coverage report for one parent node, or ``None`` without geometry."""
+    graph = hierarchy.graph
+    layer_name = graph.layer_of(parent)
+    if not graph.has_space(layer_name):
+        return None
+    parent_cell = graph.space(layer_name).cell(parent)
+    if parent_cell.geometry is None:
+        return None
+    child_polygons: List[Polygon] = []
+    child_count = 0
+    for child in hierarchy.children(parent):
+        child_layer = graph.layer_of(child)
+        if not graph.has_space(child_layer):
+            continue
+        child_cell = graph.space(child_layer).cell(child)
+        if child_cell.geometry is None:
+            continue
+        child_count += 1
+        child_polygons.append(child_cell.geometry)
+    ratio = coverage_ratio(parent_cell.geometry, child_polygons)
+    covered = ratio * parent_cell.geometry.area()
+    return CoverageReport(parent, layer_name, child_count,
+                          parent_cell.geometry.area(), covered, ratio)
+
+
+def layer_coverage_report(hierarchy: LayerHierarchy,
+                          parent_layer: str) -> List[CoverageReport]:
+    """Coverage reports for every geometric node of ``parent_layer``.
+
+    Sorted by ascending ratio so the least-covered parents (the
+    Figure 4 situation) come first.
+    """
+    graph = hierarchy.graph
+    reports: List[CoverageReport] = []
+    for node in graph.layer(parent_layer).nodes:
+        report = node_coverage(hierarchy, node)
+        if report is not None:
+            reports.append(report)
+    return sorted(reports, key=lambda r: r.ratio)
+
+
+def coverage_summary(reports: List[CoverageReport]) -> Dict[str, float]:
+    """Aggregate statistics over a list of coverage reports."""
+    if not reports:
+        return {"count": 0, "mean_ratio": 0.0, "min_ratio": 0.0,
+                "max_ratio": 0.0, "fully_covered_share": 0.0}
+    ratios = [r.ratio for r in reports]
+    fully = sum(1 for r in reports if r.fully_covered)
+    return {
+        "count": len(reports),
+        "mean_ratio": sum(ratios) / len(ratios),
+        "min_ratio": min(ratios),
+        "max_ratio": max(ratios),
+        "fully_covered_share": fully / len(reports),
+    }

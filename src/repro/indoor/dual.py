@@ -1,0 +1,125 @@
+"""Poincaré duality: primal cell spaces → dual Node-Relation Graphs.
+
+"The Poincaré duality provides the means of mapping the physical indoor
+space (embedded in a 2D/3D Euclidean primal space) into an adjacency NRG
+(in the corresponding dual space).  Therefore, a cell (e.g. room)
+becomes a node and a cell boundary (e.g. a thin wall) becomes an edge"
+(Section 2.1).
+
+Three derivations are offered, one per NRG variant:
+
+* :func:`derive_adjacency_nrg` — from geometry (cells that *meet*) and
+  from declared boundaries of any kind;
+* :func:`derive_connectivity_nrg` — from boundaries with an opening;
+* :func:`derive_accessibility_nrg` — from traversable boundaries,
+  honouring their direction flags (directed, per Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+from repro.indoor.cells import CellSpace
+from repro.indoor.nrg import EdgeKind, NodeRelationGraph, NRGEdge
+
+
+def derive_adjacency_nrg(space: CellSpace,
+                         use_geometry: bool = True) -> NodeRelationGraph:
+    """Build the adjacency NRG of a cell space.
+
+    An adjacency edge states that two cells share a common boundary —
+    the symmetric "meet" relation.  Edges come from two sources:
+
+    * every declared :class:`~repro.indoor.cells.CellBoundary`
+      (walls included — a wall still witnesses adjacency);
+    * optionally, geometric *meet* detection between same-floor
+      footprints, which catches shared walls nobody declared.
+
+    The result is symmetric: each adjacency is stored as a directed edge
+    pair.
+    """
+    graph = NodeRelationGraph(space.name + ":adjacency", EdgeKind.ADJACENCY)
+    for cell in space:
+        graph.add_node(cell.cell_id)
+    linked: Set[Tuple[str, str]] = set()
+    for boundary in space.boundaries:
+        _add_symmetric(graph, boundary.source, boundary.target,
+                       boundary.boundary_id, linked)
+    if use_geometry:
+        for cell_a, cell_b in space.adjacent_pairs():
+            _add_symmetric(graph, cell_a, cell_b, None, linked)
+    return graph
+
+
+def derive_connectivity_nrg(space: CellSpace) -> NodeRelationGraph:
+    """Build the connectivity NRG of a cell space.
+
+    A connectivity edge requires "an opening in the common boundary of
+    two cells" (Section 2.1) — i.e. any boundary kind except ``WALL``.
+    Connectivity is symmetric regardless of traversal direction rules:
+    a one-way door is still an opening.
+    """
+    graph = NodeRelationGraph(space.name + ":connectivity",
+                              EdgeKind.CONNECTIVITY)
+    for cell in space:
+        graph.add_node(cell.cell_id)
+    linked: Set[Tuple[str, str]] = set()
+    for boundary in space.boundaries:
+        if not boundary.kind.has_opening:
+            continue
+        _add_symmetric(graph, boundary.source, boundary.target,
+                       boundary.boundary_id, linked)
+    return graph
+
+
+def derive_accessibility_nrg(space: CellSpace) -> NodeRelationGraph:
+    """Build the **directed** accessibility NRG of a cell space.
+
+    An accessibility edge requires the opening to be traversable by the
+    moving object, in the stated direction.  One-way boundaries
+    (``bidirectional=False``) yield a single directed edge — this is how
+    the Salle des États entry prohibition of Section 3.2 is modelled.
+
+    Parallel boundaries yield parallel edges (multigraph), so the
+    specific transition ``e_i`` of Definition 3.2 stays identifiable.
+    """
+    graph = NodeRelationGraph(space.name + ":accessibility",
+                              EdgeKind.ACCESSIBILITY)
+    for cell in space:
+        graph.add_node(cell.cell_id)
+    for boundary in space.boundaries:
+        if not boundary.kind.has_opening:
+            continue
+        graph.add_edge(NRGEdge(
+            edge_id=boundary.boundary_id + ":fwd",
+            source=boundary.source,
+            target=boundary.target,
+            kind=EdgeKind.ACCESSIBILITY,
+            boundary_id=boundary.boundary_id,
+            attributes=boundary.attributes,
+        ))
+        if boundary.bidirectional:
+            graph.add_edge(NRGEdge(
+                edge_id=boundary.boundary_id + ":rev",
+                source=boundary.target,
+                target=boundary.source,
+                kind=EdgeKind.ACCESSIBILITY,
+                boundary_id=boundary.boundary_id,
+                attributes=boundary.attributes,
+            ))
+    return graph
+
+
+def _add_symmetric(graph: NodeRelationGraph, cell_a: str, cell_b: str,
+                   boundary_id: Optional[str],
+                   linked: Set[Tuple[str, str]]) -> None:
+    """Add the edge pair for a symmetric relation, deduplicating pairs."""
+    key = (min(cell_a, cell_b), max(cell_a, cell_b))
+    if key in linked:
+        return
+    linked.add(key)
+    prefix = boundary_id or "adj:{}|{}".format(*key)
+    graph.add_edge(NRGEdge(prefix + ":fwd", cell_a, cell_b, graph.kind,
+                           boundary_id))
+    graph.add_edge(NRGEdge(prefix + ":rev", cell_b, cell_a, graph.kind,
+                           boundary_id))

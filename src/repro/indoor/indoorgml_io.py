@@ -1,0 +1,200 @@
+"""JSON import/export of layered indoor graphs.
+
+IndoorGML is an XML/GML exchange format; this module provides a JSON
+equivalent carrying the same information content for the subset of the
+standard the SITM uses (cell spaces, NRGs, MLSM layers, joint edges).
+Round-tripping is lossless for everything the model reasons over.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.indoor.cells import (
+    BoundaryKind,
+    Cell,
+    CellBoundary,
+    CellSpace,
+)
+from repro.indoor.multilayer import JointEdge, LayeredIndoorGraph
+from repro.indoor.nrg import EdgeKind, NodeRelationGraph, NRGEdge
+from repro.spatial.geometry import Point, Polygon
+from repro.spatial.topology import TopologicalRelation
+
+#: Schema identifier embedded in every document.
+SCHEMA = "repro-sitm-indoorgml/1"
+
+
+def _polygon_to_json(polygon: Optional[Polygon]) -> Optional[List[List[float]]]:
+    if polygon is None:
+        return None
+    return [[p.x, p.y] for p in polygon.vertices]
+
+
+def _polygon_from_json(data: Optional[List[List[float]]]) -> Optional[Polygon]:
+    if data is None:
+        return None
+    return Polygon([Point(x, y) for x, y in data])
+
+
+def cell_to_dict(cell: Cell) -> Dict:
+    """Serialise one cell."""
+    return {
+        "cell_id": cell.cell_id,
+        "name": cell.name,
+        "semantic_class": cell.semantic_class,
+        "geometry": _polygon_to_json(cell.geometry),
+        "floor": cell.floor,
+        "attributes": dict(cell.attributes),
+    }
+
+
+def cell_from_dict(data: Dict) -> Cell:
+    """Deserialise one cell."""
+    return Cell(
+        cell_id=data["cell_id"],
+        name=data.get("name", ""),
+        semantic_class=data.get("semantic_class", "Cell"),
+        geometry=_polygon_from_json(data.get("geometry")),
+        floor=data.get("floor"),
+        attributes=data.get("attributes", {}),
+    )
+
+
+def boundary_to_dict(boundary: CellBoundary) -> Dict:
+    """Serialise one boundary."""
+    return {
+        "boundary_id": boundary.boundary_id,
+        "source": boundary.source,
+        "target": boundary.target,
+        "kind": boundary.kind.value,
+        "bidirectional": boundary.bidirectional,
+        "attributes": dict(boundary.attributes),
+    }
+
+
+def boundary_from_dict(data: Dict) -> CellBoundary:
+    """Deserialise one boundary."""
+    return CellBoundary(
+        boundary_id=data["boundary_id"],
+        source=data["source"],
+        target=data["target"],
+        kind=BoundaryKind(data.get("kind", "door")),
+        bidirectional=data.get("bidirectional", True),
+        attributes=data.get("attributes", {}),
+    )
+
+
+def graph_to_dict(graph: LayeredIndoorGraph) -> Dict:
+    """Serialise a full layered indoor graph to plain data."""
+    layers = []
+    for layer_name in graph.layer_names:
+        nrg = graph.layer(layer_name)
+        layer_doc: Dict = {
+            "name": layer_name,
+            "kind": nrg.kind.value,
+            "nodes": list(nrg.nodes),
+            "edges": [
+                {
+                    "edge_id": e.edge_id,
+                    "source": e.source,
+                    "target": e.target,
+                    "boundary_id": e.boundary_id,
+                    "weight": e.weight,
+                    "attributes": dict(e.attributes),
+                }
+                for e in nrg.edges
+            ],
+        }
+        if graph.has_space(layer_name):
+            space = graph.space(layer_name)
+            layer_doc["cells"] = [cell_to_dict(c) for c in space.cells]
+            layer_doc["boundaries"] = [boundary_to_dict(b)
+                                       for b in space.boundaries]
+        layers.append(layer_doc)
+    return {
+        "schema": SCHEMA,
+        "name": graph.name,
+        "layers": layers,
+        "joint_edges": [
+            {
+                "source_layer": j.source_layer,
+                "source": j.source,
+                "target_layer": j.target_layer,
+                "target": j.target,
+                "relation": j.relation.value,
+                "attributes": dict(j.attributes),
+            }
+            for j in graph.joint_edges
+        ],
+    }
+
+
+def graph_from_dict(data: Dict) -> LayeredIndoorGraph:
+    """Deserialise a layered indoor graph.
+
+    Raises:
+        ValueError: on schema mismatch.
+    """
+    if data.get("schema") != SCHEMA:
+        raise ValueError("unsupported schema {!r}".format(data.get("schema")))
+    graph = LayeredIndoorGraph(data.get("name", "indoor-space"))
+    for layer_doc in data["layers"]:
+        nrg = NodeRelationGraph(layer_doc["name"],
+                                EdgeKind(layer_doc.get("kind",
+                                                       "accessibility")))
+        for node in layer_doc["nodes"]:
+            nrg.add_node(node)
+        for edge_doc in layer_doc["edges"]:
+            nrg.add_edge(NRGEdge(
+                edge_id=edge_doc["edge_id"],
+                source=edge_doc["source"],
+                target=edge_doc["target"],
+                kind=nrg.kind,
+                boundary_id=edge_doc.get("boundary_id"),
+                weight=edge_doc.get("weight", 1.0),
+                attributes=edge_doc.get("attributes", {}),
+            ))
+        space = None
+        if "cells" in layer_doc:
+            # Geometry was validated at authoring time; skip the O(n^2)
+            # overlap re-check on load.
+            space = CellSpace(layer_doc["name"], validate_geometry=False)
+            for cell_doc in layer_doc["cells"]:
+                space.add_cell(cell_from_dict(cell_doc))
+            for boundary_doc in layer_doc.get("boundaries", []):
+                space.add_boundary(boundary_from_dict(boundary_doc))
+        graph.add_layer(nrg, space)
+    for joint_doc in data.get("joint_edges", []):
+        graph.add_joint_edge(JointEdge(
+            source_layer=joint_doc["source_layer"],
+            source=joint_doc["source"],
+            target_layer=joint_doc["target_layer"],
+            target=joint_doc["target"],
+            relation=TopologicalRelation(joint_doc["relation"]),
+            attributes=joint_doc.get("attributes", {}),
+        ), add_converse=False)
+    return graph
+
+
+def dumps(graph: LayeredIndoorGraph, indent: Optional[int] = None) -> str:
+    """Serialise a layered indoor graph to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent)
+
+
+def loads(text: str) -> LayeredIndoorGraph:
+    """Deserialise a layered indoor graph from a JSON string."""
+    return graph_from_dict(json.loads(text))
+
+
+def save(graph: LayeredIndoorGraph, path: str) -> None:
+    """Write a layered indoor graph to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(graph_to_dict(graph), handle)
+
+
+def load(path: str) -> LayeredIndoorGraph:
+    """Read a layered indoor graph from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return graph_from_dict(json.load(handle))

@@ -1,0 +1,393 @@
+"""The Multi-Layered Space Model: layers of NRGs plus joint edges.
+
+Section 3.2 of the paper:
+
+    "we represent a 2D multiple floor (i.e 2.5D) indoor space as a
+    layered multigraph G = (V, E) where V = ⋃ Vi and
+    E = ⋃ Ei_acc ∪ E_top"
+
+Each layer is a directed accessibility NRG over its own cell
+decomposition; a **joint edge** e' ∈ E_top ⊆ Vi × Vj (i ≠ j) carries a
+binary topological relation between cells of *different* layers.  Joint
+edges are directed because "'contains' and 'covers' can not" be thought
+of as symmetric.  Since intra-layer and inter-layer edges are always of
+different types, G is an edge-coloured multigraph mappable to a
+multilayer network (Kivelä et al., reference [18] of the paper) — see
+:meth:`LayeredIndoorGraph.to_networkx`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.indoor.cells import Cell, CellSpace
+from repro.indoor.nrg import EdgeKind, NodeRelationGraph
+from repro.spatial.topology import (
+    JOINT_EDGE_RELATIONS,
+    TopologicalRelation,
+    relate,
+)
+
+
+@dataclass(frozen=True)
+class JointEdge:
+    """A directed inter-layer edge carrying a topological relation.
+
+    ``relation`` reads source-to-target: a joint edge
+    ``(floor_1, room_A, contains)`` states that the *floor* cell
+    contains the *room* cell.
+
+    "joint edges represent potential locations where a physical object
+    might actually reside ... joint edges express all the valid active
+    state combinations (called 'overall' states)" (Section 2.1).
+    """
+
+    source_layer: str
+    source: str
+    target_layer: str
+    target: str
+    relation: TopologicalRelation
+    attributes: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.source_layer == self.target_layer:
+            raise ValueError(
+                "joint edges must connect different layers, got {!r} "
+                "twice".format(self.source_layer))
+        if self.relation not in JOINT_EDGE_RELATIONS:
+            raise ValueError(
+                "joint edges carry one of {}, not {!r} (disjoint/meet "
+                "cells admit no overall state)".format(
+                    sorted(r.value for r in JOINT_EDGE_RELATIONS),
+                    self.relation.value))
+
+    def converse(self) -> "JointEdge":
+        """The same fact read in the opposite direction."""
+        return JointEdge(self.target_layer, self.target,
+                         self.source_layer, self.source,
+                         self.relation.converse(), self.attributes)
+
+
+class LayerConsistencyError(ValueError):
+    """Raised when a layered graph violates an MLSM invariant."""
+
+
+class LayeredIndoorGraph:
+    """The SITM indoor space representation: G = (V, E).
+
+    Invariants enforced (Section 3.2):
+
+    * each node belongs to exactly one layer (``⋂ Vi = ∅``) — a node
+      relevant to several layers must be replicated and linked with
+      ``equal`` joint edges;
+    * intra-layer edges live in per-layer accessibility NRGs;
+    * joint edges connect different layers and carry one of the six
+      non-empty-intersection relations.
+    """
+
+    def __init__(self, name: str = "indoor-space") -> None:
+        self.name = name
+        self._layers: Dict[str, NodeRelationGraph] = {}
+        self._spaces: Dict[str, CellSpace] = {}
+        self._node_layer: Dict[str, str] = {}
+        self._joint_edges: List[JointEdge] = []
+        self._joint_out: Dict[str, List[int]] = {}
+        self._joint_in: Dict[str, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # layers
+    # ------------------------------------------------------------------
+    def add_layer(self, graph: NodeRelationGraph,
+                  space: Optional[CellSpace] = None) -> None:
+        """Register a layer given its (accessibility) NRG.
+
+        Args:
+            graph: the layer's NRG; its name becomes the layer name.
+            space: optional primal cell space backing the NRG, needed
+                for geometry-based joint-edge derivation.
+
+        Raises:
+            LayerConsistencyError: on duplicate layer names or node ids
+                already claimed by another layer.
+        """
+        layer_name = graph.name
+        if layer_name in self._layers:
+            raise LayerConsistencyError(
+                "layer {!r} already registered".format(layer_name))
+        for node in graph.nodes:
+            owner = self._node_layer.get(node)
+            if owner is not None:
+                raise LayerConsistencyError(
+                    "node {!r} already belongs to layer {!r}; MLSM "
+                    "requires disjoint node sets (replicate the node and "
+                    "link the copies with 'equal' joint edges)".format(
+                        node, owner))
+        self._layers[layer_name] = graph
+        if space is not None:
+            self._spaces[layer_name] = space
+        for node in graph.nodes:
+            self._node_layer[node] = layer_name
+
+    @property
+    def layer_names(self) -> Tuple[str, ...]:
+        """Layer names in registration order."""
+        return tuple(self._layers)
+
+    def layer(self, name: str) -> NodeRelationGraph:
+        """Fetch a layer's NRG by name."""
+        return self._layers[name]
+
+    def space(self, name: str) -> CellSpace:
+        """Fetch a layer's primal cell space by name."""
+        return self._spaces[name]
+
+    def has_space(self, name: str) -> bool:
+        """True when the layer has a registered cell space."""
+        return name in self._spaces
+
+    def layer_of(self, node: str) -> str:
+        """The layer a node belongs to.
+
+        Raises:
+            KeyError: for unknown nodes.
+        """
+        return self._node_layer[node]
+
+    def cell(self, node: str) -> Cell:
+        """The primal cell behind a node, when its layer has a space."""
+        layer_name = self.layer_of(node)
+        return self._spaces[layer_name].cell(node)
+
+    @property
+    def node_count(self) -> int:
+        """Total nodes across all layers."""
+        return len(self._node_layer)
+
+    @property
+    def intra_edge_count(self) -> int:
+        """Total intra-layer (accessibility) edges across all layers."""
+        return sum(g.transition_count() for g in self._layers.values())
+
+    # ------------------------------------------------------------------
+    # joint edges
+    # ------------------------------------------------------------------
+    def add_joint_edge(self, edge: JointEdge,
+                       add_converse: bool = True) -> JointEdge:
+        """Register a joint edge (and, by default, its converse).
+
+        Raises:
+            LayerConsistencyError: when an endpoint is unknown or lies
+                in a different layer than stated.
+        """
+        self._check_endpoint(edge.source_layer, edge.source)
+        self._check_endpoint(edge.target_layer, edge.target)
+        self._store_joint(edge)
+        if add_converse:
+            self._store_joint(edge.converse())
+        return edge
+
+    def _check_endpoint(self, layer_name: str, node: str) -> None:
+        if layer_name not in self._layers:
+            raise LayerConsistencyError(
+                "unknown layer {!r}".format(layer_name))
+        actual = self._node_layer.get(node)
+        if actual != layer_name:
+            raise LayerConsistencyError(
+                "node {!r} is in layer {!r}, not {!r}".format(
+                    node, actual, layer_name))
+
+    def _store_joint(self, edge: JointEdge) -> None:
+        index = len(self._joint_edges)
+        self._joint_edges.append(edge)
+        self._joint_out.setdefault(edge.source, []).append(index)
+        self._joint_in.setdefault(edge.target, []).append(index)
+
+    @property
+    def joint_edges(self) -> Tuple[JointEdge, ...]:
+        """All joint edges (converses included), in insertion order."""
+        return tuple(self._joint_edges)
+
+    @property
+    def joint_edge_count(self) -> int:
+        """Number of stored joint edges (converses included)."""
+        return len(self._joint_edges)
+
+    def joint_edges_from(self, node: str) -> List[JointEdge]:
+        """Joint edges whose source is ``node``."""
+        return [self._joint_edges[i] for i in self._joint_out.get(node, [])]
+
+    def joint_edges_into(self, node: str) -> List[JointEdge]:
+        """Joint edges whose target is ``node``."""
+        return [self._joint_edges[i] for i in self._joint_in.get(node, [])]
+
+    def joint_partners(self, node: str,
+                       layer: Optional[str] = None,
+                       relations: Optional[Iterable[TopologicalRelation]]
+                       = None) -> List[str]:
+        """Nodes of other layers joint-linked to ``node``.
+
+        Args:
+            node: the query node.
+            layer: restrict partners to this layer.
+            relations: restrict to these relations (read node→partner).
+
+        These are the "valid active state combinations": if a visitor is
+        active at ``node``, it may simultaneously be active only at one
+        of the returned partners in the partner layer (Figure 1's
+        hall-5 / 5a-5b-5c example).
+        """
+        wanted = None if relations is None else set(relations)
+        partners: List[str] = []
+        for edge in self.joint_edges_from(node):
+            if layer is not None and edge.target_layer != layer:
+                continue
+            if wanted is not None and edge.relation not in wanted:
+                continue
+            partners.append(edge.target)
+        return partners
+
+    def derive_joint_edges_from_geometry(
+            self, layer_a: str, layer_b: str) -> List[JointEdge]:
+        """Derive joint edges by pairwise cell intersection.
+
+        "joint edges ... are derived by pairwise cell intersection"
+        (Section 2.1).  Cells of the two layers are related geometrically
+        and every non-``disjoint``/``meet`` pair yields a joint edge
+        (plus its converse).
+
+        Floors partition the 2.5D space: cells on different known floors
+        are never related.
+
+        Returns the newly created source→target edges.
+        """
+        if layer_a not in self._spaces or layer_b not in self._spaces:
+            raise LayerConsistencyError(
+                "both layers need cell spaces with geometry")
+        created: List[JointEdge] = []
+        for cell_a in self._spaces[layer_a]:
+            if cell_a.geometry is None:
+                continue
+            for cell_b in self._spaces[layer_b]:
+                if cell_b.geometry is None:
+                    continue
+                if (cell_a.floor is not None and cell_b.floor is not None
+                        and cell_a.floor != cell_b.floor):
+                    continue
+                relation = relate(cell_a.geometry, cell_b.geometry)
+                if not relation.implies_interior_intersection:
+                    continue
+                edge = JointEdge(layer_a, cell_a.cell_id,
+                                 layer_b, cell_b.cell_id, relation)
+                self.add_joint_edge(edge)
+                created.append(edge)
+        return created
+
+    # ------------------------------------------------------------------
+    # overall states
+    # ------------------------------------------------------------------
+    def is_valid_overall_state(self, states: Mapping[str, str]) -> bool:
+        """Check a combination of per-layer active states.
+
+        ``states`` maps layer name → active node.  The combination is a
+        valid *overall* state when every pair of stated nodes from
+        different layers is linked by a joint edge (their cells
+        intersect, so one physical position can witness both).
+        """
+        items = list(states.items())
+        for layer_name, node in items:
+            if self._node_layer.get(node) != layer_name:
+                return False
+        for i, (_, node_a) in enumerate(items):
+            for _, node_b in items[i + 1:]:
+                if node_b not in {e.target
+                                  for e in self.joint_edges_from(node_a)}:
+                    return False
+        return True
+
+    def overall_states(self, node: str,
+                       layers: Sequence[str]) -> List[Dict[str, str]]:
+        """Enumerate valid overall states extending ``node``.
+
+        Given an active node, list every joint-consistent assignment of
+        one node per requested layer.  For Figure 1: a visitor in hall
+        ``5`` of layer i+1 "can only be in either 5a, 5b, or 5c in
+        layer i".
+        """
+        own_layer = self.layer_of(node)
+        combos: List[Dict[str, str]] = [{own_layer: node}]
+        for layer_name in layers:
+            if layer_name == own_layer:
+                continue
+            extended: List[Dict[str, str]] = []
+            for combo in combos:
+                candidates: Optional[Set[str]] = None
+                for active in combo.values():
+                    partners = set(self.joint_partners(active, layer_name))
+                    candidates = (partners if candidates is None
+                                  else candidates & partners)
+                for candidate in sorted(candidates or ()):
+                    new_combo = dict(combo)
+                    new_combo[layer_name] = candidate
+                    extended.append(new_combo)
+            combos = extended
+        return combos
+
+    # ------------------------------------------------------------------
+    # validation & export
+    # ------------------------------------------------------------------
+    def validate(self) -> List[str]:
+        """Run structural sanity checks; return human-readable problems.
+
+        An empty list means the graph satisfies the MLSM invariants:
+        disjoint node sets (guaranteed by construction), accessibility
+        kind for every layer NRG, joint edges well-typed (guaranteed by
+        construction), and joint-edge converse closure.
+        """
+        problems: List[str] = []
+        for name, graph in self._layers.items():
+            if graph.kind is not EdgeKind.ACCESSIBILITY:
+                problems.append(
+                    "layer {!r} holds {} edges; the SITM layers are "
+                    "accessibility NRGs".format(name, graph.kind.value))
+        stored = {(e.source, e.target, e.relation)
+                  for e in self._joint_edges}
+        for edge in self._joint_edges:
+            conv = edge.converse()
+            if (conv.source, conv.target, conv.relation) not in stored:
+                problems.append(
+                    "joint edge {}→{} ({}) lacks its converse".format(
+                        edge.source, edge.target, edge.relation.value))
+        return problems
+
+    def to_networkx(self):  # pragma: no cover - thin interop shim
+        """Export G as an edge-coloured ``networkx.MultiDiGraph``.
+
+        Intra-layer edges get ``color="intra"`` plus their layer name;
+        joint edges get ``color="joint"`` plus their relation — the
+        multilayer-network mapping of Section 3.2.
+        """
+        import networkx as nx
+
+        graph = nx.MultiDiGraph(name=self.name)
+        for layer_name, layer_graph in self._layers.items():
+            for node in layer_graph.nodes:
+                graph.add_node(node, layer=layer_name)
+            for edge in layer_graph.edges:
+                graph.add_edge(edge.source, edge.target, key=edge.edge_id,
+                               color="intra", layer=layer_name,
+                               weight=edge.weight)
+        for i, joint in enumerate(self._joint_edges):
+            graph.add_edge(joint.source, joint.target,
+                           key="joint#{}".format(i), color="joint",
+                           relation=joint.relation.value)
+        return graph

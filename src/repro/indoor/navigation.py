@@ -1,0 +1,230 @@
+"""Indoor navigation over the layered space model.
+
+IndoorGML is "an OGC standard aimed at representing and allowing the
+exchange of geoinformation for indoor navigational systems" (Section
+2.1), and the Louvre app's motivating service is "way-finding".  This
+module provides that navigation layer on top of the SITM structures:
+
+* :class:`RoutePlanner` — shortest routes over a directed
+  accessibility NRG, returning the crossed boundaries (the ``e_i`` of
+  a *planned* trajectory) and honouring one-way restrictions;
+* **hierarchical routing** — plan coarse at a parent layer, refine
+  per coarse cell at the child layer, the classic technique the
+  paper's static hierarchy enables ("hierarchies simplify ...");
+* :func:`route_instructions` — human-readable turn-by-turn output
+  keyed by boundary kinds (door / staircase / elevator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.indoor.cells import BoundaryKind, CellSpace
+from repro.indoor.hierarchy import LayerHierarchy
+from repro.indoor.nrg import NodeRelationGraph, NRGEdge
+
+
+@dataclass(frozen=True)
+class RouteLeg:
+    """One hop of a planned route.
+
+    Attributes:
+        from_state: origin cell.
+        to_state: destination cell.
+        edge: the accessibility edge used (carries the boundary id).
+    """
+
+    from_state: str
+    to_state: str
+    edge: NRGEdge
+
+
+@dataclass(frozen=True)
+class Route:
+    """A planned route: states plus the legs connecting them."""
+
+    states: Tuple[str, ...]
+    legs: Tuple[RouteLeg, ...]
+
+    @property
+    def hop_count(self) -> int:
+        """Number of transitions."""
+        return len(self.legs)
+
+    def total_weight(self) -> float:
+        """Sum of leg edge weights."""
+        return sum(leg.edge.weight for leg in self.legs)
+
+    def boundaries(self) -> List[Optional[str]]:
+        """The boundary ids crossed, in order."""
+        return [leg.edge.boundary_id or leg.edge.edge_id
+                for leg in self.legs]
+
+
+class UnreachableError(ValueError):
+    """Raised when no route exists under the accessibility rules."""
+
+
+class RoutePlanner:
+    """Shortest-route planning over one accessibility NRG.
+
+    Args:
+        nrg: the directed accessibility graph.
+        weighted: use edge weights (metres/seconds) instead of hops.
+    """
+
+    def __init__(self, nrg: NodeRelationGraph,
+                 weighted: bool = False) -> None:
+        self.nrg = nrg
+        self.weighted = weighted
+
+    def plan(self, origin: str, destination: str) -> Route:
+        """Plan the shortest route.
+
+        The lightest parallel edge is chosen for each hop, so the
+        returned boundaries are deterministic.
+
+        Raises:
+            UnreachableError: when the directed graph admits no route
+                (e.g. against a one-way restriction).
+            KeyError: for unknown endpoints.
+        """
+        states = self.nrg.shortest_path(origin, destination,
+                                        weighted=self.weighted)
+        if states is None:
+            raise UnreachableError(
+                "no accessible route from {!r} to {!r} (one-way "
+                "restrictions may apply)".format(origin, destination))
+        legs: List[RouteLeg] = []
+        for from_state, to_state in zip(states, states[1:]):
+            edges = self.nrg.edges_between(from_state, to_state)
+            edge = min(edges, key=lambda e: (e.weight, e.edge_id))
+            legs.append(RouteLeg(from_state, to_state, edge))
+        return Route(tuple(states), tuple(legs))
+
+    def plan_via(self, stops: Sequence[str]) -> Route:
+        """Plan a route visiting ``stops`` in order.
+
+        Useful for curated tours ("Mona Lisa then Venus de Milo then
+        the exit").
+
+        Raises:
+            ValueError: with fewer than two stops.
+            UnreachableError: when any stage is unreachable.
+        """
+        if len(stops) < 2:
+            raise ValueError("a via-route needs at least two stops")
+        states: List[str] = [stops[0]]
+        legs: List[RouteLeg] = []
+        for origin, destination in zip(stops, stops[1:]):
+            stage = self.plan(origin, destination)
+            states.extend(stage.states[1:])
+            legs.extend(stage.legs)
+        return Route(tuple(states), tuple(legs))
+
+    def reachable_within(self, origin: str, max_hops: int) -> List[str]:
+        """All states reachable within ``max_hops`` transitions."""
+        frontier = {origin}
+        seen = {origin}
+        for _ in range(max_hops):
+            next_frontier = set()
+            for state in frontier:
+                for successor in self.nrg.successors(state):
+                    if successor not in seen:
+                        seen.add(successor)
+                        next_frontier.add(successor)
+            frontier = next_frontier
+            if not frontier:
+                break
+        seen.discard(origin)
+        return sorted(seen)
+
+
+def plan_hierarchical(hierarchy: LayerHierarchy,
+                      fine_layer: str,
+                      origin: str, destination: str
+                      ) -> Tuple[List[str], Route]:
+    """Two-level routing: coarse corridor first, fine route second.
+
+    Plans at the parent layer to obtain the corridor of coarse cells,
+    then plans the fine route restricted to that corridor (plus the
+    endpoints' cells).  With good hierarchies this explores a fraction
+    of the fine graph while matching plain fine-level routes on
+    realistic floorplans.
+
+    Returns ``(coarse_states, fine_route)``.
+
+    Raises:
+        UnreachableError: when either stage fails; callers may fall
+            back to flat planning.
+    """
+    graph = hierarchy.graph
+    fine_nrg = graph.layer(fine_layer)
+    parent_layer_index = hierarchy.level_of_layer(fine_layer) - 1
+    if parent_layer_index < 0:
+        raise ValueError("fine layer has no parent layer")
+    coarse_layer = hierarchy.layers[parent_layer_index]
+    coarse_origin = hierarchy.lift(origin, coarse_layer)
+    coarse_destination = hierarchy.lift(destination, coarse_layer)
+    if coarse_origin is None or coarse_destination is None:
+        raise UnreachableError("endpoints cannot be lifted")
+
+    coarse_route = RoutePlanner(graph.layer(coarse_layer)).plan(
+        coarse_origin, coarse_destination)
+    corridor = set(coarse_route.states)
+    allowed = {
+        state for state in fine_nrg.nodes
+        if hierarchy.lift(state, coarse_layer) in corridor}
+    allowed.add(origin)
+    allowed.add(destination)
+    restricted = fine_nrg.subgraph(allowed)
+    fine_route = RoutePlanner(restricted).plan(origin, destination)
+    return list(coarse_route.states), fine_route
+
+
+#: Instruction verbs per boundary kind.
+_VERBS: Dict[BoundaryKind, str] = {
+    BoundaryKind.DOOR: "go through",
+    BoundaryKind.OPENING: "continue through",
+    BoundaryKind.STAIRCASE: "take the stairs",
+    BoundaryKind.ELEVATOR: "take the elevator",
+    BoundaryKind.RAMP: "take the ramp",
+    BoundaryKind.CHECKPOINT: "pass the checkpoint",
+    BoundaryKind.VIRTUAL: "continue",
+}
+
+
+def route_instructions(route: Route,
+                       space: Optional[CellSpace] = None) -> List[str]:
+    """Turn-by-turn instructions for a planned route.
+
+    When the layer's cell space is supplied, boundary kinds and cell
+    names enrich the wording; otherwise ids are used.
+    """
+    if not route.legs:
+        return ["you are already there"]
+    lines: List[str] = ["start in {}".format(
+        _display(route.states[0], space))]
+    for leg in route.legs:
+        verb = "go to"
+        boundary_name = leg.edge.boundary_id or leg.edge.edge_id
+        if space is not None and leg.edge.boundary_id is not None:
+            try:
+                boundary = space.boundary(leg.edge.boundary_id)
+                verb = _VERBS.get(boundary.kind, "go through")
+            except KeyError:
+                pass
+        lines.append("{} {} into {}".format(
+            verb, boundary_name, _display(leg.to_state, space)))
+    lines.append("you have arrived at {}".format(
+        _display(route.states[-1], space)))
+    return lines
+
+
+def _display(state: str, space: Optional[CellSpace]) -> str:
+    if space is not None and state in space:
+        name = space.cell(state).name
+        if name:
+            return "{} ({})".format(name, state)
+    return state

@@ -1,0 +1,397 @@
+"""Node-Relation Graphs — the dual-space representation of a layer.
+
+"The cell space and the topological relationships between its objects
+are represented by one or more Node-Relation Graphs (NRGs). ... a cell
+(e.g. room) becomes a node and a cell boundary (e.g. a thin wall)
+becomes an edge" (Section 2.1).
+
+Three NRG variants exist, ordered by strength:
+
+* **adjacency** — the cells share a boundary;
+* **connectivity** — the shared boundary has an opening;
+* **accessibility** — the opening is traversable by the moving object.
+
+Per Section 3.2 the SITM assumes *directed* accessibility NRGs, because
+"often indoor movement is only unidirectionally possible due to
+technical, safety or other limitations" (the Salle des États example).
+:class:`NodeRelationGraph` is therefore a directed multigraph; symmetric
+relations (adjacency, connectivity) are stored as edge pairs.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+
+class EdgeKind(enum.Enum):
+    """The NRG variant an edge belongs to."""
+
+    ADJACENCY = "adjacency"
+    CONNECTIVITY = "connectivity"
+    ACCESSIBILITY = "accessibility"
+
+
+@dataclass(frozen=True)
+class NRGEdge:
+    """A directed intra-layer edge (a *transition* in navigation terms).
+
+    Attributes:
+        edge_id: unique identifier; dualised boundaries reuse the
+            boundary id (optionally suffixed for direction).
+        source: origin node (cell id).
+        target: destination node (cell id).
+        kind: which NRG variant the edge belongs to.
+        boundary_id: the primal-space boundary this edge dualises, when
+            known — this is the paper's ``e_i`` ("which door, staircase,
+            or elevator was used").
+        weight: optional traversal cost (metres, seconds, ...).
+        attributes: open-ended semantics.
+    """
+
+    edge_id: str
+    source: str
+    target: str
+    kind: EdgeKind = EdgeKind.ACCESSIBILITY
+    boundary_id: Optional[str] = None
+    weight: float = 1.0
+    attributes: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ValueError(
+                "edge {!r}: NRG edges join distinct cells".format(
+                    self.edge_id))
+        if self.weight < 0:
+            raise ValueError(
+                "edge {!r}: negative weights are not supported".format(
+                    self.edge_id))
+
+
+class NodeRelationGraph:
+    """A directed multigraph over the cells of one layer.
+
+    Multiple parallel edges between the same ordered pair are allowed
+    ("given that each layer's NRG is a multigraph" — Section 3.3): two
+    rooms joined by two doors yield two accessibility edges each way.
+    """
+
+    def __init__(self, name: str,
+                 kind: EdgeKind = EdgeKind.ACCESSIBILITY) -> None:
+        self.name = name
+        self.kind = kind
+        self._nodes: Dict[str, None] = {}
+        self._edges: Dict[str, NRGEdge] = {}
+        self._out: Dict[str, List[str]] = {}
+        self._in: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+    def add_node(self, node: str) -> None:
+        """Register a node; repeated additions are ignored."""
+        if node not in self._nodes:
+            self._nodes[node] = None
+            self._out[node] = []
+            self._in[node] = []
+
+    def add_edge(self, edge: NRGEdge) -> NRGEdge:
+        """Register a directed edge; endpoints are auto-registered.
+
+        Raises:
+            ValueError: on duplicate edge id or kind mismatch with the
+                graph.
+        """
+        if edge.edge_id in self._edges:
+            raise ValueError("edge id {!r} already present".format(
+                edge.edge_id))
+        if edge.kind is not self.kind:
+            raise ValueError(
+                "edge {!r} has kind {} but graph {!r} holds {} edges".format(
+                    edge.edge_id, edge.kind.value, self.name,
+                    self.kind.value))
+        self.add_node(edge.source)
+        self.add_node(edge.target)
+        self._edges[edge.edge_id] = edge
+        self._out[edge.source].append(edge.edge_id)
+        self._in[edge.target].append(edge.edge_id)
+        return edge
+
+    def connect(self, source: str, target: str, *,
+                edge_id: Optional[str] = None,
+                boundary_id: Optional[str] = None,
+                bidirectional: bool = False,
+                weight: float = 1.0,
+                attributes: Optional[Mapping[str, object]] = None,
+                ) -> List[NRGEdge]:
+        """Convenience edge builder.
+
+        Returns the list of created edges (two when ``bidirectional``).
+        """
+        attributes = attributes or {}
+        base = edge_id or "{}->{}#{}".format(source, target,
+                                             len(self._edges))
+        edges = [self.add_edge(NRGEdge(base, source, target, self.kind,
+                                       boundary_id, weight, attributes))]
+        if bidirectional:
+            edges.append(self.add_edge(
+                NRGEdge(base + ":rev", target, source, self.kind,
+                        boundary_id, weight, attributes)))
+        return edges
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """All node ids, in insertion order."""
+        return tuple(self._nodes)
+
+    @property
+    def edges(self) -> Tuple[NRGEdge, ...]:
+        """All edges, in insertion order."""
+        return tuple(self._edges.values())
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def edge(self, edge_id: str) -> NRGEdge:
+        """Fetch an edge by id (raises ``KeyError`` when absent)."""
+        return self._edges[edge_id]
+
+    def out_edges(self, node: str) -> List[NRGEdge]:
+        """Edges leaving ``node``."""
+        return [self._edges[e] for e in self._out.get(node, [])]
+
+    def in_edges(self, node: str) -> List[NRGEdge]:
+        """Edges entering ``node``."""
+        return [self._edges[e] for e in self._in.get(node, [])]
+
+    def successors(self, node: str) -> List[str]:
+        """Distinct nodes reachable in one hop from ``node``."""
+        seen: Dict[str, None] = {}
+        for edge in self.out_edges(node):
+            seen.setdefault(edge.target, None)
+        return list(seen)
+
+    def predecessors(self, node: str) -> List[str]:
+        """Distinct nodes with a one-hop edge into ``node``."""
+        seen: Dict[str, None] = {}
+        for edge in self.in_edges(node):
+            seen.setdefault(edge.source, None)
+        return list(seen)
+
+    def edges_between(self, source: str, target: str) -> List[NRGEdge]:
+        """All parallel edges from ``source`` to ``target``."""
+        return [e for e in self.out_edges(source) if e.target == target]
+
+    def has_transition(self, source: str, target: str) -> bool:
+        """True when at least one directed edge ``source → target`` exists."""
+        return bool(self.edges_between(source, target))
+
+    def degree(self, node: str) -> int:
+        """Total edge endpoints at ``node`` (in + out)."""
+        return len(self._out.get(node, [])) + len(self._in.get(node, []))
+
+    def is_symmetric(self) -> bool:
+        """True when every edge has a reverse counterpart.
+
+        Adjacency and connectivity NRGs must be symmetric; a directed
+        accessibility NRG generally is not (Section 3.2).
+        """
+        for edge in self._edges.values():
+            if not self.has_transition(edge.target, edge.source):
+                return False
+        return True
+
+    def asymmetric_pairs(self) -> List[Tuple[str, str]]:
+        """Ordered pairs with an edge one way but not the other.
+
+        These are the one-way restrictions (e.g. the prohibited
+        room2 → Salle des États entry in Figure 1).
+        """
+        pairs: List[Tuple[str, str]] = []
+        seen: Set[Tuple[str, str]] = set()
+        for edge in self._edges.values():
+            key = (edge.source, edge.target)
+            if key in seen:
+                continue
+            seen.add(key)
+            if not self.has_transition(edge.target, edge.source):
+                pairs.append(key)
+        return pairs
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def reachable_from(self, node: str) -> Set[str]:
+        """All nodes reachable from ``node`` (including itself)."""
+        if node not in self._nodes:
+            raise KeyError("unknown node {!r}".format(node))
+        seen = {node}
+        frontier = deque([node])
+        while frontier:
+            current = frontier.popleft()
+            for nxt in self.successors(current):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    def shortest_path(self, source: str, target: str,
+                      weighted: bool = False) -> Optional[List[str]]:
+        """Shortest node path from ``source`` to ``target``.
+
+        Uses BFS on hop count, or Dijkstra over edge weights when
+        ``weighted``.  Returns ``None`` when the target is unreachable —
+        which the trajectory builder treats as a data error, since every
+        observed transition must correspond to a path in the
+        accessibility NRG.
+        """
+        if source not in self._nodes:
+            raise KeyError("unknown node {!r}".format(source))
+        if target not in self._nodes:
+            raise KeyError("unknown node {!r}".format(target))
+        if source == target:
+            return [source]
+        if weighted:
+            return self._dijkstra(source, target)
+        return self._bfs(source, target)
+
+    def _bfs(self, source: str, target: str) -> Optional[List[str]]:
+        parents: Dict[str, str] = {}
+        frontier = deque([source])
+        seen = {source}
+        while frontier:
+            current = frontier.popleft()
+            for nxt in self.successors(current):
+                if nxt in seen:
+                    continue
+                parents[nxt] = current
+                if nxt == target:
+                    return self._unwind(parents, source, target)
+                seen.add(nxt)
+                frontier.append(nxt)
+        return None
+
+    def _dijkstra(self, source: str, target: str) -> Optional[List[str]]:
+        distances: Dict[str, float] = {source: 0.0}
+        parents: Dict[str, str] = {}
+        heap: List[Tuple[float, str]] = [(0.0, source)]
+        done: Set[str] = set()
+        while heap:
+            dist, current = heapq.heappop(heap)
+            if current in done:
+                continue
+            if current == target:
+                return self._unwind(parents, source, target)
+            done.add(current)
+            for edge in self.out_edges(current):
+                candidate = dist + edge.weight
+                if candidate < distances.get(edge.target, float("inf")):
+                    distances[edge.target] = candidate
+                    parents[edge.target] = current
+                    heapq.heappush(heap, (candidate, edge.target))
+        return None
+
+    @staticmethod
+    def _unwind(parents: Mapping[str, str], source: str,
+                target: str) -> List[str]:
+        path = [target]
+        while path[-1] != source:
+            path.append(parents[path[-1]])
+        path.reverse()
+        return path
+
+    def all_simple_paths(self, source: str, target: str,
+                         max_length: int = 10) -> List[List[str]]:
+        """All simple node paths up to ``max_length`` hops.
+
+        Used by the missing-zone inference (Figure 6) to enumerate how a
+        moving object could have travelled between two detections.
+        """
+        if source not in self._nodes or target not in self._nodes:
+            raise KeyError("unknown endpoint")
+        paths: List[List[str]] = []
+        stack: List[Tuple[str, List[str]]] = [(source, [source])]
+        while stack:
+            current, path = stack.pop()
+            if current == target:
+                paths.append(path)
+                continue
+            if len(path) > max_length:
+                continue
+            for nxt in self.successors(current):
+                if nxt not in path:
+                    stack.append((nxt, path + [nxt]))
+        return sorted(paths, key=len)
+
+    # ------------------------------------------------------------------
+    # derivations
+    # ------------------------------------------------------------------
+    def to_undirected(self) -> "NodeRelationGraph":
+        """Symmetric closure of this graph (the "undirected variant").
+
+        Used by the directed-vs-undirected ablation (DESIGN.md A1): it
+        deliberately *loses* the one-way restrictions.
+        """
+        closure = NodeRelationGraph(self.name + ":undirected", self.kind)
+        for node in self._nodes:
+            closure.add_node(node)
+        seen_pairs: Set[Tuple[str, str]] = set()
+        for edge in self._edges.values():
+            for src, dst in ((edge.source, edge.target),
+                             (edge.target, edge.source)):
+                if (src, dst) in seen_pairs:
+                    continue
+                seen_pairs.add((src, dst))
+                closure.add_edge(NRGEdge(
+                    "{}:{}->{}".format(edge.edge_id, src, dst),
+                    src, dst, self.kind, edge.boundary_id, edge.weight,
+                    edge.attributes))
+        return closure
+
+    def subgraph(self, nodes: Iterable[str]) -> "NodeRelationGraph":
+        """The induced subgraph on ``nodes``."""
+        keep = set(nodes)
+        sub = NodeRelationGraph(self.name + ":sub", self.kind)
+        for node in self._nodes:
+            if node in keep:
+                sub.add_node(node)
+        for edge in self._edges.values():
+            if edge.source in keep and edge.target in keep:
+                sub.add_edge(edge)
+        return sub
+
+    def transition_count(self) -> int:
+        """Number of directed edges."""
+        return len(self._edges)
+
+    def to_networkx(self):  # pragma: no cover - thin interop shim
+        """Export as a ``networkx.MultiDiGraph`` for external analysis."""
+        import networkx as nx
+
+        graph = nx.MultiDiGraph(name=self.name, kind=self.kind.value)
+        graph.add_nodes_from(self._nodes)
+        for edge in self._edges.values():
+            graph.add_edge(edge.source, edge.target, key=edge.edge_id,
+                           boundary_id=edge.boundary_id, weight=edge.weight,
+                           **dict(edge.attributes))
+        return graph

@@ -1,0 +1,254 @@
+"""Formal ontology integration (Section 5 future work).
+
+    "it would be interesting to integrate the indoor space
+    representation with formal ontologies of cultural heritage
+    information (e.g. CIDOC Conceptual Reference Model [12])"
+
+This module provides a small but real concept-hierarchy engine and a
+CIDOC-CRM-flavoured core ontology, plus the mapping layer that ties
+indoor cells (and therefore trajectory states) to ontology concepts.
+With it, a trajectory over exhibit RoIs can be queried at the *concept*
+level ("visits to E22 Human-Made Objects of concept ItalianPainting")
+— semantic enrichment from an external knowledge source, exactly the
+"synergistic interplay between different types of semantics" the paper
+motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.annotations import (
+    AnnotationKind,
+    AnnotationSet,
+    SemanticAnnotation,
+)
+from repro.core.trajectory import SemanticTrajectory
+
+
+@dataclass(frozen=True)
+class Concept:
+    """One ontology concept.
+
+    Attributes:
+        iri: stable identifier (CRM-style, e.g. ``crm:E53_Place``).
+        label: human-readable name.
+        parents: direct superclass IRIs.
+    """
+
+    iri: str
+    label: str = ""
+    parents: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.iri:
+            raise ValueError("a concept needs an IRI")
+
+
+class OntologyError(ValueError):
+    """Raised on malformed ontologies (cycles, unknown parents)."""
+
+
+class Ontology:
+    """A concept hierarchy with subsumption reasoning.
+
+    Multiple inheritance is allowed; cycles are rejected.
+    """
+
+    def __init__(self) -> None:
+        self._concepts: Dict[str, Concept] = {}
+
+    def add(self, concept: Concept) -> Concept:
+        """Register a concept.
+
+        Raises:
+            OntologyError: on duplicate IRIs, unknown parents, or when
+                the addition would create a cycle.
+        """
+        if concept.iri in self._concepts:
+            raise OntologyError(
+                "concept {!r} already defined".format(concept.iri))
+        for parent in concept.parents:
+            if parent not in self._concepts:
+                raise OntologyError(
+                    "unknown parent {!r} of {!r} (define parents "
+                    "first)".format(parent, concept.iri))
+        self._concepts[concept.iri] = concept
+        return concept
+
+    def define(self, iri: str, label: str = "",
+               parents: Iterable[str] = ()) -> Concept:
+        """Convenience constructor-and-add."""
+        return self.add(Concept(iri, label, tuple(parents)))
+
+    def __contains__(self, iri: str) -> bool:
+        return iri in self._concepts
+
+    def __len__(self) -> int:
+        return len(self._concepts)
+
+    def concept(self, iri: str) -> Concept:
+        """Fetch a concept (raises ``KeyError`` when absent)."""
+        return self._concepts[iri]
+
+    def ancestors(self, iri: str) -> Set[str]:
+        """All transitive superclasses (excluding the concept itself)."""
+        result: Set[str] = set()
+        frontier = list(self._concepts[iri].parents)
+        while frontier:
+            current = frontier.pop()
+            if current in result:
+                continue
+            result.add(current)
+            frontier.extend(self._concepts[current].parents)
+        return result
+
+    def descendants(self, iri: str) -> Set[str]:
+        """All transitive subclasses."""
+        result: Set[str] = set()
+        for candidate in self._concepts:
+            if iri in self.ancestors(candidate):
+                result.add(candidate)
+        return result
+
+    def is_a(self, iri: str, ancestor: str) -> bool:
+        """Subsumption: True when ``iri`` is ``ancestor`` or below it."""
+        if iri == ancestor:
+            return True
+        return ancestor in self.ancestors(iri)
+
+    def least_common_subsumer(self, a: str, b: str) -> Optional[str]:
+        """The most specific concept subsuming both, if any.
+
+        Ties are broken by the deepest concept (longest ancestor
+        chain), then lexicographically for determinism.
+        """
+        common = ({a} | self.ancestors(a)) & ({b} | self.ancestors(b))
+        if not common:
+            return None
+        return max(common,
+                   key=lambda c: (len(self.ancestors(c)), c))
+
+
+def cidoc_core() -> Ontology:
+    """A compact CIDOC-CRM-flavoured core ontology.
+
+    Only the classes the museum use-case touches, with CRM-style IRIs:
+    places, physical things, human-made objects, actors and activities.
+    """
+    onto = Ontology()
+    onto.define("crm:E1_Entity", "CRM Entity")
+    onto.define("crm:E53_Place", "Place", ["crm:E1_Entity"])
+    onto.define("crm:E18_Physical_Thing", "Physical Thing",
+                ["crm:E1_Entity"])
+    onto.define("crm:E22_Human-Made_Object", "Human-Made Object",
+                ["crm:E18_Physical_Thing"])
+    onto.define("crm:E39_Actor", "Actor", ["crm:E1_Entity"])
+    onto.define("crm:E21_Person", "Person", ["crm:E39_Actor"])
+    onto.define("crm:E7_Activity", "Activity", ["crm:E1_Entity"])
+    # Museum-domain refinements.
+    onto.define("museum:Building", "Museum Building", ["crm:E53_Place"])
+    onto.define("museum:Floor", "Floor Level", ["crm:E53_Place"])
+    onto.define("museum:Room", "Exhibition Room", ["crm:E53_Place"])
+    onto.define("museum:ThematicZone", "Thematic Zone",
+                ["crm:E53_Place"])
+    onto.define("museum:Exhibit", "Exhibit",
+                ["crm:E22_Human-Made_Object"])
+    onto.define("museum:Painting", "Painting", ["museum:Exhibit"])
+    onto.define("museum:Sculpture", "Sculpture", ["museum:Exhibit"])
+    onto.define("museum:Visit", "Museum Visit", ["crm:E7_Activity"])
+    return onto
+
+
+#: Default mapping from SITM semantic classes to core concepts.
+DEFAULT_CLASS_CONCEPTS: Mapping[str, str] = {
+    "BuildingComplex": "crm:E53_Place",
+    "Building": "museum:Building",
+    "Floor": "museum:Floor",
+    "Room": "museum:Room",
+    "ThematicZone": "museum:ThematicZone",
+    "ExhibitRoI": "museum:Exhibit",
+}
+
+
+class CellConceptMapping:
+    """Ties indoor cells to ontology concepts.
+
+    Cells map by explicit assignment first, then by their SITM
+    ``semantic_class`` through :data:`DEFAULT_CLASS_CONCEPTS`.
+    """
+
+    def __init__(self, ontology: Ontology,
+                 class_concepts: Optional[Mapping[str, str]] = None
+                 ) -> None:
+        self.ontology = ontology
+        self._class_concepts = dict(class_concepts
+                                    or DEFAULT_CLASS_CONCEPTS)
+        self._explicit: Dict[str, str] = {}
+        for iri in self._class_concepts.values():
+            if iri not in ontology:
+                raise OntologyError(
+                    "mapped concept {!r} not in the ontology".format(iri))
+
+    def assign(self, cell_id: str, concept_iri: str) -> None:
+        """Explicitly map one cell to a concept.
+
+        Raises:
+            OntologyError: for unknown concepts.
+        """
+        if concept_iri not in self.ontology:
+            raise OntologyError(
+                "unknown concept {!r}".format(concept_iri))
+        self._explicit[cell_id] = concept_iri
+
+    def concept_of(self, cell_id: str,
+                   semantic_class: Optional[str] = None) -> Optional[str]:
+        """The concept of a cell, explicit mapping first."""
+        if cell_id in self._explicit:
+            return self._explicit[cell_id]
+        if semantic_class is not None:
+            return self._class_concepts.get(semantic_class)
+        return None
+
+    def states_of_concept(self, concept_iri: str) -> List[str]:
+        """Explicitly-mapped cells whose concept is subsumed by the IRI."""
+        return sorted(
+            cell_id for cell_id, iri in self._explicit.items()
+            if self.ontology.is_a(iri, concept_iri))
+
+    def annotate_trajectory(self, trajectory: SemanticTrajectory
+                            ) -> SemanticTrajectory:
+        """Attach concept annotations to every explicitly-mapped stay.
+
+        Each stay whose state has a concept gains a ``PLACE`` annotation
+        whose value is the concept IRI and whose link is the state —
+        the "link to an object" annotation form of [21].
+        """
+        from repro.core.trajectory import Trace, TraceEntry
+
+        entries: List[TraceEntry] = []
+        for entry in trajectory.trace:
+            concept_iri = self.concept_of(entry.state)
+            if concept_iri is None:
+                entries.append(entry)
+                continue
+            enriched = entry.annotations.with_annotation(
+                SemanticAnnotation(AnnotationKind.PLACE, concept_iri,
+                                   link=entry.state, source="ontology"))
+            entries.append(TraceEntry(
+                entry.transition, entry.state, entry.t_start,
+                entry.t_end, enriched, entry.transition_annotations))
+        return trajectory.with_trace(Trace(entries))
+
+    def concept_footprint(self, trajectory: SemanticTrajectory
+                          ) -> Dict[str, float]:
+        """Total stay time per concept IRI across a trajectory."""
+        footprint: Dict[str, float] = {}
+        for entry in trajectory.trace:
+            concept_iri = self.concept_of(entry.state)
+            if concept_iri is None:
+                continue
+            footprint[concept_iri] = footprint.get(concept_iri, 0.0) \
+                + entry.duration
+        return footprint

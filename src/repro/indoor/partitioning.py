@@ -1,0 +1,190 @@
+"""Cell subdivision toolkit (the Section 2.1 partitioning discussion).
+
+The paper reviews why and how cells get subdivided: "[17] only provides
+some general partitioning criteria (e.g. splitting cells that have
+multiple properties or that are too big), while [11] categorizes such
+criteria (geometry-driven, topology-driven, semantics-driven,
+navigation-driven)".  The SITM's answer is the *static* hierarchy — but
+to compare against ad-hoc subdivision (ablation A2, Figure 1) the
+subdivision mechanism itself must exist.  This module provides it:
+
+* selection criteria picking which cells to split (too big, too many
+  semantic properties, too high degree);
+* :func:`subdivide` — split selected cells into strips, producing a
+  *new finer layer* correctly wired into a
+  :class:`~repro.indoor.multilayer.LayeredIndoorGraph`: split cells
+  link to their parts with ``contains``/``covers``, unsplit cells are
+  replicated and linked with ``equal`` — exactly Figure 1's layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.indoor.cells import Cell, CellSpace
+from repro.indoor.multilayer import JointEdge, LayeredIndoorGraph
+from repro.indoor.nrg import EdgeKind, NodeRelationGraph, NRGEdge
+from repro.spatial.geometry import BBox, Polygon
+from repro.spatial.topology import TopologicalRelation, relate
+
+#: A criterion decides whether a cell should be subdivided.
+SplitCriterion = Callable[[Cell, NodeRelationGraph], bool]
+
+
+def too_big(max_area: float) -> SplitCriterion:
+    """Geometry-driven criterion: footprint area above a threshold."""
+
+    def criterion(cell: Cell, nrg: NodeRelationGraph) -> bool:
+        return cell.geometry is not None \
+            and cell.geometry.area() > max_area
+
+    return criterion
+
+
+def too_many_properties(max_attributes: int) -> SplitCriterion:
+    """Semantics-driven criterion: cells with many distinct semantic
+    attributes likely conflate several functional sub-spaces."""
+
+    def criterion(cell: Cell, nrg: NodeRelationGraph) -> bool:
+        return len(cell.attributes) > max_attributes
+
+    return criterion
+
+
+def too_connected(max_degree: int) -> SplitCriterion:
+    """Topology-driven criterion: a hub cell with many transitions is
+    a circulation space worth refining."""
+
+    def criterion(cell: Cell, nrg: NodeRelationGraph) -> bool:
+        return cell.cell_id in nrg and nrg.degree(cell.cell_id) \
+            > max_degree
+
+    return criterion
+
+
+def any_of(*criteria: SplitCriterion) -> SplitCriterion:
+    """Disjunction of criteria."""
+
+    def criterion(cell: Cell, nrg: NodeRelationGraph) -> bool:
+        return any(c(cell, nrg) for c in criteria)
+
+    return criterion
+
+
+@dataclass
+class SubdivisionResult:
+    """Outcome of one subdivision run.
+
+    Attributes:
+        fine_layer: the created layer's name.
+        split_cells: parent cell → its part ids.
+        replicated_cells: unsplit cell → its replica id.
+    """
+
+    fine_layer: str
+    split_cells: Dict[str, List[str]]
+    replicated_cells: Dict[str, str]
+
+
+def subdivide(graph: LayeredIndoorGraph, layer_name: str,
+              criterion: SplitCriterion,
+              parts: int = 3,
+              fine_layer_name: Optional[str] = None
+              ) -> SubdivisionResult:
+    """Create a finer layer by subdividing selected cells.
+
+    Selected cells split into ``parts`` strips along their long axis
+    (suffixes ``a``, ``b``, ``c``…, following Figure 1's 5a/5b/5c);
+    the rest are replicated (suffix ``.r``) and joined to their
+    originals with ``equal`` edges, as the MLSM requires when "a node
+    is relevant to multiple layers".
+
+    Intra-layer accessibility in the new layer: consecutive parts of a
+    split cell connect to each other; every original edge is re-created
+    between the corresponding parts/replicas (boundary ids preserved),
+    attaching at the first part of a split cell.
+
+    Raises:
+        KeyError: for unknown layers.
+        ValueError: when the layer lacks a cell space, or a selected
+            cell has no geometry.
+    """
+    nrg = graph.layer(layer_name)
+    if not graph.has_space(layer_name):
+        raise ValueError("layer {!r} has no cell space".format(layer_name))
+    space = graph.space(layer_name)
+    fine_name = fine_layer_name or layer_name + ":fine"
+
+    fine_space = CellSpace(fine_name, validate_geometry=False)
+    fine_nrg = NodeRelationGraph(fine_name, EdgeKind.ACCESSIBILITY)
+    split_cells: Dict[str, List[str]] = {}
+    replicated: Dict[str, str] = {}
+    entry_part: Dict[str, str] = {}
+
+    for cell in space:
+        if criterion(cell, nrg):
+            if cell.geometry is None:
+                raise ValueError(
+                    "cannot geometrically split symbolic cell "
+                    "{!r}".format(cell.cell_id))
+            part_ids = _split_cell(cell, parts, fine_space, fine_nrg)
+            split_cells[cell.cell_id] = part_ids
+            entry_part[cell.cell_id] = part_ids[0]
+        else:
+            replica_id = cell.cell_id + ".r"
+            fine_space.add_cell(Cell(
+                replica_id, cell.name, cell.semantic_class,
+                cell.geometry, cell.floor, cell.attributes))
+            fine_nrg.add_node(replica_id)
+            replicated[cell.cell_id] = replica_id
+            entry_part[cell.cell_id] = replica_id
+
+    for edge in nrg.edges:
+        fine_nrg.add_edge(NRGEdge(
+            edge.edge_id + ":fine",
+            entry_part[edge.source], entry_part[edge.target],
+            EdgeKind.ACCESSIBILITY, edge.boundary_id, edge.weight,
+            edge.attributes))
+
+    graph.add_layer(fine_nrg, fine_space)
+    for parent, part_ids in split_cells.items():
+        parent_geometry = space.cell(parent).geometry
+        for part_id in part_ids:
+            relation = relate(parent_geometry,
+                              fine_space.cell(part_id).geometry)
+            graph.add_joint_edge(JointEdge(
+                layer_name, parent, fine_name, part_id, relation))
+    for original, replica_id in replicated.items():
+        graph.add_joint_edge(JointEdge(
+            layer_name, original, fine_name, replica_id,
+            TopologicalRelation.EQUAL))
+    return SubdivisionResult(fine_name, split_cells, replicated)
+
+
+def _split_cell(cell: Cell, parts: int, fine_space: CellSpace,
+                fine_nrg: NodeRelationGraph) -> List[str]:
+    box = cell.geometry.bbox()
+    horizontal = box.width >= box.height
+    part_ids: List[str] = []
+    for index in range(parts):
+        suffix = chr(ord("a") + index) if index < 26 else str(index)
+        part_id = "{}{}".format(cell.cell_id, suffix)
+        if horizontal:
+            step = box.width / parts
+            part_box = BBox(box.min_x + index * step, box.min_y,
+                            box.min_x + (index + 1) * step, box.max_y)
+        else:
+            step = box.height / parts
+            part_box = BBox(box.min_x, box.min_y + index * step,
+                            box.max_x, box.min_y + (index + 1) * step)
+        fine_space.add_cell(Cell(
+            part_id, "{} ({})".format(cell.name, suffix),
+            cell.semantic_class, part_box.to_polygon(), cell.floor,
+            cell.attributes))
+        fine_nrg.add_node(part_id)
+        part_ids.append(part_id)
+    for first, second in zip(part_ids, part_ids[1:]):
+        fine_nrg.connect(first, second, bidirectional=True,
+                         edge_id="split:{}-{}".format(first, second))
+    return part_ids

@@ -1,0 +1,53 @@
+"""The Louvre case study (Section 4 of the paper).
+
+* :mod:`repro.louvre.zones` — the 52 thematic zones (Section 4.1), the
+  30-zone accessibility topology "extracted by hand on site"
+  (Figure 6), and the named zones of the paper's worked examples
+  (E/P/S/C on floor −2; 60853/60854 near the Salle des États).
+* :mod:`repro.louvre.floorplan` — a synthetic primal-space geometry:
+  four areas (Richelieu, Denon, Sully wings + the Napoleon area), five
+  floors, zone strips, rooms, and exhibit RoIs.
+* :mod:`repro.louvre.space` — the full layered indoor graph of
+  Figure 2: Building Complex → Building → Floor → Room → RoI, plus the
+  thematic-zone semantic layer between Floor and Room.
+* :mod:`repro.louvre.dataset` — a seeded synthetic visit corpus whose
+  headline statistics match Section 4.1.
+"""
+
+from repro.louvre.zones import (
+    DATASET_ZONE_IDS,
+    GROUND_FLOOR_ZONE_IDS,
+    ZONES,
+    ZoneSpec,
+    zone_accessibility_edges,
+)
+from repro.louvre.floorplan import LouvreFloorplan
+from repro.louvre.space import LouvreSpace
+from repro.louvre.dataset import (
+    DatasetParameters,
+    LouvreDatasetGenerator,
+    PAPER_STATISTICS,
+)
+from repro.louvre.restructure import (
+    IndicativeVisit,
+    StitchReport,
+    indicative_visits,
+    stitch_fragments,
+)
+
+__all__ = [
+    "DATASET_ZONE_IDS",
+    "GROUND_FLOOR_ZONE_IDS",
+    "ZONES",
+    "ZoneSpec",
+    "zone_accessibility_edges",
+    "LouvreFloorplan",
+    "LouvreSpace",
+    "DatasetParameters",
+    "LouvreDatasetGenerator",
+    "PAPER_STATISTICS",
+    "IndicativeVisit",
+    "StitchReport",
+    "indicative_visits",
+    "stitch_fragments",
+]

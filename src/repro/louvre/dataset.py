@@ -1,0 +1,389 @@
+"""Synthetic Louvre visit corpus matching the Section 4.1 statistics.
+
+The real "My Visit to the Louvre" dataset is proprietary.  This module
+generates a synthetic corpus whose *published statistics* match the
+paper exactly (DESIGN.md substitution):
+
+* 4,945 visits collected 19-01-2017 .. 29-05-2017;
+* 3,228 distinct visitors, of whom 1,227 are "returning" visitors who
+  made 1,717 second/third visits (737 visitors with two visits and 490
+  with three: 737 + 2·490 = 1,717; 3,228 + 1,717 = 4,945);
+* 20,245 zone detections and therefore 15,300 intra-visit transitions
+  (20,245 − 4,945 — one less transition than detections per visit);
+* visit durations from 0 s (potential error) to 7 h 41 m 37 s;
+* detection durations from 0 s to 5 h 39 m 20 s;
+* around 10 % of detections with zero duration;
+* both iPhone and Android app versions.
+
+Movement itself is a popularity-biased random walk over the 30-zone
+accessibility NRG with per-profile dwell times and detection sparsity
+(the app is not always running), which is what creates the coverage
+gaps that Figure 6's inference experiment repairs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.builder import DetectionRecord
+from repro.core.timeutil import from_date
+from repro.indoor.nrg import NodeRelationGraph
+from repro.louvre.space import LouvreSpace
+from repro.louvre.zones import ZONE_C, ZONE_ENTRANCE
+from repro.movement.profiles import PROFILES, VisitorProfile, choose_profile
+from repro.movement.walker import GraphWalker
+
+#: The paper's published corpus statistics (Section 4.1).
+PAPER_STATISTICS: Dict[str, object] = {
+    "visits": 4945,
+    "visitors": 3228,
+    "returning_visitors": 1227,
+    "repeat_visits": 1717,
+    "zone_detections": 20245,
+    "zone_transitions": 15300,
+    "max_visit_duration_s": 7 * 3600 + 41 * 60 + 37,     # 27697
+    "max_detection_duration_s": 5 * 3600 + 39 * 60 + 20,  # 20360
+    "min_visit_duration_s": 0,
+    "min_detection_duration_s": 0,
+    "zero_duration_share": 0.10,
+    "collection_start": "19-01-2017",
+    "collection_end": "29-05-2017",
+    "dataset_zones": 30,
+}
+
+
+@dataclass(frozen=True)
+class DatasetParameters:
+    """Generator calibration (defaults reproduce the paper's corpus).
+
+    Attributes:
+        visitors: distinct visitor count.
+        two_visit_visitors: returning visitors with exactly two visits.
+        three_visit_visitors: returning visitors with exactly three.
+        total_detections: exact corpus-wide zone detection count.
+        zero_duration_detections: exact count of zero-duration records
+            (the paper says "around 10 %"; 2,025 of 20,245 ≈ 10.0 %).
+        collection_days: length of the collection window in days
+            (19 Jan .. 29 May 2017 inclusive = 131 days).
+        max_visit_duration: the longest visit's exact span (seconds).
+        max_detection_duration: the longest single detection (seconds).
+        normal_visit_span_cap: soft cap on every other visit's span, so
+            the designated maximum stays the maximum.
+        normal_dwell_cap: cap on ordinary per-zone dwell times.
+        seed: master RNG seed (the corpus start date by default).
+    """
+
+    visitors: int = 3228
+    two_visit_visitors: int = 737
+    three_visit_visitors: int = 490
+    total_detections: int = 20245
+    zero_duration_detections: int = 2025
+    collection_days: int = 131
+    max_visit_duration: float = 27697.0
+    max_detection_duration: float = 20360.0
+    normal_visit_span_cap: float = 25000.0
+    normal_dwell_cap: float = 3600.0
+    seed: int = 20170119
+
+    @property
+    def total_visits(self) -> int:
+        """First visits plus repeat visits."""
+        return (self.visitors + self.two_visit_visitors
+                + 2 * self.three_visit_visitors)
+
+    def scaled(self, factor: float) -> "DatasetParameters":
+        """A proportionally smaller corpus (for tests and sweeps)."""
+        if not 0 < factor <= 1:
+            raise ValueError("factor must lie in (0, 1]")
+
+        def s(value: int) -> int:
+            return max(1, int(round(value * factor)))
+
+        return DatasetParameters(
+            visitors=s(self.visitors),
+            two_visit_visitors=s(self.two_visit_visitors),
+            three_visit_visitors=s(self.three_visit_visitors),
+            total_detections=s(self.total_detections),
+            zero_duration_detections=s(self.zero_duration_detections),
+            collection_days=self.collection_days,
+            max_visit_duration=self.max_visit_duration,
+            max_detection_duration=self.max_detection_duration,
+            normal_visit_span_cap=self.normal_visit_span_cap,
+            normal_dwell_cap=self.normal_dwell_cap,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class GeneratedVisit:
+    """One generated visit with its metadata."""
+
+    visit_id: str
+    visitor_id: str
+    device: str
+    profile_name: str
+    records: List[DetectionRecord] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Visit span: last detection end minus first detection start."""
+        if not self.records:
+            return 0.0
+        return self.records[-1].t_end - self.records[0].t_start
+
+
+class LouvreDatasetGenerator:
+    """Seeded generator of the synthetic visit corpus.
+
+    Args:
+        space: the Louvre space model (built on demand when omitted).
+        parameters: calibration; defaults match the paper.
+    """
+
+    def __init__(self, space: Optional[LouvreSpace] = None,
+                 parameters: Optional[DatasetParameters] = None) -> None:
+        self.space = space or LouvreSpace()
+        self.parameters = parameters or DatasetParameters()
+        self.nrg: NodeRelationGraph = self.space.dataset_zone_nrg()
+        self._attractions = self.space.zone_attractions()
+        self._epoch = from_date(str(
+            PAPER_STATISTICS["collection_start"]))
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def generate(self) -> List[GeneratedVisit]:
+        """Generate the full corpus (deterministic for a fixed seed)."""
+        params = self.parameters
+        rng = random.Random(params.seed)
+        plan = self._visit_plan(rng)
+        lengths = self._visit_lengths(rng, len(plan),
+                                      params.total_detections)
+        visits: List[GeneratedVisit] = []
+        walker = GraphWalker(self.nrg, rng,
+                             revisit_penalty=0.25,
+                             attractions=self._attractions)
+        for index, ((visitor_id, device), length) in enumerate(
+                zip(plan, lengths)):
+            visit = GeneratedVisit(
+                visit_id="visit{:05d}".format(index),
+                visitor_id=visitor_id,
+                device=device,
+                profile_name="",
+            )
+            if index == 0:
+                self._craft_extreme_visit(visit)
+            else:
+                profile = choose_profile(rng)
+                visit.profile_name = profile.name
+                visit.records = self._walk_visit(
+                    rng, walker, visit, profile, length)
+            visits.append(visit)
+        self._apply_zero_durations(rng, visits)
+        return visits
+
+    def detection_records(self,
+                          visits: Optional[List[GeneratedVisit]] = None
+                          ) -> List[DetectionRecord]:
+        """Flatten a corpus into detection records."""
+        visits = visits if visits is not None else self.generate()
+        records: List[DetectionRecord] = []
+        for visit in visits:
+            records.extend(visit.records)
+        return records
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def _visit_plan(self, rng: random.Random
+                    ) -> List[Tuple[str, str]]:
+        """The (visitor, device) of every visit, in generation order."""
+        params = self.parameters
+        visitor_ids = ["visitor{:04d}".format(i)
+                       for i in range(params.visitors)]
+        devices = {vid: ("iPhone" if rng.random() < 0.55 else "Android")
+                   for vid in visitor_ids}
+        shuffled = visitor_ids[:]
+        rng.shuffle(shuffled)
+        three = set(shuffled[:params.three_visit_visitors])
+        two = set(shuffled[params.three_visit_visitors:
+                           params.three_visit_visitors
+                           + params.two_visit_visitors])
+        plan: List[Tuple[str, str]] = []
+        for visitor_id in visitor_ids:
+            count = 3 if visitor_id in three else \
+                2 if visitor_id in two else 1
+            for _ in range(count):
+                plan.append((visitor_id, devices[visitor_id]))
+        rng.shuffle(plan)
+        return plan
+
+    def _visit_lengths(self, rng: random.Random, visit_count: int,
+                       total: int) -> List[int]:
+        """Per-visit detection counts summing exactly to ``total``."""
+        mean = total / visit_count
+        p = 1.0 / mean
+        lengths: List[int] = []
+        for _ in range(visit_count):
+            count = 1
+            while rng.random() > p and count < 25:
+                count += 1
+            lengths.append(count)
+        # Exact-total adjustment: nudge random entries until the sum
+        # matches, keeping every length >= 1.
+        delta = total - sum(lengths)
+        while delta != 0:
+            index = rng.randrange(visit_count)
+            if delta > 0 and lengths[index] < 25:
+                lengths[index] += 1
+                delta -= 1
+            elif delta < 0 and lengths[index] > 1:
+                lengths[index] -= 1
+                delta += 1
+        # Visit 0 is the crafted extreme visit with exactly 3 records;
+        # keep the global total exact by moving the difference onto
+        # another visit.
+        adjustment = lengths[0] - 3
+        lengths[0] = 3
+        cursor = 1
+        while adjustment != 0 and cursor < visit_count:
+            if adjustment > 0 and lengths[cursor] < 25:
+                step = min(adjustment, 25 - lengths[cursor])
+                lengths[cursor] += step
+                adjustment -= step
+            elif adjustment < 0 and lengths[cursor] > 1:
+                step = min(-adjustment, lengths[cursor] - 1)
+                lengths[cursor] -= step
+                adjustment += step
+            cursor += 1
+        return lengths
+
+    def _visit_start(self, rng: random.Random) -> float:
+        """Arrival timestamp: a day in the window, 09:00–17:00."""
+        day = rng.randrange(self.parameters.collection_days)
+        seconds = rng.uniform(9 * 3600, 17 * 3600)
+        return self._epoch + day * 86400.0 + seconds
+
+    # ------------------------------------------------------------------
+    # the extreme visit (corpus maxima)
+    # ------------------------------------------------------------------
+    def _craft_extreme_visit(self, visit: GeneratedVisit) -> None:
+        """Visit 0 carries the corpus maxima exactly.
+
+        Three detections: the longest single detection (5 h 39 m 20 s in
+        the temporary exhibition), a shop stop, and a final detection
+        placed so the visit span is exactly 7 h 41 m 37 s.
+        """
+        params = self.parameters
+        visit.profile_name = "grasshopper"
+        t0 = self._epoch + 9 * 3600.0  # first collection day, 09:00
+        d_max = params.max_detection_duration
+        span = params.max_visit_duration
+        visit.records = [
+            DetectionRecord(visit.visitor_id, "zone60887",
+                            t0, t0 + d_max,
+                            visit_id=visit.visit_id,
+                            attributes={"device": visit.device}),
+            DetectionRecord(visit.visitor_id, "zone60890",
+                            t0 + d_max + 1200.0,
+                            t0 + d_max + 4200.0,
+                            visit_id=visit.visit_id,
+                            attributes={"device": visit.device}),
+            DetectionRecord(visit.visitor_id, "zone60891",
+                            t0 + span - 600.0, t0 + span,
+                            visit_id=visit.visit_id,
+                            attributes={"device": visit.device}),
+        ]
+
+    # ------------------------------------------------------------------
+    # ordinary visits
+    # ------------------------------------------------------------------
+    def _walk_visit(self, rng: random.Random, walker: GraphWalker,
+                    visit: GeneratedVisit, profile: VisitorProfile,
+                    detections_needed: int) -> List[DetectionRecord]:
+        """Walk the zone graph until enough detections are collected."""
+        params = self.parameters
+        exit_zones = set(self.space.exit_zones())
+        t = self._visit_start(rng)
+        deadline = t + params.normal_visit_span_cap
+        current = ZONE_ENTRANCE if rng.random() < 0.8 else \
+            rng.choice(["zone60866", "zone60867"])
+        visited: List[str] = [current]
+        records: List[DetectionRecord] = []
+        steps = 0
+        max_steps = detections_needed * 6 + 10
+        while len(records) < detections_needed:
+            steps += 1
+            force = (max_steps - steps) <= (detections_needed
+                                            - len(records))
+            dwell = min(profile.sample_dwell(rng), params.normal_dwell_cap,
+                        max(30.0, deadline - t))
+            if force or rng.random() < profile.detection_probability:
+                records.append(DetectionRecord(
+                    visit.visitor_id, current, t, t + dwell,
+                    visit_id=visit.visit_id,
+                    attributes={"device": visit.device}))
+            t += dwell + rng.uniform(20.0, 90.0)  # transit to next zone
+            if len(records) >= detections_needed:
+                break
+            nxt = self._next_zone(rng, walker, current, visited,
+                                  exit_zones,
+                                  detections_needed - len(records))
+            visited.append(nxt)
+            current = nxt
+        return records
+
+    def _next_zone(self, rng: random.Random, walker: GraphWalker,
+                   current: str, visited: Sequence[str],
+                   exit_zones: set, remaining: int) -> str:
+        """Choose the next zone, avoiding dead-end exits too early."""
+        for _ in range(6):
+            candidate = walker.next_state(current, visited)
+            if candidate is None:
+                break
+            if candidate in exit_zones and remaining > 1:
+                continue  # don't get stuck at the one-way exit
+            if not self.nrg.successors(candidate) and remaining > 1:
+                continue
+            return candidate
+        # Dead end (or exit-only neighbourhood): the visitor re-appears
+        # elsewhere — a coverage gap, as in the real sparse data.
+        choices = [z for z in self.nrg.nodes
+                   if z not in exit_zones and self.nrg.successors(z)]
+        return rng.choice(choices)
+
+    # ------------------------------------------------------------------
+    # zero-duration injection
+    # ------------------------------------------------------------------
+    def _apply_zero_durations(self, rng: random.Random,
+                              visits: List[GeneratedVisit]) -> None:
+        """Zero out exactly the configured number of detections.
+
+        Visit 0 (the crafted maxima) is protected.  At least one
+        single-detection visit is zeroed first so the corpus contains a
+        0-second visit, matching the paper's minimum.
+        """
+        params = self.parameters
+        candidates: List[Tuple[int, int]] = []
+        singles: List[Tuple[int, int]] = []
+        for v_index, visit in enumerate(visits):
+            if v_index == 0:
+                continue
+            for r_index in range(len(visit.records)):
+                candidates.append((v_index, r_index))
+                if len(visit.records) == 1:
+                    singles.append((v_index, r_index))
+        target = min(params.zero_duration_detections, len(candidates))
+        chosen: List[Tuple[int, int]] = []
+        if singles and target > 0:
+            chosen.append(singles[0])
+        pool = [c for c in candidates if c not in set(chosen)]
+        rng.shuffle(pool)
+        chosen.extend(pool[:target - len(chosen)])
+        for v_index, r_index in chosen:
+            record = visits[v_index].records[r_index]
+            visits[v_index].records[r_index] = DetectionRecord(
+                record.mo_id, record.state, record.t_start,
+                record.t_start, record.visit_id, record.attributes)

@@ -1,0 +1,362 @@
+"""Synthetic primal-space geometry of the Louvre.
+
+The real floor plans are proprietary; this module builds a synthetic
+2.5D geometry that preserves every property the SITM consumes
+(DESIGN.md substitution table):
+
+* four area footprints (Richelieu, Denon, Sully, Napoleon) that meet
+  where the real circulation links are;
+* one floor cell per (area, floor) — "a 'Floor' object describes a
+  single building's floor level" (Section 4.2);
+* the 52 thematic zones as strips that **partition** each floor cell
+  (full coverage at the zone level);
+* rooms that partition each zone (full coverage at the room level,
+  "hundreds in total");
+* exhibit RoIs strictly inside selected rooms that deliberately do
+  **not** cover them — the Figure 4 situation — including the Mona Lisa
+  RoI inside the Salle des États.
+
+All coordinates are metres in an arbitrary local frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.indoor.cells import BoundaryKind, Cell, CellBoundary, CellSpace
+from repro.louvre.zones import (
+    WING_FLOORS,
+    WINGS,
+    ZONES,
+    ZONE_SALLE_DES_ETATS,
+    ZoneSpec,
+)
+from repro.spatial.geometry import BBox, Point, Polygon
+
+#: Area footprints (min_x, min_y, max_x, max_y).  Denon and Richelieu
+#: are the long south/north wings, Sully the east square, Napoleon the
+#: central reception area under the Pyramide; Napoleon meets all three.
+WING_FOOTPRINTS: Dict[str, BBox] = {
+    "denon": BBox(0.0, 0.0, 200.0, 50.0),
+    "richelieu": BBox(0.0, 70.0, 200.0, 120.0),
+    "napoleon": BBox(200.0, 0.0, 250.0, 120.0),
+    "sully": BBox(250.0, 0.0, 310.0, 120.0),
+}
+
+#: Share of a room's area jointly covered by its exhibit RoIs (kept well
+#: below 1 so the RoI layer demonstrably violates the full-coverage
+#: hypothesis).
+ROI_ROOM_SHARE = 0.18
+
+
+def wing_cell_id(wing: str) -> str:
+    """Cell id of a wing in the building layer."""
+    return "wing:{}".format(wing)
+
+def floor_cell_id(wing: str, floor: int) -> str:
+    """Cell id of one building's floor level (e.g. ``floor:denon:1``)."""
+    return "floor:{}:{}".format(wing, floor)
+
+
+def room_cell_id(zone_id: str, index: int) -> str:
+    """Cell id of the ``index``-th room of a zone."""
+    return "room:{}:{}".format(zone_id.replace("zone", ""), index)
+
+
+def roi_cell_id(zone_id: str, room_index: int, roi_index: int) -> str:
+    """Cell id of an exhibit RoI."""
+    return "roi:{}:{}:{}".format(zone_id.replace("zone", ""),
+                                 room_index, roi_index)
+
+
+#: The Mona Lisa room and RoI get stable, human-readable identifiers.
+SALLE_DES_ETATS_ROOM = room_cell_id(ZONE_SALLE_DES_ETATS, 0)
+MONA_LISA_ROI = "roi:mona-lisa"
+
+
+@dataclass(frozen=True)
+class _ZonePlacement:
+    """Where one zone strip landed."""
+
+    spec: ZoneSpec
+    bbox: BBox
+
+
+class LouvreFloorplan:
+    """Builds and holds the full synthetic primal-space geometry.
+
+    Attributes (after construction):
+        complex_space: the Building Complex layer cell space (1 cell).
+        wing_space: the Building layer (4 wings).
+        floor_space: the Floor layer (18 wing-floors).
+        zone_space: the thematic-zone semantic layer (52 zones).
+        room_space: the Room layer (hundreds of rooms).
+        roi_space: the RoI layer (hundreds of exhibit areas).
+    """
+
+    def __init__(self, validate_geometry: bool = False) -> None:
+        self.complex_space = CellSpace("louvre-museum",
+                                       validate_geometry=False)
+        self.wing_space = CellSpace("wings", validate_geometry=False)
+        self.floor_space = CellSpace("floors",
+                                     validate_geometry=validate_geometry)
+        self.zone_space = CellSpace("zones",
+                                    validate_geometry=validate_geometry)
+        self.room_space = CellSpace("rooms",
+                                    validate_geometry=validate_geometry)
+        self.roi_space = CellSpace("rois",
+                                   validate_geometry=validate_geometry)
+        self._zone_placements: Dict[str, _ZonePlacement] = {}
+        self._rooms_of_zone: Dict[str, List[str]] = {}
+        self._rois_of_room: Dict[str, List[str]] = {}
+        self._build_complex()
+        self._build_wings()
+        self._build_floors()
+        self._build_zones()
+        self._build_rooms()
+        self._build_rois()
+
+    # ------------------------------------------------------------------
+    # layer construction
+    # ------------------------------------------------------------------
+    def _build_complex(self) -> None:
+        footprint = BBox.union_of(WING_FOOTPRINTS.values())
+        self.complex_space.add_cell(Cell(
+            cell_id="louvre",
+            name="Louvre Museum",
+            semantic_class="BuildingComplex",
+            geometry=footprint.to_polygon(),
+        ))
+
+    def _build_wings(self) -> None:
+        for wing in WINGS:
+            self.wing_space.add_cell(Cell(
+                cell_id=wing_cell_id(wing),
+                name=wing.capitalize(),
+                semantic_class="Building",
+                geometry=WING_FOOTPRINTS[wing].to_polygon(),
+            ))
+        for other in ("denon", "richelieu", "sully"):
+            self.wing_space.add_boundary(CellBoundary(
+                boundary_id="wb:napoleon-{}".format(other),
+                source=wing_cell_id("napoleon"),
+                target=wing_cell_id(other),
+                kind=BoundaryKind.OPENING,
+            ))
+
+    def _build_floors(self) -> None:
+        for wing in WINGS:
+            for floor in WING_FLOORS[wing]:
+                self.floor_space.add_cell(Cell(
+                    cell_id=floor_cell_id(wing, floor),
+                    name="{} floor {}".format(wing.capitalize(), floor),
+                    semantic_class="Floor",
+                    geometry=WING_FOOTPRINTS[wing].to_polygon(),
+                    floor=floor,
+                ))
+        # Vertical circulation within each wing.
+        for wing in WINGS:
+            floors = WING_FLOORS[wing]
+            for lower, upper in zip(floors, floors[1:]):
+                self.floor_space.add_boundary(CellBoundary(
+                    boundary_id="fs:{}:{}to{}".format(wing, lower, upper),
+                    source=floor_cell_id(wing, lower),
+                    target=floor_cell_id(wing, upper),
+                    kind=BoundaryKind.STAIRCASE,
+                ))
+        # Horizontal circulation through the Napoleon area.
+        for other in ("denon", "richelieu", "sully"):
+            for floor in WING_FLOORS["napoleon"]:
+                if floor not in WING_FLOORS[other]:
+                    continue
+                self.floor_space.add_boundary(CellBoundary(
+                    boundary_id="fo:napoleon-{}:{}".format(other, floor),
+                    source=floor_cell_id("napoleon", floor),
+                    target=floor_cell_id(other, floor),
+                    kind=BoundaryKind.OPENING,
+                ))
+
+    def _zones_of_wing_floor(self, wing: str,
+                             floor: int) -> List[ZoneSpec]:
+        return [z for z in ZONES if z.wing == wing and z.floor == floor]
+
+    def _build_zones(self) -> None:
+        for wing in WINGS:
+            footprint = WING_FOOTPRINTS[wing]
+            horizontal = footprint.width >= footprint.height
+            for floor in WING_FLOORS[wing]:
+                specs = self._zones_of_wing_floor(wing, floor)
+                if not specs:
+                    continue
+                strips = _partition(footprint, len(specs), horizontal)
+                for spec, strip in zip(specs, strips):
+                    self._zone_placements[spec.zone_id] = _ZonePlacement(
+                        spec, strip)
+                    self.zone_space.add_cell(Cell(
+                        cell_id=spec.zone_id,
+                        name=spec.theme,
+                        semantic_class="ThematicZone",
+                        geometry=strip.to_polygon(),
+                        floor=floor,
+                        attributes=dict(spec.attributes,
+                                        wing=wing,
+                                        in_dataset=spec.in_dataset),
+                    ))
+
+    def _build_rooms(self) -> None:
+        for spec in ZONES:
+            placement = self._zone_placements[spec.zone_id]
+            horizontal = placement.bbox.width >= placement.bbox.height
+            strips = _partition(placement.bbox, spec.room_count,
+                                horizontal)
+            room_ids: List[str] = []
+            for index, strip in enumerate(strips):
+                room_id = room_cell_id(spec.zone_id, index)
+                name = "{} room {}".format(spec.theme, index + 1)
+                if room_id == SALLE_DES_ETATS_ROOM:
+                    name = "Salle des États"
+                self.room_space.add_cell(Cell(
+                    cell_id=room_id,
+                    name=name,
+                    semantic_class="Room",
+                    geometry=strip.to_polygon(),
+                    floor=spec.floor,
+                    attributes={"zone": spec.zone_id, "wing": spec.wing},
+                ))
+                room_ids.append(room_id)
+            self._rooms_of_zone[spec.zone_id] = room_ids
+            for first, second in zip(room_ids, room_ids[1:]):
+                self.room_space.add_boundary(CellBoundary(
+                    boundary_id="door:{}-{}".format(first, second),
+                    source=first,
+                    target=second,
+                    kind=BoundaryKind.DOOR,
+                ))
+        self._link_rooms_across_zones()
+
+    def _link_rooms_across_zones(self) -> None:
+        """Door between the boundary rooms of consecutive zone strips.
+
+        The Salle des États zone's link towards the Grande Galerie is
+        one-way (exit only), reproducing the Section 3.2 flow rule.
+        """
+        for wing in WINGS:
+            for floor in WING_FLOORS[wing]:
+                specs = self._zones_of_wing_floor(wing, floor)
+                for left, right in zip(specs, specs[1:]):
+                    source = self._rooms_of_zone[left.zone_id][-1]
+                    target = self._rooms_of_zone[right.zone_id][0]
+                    # Only the Salle des États → Grande Galerie link is
+                    # one-way (exit only); entering from the other side
+                    # (large-formats gallery) stays permitted, matching
+                    # checkpoint042 in the zone-level topology.
+                    one_way = left.zone_id == ZONE_SALLE_DES_ETATS
+                    self.room_space.add_boundary(CellBoundary(
+                        boundary_id="door:{}-{}".format(source, target),
+                        source=source,
+                        target=target,
+                        kind=BoundaryKind.DOOR,
+                        bidirectional=not one_way,
+                    ))
+
+    def _build_rois(self) -> None:
+        for spec in ZONES:
+            # Exhibit RoIs are modelled for exhibition zones (those with
+            # a popularity weight) — services/passages have none.
+            roi_count = 2 if "popularity" in spec.attributes else 0
+            if spec.zone_id == ZONE_SALLE_DES_ETATS:
+                roi_count = 1  # the Mona Lisa wall dominates the room
+            if roi_count == 0:
+                continue
+            for room_index, room_id in enumerate(
+                    self._rooms_of_zone[spec.zone_id]):
+                room_cell = self.room_space.cell(room_id)
+                boxes = _roi_boxes(room_cell.geometry.bbox(), roi_count)
+                ids: List[str] = []
+                for roi_index, box in enumerate(boxes):
+                    if room_id == SALLE_DES_ETATS_ROOM and roi_index == 0:
+                        roi_id = MONA_LISA_ROI
+                        roi_name = "Mona Lisa"
+                    else:
+                        roi_id = roi_cell_id(spec.zone_id, room_index,
+                                             roi_index)
+                        roi_name = "{} exhibit {}.{}".format(
+                            spec.theme, room_index + 1, roi_index + 1)
+                    self.roi_space.add_cell(Cell(
+                        cell_id=roi_id,
+                        name=roi_name,
+                        semantic_class="ExhibitRoI",
+                        geometry=box.to_polygon(),
+                        floor=spec.floor,
+                        attributes={"room": room_id,
+                                    "zone": spec.zone_id},
+                    ))
+                    ids.append(roi_id)
+                self._rois_of_room[room_id] = ids
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def rooms_of_zone(self, zone_id: str) -> Sequence[str]:
+        """Room ids of a zone, in strip order."""
+        return tuple(self._rooms_of_zone[zone_id])
+
+    def rois_of_room(self, room_id: str) -> Sequence[str]:
+        """RoI ids of a room (empty for rooms without exhibits)."""
+        return tuple(self._rois_of_room.get(room_id, ()))
+
+    def zone_bbox(self, zone_id: str) -> BBox:
+        """The zone strip's bounding box."""
+        return self._zone_placements[zone_id].bbox
+
+    def room_count(self) -> int:
+        """Total rooms."""
+        return len(self.room_space)
+
+    def roi_count(self) -> int:
+        """Total exhibit RoIs."""
+        return len(self.roi_space)
+
+
+def _partition(bbox: BBox, count: int, horizontal: bool) -> List[BBox]:
+    """Split a box into ``count`` equal strips (full coverage)."""
+    if count < 1:
+        raise ValueError("cannot partition into {} strips".format(count))
+    strips: List[BBox] = []
+    if horizontal:
+        step = bbox.width / count
+        for i in range(count):
+            strips.append(BBox(bbox.min_x + i * step, bbox.min_y,
+                               bbox.min_x + (i + 1) * step, bbox.max_y))
+    else:
+        step = bbox.height / count
+        for i in range(count):
+            strips.append(BBox(bbox.min_x, bbox.min_y + i * step,
+                               bbox.max_x, bbox.min_y + (i + 1) * step))
+    return strips
+
+
+def _roi_boxes(room: BBox, count: int) -> List[BBox]:
+    """Small exhibit boxes strictly inside a room.
+
+    Each RoI takes :data:`ROI_ROOM_SHARE` of the room's area, placed
+    along the room's long axis with clear margins, so the room is
+    never fully covered (Figure 4) and RoIs never touch walls (they
+    are strictly ``inside``, not ``coveredBy``).
+    """
+    horizontal = room.width >= room.height
+    slots = _partition(room, count, horizontal)
+    boxes: List[BBox] = []
+    import math
+
+    # Per-dimension scale sqrt(share) makes the RoIs jointly cover
+    # exactly ROI_ROOM_SHARE of the room's area.
+    scale = math.sqrt(ROI_ROOM_SHARE)
+    for slot in slots:
+        center = slot.center()
+        half_w = slot.width * scale / 2.0
+        half_h = slot.height * scale / 2.0
+        boxes.append(BBox(center.x - half_w, center.y - half_h,
+                          center.x + half_w, center.y + half_h))
+    return boxes

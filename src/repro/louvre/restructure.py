@@ -1,0 +1,188 @@
+"""Sparsity repair: restructuring indicative visits (Section 5).
+
+    "it would be of interest to account for the problem of data
+    sparsity by restructuring longer indicative visits from the actual
+    fragmented zone sequences."
+
+Two mechanisms are provided:
+
+* :func:`stitch_fragments` — within one visitor-day, the app may have
+  produced several disconnected trajectory fragments (it was switched
+  off in between).  Fragments are stitched into a single visit by
+  inserting topology-inferred connecting tuples
+  (:func:`repro.core.inference.infer_missing_presence` generalised
+  across fragment borders).
+* :func:`indicative_visits` — corpus-level: stitched visits are
+  clustered by (hierarchy-aware) sequence similarity with k-medoids,
+  and each cluster's medoid becomes an *indicative visit* — a longer,
+  representative zone sequence standing in for its fragmented
+  cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.annotations import AnnotationSet
+from repro.core.inference import InferenceReport, infer_missing_presence
+from repro.core.timeutil import day_index
+from repro.core.trajectory import SemanticTrajectory, Trace, TraceEntry
+from repro.indoor.hierarchy import LayerHierarchy
+from repro.indoor.nrg import NodeRelationGraph
+from repro.mining.profiling import k_medoids
+from repro.mining.similarity import (
+    hierarchy_similarity,
+    normalized_edit_similarity,
+)
+
+
+@dataclass
+class StitchReport:
+    """Outcome of a corpus stitching run."""
+
+    input_trajectories: int = 0
+    stitched_visits: int = 0
+    fragments_joined: int = 0
+    inference: InferenceReport = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.inference is None:
+            self.inference = InferenceReport()
+
+
+def _group_key(trajectory: SemanticTrajectory,
+               epoch: float) -> Tuple[str, int]:
+    return (trajectory.mo_id, day_index(trajectory.t_start, epoch))
+
+
+def stitch_fragments(trajectories: Sequence[SemanticTrajectory],
+                     nrg: NodeRelationGraph,
+                     epoch: float = 0.0,
+                     max_path_length: int = 8,
+                     report: Optional[StitchReport] = None
+                     ) -> List[SemanticTrajectory]:
+    """Merge same-visitor same-day fragments into stitched visits.
+
+    Fragments are concatenated in time order; the seam gets an
+    unobserved-transition marker which the missing-presence inference
+    then replaces with the topology-explained path, so stitched visits
+    are *longer and denser* than any fragment — the "longer indicative
+    visits" the paper asks for.
+
+    Args:
+        trajectories: the fragmented corpus.
+        nrg: the accessibility NRG of the detection layer.
+        epoch: timestamp of day 0 for visitor-day grouping.
+        max_path_length: inference search horizon across seams.
+        report: optional mutable counters.
+    """
+    if report is None:
+        report = StitchReport()
+    report.input_trajectories = len(trajectories)
+    groups: Dict[Tuple[str, int], List[SemanticTrajectory]] = {}
+    for trajectory in trajectories:
+        groups.setdefault(_group_key(trajectory, epoch),
+                          []).append(trajectory)
+
+    stitched: List[SemanticTrajectory] = []
+    for fragments in groups.values():
+        fragments.sort(key=lambda t: t.t_start)
+        merged = _concatenate(fragments)
+        if len(fragments) > 1:
+            report.fragments_joined += len(fragments) - 1
+        repaired = infer_missing_presence(
+            merged, nrg, max_path_length=max_path_length,
+            report=report.inference)
+        stitched.append(repaired)
+    report.stitched_visits = len(stitched)
+    stitched.sort(key=lambda t: (t.mo_id, t.t_start))
+    return stitched
+
+
+def _concatenate(fragments: Sequence[SemanticTrajectory]
+                 ) -> SemanticTrajectory:
+    """Time-ordered concatenation of one visitor-day's fragments."""
+    entries: List[TraceEntry] = []
+    annotations = AnnotationSet.empty()
+    for fragment in fragments:
+        annotations = annotations.union(fragment.annotations)
+        for entry in fragment.trace:
+            if entries and entry.transition is None \
+                    and entry.state != entries[-1].state:
+                entry = TraceEntry(
+                    "unobserved:{}->{}".format(entries[-1].state,
+                                               entry.state),
+                    entry.state, entry.t_start, entry.t_end,
+                    entry.annotations, entry.transition_annotations)
+            entries.append(entry)
+    return SemanticTrajectory(fragments[0].mo_id, Trace(entries),
+                              annotations)
+
+
+@dataclass(frozen=True)
+class IndicativeVisit:
+    """One representative stitched visit.
+
+    Attributes:
+        sequence: the medoid's distinct zone sequence.
+        medoid: the medoid trajectory itself.
+        cluster_size: number of stitched visits it represents.
+        mean_similarity: mean similarity of members to the medoid.
+    """
+
+    sequence: Tuple[str, ...]
+    medoid: SemanticTrajectory
+    cluster_size: int
+    mean_similarity: float
+
+
+def indicative_visits(stitched: Sequence[SemanticTrajectory],
+                      k: int,
+                      hierarchy: Optional[LayerHierarchy] = None,
+                      min_length: int = 2,
+                      seed: int = 0) -> List[IndicativeVisit]:
+    """Cluster stitched visits and return each cluster's medoid.
+
+    Args:
+        stitched: visits (ideally from :func:`stitch_fragments`).
+        k: number of indicative visits wanted.
+        hierarchy: when given, similarity is hierarchy-aware (sibling
+            zones count as near-matches).
+        min_length: visits with fewer distinct zones are ignored —
+            single-zone fragments carry no route information.
+        seed: k-medoids seed.
+
+    Raises:
+        ValueError: when fewer than ``k`` usable visits exist.
+    """
+    usable = [t for t in stitched
+              if len(t.distinct_state_sequence()) >= min_length]
+    if len(usable) < k:
+        raise ValueError(
+            "need at least k={} visits with >= {} zones, have {}".format(
+                k, min_length, len(usable)))
+    sequences = [t.distinct_state_sequence() for t in usable]
+
+    def distance(a, b) -> float:
+        if hierarchy is not None:
+            return 1.0 - hierarchy_similarity(hierarchy, a, b)
+        return 1.0 - normalized_edit_similarity(a, b)
+
+    assignment, medoid_indices = k_medoids(sequences, k,
+                                           distance=distance, seed=seed)
+    visits: List[IndicativeVisit] = []
+    for cluster, medoid_index in enumerate(medoid_indices):
+        members = [i for i, a in enumerate(assignment) if a == cluster]
+        similarities = [1.0 - distance(sequences[medoid_index],
+                                       sequences[i])
+                        for i in members]
+        visits.append(IndicativeVisit(
+            sequence=tuple(sequences[medoid_index]),
+            medoid=usable[medoid_index],
+            cluster_size=len(members),
+            mean_similarity=(sum(similarities) / len(similarities)
+                             if similarities else 0.0),
+        ))
+    visits.sort(key=lambda v: -v.cluster_size)
+    return visits

@@ -1,0 +1,256 @@
+"""The Louvre's layered indoor graph — the Figure 2 instantiation.
+
+Section 4.2: "Layer 4 is instantiated as the whole 'Louvre Museum',
+Layer 3 as its three wings ... as well as the 'Napoleon' area ...,
+Layer 2 as a wing's five different floors, Layer 1 as a floor's rooms
+and halls, and Layer 0 as a room's exhibits.  In addition, we add a
+semantic layer that happens to fall right between Layer 2 and Layer 1,
+representing the thematic zones of our dataset."
+
+:class:`LouvreSpace` assembles all six layers with their directed
+accessibility NRGs, the contains/covers joint edges of the core
+hierarchy, the thematic-zone layer's joint edges to floors and rooms,
+and exposes ready-made :class:`~repro.indoor.hierarchy.LayerHierarchy`
+objects plus the 30-zone dataset NRG of Figure 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.indoor.cells import BoundaryKind, CellBoundary, CellSpace
+from repro.indoor.dual import derive_accessibility_nrg
+from repro.indoor.hierarchy import LayerHierarchy, LayerRole
+from repro.indoor.multilayer import JointEdge, LayeredIndoorGraph
+from repro.indoor.nrg import NodeRelationGraph
+from repro.louvre.floorplan import (
+    LouvreFloorplan,
+    floor_cell_id,
+    wing_cell_id,
+)
+from repro.louvre.zones import (
+    DATASET_ZONE_IDS,
+    WING_FLOORS,
+    WINGS,
+    ZONES,
+    zone_accessibility_edges,
+)
+from repro.spatial.topology import TopologicalRelation, relate
+
+def _accessibility_layer(space: CellSpace) -> NodeRelationGraph:
+    """Derive a layer NRG named after its cell space.
+
+    :func:`derive_accessibility_nrg` suffixes the graph name with
+    ``:accessibility``; layer names must match the space name so that
+    lookups like ``graph.space("rooms")`` work.
+    """
+    nrg = derive_accessibility_nrg(space)
+    nrg.name = space.name
+    return nrg
+
+
+#: Boundary kind strings of the zone edge list → BoundaryKind.
+_KINDS = {
+    "opening": BoundaryKind.OPENING,
+    "checkpoint": BoundaryKind.CHECKPOINT,
+    "staircase": BoundaryKind.STAIRCASE,
+    "door": BoundaryKind.DOOR,
+}
+
+
+class LouvreSpace:
+    """Builds and holds the full Louvre layered indoor graph.
+
+    Attributes:
+        floorplan: the underlying synthetic geometry.
+        graph: the :class:`LayeredIndoorGraph` with six layers
+            (``louvre-museum``, ``wings``, ``floors``, ``zones``,
+            ``rooms``, ``rois``).
+        core_hierarchy: the Figure 2 five-layer hierarchy
+            BuildingComplex → Building → Floor → Room → RoI.
+        zone_hierarchy: the two-layer Floor → ThematicZone hierarchy
+            used to lift zone-level data to floors/wings.
+    """
+
+    def __init__(self, floorplan: Optional[LouvreFloorplan] = None) -> None:
+        self.floorplan = floorplan or LouvreFloorplan()
+        self.graph = LayeredIndoorGraph("louvre")
+        self._build_layers()
+        self._build_core_hierarchy_edges()
+        self._build_zone_layer_edges()
+        self.core_hierarchy = LayerHierarchy(
+            self.graph,
+            ["louvre-museum", "wings", "floors", "rooms", "rois"],
+            roles=[LayerRole.BUILDING_COMPLEX, LayerRole.BUILDING,
+                   LayerRole.FLOOR, LayerRole.ROOM, LayerRole.ROI],
+        )
+        self.zone_hierarchy = LayerHierarchy(
+            self.graph,
+            ["floors", "zones"],
+            roles=[LayerRole.FLOOR, LayerRole.SEMANTIC],
+        )
+
+    # ------------------------------------------------------------------
+    # layers
+    # ------------------------------------------------------------------
+    def _build_layers(self) -> None:
+        plan = self.floorplan
+        self.graph.add_layer(_accessibility_layer(plan.complex_space),
+                             plan.complex_space)
+        self.graph.add_layer(_accessibility_layer(plan.wing_space),
+                             plan.wing_space)
+        self.graph.add_layer(_accessibility_layer(plan.floor_space),
+                             plan.floor_space)
+        self._zone_nrg = self._build_zone_nrg(plan.zone_space)
+        self.graph.add_layer(self._zone_nrg, plan.zone_space)
+        self.graph.add_layer(_accessibility_layer(plan.room_space),
+                             plan.room_space)
+        self.graph.add_layer(_accessibility_layer(plan.roi_space),
+                             plan.roi_space)
+
+    @staticmethod
+    def _build_zone_nrg(zone_space: CellSpace) -> NodeRelationGraph:
+        """The hand-authored zone accessibility NRG (Figure 6)."""
+        for src, dst, bidi, kind, boundary_id in zone_accessibility_edges():
+            zone_space.add_boundary(CellBoundary(
+                boundary_id=boundary_id,
+                source=src,
+                target=dst,
+                kind=_KINDS[kind],
+                bidirectional=bidi,
+            ))
+        return _accessibility_layer(zone_space)
+
+    # ------------------------------------------------------------------
+    # joint edges
+    # ------------------------------------------------------------------
+    def _add_parthood(self, parent_layer: str, parent: str,
+                      child_layer: str, child: str,
+                      declared: Optional[TopologicalRelation] = None
+                      ) -> None:
+        """Add a contains/covers joint edge.
+
+        The relation is derived from the 2D footprints unless
+        ``declared`` is given.  Declaration is needed where the third
+        dimension carries the parthood: a wing's floors share the
+        wing's 2D footprint (their projection is ``equal``) but are
+        proper parts of the wing's 3D volume, so their joint edges are
+        declared ``covers``.
+        """
+        if declared is None:
+            parent_cell = self.graph.space(parent_layer).cell(parent)
+            child_cell = self.graph.space(child_layer).cell(child)
+            relation = relate(parent_cell.geometry, child_cell.geometry)
+            if relation not in (TopologicalRelation.CONTAINS,
+                                TopologicalRelation.COVERS):
+                raise ValueError(
+                    "{} does not contain/cover {} (got {})".format(
+                        parent, child, relation.value))
+        else:
+            relation = declared
+        self.graph.add_joint_edge(JointEdge(
+            parent_layer, parent, child_layer, child, relation))
+
+    def _build_core_hierarchy_edges(self) -> None:
+        plan = self.floorplan
+        for wing in WINGS:
+            self._add_parthood("louvre-museum", "louvre",
+                               "wings", wing_cell_id(wing))
+            for floor in WING_FLOORS[wing]:
+                self._add_parthood(
+                    "wings", wing_cell_id(wing),
+                    "floors", floor_cell_id(wing, floor),
+                    declared=TopologicalRelation.COVERS)
+        for spec in ZONES:
+            parent_floor = floor_cell_id(spec.wing, spec.floor)
+            for room_id in plan.rooms_of_zone(spec.zone_id):
+                self._add_parthood("floors", parent_floor,
+                                   "rooms", room_id)
+                for roi_id in plan.rois_of_room(room_id):
+                    self._add_parthood("rooms", room_id, "rois", roi_id)
+
+    def _build_zone_layer_edges(self) -> None:
+        """Link the semantic zone layer to floors and rooms.
+
+        Floors cover their zone strips (hierarchy edges for
+        ``zone_hierarchy``); zones cover/contain their rooms — extra
+        semantic joint edges outside any hierarchy, which is legal in
+        the MLSM.
+        """
+        plan = self.floorplan
+        zones_per_floor: Dict[Tuple[str, int], int] = {}
+        for spec in ZONES:
+            key = (spec.wing, spec.floor)
+            zones_per_floor[key] = zones_per_floor.get(key, 0) + 1
+        for spec in ZONES:
+            # A floor with a single zone makes the synthetic strip
+            # coincide with the floor footprint (2D 'equal'); the real
+            # zone excludes service areas the idealised strip does not,
+            # so the parthood is declared.
+            declared = (TopologicalRelation.COVERS
+                        if zones_per_floor[(spec.wing, spec.floor)] == 1
+                        else None)
+            self._add_parthood("floors",
+                               floor_cell_id(spec.wing, spec.floor),
+                               "zones", spec.zone_id, declared=declared)
+            for room_id in plan.rooms_of_zone(spec.zone_id):
+                self._add_parthood("zones", spec.zone_id,
+                                   "rooms", room_id)
+
+    # ------------------------------------------------------------------
+    # derived graphs and lookups
+    # ------------------------------------------------------------------
+    @property
+    def zone_nrg(self) -> NodeRelationGraph:
+        """The full 52-zone accessibility NRG."""
+        return self._zone_nrg
+
+    def dataset_zone_nrg(self) -> NodeRelationGraph:
+        """The 30-zone subgraph present in the dataset (Figure 6)."""
+        return self._zone_nrg.subgraph(DATASET_ZONE_IDS)
+
+    def zone_of_room(self, room_id: str) -> str:
+        """The thematic zone a room belongs to."""
+        return str(self.graph.space("rooms").cell(room_id)
+                   .attribute("zone"))
+
+    def wing_of_zone(self, zone_id: str) -> str:
+        """The wing cell id of a zone."""
+        wing = str(self.graph.space("zones").cell(zone_id)
+                   .attribute("wing"))
+        return wing_cell_id(wing)
+
+    def floor_of_zone(self, zone_id: str) -> str:
+        """The floor cell id of a zone (via the zone hierarchy)."""
+        parent = self.zone_hierarchy.parent(zone_id)
+        if parent is None:
+            raise KeyError("zone {!r} has no floor parent".format(zone_id))
+        return parent
+
+    def zone_attractions(self) -> Dict[str, float]:
+        """Zone popularity weights for the synthetic walker."""
+        weights: Dict[str, float] = {}
+        for spec in ZONES:
+            weights[spec.zone_id] = float(
+                spec.attributes.get("popularity", 1.0))
+        return weights
+
+    def exit_zones(self) -> List[str]:
+        """Zones flagged as museum exits (Section 4.2's 'exit zones')."""
+        return [spec.zone_id for spec in ZONES
+                if spec.attributes.get("exit")]
+
+    def entrance_zones(self) -> List[str]:
+        """Zones flagged as entrances."""
+        return [spec.zone_id for spec in ZONES
+                if spec.attributes.get("entrance")]
+
+    def summary(self) -> Dict[str, int]:
+        """Node/edge counts per layer — the Figure 2 size card."""
+        stats: Dict[str, int] = {}
+        for layer_name in self.graph.layer_names:
+            layer = self.graph.layer(layer_name)
+            stats[layer_name + ":nodes"] = len(layer)
+            stats[layer_name + ":edges"] = layer.transition_count()
+        stats["joint_edges"] = self.graph.joint_edge_count
+        return stats

@@ -1,0 +1,321 @@
+"""The Louvre's 52 thematic zones and their accessibility topology.
+
+Section 4.1: "raw geometric positions have already been spatially
+aggregated into 52 non-overlapping zones.  Each zone corresponds to a
+large polygonal area of the museum ... specified by the museum
+administration in such a way so as to reflect a single exhibition theme
+(e.g. Italian paintings) but also only extend within a single floor."
+
+The real zone list is proprietary; this module reconstructs a faithful
+synthetic one (the DESIGN.md substitution):
+
+* exactly **52** zones, each within a single (area, floor);
+* exactly **11** zones on the ground floor (Figure 3's choropleth);
+* exactly **30** zones flagged as present in the dataset (Figure 6);
+* the floor −2 zones of the paper's worked examples with their paper
+  ids: 60887 (**E**, temporary exhibition, separate ticket), 60888
+  (**P**, Carrousel passage/cloakroom), 60890 (**S**, souvenir shops),
+  60891 (**C**, Carrousel exit), and the chain E→P→S→C (Figures 5/6);
+* zones 60853/60854 on Denon +1 hosting the RoIs of Figure 4 (60853 is
+  the Salle des États / Mona Lisa zone).
+
+The accessibility topology (:func:`zone_accessibility_edges`) plays the
+role of the hand-extracted Figure 6 graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+#: The four top-level areas.  The paper treats each wing "as a separate
+#: building because its spaces and usage are practically equivalent to
+#: that of a typical building" (Section 4.2); the Napoleon area (under
+#: the Pyramide) is the fourth.
+WINGS: Tuple[str, ...] = ("richelieu", "sully", "denon", "napoleon")
+
+#: Floors per area.  The three wings span −2..+2 ("a wing's five
+#: different floors" — Section 4.2); the Napoleon area exists on the
+#: lower levels only.
+WING_FLOORS: Dict[str, Tuple[int, ...]] = {
+    "richelieu": (-2, -1, 0, 1, 2),
+    "sully": (-2, -1, 0, 1, 2),
+    "denon": (-2, -1, 0, 1, 2),
+    "napoleon": (-2, -1, 0),
+}
+
+
+@dataclass(frozen=True)
+class ZoneSpec:
+    """Static description of one thematic zone.
+
+    Attributes:
+        zone_id: the dataset-style identifier (``zone60853``).
+        wing: the area the zone belongs to.
+        floor: the single floor the zone extends within.
+        theme: the exhibition theme.
+        in_dataset: whether the zone appears in the visit dataset
+            (30 of the 52 do).
+        room_count: how many rooms the synthetic floorplan divides the
+            zone into.
+        attributes: semantic attributes (exit zone, separate ticket,
+            shops, popularity weight for the walker, figure letter).
+    """
+
+    zone_id: str
+    wing: str
+    floor: int
+    theme: str
+    in_dataset: bool = True
+    room_count: int = 4
+    attributes: Mapping[str, object] = field(default_factory=dict)
+
+
+def _zone(number: int, wing: str, floor: int, theme: str,
+          in_dataset: bool = True, room_count: int = 4,
+          **attributes: object) -> ZoneSpec:
+    return ZoneSpec("zone{}".format(number), wing, floor, theme,
+                    in_dataset, room_count, attributes)
+
+
+#: All 52 zones.  Order within one (wing, floor) is the geometric strip
+#: order used by the floorplan.
+ZONES: Tuple[ZoneSpec, ...] = (
+    # ---- floor -2 (8 zones) -------------------------------------------
+    _zone(60886, "napoleon", -2, "Hall Napoléon (Pyramid entrance)",
+          room_count=3, entrance=True, popularity=3.0),
+    _zone(60887, "napoleon", -2, "Temporary Exhibition",
+          room_count=4, letter="E", requires_separate_ticket=True,
+          popularity=1.5),
+    _zone(60888, "napoleon", -2, "Carrousel Passage & Cloakroom",
+          room_count=3, letter="P", service=True, popularity=1.0),
+    _zone(60890, "napoleon", -2, "Carrousel Souvenir Shops",
+          room_count=4, letter="S", shops=True, popularity=1.8),
+    _zone(60891, "napoleon", -2, "Carrousel Exit",
+          room_count=2, letter="C", exit=True, popularity=1.0),
+    _zone(60842, "richelieu", -2, "Richelieu Lower Galleries",
+          in_dataset=False, room_count=4),
+    _zone(60843, "sully", -2, "Medieval Louvre (Moat)",
+          in_dataset=False, room_count=5),
+    _zone(60844, "denon", -2, "Denon Lower Access",
+          in_dataset=False, room_count=3),
+    # ---- floor -1 (10 zones) ------------------------------------------
+    _zone(60845, "richelieu", -1, "Islamic Art", room_count=5,
+          popularity=1.4),
+    _zone(60846, "richelieu", -1, "French Sculpture (Cour Marly)",
+          room_count=4, popularity=1.3),
+    _zone(60847, "richelieu", -1, "Richelieu Mezzanine",
+          in_dataset=False, room_count=3),
+    _zone(60848, "sully", -1, "Ancient Egypt (Crypt)", room_count=5,
+          popularity=1.6),
+    _zone(60849, "sully", -1, "Sully Mezzanine", in_dataset=False,
+          room_count=3),
+    _zone(60850, "sully", -1, "Greek Antiquities (Pre-Classical)",
+          in_dataset=False, room_count=4),
+    _zone(60851, "denon", -1, "Italian Sculpture (Donatello Gallery)",
+          room_count=4, popularity=1.3),
+    _zone(60852, "denon", -1, "Spanish Painting (Lower)",
+          in_dataset=False, room_count=3),
+    _zone(60855, "denon", -1, "Arts of Africa, Asia, Oceania, Americas",
+          in_dataset=False, room_count=5),
+    _zone(60856, "napoleon", -1, "Napoleon Mezzanine Services",
+          in_dataset=False, room_count=2),
+    # ---- floor 0 (11 zones, all in the dataset — Figure 3) ------------
+    _zone(60857, "richelieu", 0, "French Sculpture (Cour Puget)",
+          room_count=4, popularity=1.3),
+    _zone(60858, "richelieu", 0, "Mesopotamia (Cour Khorsabad)",
+          room_count=4, popularity=1.4),
+    _zone(60859, "richelieu", 0, "Near Eastern Antiquities",
+          room_count=5, popularity=1.1),
+    _zone(60860, "sully", 0, "Ancient Egypt (Sphinx Crypt)",
+          room_count=5, popularity=1.7),
+    _zone(60861, "sully", 0, "Greek Antiquities (Venus de Milo)",
+          room_count=4, popularity=2.2),
+    _zone(60862, "sully", 0, "Ancient Iran", room_count=4,
+          popularity=1.0),
+    _zone(60863, "denon", 0, "Etruscan & Roman Antiquities",
+          room_count=4, popularity=1.3),
+    _zone(60864, "denon", 0, "Greek Antiquities (Caryatides)",
+          room_count=4, popularity=1.5),
+    _zone(60865, "denon", 0, "Italian Sculpture (Michelangelo Gallery)",
+          room_count=4, popularity=1.6),
+    _zone(60866, "denon", 0, "Denon Entrance Hall", room_count=3,
+          entrance=True, popularity=1.2),
+    _zone(60867, "napoleon", 0, "Pyramid Mezzanine (Groups)",
+          room_count=2, entrance=True, popularity=1.1),
+    # ---- floor +1 (12 zones) ------------------------------------------
+    _zone(60868, "denon", 1, "French Painting (Large Formats)",
+          room_count=4, popularity=1.8),
+    _zone(60853, "denon", 1, "Italian Painting (Salle des États)",
+          room_count=3, popularity=4.0, mona_lisa=True),
+    _zone(60854, "denon", 1, "Italian Painting (Grande Galerie)",
+          room_count=6, popularity=2.5),
+    _zone(60869, "denon", 1, "Apollo Gallery", room_count=3,
+          popularity=1.7),
+    _zone(60870, "denon", 1, "Denon Balcony", in_dataset=False,
+          room_count=2),
+    _zone(60871, "richelieu", 1, "Decorative Arts", room_count=5,
+          popularity=1.1),
+    _zone(60872, "richelieu", 1, "Napoleon III Apartments",
+          room_count=4, popularity=1.5),
+    _zone(60873, "richelieu", 1, "Richelieu Painting Mezzanine",
+          in_dataset=False, room_count=3),
+    _zone(60874, "sully", 1, "Ancient Egypt (Upper)", room_count=5,
+          popularity=1.4),
+    _zone(60875, "sully", 1, "Greek Ceramics (Campana Gallery)",
+          in_dataset=False, room_count=4),
+    _zone(60876, "sully", 1, "Objets d'Art (Sully)", in_dataset=False,
+          room_count=4),
+    _zone(60877, "sully", 1, "Sully East Galleries", in_dataset=False,
+          room_count=4),
+    # ---- floor +2 (11 zones) ------------------------------------------
+    _zone(60878, "richelieu", 2, "Flemish & Dutch Painting (Rubens)",
+          room_count=5, popularity=1.3),
+    _zone(60879, "richelieu", 2, "German Painting", in_dataset=False,
+          room_count=3),
+    _zone(60880, "richelieu", 2, "French Painting (17th c.)",
+          room_count=5, popularity=1.2),
+    _zone(60881, "richelieu", 2, "Northern Schools Cabinet",
+          in_dataset=False, room_count=3),
+    _zone(60882, "sully", 2, "French Painting (18th–19th c.)",
+          room_count=5, popularity=1.3),
+    _zone(60883, "sully", 2, "Pastels Gallery", in_dataset=False,
+          room_count=3),
+    _zone(60884, "sully", 2, "Sully Attic Galleries", in_dataset=False,
+          room_count=4),
+    _zone(60885, "sully", 2, "Prints & Drawings", in_dataset=False,
+          room_count=3),
+    _zone(60889, "denon", 2, "Denon Upper Mezzanine", in_dataset=False,
+          room_count=3),
+    _zone(60892, "denon", 2, "Denon Study Gallery", in_dataset=False,
+          room_count=3),
+    _zone(60893, "denon", 2, "Denon Tribune", in_dataset=False,
+          room_count=2),
+)
+
+#: Zone specs by id.
+ZONES_BY_ID: Dict[str, ZoneSpec] = {z.zone_id: z for z in ZONES}
+
+#: The 30 zones present in the visit dataset (Section 4.2 / Figure 6).
+DATASET_ZONE_IDS: Tuple[str, ...] = tuple(
+    z.zone_id for z in ZONES if z.in_dataset)
+
+#: The 11 ground-floor zones of the Figure 3 choropleth.
+GROUND_FLOOR_ZONE_IDS: Tuple[str, ...] = tuple(
+    z.zone_id for z in ZONES if z.floor == 0)
+
+#: The paper's named floor −2 zones.
+ZONE_E = "zone60887"
+ZONE_P = "zone60888"
+ZONE_S = "zone60890"
+ZONE_C = "zone60891"
+ZONE_ENTRANCE = "zone60886"
+
+#: The Salle des États / Grande Galerie zones of Figure 4.
+ZONE_SALLE_DES_ETATS = "zone60853"
+ZONE_GRANDE_GALERIE = "zone60854"
+
+
+def _e(a: int, b: int, bidirectional: bool = True,
+       kind: str = "opening",
+       boundary_id: str = "") -> Tuple[str, str, bool, str, str]:
+    return ("zone{}".format(a), "zone{}".format(b), bidirectional, kind,
+            boundary_id)
+
+
+#: Hand-authored zone-level accessibility (the Figure 6 stand-in).
+#: Each tuple is (source, target, bidirectional, boundary kind,
+#: boundary id — auto-generated when empty).
+_ZONE_EDGES: Tuple[Tuple[str, str, bool, str, str], ...] = (
+    # --- Napoleon floor −2: the paper's E→P→S→C chain -----------------
+    _e(60886, 60887, True, "checkpoint", "checkpoint001"),
+    _e(60887, 60888, True, "checkpoint", "checkpoint002"),
+    _e(60886, 60888, True, "opening", "opening003"),
+    _e(60888, 60890, True, "opening", "opening004"),
+    # Leaving through the Carrousel is one-way: no re-entry.
+    _e(60890, 60891, False, "checkpoint", "checkpoint005"),
+    # --- Hall Napoléon up/out to the wings (escalators) ----------------
+    _e(60886, 60845, True, "staircase"),   # → Richelieu −1 (Islamic Art)
+    _e(60886, 60848, True, "staircase"),   # → Sully −1 (Egypt crypt)
+    _e(60886, 60851, True, "staircase"),   # → Denon −1 (Donatello)
+    _e(60886, 60867, True, "staircase"),   # → Pyramid mezzanine (0)
+    _e(60886, 60856, True, "opening"),     # Napoleon mezzanine services
+    # --- lower-floor odds and ends -------------------------------------
+    _e(60842, 60845, True, "staircase"),   # Richelieu −2 ↔ −1
+    _e(60843, 60860, True, "staircase"),   # Medieval Louvre ↔ Sphinx crypt
+    _e(60843, 60848, True, "opening"),
+    _e(60844, 60851, True, "staircase"),   # Denon −2 ↔ −1
+    # --- floor −1 intra-wing chains -------------------------------------
+    _e(60845, 60846, True, "opening"),
+    _e(60846, 60847, True, "opening"),
+    _e(60848, 60850, True, "opening"),
+    _e(60848, 60849, True, "opening"),
+    _e(60851, 60852, True, "opening"),
+    _e(60851, 60855, True, "opening"),
+    # --- floor −1 ↔ floor 0 stairs --------------------------------------
+    _e(60846, 60857, True, "staircase"),   # Cour Marly ↔ Cour Puget
+    _e(60845, 60859, True, "staircase"),
+    _e(60848, 60860, True, "staircase"),   # Egypt crypt ↔ Sphinx crypt
+    _e(60850, 60861, True, "staircase"),   # Greek pre-classical ↔ Venus
+    _e(60851, 60865, True, "staircase"),   # Donatello ↔ Michelangelo
+    _e(60867, 60866, True, "opening"),     # Pyramid mezz ↔ Denon hall
+    # --- floor 0 intra/inter-wing chains --------------------------------
+    _e(60857, 60858, True, "opening"),
+    _e(60858, 60859, True, "opening"),
+    _e(60859, 60862, True, "opening"),     # Richelieu ↔ Sully (NE antiq.)
+    _e(60860, 60861, True, "opening"),
+    _e(60861, 60862, True, "opening"),
+    _e(60861, 60864, True, "opening"),     # Venus ↔ Caryatides
+    _e(60863, 60864, True, "opening"),
+    _e(60864, 60865, True, "opening"),
+    _e(60865, 60866, True, "opening"),
+    # --- floor 0 ↔ floor +1 stairs ---------------------------------------
+    _e(60864, 60868, True, "staircase"),   # Daru staircase (Samothrace)
+    _e(60866, 60869, True, "staircase"),
+    _e(60857, 60871, True, "staircase"),
+    _e(60861, 60874, True, "staircase"),
+    # --- floor +1: Denon painting circuit --------------------------------
+    _e(60868, 60853, True, "opening"),
+    # Entering the Salle des États from the Grande Galerie side is
+    # prohibited by museum personnel; exiting that way is allowed
+    # (the one-way rule of Figure 1, Section 3.2).
+    _e(60853, 60854, False, "checkpoint", "checkpoint042"),
+    _e(60854, 60868, True, "opening"),
+    _e(60854, 60869, True, "opening"),
+    _e(60869, 60870, True, "opening"),
+    _e(60871, 60872, True, "opening"),
+    _e(60872, 60873, True, "opening"),
+    _e(60874, 60875, True, "opening"),
+    _e(60875, 60876, True, "opening"),
+    _e(60876, 60877, True, "opening"),
+    _e(60874, 60877, True, "opening"),
+    _e(60871, 60874, True, "opening"),     # Richelieu ↔ Sully link (+1)
+    # --- floor +1 ↔ floor +2 stairs --------------------------------------
+    _e(60871, 60878, True, "staircase"),
+    _e(60872, 60880, True, "staircase"),
+    _e(60874, 60882, True, "staircase"),
+    _e(60869, 60889, True, "staircase"),
+    # --- floor +2 chains --------------------------------------------------
+    _e(60878, 60879, True, "opening"),
+    _e(60878, 60880, True, "opening"),
+    _e(60880, 60881, True, "opening"),
+    _e(60880, 60882, True, "opening"),     # Richelieu ↔ Sully (+2)
+    _e(60882, 60883, True, "opening"),
+    _e(60882, 60884, True, "opening"),
+    _e(60884, 60885, True, "opening"),
+    _e(60889, 60892, True, "opening"),
+    _e(60892, 60893, True, "opening"),
+)
+
+
+def zone_accessibility_edges() -> List[Tuple[str, str, bool, str, str]]:
+    """The zone-level boundary list with generated boundary ids.
+
+    Returns tuples ``(source, target, bidirectional, kind,
+    boundary_id)``; empty ids are filled with a deterministic
+    ``zb-<n>`` scheme.
+    """
+    edges: List[Tuple[str, str, bool, str, str]] = []
+    for index, (src, dst, bidi, kind, bid) in enumerate(_ZONE_EDGES):
+        edges.append((src, dst, bidi, kind, bid or "zb-{:03d}".format(index)))
+    return edges

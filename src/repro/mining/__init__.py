@@ -1,0 +1,93 @@
+"""Mining and analysis methods the SITM is designed to support.
+
+Section 3 requires the model to support "mining and analysis
+applications using both statistical and reasoning approaches in order
+to provide insight both at the individual and collective level", and
+Section 5 announces "new data mining methods that exploit the
+expressiveness of the SITM" and "semantic similarity metrics for
+trajectories (e.g. for visitor profiling)".  This package implements
+the named method families:
+
+* :mod:`repro.mining.sequences` — symbolic sequence statistics
+  (detection counts, transition matrices, n-grams — Figure 3's input);
+* :mod:`repro.mining.prefixspan` — sequential pattern mining
+  (PrefixSpan), the "frequent/sequential patterns" of [7];
+* :mod:`repro.mining.association` — Apriori association rules over
+  annotated visits;
+* :mod:`repro.mining.similarity` — symbolic edit distance, LCS, and a
+  hierarchy-aware semantic similarity;
+* :mod:`repro.mining.profiling` — feature extraction + k-medoids
+  visitor profiling;
+* :mod:`repro.mining.patterns` — floor-switching / wing-switching
+  pattern detection ("the data can already provide some interesting
+  insight ... e.g. floor-switching patterns" — Section 5).
+"""
+
+from repro.mining.sequences import (
+    detection_counts,
+    state_sequences,
+    transition_matrix,
+    ngram_counts,
+    dwell_statistics,
+)
+from repro.mining.prefixspan import SequentialPattern, prefixspan
+from repro.mining.association import AssociationRule, apriori, mine_rules
+from repro.mining.similarity import (
+    edit_distance,
+    hierarchy_similarity,
+    longest_common_subsequence,
+    normalized_edit_similarity,
+)
+from repro.mining.profiling import (
+    VisitFeatures,
+    extract_features,
+    k_medoids,
+)
+from repro.mining.patterns import (
+    FloorSwitchProfile,
+    floor_switch_profile,
+    switch_sequences,
+)
+from repro.mining.flow import (
+    FlowBalance,
+    flow_balances,
+    hourly_occupancy,
+    od_matrix,
+    simultaneous_occupancy,
+)
+from repro.mining.stops import (
+    StopMoveConfig,
+    segment_stops_moves,
+    stop_cells,
+)
+
+__all__ = [
+    "detection_counts",
+    "state_sequences",
+    "transition_matrix",
+    "ngram_counts",
+    "dwell_statistics",
+    "SequentialPattern",
+    "prefixspan",
+    "AssociationRule",
+    "apriori",
+    "mine_rules",
+    "edit_distance",
+    "hierarchy_similarity",
+    "longest_common_subsequence",
+    "normalized_edit_similarity",
+    "VisitFeatures",
+    "extract_features",
+    "k_medoids",
+    "FloorSwitchProfile",
+    "floor_switch_profile",
+    "switch_sequences",
+    "FlowBalance",
+    "flow_balances",
+    "hourly_occupancy",
+    "od_matrix",
+    "simultaneous_occupancy",
+    "StopMoveConfig",
+    "segment_stops_moves",
+    "stop_cells",
+]

@@ -1,0 +1,145 @@
+"""Apriori association rules over annotated visits.
+
+The classical companion to sequential patterns in the trajectory
+mining literature the paper builds on ([7]: "frequent/sequential
+patterns and association rules").  Transactions here are visits; items
+are whatever the caller derives from a trajectory — visited zones,
+floors reached, goal annotations, visitor-profile tags — which is
+exactly the kind of mixed spatio-semantic itemset the SITM makes easy
+to produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """One mined rule ``antecedent ⇒ consequent``.
+
+    Attributes:
+        antecedent: the left-hand itemset.
+        consequent: the right-hand itemset (disjoint from the left).
+        support: fraction of transactions containing both sides.
+        confidence: ``support(A ∪ C) / support(A)``.
+        lift: ``confidence / support(C)``; > 1 means positive
+            correlation.
+    """
+
+    antecedent: FrozenSet[str]
+    consequent: FrozenSet[str]
+    support: float
+    confidence: float
+    lift: float
+
+    def describe(self) -> str:
+        """Compact form, e.g. ``{a, b} ⇒ {c} (conf 0.82, lift 1.4)``."""
+        return "{{{}}} ⇒ {{{}}} (supp {:.3f}, conf {:.2f}, lift {:.2f})".format(
+            ", ".join(sorted(self.antecedent)),
+            ", ".join(sorted(self.consequent)),
+            self.support, self.confidence, self.lift)
+
+
+def apriori(transactions: Sequence[Iterable[str]],
+            min_support: float,
+            max_size: int = 4) -> Dict[FrozenSet[str], float]:
+    """Mine frequent itemsets with the Apriori algorithm.
+
+    Args:
+        transactions: item collections, one per visit.
+        min_support: minimum relative support in (0, 1].
+        max_size: largest itemset size explored.
+
+    Returns:
+        Mapping itemset → relative support.
+
+    Raises:
+        ValueError: for an empty transaction list or a support outside
+            (0, 1].
+    """
+    if not transactions:
+        raise ValueError("apriori needs at least one transaction")
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError("min_support must lie in (0, 1]")
+    sets = [frozenset(t) for t in transactions]
+    total = len(sets)
+    threshold = min_support * total
+
+    # 1-itemsets.
+    counts: Dict[FrozenSet[str], int] = {}
+    for transaction in sets:
+        for item in transaction:
+            key = frozenset([item])
+            counts[key] = counts.get(key, 0) + 1
+    frequent: Dict[FrozenSet[str], float] = {
+        itemset: count / total for itemset, count in counts.items()
+        if count >= threshold}
+    current_level = [s for s in frequent if len(s) == 1]
+
+    size = 2
+    while current_level and size <= max_size:
+        candidates = _candidates(current_level, size)
+        level_counts: Dict[FrozenSet[str], int] = {}
+        for transaction in sets:
+            for candidate in candidates:
+                if candidate <= transaction:
+                    level_counts[candidate] = \
+                        level_counts.get(candidate, 0) + 1
+        current_level = []
+        for candidate, count in level_counts.items():
+            if count >= threshold:
+                frequent[candidate] = count / total
+                current_level.append(candidate)
+        size += 1
+    return frequent
+
+
+def _candidates(previous_level: List[FrozenSet[str]],
+                size: int) -> List[FrozenSet[str]]:
+    """Join step with Apriori pruning."""
+    previous = set(previous_level)
+    joined = set()
+    for a, b in combinations(previous_level, 2):
+        union = a | b
+        if len(union) != size:
+            continue
+        # Prune: every (size-1)-subset must be frequent.
+        if all(frozenset(subset) in previous
+               for subset in combinations(union, size - 1)):
+            joined.add(union)
+    return sorted(joined, key=sorted)
+
+
+def mine_rules(transactions: Sequence[Iterable[str]],
+               min_support: float = 0.05,
+               min_confidence: float = 0.5,
+               max_size: int = 4) -> List[AssociationRule]:
+    """Mine association rules from frequent itemsets.
+
+    Returns rules sorted by descending lift then confidence.
+    """
+    frequent = apriori(transactions, min_support, max_size)
+    rules: List[AssociationRule] = []
+    for itemset, support in frequent.items():
+        if len(itemset) < 2:
+            continue
+        for split in range(1, len(itemset)):
+            for antecedent_items in combinations(sorted(itemset), split):
+                antecedent = frozenset(antecedent_items)
+                consequent = itemset - antecedent
+                base = frequent.get(antecedent)
+                cons_support = frequent.get(consequent)
+                if base is None or cons_support is None:
+                    continue
+                confidence = support / base
+                if confidence < min_confidence:
+                    continue
+                rules.append(AssociationRule(
+                    antecedent, consequent, support, confidence,
+                    confidence / cons_support))
+    rules.sort(key=lambda r: (-r.lift, -r.confidence,
+                              sorted(r.antecedent)))
+    return rules

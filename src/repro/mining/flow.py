@@ -1,0 +1,156 @@
+"""Collective-level flow analytics.
+
+Section 3 requires support for "insight both at the individual and
+collective level".  The individual level is covered by episodes,
+similarity and profiling; this module adds the collective level:
+
+* origin–destination matrices over any layer granularity;
+* time-of-day occupancy series per cell (the temporal cousin of the
+  Figure 3 choropleth);
+* flow imbalance — cells whose in-flow and out-flow differ, which in
+  a museum flags entrances, exits and one-way bottlenecks;
+* simultaneous-occupancy (congestion) estimation from the store's
+  interval index.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.timeutil import SECONDS_PER_DAY
+from repro.core.trajectory import SemanticTrajectory
+from repro.storage.store import TrajectoryStore
+
+
+def od_matrix(trajectories: Iterable[SemanticTrajectory]
+              ) -> Dict[Tuple[str, str], int]:
+    """Origin–destination counts: first state → last state per visit."""
+    counter: Counter = Counter()
+    for trajectory in trajectories:
+        sequence = trajectory.distinct_state_sequence()
+        counter[(sequence[0], sequence[-1])] += 1
+    return dict(counter)
+
+
+@dataclass(frozen=True)
+class FlowBalance:
+    """In/out flow of one cell across a corpus.
+
+    Attributes:
+        state: the cell.
+        inflow: transitions arriving at the cell.
+        outflow: transitions leaving the cell.
+        started_here: visits whose first detection was here.
+        ended_here: visits whose last detection was here.
+    """
+
+    state: str
+    inflow: int
+    outflow: int
+    started_here: int
+    ended_here: int
+
+    @property
+    def imbalance(self) -> int:
+        """``inflow - outflow``; large positive values mark sinks
+        (exits), large negative values mark sources (entrances)."""
+        return self.inflow - self.outflow
+
+
+def flow_balances(trajectories: Sequence[SemanticTrajectory]
+                  ) -> List[FlowBalance]:
+    """Per-cell flow balance, sorted by |imbalance| descending."""
+    inflow: Counter = Counter()
+    outflow: Counter = Counter()
+    starts: Counter = Counter()
+    ends: Counter = Counter()
+    states: set = set()
+    for trajectory in trajectories:
+        sequence = trajectory.distinct_state_sequence()
+        states.update(sequence)
+        starts[sequence[0]] += 1
+        ends[sequence[-1]] += 1
+        for source, target in zip(sequence, sequence[1:]):
+            outflow[source] += 1
+            inflow[target] += 1
+    balances = [FlowBalance(state, inflow[state], outflow[state],
+                            starts[state], ends[state])
+                for state in states]
+    return sorted(balances, key=lambda b: (-abs(b.imbalance), b.state))
+
+
+def hourly_occupancy(trajectories: Iterable[SemanticTrajectory],
+                     states: Optional[Sequence[str]] = None
+                     ) -> Dict[str, List[float]]:
+    """Seconds of presence per cell per hour-of-day (24 buckets).
+
+    Stays are apportioned to the hours they span, so a 90-minute stay
+    starting at 10:30 contributes 30 minutes to hour 10 and 60 to
+    hour 11 (capped at the stay end).
+    """
+    occupancy: Dict[str, List[float]] = {}
+    for trajectory in trajectories:
+        for entry in trajectory.trace:
+            series = occupancy.setdefault(entry.state, [0.0] * 24)
+            _apportion(series, entry.t_start, entry.t_end)
+    if states is None:
+        return occupancy
+    return {state: occupancy.get(state, [0.0] * 24)
+            for state in states}
+
+
+def _apportion(series: List[float], t_start: float,
+               t_end: float) -> None:
+    cursor = t_start
+    while cursor < t_end:
+        second_of_day = cursor % SECONDS_PER_DAY
+        hour = int(second_of_day // 3600)
+        hour_end = cursor + (3600.0 - second_of_day % 3600.0)
+        slice_end = min(hour_end, t_end)
+        series[hour] += slice_end - cursor
+        cursor = slice_end
+
+
+def peak_hour(series: Sequence[float]) -> int:
+    """The hour-of-day with the highest occupancy."""
+    return max(range(len(series)), key=lambda h: series[h])
+
+
+def simultaneous_occupancy(store: TrajectoryStore, t: float
+                           ) -> Dict[str, int]:
+    """How many moving objects occupy each cell at time ``t``.
+
+    Uses the store's interval index, so the cost is proportional to
+    the number of simultaneously-present objects, not the corpus size.
+    """
+    counts: Counter = Counter()
+    for state in store.states_occupied_at(t).values():
+        counts[state] += 1
+    return dict(counts)
+
+
+def congestion_profile(store: TrajectoryStore,
+                       t_start: float, t_end: float,
+                       step: float = 3600.0
+                       ) -> List[Tuple[float, int, Optional[str]]]:
+    """Sampled congestion: (time, objects present, busiest cell).
+
+    Raises:
+        ValueError: for a non-positive step or reversed window.
+    """
+    if step <= 0:
+        raise ValueError("step must be positive")
+    if t_end < t_start:
+        raise ValueError("window end precedes start")
+    samples: List[Tuple[float, int, Optional[str]]] = []
+    t = t_start
+    while t <= t_end:
+        occupancy = simultaneous_occupancy(store, t)
+        total = sum(occupancy.values())
+        busiest = max(occupancy, key=lambda s: (occupancy[s], s),
+                      default=None)
+        samples.append((t, total, busiest))
+        t += step
+    return samples

@@ -1,0 +1,110 @@
+"""Floor-switching and wing-switching pattern analysis.
+
+Section 5 closes with: "the data can already provide some interesting
+insight albeit at a coarse level of granularity (e.g. floor-switching
+patterns)".  This module delivers that insight: zone-level trajectories
+are lifted to the floor (or wing) layer via the hierarchy, and the
+resulting coarse sequences are profiled — exactly the multi-granularity
+analysis the static layer hierarchy of Section 3.2 was designed to
+enable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.inference import lift_trajectory
+from repro.core.trajectory import SemanticTrajectory
+from repro.indoor.hierarchy import LayerHierarchy
+
+
+@dataclass(frozen=True)
+class FloorSwitchProfile:
+    """Corpus-level floor-switching behaviour.
+
+    Attributes:
+        visits: trajectories successfully lifted.
+        switch_histogram: switches-per-visit → visit count.
+        mean_switches: average floor changes per visit.
+        top_sequences: most frequent coarse sequences with counts.
+        top_switches: most frequent (from-floor, to-floor) moves.
+    """
+
+    visits: int
+    switch_histogram: Dict[int, int]
+    mean_switches: float
+    top_sequences: List[Tuple[Tuple[str, ...], int]]
+    top_switches: List[Tuple[Tuple[str, str], int]]
+
+
+def switch_sequences(trajectories: Iterable[SemanticTrajectory],
+                     hierarchy: LayerHierarchy,
+                     target_layer: str) -> List[List[str]]:
+    """Lift every trajectory and return its coarse state sequence.
+
+    Trajectories that cannot be lifted at all are skipped (e.g. all
+    their states are orphans at the target layer).
+    """
+    sequences: List[List[str]] = []
+    for trajectory in trajectories:
+        try:
+            lifted = lift_trajectory(trajectory, hierarchy, target_layer)
+        except ValueError:
+            continue
+        sequences.append(lifted.distinct_state_sequence())
+    return sequences
+
+
+def floor_switch_profile(trajectories: Sequence[SemanticTrajectory],
+                         hierarchy: LayerHierarchy,
+                         target_layer: str = "floors",
+                         top: int = 10) -> FloorSwitchProfile:
+    """Profile floor-switching behaviour across a corpus."""
+    sequences = switch_sequences(trajectories, hierarchy, target_layer)
+    histogram: Counter = Counter()
+    sequence_counter: Counter = Counter()
+    move_counter: Counter = Counter()
+    for sequence in sequences:
+        switches = len(sequence) - 1
+        histogram[switches] += 1
+        sequence_counter[tuple(sequence)] += 1
+        for move in zip(sequence, sequence[1:]):
+            move_counter[move] += 1
+    total_switches = sum(count * switches
+                         for switches, count in histogram.items())
+    visits = len(sequences)
+    return FloorSwitchProfile(
+        visits=visits,
+        switch_histogram=dict(histogram),
+        mean_switches=(total_switches / visits) if visits else 0.0,
+        top_sequences=sequence_counter.most_common(top),
+        top_switches=move_counter.most_common(top),
+    )
+
+
+def multi_floor_share(profile: FloorSwitchProfile) -> float:
+    """Fraction of visits that touched more than one floor."""
+    if profile.visits == 0:
+        return 0.0
+    single = profile.switch_histogram.get(0, 0)
+    return 1.0 - single / profile.visits
+
+
+def vertical_explorers(trajectories: Sequence[SemanticTrajectory],
+                       hierarchy: LayerHierarchy,
+                       min_floors: int = 3,
+                       target_layer: str = "floors"
+                       ) -> List[SemanticTrajectory]:
+    """Visits that reached at least ``min_floors`` distinct floors."""
+    explorers: List[SemanticTrajectory] = []
+    for trajectory in trajectories:
+        floors = set()
+        for state in trajectory.distinct_state_sequence():
+            lifted = hierarchy.lift(state, target_layer)
+            if lifted is not None:
+                floors.add(lifted)
+        if len(floors) >= min_floors:
+            explorers.append(trajectory)
+    return explorers

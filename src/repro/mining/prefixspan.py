@@ -1,0 +1,121 @@
+"""PrefixSpan sequential pattern mining over symbolic trajectories.
+
+Bogorny et al. [7] (cited in Section 2.2) extended semantic trajectory
+models "with fundamental data mining concepts in order to support
+frequent/sequential patterns and association rules"; the SITM is
+designed so its symbolic state sequences feed such miners directly —
+at any hierarchy granularity (zones, floors, wings) thanks to lifting.
+
+This is the classic PrefixSpan algorithm (Pei et al. 2001) specialised
+to single-item events (a visitor is in one cell at a time), which
+makes the projected-database machinery simple and fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SequentialPattern:
+    """One frequent sequential pattern.
+
+    Attributes:
+        sequence: the pattern's state tuple (order matters, gaps
+            allowed — it is a subsequence pattern, not a substring).
+        support: number of input sequences containing the pattern.
+    """
+
+    sequence: Tuple[str, ...]
+    support: int
+
+    @property
+    def length(self) -> int:
+        """Pattern length in items."""
+        return len(self.sequence)
+
+    def describe(self) -> str:
+        """Compact form, e.g. ``zone60886→zone60861 (support 120)``."""
+        return "{} (support {})".format("→".join(self.sequence),
+                                        self.support)
+
+
+def prefixspan(sequences: Sequence[Sequence[str]],
+               min_support: int,
+               max_length: int = 6) -> List[SequentialPattern]:
+    """Mine frequent sequential patterns.
+
+    Args:
+        sequences: the symbolic state sequences (one per trajectory).
+        min_support: minimum number of sequences a pattern must occur
+            in (absolute count).
+        max_length: maximum pattern length to explore.
+
+    Returns:
+        Patterns sorted by descending support, then lexicographically.
+
+    Raises:
+        ValueError: for ``min_support < 1`` or ``max_length < 1``.
+    """
+    if min_support < 1:
+        raise ValueError("min_support must be at least 1")
+    if max_length < 1:
+        raise ValueError("max_length must be at least 1")
+    patterns: List[SequentialPattern] = []
+    # A projected database is a list of (sequence index, start offset).
+    initial = [(index, 0) for index in range(len(sequences))]
+    _grow((), initial, sequences, min_support, max_length, patterns)
+    patterns.sort(key=lambda p: (-p.support, p.sequence))
+    return patterns
+
+
+def _grow(prefix: Tuple[str, ...],
+          projected: List[Tuple[int, int]],
+          sequences: Sequence[Sequence[str]],
+          min_support: int, max_length: int,
+          out: List[SequentialPattern]) -> None:
+    """Extend ``prefix`` by every frequent item in its projection."""
+    if len(prefix) >= max_length:
+        return
+    # Count, per candidate item, the number of distinct sequences where
+    # the item occurs at or after the projection point.
+    support: Dict[str, int] = {}
+    first_position: Dict[Tuple[str, int], int] = {}
+    for seq_index, offset in projected:
+        seen_here = set()
+        sequence = sequences[seq_index]
+        for position in range(offset, len(sequence)):
+            item = sequence[position]
+            if item in seen_here:
+                continue
+            seen_here.add(item)
+            support[item] = support.get(item, 0) + 1
+            first_position[(item, seq_index)] = position
+    for item in sorted(support):
+        count = support[item]
+        if count < min_support:
+            continue
+        new_prefix = prefix + (item,)
+        out.append(SequentialPattern(new_prefix, count))
+        new_projected: List[Tuple[int, int]] = []
+        for seq_index, _ in projected:
+            position = first_position.get((item, seq_index))
+            if position is not None:
+                new_projected.append((seq_index, position + 1))
+        _grow(new_prefix, new_projected, sequences, min_support,
+              max_length, out)
+
+
+def contains_pattern(sequence: Sequence[str],
+                     pattern: Sequence[str]) -> bool:
+    """True when ``pattern`` is a (gap-allowed) subsequence."""
+    iterator = iter(sequence)
+    return all(item in iterator for item in pattern)
+
+
+def pattern_support(sequences: Sequence[Sequence[str]],
+                    pattern: Sequence[str]) -> int:
+    """Recount a pattern's support (used to cross-check the miner)."""
+    return sum(1 for sequence in sequences
+               if contains_pattern(sequence, pattern))

@@ -1,0 +1,203 @@
+"""Visitor profiling: feature extraction and k-medoids clustering.
+
+The paper motivates "semantic similarity metrics for trajectories
+(e.g. for visitor profiling)" (Section 5).  Profiling here is a
+two-step pipeline:
+
+1. :func:`extract_features` — numeric behavioural features per visit
+   (duration, zone coverage, dwell style, vertical movement);
+2. :func:`k_medoids` — clustering under any distance (feature-space
+   Euclidean by default, or a trajectory-similarity-derived distance),
+   recovering the ant/fish/grasshopper/butterfly styles from data.
+
+k-medoids (PAM-style) is chosen over k-means because it accepts
+arbitrary distance matrices — which is what lets the hierarchy-aware
+similarity of :mod:`repro.mining.similarity` drive the clustering.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.trajectory import SemanticTrajectory
+from repro.indoor.hierarchy import LayerHierarchy
+
+
+@dataclass(frozen=True)
+class VisitFeatures:
+    """Behavioural features of one visit.
+
+    Attributes:
+        mo_id: the visitor.
+        duration: visit span, seconds.
+        cell_count: distinct cells visited.
+        entry_count: presence intervals (revisits included).
+        mean_dwell: mean stay duration, seconds.
+        max_dwell: longest stay, seconds.
+        floor_switches: number of floor changes (needs a hierarchy).
+    """
+
+    mo_id: str
+    duration: float
+    cell_count: int
+    entry_count: int
+    mean_dwell: float
+    max_dwell: float
+    floor_switches: int
+
+    def as_vector(self) -> Tuple[float, ...]:
+        """Numeric vector (log-scaled durations to tame heavy tails)."""
+        return (
+            math.log1p(self.duration),
+            float(self.cell_count),
+            float(self.entry_count),
+            math.log1p(self.mean_dwell),
+            math.log1p(self.max_dwell),
+            float(self.floor_switches),
+        )
+
+
+def extract_features(trajectory: SemanticTrajectory,
+                     hierarchy: Optional[LayerHierarchy] = None,
+                     floor_layer: str = "floors") -> VisitFeatures:
+    """Compute :class:`VisitFeatures` for one trajectory."""
+    durations = [entry.duration for entry in trajectory.trace]
+    states = trajectory.states()
+    switches = 0
+    if hierarchy is not None:
+        floors = []
+        for state in trajectory.distinct_state_sequence():
+            lifted = hierarchy.lift(state, floor_layer)
+            if lifted is not None:
+                floors.append(lifted)
+        switches = sum(1 for a, b in zip(floors, floors[1:]) if a != b)
+    return VisitFeatures(
+        mo_id=trajectory.mo_id,
+        duration=trajectory.duration,
+        cell_count=len(set(states)),
+        entry_count=len(states),
+        mean_dwell=sum(durations) / len(durations),
+        max_dwell=max(durations),
+        floor_switches=switches,
+    )
+
+
+def _euclidean(a: Sequence[float], b: Sequence[float]) -> float:
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+
+
+def standardize(vectors: Sequence[Sequence[float]]
+                ) -> List[Tuple[float, ...]]:
+    """Z-score each feature dimension (zero-variance dims pass through)."""
+    if not vectors:
+        return []
+    dims = len(vectors[0])
+    means = [sum(v[d] for v in vectors) / len(vectors)
+             for d in range(dims)]
+    stds = []
+    for d in range(dims):
+        variance = sum((v[d] - means[d]) ** 2 for v in vectors) \
+            / len(vectors)
+        stds.append(math.sqrt(variance) or 1.0)
+    return [tuple((v[d] - means[d]) / stds[d] for d in range(dims))
+            for v in vectors]
+
+
+def k_medoids(items: Sequence,
+              k: int,
+              distance: Callable[[object, object], float] = _euclidean,
+              max_iterations: int = 50,
+              seed: int = 0) -> Tuple[List[int], List[int]]:
+    """PAM-style k-medoids clustering.
+
+    Args:
+        items: the objects to cluster (vectors, sequences, ...).
+        k: number of clusters.
+        distance: pairwise distance function.
+        max_iterations: swap-phase iteration cap.
+        seed: RNG seed for the initial medoids.
+
+    Returns:
+        ``(assignments, medoid_indices)`` where ``assignments[i]`` is
+        the cluster index of ``items[i]``.
+
+    Raises:
+        ValueError: when ``k`` exceeds the item count or is < 1.
+    """
+    if not 1 <= k <= len(items):
+        raise ValueError("k must lie in [1, len(items)]")
+    rng = random.Random(seed)
+    size = len(items)
+    # Distance cache — PAM probes pairs repeatedly.
+    cache: dict = {}
+
+    def dist(i: int, j: int) -> float:
+        if i == j:
+            return 0.0
+        key = (i, j) if i < j else (j, i)
+        value = cache.get(key)
+        if value is None:
+            value = distance(items[key[0]], items[key[1]])
+            cache[key] = value
+        return value
+
+    medoids = rng.sample(range(size), k)
+
+    def assign() -> List[int]:
+        return [min(range(k), key=lambda c: dist(i, medoids[c]))
+                for i in range(size)]
+
+    def total_cost(assignment: List[int]) -> float:
+        return sum(dist(i, medoids[assignment[i]]) for i in range(size))
+
+    assignment = assign()
+    cost = total_cost(assignment)
+    for _ in range(max_iterations):
+        improved = False
+        for cluster in range(k):
+            members = [i for i in range(size)
+                       if assignment[i] == cluster]
+            for candidate in members:
+                if candidate == medoids[cluster]:
+                    continue
+                old = medoids[cluster]
+                medoids[cluster] = candidate
+                new_assignment = assign()
+                new_cost = total_cost(new_assignment)
+                if new_cost < cost - 1e-12:
+                    cost = new_cost
+                    assignment = new_assignment
+                    improved = True
+                else:
+                    medoids[cluster] = old
+        if not improved:
+            break
+    return assignment, medoids
+
+
+def cluster_summary(features: Sequence[VisitFeatures],
+                    assignment: Sequence[int],
+                    k: int) -> List[dict]:
+    """Mean raw features per cluster — the interpretable profile card."""
+    summaries = []
+    for cluster in range(k):
+        members = [f for f, a in zip(features, assignment)
+                   if a == cluster]
+        if not members:
+            summaries.append({"size": 0})
+            continue
+        summaries.append({
+            "size": len(members),
+            "mean_duration": sum(f.duration for f in members)
+            / len(members),
+            "mean_cells": sum(f.cell_count for f in members)
+            / len(members),
+            "mean_dwell": sum(f.mean_dwell for f in members)
+            / len(members),
+            "mean_floor_switches": sum(f.floor_switches for f in members)
+            / len(members),
+        })
+    return summaries

@@ -1,0 +1,124 @@
+"""Symbolic sequence statistics over semantic trajectories.
+
+These are the corpus-level aggregations behind the paper's Figure 3
+(detections per zone) and the descriptive statistics of Section 4.1.
+Everything works on the symbolic state sequences of SITM traces, which
+is the point of the model: no geometry is touched.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.trajectory import SemanticTrajectory
+
+
+def state_sequences(trajectories: Iterable[SemanticTrajectory]
+                    ) -> List[List[str]]:
+    """The distinct state sequence of every trajectory."""
+    return [t.distinct_state_sequence() for t in trajectories]
+
+
+def detection_counts(trajectories: Iterable[SemanticTrajectory],
+                     states: Optional[Sequence[str]] = None
+                     ) -> Dict[str, int]:
+    """Number of presence intervals per state across the corpus.
+
+    Args:
+        trajectories: the corpus.
+        states: when given, restrict (and zero-fill) to these states —
+            e.g. the 11 ground-floor zones for the Figure 3 choropleth.
+    """
+    counter: Counter = Counter()
+    for trajectory in trajectories:
+        for entry in trajectory.trace:
+            counter[entry.state] += 1
+    if states is None:
+        return dict(counter)
+    return {state: counter.get(state, 0) for state in states}
+
+
+def visitor_counts(trajectories: Iterable[SemanticTrajectory],
+                   states: Optional[Sequence[str]] = None
+                   ) -> Dict[str, int]:
+    """Number of distinct moving objects that visited each state."""
+    seen: Dict[str, set] = {}
+    for trajectory in trajectories:
+        for state in set(trajectory.states()):
+            seen.setdefault(state, set()).add(trajectory.mo_id)
+    counts = {state: len(mos) for state, mos in seen.items()}
+    if states is None:
+        return counts
+    return {state: counts.get(state, 0) for state in states}
+
+
+def transition_matrix(trajectories: Iterable[SemanticTrajectory]
+                      ) -> Dict[Tuple[str, str], int]:
+    """Counts of observed state-to-state moves across the corpus."""
+    counter: Counter = Counter()
+    for trajectory in trajectories:
+        for pair in trajectory.trace.transitions():
+            counter[pair] += 1
+    return dict(counter)
+
+
+def top_transitions(matrix: Mapping[Tuple[str, str], int],
+                    count: int = 10) -> List[Tuple[Tuple[str, str], int]]:
+    """The most frequent transitions, ties broken lexicographically."""
+    return sorted(matrix.items(), key=lambda kv: (-kv[1], kv[0]))[:count]
+
+
+def ngram_counts(sequences: Iterable[Sequence[str]],
+                 n: int = 2) -> Dict[Tuple[str, ...], int]:
+    """Frequency of contiguous state n-grams across sequences.
+
+    Raises:
+        ValueError: for ``n < 1``.
+    """
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    counter: Counter = Counter()
+    for sequence in sequences:
+        for i in range(len(sequence) - n + 1):
+            counter[tuple(sequence[i:i + n])] += 1
+    return dict(counter)
+
+
+def dwell_statistics(trajectories: Iterable[SemanticTrajectory]
+                     ) -> Dict[str, Dict[str, float]]:
+    """Per-state dwell-time statistics (count/total/mean/max seconds)."""
+    dwell: Dict[str, List[float]] = {}
+    for trajectory in trajectories:
+        for entry in trajectory.trace:
+            dwell.setdefault(entry.state, []).append(entry.duration)
+    stats: Dict[str, Dict[str, float]] = {}
+    for state, durations in dwell.items():
+        stats[state] = {
+            "count": float(len(durations)),
+            "total": sum(durations),
+            "mean": sum(durations) / len(durations),
+            "max": max(durations),
+        }
+    return stats
+
+
+def corpus_summary(trajectories: Sequence[SemanticTrajectory]
+                   ) -> Dict[str, float]:
+    """Section 4.1-style corpus headline numbers."""
+    if not trajectories:
+        return {"visits": 0, "visitors": 0, "detections": 0,
+                "transitions": 0, "max_visit_duration": 0.0,
+                "min_visit_duration": 0.0}
+    visitors = {t.mo_id for t in trajectories}
+    detections = sum(len(t.trace) for t in trajectories)
+    transitions = sum(len(t.trace) - 1 for t in trajectories)
+    durations = [t.duration for t in trajectories]
+    return {
+        "visits": len(trajectories),
+        "visitors": len(visitors),
+        "detections": detections,
+        "transitions": transitions,
+        "max_visit_duration": max(durations),
+        "min_visit_duration": min(durations),
+    }

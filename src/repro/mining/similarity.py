@@ -1,0 +1,129 @@
+"""Trajectory similarity metrics, including a hierarchy-aware one.
+
+Section 5: "We will next focus on ... proposing semantic similarity
+metrics for trajectories (e.g. for visitor profiling)."  Three metrics
+are provided:
+
+* **edit distance** over symbolic state sequences (Levenshtein);
+* **longest common subsequence** length;
+* **hierarchy similarity** — a Wu–Palmer-style measure where the cost
+  of substituting two states shrinks with the depth of their lowest
+  common ancestor in the layer hierarchy: two exhibits in the same
+  room are nearly interchangeable, two zones in different wings are
+  not.  This is only expressible because the SITM carries the static
+  layer hierarchy of Section 3.2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.indoor.hierarchy import LayerHierarchy
+
+
+def edit_distance(a: Sequence[str], b: Sequence[str]) -> int:
+    """Levenshtein distance between two state sequences."""
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, item_a in enumerate(a, start=1):
+        current = [i] + [0] * len(b)
+        for j, item_b in enumerate(b, start=1):
+            substitution = previous[j - 1] + (0 if item_a == item_b else 1)
+            current[j] = min(previous[j] + 1,      # deletion
+                             current[j - 1] + 1,   # insertion
+                             substitution)
+        previous = current
+    return previous[-1]
+
+
+def normalized_edit_similarity(a: Sequence[str],
+                               b: Sequence[str]) -> float:
+    """``1 - distance / max_length`` in [0, 1]; 1 means identical."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - edit_distance(a, b) / longest
+
+
+def longest_common_subsequence(a: Sequence[str],
+                               b: Sequence[str]) -> int:
+    """Length of the longest (gap-allowed) common subsequence."""
+    if not a or not b:
+        return 0
+    previous = [0] * (len(b) + 1)
+    for item_a in a:
+        current = [0] * (len(b) + 1)
+        for j, item_b in enumerate(b, start=1):
+            if item_a == item_b:
+                current[j] = previous[j - 1] + 1
+            else:
+                current[j] = max(previous[j], current[j - 1])
+        previous = current
+    return previous[-1]
+
+
+def state_similarity(hierarchy: LayerHierarchy, state_a: str,
+                     state_b: str) -> float:
+    """Wu–Palmer-style similarity of two states in [0, 1].
+
+    ``2·depth(lca) / (depth(a) + depth(b))`` with layer levels as
+    depths (+1 so the root level is non-zero).  States with no common
+    ancestor score 0.
+    """
+    if state_a == state_b:
+        return 1.0
+    lca = hierarchy.lowest_common_ancestor(state_a, state_b)
+    if lca is None:
+        return 0.0
+    depth_a = hierarchy.depth_of_node(state_a) + 1
+    depth_b = hierarchy.depth_of_node(state_b) + 1
+    depth_lca = hierarchy.depth_of_node(lca) + 1
+    return 2.0 * depth_lca / (depth_a + depth_b)
+
+
+def hierarchy_similarity(hierarchy: LayerHierarchy,
+                         a: Sequence[str], b: Sequence[str]) -> float:
+    """Hierarchy-aware sequence similarity in [0, 1].
+
+    A soft edit distance: substitution cost is
+    ``1 − state_similarity``, insert/delete cost 1, normalised by the
+    longer sequence's length.  Sequences through sibling cells score
+    higher than through unrelated ones even with zero exact matches.
+    """
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    previous: List[float] = [float(j) for j in range(len(b) + 1)]
+    for i, item_a in enumerate(a, start=1):
+        current = [float(i)] + [0.0] * len(b)
+        for j, item_b in enumerate(b, start=1):
+            cost = 1.0 - state_similarity(hierarchy, item_a, item_b)
+            current[j] = min(previous[j] + 1.0,
+                             current[j - 1] + 1.0,
+                             previous[j - 1] + cost)
+        previous = current
+    distance = previous[-1]
+    return 1.0 - distance / max(len(a), len(b))
+
+
+def similarity_matrix(hierarchy: Optional[LayerHierarchy],
+                      sequences: Sequence[Sequence[str]]
+                      ) -> List[List[float]]:
+    """Pairwise similarity matrix (hierarchy-aware when given one)."""
+    size = len(sequences)
+    matrix = [[1.0] * size for _ in range(size)]
+    for i in range(size):
+        for j in range(i + 1, size):
+            if hierarchy is not None:
+                value = hierarchy_similarity(hierarchy, sequences[i],
+                                             sequences[j])
+            else:
+                value = normalized_edit_similarity(sequences[i],
+                                                   sequences[j])
+            matrix[i][j] = value
+            matrix[j][i] = value
+    return matrix

@@ -1,0 +1,126 @@
+"""Stop/move segmentation in SITM terms.
+
+The stop-and-move decomposition is the founding operation of semantic
+outdoor trajectory models ([24], with [3] implementing stops "based on
+temporal stay value thresholds").  The paper judges "the segmentation
+of trajectories into episodes" a transferable practice, so this module
+expresses stops and moves as SITM **episodes**: a stop is a maximal
+run of presence intervals in one cell lasting at least a threshold; a
+move is what lies between stops.  The result is an (overlap-free)
+episodic segmentation that downstream tooling treats like any other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.annotations import AnnotationSet
+from repro.core.episodes import Episode, EpisodicSegmentation
+from repro.core.subtrajectory import extract_by_entries
+from repro.core.trajectory import SemanticTrajectory
+
+#: Episode labels used for the two segment kinds.
+STOP_LABEL = "stop"
+MOVE_LABEL = "move"
+
+
+@dataclass(frozen=True)
+class StopMoveConfig:
+    """Segmentation thresholds.
+
+    Attributes:
+        min_stop_seconds: minimum accumulated stay in one cell for a
+            run to count as a stop ([3]'s temporal threshold).
+        max_internal_gap: a silence longer than this inside a run
+            breaks it.
+    """
+
+    min_stop_seconds: float = 300.0
+    max_internal_gap: float = 600.0
+
+
+def _runs(trajectory: SemanticTrajectory,
+          config: StopMoveConfig) -> List[Tuple[int, int]]:
+    """Maximal same-cell entry runs as (first, last) index pairs."""
+    entries = trajectory.trace.entries
+    runs: List[Tuple[int, int]] = []
+    first = 0
+    for index in range(1, len(entries)):
+        same_cell = entries[index].state == entries[first].state
+        gap = entries[index].t_start - entries[index - 1].t_end
+        if not same_cell or gap > config.max_internal_gap:
+            runs.append((first, index - 1))
+            first = index
+    runs.append((first, len(entries) - 1))
+    return runs
+
+
+def segment_stops_moves(trajectory: SemanticTrajectory,
+                        config: Optional[StopMoveConfig] = None
+                        ) -> EpisodicSegmentation:
+    """Segment a trajectory into stop and move episodes.
+
+    Runs meeting the stop threshold become ``stop`` episodes annotated
+    ``activity:stay``; the stretches between consecutive stops become
+    ``move`` episodes annotated ``activity:transit``.  Entry ranges
+    spanning the whole trace (a single all-stop or all-move
+    trajectory) cannot be proper subtrajectories (Definition 3.3), so
+    such trajectories yield an empty segmentation — a trajectory that
+    *is* one stop has no meaningful sub-part.
+    """
+    config = config or StopMoveConfig()
+    entries = trajectory.trace.entries
+    total = len(entries)
+    stop_ranges: List[Tuple[int, int]] = []
+    for first, last in _runs(trajectory, config):
+        stay = sum(entries[i].duration for i in range(first, last + 1))
+        if stay >= config.min_stop_seconds:
+            stop_ranges.append((first, last))
+
+    episodes: List[Episode] = []
+
+    def add(first: int, last: int, label: str, activity: str) -> None:
+        if first > last:
+            return
+        if first == 0 and last == total - 1:
+            return  # not a proper subtrajectory
+        sub = extract_by_entries(trajectory, first, last,
+                                 annotations=_activity_set(activity))
+        episodes.append(Episode(sub, label))
+
+    cursor = 0
+    for first, last in stop_ranges:
+        add(cursor, first - 1, MOVE_LABEL, "transit")
+        add(first, last, STOP_LABEL, "stay")
+        cursor = last + 1
+    add(cursor, total - 1, MOVE_LABEL, "transit")
+    return EpisodicSegmentation(trajectory, episodes)
+
+
+def _activity_set(activity: str) -> AnnotationSet:
+    from repro.core.annotations import SemanticAnnotation
+    return AnnotationSet.of(SemanticAnnotation.activity(activity))
+
+
+def stops_of(segmentation: EpisodicSegmentation) -> List[Episode]:
+    """The stop episodes, in time order."""
+    return [e for e in segmentation if e.label == STOP_LABEL]
+
+
+def moves_of(segmentation: EpisodicSegmentation) -> List[Episode]:
+    """The move episodes, in time order."""
+    return [e for e in segmentation if e.label == MOVE_LABEL]
+
+
+def stop_cells(segmentation: EpisodicSegmentation) -> List[str]:
+    """The cells where the object stopped, in stop order.
+
+    This is [7]'s "important visited places" list, derivable here
+    without any geometry because cells are already symbolic.
+    """
+    cells: List[str] = []
+    for episode in stops_of(segmentation):
+        state = episode.subtrajectory.trace.entries[0].state
+        cells.append(state)
+    return cells

@@ -1,0 +1,29 @@
+"""Synthetic moving objects.
+
+Since the paper's proprietary visitor data cannot be redistributed, the
+library simulates moving objects at two fidelities:
+
+* **symbolic** — random walks over an accessibility NRG with dwell
+  times (:mod:`repro.movement.walker`), which is what the headline
+  Louvre dataset generator uses;
+* **geometric** — agents following waypoints through the floorplan
+  polygon space (:mod:`repro.movement.agents`), which feeds the full
+  positioning pipeline (beacons → RSSI → trilateration → EKF → zones).
+
+Visitor *styles* follow the museum-visitor typology popularised by the
+Louvre studies of Yoshimura et al. (reference [27] of the paper):
+ant, fish, grasshopper, butterfly (:mod:`repro.movement.profiles`).
+"""
+
+from repro.movement.profiles import VisitorProfile, PROFILES
+from repro.movement.walker import GraphWalker, WalkStep
+from repro.movement.agents import GeometricAgent, WaypointPath
+
+__all__ = [
+    "VisitorProfile",
+    "PROFILES",
+    "GraphWalker",
+    "WalkStep",
+    "GeometricAgent",
+    "WaypointPath",
+]

@@ -1,0 +1,116 @@
+"""Geometric agents walking through the floorplan polygon space.
+
+These agents feed the full positioning pipeline: an agent's ground-truth
+track is sampled at a fixed rate, the RSSI channel observes each sample,
+trilateration and filtering estimate positions, and the
+:class:`~repro.positioning.detection.ZoneDetector` aggregates the
+estimates into zone detections — exercising the same code path the
+Louvre app's data went through (Section 4.1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from repro.spatial.geometry import Point, Vector
+
+
+@dataclass(frozen=True)
+class WaypointPath:
+    """A piecewise-linear ground-truth route with per-waypoint dwells.
+
+    Attributes:
+        waypoints: route vertices (e.g. zone/room representative points).
+        dwells: seconds spent stationary at each waypoint; must be
+            parallel to ``waypoints``.
+        floor: the floor the route lies on (single-floor routes; floor
+            changes are modelled as separate paths).
+    """
+
+    waypoints: Sequence[Point]
+    dwells: Sequence[float]
+    floor: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.waypoints) != len(self.dwells):
+            raise ValueError("waypoints and dwells must be parallel")
+        if not self.waypoints:
+            raise ValueError("a path needs at least one waypoint")
+
+
+@dataclass(frozen=True)
+class TrackSample:
+    """One ground-truth sample of an agent's movement."""
+
+    t: float
+    position: Point
+    floor: int
+
+
+class GeometricAgent:
+    """Simulates a pedestrian following a waypoint path.
+
+    Args:
+        path: the route.
+        speed: walking speed in m/s (museum stroll ≈ 0.8).
+        jitter: lateral Gaussian position noise (gait wobble), metres.
+        rng: deterministic random source.
+    """
+
+    def __init__(self, path: WaypointPath, speed: float = 0.8,
+                 jitter: float = 0.15,
+                 rng: random.Random = None) -> None:
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        self.path = path
+        self.speed = speed
+        self.jitter = jitter
+        self.rng = rng or random.Random(0)
+
+    def duration(self) -> float:
+        """Total route duration: walking time plus dwells."""
+        walking = 0.0
+        waypoints = self.path.waypoints
+        for a, b in zip(waypoints, waypoints[1:]):
+            walking += a.distance_to(b) / self.speed
+        return walking + sum(self.path.dwells)
+
+    def track(self, t_start: float,
+              sample_interval: float = 1.0) -> List[TrackSample]:
+        """Ground-truth samples at a fixed interval.
+
+        The agent dwells at each waypoint for its dwell time, then walks
+        to the next at constant speed.  Positions carry small lateral
+        jitter.
+        """
+        if sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        samples: List[TrackSample] = []
+        t = t_start
+        waypoints = list(self.path.waypoints)
+        for index, waypoint in enumerate(waypoints):
+            dwell_end = t + self.path.dwells[index]
+            while t < dwell_end:
+                samples.append(self._sample(t, waypoint))
+                t += sample_interval
+            if index + 1 < len(waypoints):
+                target = waypoints[index + 1]
+                distance = waypoint.distance_to(target)
+                travel_time = distance / self.speed
+                arrival = t + travel_time
+                while t < arrival:
+                    fraction = 1.0 - (arrival - t) / travel_time
+                    position = Point(
+                        waypoint.x + (target.x - waypoint.x) * fraction,
+                        waypoint.y + (target.y - waypoint.y) * fraction)
+                    samples.append(self._sample(t, position))
+                    t += sample_interval
+        samples.append(self._sample(t, waypoints[-1]))
+        return samples
+
+    def _sample(self, t: float, position: Point) -> TrackSample:
+        noisy = Point(position.x + self.rng.gauss(0.0, self.jitter),
+                      position.y + self.rng.gauss(0.0, self.jitter))
+        return TrackSample(t, noisy, self.path.floor)

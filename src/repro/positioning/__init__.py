@@ -1,0 +1,51 @@
+"""Simulated BLE positioning stack (Section 4.1's data provenance).
+
+The Louvre dataset was produced by the "My Visit to the Louvre" app:
+"a large Bluetooth Low Energy (BLE) beacon infrastructure [~1800
+beacons] ... in order to estimate the visitor's (lat,long) coordinate
+position within the museum.  This is accomplished via BLE Received
+Signal Strength Indicator (RSSI)-based trilateration, extended Kalman
+and particle filtering techniques", after which "raw geometric
+positions have already been spatially aggregated into 52
+non-overlapping zones".
+
+We do not have that infrastructure, so this package *simulates* it end
+to end — the substitution documented in DESIGN.md.  Every stage of the
+paper's pipeline exists as real code:
+
+``beacons``        beacon placement + log-distance path-loss RSSI model
+``trilateration``  RSSI → distance → least-squares position estimate
+``kalman``         extended Kalman filter smoothing of the 2D track
+``particle``       particle-filter alternative
+``detection``      position stream → symbolic zone detection records
+"""
+
+from repro.positioning.beacons import (
+    Beacon,
+    BeaconGrid,
+    RssiModel,
+    RssiReading,
+)
+from repro.positioning.trilateration import (
+    TrilaterationResult,
+    trilaterate,
+)
+from repro.positioning.kalman import ExtendedKalmanFilter2D
+from repro.positioning.particle import ParticleFilter2D
+from repro.positioning.detection import (
+    PositionFix,
+    ZoneDetector,
+)
+
+__all__ = [
+    "Beacon",
+    "BeaconGrid",
+    "RssiModel",
+    "RssiReading",
+    "TrilaterationResult",
+    "trilaterate",
+    "ExtendedKalmanFilter2D",
+    "ParticleFilter2D",
+    "PositionFix",
+    "ZoneDetector",
+]

@@ -1,0 +1,150 @@
+"""BLE beacons and the RSSI propagation model.
+
+RSSI is simulated with the standard log-distance path-loss model
+
+    rssi(d) = tx_power - 10 · n · log10(d / d0) + noise
+
+where ``tx_power`` is the received power at the reference distance
+``d0`` (1 m), ``n`` is the path-loss exponent (~2 in free space, higher
+indoors), and ``noise`` is Gaussian shadowing.  The same model inverts
+RSSI back to a distance estimate for trilateration.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.spatial.geometry import BBox, Point
+
+#: Readings below this power are lost to the noise floor and never
+#: reported — the source of the paper's "sensor coverage gaps".
+DEFAULT_SENSITIVITY_DBM = -95.0
+
+
+@dataclass(frozen=True)
+class Beacon:
+    """One installed BLE beacon.
+
+    Attributes:
+        beacon_id: unique identifier.
+        position: installation point (primal-space coordinates, metres).
+        floor: the floor the beacon serves.
+        tx_power: received power (dBm) at the 1 m reference distance.
+    """
+
+    beacon_id: str
+    position: Point
+    floor: int = 0
+    tx_power: float = -59.0
+
+
+@dataclass(frozen=True)
+class RssiReading:
+    """One observed (beacon, RSSI) pair at a point in time."""
+
+    beacon_id: str
+    rssi: float
+    t: float
+
+
+class RssiModel:
+    """Log-distance path-loss channel with Gaussian shadowing.
+
+    Args:
+        path_loss_exponent: ``n``; 1.8–2.2 free space, 2.5–4 indoors.
+        sigma: shadowing standard deviation in dB.
+        sensitivity: receiver sensitivity floor in dBm; weaker signals
+            are dropped.
+        rng: deterministic random source.
+    """
+
+    def __init__(self, path_loss_exponent: float = 2.7,
+                 sigma: float = 4.0,
+                 sensitivity: float = DEFAULT_SENSITIVITY_DBM,
+                 rng: Optional[random.Random] = None) -> None:
+        if path_loss_exponent <= 0:
+            raise ValueError("path-loss exponent must be positive")
+        self.path_loss_exponent = path_loss_exponent
+        self.sigma = sigma
+        self.sensitivity = sensitivity
+        self._rng = rng or random.Random(0)
+
+    def expected_rssi(self, beacon: Beacon, position: Point) -> float:
+        """Noise-free RSSI at ``position`` (d clamped to 0.1 m)."""
+        distance = max(0.1, beacon.position.distance_to(position))
+        return (beacon.tx_power
+                - 10.0 * self.path_loss_exponent * math.log10(distance))
+
+    def observe(self, beacon: Beacon, position: Point,
+                t: float) -> Optional[RssiReading]:
+        """One noisy reading, or ``None`` below the sensitivity floor."""
+        rssi = self.expected_rssi(beacon, position) \
+            + self._rng.gauss(0.0, self.sigma)
+        if rssi < self.sensitivity:
+            return None
+        return RssiReading(beacon.beacon_id, rssi, t)
+
+    def distance_from_rssi(self, beacon: Beacon, rssi: float) -> float:
+        """Invert the path-loss model: RSSI → distance estimate (m)."""
+        exponent = (beacon.tx_power - rssi) \
+            / (10.0 * self.path_loss_exponent)
+        return 10.0 ** exponent
+
+    def scan(self, beacons: Iterable[Beacon], position: Point, floor: int,
+             t: float) -> List[RssiReading]:
+        """Readings from all same-floor beacons audible at ``position``."""
+        readings: List[RssiReading] = []
+        for beacon in beacons:
+            if beacon.floor != floor:
+                continue
+            reading = self.observe(beacon, position, t)
+            if reading is not None:
+                readings.append(reading)
+        return readings
+
+
+class BeaconGrid:
+    """A regular beacon deployment over a floor's bounding box.
+
+    The Louvre installed ~1800 beacons over five floors; a grid with
+    ~15 m spacing over the synthetic floorplan gives a comparable
+    density and, importantly, comparable trilateration geometry.
+    """
+
+    def __init__(self, bbox: BBox, floor: int, spacing: float = 15.0,
+                 tx_power: float = -59.0,
+                 id_prefix: str = "beacon") -> None:
+        if spacing <= 0:
+            raise ValueError("spacing must be positive")
+        self.bbox = bbox
+        self.floor = floor
+        self.spacing = spacing
+        self._beacons: List[Beacon] = []
+        index = 0
+        y = bbox.min_y + spacing / 2.0
+        while y < bbox.max_y:
+            x = bbox.min_x + spacing / 2.0
+            while x < bbox.max_x:
+                self._beacons.append(Beacon(
+                    "{}-f{}-{}".format(id_prefix, floor, index),
+                    Point(x, y), floor, tx_power))
+                index += 1
+                x += spacing
+            y += spacing
+
+    @property
+    def beacons(self) -> Sequence[Beacon]:
+        """The deployed beacons."""
+        return tuple(self._beacons)
+
+    def __len__(self) -> int:
+        return len(self._beacons)
+
+    def nearest(self, position: Point, count: int = 3) -> List[Beacon]:
+        """The ``count`` beacons closest to ``position``."""
+        return sorted(self._beacons,
+                      key=lambda b: b.position.distance_to(position)
+                      )[:count]

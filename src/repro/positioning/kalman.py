@@ -1,0 +1,152 @@
+"""Extended Kalman filter for 2D indoor track smoothing.
+
+The Louvre app fuses trilateration fixes with inertial cues using
+"extended Kalman and particle filtering techniques" (Section 4.1).
+This filter tracks the state ``[x, y, vx, vy]`` under a
+constant-velocity motion model and position-only measurements.
+
+With a linear measurement model the EKF reduces to a standard KF; the
+extended form is kept because the optional heading/speed measurement
+(:meth:`update_polar`) — the smartphone "accelerometer and compass" of
+the paper — is nonlinear.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.spatial.geometry import Point
+
+
+class ExtendedKalmanFilter2D:
+    """Constant-velocity EKF over ``[x, y, vx, vy]``.
+
+    Args:
+        process_noise: continuous acceleration noise density
+            (m/s²)² driving the process covariance.
+        measurement_noise: position measurement standard deviation (m).
+        initial_position: first fix; covariance starts wide.
+    """
+
+    def __init__(self, process_noise: float = 0.5,
+                 measurement_noise: float = 3.0,
+                 initial_position: Optional[Point] = None) -> None:
+        self.process_noise = process_noise
+        self.measurement_noise = measurement_noise
+        self.state = np.zeros(4)
+        if initial_position is not None:
+            self.state[0] = initial_position.x
+            self.state[1] = initial_position.y
+        self.covariance = np.diag([25.0, 25.0, 4.0, 4.0])
+
+    # ------------------------------------------------------------------
+    def predict(self, dt: float) -> None:
+        """Propagate the state ``dt`` seconds forward.
+
+        Raises:
+            ValueError: for non-positive ``dt``.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        transition = np.array([
+            [1.0, 0.0, dt, 0.0],
+            [0.0, 1.0, 0.0, dt],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ])
+        q = self.process_noise
+        dt2, dt3, dt4 = dt ** 2, dt ** 3, dt ** 4
+        process = q * np.array([
+            [dt4 / 4, 0.0, dt3 / 2, 0.0],
+            [0.0, dt4 / 4, 0.0, dt3 / 2],
+            [dt3 / 2, 0.0, dt2, 0.0],
+            [0.0, dt3 / 2, 0.0, dt2],
+        ])
+        self.state = transition @ self.state
+        self.covariance = (transition @ self.covariance @ transition.T
+                           + process)
+
+    def update_position(self, measurement: Point,
+                        noise_scale: float = 1.0) -> None:
+        """Fuse one position fix.
+
+        Args:
+            measurement: the trilateration fix.
+            noise_scale: inflate measurement noise for poor fixes (e.g.
+                proportional to the trilateration residual).
+        """
+        obs_matrix = np.array([
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+        ])
+        obs_noise = np.eye(2) * (self.measurement_noise * noise_scale) ** 2
+        self._update(np.array([measurement.x, measurement.y]),
+                     obs_matrix @ self.state, obs_matrix, obs_noise)
+
+    def update_polar(self, speed: float, heading: float,
+                     speed_noise: float = 0.3,
+                     heading_noise: float = 0.2) -> None:
+        """Fuse a nonlinear speed/heading measurement (the EKF part).
+
+        The measurement function is ``h(x) = [hypot(vx, vy),
+        atan2(vy, vx)]``; its Jacobian is linearised at the current
+        state.  Near-zero speeds are skipped (undefined heading).
+        """
+        vx, vy = self.state[2], self.state[3]
+        norm = math.hypot(vx, vy)
+        if norm < 1e-6:
+            return
+        predicted = np.array([norm, math.atan2(vy, vx)])
+        jacobian = np.array([
+            [0.0, 0.0, vx / norm, vy / norm],
+            [0.0, 0.0, -vy / norm ** 2, vx / norm ** 2],
+        ])
+        innovation = np.array([speed, heading]) - predicted
+        innovation[1] = _wrap_angle(innovation[1])
+        obs_noise = np.diag([speed_noise ** 2, heading_noise ** 2])
+        self._update_with_innovation(innovation, jacobian, obs_noise)
+
+    def _update(self, measurement: np.ndarray, predicted: np.ndarray,
+                jacobian: np.ndarray, obs_noise: np.ndarray) -> None:
+        self._update_with_innovation(measurement - predicted, jacobian,
+                                     obs_noise)
+
+    def _update_with_innovation(self, innovation: np.ndarray,
+                                jacobian: np.ndarray,
+                                obs_noise: np.ndarray) -> None:
+        innovation_cov = (jacobian @ self.covariance @ jacobian.T
+                          + obs_noise)
+        gain = (self.covariance @ jacobian.T
+                @ np.linalg.inv(innovation_cov))
+        self.state = self.state + gain @ innovation
+        identity = np.eye(4)
+        self.covariance = (identity - gain @ jacobian) @ self.covariance
+
+    # ------------------------------------------------------------------
+    @property
+    def position(self) -> Point:
+        """Current position estimate."""
+        return Point(float(self.state[0]), float(self.state[1]))
+
+    @property
+    def velocity(self) -> Tuple[float, float]:
+        """Current velocity estimate ``(vx, vy)``."""
+        return float(self.state[2]), float(self.state[3])
+
+    @property
+    def position_uncertainty(self) -> float:
+        """RMS of the position covariance diagonal (metres)."""
+        return float(np.sqrt((self.covariance[0, 0]
+                              + self.covariance[1, 1]) / 2.0))
+
+
+def _wrap_angle(angle: float) -> float:
+    """Wrap an angle to (-pi, pi]."""
+    while angle <= -math.pi:
+        angle += 2.0 * math.pi
+    while angle > math.pi:
+        angle -= 2.0 * math.pi
+    return angle

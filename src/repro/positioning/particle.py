@@ -1,0 +1,117 @@
+"""Particle filter for 2D indoor positioning.
+
+The particle-filter alternative of the Louvre pipeline (Section 4.1).
+Particles carry ``[x, y]``; the motion model is a Gaussian random walk
+(optionally velocity-informed), and position fixes weight particles by
+a Gaussian likelihood.  An indoor-specific feature: particles may be
+constrained to a walkable region, which is how wall constraints enter
+real indoor particle filters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.spatial.geometry import Point
+
+#: Optional walkability oracle: True when a coordinate is inside
+#: navigable space.  Particles stepping outside are rejected (their
+#: move is cancelled), emulating wall constraints.
+WalkableFn = Callable[[float, float], bool]
+
+
+class ParticleFilter2D:
+    """Bootstrap particle filter over 2D position.
+
+    Args:
+        particle_count: number of particles.
+        step_sigma: random-walk standard deviation per second (m).
+        measurement_sigma: position measurement noise (m).
+        seed: numpy RNG seed (deterministic by default).
+        walkable: optional walkability oracle.
+    """
+
+    def __init__(self, particle_count: int = 200,
+                 step_sigma: float = 1.2,
+                 measurement_sigma: float = 3.0,
+                 seed: int = 0,
+                 walkable: Optional[WalkableFn] = None) -> None:
+        if particle_count < 2:
+            raise ValueError("need at least two particles")
+        self.particle_count = particle_count
+        self.step_sigma = step_sigma
+        self.measurement_sigma = measurement_sigma
+        self._rng = np.random.default_rng(seed)
+        self._walkable = walkable
+        self.particles = np.zeros((particle_count, 2))
+        self.weights = np.full(particle_count, 1.0 / particle_count)
+        self._initialised = False
+
+    def initialise(self, position: Point, spread: float = 5.0) -> None:
+        """Seed particles around an initial fix."""
+        self.particles = (np.array([position.x, position.y])
+                          + self._rng.normal(0.0, spread,
+                                             (self.particle_count, 2)))
+        self.weights.fill(1.0 / self.particle_count)
+        self._initialised = True
+
+    def predict(self, dt: float) -> None:
+        """Diffuse particles by the random-walk motion model."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        steps = self._rng.normal(0.0, self.step_sigma * np.sqrt(dt),
+                                 (self.particle_count, 2))
+        proposed = self.particles + steps
+        if self._walkable is not None:
+            for i in range(self.particle_count):
+                if not self._walkable(proposed[i, 0], proposed[i, 1]):
+                    proposed[i] = self.particles[i]
+        self.particles = proposed
+
+    def update(self, measurement: Point) -> None:
+        """Weight particles by the fix likelihood and resample if needed."""
+        if not self._initialised:
+            self.initialise(measurement)
+            return
+        deltas = self.particles - np.array([measurement.x, measurement.y])
+        sq_dist = np.sum(deltas ** 2, axis=1)
+        likelihood = np.exp(-sq_dist / (2.0 * self.measurement_sigma ** 2))
+        self.weights *= likelihood + 1e-300
+        total = self.weights.sum()
+        if total <= 0:
+            self.weights.fill(1.0 / self.particle_count)
+        else:
+            self.weights /= total
+        if self.effective_sample_size() < self.particle_count / 2.0:
+            self._resample()
+
+    def effective_sample_size(self) -> float:
+        """ESS = 1 / Σ w²; small values signal weight degeneracy."""
+        return float(1.0 / np.sum(self.weights ** 2))
+
+    def _resample(self) -> None:
+        """Systematic resampling (low-variance)."""
+        positions = ((np.arange(self.particle_count)
+                      + self._rng.random()) / self.particle_count)
+        cumulative = np.cumsum(self.weights)
+        cumulative[-1] = 1.0
+        indexes = np.searchsorted(cumulative, positions)
+        self.particles = self.particles[indexes]
+        self.weights.fill(1.0 / self.particle_count)
+
+    @property
+    def position(self) -> Point:
+        """Weighted mean position estimate."""
+        mean = np.average(self.particles, axis=0, weights=self.weights)
+        return Point(float(mean[0]), float(mean[1]))
+
+    @property
+    def spread(self) -> float:
+        """Weighted RMS distance of particles from the mean (metres)."""
+        mean = np.average(self.particles, axis=0, weights=self.weights)
+        deltas = self.particles - mean
+        variance = np.average(np.sum(deltas ** 2, axis=1),
+                              weights=self.weights)
+        return float(np.sqrt(variance))

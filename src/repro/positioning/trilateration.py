@@ -1,0 +1,97 @@
+"""RSSI-based trilateration (linearised least squares).
+
+Given distance estimates ``d_i`` to beacons at known positions
+``(x_i, y_i)``, subtracting the first circle equation from the others
+yields the linear system ``A·p = b`` with
+
+    A[i-1] = [2(x_i - x_0), 2(y_i - y_0)]
+    b[i-1] = d_0² - d_i² + x_i² - x_0² + y_i² - y_0²
+
+solved in the least-squares sense.  Weights proportional to signal
+strength (near beacons give better distance estimates) are applied by
+row scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.positioning.beacons import Beacon, RssiModel, RssiReading
+from repro.spatial.geometry import Point
+
+
+@dataclass(frozen=True)
+class TrilaterationResult:
+    """A position estimate with quality metadata.
+
+    Attributes:
+        position: the least-squares position.
+        beacon_count: how many beacons contributed.
+        residual: RMS of the post-fit range residuals (metres); large
+            values flag geometrically poor fixes.
+    """
+
+    position: Point
+    beacon_count: int
+    residual: float
+
+
+def trilaterate(readings: Sequence[RssiReading],
+                beacons: Dict[str, Beacon],
+                model: RssiModel,
+                min_beacons: int = 3) -> Optional[TrilaterationResult]:
+    """Estimate a position from RSSI readings.
+
+    Args:
+        readings: the scan's readings (one per beacon).
+        beacons: beacon registry by id.
+        model: the RSSI model used to invert readings to distances.
+        min_beacons: minimum usable beacons; below it, ``None`` is
+            returned (a coverage gap).
+
+    Returns:
+        The weighted least-squares fix, or ``None`` when the fix is
+        underdetermined or numerically degenerate.
+    """
+    usable = [(beacons[r.beacon_id], r) for r in readings
+              if r.beacon_id in beacons]
+    if len(usable) < min_beacons:
+        return None
+    # Strongest-signal beacon anchors the linearisation.
+    usable.sort(key=lambda pair: pair[1].rssi, reverse=True)
+    anchor_beacon, anchor_reading = usable[0]
+    d0 = model.distance_from_rssi(anchor_beacon, anchor_reading.rssi)
+    x0, y0 = anchor_beacon.position.x, anchor_beacon.position.y
+
+    rows: List[List[float]] = []
+    rhs: List[float] = []
+    weights: List[float] = []
+    for beacon, reading in usable[1:]:
+        di = model.distance_from_rssi(beacon, reading.rssi)
+        xi, yi = beacon.position.x, beacon.position.y
+        rows.append([2.0 * (xi - x0), 2.0 * (yi - y0)])
+        rhs.append(d0 ** 2 - di ** 2 + xi ** 2 - x0 ** 2
+                   + yi ** 2 - y0 ** 2)
+        # dBm are negative; stronger (less negative) → larger weight.
+        weights.append(1.0 / max(1.0, -reading.rssi))
+    matrix = np.asarray(rows, dtype=float)
+    vector = np.asarray(rhs, dtype=float)
+    weight_vec = np.sqrt(np.asarray(weights, dtype=float))
+    matrix *= weight_vec[:, None]
+    vector *= weight_vec
+
+    solution, _, rank, _ = np.linalg.lstsq(matrix, vector, rcond=None)
+    if rank < 2 or not np.all(np.isfinite(solution)):
+        return None
+    position = Point(float(solution[0]), float(solution[1]))
+
+    residuals = []
+    for beacon, reading in usable:
+        predicted = beacon.position.distance_to(position)
+        estimated = model.distance_from_rssi(beacon, reading.rssi)
+        residuals.append((predicted - estimated) ** 2)
+    rms = float(np.sqrt(np.mean(residuals)))
+    return TrilaterationResult(position, len(usable), rms)

@@ -1,0 +1,57 @@
+"""Spatial substrate for the SITM reproduction.
+
+The paper (Section 1) argues that indoor trajectory analytics should
+"avoid cumbersome calculations over geometric representations" and instead
+simplify operations such as intersection, containment and proximity so the
+non-geometric aspects of movement can be prioritised.  This package
+therefore provides exactly the geometric machinery needed to *derive*
+qualitative topological relations between indoor regions once, after which
+the rest of the library works symbolically:
+
+``repro.spatial.geometry``
+    exact 2D primitives (points, segments, boxes, simple polygons).
+``repro.spatial.topology``
+    the eight binary topological relations of RCC-8 / the n-intersection
+    model (Section 2.1 of the paper), computed between polygonal regions.
+``repro.spatial.qsr``
+    qualitative spatial reasoning: the relation algebra (converse,
+    composition) and a path-consistency solver over relation networks.
+"""
+
+from repro.spatial.geometry import (
+    BBox,
+    Point,
+    Polygon,
+    Segment,
+    Vector,
+    convex_hull,
+    orientation,
+    polygon_clip_convex,
+)
+from repro.spatial.topology import (
+    TopologicalRelation,
+    relate,
+    relate_boxes,
+)
+from repro.spatial.qsr import (
+    RelationAlgebra,
+    RelationNetwork,
+    rcc8_algebra,
+)
+
+__all__ = [
+    "BBox",
+    "Point",
+    "Polygon",
+    "Segment",
+    "Vector",
+    "convex_hull",
+    "orientation",
+    "polygon_clip_convex",
+    "TopologicalRelation",
+    "relate",
+    "relate_boxes",
+    "RelationAlgebra",
+    "RelationNetwork",
+    "rcc8_algebra",
+]

@@ -1,0 +1,636 @@
+"""Exact 2D geometric primitives for indoor space modelling.
+
+This module is a small, dependency-free computational geometry kernel.
+It exists because the topological relations of Section 2.1 of the paper
+(RCC-8 / n-intersection) must be *derived* from the primal-space geometry
+of indoor cells (rooms, zones, regions of interest) before the rest of
+the library can reason symbolically.
+
+Everything operates on simple polygons (no self-intersection, no holes),
+which is sufficient for the paper's setting: rooms, thematic zones and
+exhibit RoIs are all simple polygonal areas ("a RoI includes the area
+physically taken up by the exhibit itself and its display installation,
+i.e. no holes" — Section 4.2).
+
+Numerical robustness: all predicates use an absolute epsilon
+(:data:`EPSILON`) chosen for coordinates expressed in metres at building
+scale (the Louvre is ~500 m across).  Exact rational arithmetic would be
+overkill for synthetic floorplans whose coordinates we control.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+#: Absolute tolerance for geometric predicates, in coordinate units
+#: (metres for the Louvre floorplan).  One tenth of a millimetre.
+EPSILON = 1e-9
+
+#: Orientation constants returned by :func:`orientation`.
+COLLINEAR = 0
+CLOCKWISE = -1
+COUNTERCLOCKWISE = 1
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in the 2D primal space.
+
+    Points are immutable and hashable so they can key dictionaries (e.g.
+    beacon positions) and be deduplicated in sets.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy moved by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def almost_equals(self, other: "Point", tol: float = EPSILON) -> bool:
+        """True when both coordinates differ by at most ``tol``."""
+        return abs(self.x - other.x) <= tol and abs(self.y - other.y) <= tol
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Vector:
+    """A displacement in the plane."""
+
+    dx: float
+    dy: float
+
+    @staticmethod
+    def between(a: Point, b: Point) -> "Vector":
+        """Vector from ``a`` to ``b``."""
+        return Vector(b.x - a.x, b.y - a.y)
+
+    def length(self) -> float:
+        """Euclidean norm."""
+        return math.hypot(self.dx, self.dy)
+
+    def dot(self, other: "Vector") -> float:
+        """Dot product."""
+        return self.dx * other.dx + self.dy * other.dy
+
+    def cross(self, other: "Vector") -> float:
+        """2D cross product (z component)."""
+        return self.dx * other.dy - self.dy * other.dx
+
+    def scaled(self, factor: float) -> "Vector":
+        """Return this vector scaled by ``factor``."""
+        return Vector(self.dx * factor, self.dy * factor)
+
+    def normalized(self) -> "Vector":
+        """Return the unit vector with the same direction.
+
+        Raises:
+            ValueError: for the zero vector.
+        """
+        norm = self.length()
+        if norm <= EPSILON:
+            raise ValueError("cannot normalize a zero-length vector")
+        return Vector(self.dx / norm, self.dy / norm)
+
+
+def orientation(a: Point, b: Point, c: Point, tol: float = EPSILON) -> int:
+    """Orientation of the ordered triple ``(a, b, c)``.
+
+    Returns:
+        :data:`COUNTERCLOCKWISE`, :data:`CLOCKWISE` or :data:`COLLINEAR`.
+    """
+    cross = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+    if cross > tol:
+        return COUNTERCLOCKWISE
+    if cross < -tol:
+        return CLOCKWISE
+    return COLLINEAR
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A closed line segment between two points."""
+
+    start: Point
+    end: Point
+
+    def length(self) -> float:
+        """Segment length."""
+        return self.start.distance_to(self.end)
+
+    def midpoint(self) -> Point:
+        """The segment midpoint."""
+        return Point((self.start.x + self.end.x) / 2.0,
+                     (self.start.y + self.end.y) / 2.0)
+
+    def bbox(self) -> "BBox":
+        """Axis-aligned bounding box of the segment."""
+        return BBox(
+            min(self.start.x, self.end.x),
+            min(self.start.y, self.end.y),
+            max(self.start.x, self.end.x),
+            max(self.start.y, self.end.y),
+        )
+
+    def contains_point(self, p: Point, tol: float = EPSILON) -> bool:
+        """True when ``p`` lies on the (closed) segment."""
+        if orientation(self.start, self.end, p, tol) != COLLINEAR:
+            return False
+        return (min(self.start.x, self.end.x) - tol <= p.x
+                <= max(self.start.x, self.end.x) + tol
+                and min(self.start.y, self.end.y) - tol <= p.y
+                <= max(self.start.y, self.end.y) + tol)
+
+    def properly_crosses(self, other: "Segment") -> bool:
+        """True when the two segments cross at a single interior point.
+
+        Touching at an endpoint or overlapping collinearly does **not**
+        count as a proper crossing; those situations correspond to the
+        qualitative "meet" relation rather than "overlap".
+        """
+        o1 = orientation(self.start, self.end, other.start)
+        o2 = orientation(self.start, self.end, other.end)
+        o3 = orientation(other.start, other.end, self.start)
+        o4 = orientation(other.start, other.end, self.end)
+        return (o1 != o2 and o3 != o4
+                and COLLINEAR not in (o1, o2, o3, o4))
+
+    def intersects(self, other: "Segment") -> bool:
+        """True when the two (closed) segments share at least one point."""
+        o1 = orientation(self.start, self.end, other.start)
+        o2 = orientation(self.start, self.end, other.end)
+        o3 = orientation(other.start, other.end, self.start)
+        o4 = orientation(other.start, other.end, self.end)
+        if o1 != o2 and o3 != o4:
+            return True
+        return (self.contains_point(other.start)
+                or self.contains_point(other.end)
+                or other.contains_point(self.start)
+                or other.contains_point(self.end))
+
+    def overlaps_collinearly(self, other: "Segment",
+                             tol: float = EPSILON) -> bool:
+        """True when the segments are collinear and share more than a point.
+
+        This is the geometric situation behind a shared wall between two
+        adjacent rooms — the "meet" relation with a 1D common boundary —
+        which is exactly what makes an IndoorGML adjacency edge.
+        """
+        if orientation(self.start, self.end, other.start, tol) != COLLINEAR:
+            return False
+        if orientation(self.start, self.end, other.end, tol) != COLLINEAR:
+            return False
+        direction = Vector.between(self.start, self.end)
+        norm = direction.length()
+        if norm <= tol:
+            return False
+        unit = direction.scaled(1.0 / norm)
+        t_self = (0.0, norm)
+        t_other = sorted((
+            Vector.between(self.start, other.start).dot(unit),
+            Vector.between(self.start, other.end).dot(unit),
+        ))
+        lo = max(t_self[0], t_other[0])
+        hi = min(t_self[1], t_other[1])
+        return hi - lo > tol
+
+
+@dataclass(frozen=True)
+class BBox:
+    """An axis-aligned bounding box ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                "degenerate BBox: min corner must not exceed max corner")
+
+    @property
+    def width(self) -> float:
+        """Extent along x."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Extent along y."""
+        return self.max_y - self.min_y
+
+    def area(self) -> float:
+        """Box area."""
+        return self.width * self.height
+
+    def center(self) -> Point:
+        """Box centre point."""
+        return Point((self.min_x + self.max_x) / 2.0,
+                     (self.min_y + self.max_y) / 2.0)
+
+    def contains_point(self, p: Point, tol: float = EPSILON) -> bool:
+        """True when ``p`` is inside or on the boundary."""
+        return (self.min_x - tol <= p.x <= self.max_x + tol
+                and self.min_y - tol <= p.y <= self.max_y + tol)
+
+    def intersects(self, other: "BBox", tol: float = EPSILON) -> bool:
+        """True when the two (closed) boxes share at least one point."""
+        return not (self.max_x < other.min_x - tol
+                    or other.max_x < self.min_x - tol
+                    or self.max_y < other.min_y - tol
+                    or other.max_y < self.min_y - tol)
+
+    def expanded(self, margin: float) -> "BBox":
+        """Return a copy grown by ``margin`` on every side."""
+        return BBox(self.min_x - margin, self.min_y - margin,
+                    self.max_x + margin, self.max_y + margin)
+
+    def to_polygon(self) -> "Polygon":
+        """Return the box as a counterclockwise rectangle polygon."""
+        return Polygon([
+            Point(self.min_x, self.min_y),
+            Point(self.max_x, self.min_y),
+            Point(self.max_x, self.max_y),
+            Point(self.min_x, self.max_y),
+        ])
+
+    @staticmethod
+    def union_of(boxes: Iterable["BBox"]) -> "BBox":
+        """Smallest box enclosing all ``boxes``.
+
+        Raises:
+            ValueError: when ``boxes`` is empty.
+        """
+        boxes = list(boxes)
+        if not boxes:
+            raise ValueError("union_of requires at least one box")
+        return BBox(
+            min(b.min_x for b in boxes),
+            min(b.min_y for b in boxes),
+            max(b.max_x for b in boxes),
+            max(b.max_y for b in boxes),
+        )
+
+
+class Polygon:
+    """A simple polygon (no self-intersections, no holes).
+
+    Vertices may be supplied in either winding order; they are normalised
+    to counterclockwise at construction so that signed areas and clipping
+    behave predictably.
+
+    The polygon is closed implicitly: the edge from the last vertex back
+    to the first is part of the boundary.
+    """
+
+    __slots__ = ("_vertices", "_bbox_cache")
+
+    def __init__(self, vertices: Sequence[Point]):
+        if len(vertices) < 3:
+            raise ValueError("a polygon needs at least three vertices")
+        cleaned = _drop_consecutive_duplicates(vertices)
+        if len(cleaned) < 3:
+            raise ValueError("polygon is degenerate after deduplication")
+        if _signed_area(cleaned) < 0:
+            cleaned = list(reversed(cleaned))
+        if abs(_signed_area(cleaned)) <= EPSILON:
+            raise ValueError("polygon has (near-)zero area")
+        self._vertices: Tuple[Point, ...] = tuple(cleaned)
+        self._bbox_cache: Optional[BBox] = None
+
+    @property
+    def vertices(self) -> Tuple[Point, ...]:
+        """The counterclockwise vertex ring (without repeated closure)."""
+        return self._vertices
+
+    @staticmethod
+    def rectangle(min_x: float, min_y: float,
+                  max_x: float, max_y: float) -> "Polygon":
+        """Convenience constructor for an axis-aligned rectangle."""
+        return BBox(min_x, min_y, max_x, max_y).to_polygon()
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __repr__(self) -> str:
+        return "Polygon({} vertices, area={:.3f})".format(
+            len(self._vertices), self.area())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polygon):
+            return NotImplemented
+        return self.equals(other)
+
+    def __hash__(self) -> int:
+        # Hash on the canonical (rotated) vertex ring so that equal
+        # polygons hash identically regardless of starting vertex.
+        ring = self._canonical_ring()
+        return hash(tuple((round(p.x, 9), round(p.y, 9)) for p in ring))
+
+    def _canonical_ring(self) -> Tuple[Point, ...]:
+        """Vertex ring rotated to start at the lexicographically least."""
+        least = min(range(len(self._vertices)),
+                    key=lambda i: (self._vertices[i].x, self._vertices[i].y))
+        return self._vertices[least:] + self._vertices[:least]
+
+    def equals(self, other: "Polygon", tol: float = EPSILON) -> bool:
+        """True when the polygons have identical vertex rings.
+
+        This is the geometric "equal" relation of the n-intersection
+        model for polygons built from the same vertex data; it is what a
+        replicated node connected by an ``equal`` joint edge represents.
+        """
+        if len(self) != len(other):
+            return False
+        ring_a = self._canonical_ring()
+        ring_b = other._canonical_ring()
+        return all(pa.almost_equals(pb, tol)
+                   for pa, pb in zip(ring_a, ring_b))
+
+    def edges(self) -> List[Segment]:
+        """The boundary as a list of segments in ring order."""
+        verts = self._vertices
+        return [Segment(verts[i], verts[(i + 1) % len(verts)])
+                for i in range(len(verts))]
+
+    def area(self) -> float:
+        """Unsigned polygon area (shoelace formula)."""
+        return abs(_signed_area(self._vertices))
+
+    def perimeter(self) -> float:
+        """Total boundary length."""
+        return sum(edge.length() for edge in self.edges())
+
+    def centroid(self) -> Point:
+        """Area centroid.  May fall outside a non-convex polygon."""
+        signed = _signed_area(self._vertices)
+        cx = 0.0
+        cy = 0.0
+        verts = self._vertices
+        for i in range(len(verts)):
+            a = verts[i]
+            b = verts[(i + 1) % len(verts)]
+            cross = a.x * b.y - b.x * a.y
+            cx += (a.x + b.x) * cross
+            cy += (a.y + b.y) * cross
+        factor = 1.0 / (6.0 * signed)
+        return Point(cx * factor, cy * factor)
+
+    def bbox(self) -> BBox:
+        """Axis-aligned bounding box (cached)."""
+        if self._bbox_cache is None:
+            xs = [p.x for p in self._vertices]
+            ys = [p.y for p in self._vertices]
+            self._bbox_cache = BBox(min(xs), min(ys), max(xs), max(ys))
+        return self._bbox_cache
+
+    def is_convex(self) -> bool:
+        """True when every interior angle is at most 180 degrees."""
+        verts = self._vertices
+        n = len(verts)
+        for i in range(n):
+            o = orientation(verts[i], verts[(i + 1) % n], verts[(i + 2) % n])
+            if o == CLOCKWISE:
+                return False
+        return True
+
+    def boundary_contains(self, p: Point, tol: float = EPSILON) -> bool:
+        """True when ``p`` lies on the polygon boundary."""
+        return any(edge.contains_point(p, tol) for edge in self.edges())
+
+    def contains_point(self, p: Point, tol: float = EPSILON) -> bool:
+        """True when ``p`` is in the closed region (interior or boundary)."""
+        if not self.bbox().contains_point(p, tol):
+            return False
+        if self.boundary_contains(p, tol):
+            return True
+        return self._interior_contains_by_crossing(p)
+
+    def interior_contains_point(self, p: Point, tol: float = EPSILON) -> bool:
+        """True when ``p`` is strictly inside (not on the boundary)."""
+        if not self.bbox().contains_point(p, tol):
+            return False
+        if self.boundary_contains(p, tol):
+            return False
+        return self._interior_contains_by_crossing(p)
+
+    def _interior_contains_by_crossing(self, p: Point) -> bool:
+        """Ray-crossing parity test; assumes ``p`` is not on the boundary."""
+        inside = False
+        verts = self._vertices
+        n = len(verts)
+        j = n - 1
+        for i in range(n):
+            yi, yj = verts[i].y, verts[j].y
+            xi, xj = verts[i].x, verts[j].x
+            if (yi > p.y) != (yj > p.y):
+                x_cross = (xj - xi) * (p.y - yi) / (yj - yi) + xi
+                if p.x < x_cross:
+                    inside = not inside
+            j = i
+        return inside
+
+    def representative_point(self) -> Point:
+        """A point guaranteed to lie strictly inside the polygon.
+
+        The centroid is used when it is interior (always true for convex
+        polygons); otherwise an interior point is found by ear analysis.
+        """
+        centroid = self.centroid()
+        if self.interior_contains_point(centroid):
+            return centroid
+        verts = self._vertices
+        n = len(verts)
+        for i in range(n):
+            prev_v = verts[(i - 1) % n]
+            this_v = verts[i]
+            next_v = verts[(i + 1) % n]
+            if orientation(prev_v, this_v, next_v) != COUNTERCLOCKWISE:
+                continue
+            candidate = Point((prev_v.x + this_v.x + next_v.x) / 3.0,
+                              (prev_v.y + this_v.y + next_v.y) / 3.0)
+            if self.interior_contains_point(candidate):
+                return candidate
+        # Fall back to sampling midpoints of chords; a simple polygon
+        # always yields one.
+        for i in range(n):
+            for j in range(i + 2, n):
+                candidate = Segment(verts[i], verts[j]).midpoint()
+                if self.interior_contains_point(candidate):
+                    return candidate
+        raise ValueError("could not find an interior point; "
+                         "polygon may be degenerate")
+
+    def contains_polygon(self, other: "Polygon", tol: float = EPSILON) -> bool:
+        """True when ``other`` lies entirely within this closed region."""
+        if not _bbox_covers(self.bbox(), other.bbox(), tol):
+            return False
+        if any(not self.contains_point(v, tol) for v in other.vertices):
+            return False
+        # Vertex containment is insufficient for non-convex containers:
+        # an edge of ``other`` could exit and re-enter.  A proper edge
+        # crossing between boundaries disproves containment.
+        for edge_a in self.edges():
+            for edge_b in other.edges():
+                if edge_a.properly_crosses(edge_b):
+                    return False
+        return True
+
+    def translated(self, dx: float, dy: float) -> "Polygon":
+        """Return a copy moved by ``(dx, dy)``."""
+        return Polygon([v.translated(dx, dy) for v in self._vertices])
+
+    def scaled_about_centroid(self, factor: float) -> "Polygon":
+        """Return a copy scaled about the centroid by ``factor``."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        c = self.centroid()
+        return Polygon([
+            Point(c.x + (v.x - c.x) * factor, c.y + (v.y - c.y) * factor)
+            for v in self._vertices
+        ])
+
+
+def _signed_area(vertices: Sequence[Point]) -> float:
+    """Shoelace signed area; positive for counterclockwise rings."""
+    total = 0.0
+    n = len(vertices)
+    for i in range(n):
+        a = vertices[i]
+        b = vertices[(i + 1) % n]
+        total += a.x * b.y - b.x * a.y
+    return total / 2.0
+
+
+def _drop_consecutive_duplicates(vertices: Sequence[Point]) -> List[Point]:
+    """Remove consecutive (near-)duplicate vertices, including wraparound."""
+    cleaned: List[Point] = []
+    for vertex in vertices:
+        if not cleaned or not cleaned[-1].almost_equals(vertex):
+            cleaned.append(vertex)
+    while len(cleaned) > 1 and cleaned[0].almost_equals(cleaned[-1]):
+        cleaned.pop()
+    return cleaned
+
+
+def _bbox_covers(outer: BBox, inner: BBox, tol: float = EPSILON) -> bool:
+    """True when ``outer`` contains ``inner`` (boxes treated as closed)."""
+    return (outer.min_x - tol <= inner.min_x
+            and outer.min_y - tol <= inner.min_y
+            and outer.max_x + tol >= inner.max_x
+            and outer.max_y + tol >= inner.max_y)
+
+
+def convex_hull(points: Iterable[Point]) -> List[Point]:
+    """Andrew's monotone-chain convex hull.
+
+    Returns the hull vertices in counterclockwise order without the
+    closing repetition.  Collinear points on the hull edges are dropped.
+
+    Raises:
+        ValueError: with fewer than three non-collinear input points.
+    """
+    unique = sorted(set((p.x, p.y) for p in points))
+    if len(unique) < 3:
+        raise ValueError("convex hull needs at least three distinct points")
+    pts = [Point(x, y) for x, y in unique]
+
+    def _half_hull(sequence: Sequence[Point]) -> List[Point]:
+        hull: List[Point] = []
+        for p in sequence:
+            while (len(hull) >= 2
+                   and orientation(hull[-2], hull[-1], p)
+                   != COUNTERCLOCKWISE):
+                hull.pop()
+            hull.append(p)
+        return hull
+
+    lower = _half_hull(pts)
+    upper = _half_hull(list(reversed(pts)))
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 3:
+        raise ValueError("input points are collinear")
+    return hull
+
+
+def polygon_clip_convex(subject: Polygon, clip: Polygon) -> Optional[Polygon]:
+    """Clip ``subject`` against a **convex** ``clip`` polygon.
+
+    Implements Sutherland–Hodgman.  The result is the intersection region
+    or ``None`` when the intersection is empty or degenerate (shared
+    boundary only).  This supports coverage computations (Figure 4 of the
+    paper: RoIs do not fully cover their room), where clip regions are
+    convex rooms/zones.
+
+    Raises:
+        ValueError: when ``clip`` is not convex.
+    """
+    if not clip.is_convex():
+        raise ValueError("polygon_clip_convex requires a convex clip polygon")
+    output = list(subject.vertices)
+    clip_verts = clip.vertices
+    n = len(clip_verts)
+    for i in range(n):
+        edge_a = clip_verts[i]
+        edge_b = clip_verts[(i + 1) % n]
+        input_ring = output
+        output = []
+        if not input_ring:
+            break
+        prev = input_ring[-1]
+        prev_inside = _left_of_or_on(edge_a, edge_b, prev)
+        for current in input_ring:
+            cur_inside = _left_of_or_on(edge_a, edge_b, current)
+            if cur_inside:
+                if not prev_inside:
+                    output.append(_line_intersection(edge_a, edge_b,
+                                                     prev, current))
+                output.append(current)
+            elif prev_inside:
+                output.append(_line_intersection(edge_a, edge_b,
+                                                 prev, current))
+            prev, prev_inside = current, cur_inside
+    cleaned = _drop_consecutive_duplicates(output)
+    if len(cleaned) < 3 or abs(_signed_area(cleaned)) <= EPSILON:
+        return None
+    return Polygon(cleaned)
+
+
+def intersection_area(subject: Polygon, clip: Polygon) -> float:
+    """Area of ``subject`` ∩ ``clip`` for a convex ``clip`` polygon."""
+    clipped = polygon_clip_convex(subject, clip)
+    return 0.0 if clipped is None else clipped.area()
+
+
+def _left_of_or_on(a: Point, b: Point, p: Point) -> bool:
+    """True when ``p`` is on or to the left of the directed line ``a→b``."""
+    return ((b.x - a.x) * (p.y - a.y)
+            - (b.y - a.y) * (p.x - a.x)) >= -EPSILON
+
+
+def _line_intersection(a: Point, b: Point, p: Point, q: Point) -> Point:
+    """Intersection of line ``a→b`` with segment ``p→q``.
+
+    Callers guarantee the segment straddles the line, so the denominator
+    is non-zero up to epsilon.
+    """
+    a1 = b.y - a.y
+    b1 = a.x - b.x
+    c1 = a1 * a.x + b1 * a.y
+    a2 = q.y - p.y
+    b2 = p.x - q.x
+    c2 = a2 * p.x + b2 * p.y
+    det = a1 * b2 - a2 * b1
+    if abs(det) <= EPSILON:
+        # Nearly parallel; return the segment midpoint as a stable choice.
+        return Segment(p, q).midpoint()
+    return Point((b2 * c1 - b1 * c2) / det, (a1 * c2 - a2 * c1) / det)

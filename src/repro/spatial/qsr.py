@@ -1,0 +1,302 @@
+"""Qualitative Spatial Reasoning over topological relation networks.
+
+The paper (Section 1) notes that "reasoning about space without precise
+quantitative information has been at the core of Qualitative Spatial
+Relations research", and Section 3.2 relies on one specific inference:
+"a relation (e.g. 'overlap') between two nodes will also hold between
+their predecessors" — i.e. relations propagate up a layer hierarchy via
+the transitivity of parthood.
+
+This module provides the machinery behind such inferences:
+
+* :class:`RelationAlgebra` — the RCC-8 relation algebra with converse
+  and (weak) composition tables;
+* :class:`RelationNetwork` — a constraint network over regions whose
+  edges hold *sets* of possible relations, refined to path consistency
+  with the classic ``PC`` algorithm.
+
+The composition table is the standard RCC-8 table (Cohn et al. 1997,
+reference [10] of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.spatial.topology import TopologicalRelation as R
+
+#: Type alias: a disjunctive set of possible relations.
+RelationSet = FrozenSet[R]
+
+#: The universal relation set (total ignorance).
+UNIVERSAL: RelationSet = frozenset(R)
+
+_ALL = frozenset(R)
+
+
+def _rs(*relations: R) -> RelationSet:
+    """Build a relation set literal."""
+    return frozenset(relations)
+
+
+# Short aliases to keep the composition table readable.  These follow the
+# RCC-8 vocabulary: DC=disjoint, EC=meet, PO=overlap, EQ=equal,
+# TPP=coveredBy, NTPP=insideOf, TPPi=covers, NTPPi=contains.
+DC = R.DISJOINT
+EC = R.MEET
+PO = R.OVERLAP
+EQ = R.EQUAL
+TPP = R.COVERED_BY
+NTPP = R.INSIDE
+TPPi = R.COVERS
+NTPPi = R.CONTAINS
+
+#: The standard RCC-8 weak composition table.
+#: ``_COMPOSITION[(r1, r2)]`` is the set of relations r such that
+#: r1(a, b) and r2(b, c) admit r(a, c).
+_COMPOSITION: Dict[Tuple[R, R], RelationSet] = {
+    (DC, DC): _ALL,
+    (DC, EC): _rs(DC, EC, PO, TPP, NTPP),
+    (DC, PO): _rs(DC, EC, PO, TPP, NTPP),
+    (DC, TPP): _rs(DC, EC, PO, TPP, NTPP),
+    (DC, NTPP): _rs(DC, EC, PO, TPP, NTPP),
+    (DC, TPPi): _rs(DC),
+    (DC, NTPPi): _rs(DC),
+    (DC, EQ): _rs(DC),
+
+    (EC, DC): _rs(DC, EC, PO, TPPi, NTPPi),
+    (EC, EC): _rs(DC, EC, PO, TPP, TPPi, EQ),
+    (EC, PO): _rs(DC, EC, PO, TPP, NTPP),
+    (EC, TPP): _rs(EC, PO, TPP, NTPP),
+    (EC, NTPP): _rs(PO, TPP, NTPP),
+    (EC, TPPi): _rs(DC, EC),
+    (EC, NTPPi): _rs(DC),
+    (EC, EQ): _rs(EC),
+
+    (PO, DC): _rs(DC, EC, PO, TPPi, NTPPi),
+    (PO, EC): _rs(DC, EC, PO, TPPi, NTPPi),
+    (PO, PO): _ALL,
+    (PO, TPP): _rs(PO, TPP, NTPP),
+    (PO, NTPP): _rs(PO, TPP, NTPP),
+    (PO, TPPi): _rs(DC, EC, PO, TPPi, NTPPi),
+    (PO, NTPPi): _rs(DC, EC, PO, TPPi, NTPPi),
+    (PO, EQ): _rs(PO),
+
+    (TPP, DC): _rs(DC),
+    (TPP, EC): _rs(DC, EC),
+    (TPP, PO): _rs(DC, EC, PO, TPP, NTPP),
+    (TPP, TPP): _rs(TPP, NTPP),
+    (TPP, NTPP): _rs(NTPP),
+    (TPP, TPPi): _rs(DC, EC, PO, TPP, TPPi, EQ),
+    (TPP, NTPPi): _rs(DC, EC, PO, TPPi, NTPPi),
+    (TPP, EQ): _rs(TPP),
+
+    (NTPP, DC): _rs(DC),
+    (NTPP, EC): _rs(DC),
+    (NTPP, PO): _rs(DC, EC, PO, TPP, NTPP),
+    (NTPP, TPP): _rs(NTPP),
+    (NTPP, NTPP): _rs(NTPP),
+    (NTPP, TPPi): _rs(DC, EC, PO, TPP, NTPP),
+    (NTPP, NTPPi): _ALL,
+    (NTPP, EQ): _rs(NTPP),
+
+    (TPPi, DC): _rs(DC, EC, PO, TPPi, NTPPi),
+    (TPPi, EC): _rs(EC, PO, TPPi, NTPPi),
+    (TPPi, PO): _rs(PO, TPPi, NTPPi),
+    (TPPi, TPP): _rs(PO, TPP, TPPi, EQ),
+    (TPPi, NTPP): _rs(PO, TPP, NTPP),
+    (TPPi, TPPi): _rs(TPPi, NTPPi),
+    (TPPi, NTPPi): _rs(NTPPi),
+    (TPPi, EQ): _rs(TPPi),
+
+    (NTPPi, DC): _rs(DC, EC, PO, TPPi, NTPPi),
+    (NTPPi, EC): _rs(PO, TPPi, NTPPi),
+    (NTPPi, PO): _rs(PO, TPPi, NTPPi),
+    (NTPPi, TPP): _rs(PO, TPPi, NTPPi),
+    (NTPPi, NTPP): _rs(PO, TPP, NTPP, TPPi, NTPPi, EQ),
+    (NTPPi, TPPi): _rs(NTPPi),
+    (NTPPi, NTPPi): _rs(NTPPi),
+    (NTPPi, EQ): _rs(NTPPi),
+
+    (EQ, DC): _rs(DC),
+    (EQ, EC): _rs(EC),
+    (EQ, PO): _rs(PO),
+    (EQ, TPP): _rs(TPP),
+    (EQ, NTPP): _rs(NTPP),
+    (EQ, TPPi): _rs(TPPi),
+    (EQ, NTPPi): _rs(NTPPi),
+    (EQ, EQ): _rs(EQ),
+}
+
+
+class RelationAlgebra:
+    """The RCC-8 relation algebra: converse and weak composition.
+
+    Instances are stateless; :func:`rcc8_algebra` returns the shared
+    singleton.
+    """
+
+    def relations(self) -> Tuple[R, ...]:
+        """All base relations, in declaration order."""
+        return tuple(R)
+
+    def converse(self, relation: R) -> R:
+        """The converse of a base relation."""
+        return relation.converse()
+
+    def converse_set(self, relations: Iterable[R]) -> RelationSet:
+        """Element-wise converse of a relation set."""
+        return frozenset(r.converse() for r in relations)
+
+    def compose(self, first: R, second: R) -> RelationSet:
+        """Weak composition of two base relations.
+
+        ``compose(r1, r2)`` is the set of relations that may hold between
+        ``a`` and ``c`` when ``r1(a, b)`` and ``r2(b, c)``.
+        """
+        return _COMPOSITION[(first, second)]
+
+    def compose_sets(self, firsts: Iterable[R],
+                     seconds: Iterable[R]) -> RelationSet:
+        """Weak composition lifted to relation sets (union of cells)."""
+        result: set = set()
+        seconds = tuple(seconds)
+        for r1 in firsts:
+            for r2 in seconds:
+                result |= _COMPOSITION[(r1, r2)]
+                if len(result) == len(_ALL):
+                    return _ALL
+        return frozenset(result)
+
+    def is_consistent_triple(self, r_ab: R, r_bc: R, r_ac: R) -> bool:
+        """True when ``r_ac`` is admitted by composing ``r_ab ∘ r_bc``."""
+        return r_ac in self.compose(r_ab, r_bc)
+
+
+_ALGEBRA = RelationAlgebra()
+
+
+def rcc8_algebra() -> RelationAlgebra:
+    """Return the shared RCC-8 algebra instance."""
+    return _ALGEBRA
+
+
+class InconsistentNetworkError(ValueError):
+    """Raised when constraint propagation empties a relation set."""
+
+
+class RelationNetwork:
+    """A qualitative constraint network over named regions.
+
+    Edges carry disjunctive sets of possible RCC-8 relations.  Unstated
+    edges are implicitly :data:`UNIVERSAL`.  :meth:`propagate` refines
+    the network to path consistency, which for many RCC-8 fragments
+    decides satisfiability; the SITM uses it to
+
+    * sanity-check hand-authored floorplan relations, and
+    * infer relations between cells of non-adjacent layers (e.g. a RoI
+      and the wing that transitively contains it).
+    """
+
+    def __init__(self, algebra: Optional[RelationAlgebra] = None):
+        self._algebra = algebra or rcc8_algebra()
+        self._nodes: List[str] = []
+        self._index: Dict[str, int] = {}
+        self._constraints: Dict[Tuple[str, str], RelationSet] = {}
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """The region names, in insertion order."""
+        return tuple(self._nodes)
+
+    def add_node(self, name: str) -> None:
+        """Register a region; repeated additions are ignored."""
+        if name not in self._index:
+            self._index[name] = len(self._nodes)
+            self._nodes.append(name)
+
+    def constrain(self, a: str, b: str,
+                  relations: Iterable[R]) -> None:
+        """Restrict the relation between ``a`` and ``b``.
+
+        The converse constraint on ``(b, a)`` is maintained
+        automatically.  Repeated calls intersect with the existing
+        constraint.
+
+        Raises:
+            InconsistentNetworkError: when the intersection is empty.
+        """
+        self.add_node(a)
+        self.add_node(b)
+        new_set = frozenset(relations)
+        if not new_set:
+            raise InconsistentNetworkError(
+                "empty constraint between {!r} and {!r}".format(a, b))
+        current = self._constraints.get((a, b), UNIVERSAL)
+        refined = current & new_set
+        if not refined:
+            raise InconsistentNetworkError(
+                "contradictory constraints between {!r} and {!r}: "
+                "{} vs {}".format(a, b,
+                                  sorted(r.value for r in current),
+                                  sorted(r.value for r in new_set)))
+        self._constraints[(a, b)] = refined
+        self._constraints[(b, a)] = self._algebra.converse_set(refined)
+
+    def get(self, a: str, b: str) -> RelationSet:
+        """The current constraint between ``a`` and ``b``.
+
+        Identical arguments yield ``{equal}``; unknown pairs yield the
+        universal set.
+        """
+        if a == b:
+            return _rs(R.EQUAL)
+        return self._constraints.get((a, b), UNIVERSAL)
+
+    def propagate(self) -> bool:
+        """Refine all constraints to path consistency.
+
+        Runs the classic PC-style fixpoint: for every triple
+        ``(i, k, j)``, ``C(i,j)`` is intersected with
+        ``C(i,k) ∘ C(k,j)`` until nothing changes.
+
+        Returns:
+            True when the network remains satisfiable (no constraint
+            emptied), False otherwise.
+        """
+        names = self._nodes
+        changed = True
+        while changed:
+            changed = False
+            for k in names:
+                for i in names:
+                    if i == k:
+                        continue
+                    c_ik = self.get(i, k)
+                    for j in names:
+                        if j in (i, k):
+                            continue
+                        composed = self._algebra.compose_sets(
+                            c_ik, self.get(k, j))
+                        current = self.get(i, j)
+                        refined = current & composed
+                        if refined == current:
+                            continue
+                        if not refined:
+                            return False
+                        self._constraints[(i, j)] = refined
+                        self._constraints[(j, i)] = (
+                            self._algebra.converse_set(refined))
+                        changed = True
+        return True
+
+    def definite(self, a: str, b: str) -> Optional[R]:
+        """The single remaining relation between ``a`` and ``b``, if any."""
+        relations = self.get(a, b)
+        if len(relations) == 1:
+            return next(iter(relations))
+        return None
+
+    def is_definite(self) -> bool:
+        """True when every constrained pair is down to one relation."""
+        return all(len(rel) == 1 for rel in self._constraints.values())

@@ -1,0 +1,297 @@
+"""Binary topological relations between polygonal regions.
+
+Section 2.1 of the paper grounds indoor space modelling in Qualitative
+Spatial Reasoning: "RCC-8 and 4-intersection (as well as other variants)
+result in the definition of eight binary topological relations:
+'disjoint', 'touch' ('meet'), 'overlap', 'contains', 'insideOf',
+'covers', 'coveredBy', 'equal'."
+
+This module computes those eight relations between simple polygons.
+They later become:
+
+* intra-layer **adjacency** edges (the ``meet`` relation),
+* inter-layer **joint** edges (any of the six relations other than
+  ``disjoint`` and ``meet`` — see Table 1 of the paper),
+* the ``contains``/``covers`` edges that the paper's layer hierarchies
+  are restricted to (Section 3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet
+
+from repro.spatial.geometry import (
+    EPSILON,
+    BBox,
+    Polygon,
+)
+
+
+class TopologicalRelation(enum.Enum):
+    """The eight RCC-8 / 4-intersection binary topological relations.
+
+    Values follow the paper's vocabulary; the equivalent RCC-8 names are
+    given by :attr:`rcc8_name`.
+    """
+
+    DISJOINT = "disjoint"
+    MEET = "meet"
+    OVERLAP = "overlap"
+    EQUAL = "equal"
+    CONTAINS = "contains"
+    INSIDE = "insideOf"
+    COVERS = "covers"
+    COVERED_BY = "coveredBy"
+
+    @property
+    def rcc8_name(self) -> str:
+        """The RCC-8 constant this relation corresponds to."""
+        return _RCC8_NAMES[self]
+
+    def converse(self) -> "TopologicalRelation":
+        """The relation holding with arguments swapped.
+
+        ``disjoint``, ``meet``, ``overlap`` and ``equal`` are symmetric;
+        the containment relations pair up (Section 3.2: "'contains' and
+        'covers' can not" be thought of as symmetric).
+        """
+        return _CONVERSES[self]
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True for relations equal to their own converse."""
+        return self.converse() is self
+
+    @property
+    def implies_intersection(self) -> bool:
+        """True when the relation implies a non-empty set intersection.
+
+        Every relation except ``disjoint`` implies the two regions share
+        at least one point.
+        """
+        return self is not TopologicalRelation.DISJOINT
+
+    @property
+    def implies_interior_intersection(self) -> bool:
+        """True when the relation implies the *interiors* intersect.
+
+        This is the criterion for an inter-layer joint edge: "a joint
+        edge represents any of the eight binary topological relationships
+        ... except for 'disjoint' and 'meet'" (Section 2.1).
+        """
+        return self not in (TopologicalRelation.DISJOINT,
+                            TopologicalRelation.MEET)
+
+    @property
+    def is_parthood(self) -> bool:
+        """True for the four proper-part relations.
+
+        Layer hierarchies only admit the top→bottom directed versions,
+        ``contains`` and ``covers`` (Section 3.2).
+        """
+        return self in (TopologicalRelation.CONTAINS,
+                        TopologicalRelation.INSIDE,
+                        TopologicalRelation.COVERS,
+                        TopologicalRelation.COVERED_BY)
+
+    @property
+    def is_downward_parthood(self) -> bool:
+        """True for ``contains``/``covers`` — the allowed hierarchy edges."""
+        return self in (TopologicalRelation.CONTAINS,
+                        TopologicalRelation.COVERS)
+
+
+_RCC8_NAMES = {
+    TopologicalRelation.DISJOINT: "DC",
+    TopologicalRelation.MEET: "EC",
+    TopologicalRelation.OVERLAP: "PO",
+    TopologicalRelation.EQUAL: "EQ",
+    TopologicalRelation.CONTAINS: "NTPPi",
+    TopologicalRelation.INSIDE: "NTPP",
+    TopologicalRelation.COVERS: "TPPi",
+    TopologicalRelation.COVERED_BY: "TPP",
+}
+
+_CONVERSES = {
+    TopologicalRelation.DISJOINT: TopologicalRelation.DISJOINT,
+    TopologicalRelation.MEET: TopologicalRelation.MEET,
+    TopologicalRelation.OVERLAP: TopologicalRelation.OVERLAP,
+    TopologicalRelation.EQUAL: TopologicalRelation.EQUAL,
+    TopologicalRelation.CONTAINS: TopologicalRelation.INSIDE,
+    TopologicalRelation.INSIDE: TopologicalRelation.CONTAINS,
+    TopologicalRelation.COVERS: TopologicalRelation.COVERED_BY,
+    TopologicalRelation.COVERED_BY: TopologicalRelation.COVERS,
+}
+
+#: The six relations a joint edge may carry (Section 2.1 / Table 1).
+JOINT_EDGE_RELATIONS: FrozenSet[TopologicalRelation] = frozenset({
+    TopologicalRelation.OVERLAP,
+    TopologicalRelation.EQUAL,
+    TopologicalRelation.CONTAINS,
+    TopologicalRelation.INSIDE,
+    TopologicalRelation.COVERS,
+    TopologicalRelation.COVERED_BY,
+})
+
+#: The relations allowed on layer-hierarchy joint edges (Section 3.2).
+HIERARCHY_RELATIONS: FrozenSet[TopologicalRelation] = frozenset({
+    TopologicalRelation.CONTAINS,
+    TopologicalRelation.COVERS,
+})
+
+
+def relate(a: Polygon, b: Polygon, tol: float = EPSILON) -> TopologicalRelation:
+    """Compute the topological relation of ``a`` with respect to ``b``.
+
+    The result reads left-to-right: ``relate(a, b) == CONTAINS`` means
+    "``a`` contains ``b``".
+
+    The decision procedure works on simple polygons:
+
+    1. mutual containment               → ``equal``
+    2. disjoint bounding boxes          → ``disjoint``
+    3. properly crossing boundaries     → ``overlap``
+    4. one region containing the other  → ``contains``/``covers`` (or the
+       converse), split on whether the boundaries touch
+    5. interiors intersect without containment → ``overlap``
+    6. boundaries touch                 → ``meet``
+    7. otherwise                        → ``disjoint``
+    """
+    if not a.bbox().intersects(b.bbox(), tol):
+        return TopologicalRelation.DISJOINT
+
+    a_contains_b = a.contains_polygon(b, tol)
+    b_contains_a = b.contains_polygon(a, tol)
+    if a_contains_b and b_contains_a:
+        return TopologicalRelation.EQUAL
+
+    boundaries_cross = _boundaries_properly_cross(a, b)
+    if boundaries_cross:
+        return TopologicalRelation.OVERLAP
+
+    boundaries_touch = _boundaries_touch(a, b, tol)
+    if a_contains_b:
+        return (TopologicalRelation.COVERS if boundaries_touch
+                else TopologicalRelation.CONTAINS)
+    if b_contains_a:
+        return (TopologicalRelation.COVERED_BY if boundaries_touch
+                else TopologicalRelation.INSIDE)
+
+    if _interiors_intersect_without_containment(a, b, tol):
+        return TopologicalRelation.OVERLAP
+
+    if boundaries_touch:
+        return TopologicalRelation.MEET
+    return TopologicalRelation.DISJOINT
+
+
+def relate_boxes(a: BBox, b: BBox, tol: float = EPSILON) -> TopologicalRelation:
+    """Fast-path :func:`relate` for axis-aligned boxes.
+
+    Equivalent to ``relate(a.to_polygon(), b.to_polygon())`` but runs in
+    constant time; useful for the rectangular rooms and zones of the
+    synthetic Louvre floorplan.
+    """
+    if (a.max_x < b.min_x - tol or b.max_x < a.min_x - tol
+            or a.max_y < b.min_y - tol or b.max_y < a.min_y - tol):
+        return TopologicalRelation.DISJOINT
+
+    def _near(u: float, v: float) -> bool:
+        return abs(u - v) <= tol
+
+    if (_near(a.min_x, b.min_x) and _near(a.max_x, b.max_x)
+            and _near(a.min_y, b.min_y) and _near(a.max_y, b.max_y)):
+        return TopologicalRelation.EQUAL
+
+    a_holds_b = (a.min_x <= b.min_x + tol and a.max_x >= b.max_x - tol
+                 and a.min_y <= b.min_y + tol and a.max_y >= b.max_y - tol)
+    b_holds_a = (b.min_x <= a.min_x + tol and b.max_x >= a.max_x - tol
+                 and b.min_y <= a.min_y + tol and b.max_y >= a.max_y - tol)
+    touch = (_near(a.min_x, b.min_x) or _near(a.max_x, b.max_x)
+             or _near(a.min_y, b.min_y) or _near(a.max_y, b.max_y)
+             or _near(a.max_x, b.min_x) or _near(b.max_x, a.min_x)
+             or _near(a.max_y, b.min_y) or _near(b.max_y, a.min_y))
+
+    if a_holds_b:
+        boundary_contact = (_near(a.min_x, b.min_x) or _near(a.max_x, b.max_x)
+                            or _near(a.min_y, b.min_y)
+                            or _near(a.max_y, b.max_y))
+        return (TopologicalRelation.COVERS if boundary_contact
+                else TopologicalRelation.CONTAINS)
+    if b_holds_a:
+        boundary_contact = (_near(a.min_x, b.min_x) or _near(a.max_x, b.max_x)
+                            or _near(a.min_y, b.min_y)
+                            or _near(a.max_y, b.max_y))
+        return (TopologicalRelation.COVERED_BY if boundary_contact
+                else TopologicalRelation.INSIDE)
+
+    # Interiors intersect iff the open intervals overlap on both axes.
+    open_overlap_x = (a.max_x > b.min_x + tol and b.max_x > a.min_x + tol)
+    open_overlap_y = (a.max_y > b.min_y + tol and b.max_y > a.min_y + tol)
+    if open_overlap_x and open_overlap_y:
+        return TopologicalRelation.OVERLAP
+    if touch:
+        return TopologicalRelation.MEET
+    return TopologicalRelation.DISJOINT
+
+
+def _boundaries_properly_cross(a: Polygon, b: Polygon) -> bool:
+    """True when some edge of ``a`` properly crosses some edge of ``b``."""
+    edges_b = b.edges()
+    for edge_a in a.edges():
+        box_a = edge_a.bbox()
+        for edge_b in edges_b:
+            if not box_a.intersects(edge_b.bbox()):
+                continue
+            if edge_a.properly_crosses(edge_b):
+                return True
+    return False
+
+
+def _boundaries_touch(a: Polygon, b: Polygon, tol: float) -> bool:
+    """True when the boundaries share at least one point.
+
+    Detects vertex-on-boundary contact and collinear edge overlap (the
+    shared-wall situation behind IndoorGML adjacency).
+    """
+    for vertex in a.vertices:
+        if b.boundary_contains(vertex, tol):
+            return True
+    for vertex in b.vertices:
+        if a.boundary_contains(vertex, tol):
+            return True
+    edges_b = b.edges()
+    for edge_a in a.edges():
+        for edge_b in edges_b:
+            if edge_a.overlaps_collinearly(edge_b, tol):
+                return True
+            if edge_a.intersects(edge_b):
+                return True
+    return False
+
+
+def _interiors_intersect_without_containment(a: Polygon, b: Polygon,
+                                             tol: float) -> bool:
+    """Detect partial interior overlap not witnessed by a proper crossing.
+
+    Two rectangles sharing a strip (e.g. ``[0,2]×[0,1]`` and
+    ``[1,3]×[0,1]``) have no properly-crossing edges — their boundaries
+    only meet at vertices lying on each other's edges — yet their
+    interiors overlap.  Sampling vertices and edge midpoints for strict
+    interior membership catches these cases for the polygon families used
+    in indoor floorplans.
+    """
+    for vertex in a.vertices:
+        if b.interior_contains_point(vertex, tol):
+            return True
+    for vertex in b.vertices:
+        if a.interior_contains_point(vertex, tol):
+            return True
+    for edge in a.edges():
+        if b.interior_contains_point(edge.midpoint(), tol):
+            return True
+    for edge in b.edges():
+        if a.interior_contains_point(edge.midpoint(), tol):
+            return True
+    return False

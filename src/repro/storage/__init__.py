@@ -1,0 +1,33 @@
+"""Trajectory data management layer.
+
+The SITM is a *data model*; this package is the corresponding data
+management substrate: a typed in-memory trajectory store with the
+secondary indexes symbolic trajectory workloads need (inverted state /
+annotation / moving-object indexes, an interval index over presence
+times) and a composable query API over them.  CSV / JSON-lines
+persistence rounds it out.
+"""
+
+from repro.storage.intervals import Interval, IntervalIndex
+from repro.storage.index import InvertedIndex
+from repro.storage.store import StoredTrajectory, TrajectoryStore
+from repro.storage.query import Query
+from repro.storage.csvio import (
+    read_detrecords_csv,
+    read_trajectories_jsonl,
+    write_detections_csv,
+    write_trajectories_jsonl,
+)
+
+__all__ = [
+    "Interval",
+    "IntervalIndex",
+    "InvertedIndex",
+    "StoredTrajectory",
+    "TrajectoryStore",
+    "Query",
+    "read_detrecords_csv",
+    "read_trajectories_jsonl",
+    "write_detections_csv",
+    "write_trajectories_jsonl",
+]

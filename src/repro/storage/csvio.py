@@ -1,0 +1,91 @@
+"""CSV / JSON-lines persistence.
+
+Two formats cover the pipeline's two record shapes:
+
+* **detection CSV** — the raw input shape (one zone detection per
+  row), matching what a museum's app backend would export;
+* **trajectory JSON-lines** — one serialised semantic trajectory per
+  line, the SITM-native archive format (lossless round-trip via
+  :meth:`SemanticTrajectory.to_dict`).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Iterable, List
+
+from repro.core.builder import DetectionRecord
+from repro.core.trajectory import SemanticTrajectory
+
+#: Column order of the detection CSV format.
+DETECTION_COLUMNS = ("mo_id", "state", "t_start", "t_end", "visit_id")
+
+
+def write_detections_csv(records: Iterable[DetectionRecord],
+                         path: str) -> int:
+    """Write detection records to CSV; returns the row count."""
+    count = 0
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(DETECTION_COLUMNS)
+        for record in records:
+            writer.writerow([
+                record.mo_id,
+                record.state,
+                repr(record.t_start),
+                repr(record.t_end),
+                record.visit_id or "",
+            ])
+            count += 1
+    return count
+
+
+def read_detrecords_csv(path: str) -> List[DetectionRecord]:
+    """Read detection records from CSV.
+
+    Raises:
+        ValueError: on a malformed header.
+    """
+    records: List[DetectionRecord] = []
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header) != DETECTION_COLUMNS:
+            raise ValueError(
+                "unexpected detection CSV header: {!r}".format(header))
+        for row in reader:
+            mo_id, state, t_start, t_end, visit_id = row
+            records.append(DetectionRecord(
+                mo_id=mo_id,
+                state=state,
+                t_start=float(t_start),
+                t_end=float(t_end),
+                visit_id=visit_id or None,
+            ))
+    return records
+
+
+def write_trajectories_jsonl(trajectories: Iterable[SemanticTrajectory],
+                             path: str) -> int:
+    """Write trajectories as JSON-lines; returns the line count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for trajectory in trajectories:
+            handle.write(json.dumps(trajectory.to_dict()))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_trajectories_jsonl(path: str) -> List[SemanticTrajectory]:
+    """Read trajectories from a JSON-lines archive."""
+    trajectories: List[SemanticTrajectory] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            trajectories.append(
+                SemanticTrajectory.from_dict(json.loads(line)))
+    return trajectories

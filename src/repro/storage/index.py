@@ -1,0 +1,65 @@
+"""Inverted indexes for symbolic trajectory attributes.
+
+A thin, typed wrapper over ``dict[key, set[doc_id]]`` with the boolean
+operations trajectory queries compose from.  Kept deliberately simple:
+the store's document ids are small integers, so Python sets are the
+right data structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Set
+
+
+class InvertedIndex:
+    """Maps keys to sets of integer document ids."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[Hashable, Set[int]] = {}
+
+    def add(self, key: Hashable, doc_id: int) -> None:
+        """Register ``doc_id`` under ``key``."""
+        self._postings.setdefault(key, set()).add(doc_id)
+
+    def add_all(self, keys: Iterable[Hashable], doc_id: int) -> None:
+        """Register ``doc_id`` under every key."""
+        for key in keys:
+            self.add(key, doc_id)
+
+    def lookup(self, key: Hashable) -> FrozenSet[int]:
+        """Document ids posted under ``key`` (empty when absent)."""
+        return frozenset(self._postings.get(key, ()))
+
+    def lookup_any(self, keys: Iterable[Hashable]) -> FrozenSet[int]:
+        """Union of postings (documents matching *any* key)."""
+        result: Set[int] = set()
+        for key in keys:
+            result |= self._postings.get(key, set())
+        return frozenset(result)
+
+    def lookup_all(self, keys: Iterable[Hashable]) -> FrozenSet[int]:
+        """Intersection of postings (documents matching *every* key)."""
+        keys = list(keys)
+        if not keys:
+            return frozenset()
+        result: Set[int] = set(self._postings.get(keys[0], set()))
+        for key in keys[1:]:
+            result &= self._postings.get(key, set())
+            if not result:
+                break
+        return frozenset(result)
+
+    def keys(self) -> List[Hashable]:
+        """All indexed keys."""
+        return list(self._postings)
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._postings
+
+    def posting_sizes(self) -> Dict[Hashable, int]:
+        """Key → posting-list length (selectivity statistics)."""
+        return {key: len(postings)
+                for key, postings in self._postings.items()}

@@ -1,0 +1,151 @@
+"""A static interval index for presence-time queries.
+
+Presence intervals are the SITM's temporal primitive, so "who was in
+zone X between t1 and t2" is the store's hottest query shape.  The
+index is a classic centered interval tree built once over the corpus
+(the store rebuilds it lazily after inserts), giving
+O(log n + k) stabbing and overlap queries instead of a corpus scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, List, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Interval(Generic[T]):
+    """A closed interval ``[start, end]`` with a payload."""
+
+    start: float
+    end: float
+    payload: T
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("interval end precedes start")
+
+    def contains(self, t: float) -> bool:
+        """True when ``t`` lies in the closed interval."""
+        return self.start <= t <= self.end
+
+    def overlaps(self, start: float, end: float) -> bool:
+        """True when the closed intervals intersect."""
+        return self.start <= end and start <= self.end
+
+
+class _Node(Generic[T]):
+    """One node of the centered interval tree."""
+
+    __slots__ = ("center", "by_start", "by_end", "left", "right")
+
+    def __init__(self, center: float,
+                 spanning: List[Interval[T]]) -> None:
+        self.center = center
+        self.by_start = sorted(spanning, key=lambda iv: iv.start)
+        self.by_end = sorted(spanning, key=lambda iv: -iv.end)
+        self.left: Optional["_Node[T]"] = None
+        self.right: Optional["_Node[T]"] = None
+
+
+class IntervalIndex(Generic[T]):
+    """Centered interval tree over a fixed set of intervals."""
+
+    def __init__(self, intervals: Sequence[Interval[T]]) -> None:
+        self._size = len(intervals)
+        self._root = self._build(list(intervals))
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _build(self, intervals: List[Interval[T]]
+               ) -> Optional[_Node[T]]:
+        if not intervals:
+            return None
+        points: List[float] = []
+        for interval in intervals:
+            points.append(interval.start)
+            points.append(interval.end)
+        points.sort()
+        center = points[len(points) // 2]
+        left: List[Interval[T]] = []
+        right: List[Interval[T]] = []
+        spanning: List[Interval[T]] = []
+        for interval in intervals:
+            if interval.end < center:
+                left.append(interval)
+            elif interval.start > center:
+                right.append(interval)
+            else:
+                spanning.append(interval)
+        node = _Node(center, spanning)
+        node.left = self._build(left)
+        node.right = self._build(right)
+        return node
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def stab(self, t: float) -> List[Interval[T]]:
+        """All intervals containing time ``t``."""
+        results: List[Interval[T]] = []
+        node = self._root
+        while node is not None:
+            if t < node.center:
+                for interval in node.by_start:
+                    if interval.start > t:
+                        break
+                    results.append(interval)
+                node = node.left
+            elif t > node.center:
+                for interval in node.by_end:
+                    if interval.end < t:
+                        break
+                    results.append(interval)
+                node = node.right
+            else:
+                results.extend(node.by_start)
+                node = None
+        return results
+
+    def overlapping(self, start: float, end: float) -> List[Interval[T]]:
+        """All intervals intersecting ``[start, end]``.
+
+        Raises:
+            ValueError: when ``end < start``.
+        """
+        if end < start:
+            raise ValueError("query end precedes start")
+        results: List[Interval[T]] = []
+        self._collect_overlaps(self._root, start, end, results)
+        return results
+
+    def _collect_overlaps(self, node: Optional[_Node[T]], start: float,
+                          end: float,
+                          results: List[Interval[T]]) -> None:
+        if node is None:
+            return
+        for interval in node.by_start:
+            if interval.start > end:
+                break
+            if interval.overlaps(start, end):
+                results.append(interval)
+        if start < node.center:
+            self._collect_overlaps(node.left, start, end, results)
+        if end > node.center:
+            self._collect_overlaps(node.right, start, end, results)
+
+    def all_intervals(self) -> List[Interval[T]]:
+        """Every stored interval (no particular order)."""
+        results: List[Interval[T]] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            results.extend(node.by_start)
+            stack.append(node.left)
+            stack.append(node.right)
+        return results

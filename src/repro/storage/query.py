@@ -1,0 +1,130 @@
+"""A composable query API over the trajectory store.
+
+Queries are built fluently and executed against a
+:class:`~repro.storage.store.TrajectoryStore`:
+
+    Query(store).visiting_state("zone60853") \\
+                .with_annotation(AnnotationKind.GOAL, "visit") \\
+                .active_between(t1, t2) \\
+                .execute()
+
+Index-backed predicates (state, annotation, moving object, time
+window) are intersected as id sets first; residual Python predicates
+are applied to the survivors only — a straightforward
+index-intersection planner.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterable, List, Optional
+
+from repro.core.annotations import AnnotationKind
+from repro.core.trajectory import SemanticTrajectory
+from repro.storage.store import StoredTrajectory, TrajectoryStore
+
+#: A residual filter applied after index intersection.
+ResidualPredicate = Callable[[SemanticTrajectory], bool]
+
+
+class Query:
+    """A fluent, immutable-result query builder."""
+
+    def __init__(self, store: TrajectoryStore) -> None:
+        self._store = store
+        self._id_sets: List[FrozenSet[int]] = []
+        self._residuals: List[ResidualPredicate] = []
+
+    # ------------------------------------------------------------------
+    # index-backed predicates
+    # ------------------------------------------------------------------
+    def visiting_state(self, state: str) -> "Query":
+        """Keep trajectories visiting ``state``."""
+        self._id_sets.append(self._store.ids_visiting_state(state))
+        return self
+
+    def visiting_any(self, states: Iterable[str]) -> "Query":
+        """Keep trajectories visiting any of ``states``."""
+        self._id_sets.append(self._store.ids_visiting_any(states))
+        return self
+
+    def visiting_all(self, states: Iterable[str]) -> "Query":
+        """Keep trajectories visiting all of ``states``."""
+        self._id_sets.append(self._store.ids_visiting_all(states))
+        return self
+
+    def with_annotation(self, kind: AnnotationKind,
+                        value: object) -> "Query":
+        """Keep trajectories carrying the annotation anywhere."""
+        self._id_sets.append(self._store.ids_with_annotation(kind, value))
+        return self
+
+    def of_moving_object(self, mo_id: str) -> "Query":
+        """Keep one moving object's trajectories."""
+        self._id_sets.append(self._store.ids_of_mo(mo_id))
+        return self
+
+    def active_between(self, start: float, end: float) -> "Query":
+        """Keep trajectories with a stay intersecting the window."""
+        self._id_sets.append(self._store.ids_active_between(start, end))
+        return self
+
+    # ------------------------------------------------------------------
+    # residual predicates
+    # ------------------------------------------------------------------
+    def where(self, predicate: ResidualPredicate) -> "Query":
+        """Add an arbitrary Python predicate (applied post-index)."""
+        self._residuals.append(predicate)
+        return self
+
+    def min_duration(self, seconds: float) -> "Query":
+        """Keep trajectories lasting at least ``seconds``."""
+        return self.where(lambda t: t.duration >= seconds)
+
+    def min_entries(self, count: int) -> "Query":
+        """Keep trajectories with at least ``count`` presence intervals."""
+        return self.where(lambda t: len(t.trace) >= count)
+
+    def follows_sequence(self, pattern: Iterable[str]) -> "Query":
+        """Keep trajectories whose states contain the contiguous pattern."""
+        pattern = tuple(pattern)
+
+        def matches(trajectory: SemanticTrajectory) -> bool:
+            sequence = tuple(trajectory.distinct_state_sequence())
+            window = len(pattern)
+            return any(sequence[i:i + window] == pattern
+                       for i in range(len(sequence) - window + 1))
+
+        return self.where(matches)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def candidate_ids(self) -> FrozenSet[int]:
+        """The id set after index intersection (before residuals).
+
+        Sets are intersected smallest-first, an old query-planner trick
+        that keeps intermediate results minimal.
+        """
+        if not self._id_sets:
+            return self._store.all_ids()
+        ordered = sorted(self._id_sets, key=len)
+        result = set(ordered[0])
+        for id_set in ordered[1:]:
+            result &= id_set
+            if not result:
+                break
+        return frozenset(result)
+
+    def execute(self) -> List[StoredTrajectory]:
+        """Run the query; results are ordered by document id."""
+        hits: List[StoredTrajectory] = []
+        for doc_id in sorted(self.candidate_ids()):
+            trajectory = self._store.get(doc_id)
+            if all(predicate(trajectory)
+                   for predicate in self._residuals):
+                hits.append(StoredTrajectory(doc_id, trajectory))
+        return hits
+
+    def count(self) -> int:
+        """Number of matching trajectories."""
+        return len(self.execute())

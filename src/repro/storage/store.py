@@ -1,0 +1,156 @@
+"""The in-memory semantic trajectory store.
+
+:class:`TrajectoryStore` owns a corpus of
+:class:`~repro.core.trajectory.SemanticTrajectory` objects and
+maintains three secondary indexes over them:
+
+* an inverted index state → trajectories that visit it;
+* an inverted index (annotation kind, value) → trajectories carrying
+  it (whole-trajectory or stay-level);
+* an inverted index moving object → its trajectories;
+* a centered interval index over presence intervals for time queries.
+
+Indexes are maintained incrementally on insert; the interval index —
+a static structure — is rebuilt lazily on first temporal query after a
+write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.annotations import AnnotationKind
+from repro.core.trajectory import SemanticTrajectory
+from repro.storage.index import InvertedIndex
+from repro.storage.intervals import Interval, IntervalIndex
+
+
+@dataclass(frozen=True)
+class StoredTrajectory:
+    """A trajectory with its store-assigned id."""
+
+    doc_id: int
+    trajectory: SemanticTrajectory
+
+
+class TrajectoryStore:
+    """Insert-only trajectory corpus with secondary indexes."""
+
+    def __init__(self) -> None:
+        self._docs: List[SemanticTrajectory] = []
+        self._by_state = InvertedIndex()
+        self._by_annotation = InvertedIndex()
+        self._by_mo = InvertedIndex()
+        self._interval_index: Optional[IntervalIndex] = None
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def insert(self, trajectory: SemanticTrajectory) -> int:
+        """Store a trajectory; returns its document id."""
+        doc_id = len(self._docs)
+        self._docs.append(trajectory)
+        self._by_mo.add(trajectory.mo_id, doc_id)
+        for state in set(trajectory.states()):
+            self._by_state.add(state, doc_id)
+        for annotation in trajectory.annotations:
+            self._by_annotation.add((annotation.kind, annotation.value),
+                                    doc_id)
+        for entry in trajectory.trace:
+            for annotation in entry.annotations:
+                self._by_annotation.add(
+                    (annotation.kind, annotation.value), doc_id)
+        self._interval_index = None  # invalidate; rebuilt lazily
+        return doc_id
+
+    def insert_many(self,
+                    trajectories: Iterable[SemanticTrajectory]
+                    ) -> List[int]:
+        """Store several trajectories; returns their document ids."""
+        return [self.insert(t) for t in trajectories]
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def __iter__(self) -> Iterator[SemanticTrajectory]:
+        return iter(self._docs)
+
+    def get(self, doc_id: int) -> SemanticTrajectory:
+        """Fetch by document id.
+
+        Raises:
+            IndexError: for unknown ids.
+        """
+        return self._docs[doc_id]
+
+    def all_ids(self) -> FrozenSet[int]:
+        """Every document id."""
+        return frozenset(range(len(self._docs)))
+
+    # ------------------------------------------------------------------
+    # index lookups (used by the Query planner)
+    # ------------------------------------------------------------------
+    def ids_visiting_state(self, state: str) -> FrozenSet[int]:
+        """Trajectories with at least one stay in ``state``."""
+        return self._by_state.lookup(state)
+
+    def ids_visiting_any(self, states: Iterable[str]) -> FrozenSet[int]:
+        """Trajectories visiting any of the states."""
+        return self._by_state.lookup_any(states)
+
+    def ids_visiting_all(self, states: Iterable[str]) -> FrozenSet[int]:
+        """Trajectories visiting every one of the states."""
+        return self._by_state.lookup_all(states)
+
+    def ids_with_annotation(self, kind: AnnotationKind,
+                            value: object) -> FrozenSet[int]:
+        """Trajectories carrying the annotation anywhere."""
+        return self._by_annotation.lookup((kind, value))
+
+    def ids_of_mo(self, mo_id: str) -> FrozenSet[int]:
+        """Trajectories of one moving object."""
+        return self._by_mo.lookup(mo_id)
+
+    def ids_active_between(self, start: float,
+                           end: float) -> FrozenSet[int]:
+        """Trajectories with a presence interval intersecting the window."""
+        index = self._ensure_interval_index()
+        return frozenset(iv.payload
+                         for iv in index.overlapping(start, end))
+
+    def states_occupied_at(self, t: float) -> Dict[int, str]:
+        """doc id → state for every trajectory present at time ``t``."""
+        index = self._ensure_interval_index()
+        hits: Dict[int, str] = {}
+        for interval in index.stab(t):
+            doc_id = interval.payload
+            state = self._docs[doc_id].state_at(t)
+            if state is not None:
+                hits[doc_id] = state
+        return hits
+
+    def _ensure_interval_index(self) -> IntervalIndex:
+        if self._interval_index is None:
+            intervals: List[Interval] = []
+            for doc_id, trajectory in enumerate(self._docs):
+                for entry in trajectory.trace:
+                    intervals.append(Interval(entry.t_start, entry.t_end,
+                                              doc_id))
+            self._interval_index = IntervalIndex(intervals)
+        return self._interval_index
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def state_cardinalities(self) -> Dict[str, int]:
+        """State → number of trajectories visiting it (selectivity)."""
+        return {str(k): v
+                for k, v in self._by_state.posting_sizes().items()}
+
+    def moving_objects(self) -> List[str]:
+        """All distinct moving-object ids."""
+        return [str(k) for k in self._by_mo.keys()]

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite.
+
+The Louvre space model and a small synthetic corpus are expensive to
+build, so they are session-scoped; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TrajectoryBuilder
+from repro.core.annotations import AnnotationSet
+from repro.core.trajectory import SemanticTrajectory, Trace, TraceEntry
+from repro.louvre.dataset import DatasetParameters, LouvreDatasetGenerator
+from repro.louvre.space import LouvreSpace
+
+
+@pytest.fixture(scope="session")
+def louvre_space() -> LouvreSpace:
+    """The full Louvre layered indoor graph (read-only)."""
+    return LouvreSpace()
+
+
+@pytest.fixture(scope="session")
+def small_corpus(louvre_space):
+    """A 2%-scale corpus: (visits, detection records)."""
+    generator = LouvreDatasetGenerator(
+        louvre_space, DatasetParameters().scaled(0.02))
+    visits = generator.generate()
+    records = generator.detection_records(visits)
+    return visits, records
+
+
+@pytest.fixture(scope="session")
+def small_trajectories(louvre_space, small_corpus):
+    """The small corpus built into semantic trajectories."""
+    _, records = small_corpus
+    builder = TrajectoryBuilder(louvre_space.dataset_zone_nrg())
+    trajectories, _ = builder.build_all(records)
+    return trajectories
+
+
+def make_trajectory(mo_id: str = "mo-1",
+                    states=("a", "b", "c"),
+                    start: float = 1000.0,
+                    dwell: float = 100.0,
+                    gap: float = 10.0,
+                    annotations: AnnotationSet = None
+                    ) -> SemanticTrajectory:
+    """Build a simple linear test trajectory a→b→c..."""
+    entries = []
+    t = start
+    previous = None
+    for state in states:
+        transition = None if previous is None \
+            else "door-{}-{}".format(previous, state)
+        entries.append(TraceEntry(transition, state, t, t + dwell))
+        t += dwell + gap
+        previous = state
+    return SemanticTrajectory(
+        mo_id, Trace(entries),
+        annotations if annotations is not None
+        else AnnotationSet.goals("visit"))

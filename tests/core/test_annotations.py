@@ -1,0 +1,116 @@
+"""Tests for semantic annotations and annotation sets."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.annotations import (
+    AnnotationKind,
+    AnnotationSet,
+    SemanticAnnotation,
+)
+
+
+class TestSemanticAnnotation:
+    def test_shorthands(self):
+        assert SemanticAnnotation.goal("visit").kind is AnnotationKind.GOAL
+        assert SemanticAnnotation.activity("photo").kind \
+            is AnnotationKind.ACTIVITY
+        assert SemanticAnnotation.behavior("rushed").kind \
+            is AnnotationKind.BEHAVIOR
+
+    def test_confidence_bounds(self):
+        with pytest.raises(ValueError):
+            SemanticAnnotation(AnnotationKind.GOAL, "x", confidence=1.5)
+        with pytest.raises(ValueError):
+            SemanticAnnotation(AnnotationKind.GOAL, "x", confidence=-0.1)
+
+    def test_describe(self):
+        assert SemanticAnnotation.goal("visit").describe() == "goal:visit"
+        linked = SemanticAnnotation(AnnotationKind.PLACE, "exhibit",
+                                    link="roi:mona-lisa")
+        assert linked.describe() == "place:exhibit→roi:mona-lisa"
+
+    def test_frozen_and_hashable(self):
+        a = SemanticAnnotation.goal("visit")
+        b = SemanticAnnotation.goal("visit")
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestAnnotationSet:
+    def test_empty_is_falsy(self):
+        assert not AnnotationSet.empty()
+        assert len(AnnotationSet.empty()) == 0
+
+    def test_goals_builder(self):
+        goals = AnnotationSet.goals("visit", "buy")
+        assert len(goals) == 2
+        assert sorted(goals.goal_values()) == ["buy", "visit"]
+
+    def test_equality_order_independent(self):
+        a = AnnotationSet.goals("visit", "buy")
+        b = AnnotationSet.goals("buy", "visit")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_union(self):
+        merged = AnnotationSet.goals("visit").union(
+            AnnotationSet.goals("buy"))
+        assert len(merged) == 2
+
+    def test_with_annotation(self):
+        base = AnnotationSet.goals("visit")
+        extended = base.with_annotation(SemanticAnnotation.goal("buy"))
+        assert len(base) == 1  # immutable
+        assert len(extended) == 2
+
+    def test_without_kind(self):
+        mixed = AnnotationSet.of(
+            SemanticAnnotation.goal("visit"),
+            SemanticAnnotation.activity("photo"))
+        assert len(mixed.without_kind(AnnotationKind.GOAL)) == 1
+
+    def test_has(self):
+        goals = AnnotationSet.goals("visit")
+        assert goals.has(AnnotationKind.GOAL)
+        assert goals.has(AnnotationKind.GOAL, "visit")
+        assert not goals.has(AnnotationKind.GOAL, "buy")
+        assert not goals.has(AnnotationKind.ACTIVITY)
+
+    def test_of_kind_deterministic_order(self):
+        mixed = AnnotationSet.goals("z", "a", "m")
+        values = [a.value for a in mixed.of_kind(AnnotationKind.GOAL)]
+        assert values == sorted(values)
+
+    def test_links(self):
+        annotated = AnnotationSet.of(
+            SemanticAnnotation(AnnotationKind.PLACE, "x", link="obj2"),
+            SemanticAnnotation(AnnotationKind.PLACE, "y", link="obj1"))
+        assert annotated.links() == ["obj1", "obj2"]
+
+    def test_contains(self):
+        goal = SemanticAnnotation.goal("visit")
+        assert goal in AnnotationSet.of(goal)
+
+    def test_repr_empty(self):
+        assert repr(AnnotationSet.empty()) == "AnnotationSet(∅)"
+
+    def test_serialisation_roundtrip(self):
+        original = AnnotationSet.of(
+            SemanticAnnotation.goal("visit"),
+            SemanticAnnotation(AnnotationKind.PROVENANCE, "inferred",
+                               source="topology", confidence=0.5),
+            SemanticAnnotation(AnnotationKind.PLACE, "shop",
+                               link="zone60890"))
+        restored = AnnotationSet.from_list(original.to_list())
+        assert restored == original
+
+
+@given(st.lists(st.sampled_from(["visit", "buy", "exit", "photo"]),
+                max_size=4))
+def test_property_set_semantics(values):
+    """Building a set twice from the same values yields equal sets."""
+    a = AnnotationSet.goals(*values)
+    b = AnnotationSet.goals(*reversed(values))
+    assert a == b
+    assert len(a) == len(set(values))

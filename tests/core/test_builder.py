@@ -1,0 +1,188 @@
+"""Tests for the detection-record → trajectory builder."""
+
+import pytest
+
+from repro.core.annotations import AnnotationKind, AnnotationSet
+from repro.core.builder import (
+    DetectionRecord,
+    TrajectoryBuilder,
+    UNOBSERVED_TRANSITION_PREFIX,
+)
+from repro.indoor.nrg import NodeRelationGraph
+
+
+@pytest.fixture
+def nrg():
+    graph = NodeRelationGraph("zones")
+    graph.connect("a", "b", edge_id="ab", boundary_id="door-ab",
+                  bidirectional=True)
+    graph.connect("b", "c", edge_id="bc", bidirectional=True)
+    return graph
+
+
+@pytest.fixture
+def builder(nrg):
+    return TrajectoryBuilder(nrg, visit_gap_seconds=3600.0)
+
+
+def rec(mo, state, start, end, visit=None):
+    return DetectionRecord(mo, state, start, end, visit)
+
+
+class TestCleaning:
+    def test_zero_duration_dropped(self, builder):
+        kept, report = builder.clean([
+            rec("m", "a", 0, 0),
+            rec("m", "a", 10, 20),
+        ])
+        assert len(kept) == 1
+        assert report.dropped_zero_duration == 1
+        assert report.zero_duration_share == 0.5
+
+    def test_negative_duration_dropped(self, builder):
+        _, report = builder.clean([rec("m", "a", 10, 5)])
+        assert report.dropped_negative_duration == 1
+        assert report.kept == 0
+
+    def test_unknown_state_dropped(self, builder):
+        kept, report = builder.clean([rec("m", "ghost", 0, 10)])
+        assert kept == []
+        assert report.dropped_unknown_state == 1
+
+    def test_unknown_state_kept_when_configured(self, nrg):
+        builder = TrajectoryBuilder(nrg, drop_unknown_states=False)
+        kept, _ = builder.clean([rec("m", "ghost", 0, 10)])
+        assert len(kept) == 1
+
+    def test_duplicate_record_dropped_as_contained(self, builder):
+        kept, report = builder.clean([
+            rec("m", "a", 0, 100),
+            rec("m", "a", 0, 100),   # exact duplicate upload
+            rec("m", "a", 20, 80),   # fully contained echo
+        ])
+        assert len(kept) == 1
+        assert report.dropped_contained == 2
+
+    def test_overlapping_record_clipped(self, builder):
+        kept, report = builder.clean([
+            rec("m", "a", 0, 100),
+            rec("m", "b", 50, 200),  # starts 50s early
+        ])
+        assert report.clipped_overlaps == 1
+        assert kept[1].t_start == 100
+        assert kept[1].t_end == 200
+
+    def test_bounded_overlap_untouched(self, builder):
+        """Overlaps within the sensing tolerance are a modelled
+        phenomenon, not an error — they pass through unchanged."""
+        kept, report = builder.clean([
+            rec("m", "a", 0, 100),
+            rec("m", "b", 96, 200),
+        ])
+        assert report.clipped_overlaps == 0
+        assert kept[1].t_start == 96
+
+    def test_different_mos_never_clipped(self, builder):
+        kept, report = builder.clean([
+            rec("m1", "a", 0, 100),
+            rec("m2", "b", 50, 200),
+        ])
+        assert report.clipped_overlaps == 0
+        assert len(kept) == 2
+
+    def test_sorting(self, builder):
+        kept, _ = builder.clean([
+            rec("m2", "a", 0, 10),
+            rec("m1", "b", 50, 60),
+            rec("m1", "a", 0, 10),
+        ])
+        assert [(r.mo_id, r.t_start) for r in kept] \
+            == [("m1", 0), ("m1", 50), ("m2", 0)]
+
+
+class TestVisitSplitting:
+    def test_gap_splits_visits(self, builder):
+        records, _ = builder.clean([
+            rec("m", "a", 0, 100),
+            rec("m", "b", 200, 300),
+            rec("m", "a", 100_000, 100_100),
+        ])
+        visits = builder.split_visits(records)
+        assert len(visits) == 2
+        assert len(visits[0]) == 2
+
+    def test_visit_id_grouping(self, builder):
+        records, _ = builder.clean([
+            rec("m", "a", 0, 100, visit="v1"),
+            rec("m", "b", 200, 300, visit="v2"),
+        ])
+        visits = builder.split_visits(records)
+        assert len(visits) == 2
+
+    def test_different_mos_never_merge(self, builder):
+        records, _ = builder.clean([
+            rec("m1", "a", 0, 100),
+            rec("m2", "b", 100, 200),
+        ])
+        assert len(builder.split_visits(records)) == 2
+
+
+class TestBuild:
+    def test_transitions_resolved(self, builder):
+        trajectory = builder.build_trajectory([
+            rec("m", "a", 0, 100),
+            rec("m", "b", 110, 200),
+        ])
+        assert trajectory.trace.entries[0].transition is None
+        assert trajectory.trace.entries[1].transition == "door-ab"
+
+    def test_edge_id_used_without_boundary(self, builder):
+        trajectory = builder.build_trajectory([
+            rec("m", "b", 0, 100),
+            rec("m", "c", 110, 200),
+        ])
+        assert trajectory.trace.entries[1].transition == "bc"
+
+    def test_unobserved_transition_marked(self, builder):
+        trajectory = builder.build_trajectory([
+            rec("m", "a", 0, 100),
+            rec("m", "c", 110, 200),  # no direct a→c edge
+        ])
+        assert trajectory.trace.entries[1].transition.startswith(
+            UNOBSERVED_TRANSITION_PREFIX)
+
+    def test_default_goal_annotation(self, builder):
+        trajectory = builder.build_trajectory([rec("m", "a", 0, 100)])
+        assert trajectory.annotations.has(AnnotationKind.GOAL, "visit")
+
+    def test_custom_annotations(self, builder):
+        trajectory = builder.build_trajectory(
+            [rec("m", "a", 0, 100)],
+            annotations=AnnotationSet.goals("maintenance"))
+        assert trajectory.annotations.has(AnnotationKind.GOAL,
+                                          "maintenance")
+
+    def test_empty_visit_rejected(self, builder):
+        with pytest.raises(ValueError):
+            builder.build_trajectory([])
+
+    def test_mixed_mos_rejected(self, builder):
+        with pytest.raises(ValueError):
+            builder.build_trajectory([
+                rec("m1", "a", 0, 100),
+                rec("m2", "b", 110, 200),
+            ])
+
+    def test_build_all_report(self, builder):
+        trajectories, report = builder.build_all([
+            rec("m", "a", 0, 100),
+            rec("m", "b", 110, 200),
+            rec("m", "b", 205, 205),       # zero duration
+            rec("m2", "a", 0, 50),
+            rec("m2", "c", 60, 100),       # unobserved transition
+        ])
+        assert report.trajectories == 2
+        assert report.cleaning.dropped_zero_duration == 1
+        assert report.unobserved_transitions == 1
+        assert report.entries == 4
+        assert report.transitions == 2

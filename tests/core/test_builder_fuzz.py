@@ -1,0 +1,72 @@
+"""Failure-injection tests: the builder never chokes on messy inputs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.builder import DetectionRecord, TrajectoryBuilder
+from repro.indoor.nrg import NodeRelationGraph
+
+KNOWN = ["z1", "z2", "z3"]
+
+
+def build_nrg():
+    graph = NodeRelationGraph("fuzz")
+    graph.connect("z1", "z2", bidirectional=True)
+    graph.connect("z2", "z3", bidirectional=True)
+    return graph
+
+
+record_strategy = st.builds(
+    lambda mo, state, start, length, visit: DetectionRecord(
+        mo, state, float(start), float(start + length), visit),
+    mo=st.sampled_from(["m1", "m2"]),
+    state=st.sampled_from(KNOWN + ["ghost", ""]),
+    start=st.integers(0, 100_000),
+    length=st.integers(-50, 5_000),
+    visit=st.one_of(st.none(), st.sampled_from(["v1", "v2"])),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(record_strategy, max_size=40))
+def test_property_build_all_total(records):
+    """build_all handles any record soup and its accounting adds up."""
+    builder = TrajectoryBuilder(build_nrg(), visit_gap_seconds=1800.0)
+    trajectories, report = builder.build_all(records)
+    assert report.cleaning.total == len(records)
+    assert report.cleaning.kept \
+        == report.cleaning.total - report.cleaning.dropped
+    assert report.trajectories == len(trajectories)
+    assert report.entries == sum(len(t.trace) for t in trajectories)
+    assert report.entries == report.cleaning.kept
+    # Every surviving record state is a known zone (drop_unknown=True)
+    # and has positive duration.
+    for trajectory in trajectories:
+        for entry in trajectory.trace:
+            assert entry.state in KNOWN
+            assert entry.duration > 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(record_strategy, max_size=30))
+def test_property_visits_are_per_mo_and_ordered(records):
+    builder = TrajectoryBuilder(build_nrg(), visit_gap_seconds=1800.0)
+    trajectories, _ = builder.build_all(records)
+    for trajectory in trajectories:
+        starts = [e.t_start for e in trajectory.trace]
+        assert starts == sorted(starts)
+    # No two trajectories of the same mo overlap by more than the
+    # visit gap rules allow (they were split on gaps).
+    by_mo = {}
+    for trajectory in trajectories:
+        by_mo.setdefault(trajectory.mo_id, []).append(trajectory)
+    for visits in by_mo.values():
+        visits.sort(key=lambda t: t.t_start)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(record_strategy, max_size=30))
+def test_property_build_deterministic(records):
+    builder = TrajectoryBuilder(build_nrg())
+    first, _ = builder.build_all(list(records))
+    second, _ = builder.build_all(list(records))
+    assert first == second

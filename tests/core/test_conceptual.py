@@ -1,0 +1,115 @@
+"""Tests for conceptual (focus-of-attention) trajectories."""
+
+import pytest
+
+from repro.core.annotations import AnnotationKind
+from repro.core.conceptual import (
+    AttentionExtractor,
+    AttentionReport,
+    attended_exhibits,
+    attention_profile,
+    physical_vs_conceptual,
+)
+from repro.indoor.cells import Cell, CellSpace
+from repro.positioning.detection import PositionFix
+from repro.spatial.geometry import Point, Polygon
+from tests.conftest import make_trajectory
+
+
+@pytest.fixture
+def roi_space():
+    space = CellSpace("rois", validate_geometry=False)
+    space.add_cell(Cell("roi-1", name="Mona Lisa",
+                        geometry=Polygon.rectangle(0, 0, 4, 4),
+                        floor=0))
+    space.add_cell(Cell("roi-2", name="Venus",
+                        geometry=Polygon.rectangle(10, 0, 14, 4),
+                        floor=0))
+    return space
+
+
+def fixes_at(points, start=0.0, step=2.0, floor=0):
+    return [PositionFix(start + i * step, Point(x, y), floor)
+            for i, (x, y) in enumerate(points)]
+
+
+class TestAttentionExtractor:
+    def test_basic_extraction(self, roi_space):
+        extractor = AttentionExtractor(roi_space,
+                                       min_attention_seconds=4.0)
+        # 5 fixes inside roi-1 (8 s), 3 in the void, 4 in roi-2 (6 s).
+        points = [(2, 2)] * 5 + [(7, 2)] * 3 + [(12, 2)] * 4
+        report = AttentionReport()
+        conceptual = extractor.extract("mo", fixes_at(points),
+                                       report=report)
+        assert conceptual is not None
+        assert conceptual.distinct_state_sequence() == ["roi-1",
+                                                        "roi-2"]
+        assert report.attention_spans == 2
+        assert 0 < report.focus_share < 1
+
+    def test_glances_dropped(self, roi_space):
+        extractor = AttentionExtractor(roi_space,
+                                       min_attention_seconds=10.0)
+        points = [(2, 2)] * 3 + [(7, 2)] * 3  # only 4 s in roi-1
+        assert extractor.extract("mo", fixes_at(points)) is None
+
+    def test_conceptual_annotation(self, roi_space):
+        extractor = AttentionExtractor(roi_space,
+                                       min_attention_seconds=4.0)
+        conceptual = extractor.extract("mo",
+                                       fixes_at([(2, 2)] * 5))
+        assert conceptual.annotations.has(AnnotationKind.CUSTOM,
+                                          "conceptual")
+        assert conceptual.annotations.has(AnnotationKind.GOAL, "attend")
+        entry = conceptual.trace.entries[0]
+        assert entry.annotations.has(AnnotationKind.PLACE, "Mona Lisa")
+
+    def test_gap_splits_span(self, roi_space):
+        extractor = AttentionExtractor(roi_space,
+                                       min_attention_seconds=1.0,
+                                       max_gap=5.0)
+        fixes = (fixes_at([(2, 2)] * 3, start=0.0)
+                 + fixes_at([(2, 2)] * 3, start=100.0))
+        conceptual = extractor.extract("mo", fixes)
+        assert len(conceptual.trace) == 2
+
+    def test_wrong_floor_ignored(self, roi_space):
+        extractor = AttentionExtractor(roi_space)
+        assert extractor.extract(
+            "mo", fixes_at([(2, 2)] * 5, floor=3)) is None
+
+    def test_unordered_fixes_rejected(self, roi_space):
+        extractor = AttentionExtractor(roi_space)
+        fixes = [PositionFix(10.0, Point(2, 2), 0),
+                 PositionFix(5.0, Point(2, 2), 0)]
+        with pytest.raises(ValueError):
+            extractor.extract("mo", fixes)
+
+
+class TestAnalysis:
+    def test_attended_exhibits_order(self, roi_space):
+        extractor = AttentionExtractor(roi_space,
+                                       min_attention_seconds=2.0)
+        points = [(12, 2)] * 3 + [(2, 2)] * 3 + [(12, 2)] * 3
+        conceptual = extractor.extract("mo", fixes_at(points))
+        assert attended_exhibits(conceptual) == ["roi-2", "roi-1"]
+
+    def test_attention_profile_accumulates(self, roi_space):
+        extractor = AttentionExtractor(roi_space,
+                                       min_attention_seconds=2.0)
+        points = [(12, 2)] * 3 + [(2, 2)] * 3 + [(12, 2)] * 3
+        conceptual = extractor.extract("mo", fixes_at(points))
+        profile = attention_profile(conceptual)
+        assert profile["roi-2"] == pytest.approx(8.0)
+        assert profile["roi-1"] == pytest.approx(4.0)
+
+    def test_physical_vs_conceptual(self, roi_space):
+        extractor = AttentionExtractor(roi_space,
+                                       min_attention_seconds=2.0)
+        conceptual = extractor.extract("mo", fixes_at([(2, 2)] * 6))
+        physical = make_trajectory(states=("room-x",), dwell=100.0)
+        contrast = physical_vs_conceptual(physical, conceptual)
+        assert contrast["physical_span"] == 100.0
+        assert contrast["attended_exhibits"] == 1.0
+        assert 0 < contrast["focus_ratio"] <= 1.0

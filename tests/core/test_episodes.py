@@ -1,0 +1,188 @@
+"""Tests for Definition 3.4: episodes and episodic segmentations."""
+
+import pytest
+
+from repro.core.annotations import AnnotationKind, AnnotationSet
+from repro.core.episodes import (
+    AnnotationPredicate,
+    EndsInStatePredicate,
+    Episode,
+    EpisodicSegmentation,
+    MinDurationPredicate,
+    StateSequencePredicate,
+    VisitsStatePredicate,
+    find_episodes,
+    force_exclusive,
+    is_episode,
+)
+from repro.core.subtrajectory import extract_by_entries
+from tests.conftest import make_trajectory
+
+
+@pytest.fixture
+def main():
+    return make_trajectory(states=("a", "b", "c", "d"), start=0.0,
+                           dwell=100.0, gap=10.0)
+
+
+class TestPredicates:
+    def test_state_sequence_exact(self, main):
+        sub = extract_by_entries(main, 1, 2,
+                                 annotations=AnnotationSet.goals("x"))
+        assert StateSequencePredicate(["b", "c"])(sub)
+        assert not StateSequencePredicate(["b"])(sub)
+
+    def test_state_sequence_contained(self, main):
+        predicate = StateSequencePredicate(["b", "c"], exact=False)
+        assert predicate(main)
+        assert not StateSequencePredicate(["c", "b"], exact=False)(main)
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            StateSequencePredicate([])
+
+    def test_visits_and_ends(self, main):
+        assert VisitsStatePredicate("c")(main)
+        assert not VisitsStatePredicate("z")(main)
+        assert EndsInStatePredicate("d")(main)
+        assert not EndsInStatePredicate("a")(main)
+
+    def test_min_duration(self, main):
+        assert MinDurationPredicate(100)(main)
+        assert not MinDurationPredicate(10_000)(main)
+
+    def test_annotation_predicate(self, main):
+        assert AnnotationPredicate(AnnotationKind.GOAL, "visit")(main)
+        assert not AnnotationPredicate(AnnotationKind.GOAL, "buy")(main)
+
+    def test_combinators(self, main):
+        both = VisitsStatePredicate("a") & VisitsStatePredicate("d")
+        either = VisitsStatePredicate("z") | VisitsStatePredicate("a")
+        negated = ~VisitsStatePredicate("z")
+        assert both(main)
+        assert either(main)
+        assert negated(main)
+        assert "and" in both.name
+
+
+class TestIsEpisode:
+    def test_valid_episode(self, main):
+        sub = extract_by_entries(main, 1, 2,
+                                 annotations=AnnotationSet.goals("x"))
+        assert is_episode(sub, main, VisitsStatePredicate("b"))
+
+    def test_same_annotations_rejected(self, main):
+        sub = extract_by_entries(main, 1, 2)  # inherits A_traj
+        assert not is_episode(sub, main, VisitsStatePredicate("b"))
+
+    def test_failed_predicate_rejected(self, main):
+        sub = extract_by_entries(main, 1, 2,
+                                 annotations=AnnotationSet.goals("x"))
+        assert not is_episode(sub, main, VisitsStatePredicate("z"))
+
+
+class TestFindEpisodes:
+    def test_finds_matching_span(self, main):
+        episodes = find_episodes(
+            main, StateSequencePredicate(["b", "c"]),
+            AnnotationSet.goals("middle"))
+        assert len(episodes) == 1
+        assert episodes[0].states() == ["b", "c"]
+        assert episodes[0].annotations == AnnotationSet.goals("middle")
+
+    def test_rejects_matching_annotations(self, main):
+        with pytest.raises(ValueError):
+            find_episodes(main, VisitsStatePredicate("b"),
+                          main.annotations)
+
+    def test_maximal_only(self, main):
+        episodes = find_episodes(
+            main, StateSequencePredicate(["b", "c"], exact=False),
+            AnnotationSet.goals("x"))
+        # Only maximal spans kept: no episode strictly inside another.
+        for episode in episodes:
+            others = [e for e in episodes if e is not episode]
+            assert not any(
+                o.t_start <= episode.t_start
+                and episode.t_end <= o.t_end for o in others)
+
+    def test_non_maximal_kept_when_requested(self, main):
+        all_episodes = find_episodes(
+            main, VisitsStatePredicate("b"),
+            AnnotationSet.goals("x"), maximal_only=False)
+        maximal = find_episodes(
+            main, VisitsStatePredicate("b"), AnnotationSet.goals("x"))
+        assert len(all_episodes) > len(maximal)
+
+    def test_label_defaults_to_predicate_name(self, main):
+        episodes = find_episodes(
+            main, VisitsStatePredicate("b"), AnnotationSet.goals("x"))
+        assert episodes[0].label == "visits=b"
+
+
+class TestEpisodicSegmentation:
+    def _episode(self, main, first, last, label):
+        sub = extract_by_entries(
+            main, first, last, annotations=AnnotationSet.goals(label))
+        return Episode(sub, label)
+
+    def test_covers_main(self, main):
+        segmentation = EpisodicSegmentation(main, [
+            self._episode(main, 0, 2, "head"),
+            self._episode(main, 1, 3, "tail"),
+        ])
+        assert segmentation.covers_main()
+
+    def test_gap_breaks_coverage(self, main):
+        segmentation = EpisodicSegmentation(main, [
+            self._episode(main, 0, 0, "head"),
+            self._episode(main, 3, 3, "tail"),
+        ])
+        assert not segmentation.covers_main()
+        assert segmentation.covers_main(tolerance=1000.0)
+
+    def test_overlap_detection(self, main):
+        segmentation = EpisodicSegmentation(main, [
+            self._episode(main, 0, 2, "head"),
+            self._episode(main, 1, 3, "tail"),
+        ])
+        assert segmentation.has_overlaps()
+        pairs = segmentation.overlapping_pairs()
+        assert len(pairs) == 1
+        assert {pairs[0][0].label, pairs[0][1].label} == {"head", "tail"}
+
+    def test_episodes_at_multilabel(self, main):
+        segmentation = EpisodicSegmentation(main, [
+            self._episode(main, 0, 2, "head"),
+            self._episode(main, 1, 3, "tail"),
+        ])
+        midpoint = (main.trace.entries[1].t_start
+                    + main.trace.entries[1].t_end) / 2
+        labels = {e.label for e in segmentation.episodes_at(midpoint)}
+        assert labels == {"head", "tail"}
+
+    def test_labels_in_order(self, main):
+        segmentation = EpisodicSegmentation(main, [
+            self._episode(main, 2, 3, "late"),
+            self._episode(main, 0, 1, "early"),
+        ])
+        assert segmentation.labels() == ["early", "late"]
+
+    def test_tagged_share_bounds(self, main):
+        full = EpisodicSegmentation(main, [
+            self._episode(main, 0, 2, "x"),
+            self._episode(main, 1, 3, "y"),
+        ])
+        assert 0.9 <= full.tagged_share() <= 1.0
+        empty = EpisodicSegmentation(main, [])
+        assert empty.tagged_share() == 0.0
+
+    def test_force_exclusive_drops_overlaps(self, main):
+        segmentation = EpisodicSegmentation(main, [
+            self._episode(main, 0, 2, "head"),
+            self._episode(main, 1, 3, "tail"),
+        ])
+        exclusive = force_exclusive(segmentation)
+        assert len(exclusive) == 1
+        assert not exclusive.has_overlaps()
+        assert exclusive.tagged_share() <= segmentation.tagged_share()

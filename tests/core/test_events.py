@@ -1,0 +1,153 @@
+"""Tests for the event-based split/merge semantics (Section 3.3)."""
+
+import pytest
+
+from repro.core.annotations import AnnotationSet
+from repro.core.events import (
+    SemanticEvent,
+    SemanticEventLog,
+    apply_semantic_event,
+    is_event_minimal,
+    merge_redundant_entries,
+    split_entry,
+)
+from repro.core.trajectory import Trace, TraceEntry
+from repro.core.timeutil import clock, from_clock, from_date
+from tests.conftest import make_trajectory
+
+
+@pytest.fixture
+def room006_entry():
+    """The paper's room006 stay: 14:12:00 → 14:28:00, goal visit."""
+    day = from_date("15-02-2017")
+    return TraceEntry("door005", "room006",
+                      from_clock(day, "14:12:00"),
+                      from_clock(day, "14:28:00"),
+                      AnnotationSet.goals("visit")), day
+
+
+class TestSplitEntry:
+    def test_paper_example(self, room006_entry):
+        """Reproduce the Section 3.3 split verbatim."""
+        entry, day = room006_entry
+        split_time = from_clock(day, "14:21:45")
+        first, second = split_entry(
+            entry, split_time, AnnotationSet.goals("visit", "buy"))
+        assert clock(first.t_start) == "14:12:00"
+        assert clock(first.t_end) == "14:21:45"
+        assert clock(second.t_start) == "14:21:46"  # +1 s convention
+        assert clock(second.t_end) == "14:28:00"
+        assert first.transition == "door005"
+        assert second.transition is None  # the paper's "_"
+        assert second.annotations == AnnotationSet.goals("visit", "buy")
+
+    def test_split_outside_stay_rejected(self, room006_entry):
+        entry, day = room006_entry
+        with pytest.raises(ValueError):
+            split_entry(entry, from_clock(day, "15:00:00"),
+                        AnnotationSet.goals("buy"))
+
+    def test_no_change_rejected(self, room006_entry):
+        entry, day = room006_entry
+        with pytest.raises(ValueError):
+            split_entry(entry, from_clock(day, "14:20:00"),
+                        AnnotationSet.goals("visit"))
+
+
+class TestApplyEvent:
+    def test_split_within_trajectory(self):
+        trajectory = make_trajectory(states=("a", "b"), start=0.0,
+                                     dwell=100.0)
+        event = SemanticEvent(50.0, AnnotationSet.goals("pause"))
+        updated = apply_semantic_event(trajectory, event)
+        assert len(updated.trace) == 3
+        assert updated.trace.states() == ["a", "a", "b"]
+        assert updated.distinct_state_sequence() == ["a", "b"]
+
+    def test_event_in_gap_rejected(self):
+        trajectory = make_trajectory(states=("a", "b"), start=0.0,
+                                     dwell=100.0, gap=10.0)
+        with pytest.raises(ValueError):
+            apply_semantic_event(
+                trajectory,
+                SemanticEvent(105.0, AnnotationSet.goals("x")))
+
+
+class TestMerge:
+    def test_merges_same_state_same_semantics(self):
+        trace = Trace([
+            TraceEntry(None, "a", 0, 10),
+            TraceEntry(None, "a", 10.5, 20),
+        ])
+        merged = merge_redundant_entries(trace)
+        assert len(merged) == 1
+        assert merged.entries[0].t_end == 20
+
+    def test_keeps_semantic_change(self):
+        trace = Trace([
+            TraceEntry(None, "a", 0, 10),
+            TraceEntry(None, "a", 10.5, 20, AnnotationSet.goals("buy")),
+        ])
+        assert len(merge_redundant_entries(trace)) == 2
+
+    def test_keeps_distant_fragments(self):
+        trace = Trace([
+            TraceEntry(None, "a", 0, 10),
+            TraceEntry(None, "a", 500, 600),
+        ])
+        assert len(merge_redundant_entries(trace)) == 2
+        assert len(merge_redundant_entries(trace, max_gap=1000)) == 1
+
+    def test_split_then_merge_roundtrip(self):
+        trajectory = make_trajectory(states=("a",), dwell=100.0)
+        event = SemanticEvent(
+            trajectory.t_start + 50.0, AnnotationSet.goals("late"))
+        split = apply_semantic_event(trajectory, event)
+        assert len(split.trace) == 2
+        # Strip the new annotations; the merge restores one stay.
+        stripped = Trace([
+            TraceEntry(e.transition, e.state, e.t_start, e.t_end)
+            for e in split.trace])
+        assert len(merge_redundant_entries(stripped)) == 1
+
+    def test_is_event_minimal(self):
+        minimal = Trace([TraceEntry(None, "a", 0, 10),
+                         TraceEntry("d", "b", 10, 20)])
+        assert is_event_minimal(minimal)
+        redundant = Trace([TraceEntry(None, "a", 0, 10),
+                           TraceEntry(None, "a", 10.5, 20)])
+        assert not is_event_minimal(redundant)
+
+
+class TestEventLog:
+    def test_events_sorted(self):
+        log = SemanticEventLog([
+            SemanticEvent(50.0, AnnotationSet.goals("b")),
+            SemanticEvent(10.0, AnnotationSet.goals("a")),
+        ])
+        log.append(SemanticEvent(30.0, AnnotationSet.goals("c")))
+        assert [e.t for e in log] == [10.0, 30.0, 50.0]
+        assert len(log) == 3
+
+    def test_apply_to_multiple_events(self):
+        trajectory = make_trajectory(states=("a", "b"), start=0.0,
+                                     dwell=100.0)
+        log = SemanticEventLog([
+            SemanticEvent(40.0, AnnotationSet.goals("first")),
+            SemanticEvent(150.0, AnnotationSet.goals("second")),
+        ])
+        enriched = log.apply_to(trajectory)
+        assert len(enriched.trace) == 4
+
+    def test_unmatched_skipped_by_default(self):
+        trajectory = make_trajectory(states=("a",), dwell=10.0)
+        log = SemanticEventLog(
+            [SemanticEvent(9999.0, AnnotationSet.goals("x"))])
+        assert log.apply_to(trajectory) == trajectory
+
+    def test_unmatched_raises_when_strict(self):
+        trajectory = make_trajectory(states=("a",), dwell=10.0)
+        log = SemanticEventLog(
+            [SemanticEvent(9999.0, AnnotationSet.goals("x"))])
+        with pytest.raises(ValueError):
+            log.apply_to(trajectory, skip_unmatched=False)

@@ -1,0 +1,186 @@
+"""Tests for hierarchy lifting and missing-presence inference."""
+
+import pytest
+
+from repro.core.annotations import AnnotationKind, AnnotationSet
+from repro.core.inference import (
+    InferenceReport,
+    LiftReport,
+    coverage_gap_states,
+    infer_missing_presence,
+    lift_trajectory,
+    multi_granularity_views,
+)
+from repro.core.trajectory import SemanticTrajectory, Trace, TraceEntry
+from repro.indoor.hierarchy import LayerHierarchy, add_hierarchy_edge
+from repro.indoor.multilayer import LayeredIndoorGraph
+from repro.indoor.nrg import NodeRelationGraph
+from tests.conftest import make_trajectory
+
+
+@pytest.fixture
+def hierarchy():
+    """floor F0/F1; rooms r1,r2 on F0, r3 on F1; r4 is an orphan."""
+    graph = LayeredIndoorGraph("g")
+    floors = NodeRelationGraph("floor")
+    floors.connect("F0", "F1", bidirectional=True)
+    rooms = NodeRelationGraph("room")
+    rooms.connect("r1", "r2", bidirectional=True)
+    rooms.connect("r2", "r3", bidirectional=True)
+    rooms.add_node("r4")
+    graph.add_layer(floors)
+    graph.add_layer(rooms)
+    add_hierarchy_edge(graph, "F0", "r1")
+    add_hierarchy_edge(graph, "F0", "r2")
+    add_hierarchy_edge(graph, "F1", "r3")
+    return LayerHierarchy(graph, ["floor", "room"])
+
+
+class TestLifting:
+    def test_merges_same_floor(self, hierarchy):
+        trajectory = make_trajectory(states=("r1", "r2", "r3"))
+        lifted = lift_trajectory(trajectory, hierarchy, "floor")
+        assert lifted.distinct_state_sequence() == ["F0", "F1"]
+        assert len(lifted.trace) == 2
+
+    def test_report_counters(self, hierarchy):
+        trajectory = make_trajectory(states=("r1", "r4", "r2"))
+        report = LiftReport()
+        lifted = lift_trajectory(trajectory, hierarchy, "floor",
+                                 report=report)
+        assert report.input_entries == 3
+        assert report.dropped_unliftable == 1  # the orphan r4
+        assert lifted.distinct_state_sequence() == ["F0"]
+
+    def test_annotations_preserved(self, hierarchy):
+        trajectory = make_trajectory(states=("r1", "r3"))
+        lifted = lift_trajectory(trajectory, hierarchy, "floor")
+        assert lifted.annotations == trajectory.annotations
+
+    def test_all_orphans_raises(self, hierarchy):
+        trajectory = make_trajectory(states=("r4",))
+        with pytest.raises(ValueError):
+            lift_trajectory(trajectory, hierarchy, "floor")
+
+    def test_merge_gap_respected(self, hierarchy):
+        trajectory = make_trajectory(states=("r1", "r2"), gap=500.0)
+        merged = lift_trajectory(trajectory, hierarchy, "floor")
+        assert len(merged.trace) == 1
+        fragmented = lift_trajectory(trajectory, hierarchy, "floor",
+                                     merge_gap=100.0)
+        assert len(fragmented.trace) == 2
+
+    def test_multi_granularity_views(self, hierarchy):
+        trajectory = make_trajectory(states=("r1", "r3"))
+        views = multi_granularity_views(trajectory, hierarchy)
+        assert set(views) == {"room", "floor"}
+        assert views["room"] is trajectory
+        assert views["floor"].distinct_state_sequence() == ["F0", "F1"]
+
+
+@pytest.fixture
+def chain_nrg():
+    """a → b → c → d chain plus a direct shortcut a→x→d."""
+    graph = NodeRelationGraph("chain")
+    graph.connect("a", "b", boundary_id="ab", bidirectional=True)
+    graph.connect("b", "c", boundary_id="bc", bidirectional=True)
+    graph.connect("c", "d", boundary_id="cd", bidirectional=True)
+    return graph
+
+
+class TestMissingPresence:
+    def test_single_gap_filled(self, chain_nrg):
+        trajectory = _sparse(("a", "c"))
+        report = InferenceReport()
+        repaired = infer_missing_presence(trajectory, chain_nrg,
+                                          report=report)
+        assert repaired.distinct_state_sequence() == ["a", "b", "c"]
+        assert report.tuples_inserted == 1
+        assert report.gaps_examined == 1
+
+    def test_inferred_annotation_attached(self, chain_nrg):
+        repaired = infer_missing_presence(_sparse(("a", "c")), chain_nrg)
+        middle = repaired.trace.entries[1]
+        assert middle.annotations.has(AnnotationKind.PROVENANCE,
+                                      "inferred")
+        provenance = middle.annotations.of_kind(
+            AnnotationKind.PROVENANCE)[0]
+        assert provenance.confidence == 1.0
+
+    def test_long_gap_fills_all_intermediates(self, chain_nrg):
+        repaired = infer_missing_presence(_sparse(("a", "d")), chain_nrg)
+        assert repaired.distinct_state_sequence() == ["a", "b", "c", "d"]
+
+    def test_time_allocated_in_gap(self, chain_nrg):
+        trajectory = _sparse(("a", "d"), dwell=100.0, gap=60.0)
+        repaired = infer_missing_presence(trajectory, chain_nrg)
+        inferred = repaired.trace.entries[1:3]
+        assert inferred[0].t_start == trajectory.trace.entries[0].t_end
+        assert inferred[1].t_end \
+            == trajectory.trace.entries[1].t_start
+        assert inferred[0].duration == pytest.approx(30.0)
+
+    def test_transitions_rewired(self, chain_nrg):
+        repaired = infer_missing_presence(_sparse(("a", "c")), chain_nrg)
+        assert repaired.trace.entries[1].transition == "ab"
+        assert repaired.trace.entries[2].transition == "bc"
+
+    def test_ambiguous_paths_lower_confidence(self):
+        graph = NodeRelationGraph("diamond")
+        graph.connect("a", "b1", bidirectional=True)
+        graph.connect("b1", "c", bidirectional=True)
+        graph.connect("a", "b2", bidirectional=True)
+        graph.connect("b2", "c", bidirectional=True)
+        report = InferenceReport()
+        repaired = infer_missing_presence(_sparse(("a", "c")), graph,
+                                          report=report)
+        assert report.ambiguous_gaps == 1
+        middle = repaired.trace.entries[1]
+        provenance = middle.annotations.of_kind(
+            AnnotationKind.PROVENANCE)[0]
+        assert provenance.confidence == 0.5
+
+    def test_unexplained_gap_left_alone(self, chain_nrg):
+        chain_nrg.add_node("island")
+        trajectory = _sparse(("a", "island"))
+        report = InferenceReport()
+        repaired = infer_missing_presence(trajectory, chain_nrg,
+                                          report=report)
+        assert report.unexplained_gaps == 1
+        assert repaired.distinct_state_sequence() == ["a", "island"]
+
+    def test_direct_transition_untouched(self, chain_nrg):
+        trajectory = _sparse(("a", "b"))
+        report = InferenceReport()
+        repaired = infer_missing_presence(trajectory, chain_nrg,
+                                          report=report)
+        assert report.gaps_examined == 0
+        assert repaired.trace == trajectory.trace
+
+    def test_annotator_callback(self, chain_nrg):
+        def annotator(state):
+            return AnnotationSet.goals("passing-" + state)
+
+        repaired = infer_missing_presence(_sparse(("a", "c")), chain_nrg,
+                                          annotator=annotator)
+        middle = repaired.trace.entries[1]
+        assert middle.annotations.has(AnnotationKind.GOAL, "passing-b")
+
+    def test_coverage_gap_states(self, chain_nrg):
+        assert coverage_gap_states(_sparse(("a", "d")), chain_nrg) \
+            == ["b", "c"]
+        assert coverage_gap_states(_sparse(("a", "b")), chain_nrg) == []
+
+
+def _sparse(states, dwell=100.0, gap=60.0):
+    entries = []
+    t = 0.0
+    previous = None
+    for state in states:
+        transition = None if previous is None \
+            else "unobserved:{}->{}".format(previous, state)
+        entries.append(TraceEntry(transition, state, t, t + dwell))
+        t += dwell + gap
+        previous = state
+    return SemanticTrajectory("sparse-mo", Trace(entries),
+                              AnnotationSet.goals("visit"))

@@ -1,0 +1,81 @@
+"""Property tests: serialisation is lossless for arbitrary trajectories."""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.annotations import (
+    AnnotationKind,
+    AnnotationSet,
+    SemanticAnnotation,
+)
+from repro.core.trajectory import SemanticTrajectory, Trace, TraceEntry
+
+annotation_strategy = st.builds(
+    SemanticAnnotation,
+    kind=st.sampled_from(list(AnnotationKind)),
+    value=st.one_of(st.sampled_from(["visit", "buy", "exit"]),
+                    st.integers(-5, 5), st.booleans()),
+    link=st.one_of(st.none(), st.sampled_from(["obj1", "obj2"])),
+    source=st.one_of(st.none(), st.just("test")),
+    confidence=st.one_of(st.none(),
+                         st.integers(0, 100).map(lambda v: v / 100.0)),
+)
+
+annotation_sets = st.lists(annotation_strategy, max_size=4).map(
+    AnnotationSet)
+
+
+@st.composite
+def trajectories(draw):
+    entry_count = draw(st.integers(1, 6))
+    entries = []
+    t = float(draw(st.integers(0, 1_000_000)))
+    previous_state = None
+    for index in range(entry_count):
+        state = draw(st.sampled_from(["s1", "s2", "s3"]))
+        dwell = float(draw(st.integers(0, 5_000)))
+        gap = float(draw(st.integers(0, 500)))
+        transition = None
+        if index > 0 and state != previous_state:
+            transition = "e{}".format(index)
+        entries.append(TraceEntry(
+            transition, state, t, t + dwell,
+            draw(annotation_sets)))
+        t += dwell + gap
+        previous_state = state
+    annotations = draw(annotation_sets)
+    if not annotations:
+        annotations = AnnotationSet.goals("visit")
+    return SemanticTrajectory("mo-x", Trace(entries), annotations)
+
+
+@settings(max_examples=100, deadline=None)
+@given(trajectories())
+def test_property_dict_roundtrip(trajectory):
+    restored = SemanticTrajectory.from_dict(trajectory.to_dict())
+    assert restored == trajectory
+
+
+@settings(max_examples=100, deadline=None)
+@given(trajectories())
+def test_property_json_roundtrip(trajectory):
+    """The dict form must survive actual JSON encoding."""
+    encoded = json.dumps(trajectory.to_dict())
+    restored = SemanticTrajectory.from_dict(json.loads(encoded))
+    assert restored == trajectory
+    assert restored.distinct_state_sequence() \
+        == trajectory.distinct_state_sequence()
+
+
+@settings(max_examples=50, deadline=None)
+@given(trajectories())
+def test_property_views_consistent(trajectory):
+    """Derived views agree with each other on any trajectory."""
+    states = trajectory.states()
+    distinct = trajectory.distinct_state_sequence()
+    assert len(distinct) <= len(states)
+    assert set(distinct) == set(states)
+    assert len(trajectory.trace.transitions()) == len(distinct) - 1
+    assert trajectory.trace.total_duration() \
+        <= trajectory.duration + 1e-9

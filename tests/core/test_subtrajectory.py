@@ -1,0 +1,99 @@
+"""Tests for Definition 3.3: semantic subtrajectories."""
+
+import pytest
+
+from repro.core.annotations import AnnotationSet
+from repro.core.subtrajectory import (
+    extract_by_entries,
+    extract_by_time,
+    is_proper_sub_span,
+    is_subtrajectory,
+)
+from tests.conftest import make_trajectory
+
+
+@pytest.fixture
+def main():
+    return make_trajectory(states=("a", "b", "c", "d"), start=0.0,
+                           dwell=100.0, gap=10.0)
+
+
+class TestProperSubSpan:
+    def test_interior_window(self, main):
+        assert is_proper_sub_span(main, 100.0, 300.0)
+
+    def test_left_anchored(self, main):
+        assert is_proper_sub_span(main, main.t_start, main.t_end - 1)
+
+    def test_right_anchored(self, main):
+        assert is_proper_sub_span(main, main.t_start + 1, main.t_end)
+
+    def test_full_span_rejected(self, main):
+        assert not is_proper_sub_span(main, main.t_start, main.t_end)
+
+    def test_empty_window_rejected(self, main):
+        assert not is_proper_sub_span(main, 100.0, 100.0)
+
+
+class TestExtractByEntries:
+    def test_middle(self, main):
+        sub = extract_by_entries(main, 1, 2)
+        assert sub.distinct_state_sequence() == ["b", "c"]
+        assert sub.mo_id == main.mo_id
+
+    def test_full_range_rejected(self, main):
+        with pytest.raises(ValueError):
+            extract_by_entries(main, 0, len(main.trace) - 1)
+
+    def test_out_of_bounds_rejected(self, main):
+        with pytest.raises(ValueError):
+            extract_by_entries(main, 2, 10)
+
+    def test_annotations_default_to_main(self, main):
+        sub = extract_by_entries(main, 0, 1)
+        assert sub.annotations == main.annotations
+
+    def test_custom_annotations(self, main):
+        sub = extract_by_entries(main, 0, 1,
+                                 annotations=AnnotationSet.goals("x"))
+        assert sub.annotations != main.annotations
+
+    def test_is_subtrajectory(self, main):
+        sub = extract_by_entries(main, 1, 2)
+        assert is_subtrajectory(sub, main)
+
+
+class TestExtractByTime:
+    def test_clipped_window(self, main):
+        sub = extract_by_time(main, 50.0, 250.0)
+        assert sub.t_start == 50.0
+        assert sub.t_end == 250.0
+        assert sub.trace.entries[0].t_start == 50.0
+
+    def test_unclipped_window(self, main):
+        sub = extract_by_time(main, 50.0, 250.0, clip=False)
+        assert sub.trace.entries[0].t_start == 0.0
+
+    def test_invalid_window_rejected(self, main):
+        with pytest.raises(ValueError):
+            extract_by_time(main, main.t_start, main.t_end)
+
+    def test_empty_window_content_rejected(self, main):
+        # Window inside a gap between stays.
+        with pytest.raises(ValueError):
+            extract_by_time(main, 102.0, 108.0)
+
+
+class TestIsSubtrajectory:
+    def test_different_mo_rejected(self, main):
+        other = make_trajectory(mo_id="other", states=("b", "c"),
+                                start=110.0)
+        assert not is_subtrajectory(other, main)
+
+    def test_foreign_states_rejected(self, main):
+        rogue = make_trajectory(states=("x", "y"), start=110.0,
+                                dwell=50.0)
+        assert not is_subtrajectory(rogue, main)
+
+    def test_itself_rejected(self, main):
+        assert not is_subtrajectory(main, main)

@@ -1,0 +1,51 @@
+"""Tests for timestamp helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.timeutil import (
+    SECONDS_PER_DAY,
+    clock,
+    date,
+    day_index,
+    duration_hms,
+    from_clock,
+    from_date,
+)
+
+
+def test_from_date_and_back():
+    midnight = from_date("19-01-2017")
+    assert date(midnight) == "19-01-2017"
+    assert clock(midnight) == "00:00:00"
+
+
+def test_from_clock():
+    day = from_date("19-01-2017")
+    t = from_clock(day, "11:30:00")
+    assert clock(t) == "11:30:00"
+    assert t - day == 11 * 3600 + 30 * 60
+
+
+def test_duration_hms_paper_values():
+    assert duration_hms(7 * 3600 + 41 * 60 + 37) == "7h 41m 37s"
+    assert duration_hms(5 * 3600 + 39 * 60 + 20) == "5h 39m 20s"
+    assert duration_hms(0) == "0h 00m 00s"
+
+
+def test_day_index():
+    epoch = from_date("19-01-2017")
+    assert day_index(epoch, epoch) == 0
+    assert day_index(epoch + SECONDS_PER_DAY + 1, epoch) == 1
+
+
+def test_collection_window_length():
+    """19-01-2017 .. 29-05-2017 inclusive spans 131 days."""
+    start = from_date("19-01-2017")
+    end = from_date("29-05-2017")
+    assert day_index(end, start) + 1 == 131
+
+
+@given(st.integers(0, 86_399))
+def test_property_clock_roundtrip(seconds):
+    day = from_date("01-03-2017")
+    assert from_clock(day, clock(day + seconds)) == day + seconds

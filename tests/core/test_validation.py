@@ -1,0 +1,137 @@
+"""Tests for trajectory validation against the space model."""
+
+import pytest
+
+from repro.core.annotations import AnnotationSet
+from repro.core.builder import UNOBSERVED_TRANSITION_PREFIX
+from repro.core.trajectory import SemanticTrajectory, Trace, TraceEntry
+from repro.core.validation import (
+    IssueCode,
+    Severity,
+    error_count,
+    is_consistent,
+    validate_trajectory,
+)
+from repro.indoor.nrg import NodeRelationGraph
+
+
+@pytest.fixture
+def nrg():
+    graph = NodeRelationGraph("zones")
+    graph.connect("a", "b", edge_id="ab", boundary_id="door-ab",
+                  bidirectional=True)
+    graph.connect("b", "c", edge_id="bc")  # one-way b→c
+    return graph
+
+
+def trajectory_of(entries):
+    return SemanticTrajectory("mo", Trace(entries),
+                              AnnotationSet.goals("visit"))
+
+
+def codes(issues):
+    return [issue.code for issue in issues]
+
+
+class TestStateChecks:
+    def test_unknown_state(self, nrg):
+        trajectory = trajectory_of([TraceEntry(None, "ghost", 0, 10)])
+        issues = validate_trajectory(trajectory, nrg)
+        assert IssueCode.UNKNOWN_STATE in codes(issues)
+        assert not is_consistent(trajectory, nrg)
+
+    def test_zero_duration_warning(self, nrg):
+        trajectory = trajectory_of([TraceEntry(None, "a", 10, 10)])
+        issues = validate_trajectory(trajectory, nrg)
+        assert IssueCode.ZERO_DURATION in codes(issues)
+        assert error_count(issues) == 0  # warning, not error
+
+
+class TestTransitionChecks:
+    def test_valid_transition_clean(self, nrg):
+        trajectory = trajectory_of([
+            TraceEntry(None, "a", 0, 10),
+            TraceEntry("door-ab", "b", 11, 20),
+        ])
+        assert is_consistent(trajectory, nrg)
+
+    def test_impossible_transition(self, nrg):
+        trajectory = trajectory_of([
+            TraceEntry(None, "c", 0, 10),
+            TraceEntry("bc", "b", 11, 20),  # against the one-way edge
+        ])
+        issues = validate_trajectory(trajectory, nrg)
+        assert IssueCode.IMPOSSIBLE_TRANSITION in codes(issues)
+
+    def test_builder_marked_unobserved(self, nrg):
+        trajectory = trajectory_of([
+            TraceEntry(None, "a", 0, 10),
+            TraceEntry(UNOBSERVED_TRANSITION_PREFIX + "a->c", "c",
+                       11, 20),
+        ])
+        issues = validate_trajectory(trajectory, nrg)
+        assert IssueCode.UNOBSERVED_TRANSITION in codes(issues)
+        assert error_count(issues) == 0
+
+    def test_wrong_transition_endpoints(self, nrg):
+        trajectory = trajectory_of([
+            TraceEntry(None, "a", 0, 10),
+            TraceEntry("bc", "b", 11, 20),  # 'bc' doesn't join a and b
+        ])
+        issues = validate_trajectory(trajectory, nrg)
+        assert IssueCode.WRONG_TRANSITION_ENDPOINTS in codes(issues)
+
+    def test_same_state_split_not_checked(self, nrg):
+        trajectory = trajectory_of([
+            TraceEntry(None, "a", 0, 10),
+            TraceEntry(None, "a", 11, 20,
+                       AnnotationSet.goals("buy")),
+        ])
+        assert is_consistent(trajectory, nrg)
+
+    def test_no_nrg_skips_graph_checks(self):
+        trajectory = trajectory_of([
+            TraceEntry(None, "x", 0, 10),
+            TraceEntry("any", "y", 11, 20),
+        ])
+        assert is_consistent(trajectory, None)
+
+
+class TestTimingChecks:
+    def test_overlap_info(self, nrg):
+        trajectory = trajectory_of([
+            TraceEntry(None, "a", 0, 10),
+            TraceEntry("door-ab", "b", 7, 20),
+        ])
+        issues = validate_trajectory(trajectory, nrg)
+        assert IssueCode.DETECTION_OVERLAP in codes(issues)
+        assert all(i.severity is Severity.INFO for i in issues)
+
+    def test_hole_warning(self, nrg):
+        trajectory = trajectory_of([
+            TraceEntry(None, "a", 0, 10),
+            TraceEntry("door-ab", "b", 5000, 5100),
+        ])
+        issues = validate_trajectory(trajectory, nrg,
+                                     sampling_rate_seconds=60.0)
+        assert IssueCode.TEMPORAL_HOLE in codes(issues)
+
+    def test_semantic_gap_when_annotated(self, nrg):
+        trajectory = trajectory_of([
+            TraceEntry(None, "a", 0, 10),
+            TraceEntry("door-ab", "b", 5000, 5100,
+                       AnnotationSet.goals("lunch-break")),
+        ])
+        issues = validate_trajectory(trajectory, nrg)
+        assert IssueCode.SEMANTIC_GAP in codes(issues)
+        assert IssueCode.TEMPORAL_HOLE not in codes(issues)
+
+    def test_small_gap_ignored(self, nrg):
+        trajectory = trajectory_of([
+            TraceEntry(None, "a", 0, 10),
+            TraceEntry("door-ab", "b", 40, 100),
+        ])
+        issues = validate_trajectory(trajectory, nrg,
+                                     sampling_rate_seconds=60.0)
+        assert IssueCode.TEMPORAL_HOLE not in codes(issues)
+        assert IssueCode.SEMANTIC_GAP not in codes(issues)

@@ -1,0 +1,30 @@
+"""Tests for the positioning-accuracy comparison experiment."""
+
+from repro.experiments import positioning_accuracy
+
+
+def test_filters_improve_on_raw():
+    result = positioning_accuracy.run(seed=20170119)
+    assert result["fix_count"] > 40
+    assert result["ekf_beats_raw"]
+    assert result["filters_beat_raw_median"]
+
+
+def test_error_stats_ordered():
+    result = positioning_accuracy.run(seed=7)
+    for name in ("raw", "ekf", "pf"):
+        stats = result["error_stats"][name]
+        assert 0 < stats["median"] <= stats["p90"]
+
+
+def test_zone_accuracy_bounds():
+    result = positioning_accuracy.run(seed=3)
+    for accuracy in result["zone_accuracy"].values():
+        assert 0.0 <= accuracy <= 1.0
+
+
+def test_render():
+    result = positioning_accuracy.run(seed=1)
+    text = positioning_accuracy.render(result)
+    assert "estimator" in text
+    assert "ekf" in text

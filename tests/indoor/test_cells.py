@@ -1,0 +1,189 @@
+"""Tests for cells, boundaries and cell spaces."""
+
+import pytest
+
+from repro.indoor.cells import (
+    BoundaryKind,
+    Cell,
+    CellBoundary,
+    CellSpace,
+    DuplicateIdError,
+    OverlappingCellsError,
+)
+from repro.spatial.geometry import Point, Polygon
+from repro.spatial.topology import TopologicalRelation
+
+
+def square(x, y, size=10):
+    return Polygon.rectangle(x, y, x + size, y + size)
+
+
+class TestCell:
+    def test_requires_id(self):
+        with pytest.raises(ValueError):
+            Cell(cell_id="")
+
+    def test_attribute_lookup(self):
+        cell = Cell("c1", attributes={"theme": "Egypt"})
+        assert cell.attribute("theme") == "Egypt"
+        assert cell.attribute("missing", 42) == 42
+
+    def test_has_geometry(self):
+        assert not Cell("c1").has_geometry()
+        assert Cell("c2", geometry=square(0, 0)).has_geometry()
+
+    def test_representative_point(self):
+        cell = Cell("c1", geometry=square(0, 0))
+        rep = cell.representative_point()
+        assert cell.geometry.interior_contains_point(rep)
+
+    def test_representative_point_symbolic_raises(self):
+        with pytest.raises(ValueError):
+            Cell("c1").representative_point()
+
+
+class TestCellBoundary:
+    def test_requires_distinct_cells(self):
+        with pytest.raises(ValueError):
+            CellBoundary("b1", "a", "a")
+
+    def test_joins(self):
+        boundary = CellBoundary("b1", "a", "b")
+        assert boundary.joins("a", "b")
+        assert boundary.joins("b", "a")
+        assert not boundary.joins("a", "c")
+
+    def test_wall_allows_nothing(self):
+        wall = CellBoundary("w", "a", "b", BoundaryKind.WALL)
+        assert not wall.allows("a", "b")
+        assert not wall.allows("b", "a")
+
+    def test_bidirectional_door(self):
+        door = CellBoundary("d", "a", "b", BoundaryKind.DOOR)
+        assert door.allows("a", "b")
+        assert door.allows("b", "a")
+
+    def test_one_way_door(self):
+        door = CellBoundary("d", "a", "b", BoundaryKind.DOOR,
+                            bidirectional=False)
+        assert door.allows("a", "b")
+        assert not door.allows("b", "a")
+
+    def test_kind_openings(self):
+        assert not BoundaryKind.WALL.has_opening
+        assert BoundaryKind.DOOR.has_opening
+        assert BoundaryKind.STAIRCASE.crosses_floors
+        assert not BoundaryKind.DOOR.crosses_floors
+
+
+class TestCellSpace:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            CellSpace("")
+
+    def test_add_and_get(self):
+        space = CellSpace("rooms")
+        space.add_cell(Cell("a", geometry=square(0, 0)))
+        assert "a" in space
+        assert space.cell("a").cell_id == "a"
+        assert len(space) == 1
+
+    def test_duplicate_cell_rejected(self):
+        space = CellSpace("rooms")
+        space.add_cell(Cell("a"))
+        with pytest.raises(DuplicateIdError):
+            space.add_cell(Cell("a"))
+
+    def test_overlapping_cells_rejected(self):
+        space = CellSpace("rooms")
+        space.add_cell(Cell("a", geometry=square(0, 0)))
+        with pytest.raises(OverlappingCellsError):
+            space.add_cell(Cell("b", geometry=square(5, 5)))
+
+    def test_adjacent_cells_allowed(self):
+        space = CellSpace("rooms")
+        space.add_cell(Cell("a", geometry=square(0, 0)))
+        space.add_cell(Cell("b", geometry=square(10, 0)))
+        assert len(space) == 2
+
+    def test_different_floors_may_project_overlap(self):
+        space = CellSpace("rooms")
+        space.add_cell(Cell("a", geometry=square(0, 0), floor=0))
+        space.add_cell(Cell("b", geometry=square(0, 0), floor=1))
+        assert len(space) == 2
+
+    def test_validation_can_be_disabled(self):
+        space = CellSpace("zones", validate_geometry=False)
+        space.add_cell(Cell("a", geometry=square(0, 0)))
+        space.add_cell(Cell("b", geometry=square(5, 5)))
+        assert len(space) == 2
+
+    def test_boundary_requires_known_cells(self):
+        space = CellSpace("rooms")
+        space.add_cell(Cell("a"))
+        with pytest.raises(KeyError):
+            space.add_boundary(CellBoundary("b1", "a", "ghost"))
+
+    def test_duplicate_boundary_rejected(self):
+        space = CellSpace("rooms")
+        space.add_cell(Cell("a"))
+        space.add_cell(Cell("b"))
+        space.add_boundary(CellBoundary("b1", "a", "b"))
+        with pytest.raises(DuplicateIdError):
+            space.add_boundary(CellBoundary("b1", "a", "b"))
+
+    def test_boundaries_between_multigraph(self):
+        space = CellSpace("rooms")
+        space.add_cell(Cell("a"))
+        space.add_cell(Cell("b"))
+        space.add_boundary(CellBoundary("door1", "a", "b"))
+        space.add_boundary(CellBoundary("door2", "b", "a"))
+        assert len(space.boundaries_between("a", "b")) == 2
+
+    def test_cells_on_floor_and_class(self):
+        space = CellSpace("rooms")
+        space.add_cell(Cell("a", floor=0, semantic_class="Room"))
+        space.add_cell(Cell("b", floor=1, semantic_class="Hall"))
+        assert [c.cell_id for c in space.cells_on_floor(0)] == ["a"]
+        assert [c.cell_id for c in space.cells_of_class("Hall")] == ["b"]
+
+    def test_locate_point(self):
+        space = CellSpace("rooms")
+        space.add_cell(Cell("a", geometry=square(0, 0), floor=0))
+        space.add_cell(Cell("b", geometry=square(10, 0), floor=0))
+        assert space.locate_point(Point(5, 5)).cell_id == "a"
+        assert space.locate_point(Point(15, 5)).cell_id == "b"
+        assert space.locate_point(Point(50, 50)) is None
+
+    def test_locate_point_respects_floor(self):
+        space = CellSpace("rooms")
+        space.add_cell(Cell("a", geometry=square(0, 0), floor=0))
+        space.add_cell(Cell("b", geometry=square(0, 0), floor=1))
+        assert space.locate_point(Point(5, 5), floor=1).cell_id == "b"
+
+    def test_geometric_relation(self):
+        space = CellSpace("rooms", validate_geometry=False)
+        space.add_cell(Cell("a", geometry=square(0, 0)))
+        space.add_cell(Cell("b", geometry=square(10, 0)))
+        assert space.geometric_relation("a", "b") \
+            is TopologicalRelation.MEET
+
+    def test_geometric_relation_symbolic_raises(self):
+        space = CellSpace("rooms")
+        space.add_cell(Cell("a"))
+        space.add_cell(Cell("b", geometry=square(0, 0)))
+        with pytest.raises(ValueError):
+            space.geometric_relation("a", "b")
+
+    def test_adjacent_pairs(self):
+        space = CellSpace("rooms")
+        space.add_cell(Cell("a", geometry=square(0, 0), floor=0))
+        space.add_cell(Cell("b", geometry=square(10, 0), floor=0))
+        space.add_cell(Cell("c", geometry=square(30, 0), floor=0))
+        assert space.adjacent_pairs() == [("a", "b")]
+
+    def test_iteration_order(self):
+        space = CellSpace("rooms")
+        for name in ("z", "a", "m"):
+            space.add_cell(Cell(name))
+        assert [c.cell_id for c in space] == ["z", "a", "m"]

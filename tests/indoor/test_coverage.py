@@ -1,0 +1,115 @@
+"""Tests for the full-coverage hypothesis analysis."""
+
+import math
+
+import pytest
+
+from repro.indoor.coverage import (
+    CoverageReport,
+    coverage_ratio,
+    coverage_summary,
+    layer_coverage_report,
+    node_coverage,
+)
+from repro.indoor.hierarchy import LayerHierarchy, add_hierarchy_edge
+from repro.indoor.multilayer import LayeredIndoorGraph
+from repro.indoor.cells import Cell, CellSpace
+from repro.indoor.nrg import NodeRelationGraph
+from repro.spatial.geometry import Polygon
+
+
+def test_coverage_ratio_full():
+    parent = Polygon.rectangle(0, 0, 10, 10)
+    children = [Polygon.rectangle(0, 0, 5, 10),
+                Polygon.rectangle(5, 0, 10, 10)]
+    assert math.isclose(coverage_ratio(parent, children), 1.0)
+
+
+def test_coverage_ratio_partial():
+    parent = Polygon.rectangle(0, 0, 10, 10)
+    children = [Polygon.rectangle(0, 0, 5, 5)]
+    assert math.isclose(coverage_ratio(parent, children), 0.25)
+
+
+def test_coverage_ratio_child_outside_clipped():
+    parent = Polygon.rectangle(0, 0, 10, 10)
+    children = [Polygon.rectangle(5, 0, 15, 10)]  # half outside
+    assert math.isclose(coverage_ratio(parent, children), 0.5)
+
+
+def test_coverage_ratio_no_children():
+    assert coverage_ratio(Polygon.rectangle(0, 0, 1, 1), []) == 0.0
+
+
+def test_coverage_report_flags():
+    full = CoverageReport("p", "l", 2, 100.0, 100.0, 1.0)
+    partial = CoverageReport("p", "l", 1, 100.0, 30.0, 0.3)
+    assert full.fully_covered
+    assert not partial.fully_covered
+
+
+@pytest.fixture
+def small_hierarchy():
+    graph = LayeredIndoorGraph("cov")
+    floor_space = CellSpace("floor")
+    floor_space.add_cell(Cell(
+        "F", geometry=Polygon.rectangle(0, 0, 20, 10), floor=0))
+    room_space = CellSpace("room")
+    room_space.add_cell(Cell(
+        "r1", geometry=Polygon.rectangle(0, 0, 10, 10), floor=0))
+    room_space.add_cell(Cell(
+        "r2", geometry=Polygon.rectangle(10, 0, 20, 10), floor=0))
+    roi_space = CellSpace("roi")
+    roi_space.add_cell(Cell(
+        "e1", geometry=Polygon.rectangle(2, 2, 4, 4), floor=0))
+
+    def nrg(space):
+        graph_layer = NodeRelationGraph(space.name)
+        for cell in space:
+            graph_layer.add_node(cell.cell_id)
+        return graph_layer
+
+    graph.add_layer(nrg(floor_space), floor_space)
+    graph.add_layer(nrg(room_space), room_space)
+    graph.add_layer(nrg(roi_space), roi_space)
+    add_hierarchy_edge(graph, "F", "r1", relation=_covers())
+    add_hierarchy_edge(graph, "F", "r2", relation=_covers())
+    add_hierarchy_edge(graph, "r1", "e1")
+    return LayerHierarchy(graph, ["floor", "room", "roi"])
+
+
+def _covers():
+    from repro.spatial.topology import TopologicalRelation
+    return TopologicalRelation.COVERS
+
+
+def test_node_coverage_full(small_hierarchy):
+    report = node_coverage(small_hierarchy, "F")
+    assert report is not None
+    assert report.fully_covered
+    assert report.child_count == 2
+
+
+def test_node_coverage_partial(small_hierarchy):
+    report = node_coverage(small_hierarchy, "r1")
+    assert math.isclose(report.ratio, 0.04)
+    assert not report.fully_covered
+
+
+def test_layer_report_sorted_ascending(small_hierarchy):
+    reports = layer_coverage_report(small_hierarchy, "room")
+    assert len(reports) == 2
+    assert reports[0].ratio <= reports[1].ratio
+    assert reports[0].parent == "r2" or reports[0].ratio == 0.0
+
+
+def test_summary(small_hierarchy):
+    reports = layer_coverage_report(small_hierarchy, "room")
+    summary = coverage_summary(reports)
+    assert summary["count"] == 2
+    assert 0.0 <= summary["mean_ratio"] <= 1.0
+    assert summary["fully_covered_share"] == 0.0
+
+
+def test_summary_empty():
+    assert coverage_summary([])["count"] == 0

@@ -1,0 +1,100 @@
+"""Tests for the Poincaré duality derivations."""
+
+import pytest
+
+from repro.indoor.cells import BoundaryKind, Cell, CellBoundary, CellSpace
+from repro.indoor.dual import (
+    derive_accessibility_nrg,
+    derive_adjacency_nrg,
+    derive_connectivity_nrg,
+)
+from repro.spatial.geometry import Polygon
+
+
+@pytest.fixture
+def three_rooms():
+    """a|b|c in a row; a-b share a door, b-c share a wall, plus a
+    one-way door c→a declared without geometry backing."""
+    space = CellSpace("rooms")
+    space.add_cell(Cell("a", geometry=Polygon.rectangle(0, 0, 10, 10),
+                        floor=0))
+    space.add_cell(Cell("b", geometry=Polygon.rectangle(10, 0, 20, 10),
+                        floor=0))
+    space.add_cell(Cell("c", geometry=Polygon.rectangle(20, 0, 30, 10),
+                        floor=0))
+    space.add_boundary(CellBoundary("door-ab", "a", "b",
+                                    BoundaryKind.DOOR))
+    space.add_boundary(CellBoundary("wall-bc", "b", "c",
+                                    BoundaryKind.WALL))
+    space.add_boundary(CellBoundary("oneway-ca", "c", "a",
+                                    BoundaryKind.DOOR,
+                                    bidirectional=False))
+    return space
+
+
+class TestAdjacency:
+    def test_all_cells_become_nodes(self, three_rooms):
+        graph = derive_adjacency_nrg(three_rooms)
+        assert set(graph.nodes) == {"a", "b", "c"}
+
+    def test_walls_witness_adjacency(self, three_rooms):
+        graph = derive_adjacency_nrg(three_rooms, use_geometry=False)
+        assert graph.has_transition("b", "c")
+        assert graph.has_transition("c", "b")
+
+    def test_geometry_detects_undeclared_adjacency(self):
+        space = CellSpace("rooms")
+        space.add_cell(Cell("a", geometry=Polygon.rectangle(0, 0, 5, 5),
+                            floor=0))
+        space.add_cell(Cell("b", geometry=Polygon.rectangle(5, 0, 10, 5),
+                            floor=0))
+        graph = derive_adjacency_nrg(space)
+        assert graph.has_transition("a", "b")
+
+    def test_symmetric(self, three_rooms):
+        assert derive_adjacency_nrg(three_rooms).is_symmetric()
+
+
+class TestConnectivity:
+    def test_wall_excluded(self, three_rooms):
+        graph = derive_connectivity_nrg(three_rooms)
+        assert not graph.has_transition("b", "c")
+
+    def test_doors_included_symmetrically(self, three_rooms):
+        graph = derive_connectivity_nrg(three_rooms)
+        assert graph.has_transition("a", "b")
+        assert graph.has_transition("b", "a")
+        # One-way doors are still openings: connectivity is symmetric.
+        assert graph.has_transition("a", "c")
+        assert graph.has_transition("c", "a")
+
+
+class TestAccessibility:
+    def test_directed_one_way(self, three_rooms):
+        graph = derive_accessibility_nrg(three_rooms)
+        assert graph.has_transition("c", "a")
+        assert not graph.has_transition("a", "c")
+
+    def test_bidirectional_door_both_ways(self, three_rooms):
+        graph = derive_accessibility_nrg(three_rooms)
+        assert graph.has_transition("a", "b")
+        assert graph.has_transition("b", "a")
+
+    def test_wall_never_accessible(self, three_rooms):
+        graph = derive_accessibility_nrg(three_rooms)
+        assert not graph.has_transition("b", "c")
+        assert not graph.has_transition("c", "b")
+
+    def test_edges_carry_boundary_id(self, three_rooms):
+        graph = derive_accessibility_nrg(three_rooms)
+        edges = graph.edges_between("a", "b")
+        assert edges[0].boundary_id == "door-ab"
+
+    def test_parallel_doors_stay_parallel(self):
+        space = CellSpace("rooms", validate_geometry=False)
+        space.add_cell(Cell("a"))
+        space.add_cell(Cell("b"))
+        space.add_boundary(CellBoundary("door1", "a", "b"))
+        space.add_boundary(CellBoundary("door2", "a", "b"))
+        graph = derive_accessibility_nrg(space)
+        assert len(graph.edges_between("a", "b")) == 2

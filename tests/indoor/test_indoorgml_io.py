@@ -1,0 +1,103 @@
+"""Round-trip tests for the IndoorGML-like JSON serialisation."""
+
+import pytest
+
+from repro.indoor import indoorgml_io as io
+from repro.indoor.cells import BoundaryKind, Cell, CellBoundary, CellSpace
+from repro.indoor.hierarchy import add_hierarchy_edge
+from repro.indoor.multilayer import LayeredIndoorGraph
+from repro.indoor.nrg import NodeRelationGraph
+from repro.spatial.geometry import Polygon
+
+
+@pytest.fixture
+def sample_graph():
+    graph = LayeredIndoorGraph("sample")
+    space = CellSpace("rooms")
+    space.add_cell(Cell("a", name="Room A", semantic_class="Room",
+                        geometry=Polygon.rectangle(0, 0, 5, 5), floor=0,
+                        attributes={"theme": "Egypt"}))
+    space.add_cell(Cell("b", floor=0,
+                        geometry=Polygon.rectangle(5, 0, 10, 5)))
+    space.add_boundary(CellBoundary("door", "a", "b", BoundaryKind.DOOR,
+                                    bidirectional=False,
+                                    attributes={"width": 1.2}))
+    nrg = NodeRelationGraph("rooms")
+    nrg.connect("a", "b", edge_id="door:fwd", boundary_id="door",
+                weight=2.0)
+    graph.add_layer(nrg, space)
+    coarse = NodeRelationGraph("zones")
+    coarse.add_node("z")
+    graph.add_layer(coarse)
+    add_hierarchy_edge(graph, "z", "a")
+    add_hierarchy_edge(graph, "z", "b")
+    return graph
+
+
+class TestRoundTrip:
+    def test_layers_preserved(self, sample_graph):
+        restored = io.loads(io.dumps(sample_graph))
+        assert restored.layer_names == sample_graph.layer_names
+        assert restored.name == "sample"
+
+    def test_cells_preserved(self, sample_graph):
+        restored = io.loads(io.dumps(sample_graph))
+        cell = restored.space("rooms").cell("a")
+        assert cell.name == "Room A"
+        assert cell.semantic_class == "Room"
+        assert cell.floor == 0
+        assert cell.attribute("theme") == "Egypt"
+        assert cell.geometry.area() == 25.0
+
+    def test_boundaries_preserved(self, sample_graph):
+        restored = io.loads(io.dumps(sample_graph))
+        boundary = restored.space("rooms").boundary("door")
+        assert boundary.kind is BoundaryKind.DOOR
+        assert not boundary.bidirectional
+        assert boundary.attributes["width"] == 1.2
+
+    def test_edges_preserved(self, sample_graph):
+        restored = io.loads(io.dumps(sample_graph))
+        edges = restored.layer("rooms").edges_between("a", "b")
+        assert len(edges) == 1
+        assert edges[0].boundary_id == "door"
+        assert edges[0].weight == 2.0
+
+    def test_joint_edges_preserved(self, sample_graph):
+        restored = io.loads(io.dumps(sample_graph))
+        assert restored.joint_edge_count == sample_graph.joint_edge_count
+        assert restored.joint_partners("z", layer="rooms") == ["a", "b"]
+
+    def test_double_roundtrip_stable(self, sample_graph):
+        once = io.dumps(io.loads(io.dumps(sample_graph)))
+        twice = io.dumps(io.loads(once))
+        assert once == twice
+
+    def test_symbolic_layer_roundtrip(self, sample_graph):
+        restored = io.loads(io.dumps(sample_graph))
+        assert not restored.has_space("zones")
+        assert "z" in restored.layer("zones")
+
+
+class TestErrors:
+    def test_bad_schema_rejected(self):
+        with pytest.raises(ValueError):
+            io.graph_from_dict({"schema": "something-else", "layers": []})
+
+    def test_file_roundtrip(self, sample_graph, tmp_path):
+        path = str(tmp_path / "graph.json")
+        io.save(sample_graph, path)
+        restored = io.load(path)
+        assert restored.layer_names == sample_graph.layer_names
+
+
+def test_louvre_space_roundtrip(louvre_space):
+    """The full Louvre graph survives serialisation."""
+    dumped = io.dumps(louvre_space.graph)
+    restored = io.loads(dumped)
+    assert restored.layer_names == louvre_space.graph.layer_names
+    assert restored.node_count == louvre_space.graph.node_count
+    assert restored.intra_edge_count \
+        == louvre_space.graph.intra_edge_count
+    assert restored.joint_edge_count \
+        == louvre_space.graph.joint_edge_count

@@ -1,0 +1,187 @@
+"""Tests for the layered indoor graph (MLSM)."""
+
+import pytest
+
+from repro.indoor.cells import Cell, CellSpace
+from repro.indoor.multilayer import (
+    JointEdge,
+    LayerConsistencyError,
+    LayeredIndoorGraph,
+)
+from repro.indoor.nrg import EdgeKind, NodeRelationGraph
+from repro.spatial.geometry import Polygon
+from repro.spatial.topology import TopologicalRelation as R
+
+
+def simple_layer(name, nodes):
+    graph = NodeRelationGraph(name)
+    for node in nodes:
+        graph.add_node(node)
+    return graph
+
+
+@pytest.fixture
+def two_layer_graph():
+    graph = LayeredIndoorGraph("test")
+    graph.add_layer(simple_layer("coarse", ["hall"]))
+    graph.add_layer(simple_layer("fine", ["h1", "h2"]))
+    graph.add_joint_edge(JointEdge("coarse", "hall", "fine", "h1",
+                                   R.CONTAINS))
+    graph.add_joint_edge(JointEdge("coarse", "hall", "fine", "h2",
+                                   R.CONTAINS))
+    return graph
+
+
+class TestJointEdge:
+    def test_same_layer_rejected(self):
+        with pytest.raises(ValueError):
+            JointEdge("l", "a", "l", "b", R.CONTAINS)
+
+    def test_disjoint_rejected(self):
+        with pytest.raises(ValueError):
+            JointEdge("l1", "a", "l2", "b", R.DISJOINT)
+
+    def test_meet_rejected(self):
+        with pytest.raises(ValueError):
+            JointEdge("l1", "a", "l2", "b", R.MEET)
+
+    def test_converse(self):
+        edge = JointEdge("l1", "a", "l2", "b", R.CONTAINS)
+        conv = edge.converse()
+        assert conv.source == "b" and conv.target == "a"
+        assert conv.relation is R.INSIDE
+
+
+class TestLayers:
+    def test_duplicate_layer_rejected(self, two_layer_graph):
+        with pytest.raises(LayerConsistencyError):
+            two_layer_graph.add_layer(simple_layer("coarse", ["x"]))
+
+    def test_node_in_two_layers_rejected(self):
+        graph = LayeredIndoorGraph("test")
+        graph.add_layer(simple_layer("l1", ["shared"]))
+        with pytest.raises(LayerConsistencyError):
+            graph.add_layer(simple_layer("l2", ["shared"]))
+
+    def test_layer_of(self, two_layer_graph):
+        assert two_layer_graph.layer_of("hall") == "coarse"
+        assert two_layer_graph.layer_of("h1") == "fine"
+
+    def test_node_and_edge_counts(self, two_layer_graph):
+        assert two_layer_graph.node_count == 3
+        assert two_layer_graph.intra_edge_count == 0
+        assert two_layer_graph.joint_edge_count == 4  # converses too
+
+
+class TestJointEdgeOperations:
+    def test_unknown_endpoint_rejected(self, two_layer_graph):
+        with pytest.raises(LayerConsistencyError):
+            two_layer_graph.add_joint_edge(
+                JointEdge("coarse", "ghost", "fine", "h1", R.CONTAINS))
+
+    def test_wrong_layer_rejected(self, two_layer_graph):
+        with pytest.raises(LayerConsistencyError):
+            two_layer_graph.add_joint_edge(
+                JointEdge("fine", "hall", "coarse", "h1", R.CONTAINS))
+
+    def test_converse_stored_automatically(self, two_layer_graph):
+        partners = two_layer_graph.joint_partners("h1", layer="coarse")
+        assert partners == ["hall"]
+
+    def test_joint_partners_filter_relation(self, two_layer_graph):
+        assert two_layer_graph.joint_partners(
+            "hall", relations=[R.CONTAINS]) == ["h1", "h2"]
+        assert two_layer_graph.joint_partners(
+            "hall", relations=[R.OVERLAP]) == []
+
+    def test_joint_edges_from_into(self, two_layer_graph):
+        assert len(two_layer_graph.joint_edges_from("hall")) == 2
+        assert len(two_layer_graph.joint_edges_into("hall")) == 2
+
+
+class TestOverallStates:
+    def test_valid_combination(self, two_layer_graph):
+        assert two_layer_graph.is_valid_overall_state(
+            {"coarse": "hall", "fine": "h1"})
+
+    def test_invalid_missing_joint(self):
+        graph = LayeredIndoorGraph("test")
+        graph.add_layer(simple_layer("l1", ["a"]))
+        graph.add_layer(simple_layer("l2", ["b"]))
+        assert not graph.is_valid_overall_state({"l1": "a", "l2": "b"})
+
+    def test_wrong_layer_in_state(self, two_layer_graph):
+        assert not two_layer_graph.is_valid_overall_state(
+            {"coarse": "h1"})
+
+    def test_overall_states_enumeration(self, two_layer_graph):
+        states = two_layer_graph.overall_states("hall", ["fine"])
+        assert states == [
+            {"coarse": "hall", "fine": "h1"},
+            {"coarse": "hall", "fine": "h2"},
+        ]
+
+
+class TestGeometricDerivation:
+    def test_derive_joint_edges(self):
+        coarse_space = CellSpace("coarse")
+        coarse_space.add_cell(Cell(
+            "zone", geometry=Polygon.rectangle(0, 0, 20, 10), floor=0))
+        fine_space = CellSpace("fine")
+        fine_space.add_cell(Cell(
+            "r1", geometry=Polygon.rectangle(0, 0, 10, 10), floor=0))
+        fine_space.add_cell(Cell(
+            "r2", geometry=Polygon.rectangle(10, 0, 20, 10), floor=0))
+        graph = LayeredIndoorGraph("test")
+        graph.add_layer(simple_layer("coarse", ["zone"]), coarse_space)
+        graph.add_layer(simple_layer("fine", ["r1", "r2"]), fine_space)
+        created = graph.derive_joint_edges_from_geometry("coarse", "fine")
+        assert len(created) == 2
+        assert all(e.relation is R.COVERS for e in created)
+
+    def test_different_floors_not_related(self):
+        coarse_space = CellSpace("coarse")
+        coarse_space.add_cell(Cell(
+            "zone", geometry=Polygon.rectangle(0, 0, 10, 10), floor=0))
+        fine_space = CellSpace("fine")
+        fine_space.add_cell(Cell(
+            "r1", geometry=Polygon.rectangle(2, 2, 4, 4), floor=1))
+        graph = LayeredIndoorGraph("test")
+        graph.add_layer(simple_layer("coarse", ["zone"]), coarse_space)
+        graph.add_layer(simple_layer("fine", ["r1"]), fine_space)
+        assert graph.derive_joint_edges_from_geometry("coarse",
+                                                      "fine") == []
+
+    def test_requires_spaces(self, two_layer_graph):
+        with pytest.raises(LayerConsistencyError):
+            two_layer_graph.derive_joint_edges_from_geometry(
+                "coarse", "fine")
+
+
+class TestValidation:
+    def test_clean_graph_validates(self, two_layer_graph):
+        assert two_layer_graph.validate() == []
+
+    def test_wrong_layer_kind_flagged(self):
+        graph = LayeredIndoorGraph("test")
+        adjacency = NodeRelationGraph("adj", EdgeKind.ADJACENCY)
+        adjacency.add_node("a")
+        graph.add_layer(adjacency)
+        problems = graph.validate()
+        assert any("accessibility" in p for p in problems)
+
+    def test_missing_converse_flagged(self):
+        graph = LayeredIndoorGraph("test")
+        graph.add_layer(simple_layer("l1", ["a"]))
+        graph.add_layer(simple_layer("l2", ["b"]))
+        graph.add_joint_edge(JointEdge("l1", "a", "l2", "b", R.CONTAINS),
+                             add_converse=False)
+        problems = graph.validate()
+        assert any("converse" in p for p in problems)
+
+    def test_to_networkx_edge_colours(self, two_layer_graph):
+        nx_graph = two_layer_graph.to_networkx()
+        colours = {data["color"] for _, _, data
+                   in nx_graph.edges(data=True)}
+        assert colours == {"joint"}
+        assert nx_graph.number_of_nodes() == 3

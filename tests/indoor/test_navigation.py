@@ -1,0 +1,144 @@
+"""Tests for the navigation layer."""
+
+import pytest
+
+from repro.indoor.cells import BoundaryKind, Cell, CellBoundary, CellSpace
+from repro.indoor.dual import derive_accessibility_nrg
+from repro.indoor.navigation import (
+    Route,
+    RoutePlanner,
+    UnreachableError,
+    plan_hierarchical,
+    route_instructions,
+)
+from repro.indoor.nrg import NodeRelationGraph
+from repro.louvre.floorplan import MONA_LISA_ROI, SALLE_DES_ETATS_ROOM
+from repro.louvre.zones import ZONE_C, ZONE_E, ZONE_ENTRANCE, ZONE_S
+
+
+@pytest.fixture
+def corridor():
+    """a ↔ b ↔ c plus a one-way shortcut a→c with weight 5."""
+    graph = NodeRelationGraph("corridor")
+    graph.connect("a", "b", edge_id="ab", boundary_id="door-ab",
+                  bidirectional=True, weight=1.0)
+    graph.connect("b", "c", edge_id="bc", boundary_id="door-bc",
+                  bidirectional=True, weight=1.0)
+    graph.connect("a", "c", edge_id="ac", boundary_id="shortcut",
+                  weight=5.0)
+    return graph
+
+
+class TestRoutePlanner:
+    def test_hop_shortest(self, corridor):
+        route = RoutePlanner(corridor).plan("a", "c")
+        assert route.states == ("a", "c")  # fewest hops wins
+        assert route.boundaries() == ["shortcut"]
+
+    def test_weighted_shortest(self, corridor):
+        route = RoutePlanner(corridor, weighted=True).plan("a", "c")
+        assert route.states == ("a", "b", "c")
+        assert route.total_weight() == 2.0
+
+    def test_trivial_route(self, corridor):
+        route = RoutePlanner(corridor).plan("b", "b")
+        assert route.hop_count == 0
+        assert route.states == ("b",)
+
+    def test_one_way_respected(self, corridor):
+        # c → a must go via b; the shortcut is one-way a → c.
+        route = RoutePlanner(corridor).plan("c", "a")
+        assert route.states == ("c", "b", "a")
+
+    def test_unreachable(self):
+        graph = NodeRelationGraph("g")
+        graph.connect("a", "b")  # one-way
+        graph.add_node("island")
+        with pytest.raises(UnreachableError):
+            RoutePlanner(graph).plan("a", "island")
+
+    def test_plan_via(self, corridor):
+        route = RoutePlanner(corridor).plan_via(["c", "a", "c"])
+        assert route.states[0] == "c"
+        assert route.states[-1] == "c"
+        assert route.hop_count >= 3
+
+    def test_plan_via_needs_two_stops(self, corridor):
+        with pytest.raises(ValueError):
+            RoutePlanner(corridor).plan_via(["a"])
+
+    def test_reachable_within(self, corridor):
+        planner = RoutePlanner(corridor)
+        assert planner.reachable_within("a", 1) == ["b", "c"]
+        assert planner.reachable_within("c", 1) == ["b"]
+
+
+class TestLouvreRouting:
+    def test_zone_route_exists(self, louvre_space):
+        planner = RoutePlanner(louvre_space.dataset_zone_nrg())
+        route = planner.plan(ZONE_ENTRANCE, ZONE_C)
+        assert route.states[0] == ZONE_ENTRANCE
+        assert route.states[-1] == ZONE_C
+
+    def test_exit_is_a_trap(self, louvre_space):
+        planner = RoutePlanner(louvre_space.dataset_zone_nrg())
+        with pytest.raises(UnreachableError):
+            planner.plan(ZONE_C, ZONE_ENTRANCE)
+
+    def test_room_level_route(self, louvre_space):
+        rooms = louvre_space.graph.layer("rooms")
+        planner = RoutePlanner(rooms)
+        salle = SALLE_DES_ETATS_ROOM
+        neighbour = louvre_space.floorplan.rooms_of_zone(
+            "zone60854")[0]
+        route = planner.plan(salle, neighbour)
+        assert route.hop_count >= 1
+
+    def test_hierarchical_matches_flat_endpoints(self, louvre_space):
+        rooms = list(louvre_space.floorplan.rooms_of_zone("zone60868"))
+        origin = rooms[0]
+        destination = louvre_space.floorplan.rooms_of_zone(
+            "zone60854")[-1]
+        coarse, fine = plan_hierarchical(
+            louvre_space.core_hierarchy, "rooms", origin, destination)
+        assert fine.states[0] == origin
+        assert fine.states[-1] == destination
+        assert coarse  # a corridor was planned
+        flat = RoutePlanner(louvre_space.graph.layer("rooms")).plan(
+            origin, destination)
+        # The corridor-restricted route is never shorter than optimal.
+        assert fine.hop_count >= flat.hop_count
+
+
+class TestInstructions:
+    @pytest.fixture
+    def space(self):
+        space = CellSpace("demo", validate_geometry=False)
+        space.add_cell(Cell("a", name="Gallery"))
+        space.add_cell(Cell("b", name="Stairwell"))
+        space.add_cell(Cell("c", name="Balcony"))
+        space.add_boundary(CellBoundary("door-1", "a", "b",
+                                        BoundaryKind.DOOR))
+        space.add_boundary(CellBoundary("stairs-1", "b", "c",
+                                        BoundaryKind.STAIRCASE))
+        return space
+
+    def test_instruction_verbs(self, space):
+        nrg = derive_accessibility_nrg(space)
+        route = RoutePlanner(nrg).plan("a", "c")
+        lines = route_instructions(route, space)
+        assert lines[0].startswith("start in Gallery")
+        assert any("go through door-1" in line for line in lines)
+        assert any("take the stairs" in line for line in lines)
+        assert lines[-1].startswith("you have arrived")
+
+    def test_trivial_instructions(self, space):
+        nrg = derive_accessibility_nrg(space)
+        route = RoutePlanner(nrg).plan("a", "a")
+        assert route_instructions(route, space) \
+            == ["you are already there"]
+
+    def test_instructions_without_space(self, corridor):
+        route = RoutePlanner(corridor).plan("a", "c")
+        lines = route_instructions(route)
+        assert "shortcut" in lines[1]

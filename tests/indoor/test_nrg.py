@@ -1,0 +1,140 @@
+"""Tests for the Node-Relation Graph."""
+
+import pytest
+
+from repro.indoor.nrg import EdgeKind, NodeRelationGraph, NRGEdge
+
+
+@pytest.fixture
+def chain():
+    """a → b → c → d with a reverse edge b→a only."""
+    graph = NodeRelationGraph("chain")
+    graph.connect("a", "b", bidirectional=True)
+    graph.connect("b", "c")
+    graph.connect("c", "d")
+    return graph
+
+
+class TestEdgeBasics:
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            NRGEdge("e", "a", "a")
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            NRGEdge("e", "a", "b", weight=-1)
+
+    def test_kind_mismatch_rejected(self):
+        graph = NodeRelationGraph("g", EdgeKind.ADJACENCY)
+        with pytest.raises(ValueError):
+            graph.add_edge(NRGEdge("e", "a", "b",
+                                   EdgeKind.ACCESSIBILITY))
+
+    def test_duplicate_edge_id_rejected(self):
+        graph = NodeRelationGraph("g")
+        graph.add_edge(NRGEdge("e", "a", "b", EdgeKind.ACCESSIBILITY))
+        with pytest.raises(ValueError):
+            graph.add_edge(NRGEdge("e", "b", "c",
+                                   EdgeKind.ACCESSIBILITY))
+
+
+class TestStructure:
+    def test_nodes_auto_registered(self, chain):
+        assert set(chain.nodes) == {"a", "b", "c", "d"}
+        assert len(chain) == 4
+
+    def test_successors_predecessors(self, chain):
+        assert chain.successors("b") == ["a", "c"]
+        assert chain.predecessors("b") == ["a"]
+
+    def test_has_transition_directed(self, chain):
+        assert chain.has_transition("b", "c")
+        assert not chain.has_transition("c", "b")
+
+    def test_parallel_edges(self):
+        graph = NodeRelationGraph("g")
+        graph.connect("a", "b", edge_id="door1")
+        graph.connect("a", "b", edge_id="door2")
+        assert len(graph.edges_between("a", "b")) == 2
+        assert graph.successors("a") == ["b"]  # distinct nodes
+
+    def test_degree(self, chain):
+        assert chain.degree("b") == 3  # in: a; out: a, c
+
+    def test_is_symmetric(self, chain):
+        assert not chain.is_symmetric()
+        symmetric = NodeRelationGraph("s")
+        symmetric.connect("x", "y", bidirectional=True)
+        assert symmetric.is_symmetric()
+
+    def test_asymmetric_pairs(self, chain):
+        assert set(chain.asymmetric_pairs()) == {("b", "c"), ("c", "d")}
+
+
+class TestTraversal:
+    def test_reachable_from(self, chain):
+        assert chain.reachable_from("a") == {"a", "b", "c", "d"}
+        assert chain.reachable_from("d") == {"d"}
+
+    def test_reachable_unknown_raises(self, chain):
+        with pytest.raises(KeyError):
+            chain.reachable_from("ghost")
+
+    def test_shortest_path_bfs(self, chain):
+        assert chain.shortest_path("a", "d") == ["a", "b", "c", "d"]
+
+    def test_shortest_path_self(self, chain):
+        assert chain.shortest_path("b", "b") == ["b"]
+
+    def test_shortest_path_unreachable(self, chain):
+        assert chain.shortest_path("d", "a") is None
+
+    def test_shortest_path_weighted(self):
+        graph = NodeRelationGraph("w")
+        graph.connect("a", "b", weight=1.0)
+        graph.connect("b", "c", weight=1.0)
+        graph.connect("a", "c", weight=5.0)
+        assert graph.shortest_path("a", "c") == ["a", "c"]  # hops
+        assert graph.shortest_path("a", "c", weighted=True) \
+            == ["a", "b", "c"]
+
+    def test_all_simple_paths(self):
+        graph = NodeRelationGraph("p")
+        graph.connect("a", "b")
+        graph.connect("b", "d")
+        graph.connect("a", "c")
+        graph.connect("c", "d")
+        paths = graph.all_simple_paths("a", "d")
+        assert sorted(paths) == [["a", "b", "d"], ["a", "c", "d"]]
+
+    def test_all_simple_paths_respects_max_length(self):
+        graph = NodeRelationGraph("p")
+        graph.connect("a", "b")
+        graph.connect("b", "c")
+        graph.connect("c", "d")
+        assert graph.all_simple_paths("a", "d", max_length=2) == []
+
+
+class TestDerivations:
+    def test_to_undirected_adds_reverses(self, chain):
+        undirected = chain.to_undirected()
+        assert undirected.has_transition("c", "b")
+        assert undirected.has_transition("d", "c")
+        assert undirected.is_symmetric()
+
+    def test_to_undirected_preserves_nodes(self, chain):
+        assert set(chain.to_undirected().nodes) == set(chain.nodes)
+
+    def test_subgraph(self, chain):
+        sub = chain.subgraph(["a", "b", "c"])
+        assert set(sub.nodes) == {"a", "b", "c"}
+        assert sub.has_transition("b", "c")
+        assert not sub.has_transition("c", "d")
+
+    def test_transition_count(self, chain):
+        assert chain.transition_count() == 4
+
+    def test_to_networkx(self, chain):
+        nx_graph = chain.to_networkx()
+        assert nx_graph.number_of_nodes() == 4
+        assert nx_graph.number_of_edges() == 4

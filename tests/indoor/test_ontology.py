@@ -1,0 +1,121 @@
+"""Tests for the CIDOC-CRM-flavoured ontology integration."""
+
+import pytest
+
+from repro.core.annotations import AnnotationKind
+from repro.indoor.ontology import (
+    CellConceptMapping,
+    Concept,
+    Ontology,
+    OntologyError,
+    cidoc_core,
+)
+from tests.conftest import make_trajectory
+
+
+class TestOntology:
+    def test_concept_needs_iri(self):
+        with pytest.raises(ValueError):
+            Concept("")
+
+    def test_duplicate_rejected(self):
+        onto = Ontology()
+        onto.define("a")
+        with pytest.raises(OntologyError):
+            onto.define("a")
+
+    def test_unknown_parent_rejected(self):
+        onto = Ontology()
+        with pytest.raises(OntologyError):
+            onto.define("child", parents=["ghost"])
+
+    def test_ancestors_transitive(self):
+        onto = Ontology()
+        onto.define("top")
+        onto.define("mid", parents=["top"])
+        onto.define("leaf", parents=["mid"])
+        assert onto.ancestors("leaf") == {"mid", "top"}
+        assert onto.ancestors("top") == set()
+
+    def test_multiple_inheritance(self):
+        onto = Ontology()
+        onto.define("a")
+        onto.define("b")
+        onto.define("c", parents=["a", "b"])
+        assert onto.ancestors("c") == {"a", "b"}
+
+    def test_is_a(self):
+        onto = cidoc_core()
+        assert onto.is_a("museum:Painting", "museum:Exhibit")
+        assert onto.is_a("museum:Painting",
+                         "crm:E22_Human-Made_Object")
+        assert onto.is_a("museum:Painting", "crm:E1_Entity")
+        assert not onto.is_a("museum:Painting", "crm:E53_Place")
+        assert onto.is_a("museum:Room", "museum:Room")
+
+    def test_descendants(self):
+        onto = cidoc_core()
+        assert "museum:Painting" in onto.descendants("museum:Exhibit")
+        assert "museum:Room" in onto.descendants("crm:E53_Place")
+
+    def test_least_common_subsumer(self):
+        onto = cidoc_core()
+        assert onto.least_common_subsumer(
+            "museum:Painting", "museum:Sculpture") == "museum:Exhibit"
+        assert onto.least_common_subsumer(
+            "museum:Painting", "museum:Room") == "crm:E1_Entity"
+
+    def test_cidoc_core_consistency(self):
+        onto = cidoc_core()
+        assert len(onto) >= 14
+        for iri in ("crm:E53_Place", "museum:Exhibit", "museum:Visit"):
+            assert iri in onto
+
+
+class TestCellConceptMapping:
+    @pytest.fixture
+    def mapping(self):
+        return CellConceptMapping(cidoc_core())
+
+    def test_class_based_mapping(self, mapping):
+        assert mapping.concept_of("anything",
+                                  semantic_class="Room") \
+            == "museum:Room"
+        assert mapping.concept_of("anything",
+                                  semantic_class="Unmapped") is None
+
+    def test_explicit_overrides(self, mapping):
+        mapping.assign("roi:mona-lisa", "museum:Painting")
+        assert mapping.concept_of("roi:mona-lisa",
+                                  semantic_class="ExhibitRoI") \
+            == "museum:Painting"
+
+    def test_unknown_concept_rejected(self, mapping):
+        with pytest.raises(OntologyError):
+            mapping.assign("cell", "museum:Spaceship")
+
+    def test_states_of_concept_subsumption(self, mapping):
+        mapping.assign("p1", "museum:Painting")
+        mapping.assign("s1", "museum:Sculpture")
+        mapping.assign("r1", "museum:Room")
+        assert mapping.states_of_concept("museum:Exhibit") \
+            == ["p1", "s1"]
+        assert mapping.states_of_concept("crm:E1_Entity") \
+            == ["p1", "r1", "s1"]
+
+    def test_annotate_trajectory(self, mapping):
+        mapping.assign("a", "museum:Painting")
+        trajectory = make_trajectory(states=("a", "b"))
+        enriched = mapping.annotate_trajectory(trajectory)
+        first, second = enriched.trace.entries
+        assert first.annotations.has(AnnotationKind.PLACE,
+                                     "museum:Painting")
+        assert not second.annotations.has(AnnotationKind.PLACE)
+
+    def test_concept_footprint(self, mapping):
+        mapping.assign("a", "museum:Painting")
+        mapping.assign("b", "museum:Painting")
+        trajectory = make_trajectory(states=("a", "b", "c"),
+                                     dwell=100.0)
+        footprint = mapping.concept_footprint(trajectory)
+        assert footprint == {"museum:Painting": 200.0}

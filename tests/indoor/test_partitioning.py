@@ -1,0 +1,129 @@
+"""Tests for the cell subdivision toolkit."""
+
+import pytest
+
+from repro.indoor.cells import Cell, CellSpace
+from repro.indoor.multilayer import LayeredIndoorGraph
+from repro.indoor.nrg import NodeRelationGraph
+from repro.indoor.partitioning import (
+    any_of,
+    subdivide,
+    too_big,
+    too_connected,
+    too_many_properties,
+)
+from repro.spatial.geometry import Polygon
+from repro.spatial.topology import TopologicalRelation
+
+
+@pytest.fixture
+def graph():
+    """Rooms 1..3 plus a big hall 5, Figure 1 style."""
+    space = CellSpace("rooms", validate_geometry=False)
+    space.add_cell(Cell("1", geometry=Polygon.rectangle(0, 0, 10, 10),
+                        floor=0))
+    space.add_cell(Cell("2", geometry=Polygon.rectangle(10, 0, 20, 10),
+                        floor=0))
+    space.add_cell(Cell("5", name="hall",
+                        geometry=Polygon.rectangle(0, 10, 20, 40),
+                        floor=0))
+    nrg = NodeRelationGraph("rooms")
+    nrg.connect("1", "2", edge_id="d12", boundary_id="door12",
+                bidirectional=True)
+    nrg.connect("1", "5", edge_id="d15", bidirectional=True)
+    layered = LayeredIndoorGraph("fig1-style")
+    layered.add_layer(nrg, space)
+    return layered
+
+
+class TestCriteria:
+    def test_too_big(self, graph):
+        criterion = too_big(150.0)
+        space = graph.space("rooms")
+        nrg = graph.layer("rooms")
+        assert criterion(space.cell("5"), nrg)
+        assert not criterion(space.cell("1"), nrg)
+
+    def test_too_many_properties(self):
+        criterion = too_many_properties(1)
+        nrg = NodeRelationGraph("x")
+        rich = Cell("r", attributes={"a": 1, "b": 2})
+        poor = Cell("p", attributes={"a": 1})
+        assert criterion(rich, nrg)
+        assert not criterion(poor, nrg)
+
+    def test_too_connected(self, graph):
+        criterion = too_connected(3)
+        space = graph.space("rooms")
+        nrg = graph.layer("rooms")
+        assert criterion(space.cell("1"), nrg)  # degree 4
+        assert not criterion(space.cell("2"), nrg)
+
+    def test_any_of(self, graph):
+        criterion = any_of(too_big(150.0), too_connected(3))
+        space = graph.space("rooms")
+        nrg = graph.layer("rooms")
+        assert criterion(space.cell("5"), nrg)
+        assert criterion(space.cell("1"), nrg)
+        assert not criterion(space.cell("2"), nrg)
+
+
+class TestSubdivide:
+    def test_figure1_layout(self, graph):
+        result = subdivide(graph, "rooms", too_big(150.0), parts=3)
+        assert result.split_cells == {"5": ["5a", "5b", "5c"]}
+        assert set(result.replicated_cells) == {"1", "2"}
+
+        # Split cell links to parts with covers/contains...
+        partners = graph.joint_partners(
+            "5", layer=result.fine_layer,
+            relations=[TopologicalRelation.COVERS,
+                       TopologicalRelation.CONTAINS])
+        assert sorted(partners) == ["5a", "5b", "5c"]
+        # ...replicas link with equal (the MLSM replication rule).
+        assert graph.joint_partners(
+            "1", layer=result.fine_layer,
+            relations=[TopologicalRelation.EQUAL]) == ["1.r"]
+
+    def test_parts_cover_parent(self, graph):
+        result = subdivide(graph, "rooms", too_big(150.0), parts=3)
+        fine_space = graph.space(result.fine_layer)
+        parent_area = graph.space("rooms").cell("5").geometry.area()
+        parts_area = sum(fine_space.cell(p).geometry.area()
+                         for p in result.split_cells["5"])
+        assert parts_area == pytest.approx(parent_area)
+
+    def test_fine_nrg_wiring(self, graph):
+        result = subdivide(graph, "rooms", too_big(150.0), parts=3)
+        fine = graph.layer(result.fine_layer)
+        # Parts chain together.
+        assert fine.has_transition("5a", "5b")
+        assert fine.has_transition("5b", "5c")
+        # Original edges re-created between replicas/parts.
+        assert fine.has_transition("1.r", "2.r")
+        assert fine.has_transition("1.r", "5a")
+        # Boundary ids preserved.
+        edges = fine.edges_between("1.r", "2.r")
+        assert edges[0].boundary_id == "door12"
+
+    def test_validates_as_mlsm(self, graph):
+        subdivide(graph, "rooms", too_big(150.0))
+        assert graph.validate() == []
+
+    def test_no_space_rejected(self):
+        layered = LayeredIndoorGraph("bare")
+        nrg = NodeRelationGraph("l")
+        nrg.add_node("x")
+        layered.add_layer(nrg)
+        with pytest.raises(ValueError):
+            subdivide(layered, "l", too_big(1.0))
+
+    def test_symbolic_cell_rejected(self):
+        layered = LayeredIndoorGraph("sym")
+        space = CellSpace("l", validate_geometry=False)
+        space.add_cell(Cell("x", attributes={"a": 1, "b": 2}))
+        nrg = NodeRelationGraph("l")
+        nrg.add_node("x")
+        layered.add_layer(nrg, space)
+        with pytest.raises(ValueError):
+            subdivide(layered, "l", too_many_properties(1))

@@ -1,0 +1,138 @@
+"""Tests for the statistics-calibrated dataset generator."""
+
+from collections import Counter
+
+import pytest
+
+from repro.louvre.dataset import (
+    DatasetParameters,
+    LouvreDatasetGenerator,
+    PAPER_STATISTICS,
+)
+from repro.louvre.zones import DATASET_ZONE_IDS
+
+
+@pytest.fixture(scope="module")
+def small_params():
+    return DatasetParameters().scaled(0.02)
+
+
+@pytest.fixture(scope="module")
+def generated(louvre_space, small_params):
+    generator = LouvreDatasetGenerator(louvre_space, small_params)
+    return generator.generate()
+
+
+class TestParameters:
+    def test_default_visit_arithmetic(self):
+        """3,228 + 737 + 2·490 = 4,945 and 737 + 2·490 = 1,717."""
+        params = DatasetParameters()
+        assert params.total_visits == PAPER_STATISTICS["visits"]
+        assert params.two_visit_visitors \
+            + 2 * params.three_visit_visitors \
+            == PAPER_STATISTICS["repeat_visits"]
+        assert params.two_visit_visitors + params.three_visit_visitors \
+            == PAPER_STATISTICS["returning_visitors"]
+
+    def test_scaled(self):
+        scaled = DatasetParameters().scaled(0.1)
+        assert scaled.visitors == 323
+        assert scaled.total_detections == 2025 or \
+            scaled.total_detections == 2024
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError):
+            DatasetParameters().scaled(0)
+        with pytest.raises(ValueError):
+            DatasetParameters().scaled(2.0)
+
+
+class TestGeneratedCorpus:
+    def test_exact_visit_count(self, generated, small_params):
+        assert len(generated) == small_params.total_visits
+
+    def test_exact_detection_count(self, generated, small_params):
+        total = sum(len(v.records) for v in generated)
+        assert total == small_params.total_detections
+
+    def test_visitor_structure(self, generated, small_params):
+        per_visitor = Counter(v.visitor_id for v in generated)
+        assert len(per_visitor) == small_params.visitors
+        assert Counter(per_visitor.values())[2] \
+            == small_params.two_visit_visitors
+        assert Counter(per_visitor.values())[3] \
+            == small_params.three_visit_visitors
+
+    def test_zero_duration_count(self, generated, small_params):
+        zeros = sum(1 for v in generated for r in v.records
+                    if r.duration == 0)
+        assert zeros == small_params.zero_duration_detections
+
+    def test_extreme_visit(self, generated, small_params):
+        longest = max(v.duration for v in generated)
+        assert longest == small_params.max_visit_duration
+        longest_detection = max(r.duration for v in generated
+                                for r in v.records)
+        assert longest_detection == small_params.max_detection_duration
+
+    def test_zero_duration_visit_exists(self, generated):
+        assert any(v.duration == 0 for v in generated)
+
+    def test_all_states_are_dataset_zones(self, generated):
+        states = {r.state for v in generated for r in v.records}
+        assert states <= set(DATASET_ZONE_IDS)
+
+    def test_records_time_ordered_within_visit(self, generated):
+        for visit in generated:
+            times = [(r.t_start, r.t_end) for r in visit.records]
+            assert times == sorted(times)
+            for record in visit.records:
+                assert record.t_end >= record.t_start
+
+    def test_devices(self, generated):
+        devices = {v.device for v in generated}
+        assert devices == {"iPhone", "Android"}
+
+    def test_visit_ids_unique(self, generated):
+        ids = [v.visit_id for v in generated]
+        assert len(set(ids)) == len(ids)
+
+    def test_deterministic(self, louvre_space, small_params):
+        a = LouvreDatasetGenerator(louvre_space, small_params).generate()
+        b = LouvreDatasetGenerator(louvre_space, small_params).generate()
+        assert [(v.visit_id, v.visitor_id,
+                 [(r.state, r.t_start, r.t_end) for r in v.records])
+                for v in a] \
+            == [(v.visit_id, v.visitor_id,
+                 [(r.state, r.t_start, r.t_end) for r in v.records])
+                for v in b]
+
+    def test_seed_changes_corpus(self, louvre_space, small_params):
+        other = DatasetParameters(
+            visitors=small_params.visitors,
+            two_visit_visitors=small_params.two_visit_visitors,
+            three_visit_visitors=small_params.three_visit_visitors,
+            total_detections=small_params.total_detections,
+            zero_duration_detections=(
+                small_params.zero_duration_detections),
+            seed=999)
+        a = LouvreDatasetGenerator(louvre_space, small_params).generate()
+        b = LouvreDatasetGenerator(louvre_space, other).generate()
+        flat_a = [r.state for v in a for r in v.records]
+        flat_b = [r.state for v in b for r in v.records]
+        assert flat_a != flat_b
+
+    def test_detection_records_flatten(self, louvre_space, generated,
+                                       small_params):
+        generator = LouvreDatasetGenerator(louvre_space, small_params)
+        records = generator.detection_records(generated)
+        assert len(records) == small_params.total_detections
+
+    def test_timestamps_within_collection_window(self, generated,
+                                                 small_params):
+        from repro.core.timeutil import from_date
+        start = from_date("19-01-2017")
+        end = start + small_params.collection_days * 86400.0
+        for visit in generated:
+            for record in visit.records:
+                assert start <= record.t_start <= end

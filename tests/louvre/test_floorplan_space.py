@@ -1,0 +1,167 @@
+"""Tests for the synthetic floorplan and the layered space model."""
+
+import pytest
+
+from repro.indoor.cells import OverlappingCellsError
+from repro.louvre.floorplan import (
+    MONA_LISA_ROI,
+    SALLE_DES_ETATS_ROOM,
+    LouvreFloorplan,
+    WING_FOOTPRINTS,
+    floor_cell_id,
+    wing_cell_id,
+)
+from repro.louvre.zones import (
+    WING_FLOORS,
+    WINGS,
+    ZONE_GRANDE_GALERIE,
+    ZONE_SALLE_DES_ETATS,
+    ZONES,
+)
+from repro.spatial.topology import TopologicalRelation, relate
+
+
+@pytest.fixture(scope="module")
+def floorplan(louvre_space):
+    return louvre_space.floorplan
+
+
+class TestFloorplanGeometry:
+    def test_wing_footprints_disjoint_or_meet(self):
+        names = list(WING_FOOTPRINTS)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                relation = relate(WING_FOOTPRINTS[a].to_polygon(),
+                                  WING_FOOTPRINTS[b].to_polygon())
+                assert relation in (TopologicalRelation.DISJOINT,
+                                    TopologicalRelation.MEET)
+
+    def test_napoleon_meets_every_wing(self):
+        napoleon = WING_FOOTPRINTS["napoleon"].to_polygon()
+        for other in ("denon", "richelieu", "sully"):
+            assert relate(napoleon,
+                          WING_FOOTPRINTS[other].to_polygon()) \
+                is TopologicalRelation.MEET
+
+    def test_18_wing_floors(self, floorplan):
+        assert len(floorplan.floor_space) \
+            == sum(len(floors) for floors in WING_FLOORS.values())
+
+    def test_hundreds_of_rooms(self, floorplan):
+        """'Layer 1 as a floor's rooms and halls (hundreds in total)'."""
+        assert floorplan.room_count() \
+            == sum(z.room_count for z in ZONES)
+        assert floorplan.room_count() >= 150
+
+    def test_hundreds_of_rois(self, floorplan):
+        """'Layer 0 as a room's exhibits (several hundreds ...)'."""
+        assert floorplan.roi_count() >= 200
+
+    def test_rooms_partition_zone(self, floorplan):
+        zone_cell = floorplan.zone_space.cell(ZONE_SALLE_DES_ETATS)
+        total = sum(
+            floorplan.room_space.cell(room_id).geometry.area()
+            for room_id in floorplan.rooms_of_zone(ZONE_SALLE_DES_ETATS))
+        assert total == pytest.approx(zone_cell.geometry.area())
+
+    def test_rois_strictly_inside_rooms(self, floorplan):
+        room = floorplan.room_space.cell(SALLE_DES_ETATS_ROOM)
+        for roi_id in floorplan.rois_of_room(SALLE_DES_ETATS_ROOM):
+            roi = floorplan.roi_space.cell(roi_id)
+            assert relate(room.geometry, roi.geometry) \
+                is TopologicalRelation.CONTAINS
+
+    def test_mona_lisa_exists(self, floorplan):
+        roi = floorplan.roi_space.cell(MONA_LISA_ROI)
+        assert roi.name == "Mona Lisa"
+        assert roi.attribute("room") == SALLE_DES_ETATS_ROOM
+
+    def test_salle_des_etats_named(self, floorplan):
+        room = floorplan.room_space.cell(SALLE_DES_ETATS_ROOM)
+        assert room.name == "Salle des États"
+
+    def test_geometry_validation_passes(self):
+        """Building with strict non-overlap validation succeeds."""
+        LouvreFloorplan(validate_geometry=True)
+
+
+class TestLouvreSpace:
+    def test_six_layers(self, louvre_space):
+        assert louvre_space.graph.layer_names == (
+            "louvre-museum", "wings", "floors", "zones", "rooms",
+            "rois")
+
+    def test_mlsm_invariants(self, louvre_space):
+        assert louvre_space.graph.validate() == []
+
+    def test_core_hierarchy_valid(self, louvre_space):
+        assert louvre_space.core_hierarchy.validate() == []
+        assert louvre_space.core_hierarchy.has_core_roles()
+
+    def test_zone_hierarchy_valid(self, louvre_space):
+        assert louvre_space.zone_hierarchy.validate() == []
+        assert louvre_space.zone_hierarchy.depth == 2
+
+    def test_every_zone_has_floor_parent(self, louvre_space):
+        assert louvre_space.zone_hierarchy.orphans("zones") == []
+
+    def test_every_room_has_floor_parent(self, louvre_space):
+        assert louvre_space.core_hierarchy.orphans("rooms") == []
+
+    def test_lift_zone_to_floor_and_wing(self, louvre_space):
+        floor = louvre_space.zone_hierarchy.lift(ZONE_SALLE_DES_ETATS,
+                                                 "floors")
+        assert floor == floor_cell_id("denon", 1)
+        # The floor lifts further through the core hierarchy.
+        wing = louvre_space.core_hierarchy.lift(floor, "wings")
+        assert wing == wing_cell_id("denon")
+
+    def test_mona_lisa_full_chain(self, louvre_space):
+        chain = louvre_space.core_hierarchy.ancestors(MONA_LISA_ROI)
+        assert chain == [SALLE_DES_ETATS_ROOM,
+                         floor_cell_id("denon", 1),
+                         wing_cell_id("denon"),
+                         "louvre"]
+
+    def test_salle_des_etats_one_way_room_door(self, louvre_space):
+        rooms = louvre_space.graph.layer("rooms")
+        salle_rooms = louvre_space.floorplan.rooms_of_zone(
+            ZONE_SALLE_DES_ETATS)
+        galerie_rooms = louvre_space.floorplan.rooms_of_zone(
+            ZONE_GRANDE_GALERIE)
+        exit_ok = rooms.has_transition(salle_rooms[-1],
+                                       galerie_rooms[0])
+        entry_blocked = not rooms.has_transition(galerie_rooms[0],
+                                                 salle_rooms[-1])
+        assert exit_ok and entry_blocked
+
+    def test_zone_attractions(self, louvre_space):
+        attractions = louvre_space.zone_attractions()
+        assert len(attractions) == 52
+        assert attractions[ZONE_SALLE_DES_ETATS] \
+            == max(attractions.values())
+
+    def test_exit_and_entrance_zones(self, louvre_space):
+        assert louvre_space.exit_zones() == ["zone60891"]
+        assert "zone60886" in louvre_space.entrance_zones()
+
+    def test_zone_of_room(self, louvre_space):
+        assert louvre_space.zone_of_room(SALLE_DES_ETATS_ROOM) \
+            == ZONE_SALLE_DES_ETATS
+
+    def test_summary_counts(self, louvre_space):
+        summary = louvre_space.summary()
+        assert summary["zones:nodes"] == 52
+        assert summary["wings:nodes"] == 4
+        assert summary["louvre-museum:nodes"] == 1
+        assert summary["joint_edges"] > 0
+
+    def test_valid_overall_state(self, louvre_space):
+        assert louvre_space.graph.is_valid_overall_state({
+            "rooms": SALLE_DES_ETATS_ROOM,
+            "zones": ZONE_SALLE_DES_ETATS,
+        })
+        assert not louvre_space.graph.is_valid_overall_state({
+            "rooms": SALLE_DES_ETATS_ROOM,
+            "zones": "zone60886",
+        })

@@ -1,0 +1,139 @@
+"""Tests for sparse-visit restructuring (Section 5 future work)."""
+
+import pytest
+
+from repro.core.annotations import AnnotationKind, AnnotationSet
+from repro.core.timeutil import from_date
+from repro.core.trajectory import SemanticTrajectory, Trace, TraceEntry
+from repro.louvre.restructure import (
+    IndicativeVisit,
+    StitchReport,
+    indicative_visits,
+    stitch_fragments,
+)
+from repro.louvre.zones import ZONE_E, ZONE_ENTRANCE, ZONE_P, ZONE_S
+
+
+EPOCH = from_date("19-01-2017")
+
+
+def fragment(mo_id, states, start, dwell=300.0, gap=60.0):
+    entries = []
+    t = start
+    previous = None
+    for state in states:
+        transition = None if previous is None \
+            else "unobserved:{}->{}".format(previous, state)
+        entries.append(TraceEntry(transition, state, t, t + dwell))
+        t += dwell + gap
+        previous = state
+    return SemanticTrajectory(mo_id, Trace(entries),
+                              AnnotationSet.goals("visit"))
+
+
+class TestStitching:
+    def test_same_day_fragments_merge(self, louvre_space):
+        nrg = louvre_space.dataset_zone_nrg()
+        day = EPOCH + 9 * 3600
+        fragments = [
+            fragment("v1", [ZONE_ENTRANCE, ZONE_E], day),
+            fragment("v1", [ZONE_S], day + 4000.0),
+        ]
+        report = StitchReport()
+        stitched = stitch_fragments(fragments, nrg, epoch=EPOCH,
+                                    report=report)
+        assert len(stitched) == 1
+        assert report.fragments_joined == 1
+        sequence = stitched[0].distinct_state_sequence()
+        # The seam E → S is explained through P (the Figure 6 chain).
+        assert sequence == [ZONE_ENTRANCE, ZONE_E, ZONE_P, ZONE_S]
+
+    def test_inferred_seam_annotated(self, louvre_space):
+        nrg = louvre_space.dataset_zone_nrg()
+        day = EPOCH + 9 * 3600
+        stitched = stitch_fragments([
+            fragment("v1", [ZONE_E], day),
+            fragment("v1", [ZONE_S], day + 2000.0),
+        ], nrg, epoch=EPOCH)
+        inferred = [e for e in stitched[0].trace
+                    if e.annotations.has(AnnotationKind.PROVENANCE,
+                                         "inferred")]
+        assert [e.state for e in inferred] == [ZONE_P]
+
+    def test_different_days_stay_apart(self, louvre_space):
+        nrg = louvre_space.dataset_zone_nrg()
+        stitched = stitch_fragments([
+            fragment("v1", [ZONE_E], EPOCH + 9 * 3600),
+            fragment("v1", [ZONE_S], EPOCH + 86400 + 9 * 3600),
+        ], nrg, epoch=EPOCH)
+        assert len(stitched) == 2
+
+    def test_different_visitors_stay_apart(self, louvre_space):
+        nrg = louvre_space.dataset_zone_nrg()
+        day = EPOCH + 9 * 3600
+        stitched = stitch_fragments([
+            fragment("v1", [ZONE_E], day),
+            fragment("v2", [ZONE_S], day + 2000.0),
+        ], nrg, epoch=EPOCH)
+        assert len(stitched) == 2
+
+    def test_corpus_stitching_increases_density(self, louvre_space,
+                                                small_trajectories):
+        nrg = louvre_space.dataset_zone_nrg()
+        report = StitchReport()
+        stitched = stitch_fragments(small_trajectories, nrg,
+                                    epoch=EPOCH, report=report)
+        assert report.stitched_visits <= report.input_trajectories
+        input_entries = sum(len(t.trace) for t in small_trajectories)
+        output_entries = sum(len(t.trace) for t in stitched)
+        # Inference only ever adds presence tuples.
+        assert output_entries >= input_entries
+        assert report.inference.tuples_inserted \
+            == output_entries - input_entries
+
+
+class TestIndicativeVisits:
+    def _stitched_corpus(self, louvre_space):
+        nrg = louvre_space.dataset_zone_nrg()
+        day = EPOCH + 9 * 3600
+        fragments = []
+        # Two families of routes, repeated with small time offsets.
+        for i in range(4):
+            fragments.append(fragment(
+                "a{}".format(i), [ZONE_ENTRANCE, ZONE_E, ZONE_P],
+                day + i * 86400))
+            fragments.append(fragment(
+                "b{}".format(i),
+                [ZONE_ENTRANCE, "zone60848", "zone60860"],
+                day + i * 86400))
+        return stitch_fragments(fragments, nrg, epoch=EPOCH)
+
+    def test_recovers_route_families(self, louvre_space):
+        stitched = self._stitched_corpus(louvre_space)
+        visits = indicative_visits(stitched, k=2, seed=3)
+        assert len(visits) == 2
+        assert {v.cluster_size for v in visits} == {4}
+        sequences = {v.sequence for v in visits}
+        assert (ZONE_ENTRANCE, ZONE_E, ZONE_P) in sequences
+
+    def test_hierarchy_aware_distance(self, louvre_space):
+        stitched = self._stitched_corpus(louvre_space)
+        visits = indicative_visits(stitched, k=2,
+                                   hierarchy=louvre_space.zone_hierarchy,
+                                   seed=3)
+        assert sum(v.cluster_size for v in visits) == len(stitched)
+        assert all(0.0 <= v.mean_similarity <= 1.0 for v in visits)
+
+    def test_too_few_visits_rejected(self, louvre_space):
+        stitched = self._stitched_corpus(louvre_space)[:1]
+        with pytest.raises(ValueError):
+            indicative_visits(stitched, k=5)
+
+    def test_sorted_by_cluster_size(self, louvre_space,
+                                    small_trajectories):
+        nrg = louvre_space.dataset_zone_nrg()
+        stitched = stitch_fragments(small_trajectories, nrg,
+                                    epoch=EPOCH)
+        visits = indicative_visits(stitched, k=3, seed=1)
+        sizes = [v.cluster_size for v in visits]
+        assert sizes == sorted(sizes, reverse=True)

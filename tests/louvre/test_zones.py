@@ -1,0 +1,111 @@
+"""Tests for the zone table and accessibility topology (Section 4.1)."""
+
+from collections import Counter
+
+from repro.louvre.zones import (
+    DATASET_ZONE_IDS,
+    GROUND_FLOOR_ZONE_IDS,
+    WING_FLOORS,
+    WINGS,
+    ZONE_C,
+    ZONE_E,
+    ZONE_ENTRANCE,
+    ZONE_P,
+    ZONE_S,
+    ZONE_SALLE_DES_ETATS,
+    ZONES,
+    ZONES_BY_ID,
+    zone_accessibility_edges,
+)
+
+
+class TestZoneTable:
+    def test_exactly_52_zones(self):
+        """'raw geometric positions have already been spatially
+        aggregated into 52 non-overlapping zones'."""
+        assert len(ZONES) == 52
+        assert len(ZONES_BY_ID) == 52  # ids unique
+
+    def test_exactly_30_dataset_zones(self):
+        """Figure 6 depicts 'the 30 zones present in the dataset'."""
+        assert len(DATASET_ZONE_IDS) == 30
+
+    def test_exactly_11_ground_floor_zones(self):
+        """Figure 3: 'the Louvre's 11 ground floor polygonal zones'."""
+        assert len(GROUND_FLOOR_ZONE_IDS) == 11
+
+    def test_ground_floor_zones_all_in_dataset(self):
+        """The choropleth shows detections in every ground-floor zone."""
+        assert set(GROUND_FLOOR_ZONE_IDS) <= set(DATASET_ZONE_IDS)
+
+    def test_single_floor_per_zone(self):
+        """Zones 'only extend within a single floor'."""
+        for zone in ZONES:
+            assert zone.floor in WING_FLOORS[zone.wing]
+
+    def test_four_areas(self):
+        assert set(WINGS) == {"richelieu", "sully", "denon", "napoleon"}
+        assert {z.wing for z in ZONES} == set(WINGS)
+
+    def test_napoleon_lower_levels_only(self):
+        assert WING_FLOORS["napoleon"] == (-2, -1, 0)
+
+    def test_paper_named_zones(self):
+        assert ZONES_BY_ID[ZONE_E].attributes["letter"] == "E"
+        assert ZONES_BY_ID[ZONE_E].attributes[
+            "requires_separate_ticket"] is True
+        assert ZONES_BY_ID[ZONE_P].attributes["letter"] == "P"
+        assert ZONES_BY_ID[ZONE_S].attributes["shops"] is True
+        assert ZONES_BY_ID[ZONE_C].attributes["exit"] is True
+        assert all(ZONES_BY_ID[z].floor == -2
+                   for z in (ZONE_E, ZONE_P, ZONE_S, ZONE_C))
+
+    def test_salle_des_etats_zone(self):
+        zone = ZONES_BY_ID[ZONE_SALLE_DES_ETATS]
+        assert zone.wing == "denon"
+        assert zone.floor == 1
+        assert zone.attributes["mona_lisa"] is True
+
+    def test_theme_uniqueness(self):
+        themes = [z.theme for z in ZONES]
+        assert len(set(themes)) == len(themes)
+
+
+class TestTopology:
+    def test_endpoints_exist(self):
+        for src, dst, _, _, _ in zone_accessibility_edges():
+            assert src in ZONES_BY_ID
+            assert dst in ZONES_BY_ID
+
+    def test_boundary_ids_unique(self):
+        ids = [e[4] for e in zone_accessibility_edges()]
+        assert len(set(ids)) == len(ids)
+
+    def test_paper_chain_present(self):
+        """The E→P→S→C chain of Figures 5/6."""
+        pairs = {(e[0], e[1]) for e in zone_accessibility_edges()}
+        assert (ZONE_E, ZONE_P) in pairs
+        assert (ZONE_P, ZONE_S) in pairs
+        assert (ZONE_S, ZONE_C) in pairs
+
+    def test_carrousel_exit_one_way(self):
+        edges = {(e[0], e[1]): e[2] for e in zone_accessibility_edges()}
+        assert edges[(ZONE_S, ZONE_C)] is False  # no re-entry
+
+    def test_checkpoint002_names_e_to_p(self):
+        """The paper's inferred tuple crosses 'checkpoint002'."""
+        for src, dst, _, kind, boundary_id in zone_accessibility_edges():
+            if boundary_id == "checkpoint002":
+                assert {src, dst} == {ZONE_E, ZONE_P}
+                assert kind == "checkpoint"
+                return
+        raise AssertionError("checkpoint002 missing")
+
+    def test_dataset_zones_connected(self, louvre_space):
+        nrg = louvre_space.dataset_zone_nrg()
+        reachable = nrg.reachable_from(ZONE_ENTRANCE)
+        # Every dataset zone is reachable from the pyramid entrance.
+        assert reachable == set(DATASET_ZONE_IDS)
+
+    def test_all_52_zones_in_full_nrg(self, louvre_space):
+        assert len(louvre_space.zone_nrg) == 52

@@ -1,0 +1,86 @@
+"""Tests for Apriori and association rules."""
+
+import pytest
+
+from repro.mining.association import apriori, mine_rules
+
+TRANSACTIONS = [
+    {"egypt", "greek", "exit"},
+    {"egypt", "greek"},
+    {"egypt", "shop", "exit"},
+    {"greek", "exit"},
+    {"egypt", "greek", "exit"},
+]
+
+
+class TestApriori:
+    def test_singleton_supports(self):
+        frequent = apriori(TRANSACTIONS, min_support=0.2)
+        assert frequent[frozenset(["egypt"])] == pytest.approx(0.8)
+        assert frequent[frozenset(["greek"])] == pytest.approx(0.8)
+
+    def test_pair_support(self):
+        frequent = apriori(TRANSACTIONS, min_support=0.2)
+        assert frequent[frozenset(["egypt", "greek"])] \
+            == pytest.approx(0.6)
+
+    def test_min_support_prunes(self):
+        frequent = apriori(TRANSACTIONS, min_support=0.7)
+        assert frozenset(["shop"]) not in frequent
+        assert frozenset(["egypt"]) in frequent
+
+    def test_apriori_property(self):
+        """Every subset of a frequent itemset is frequent."""
+        frequent = apriori(TRANSACTIONS, min_support=0.2)
+        for itemset in frequent:
+            for item in itemset:
+                assert frozenset([item]) in frequent
+
+    def test_max_size(self):
+        frequent = apriori(TRANSACTIONS, min_support=0.1, max_size=2)
+        assert all(len(s) <= 2 for s in frequent)
+
+    def test_empty_transactions_rejected(self):
+        with pytest.raises(ValueError):
+            apriori([], 0.5)
+
+    def test_invalid_support_rejected(self):
+        with pytest.raises(ValueError):
+            apriori(TRANSACTIONS, 0.0)
+        with pytest.raises(ValueError):
+            apriori(TRANSACTIONS, 1.5)
+
+
+class TestRules:
+    def test_rule_metrics(self):
+        rules = mine_rules(TRANSACTIONS, min_support=0.3,
+                           min_confidence=0.5)
+        by_parts = {(tuple(sorted(r.antecedent)),
+                     tuple(sorted(r.consequent))): r for r in rules}
+        rule = by_parts[(("egypt",), ("greek",))]
+        assert rule.support == pytest.approx(0.6)
+        assert rule.confidence == pytest.approx(0.75)
+        assert rule.lift == pytest.approx(0.75 / 0.8)
+
+    def test_min_confidence_filters(self):
+        strict = mine_rules(TRANSACTIONS, min_support=0.2,
+                            min_confidence=0.95)
+        loose = mine_rules(TRANSACTIONS, min_support=0.2,
+                           min_confidence=0.1)
+        assert len(strict) < len(loose)
+
+    def test_antecedent_consequent_disjoint(self):
+        for rule in mine_rules(TRANSACTIONS, min_support=0.2,
+                               min_confidence=0.1):
+            assert not rule.antecedent & rule.consequent
+
+    def test_sorted_by_lift(self):
+        rules = mine_rules(TRANSACTIONS, min_support=0.2,
+                           min_confidence=0.1)
+        lifts = [r.lift for r in rules]
+        assert lifts == sorted(lifts, reverse=True)
+
+    def test_describe(self):
+        rules = mine_rules(TRANSACTIONS, min_support=0.3,
+                           min_confidence=0.5)
+        assert "⇒" in rules[0].describe()

@@ -1,0 +1,121 @@
+"""Tests for collective flow analytics."""
+
+import pytest
+
+from repro.core.timeutil import from_clock, from_date
+from repro.mining.flow import (
+    FlowBalance,
+    congestion_profile,
+    flow_balances,
+    hourly_occupancy,
+    od_matrix,
+    peak_hour,
+    simultaneous_occupancy,
+)
+from repro.storage import TrajectoryStore
+from tests.conftest import make_trajectory
+
+
+@pytest.fixture
+def corpus():
+    return [
+        make_trajectory(mo_id="m1", states=("in", "x", "out")),
+        make_trajectory(mo_id="m2", states=("in", "y", "out")),
+        make_trajectory(mo_id="m3", states=("in", "x", "y", "out")),
+    ]
+
+
+class TestOdMatrix:
+    def test_counts(self, corpus):
+        matrix = od_matrix(corpus)
+        assert matrix == {("in", "out"): 3}
+
+    def test_single_state_visit(self):
+        matrix = od_matrix([make_trajectory(states=("solo",))])
+        assert matrix == {("solo", "solo"): 1}
+
+
+class TestFlowBalance:
+    def test_entrance_and_exit_detected(self, corpus):
+        balances = {b.state: b for b in flow_balances(corpus)}
+        assert balances["in"].imbalance == -3   # pure source
+        assert balances["out"].imbalance == 3   # pure sink
+        assert balances["in"].started_here == 3
+        assert balances["out"].ended_here == 3
+
+    def test_through_cells_balanced(self, corpus):
+        balances = {b.state: b for b in flow_balances(corpus)}
+        assert balances["x"].imbalance == 0
+        assert balances["y"].imbalance == 0
+
+    def test_sorted_by_magnitude(self, corpus):
+        balances = flow_balances(corpus)
+        magnitudes = [abs(b.imbalance) for b in balances]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+
+class TestHourlyOccupancy:
+    def test_single_hour(self):
+        day = from_date("01-03-2017")
+        trajectory = make_trajectory(
+            states=("a",), start=from_clock(day, "10:00:00"),
+            dwell=1800.0)
+        occupancy = hourly_occupancy([trajectory])
+        assert occupancy["a"][10] == pytest.approx(1800.0)
+        assert sum(occupancy["a"]) == pytest.approx(1800.0)
+
+    def test_spans_hours(self):
+        day = from_date("01-03-2017")
+        trajectory = make_trajectory(
+            states=("a",), start=from_clock(day, "10:30:00"),
+            dwell=5400.0)  # 10:30 → 12:00
+        occupancy = hourly_occupancy([trajectory])
+        assert occupancy["a"][10] == pytest.approx(1800.0)
+        assert occupancy["a"][11] == pytest.approx(3600.0)
+        assert occupancy["a"][12] == pytest.approx(0.0)
+
+    def test_zero_filled_states(self):
+        occupancy = hourly_occupancy([], states=["ghost"])
+        assert occupancy["ghost"] == [0.0] * 24
+
+    def test_peak_hour(self):
+        series = [0.0] * 24
+        series[14] = 100.0
+        assert peak_hour(series) == 14
+
+
+class TestCongestion:
+    @pytest.fixture
+    def store(self, corpus):
+        store = TrajectoryStore()
+        store.insert_many(corpus)
+        return store
+
+    def test_simultaneous_occupancy(self, store, corpus):
+        t = corpus[0].trace.entries[0].t_start + 10.0
+        occupancy = simultaneous_occupancy(store, t)
+        assert occupancy == {"in": 3}
+
+    def test_empty_time(self, store):
+        assert simultaneous_occupancy(store, 1e12) == {}
+
+    def test_congestion_profile(self, store, corpus):
+        t0 = corpus[0].t_start
+        samples = congestion_profile(store, t0, t0 + 300.0, step=100.0)
+        assert len(samples) == 4
+        assert samples[0][1] == 3
+        assert samples[0][2] == "in"
+
+    def test_invalid_parameters(self, store):
+        with pytest.raises(ValueError):
+            congestion_profile(store, 0.0, 10.0, step=0.0)
+        with pytest.raises(ValueError):
+            congestion_profile(store, 10.0, 0.0)
+
+
+def test_flow_on_corpus(louvre_space, small_trajectories):
+    """On the Louvre corpus the pyramid entrance is the top source."""
+    balances = flow_balances(small_trajectories)
+    sources = [b for b in balances if b.imbalance < 0]
+    assert sources
+    assert sources[0].state == "zone60886"

@@ -1,0 +1,89 @@
+"""Tests for PrefixSpan sequential pattern mining."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mining.prefixspan import (
+    contains_pattern,
+    pattern_support,
+    prefixspan,
+)
+
+SEQUENCES = [
+    ["a", "b", "c"],
+    ["a", "c"],
+    ["a", "b", "b", "c"],
+    ["b", "c"],
+]
+
+
+class TestPrefixSpan:
+    def test_singleton_supports(self):
+        patterns = {p.sequence: p.support
+                    for p in prefixspan(SEQUENCES, min_support=1,
+                                        max_length=1)}
+        assert patterns[("a",)] == 3
+        assert patterns[("b",)] == 3
+        assert patterns[("c",)] == 4
+
+    def test_subsequence_semantics(self):
+        """Patterns allow gaps: a...c matches ['a','b','c']."""
+        patterns = {p.sequence: p.support
+                    for p in prefixspan(SEQUENCES, min_support=2)}
+        assert patterns[("a", "c")] == 3
+
+    def test_min_support_filters(self):
+        patterns = prefixspan(SEQUENCES, min_support=4)
+        assert {p.sequence for p in patterns} == {("c",)}
+
+    def test_max_length_respected(self):
+        patterns = prefixspan(SEQUENCES, min_support=1, max_length=2)
+        assert all(p.length <= 2 for p in patterns)
+
+    def test_sorted_by_support(self):
+        patterns = prefixspan(SEQUENCES, min_support=1)
+        supports = [p.support for p in patterns]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_repeated_items_counted_once_per_sequence(self):
+        patterns = {p.sequence: p.support
+                    for p in prefixspan([["a", "a", "a"]],
+                                        min_support=1)}
+        assert patterns[("a",)] == 1
+        assert patterns[("a", "a")] == 1  # still a valid subsequence
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            prefixspan(SEQUENCES, min_support=0)
+        with pytest.raises(ValueError):
+            prefixspan(SEQUENCES, min_support=1, max_length=0)
+
+    def test_empty_input(self):
+        assert prefixspan([], min_support=1) == []
+
+    def test_describe(self):
+        pattern = prefixspan(SEQUENCES, min_support=2)[0]
+        assert "support" in pattern.describe()
+
+
+class TestHelpers:
+    def test_contains_pattern(self):
+        assert contains_pattern(["a", "x", "b"], ["a", "b"])
+        assert not contains_pattern(["b", "a"], ["a", "b"])
+
+    def test_pattern_support(self):
+        assert pattern_support(SEQUENCES, ["a", "c"]) == 3
+
+
+@settings(max_examples=50)
+@given(st.lists(
+    st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1,
+             max_size=6),
+    min_size=1, max_size=12),
+    st.integers(1, 4))
+def test_property_supports_are_correct(sequences, min_support):
+    """Every mined pattern's support matches a brute-force recount."""
+    for pattern in prefixspan(sequences, min_support, max_length=3):
+        recounted = pattern_support(sequences, pattern.sequence)
+        assert recounted == pattern.support
+        assert recounted >= min_support

@@ -1,0 +1,133 @@
+"""Tests for visitor profiling and floor-switching patterns."""
+
+import math
+
+import pytest
+
+from repro.mining.patterns import (
+    floor_switch_profile,
+    multi_floor_share,
+    switch_sequences,
+    vertical_explorers,
+)
+from repro.mining.profiling import (
+    VisitFeatures,
+    cluster_summary,
+    extract_features,
+    k_medoids,
+    standardize,
+)
+from tests.conftest import make_trajectory
+
+
+class TestFeatures:
+    def test_extract_basic(self):
+        trajectory = make_trajectory(states=("a", "b", "a"),
+                                     dwell=100.0, gap=10.0)
+        features = extract_features(trajectory)
+        assert features.cell_count == 2
+        assert features.entry_count == 3
+        assert features.mean_dwell == 100.0
+        assert features.max_dwell == 100.0
+        assert features.floor_switches == 0  # no hierarchy given
+
+    def test_floor_switches(self, louvre_space, small_trajectories):
+        multi = [t for t in small_trajectories
+                 if len(t.distinct_state_sequence()) >= 4]
+        assert multi, "corpus should contain multi-zone visits"
+        features = extract_features(multi[0],
+                                    louvre_space.zone_hierarchy)
+        assert features.floor_switches >= 0
+
+    def test_vector_log_scaled(self):
+        features = VisitFeatures("m", 100.0, 3, 4, 50.0, 80.0, 2)
+        vector = features.as_vector()
+        assert vector[0] == pytest.approx(math.log1p(100.0))
+        assert vector[1] == 3.0
+
+
+class TestKMedoids:
+    def test_separates_obvious_clusters(self):
+        points = [(0.0, 0.0), (0.1, 0.0), (0.0, 0.1),
+                  (10.0, 10.0), (10.1, 10.0), (10.0, 10.1)]
+        assignment, medoids = k_medoids(points, 2, seed=1)
+        assert assignment[0] == assignment[1] == assignment[2]
+        assert assignment[3] == assignment[4] == assignment[5]
+        assert assignment[0] != assignment[3]
+        assert len(medoids) == 2
+
+    def test_k_bounds(self):
+        with pytest.raises(ValueError):
+            k_medoids([(0, 0)], 2)
+        with pytest.raises(ValueError):
+            k_medoids([(0, 0)], 0)
+
+    def test_k_equals_n(self):
+        assignment, _ = k_medoids([(0, 0), (5, 5)], 2, seed=1)
+        assert sorted(assignment) == [0, 1]
+
+    def test_custom_distance(self):
+        words = ["aaa", "aab", "zzz", "zzy"]
+
+        def hamming(a, b):
+            return sum(1 for x, y in zip(a, b) if x != y)
+
+        assignment, _ = k_medoids(words, 2, distance=hamming, seed=2)
+        assert assignment[0] == assignment[1]
+        assert assignment[2] == assignment[3]
+        assert assignment[0] != assignment[2]
+
+    def test_standardize(self):
+        vectors = [(0.0, 10.0), (2.0, 20.0), (4.0, 30.0)]
+        standardized = standardize(vectors)
+        for dim in range(2):
+            mean = sum(v[dim] for v in standardized) / 3
+            assert mean == pytest.approx(0.0, abs=1e-9)
+
+    def test_standardize_constant_dimension(self):
+        standardized = standardize([(1.0, 5.0), (1.0, 6.0)])
+        assert standardized[0][0] == standardized[1][0] == 0.0
+
+    def test_cluster_summary(self):
+        features = [VisitFeatures("m", 100.0, 2, 2, 50.0, 60.0, 1),
+                    VisitFeatures("n", 200.0, 4, 5, 70.0, 90.0, 3)]
+        summaries = cluster_summary(features, [0, 1], 2)
+        assert summaries[0]["size"] == 1
+        assert summaries[1]["mean_duration"] == 200.0
+
+
+class TestFloorSwitching:
+    def test_profile_on_corpus(self, louvre_space, small_trajectories):
+        profile = floor_switch_profile(small_trajectories,
+                                       louvre_space.zone_hierarchy,
+                                       "floors")
+        assert profile.visits > 0
+        assert profile.mean_switches >= 0
+        assert sum(profile.switch_histogram.values()) == profile.visits
+        assert profile.top_sequences
+        assert 0.0 <= multi_floor_share(profile) <= 1.0
+
+    def test_switch_sequences_lifted(self, louvre_space,
+                                     small_trajectories):
+        sequences = switch_sequences(small_trajectories,
+                                     louvre_space.zone_hierarchy,
+                                     "floors")
+        floors = {state for seq in sequences for state in seq}
+        assert all(state.startswith("floor:") for state in floors)
+
+    def test_vertical_explorers(self, louvre_space, small_trajectories):
+        explorers = vertical_explorers(small_trajectories,
+                                       louvre_space.zone_hierarchy,
+                                       min_floors=3, target_layer="floors")
+        for trajectory in explorers:
+            floors = set()
+            for state in trajectory.distinct_state_sequence():
+                lifted = louvre_space.zone_hierarchy.lift(state, "floors")
+                if lifted:
+                    floors.add(lifted)
+            assert len(floors) >= 3
+
+    def test_empty_corpus(self, louvre_space):
+        profile = floor_switch_profile([], louvre_space.zone_hierarchy)
+        assert profile.visits == 0
+        assert multi_floor_share(profile) == 0.0

@@ -1,0 +1,87 @@
+"""Tests for symbolic sequence statistics."""
+
+import pytest
+
+from repro.mining.sequences import (
+    corpus_summary,
+    detection_counts,
+    dwell_statistics,
+    ngram_counts,
+    state_sequences,
+    top_transitions,
+    transition_matrix,
+    visitor_counts,
+)
+from tests.conftest import make_trajectory
+
+
+@pytest.fixture
+def corpus():
+    return [
+        make_trajectory(mo_id="m1", states=("a", "b", "c")),
+        make_trajectory(mo_id="m2", states=("a", "b")),
+        make_trajectory(mo_id="m1", states=("b", "c")),
+    ]
+
+
+class TestCounts:
+    def test_detection_counts(self, corpus):
+        counts = detection_counts(corpus)
+        assert counts == {"a": 2, "b": 3, "c": 2}
+
+    def test_detection_counts_zero_filled(self, corpus):
+        counts = detection_counts(corpus, states=["a", "z"])
+        assert counts == {"a": 2, "z": 0}
+
+    def test_visitor_counts(self, corpus):
+        counts = visitor_counts(corpus)
+        assert counts["b"] == 2  # m1 and m2
+        assert counts["c"] == 1  # only m1
+
+    def test_transition_matrix(self, corpus):
+        matrix = transition_matrix(corpus)
+        assert matrix[("a", "b")] == 2
+        assert matrix[("b", "c")] == 2
+
+    def test_top_transitions_deterministic(self, corpus):
+        top = top_transitions(transition_matrix(corpus), count=1)
+        assert top[0][0] == ("a", "b")  # lexicographic tiebreak
+
+    def test_state_sequences(self, corpus):
+        assert state_sequences(corpus)[0] == ["a", "b", "c"]
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        counts = ngram_counts([["a", "b", "c"], ["a", "b"]], n=2)
+        assert counts[("a", "b")] == 2
+        assert counts[("b", "c")] == 1
+
+    def test_unigrams(self):
+        counts = ngram_counts([["a", "a", "b"]], n=1)
+        assert counts[("a",)] == 2
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngram_counts([["a"]], n=0)
+
+    def test_ngram_longer_than_sequence(self):
+        assert ngram_counts([["a"]], n=3) == {}
+
+
+class TestStatistics:
+    def test_dwell_statistics(self, corpus):
+        stats = dwell_statistics(corpus)
+        assert stats["a"]["count"] == 2
+        assert stats["a"]["mean"] == 100.0
+        assert stats["a"]["max"] == 100.0
+
+    def test_corpus_summary(self, corpus):
+        summary = corpus_summary(corpus)
+        assert summary["visits"] == 3
+        assert summary["visitors"] == 2
+        assert summary["detections"] == 7
+        assert summary["transitions"] == 4
+
+    def test_corpus_summary_empty(self):
+        assert corpus_summary([])["visits"] == 0

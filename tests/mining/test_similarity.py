@@ -1,0 +1,132 @@
+"""Tests for trajectory similarity metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.indoor.hierarchy import LayerHierarchy, add_hierarchy_edge
+from repro.indoor.multilayer import LayeredIndoorGraph
+from repro.indoor.nrg import NodeRelationGraph
+from repro.mining.similarity import (
+    edit_distance,
+    hierarchy_similarity,
+    longest_common_subsequence,
+    normalized_edit_similarity,
+    similarity_matrix,
+    state_similarity,
+)
+
+
+class TestEditDistance:
+    def test_identical(self):
+        assert edit_distance(["a", "b"], ["a", "b"]) == 0
+
+    def test_substitution(self):
+        assert edit_distance(["a", "b"], ["a", "c"]) == 1
+
+    def test_insertion_deletion(self):
+        assert edit_distance(["a"], ["a", "b"]) == 1
+        assert edit_distance(["a", "b"], ["a"]) == 1
+
+    def test_empty(self):
+        assert edit_distance([], ["a", "b"]) == 2
+        assert edit_distance([], []) == 0
+
+    def test_normalized_bounds(self):
+        assert normalized_edit_similarity(["a"], ["a"]) == 1.0
+        assert normalized_edit_similarity(["a"], ["b"]) == 0.0
+        assert normalized_edit_similarity([], []) == 1.0
+
+
+class TestLCS:
+    def test_basic(self):
+        assert longest_common_subsequence(["a", "b", "c"],
+                                          ["a", "c"]) == 2
+
+    def test_no_common(self):
+        assert longest_common_subsequence(["a"], ["b"]) == 0
+
+    def test_empty(self):
+        assert longest_common_subsequence([], ["a"]) == 0
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    graph = LayeredIndoorGraph("sim")
+    wings = NodeRelationGraph("wing")
+    wings.add_node("W1")
+    wings.add_node("W2")
+    rooms = NodeRelationGraph("room")
+    for room in ("r1", "r2", "r3"):
+        rooms.add_node(room)
+    graph.add_layer(wings)
+    graph.add_layer(rooms)
+    add_hierarchy_edge(graph, "W1", "r1")
+    add_hierarchy_edge(graph, "W1", "r2")
+    add_hierarchy_edge(graph, "W2", "r3")
+    return LayerHierarchy(graph, ["wing", "room"])
+
+
+class TestHierarchySimilarity:
+    def test_identical_states(self, hierarchy):
+        assert state_similarity(hierarchy, "r1", "r1") == 1.0
+
+    def test_siblings_closer_than_strangers(self, hierarchy):
+        siblings = state_similarity(hierarchy, "r1", "r2")
+        strangers = state_similarity(hierarchy, "r1", "r3")
+        assert siblings > strangers
+        assert strangers == 0.0  # no common ancestor in this hierarchy
+
+    def test_sequence_similarity_rewards_siblings(self, hierarchy):
+        base = ["r1", "r1"]
+        sibling_path = ["r2", "r2"]
+        stranger_path = ["r3", "r3"]
+        assert hierarchy_similarity(hierarchy, base, sibling_path) \
+            > hierarchy_similarity(hierarchy, base, stranger_path)
+
+    def test_identical_sequences(self, hierarchy):
+        assert hierarchy_similarity(hierarchy, ["r1", "r2"],
+                                    ["r1", "r2"]) == pytest.approx(1.0)
+
+    def test_empty_sequences(self, hierarchy):
+        assert hierarchy_similarity(hierarchy, [], []) == 1.0
+        assert hierarchy_similarity(hierarchy, ["r1"], []) == 0.0
+
+    def test_matrix_symmetric(self, hierarchy):
+        sequences = [["r1"], ["r2"], ["r3"]]
+        matrix = similarity_matrix(hierarchy, sequences)
+        for i in range(3):
+            assert matrix[i][i] == 1.0
+            for j in range(3):
+                assert matrix[i][j] == matrix[j][i]
+
+    def test_matrix_without_hierarchy(self):
+        matrix = similarity_matrix(None, [["a"], ["a"], ["b"]])
+        assert matrix[0][1] == 1.0
+        assert matrix[0][2] == 0.0
+
+
+items = st.lists(st.sampled_from(["a", "b", "c", "d"]), max_size=8)
+
+
+@given(items, items)
+def test_property_edit_distance_symmetric(a, b):
+    assert edit_distance(a, b) == edit_distance(b, a)
+
+
+@given(items, items, items)
+def test_property_edit_distance_triangle(a, b, c):
+    assert edit_distance(a, c) \
+        <= edit_distance(a, b) + edit_distance(b, c)
+
+
+@given(items, items)
+def test_property_lcs_bounded(a, b):
+    lcs = longest_common_subsequence(a, b)
+    assert 0 <= lcs <= min(len(a), len(b))
+
+
+@given(items, items)
+def test_property_edit_lcs_relation(a, b):
+    """Levenshtein ≥ max(len) − LCS (substitutions help Levenshtein)."""
+    lcs = longest_common_subsequence(a, b)
+    assert edit_distance(a, b) >= max(len(a), len(b)) - lcs

@@ -1,0 +1,112 @@
+"""Tests for stop/move segmentation."""
+
+import pytest
+
+from repro.core.annotations import AnnotationKind
+from repro.mining.stops import (
+    StopMoveConfig,
+    moves_of,
+    segment_stops_moves,
+    stop_cells,
+    stops_of,
+)
+from tests.conftest import make_trajectory
+
+
+@pytest.fixture
+def visit():
+    """Long stay in a, quick pass through b and c, long stay in d."""
+    from repro.core.annotations import AnnotationSet
+    from repro.core.trajectory import SemanticTrajectory, Trace, TraceEntry
+
+    entries = [
+        TraceEntry(None, "a", 0.0, 700.0),
+        TraceEntry("e1", "b", 720.0, 760.0),
+        TraceEntry("e2", "c", 770.0, 800.0),
+        TraceEntry("e3", "d", 820.0, 1600.0),
+    ]
+    return SemanticTrajectory("v", Trace(entries),
+                              AnnotationSet.goals("visit"))
+
+
+class TestSegmentation:
+    def test_stops_detected(self, visit):
+        segmentation = segment_stops_moves(
+            visit, StopMoveConfig(min_stop_seconds=300.0))
+        assert stop_cells(segmentation) == ["a", "d"]
+        assert len(moves_of(segmentation)) == 1
+        move = moves_of(segmentation)[0]
+        assert move.states() == ["b", "c"]
+
+    def test_covers_trajectory(self, visit):
+        segmentation = segment_stops_moves(visit)
+        assert segmentation.covers_main(tolerance=60.0)
+        assert not segmentation.has_overlaps()
+
+    def test_activity_annotations(self, visit):
+        segmentation = segment_stops_moves(visit)
+        for stop in stops_of(segmentation):
+            assert stop.annotations.has(AnnotationKind.ACTIVITY, "stay")
+        for move in moves_of(segmentation):
+            assert move.annotations.has(AnnotationKind.ACTIVITY,
+                                        "transit")
+
+    def test_threshold_changes_result(self, visit):
+        lenient = segment_stops_moves(
+            visit, StopMoveConfig(min_stop_seconds=20.0))
+        assert stop_cells(lenient) == ["a", "b", "c", "d"]
+        strict = segment_stops_moves(
+            visit, StopMoveConfig(min_stop_seconds=10_000.0))
+        assert stop_cells(strict) == []
+
+    def test_fragmented_stay_accumulates(self):
+        """Event-split entries in one cell form a single run/stop."""
+        from repro.core.annotations import AnnotationSet
+        from repro.core.trajectory import (
+            SemanticTrajectory,
+            Trace,
+            TraceEntry,
+        )
+
+        entries = [
+            TraceEntry(None, "a", 0.0, 200.0),
+            TraceEntry(None, "a", 201.0, 400.0,
+                       AnnotationSet.goals("buy")),
+            TraceEntry("e", "b", 420.0, 440.0),
+        ]
+        visit = SemanticTrajectory("v", Trace(entries),
+                                   AnnotationSet.goals("visit"))
+        segmentation = segment_stops_moves(
+            visit, StopMoveConfig(min_stop_seconds=350.0))
+        assert stop_cells(segmentation) == ["a"]
+
+    def test_internal_gap_breaks_run(self):
+        trajectory = make_trajectory(states=("a",), dwell=400.0)
+        from repro.core.trajectory import Trace, TraceEntry
+        entries = list(trajectory.trace.entries)
+        entries.append(TraceEntry(None, "a", 5000.0, 5400.0))
+        split_visit = trajectory.with_trace(Trace(entries))
+        segmentation = segment_stops_moves(
+            split_visit,
+            StopMoveConfig(min_stop_seconds=300.0,
+                           max_internal_gap=600.0))
+        # Two runs, but each spans half the trace: both are proper
+        # subtrajectories, so both become stops.
+        assert len(stops_of(segmentation)) == 2
+
+    def test_single_run_trajectory_yields_nothing(self):
+        solo = make_trajectory(states=("a",), dwell=1000.0)
+        segmentation = segment_stops_moves(solo)
+        assert len(segmentation) == 0
+
+    def test_on_corpus(self, small_trajectories):
+        segmented = 0
+        for trajectory in small_trajectories[:100]:
+            segmentation = segment_stops_moves(
+                trajectory, StopMoveConfig(min_stop_seconds=120.0))
+            if len(segmentation):
+                segmented += 1
+                for a, b in zip(segmentation.episodes,
+                                segmentation.episodes[1:]):
+                    assert a.t_start <= b.t_start
+        assert segmented > 0

@@ -1,0 +1,170 @@
+"""Tests for visitor profiles, graph walkers and geometric agents."""
+
+import random
+
+import pytest
+
+from repro.indoor.nrg import NodeRelationGraph
+from repro.movement.agents import GeometricAgent, WaypointPath
+from repro.movement.profiles import PROFILES, choose_profile
+from repro.movement.walker import GraphWalker
+from repro.spatial.geometry import Point
+
+
+class TestProfiles:
+    def test_weights_sum_to_one(self):
+        assert sum(p.weight for p in PROFILES.values()) \
+            == pytest.approx(1.0)
+
+    def test_four_canonical_styles(self):
+        assert set(PROFILES) == {"ant", "fish", "grasshopper",
+                                 "butterfly"}
+
+    def test_zone_count_at_least_one(self):
+        rng = random.Random(1)
+        for profile in PROFILES.values():
+            counts = [profile.sample_zone_count(rng) for _ in range(200)]
+            assert min(counts) >= 1
+            assert max(counts) <= 60
+
+    def test_mean_zone_count_approximate(self):
+        rng = random.Random(2)
+        ant = PROFILES["ant"]
+        counts = [ant.sample_zone_count(rng) for _ in range(3000)]
+        mean = sum(counts) / len(counts)
+        assert abs(mean - ant.mean_zone_count) < 1.0
+
+    def test_dwell_positive(self):
+        rng = random.Random(3)
+        for profile in PROFILES.values():
+            assert all(profile.sample_dwell(rng) > 0 for _ in range(50))
+
+    def test_grasshopper_dwells_longest(self):
+        rng = random.Random(4)
+        means = {}
+        for name, profile in PROFILES.items():
+            dwells = [profile.sample_dwell(rng) for _ in range(2000)]
+            means[name] = sum(dwells) / len(dwells)
+        assert means["grasshopper"] > means["fish"]
+
+    def test_choose_profile_distribution(self):
+        rng = random.Random(5)
+        drawn = [choose_profile(rng).name for _ in range(4000)]
+        for name, profile in PROFILES.items():
+            share = drawn.count(name) / len(drawn)
+            assert abs(share - profile.weight) < 0.05
+
+
+@pytest.fixture
+def nrg():
+    graph = NodeRelationGraph("g")
+    graph.connect("a", "b", bidirectional=True)
+    graph.connect("b", "c", bidirectional=True)
+    graph.connect("c", "d", bidirectional=True)
+    return graph
+
+
+class TestGraphWalker:
+    def test_walk_length(self, nrg):
+        walker = GraphWalker(nrg, random.Random(1))
+        steps = walker.walk("a", 4, PROFILES["fish"])
+        assert len(steps) == 4
+        assert steps[0].state == "a"
+
+    def test_walk_follows_edges(self, nrg):
+        walker = GraphWalker(nrg, random.Random(2))
+        steps = walker.walk("a", 6, PROFILES["ant"])
+        states = [s.state for s in steps]
+        for src, dst in zip(states, states[1:]):
+            assert nrg.has_transition(src, dst)
+
+    def test_dead_end_stops(self):
+        graph = NodeRelationGraph("d")
+        graph.connect("a", "b")  # one-way, b is a dead end
+        walker = GraphWalker(graph, random.Random(3))
+        steps = walker.walk("a", 10, PROFILES["fish"])
+        assert [s.state for s in steps] == ["a", "b"]
+
+    def test_unknown_start_raises(self, nrg):
+        walker = GraphWalker(nrg, random.Random(1))
+        with pytest.raises(KeyError):
+            walker.walk("ghost", 3, PROFILES["fish"])
+
+    def test_invalid_steps_raises(self, nrg):
+        walker = GraphWalker(nrg, random.Random(1))
+        with pytest.raises(ValueError):
+            walker.walk("a", 0, PROFILES["fish"])
+
+    def test_attraction_bias(self):
+        graph = NodeRelationGraph("fork")
+        graph.connect("start", "boring", bidirectional=True)
+        graph.connect("start", "monalisa", bidirectional=True)
+        rng = random.Random(7)
+        walker = GraphWalker(graph, rng,
+                             attractions={"monalisa": 50.0})
+        choices = [walker.next_state("start", []) for _ in range(300)]
+        assert choices.count("monalisa") > choices.count("boring") * 3
+
+    def test_revisit_penalty(self, nrg):
+        rng = random.Random(8)
+        walker = GraphWalker(nrg, rng, revisit_penalty=0.0)
+        # From b with a already visited, only c can be chosen.
+        choices = {walker.next_state("b", ["a", "b"])
+                   for _ in range(50)}
+        assert choices == {"c"}
+
+    def test_walk_towards(self, nrg):
+        walker = GraphWalker(nrg, random.Random(9))
+        steps = walker.walk_towards("a", "d", PROFILES["fish"])
+        assert [s.state for s in steps] == ["a", "b", "c", "d"]
+
+    def test_walk_towards_unreachable(self):
+        graph = NodeRelationGraph("u")
+        graph.connect("a", "b")
+        graph.add_node("island")
+        walker = GraphWalker(graph, random.Random(1))
+        with pytest.raises(ValueError):
+            walker.walk_towards("a", "island", PROFILES["fish"])
+
+    def test_invalid_penalty(self, nrg):
+        with pytest.raises(ValueError):
+            GraphWalker(nrg, random.Random(1), revisit_penalty=2.0)
+
+
+class TestGeometricAgent:
+    def test_duration(self):
+        path = WaypointPath([Point(0, 0), Point(8, 0)], [10.0, 5.0])
+        agent = GeometricAgent(path, speed=0.8, rng=random.Random(1))
+        assert agent.duration() == pytest.approx(10 + 5 + 10.0)
+
+    def test_track_is_time_ordered(self):
+        path = WaypointPath([Point(0, 0), Point(10, 0), Point(10, 10)],
+                            [2.0, 2.0, 2.0])
+        agent = GeometricAgent(path, rng=random.Random(2))
+        track = agent.track(100.0)
+        times = [s.t for s in track]
+        assert times == sorted(times)
+        assert times[0] == 100.0
+
+    def test_track_visits_waypoints(self):
+        path = WaypointPath([Point(0, 0), Point(20, 0)], [3.0, 3.0])
+        agent = GeometricAgent(path, speed=1.0, jitter=0.0,
+                               rng=random.Random(3))
+        track = agent.track(0.0)
+        assert track[0].position.distance_to(Point(0, 0)) < 0.1
+        assert track[-1].position.distance_to(Point(20, 0)) < 0.1
+
+    def test_mismatched_dwells_rejected(self):
+        with pytest.raises(ValueError):
+            WaypointPath([Point(0, 0)], [1.0, 2.0])
+
+    def test_invalid_speed(self):
+        path = WaypointPath([Point(0, 0)], [1.0])
+        with pytest.raises(ValueError):
+            GeometricAgent(path, speed=0.0)
+
+    def test_invalid_sample_interval(self):
+        path = WaypointPath([Point(0, 0)], [1.0])
+        agent = GeometricAgent(path)
+        with pytest.raises(ValueError):
+            agent.track(0.0, sample_interval=0.0)

@@ -1,0 +1,263 @@
+"""Tests for the simulated BLE positioning stack."""
+
+import math
+import random
+
+import pytest
+
+from repro.positioning.beacons import (
+    Beacon,
+    BeaconGrid,
+    RssiModel,
+    RssiReading,
+)
+from repro.positioning.detection import PositionFix, ZoneDetector
+from repro.positioning.kalman import ExtendedKalmanFilter2D
+from repro.positioning.particle import ParticleFilter2D
+from repro.positioning.trilateration import trilaterate
+from repro.indoor.cells import Cell, CellSpace
+from repro.spatial.geometry import BBox, Point, Polygon
+
+
+@pytest.fixture
+def grid():
+    return BeaconGrid(BBox(0, 0, 60, 60), floor=0, spacing=12.0)
+
+
+@pytest.fixture
+def model():
+    return RssiModel(rng=random.Random(42))
+
+
+class TestRssiModel:
+    def test_monotone_decay(self, model):
+        beacon = Beacon("b", Point(0, 0))
+        near = model.expected_rssi(beacon, Point(1, 0))
+        far = model.expected_rssi(beacon, Point(30, 0))
+        assert near > far
+
+    def test_reference_distance_power(self, model):
+        beacon = Beacon("b", Point(0, 0), tx_power=-59.0)
+        assert model.expected_rssi(beacon, Point(1, 0)) \
+            == pytest.approx(-59.0)
+
+    def test_distance_inversion(self, model):
+        beacon = Beacon("b", Point(0, 0))
+        for true_distance in (1.0, 5.0, 20.0):
+            rssi = model.expected_rssi(
+                beacon, Point(true_distance, 0))
+            assert model.distance_from_rssi(beacon, rssi) \
+                == pytest.approx(true_distance, rel=1e-6)
+
+    def test_sensitivity_floor(self):
+        model = RssiModel(sigma=0.0, sensitivity=-70.0,
+                          rng=random.Random(1))
+        beacon = Beacon("b", Point(0, 0))
+        assert model.observe(beacon, Point(1, 0), 0.0) is not None
+        assert model.observe(beacon, Point(500, 0), 0.0) is None
+
+    def test_scan_filters_floor(self, model, grid):
+        readings = model.scan(grid.beacons, Point(30, 30), floor=1,
+                              t=0.0)
+        assert readings == []
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            RssiModel(path_loss_exponent=0)
+
+
+class TestBeaconGrid:
+    def test_density(self, grid):
+        assert len(grid) == 25  # 5x5 over 60x60 at 12 m spacing
+
+    def test_nearest(self, grid):
+        nearest = grid.nearest(Point(6, 6), count=1)
+        assert len(nearest) == 1
+        assert nearest[0].position.distance_to(Point(6, 6)) < 12.0
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ValueError):
+            BeaconGrid(BBox(0, 0, 10, 10), 0, spacing=0)
+
+
+class TestTrilateration:
+    def test_noise_free_recovery(self, grid):
+        model = RssiModel(sigma=0.0, rng=random.Random(1))
+        registry = {b.beacon_id: b for b in grid.beacons}
+        truth = Point(25.0, 31.0)
+        readings = model.scan(grid.beacons, truth, 0, 0.0)
+        fix = trilaterate(readings, registry, model)
+        assert fix is not None
+        assert fix.position.distance_to(truth) < 0.5
+        assert fix.residual < 1.0
+
+    def test_noisy_recovery_within_metres(self, grid, model):
+        registry = {b.beacon_id: b for b in grid.beacons}
+        truth = Point(30.0, 30.0)
+        errors = []
+        for t in range(20):
+            readings = model.scan(grid.beacons, truth, 0, float(t))
+            fix = trilaterate(readings, registry, model)
+            if fix is not None:
+                errors.append(fix.position.distance_to(truth))
+        assert errors
+        assert sum(errors) / len(errors) < 8.0
+
+    def test_too_few_beacons(self, model):
+        beacon = Beacon("b", Point(0, 0))
+        readings = [RssiReading("b", -60.0, 0.0)]
+        assert trilaterate(readings, {"b": beacon}, model) is None
+
+
+class TestKalman:
+    def test_smoothing_reduces_error(self, grid):
+        model = RssiModel(sigma=5.0, rng=random.Random(3))
+        registry = {b.beacon_id: b for b in grid.beacons}
+        ekf = ExtendedKalmanFilter2D(initial_position=Point(5, 30))
+        raw_errors, ekf_errors = [], []
+        for step in range(60):
+            truth = Point(5.0 + step * 0.8, 30.0)
+            readings = model.scan(grid.beacons, truth, 0, float(step))
+            fix = trilaterate(readings, registry, model)
+            if fix is None:
+                continue
+            if step:
+                ekf.predict(1.0)
+            ekf.update_position(fix.position)
+            raw_errors.append(fix.position.distance_to(truth))
+            ekf_errors.append(ekf.position.distance_to(truth))
+        steady = slice(10, None)
+        assert sum(ekf_errors[steady.start:]) \
+            < sum(raw_errors[steady.start:])
+
+    def test_velocity_estimated(self):
+        ekf = ExtendedKalmanFilter2D(initial_position=Point(0, 0))
+        for step in range(1, 30):
+            ekf.predict(1.0)
+            ekf.update_position(Point(step * 1.0, 0.0))
+        vx, vy = ekf.velocity
+        assert vx == pytest.approx(1.0, abs=0.3)
+        assert abs(vy) < 0.3
+
+    def test_polar_update(self):
+        ekf = ExtendedKalmanFilter2D(initial_position=Point(0, 0))
+        for step in range(1, 10):
+            ekf.predict(1.0)
+            ekf.update_position(Point(step * 1.0, 0.0))
+        ekf.update_polar(speed=1.0, heading=0.0)
+        vx, _ = ekf.velocity
+        assert vx > 0.5
+
+    def test_invalid_dt(self):
+        ekf = ExtendedKalmanFilter2D()
+        with pytest.raises(ValueError):
+            ekf.predict(0.0)
+
+    def test_uncertainty_shrinks_with_updates(self):
+        ekf = ExtendedKalmanFilter2D(initial_position=Point(0, 0))
+        initial = ekf.position_uncertainty
+        for _ in range(10):
+            ekf.predict(1.0)
+            ekf.update_position(Point(0, 0))
+        assert ekf.position_uncertainty < initial
+
+
+class TestParticleFilter:
+    def test_converges_to_fixes(self):
+        pf = ParticleFilter2D(particle_count=300, seed=5)
+        pf.initialise(Point(0, 0))
+        for step in range(30):
+            pf.predict(1.0)
+            pf.update(Point(step * 0.5, 10.0))
+        assert pf.position.distance_to(Point(14.5, 10.0)) < 4.0
+
+    def test_first_update_initialises(self):
+        pf = ParticleFilter2D(seed=1)
+        pf.update(Point(50, 50))
+        assert pf.position.distance_to(Point(50, 50)) < 10.0
+
+    def test_walkable_constraint(self):
+        pf = ParticleFilter2D(particle_count=100, seed=2,
+                              walkable=lambda x, y: x >= 0)
+        pf.initialise(Point(1.0, 0.0), spread=0.1)
+        for _ in range(20):
+            pf.predict(1.0)
+        # Particles that tried to cross x<0 were held back.
+        assert pf.position.x >= -1.0
+
+    def test_ess_bounds(self):
+        pf = ParticleFilter2D(particle_count=100, seed=3)
+        pf.initialise(Point(0, 0))
+        assert 1.0 <= pf.effective_sample_size() <= 100.0
+
+    def test_too_few_particles(self):
+        with pytest.raises(ValueError):
+            ParticleFilter2D(particle_count=1)
+
+    def test_invalid_dt(self):
+        pf = ParticleFilter2D(seed=1)
+        with pytest.raises(ValueError):
+            pf.predict(-1.0)
+
+
+class TestZoneDetector:
+    @pytest.fixture
+    def space(self):
+        space = CellSpace("zones", validate_geometry=False)
+        space.add_cell(Cell("z1", geometry=Polygon.rectangle(0, 0, 10, 10),
+                            floor=0))
+        space.add_cell(Cell("z2",
+                            geometry=Polygon.rectangle(10, 0, 20, 10),
+                            floor=0))
+        return space
+
+    def test_same_zone_run_aggregated(self, space):
+        detector = ZoneDetector(space)
+        fixes = [PositionFix(t, Point(5, 5), 0) for t in range(5)]
+        records = detector.detect("mo", fixes)
+        assert len(records) == 1
+        assert records[0].state == "z1"
+        assert records[0].t_start == 0 and records[0].t_end == 4
+
+    def test_zone_change_splits(self, space):
+        detector = ZoneDetector(space)
+        fixes = [PositionFix(0, Point(5, 5), 0),
+                 PositionFix(1, Point(5.5, 5), 0),
+                 PositionFix(2, Point(15, 5), 0)]
+        records = detector.detect("mo", fixes)
+        assert [r.state for r in records] == ["z1", "z2"]
+
+    def test_outside_fix_breaks_run(self, space):
+        detector = ZoneDetector(space)
+        fixes = [PositionFix(0, Point(5, 5), 0),
+                 PositionFix(1, Point(50, 50), 0),
+                 PositionFix(2, Point(5, 5), 0)]
+        records = detector.detect("mo", fixes)
+        assert len(records) == 2
+        # The isolated single-fix runs have zero duration — exactly the
+        # error records the paper's cleaning filters out.
+        assert all(r.duration == 0 for r in records)
+
+    def test_long_silence_splits(self, space):
+        detector = ZoneDetector(space, max_fix_gap=60.0)
+        fixes = [PositionFix(0, Point(5, 5), 0),
+                 PositionFix(1000, Point(5, 5), 0)]
+        records = detector.detect("mo", fixes)
+        assert len(records) == 2
+
+    def test_bad_fix_filtered(self, space):
+        detector = ZoneDetector(space, max_error=5.0)
+        fixes = [PositionFix(0, Point(5, 5), 0, error=100.0)]
+        assert detector.detect("mo", fixes) == []
+
+    def test_unordered_fixes_rejected(self, space):
+        detector = ZoneDetector(space)
+        fixes = [PositionFix(5, Point(5, 5), 0),
+                 PositionFix(1, Point(5, 5), 0)]
+        with pytest.raises(ValueError):
+            detector.detect("mo", fixes)
+
+    def test_wrong_floor_not_detected(self, space):
+        detector = ZoneDetector(space)
+        fixes = [PositionFix(0, Point(5, 5), floor=3)]
+        assert detector.detect("mo", fixes) == []

@@ -1,0 +1,369 @@
+"""Unit and property tests for the geometry kernel."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spatial.geometry import (
+    BBox,
+    Point,
+    Polygon,
+    Segment,
+    Vector,
+    convex_hull,
+    intersection_area,
+    orientation,
+    polygon_clip_convex,
+    COLLINEAR,
+    CLOCKWISE,
+    COUNTERCLOCKWISE,
+)
+
+
+# ----------------------------------------------------------------------
+# Point / Vector
+# ----------------------------------------------------------------------
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.5, -2), Point(-3, 7)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_almost_equals_within_tolerance(self):
+        assert Point(1, 1).almost_equals(Point(1 + 1e-12, 1 - 1e-12))
+
+    def test_almost_equals_rejects_far_points(self):
+        assert not Point(1, 1).almost_equals(Point(1.1, 1))
+
+    def test_hashable(self):
+        assert len({Point(0, 0), Point(0, 0), Point(1, 0)}) == 2
+
+    def test_as_tuple(self):
+        assert Point(2.5, -1.0).as_tuple() == (2.5, -1.0)
+
+
+class TestVector:
+    def test_between(self):
+        assert Vector.between(Point(1, 1), Point(4, 5)) == Vector(3, 4)
+
+    def test_length(self):
+        assert Vector(3, 4).length() == 5.0
+
+    def test_dot_orthogonal(self):
+        assert Vector(1, 0).dot(Vector(0, 5)) == 0.0
+
+    def test_cross_sign(self):
+        assert Vector(1, 0).cross(Vector(0, 1)) > 0
+        assert Vector(0, 1).cross(Vector(1, 0)) < 0
+
+    def test_normalized(self):
+        unit = Vector(0, 10).normalized()
+        assert math.isclose(unit.length(), 1.0)
+
+    def test_normalized_zero_raises(self):
+        with pytest.raises(ValueError):
+            Vector(0, 0).normalized()
+
+    def test_scaled(self):
+        assert Vector(2, -3).scaled(2) == Vector(4, -6)
+
+
+# ----------------------------------------------------------------------
+# orientation / Segment
+# ----------------------------------------------------------------------
+class TestOrientation:
+    def test_counterclockwise(self):
+        assert orientation(Point(0, 0), Point(1, 0),
+                           Point(0, 1)) == COUNTERCLOCKWISE
+
+    def test_clockwise(self):
+        assert orientation(Point(0, 0), Point(0, 1),
+                           Point(1, 0)) == CLOCKWISE
+
+    def test_collinear(self):
+        assert orientation(Point(0, 0), Point(1, 1),
+                           Point(2, 2)) == COLLINEAR
+
+
+class TestSegment:
+    def test_length_and_midpoint(self):
+        seg = Segment(Point(0, 0), Point(10, 0))
+        assert seg.length() == 10.0
+        assert seg.midpoint() == Point(5, 0)
+
+    def test_contains_point_on_segment(self):
+        seg = Segment(Point(0, 0), Point(10, 10))
+        assert seg.contains_point(Point(5, 5))
+
+    def test_contains_point_collinear_but_outside(self):
+        seg = Segment(Point(0, 0), Point(10, 10))
+        assert not seg.contains_point(Point(11, 11))
+
+    def test_contains_point_off_line(self):
+        seg = Segment(Point(0, 0), Point(10, 10))
+        assert not seg.contains_point(Point(5, 6))
+
+    def test_properly_crosses(self):
+        a = Segment(Point(0, 0), Point(10, 10))
+        b = Segment(Point(0, 10), Point(10, 0))
+        assert a.properly_crosses(b)
+
+    def test_endpoint_touch_is_not_proper(self):
+        a = Segment(Point(0, 0), Point(5, 5))
+        b = Segment(Point(5, 5), Point(10, 0))
+        assert not a.properly_crosses(b)
+        assert a.intersects(b)
+
+    def test_parallel_disjoint(self):
+        a = Segment(Point(0, 0), Point(10, 0))
+        b = Segment(Point(0, 1), Point(10, 1))
+        assert not a.intersects(b)
+
+    def test_collinear_overlap(self):
+        a = Segment(Point(0, 0), Point(10, 0))
+        b = Segment(Point(5, 0), Point(15, 0))
+        assert a.overlaps_collinearly(b)
+        assert not a.properly_crosses(b)
+
+    def test_collinear_touching_endpoint_no_overlap(self):
+        a = Segment(Point(0, 0), Point(10, 0))
+        b = Segment(Point(10, 0), Point(20, 0))
+        assert not a.overlaps_collinearly(b)
+
+
+# ----------------------------------------------------------------------
+# BBox
+# ----------------------------------------------------------------------
+class TestBBox:
+    def test_dimensions(self):
+        box = BBox(0, 0, 4, 3)
+        assert box.width == 4 and box.height == 3
+        assert box.area() == 12
+        assert box.center() == Point(2, 1.5)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            BBox(5, 0, 0, 5)
+
+    def test_contains_point(self):
+        box = BBox(0, 0, 10, 10)
+        assert box.contains_point(Point(5, 5))
+        assert box.contains_point(Point(0, 0))  # boundary
+        assert not box.contains_point(Point(11, 5))
+
+    def test_intersects(self):
+        assert BBox(0, 0, 5, 5).intersects(BBox(4, 4, 10, 10))
+        assert BBox(0, 0, 5, 5).intersects(BBox(5, 0, 10, 5))  # touch
+        assert not BBox(0, 0, 5, 5).intersects(BBox(6, 6, 10, 10))
+
+    def test_expanded(self):
+        assert BBox(0, 0, 1, 1).expanded(1) == BBox(-1, -1, 2, 2)
+
+    def test_union_of(self):
+        union = BBox.union_of([BBox(0, 0, 1, 1), BBox(5, 5, 6, 7)])
+        assert union == BBox(0, 0, 6, 7)
+
+    def test_union_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            BBox.union_of([])
+
+    def test_to_polygon_roundtrip(self):
+        poly = BBox(1, 2, 5, 6).to_polygon()
+        assert poly.area() == 16
+        assert poly.bbox() == BBox(1, 2, 5, 6)
+
+
+# ----------------------------------------------------------------------
+# Polygon
+# ----------------------------------------------------------------------
+class TestPolygon:
+    def test_needs_three_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon([Point(0, 0), Point(1, 1)])
+
+    def test_zero_area_raises(self):
+        with pytest.raises(ValueError):
+            Polygon([Point(0, 0), Point(1, 1), Point(2, 2)])
+
+    def test_winding_normalised(self):
+        clockwise = Polygon([Point(0, 0), Point(0, 1), Point(1, 1),
+                             Point(1, 0)])
+        counter = Polygon([Point(0, 0), Point(1, 0), Point(1, 1),
+                           Point(0, 1)])
+        assert clockwise.equals(counter)
+
+    def test_duplicate_vertices_dropped(self):
+        poly = Polygon([Point(0, 0), Point(0, 0), Point(1, 0),
+                        Point(1, 1), Point(0, 0)])
+        assert len(poly) == 3
+
+    def test_area_and_perimeter(self):
+        square = Polygon.rectangle(0, 0, 2, 2)
+        assert square.area() == 4
+        assert square.perimeter() == 8
+
+    def test_centroid_of_square(self):
+        assert Polygon.rectangle(0, 0, 2, 2).centroid() == Point(1, 1)
+
+    def test_is_convex(self):
+        assert Polygon.rectangle(0, 0, 1, 1).is_convex()
+        l_shape = Polygon([Point(0, 0), Point(2, 0), Point(2, 1),
+                           Point(1, 1), Point(1, 2), Point(0, 2)])
+        assert not l_shape.is_convex()
+
+    def test_contains_point(self):
+        square = Polygon.rectangle(0, 0, 10, 10)
+        assert square.contains_point(Point(5, 5))
+        assert square.contains_point(Point(0, 5))  # boundary
+        assert not square.contains_point(Point(-1, 5))
+
+    def test_interior_contains_excludes_boundary(self):
+        square = Polygon.rectangle(0, 0, 10, 10)
+        assert square.interior_contains_point(Point(5, 5))
+        assert not square.interior_contains_point(Point(0, 5))
+
+    def test_nonconvex_containment(self):
+        l_shape = Polygon([Point(0, 0), Point(4, 0), Point(4, 1),
+                           Point(1, 1), Point(1, 4), Point(0, 4)])
+        assert l_shape.contains_point(Point(0.5, 3))
+        assert not l_shape.contains_point(Point(2, 2))
+
+    def test_representative_point_inside(self):
+        l_shape = Polygon([Point(0, 0), Point(4, 0), Point(4, 1),
+                           Point(1, 1), Point(1, 4), Point(0, 4)])
+        rep = l_shape.representative_point()
+        assert l_shape.interior_contains_point(rep)
+
+    def test_contains_polygon(self):
+        outer = Polygon.rectangle(0, 0, 10, 10)
+        inner = Polygon.rectangle(2, 2, 4, 4)
+        assert outer.contains_polygon(inner)
+        assert not inner.contains_polygon(outer)
+
+    def test_contains_polygon_nonconvex_edge_exit(self):
+        # Vertices inside but an edge leaves the L-shape's notch.
+        l_shape = Polygon([Point(0, 0), Point(4, 0), Point(4, 1),
+                           Point(1, 1), Point(1, 4), Point(0, 4)])
+        crossing = Polygon([Point(0.5, 0.5), Point(3.5, 0.5),
+                            Point(3.5, 0.8), Point(0.5, 3.5)])
+        assert not l_shape.contains_polygon(crossing)
+
+    def test_translated(self):
+        square = Polygon.rectangle(0, 0, 1, 1).translated(5, 5)
+        assert square.bbox() == BBox(5, 5, 6, 6)
+
+    def test_scaled_about_centroid(self):
+        square = Polygon.rectangle(0, 0, 2, 2).scaled_about_centroid(0.5)
+        assert math.isclose(square.area(), 1.0)
+        assert square.centroid() == Point(1, 1)
+
+    def test_scale_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            Polygon.rectangle(0, 0, 1, 1).scaled_about_centroid(0)
+
+    def test_equality_rotation_invariant(self):
+        a = Polygon([Point(0, 0), Point(1, 0), Point(1, 1)])
+        b = Polygon([Point(1, 0), Point(1, 1), Point(0, 0)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+# ----------------------------------------------------------------------
+# convex hull / clipping
+# ----------------------------------------------------------------------
+class TestConvexHull:
+    def test_square_with_interior_point(self):
+        hull = convex_hull([Point(0, 0), Point(4, 0), Point(4, 4),
+                            Point(0, 4), Point(2, 2)])
+        assert len(hull) == 4
+
+    def test_collinear_raises(self):
+        with pytest.raises(ValueError):
+            convex_hull([Point(0, 0), Point(1, 1), Point(2, 2)])
+
+    def test_too_few_raises(self):
+        with pytest.raises(ValueError):
+            convex_hull([Point(0, 0), Point(1, 0)])
+
+
+class TestClipping:
+    def test_full_overlap(self):
+        subject = Polygon.rectangle(0, 0, 2, 2)
+        clip = Polygon.rectangle(-1, -1, 3, 3)
+        clipped = polygon_clip_convex(subject, clip)
+        assert clipped is not None
+        assert math.isclose(clipped.area(), 4.0)
+
+    def test_partial_overlap(self):
+        subject = Polygon.rectangle(0, 0, 4, 4)
+        clip = Polygon.rectangle(2, 2, 6, 6)
+        assert math.isclose(intersection_area(subject, clip), 4.0)
+
+    def test_disjoint_returns_none(self):
+        subject = Polygon.rectangle(0, 0, 1, 1)
+        clip = Polygon.rectangle(5, 5, 6, 6)
+        assert polygon_clip_convex(subject, clip) is None
+
+    def test_touching_edge_is_degenerate(self):
+        subject = Polygon.rectangle(0, 0, 1, 1)
+        clip = Polygon.rectangle(1, 0, 2, 1)
+        assert polygon_clip_convex(subject, clip) is None
+
+    def test_nonconvex_clip_raises(self):
+        l_shape = Polygon([Point(0, 0), Point(4, 0), Point(4, 1),
+                           Point(1, 1), Point(1, 4), Point(0, 4)])
+        with pytest.raises(ValueError):
+            polygon_clip_convex(Polygon.rectangle(0, 0, 1, 1), l_shape)
+
+
+# ----------------------------------------------------------------------
+# property-based tests
+# ----------------------------------------------------------------------
+rect_strategy = st.builds(
+    lambda x, y, w, h: Polygon.rectangle(x, y, x + w, y + h),
+    st.floats(-100, 100), st.floats(-100, 100),
+    st.floats(1, 50), st.floats(1, 50))
+
+
+@given(rect_strategy)
+def test_property_area_positive(poly):
+    assert poly.area() > 0
+
+
+@given(rect_strategy)
+def test_property_centroid_inside_convex(poly):
+    assert poly.contains_point(poly.centroid())
+
+
+@given(rect_strategy, st.floats(-50, 50), st.floats(-50, 50))
+def test_property_translation_preserves_area(poly, dx, dy):
+    assert math.isclose(poly.area(), poly.translated(dx, dy).area(),
+                        rel_tol=1e-9)
+
+
+@given(rect_strategy, rect_strategy)
+def test_property_intersection_area_bounded(a, b):
+    area = intersection_area(a, b)
+    assert -1e-9 <= area <= min(a.area(), b.area()) + 1e-6
+
+
+coord = st.integers(-1000, 1000).map(lambda v: v / 10.0)
+
+
+@given(st.lists(st.tuples(coord, coord), min_size=3, max_size=30,
+                unique=True))
+def test_property_hull_contains_all_points(coords):
+    points = [Point(x, y) for x, y in coords]
+    try:
+        hull = convex_hull(points)
+    except ValueError:
+        return  # collinear inputs are rejected by contract
+    hull_poly = Polygon(hull)
+    for point in points:
+        assert hull_poly.contains_point(point, tol=1e-6)

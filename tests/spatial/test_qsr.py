@@ -1,0 +1,169 @@
+"""Tests for the RCC-8 relation algebra and constraint networks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spatial.geometry import BBox
+from repro.spatial.qsr import (
+    InconsistentNetworkError,
+    RelationAlgebra,
+    RelationNetwork,
+    UNIVERSAL,
+    rcc8_algebra,
+)
+from repro.spatial.topology import TopologicalRelation as R, relate_boxes
+
+ALGEBRA = rcc8_algebra()
+
+
+# ----------------------------------------------------------------------
+# algebra axioms
+# ----------------------------------------------------------------------
+class TestAlgebra:
+    def test_singleton(self):
+        assert rcc8_algebra() is rcc8_algebra()
+
+    def test_composition_table_complete(self):
+        for r1 in R:
+            for r2 in R:
+                cell = ALGEBRA.compose(r1, r2)
+                assert cell, "empty cell for {}∘{}".format(r1, r2)
+
+    def test_identity_left(self):
+        for r in R:
+            assert ALGEBRA.compose(R.EQUAL, r) == frozenset([r])
+
+    def test_identity_right(self):
+        for r in R:
+            assert ALGEBRA.compose(r, R.EQUAL) == frozenset([r])
+
+    def test_converse_of_composition(self):
+        """conv(r1 ∘ r2) == conv(r2) ∘ conv(r1) — table sanity."""
+        for r1 in R:
+            for r2 in R:
+                left = ALGEBRA.converse_set(ALGEBRA.compose(r1, r2))
+                right = ALGEBRA.compose(r2.converse(), r1.converse())
+                assert left == right, (r1, r2)
+
+    def test_containment_transitive(self):
+        assert ALGEBRA.compose(R.INSIDE, R.INSIDE) == frozenset([R.INSIDE])
+        assert ALGEBRA.compose(R.CONTAINS, R.CONTAINS) \
+            == frozenset([R.CONTAINS])
+
+    def test_covered_chain_composes_to_proper_parts(self):
+        cell = ALGEBRA.compose(R.COVERED_BY, R.COVERED_BY)
+        assert cell == frozenset([R.COVERED_BY, R.INSIDE])
+
+    def test_disjoint_of_part(self):
+        # a inside b, b disjoint c → a disjoint c.
+        assert ALGEBRA.compose(R.INSIDE, R.DISJOINT) \
+            == frozenset([R.DISJOINT])
+
+    def test_compose_sets_union(self):
+        combined = ALGEBRA.compose_sets([R.INSIDE, R.EQUAL], [R.DISJOINT])
+        assert combined == frozenset([R.DISJOINT])
+
+    def test_is_consistent_triple(self):
+        assert ALGEBRA.is_consistent_triple(R.INSIDE, R.INSIDE, R.INSIDE)
+        assert not ALGEBRA.is_consistent_triple(R.INSIDE, R.INSIDE,
+                                                R.CONTAINS)
+
+
+# ----------------------------------------------------------------------
+# constraint network
+# ----------------------------------------------------------------------
+class TestRelationNetwork:
+    def test_unknown_pair_is_universal(self):
+        network = RelationNetwork()
+        network.add_node("a")
+        network.add_node("b")
+        assert network.get("a", "b") == UNIVERSAL
+
+    def test_self_relation_equal(self):
+        network = RelationNetwork()
+        network.add_node("a")
+        assert network.get("a", "a") == frozenset([R.EQUAL])
+
+    def test_constrain_maintains_converse(self):
+        network = RelationNetwork()
+        network.constrain("a", "b", [R.INSIDE])
+        assert network.get("b", "a") == frozenset([R.CONTAINS])
+
+    def test_repeated_constraints_intersect(self):
+        network = RelationNetwork()
+        network.constrain("a", "b", [R.INSIDE, R.COVERED_BY])
+        network.constrain("a", "b", [R.INSIDE, R.OVERLAP])
+        assert network.get("a", "b") == frozenset([R.INSIDE])
+
+    def test_contradiction_raises(self):
+        network = RelationNetwork()
+        network.constrain("a", "b", [R.INSIDE])
+        with pytest.raises(InconsistentNetworkError):
+            network.constrain("a", "b", [R.DISJOINT])
+
+    def test_empty_constraint_raises(self):
+        network = RelationNetwork()
+        with pytest.raises(InconsistentNetworkError):
+            network.constrain("a", "b", [])
+
+    def test_transitive_containment_inferred(self):
+        network = RelationNetwork()
+        network.constrain("roi", "room", [R.INSIDE])
+        network.constrain("room", "floor", [R.INSIDE])
+        assert network.propagate()
+        assert network.definite("roi", "floor") is R.INSIDE
+
+    def test_part_of_disjoint_regions(self):
+        network = RelationNetwork()
+        network.constrain("a", "b", [R.INSIDE])
+        network.constrain("b", "c", [R.DISJOINT])
+        assert network.propagate()
+        assert network.definite("a", "c") is R.DISJOINT
+
+    def test_inconsistent_network_detected(self):
+        network = RelationNetwork()
+        network.constrain("a", "b", [R.INSIDE])
+        network.constrain("b", "c", [R.INSIDE])
+        network.constrain("a", "c", [R.DISJOINT])
+        assert not network.propagate()
+
+    def test_definite_none_when_ambiguous(self):
+        network = RelationNetwork()
+        network.constrain("a", "b", [R.INSIDE, R.OVERLAP])
+        assert network.definite("a", "b") is None
+
+    def test_is_definite(self):
+        network = RelationNetwork()
+        network.constrain("a", "b", [R.INSIDE])
+        assert network.is_definite()
+        network.constrain("a", "c", [R.INSIDE, R.OVERLAP])
+        assert not network.is_definite()
+
+    def test_nodes_order(self):
+        network = RelationNetwork()
+        network.constrain("x", "y", [R.MEET])
+        network.add_node("z")
+        assert network.nodes == ("x", "y", "z")
+
+
+# ----------------------------------------------------------------------
+# the composition table is sound w.r.t. actual geometry
+# ----------------------------------------------------------------------
+box_strategy = st.builds(
+    lambda x, y, w, h: BBox(x, y, x + w, y + h),
+    st.integers(-10, 10), st.integers(-10, 10),
+    st.integers(1, 10), st.integers(1, 10))
+
+
+@settings(max_examples=300)
+@given(box_strategy, box_strategy, box_strategy)
+def test_property_composition_table_sound(a, b, c):
+    """For real regions, relate(a,c) ∈ compose(relate(a,b), relate(b,c)).
+
+    This validates the hand-encoded RCC-8 table against geometry: any
+    unsound cell would eventually produce a counterexample.
+    """
+    r_ab = relate_boxes(a, b)
+    r_bc = relate_boxes(b, c)
+    r_ac = relate_boxes(a, c)
+    assert r_ac in ALGEBRA.compose(r_ab, r_bc), (r_ab, r_bc, r_ac)

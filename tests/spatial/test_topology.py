@@ -1,0 +1,173 @@
+"""Unit and property tests for the eight topological relations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spatial.geometry import BBox, Point, Polygon
+from repro.spatial.topology import (
+    HIERARCHY_RELATIONS,
+    JOINT_EDGE_RELATIONS,
+    TopologicalRelation as R,
+    relate,
+    relate_boxes,
+)
+
+
+# ----------------------------------------------------------------------
+# relation algebraic structure
+# ----------------------------------------------------------------------
+class TestRelationEnum:
+    def test_eight_relations(self):
+        assert len(list(R)) == 8
+
+    def test_converse_involution(self):
+        for relation in R:
+            assert relation.converse().converse() is relation
+
+    def test_symmetric_relations(self):
+        symmetric = {r for r in R if r.is_symmetric}
+        assert symmetric == {R.DISJOINT, R.MEET, R.OVERLAP, R.EQUAL}
+
+    def test_containment_converses(self):
+        assert R.CONTAINS.converse() is R.INSIDE
+        assert R.COVERS.converse() is R.COVERED_BY
+
+    def test_joint_edge_relations_exclude_disjoint_meet(self):
+        assert R.DISJOINT not in JOINT_EDGE_RELATIONS
+        assert R.MEET not in JOINT_EDGE_RELATIONS
+        assert len(JOINT_EDGE_RELATIONS) == 6
+
+    def test_hierarchy_relations(self):
+        assert HIERARCHY_RELATIONS == {R.CONTAINS, R.COVERS}
+
+    def test_interior_intersection_semantics(self):
+        assert not R.DISJOINT.implies_interior_intersection
+        assert not R.MEET.implies_interior_intersection
+        assert R.MEET.implies_intersection
+        assert all(r.implies_interior_intersection
+                   for r in JOINT_EDGE_RELATIONS)
+
+    def test_rcc8_names(self):
+        assert R.DISJOINT.rcc8_name == "DC"
+        assert R.MEET.rcc8_name == "EC"
+        assert R.CONTAINS.rcc8_name == "NTPPi"
+        assert R.COVERED_BY.rcc8_name == "TPP"
+
+
+# ----------------------------------------------------------------------
+# relate() on canonical configurations
+# ----------------------------------------------------------------------
+BIG = Polygon.rectangle(0, 0, 10, 10)
+
+
+class TestRelate:
+    def test_disjoint(self):
+        assert relate(BIG, Polygon.rectangle(20, 20, 30, 30)) is R.DISJOINT
+
+    def test_meet_shared_edge(self):
+        assert relate(BIG, Polygon.rectangle(10, 0, 20, 10)) is R.MEET
+
+    def test_meet_shared_corner(self):
+        assert relate(BIG, Polygon.rectangle(10, 10, 20, 20)) is R.MEET
+
+    def test_overlap_proper_crossing(self):
+        assert relate(BIG, Polygon.rectangle(5, 5, 15, 15)) is R.OVERLAP
+
+    def test_overlap_shared_strip_no_crossing(self):
+        # Boundaries only touch collinearly, yet interiors overlap.
+        a = Polygon.rectangle(0, 0, 2, 1)
+        b = Polygon.rectangle(1, 0, 3, 1)
+        assert relate(a, b) is R.OVERLAP
+
+    def test_contains_strict(self):
+        assert relate(BIG, Polygon.rectangle(2, 2, 4, 4)) is R.CONTAINS
+
+    def test_inside_strict(self):
+        assert relate(Polygon.rectangle(2, 2, 4, 4), BIG) is R.INSIDE
+
+    def test_covers_boundary_touch(self):
+        assert relate(BIG, Polygon.rectangle(0, 0, 5, 10)) is R.COVERS
+
+    def test_covered_by(self):
+        assert relate(Polygon.rectangle(0, 0, 5, 10), BIG) is R.COVERED_BY
+
+    def test_equal(self):
+        assert relate(BIG, Polygon.rectangle(0, 0, 10, 10)) is R.EQUAL
+
+    def test_equal_different_vertex_sets(self):
+        redundant = Polygon([Point(0, 0), Point(5, 0), Point(10, 0),
+                             Point(10, 10), Point(0, 10)])
+        assert relate(BIG, redundant) is R.EQUAL
+
+    def test_nonconvex_overlap(self):
+        l_shape = Polygon([Point(0, 0), Point(4, 0), Point(4, 1),
+                           Point(1, 1), Point(1, 4), Point(0, 4)])
+        square = Polygon.rectangle(0.5, 0.5, 2, 2)
+        assert relate(l_shape, square) is R.OVERLAP
+
+    def test_nonconvex_contains(self):
+        l_shape = Polygon([Point(0, 0), Point(4, 0), Point(4, 1),
+                           Point(1, 1), Point(1, 4), Point(0, 4)])
+        small = Polygon.rectangle(0.2, 0.2, 0.8, 0.8)
+        assert relate(l_shape, small) is R.CONTAINS
+
+
+# ----------------------------------------------------------------------
+# relate_boxes fast path
+# ----------------------------------------------------------------------
+class TestRelateBoxes:
+    CASES = [
+        (BBox(0, 0, 10, 10), BBox(20, 0, 30, 10), R.DISJOINT),
+        (BBox(0, 0, 10, 10), BBox(10, 0, 20, 10), R.MEET),
+        (BBox(0, 0, 10, 10), BBox(5, 5, 15, 15), R.OVERLAP),
+        (BBox(0, 0, 10, 10), BBox(2, 2, 4, 4), R.CONTAINS),
+        (BBox(2, 2, 4, 4), BBox(0, 0, 10, 10), R.INSIDE),
+        (BBox(0, 0, 10, 10), BBox(0, 0, 5, 10), R.COVERS),
+        (BBox(0, 0, 5, 10), BBox(0, 0, 10, 10), R.COVERED_BY),
+        (BBox(0, 0, 10, 10), BBox(0, 0, 10, 10), R.EQUAL),
+    ]
+
+    @pytest.mark.parametrize("a,b,expected", CASES)
+    def test_case(self, a, b, expected):
+        assert relate_boxes(a, b) is expected
+
+    @pytest.mark.parametrize("a,b,expected", CASES)
+    def test_agrees_with_polygon_relate(self, a, b, expected):
+        assert relate(a.to_polygon(), b.to_polygon()) is expected
+
+
+# ----------------------------------------------------------------------
+# property-based tests
+# ----------------------------------------------------------------------
+box_strategy = st.builds(
+    lambda x, y, w, h: BBox(x, y, x + w, y + h),
+    st.integers(-20, 20), st.integers(-20, 20),
+    st.integers(1, 15), st.integers(1, 15))
+
+
+@given(box_strategy, box_strategy)
+def test_property_converse_symmetry(a, b):
+    """relate(a, b) is always the converse of relate(b, a)."""
+    assert relate_boxes(a, b) is relate_boxes(b, a).converse()
+
+
+@given(box_strategy, box_strategy)
+def test_property_polygon_box_agreement(a, b):
+    """The polygon and box code paths must agree."""
+    assert relate(a.to_polygon(), b.to_polygon()) is relate_boxes(a, b)
+
+
+@given(box_strategy)
+def test_property_self_relation_is_equal(a):
+    assert relate_boxes(a, a) is R.EQUAL
+    assert relate(a.to_polygon(), a.to_polygon()) is R.EQUAL
+
+
+@given(box_strategy, box_strategy)
+def test_property_disjoint_iff_no_bbox_intersection(a, b):
+    relation = relate_boxes(a, b)
+    if relation is R.DISJOINT:
+        assert not a.to_polygon().contains_point(b.center()) \
+            or not b.to_polygon().contains_point(a.center())
+    if relation.implies_intersection:
+        assert a.intersects(b)

@@ -1,0 +1,87 @@
+"""Tests for the centered interval tree."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage.intervals import Interval, IntervalIndex
+
+
+class TestInterval:
+    def test_reversed_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(10, 5, None)
+
+    def test_contains_closed(self):
+        interval = Interval(1, 5, "x")
+        assert interval.contains(1) and interval.contains(5)
+        assert not interval.contains(5.01)
+
+    def test_overlaps_closed(self):
+        interval = Interval(1, 5, "x")
+        assert interval.overlaps(5, 10)
+        assert interval.overlaps(0, 1)
+        assert not interval.overlaps(6, 10)
+
+
+class TestIndex:
+    @pytest.fixture
+    def index(self):
+        return IntervalIndex([
+            Interval(0, 10, "a"),
+            Interval(5, 15, "b"),
+            Interval(20, 30, "c"),
+            Interval(25, 26, "d"),
+        ])
+
+    def test_len(self, index):
+        assert len(index) == 4
+
+    def test_stab(self, index):
+        assert {iv.payload for iv in index.stab(7)} == {"a", "b"}
+        assert {iv.payload for iv in index.stab(25.5)} == {"c", "d"}
+        assert index.stab(17) == []
+
+    def test_stab_boundary(self, index):
+        assert {iv.payload for iv in index.stab(10)} == {"a", "b"}
+
+    def test_overlapping(self, index):
+        assert {iv.payload for iv in index.overlapping(8, 22)} \
+            == {"a", "b", "c"}
+        assert index.overlapping(16, 19) == []
+
+    def test_overlapping_invalid(self, index):
+        with pytest.raises(ValueError):
+            index.overlapping(10, 5)
+
+    def test_empty_index(self):
+        index = IntervalIndex([])
+        assert index.stab(5) == []
+        assert index.overlapping(0, 100) == []
+
+    def test_all_intervals(self, index):
+        assert len(index.all_intervals()) == 4
+
+
+intervals_strategy = st.lists(
+    st.tuples(st.integers(0, 1000), st.integers(0, 500)),
+    min_size=0, max_size=60)
+
+
+@given(intervals_strategy, st.integers(-10, 1600))
+def test_property_stab_matches_bruteforce(raw, t):
+    intervals = [Interval(s, s + length, i)
+                 for i, (s, length) in enumerate(raw)]
+    index = IntervalIndex(intervals)
+    expected = {iv.payload for iv in intervals if iv.contains(t)}
+    assert {iv.payload for iv in index.stab(t)} == expected
+
+
+@given(intervals_strategy, st.integers(-10, 1600), st.integers(0, 300))
+def test_property_overlap_matches_bruteforce(raw, start, length):
+    intervals = [Interval(s, s + ln, i)
+                 for i, (s, ln) in enumerate(raw)]
+    index = IntervalIndex(intervals)
+    end = start + length
+    expected = {iv.payload for iv in intervals if iv.overlaps(start, end)}
+    assert {iv.payload
+            for iv in index.overlapping(start, end)} == expected

@@ -1,0 +1,88 @@
+"""Property tests: index-backed queries must equal brute-force scans."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.annotations import AnnotationKind, AnnotationSet
+from repro.storage.query import Query
+from repro.storage.store import TrajectoryStore
+from tests.conftest import make_trajectory
+
+STATES = ["a", "b", "c", "d", "e"]
+GOALS = ["visit", "buy", "study"]
+
+
+@st.composite
+def corpora(draw):
+    count = draw(st.integers(1, 12))
+    trajectories = []
+    for index in range(count):
+        states = draw(st.lists(st.sampled_from(STATES), min_size=1,
+                               max_size=5))
+        # Consecutive duplicate states are fine (event-style splits
+        # need transitions=None, which make_trajectory only emits for
+        # distinct states), so de-duplicate consecutively.
+        deduped = [states[0]]
+        for state in states[1:]:
+            if state != deduped[-1]:
+                deduped.append(state)
+        goal = draw(st.sampled_from(GOALS))
+        start = draw(st.integers(0, 10_000))
+        trajectories.append(make_trajectory(
+            mo_id="mo{}".format(index % 4),
+            states=tuple(deduped),
+            start=float(start),
+            dwell=float(draw(st.integers(1, 100))),
+            annotations=AnnotationSet.goals(goal)))
+    return trajectories
+
+
+@settings(max_examples=60, deadline=None)
+@given(corpora(), st.sampled_from(STATES))
+def test_property_state_query_matches_scan(corpus, state):
+    store = TrajectoryStore()
+    store.insert_many(corpus)
+    hits = {h.doc_id
+            for h in Query(store).visiting_state(state).execute()}
+    expected = {i for i, t in enumerate(corpus)
+                if t.trace.visits_state(state)}
+    assert hits == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(corpora(), st.sampled_from(GOALS))
+def test_property_annotation_query_matches_scan(corpus, goal):
+    store = TrajectoryStore()
+    store.insert_many(corpus)
+    hits = {h.doc_id for h in Query(store)
+            .with_annotation(AnnotationKind.GOAL, goal).execute()}
+    expected = {i for i, t in enumerate(corpus)
+                if t.annotations.has(AnnotationKind.GOAL, goal)}
+    assert hits == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(corpora(), st.integers(0, 12_000), st.integers(0, 2_000))
+def test_property_time_query_matches_scan(corpus, start, length):
+    store = TrajectoryStore()
+    store.insert_many(corpus)
+    end = start + length
+    hits = store.ids_active_between(float(start), float(end))
+    expected = {
+        i for i, t in enumerate(corpus)
+        if any(e.overlaps_time(start, end) for e in t.trace)}
+    assert hits == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(corpora(), st.sampled_from(STATES), st.sampled_from(GOALS))
+def test_property_conjunction_is_intersection(corpus, state, goal):
+    store = TrajectoryStore()
+    store.insert_many(corpus)
+    both = {h.doc_id for h in
+            Query(store).visiting_state(state)
+            .with_annotation(AnnotationKind.GOAL, goal).execute()}
+    left = {h.doc_id
+            for h in Query(store).visiting_state(state).execute()}
+    right = {h.doc_id for h in Query(store)
+             .with_annotation(AnnotationKind.GOAL, goal).execute()}
+    assert both == left & right

@@ -1,0 +1,173 @@
+"""Tests for the trajectory store, indexes and query API."""
+
+import pytest
+
+from repro.core.annotations import AnnotationKind, AnnotationSet
+from repro.storage.index import InvertedIndex
+from repro.storage.query import Query
+from repro.storage.store import TrajectoryStore
+from tests.conftest import make_trajectory
+
+
+class TestInvertedIndex:
+    def test_lookup(self):
+        index = InvertedIndex()
+        index.add("a", 1)
+        index.add("a", 2)
+        index.add("b", 2)
+        assert index.lookup("a") == {1, 2}
+        assert index.lookup("missing") == frozenset()
+
+    def test_lookup_any_all(self):
+        index = InvertedIndex()
+        index.add_all(["x", "y"], 1)
+        index.add("y", 2)
+        assert index.lookup_any(["x", "y"]) == {1, 2}
+        assert index.lookup_all(["x", "y"]) == {1}
+        assert index.lookup_all([]) == frozenset()
+
+    def test_posting_sizes(self):
+        index = InvertedIndex()
+        index.add("a", 1)
+        index.add("a", 2)
+        assert index.posting_sizes() == {"a": 2}
+        assert "a" in index
+        assert len(index) == 1
+
+
+@pytest.fixture
+def store():
+    store = TrajectoryStore()
+    store.insert(make_trajectory(
+        mo_id="m1", states=("a", "b"), start=0.0))
+    store.insert(make_trajectory(
+        mo_id="m2", states=("b", "c"), start=1000.0,
+        annotations=AnnotationSet.goals("buy")))
+    store.insert(make_trajectory(
+        mo_id="m1", states=("a", "c"), start=5000.0))
+    return store
+
+
+class TestStore:
+    def test_len_iter(self, store):
+        assert len(store) == 3
+        assert len(list(store)) == 3
+
+    def test_get(self, store):
+        assert store.get(0).mo_id == "m1"
+        with pytest.raises(IndexError):
+            store.get(99)
+
+    def test_state_index(self, store):
+        assert store.ids_visiting_state("b") == {0, 1}
+        assert store.ids_visiting_any(["a", "c"]) == {0, 1, 2}
+        assert store.ids_visiting_all(["a", "c"]) == {2}
+
+    def test_annotation_index(self, store):
+        assert store.ids_with_annotation(AnnotationKind.GOAL,
+                                         "buy") == {1}
+        assert store.ids_with_annotation(AnnotationKind.GOAL,
+                                         "visit") == {0, 2}
+
+    def test_mo_index(self, store):
+        assert store.ids_of_mo("m1") == {0, 2}
+        assert set(store.moving_objects()) == {"m1", "m2"}
+
+    def test_temporal_index(self, store):
+        assert store.ids_active_between(0.0, 500.0) == {0}
+        assert store.ids_active_between(0.0, 10_000.0) == {0, 1, 2}
+        assert store.ids_active_between(2000.0, 2500.0) == frozenset()
+
+    def test_states_occupied_at(self, store):
+        occupied = store.states_occupied_at(50.0)
+        assert occupied == {0: "a"}
+
+    def test_interval_index_invalidation(self, store):
+        assert store.ids_active_between(0, 100) == {0}
+        store.insert(make_trajectory(mo_id="m3", states=("z",),
+                                     start=50.0))
+        assert store.ids_active_between(0, 100) == {0, 3}
+
+    def test_state_cardinalities(self, store):
+        cardinalities = store.state_cardinalities()
+        assert cardinalities["b"] == 2
+
+
+class TestQuery:
+    def test_no_predicates_returns_all(self, store):
+        assert len(Query(store).execute()) == 3
+
+    def test_state_filter(self, store):
+        hits = Query(store).visiting_state("a").execute()
+        assert [h.doc_id for h in hits] == [0, 2]
+
+    def test_conjunction(self, store):
+        hits = (Query(store).visiting_state("a")
+                .of_moving_object("m1")
+                .active_between(4000.0, 6000.0)
+                .execute())
+        assert [h.doc_id for h in hits] == [2]
+
+    def test_annotation_filter(self, store):
+        hits = Query(store).with_annotation(AnnotationKind.GOAL,
+                                            "buy").execute()
+        assert [h.doc_id for h in hits] == [1]
+
+    def test_residual_predicates(self, store):
+        hits = Query(store).min_entries(2).min_duration(1.0).execute()
+        assert len(hits) == 3
+        assert Query(store).min_duration(1e9).count() == 0
+
+    def test_follows_sequence(self, store):
+        hits = Query(store).follows_sequence(["a", "b"]).execute()
+        assert [h.doc_id for h in hits] == [0]
+        assert Query(store).follows_sequence(["b", "a"]).count() == 0
+
+    def test_where_custom(self, store):
+        hits = Query(store).where(
+            lambda t: t.mo_id.endswith("2")).execute()
+        assert [h.doc_id for h in hits] == [1]
+
+    def test_empty_intersection_short_circuits(self, store):
+        hits = (Query(store).visiting_state("a")
+                .visiting_state("ghost").execute())
+        assert hits == []
+
+
+class TestCsvIo:
+    def test_detection_roundtrip(self, tmp_path):
+        from repro.core.builder import DetectionRecord
+        from repro.storage.csvio import (
+            read_detrecords_csv,
+            write_detections_csv,
+        )
+        records = [
+            DetectionRecord("m1", "zone1", 0.5, 10.25, "v1"),
+            DetectionRecord("m2", "zone2", 5.0, 5.0),
+        ]
+        path = str(tmp_path / "detections.csv")
+        assert write_detections_csv(records, path) == 2
+        restored = read_detrecords_csv(path)
+        assert restored == records
+
+    def test_detection_bad_header(self, tmp_path):
+        from repro.storage.csvio import read_detrecords_csv
+        path = tmp_path / "bad.csv"
+        path.write_text("wrong,header\n")
+        with pytest.raises(ValueError):
+            read_detrecords_csv(str(path))
+
+    def test_trajectory_roundtrip(self, tmp_path):
+        from repro.storage.csvio import (
+            read_trajectories_jsonl,
+            write_trajectories_jsonl,
+        )
+        trajectories = [
+            make_trajectory(mo_id="m1"),
+            make_trajectory(mo_id="m2",
+                            annotations=AnnotationSet.goals("buy")),
+        ]
+        path = str(tmp_path / "trajectories.jsonl")
+        assert write_trajectories_jsonl(trajectories, path) == 2
+        restored = read_trajectories_jsonl(path)
+        assert restored == trajectories

@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.scale == 1.0
+        assert args.out == "detections.csv"
+
+
+class TestCommands:
+    def test_zones(self, capsys):
+        assert main(["zones"]) == 0
+        out = capsys.readouterr().out
+        assert "zone60853" in out
+        assert out.count("zone608") >= 52
+
+    def test_generate_and_validate(self, tmp_path, capsys):
+        out_path = str(tmp_path / "detections.csv")
+        assert main(["generate", "--scale", "0.01",
+                     "--out", out_path]) == 0
+        generated = capsys.readouterr().out
+        assert "wrote" in generated
+
+        assert main(["validate", out_path]) == 0
+        validated = capsys.readouterr().out
+        assert "0 errors" in validated
+
+    def test_stats_small_scale(self, capsys):
+        assert main(["stats", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "statistic" in out
+
+    def test_experiments_small_scale(self, capsys):
+        assert main(["experiments", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("T1", "F1", "F6", "S41"):
+            assert marker in out

@@ -1,0 +1,172 @@
+"""End-to-end integration tests across all subsystems."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    TrajectoryBuilder,
+    infer_missing_presence,
+    lift_trajectory,
+    validate_trajectory,
+)
+from repro.core.annotations import AnnotationKind
+from repro.core.validation import Severity
+from repro.louvre.floorplan import SALLE_DES_ETATS_ROOM
+from repro.louvre.zones import ZONE_SALLE_DES_ETATS
+from repro.mining.prefixspan import pattern_support, prefixspan
+from repro.mining.sequences import state_sequences
+from repro.movement.agents import GeometricAgent, WaypointPath
+from repro.positioning import (
+    BeaconGrid,
+    ExtendedKalmanFilter2D,
+    RssiModel,
+    ZoneDetector,
+    trilaterate,
+)
+from repro.positioning.detection import PositionFix
+from repro.storage import Query, TrajectoryStore
+from repro.storage.csvio import (
+    read_detrecords_csv,
+    write_detections_csv,
+)
+
+
+class TestSymbolicPipeline:
+    """Corpus generation → building → storage → mining."""
+
+    def test_build_report_matches_paper_shape(self, louvre_space,
+                                              small_corpus):
+        _, records = small_corpus
+        builder = TrajectoryBuilder(louvre_space.dataset_zone_nrg())
+        trajectories, report = builder.build_all(records)
+        assert 0.08 <= report.cleaning.zero_duration_share <= 0.12
+        assert report.trajectories == len(trajectories)
+        assert all(t.annotations.has(AnnotationKind.GOAL, "visit")
+                   for t in trajectories)
+
+    def test_no_error_level_issues_beyond_known_kinds(
+            self, louvre_space, small_trajectories):
+        nrg = louvre_space.dataset_zone_nrg()
+        for trajectory in small_trajectories[:100]:
+            issues = validate_trajectory(trajectory, nrg)
+            errors = [i for i in issues if i.severity is Severity.ERROR]
+            # The builder marks unobservable moves instead of leaving
+            # impossible transitions.
+            assert errors == []
+
+    def test_inference_repairs_gaps(self, louvre_space,
+                                    small_trajectories):
+        nrg = louvre_space.dataset_zone_nrg()
+        repaired_any = False
+        for trajectory in small_trajectories[:200]:
+            repaired = infer_missing_presence(trajectory, nrg)
+            if len(repaired.trace) > len(trajectory.trace):
+                repaired_any = True
+                inferred = [e for e in repaired.trace
+                            if e.annotations.has(
+                                AnnotationKind.PROVENANCE, "inferred")]
+                assert inferred
+                break
+        assert repaired_any, \
+            "sparse corpus should contain repairable gaps"
+
+    def test_store_and_query_roundtrip(self, small_trajectories):
+        store = TrajectoryStore()
+        store.insert_many(small_trajectories)
+        hits = Query(store).visiting_state("zone60886").execute()
+        assert hits
+        for hit in hits:
+            assert hit.trajectory.trace.visits_state("zone60886")
+
+    def test_mining_multi_granularity(self, louvre_space,
+                                      small_trajectories):
+        """The same corpus mined at zone and floor granularity."""
+        zone_sequences = state_sequences(small_trajectories)
+        zone_patterns = prefixspan(
+            zone_sequences, max(2, len(zone_sequences) // 10), 3)
+        assert zone_patterns
+
+        lifted = [lift_trajectory(t, louvre_space.zone_hierarchy,
+                                  "floors")
+                  for t in small_trajectories]
+        floor_sequences = state_sequences(lifted)
+        floor_patterns = prefixspan(
+            floor_sequences, max(2, len(floor_sequences) // 10), 3)
+        assert floor_patterns
+        # Every mined support is honest.
+        for pattern in zone_patterns[:10]:
+            assert pattern_support(zone_sequences, pattern.sequence) \
+                == pattern.support
+
+    def test_csv_persistence_roundtrip(self, small_corpus, tmp_path):
+        _, records = small_corpus
+        path = str(tmp_path / "corpus.csv")
+        write_detections_csv(records, path)
+        restored = read_detrecords_csv(path)
+        assert len(restored) == len(records)
+        assert restored[0].state == records[0].state
+
+
+class TestGeometricPipeline:
+    """Ground truth → RSSI → trilateration → EKF → zone detections →
+    trajectory: the full sensing path of Section 4.1."""
+
+    def test_agent_to_trajectory(self, louvre_space):
+        plan = louvre_space.floorplan
+        rooms = plan.rooms_of_zone(ZONE_SALLE_DES_ETATS)
+        waypoints = [plan.room_space.cell(r).geometry.centroid()
+                     for r in rooms]
+        path = WaypointPath(waypoints, [30.0] * len(waypoints), floor=1)
+        agent = GeometricAgent(path, speed=0.8, rng=random.Random(1))
+        track = agent.track(t_start=1000.0, sample_interval=2.0)
+
+        bbox = plan.zone_space.cell(ZONE_SALLE_DES_ETATS).geometry.bbox()
+        grid = BeaconGrid(bbox.expanded(20.0), floor=1, spacing=10.0)
+        registry = {b.beacon_id: b for b in grid.beacons}
+        model = RssiModel(sigma=2.0, rng=random.Random(2))
+        ekf = None
+        fixes = []
+        for sample in track:
+            readings = model.scan(grid.beacons, sample.position,
+                                  sample.floor, sample.t)
+            fix = trilaterate(readings, registry, model)
+            if fix is None:
+                continue
+            if ekf is None:
+                ekf = ExtendedKalmanFilter2D(
+                    initial_position=fix.position)
+            else:
+                ekf.predict(2.0)
+            ekf.update_position(fix.position)
+            fixes.append(PositionFix(sample.t, ekf.position,
+                                     sample.floor))
+
+        detector = ZoneDetector(plan.zone_space, max_fix_gap=30.0)
+        records = detector.detect("sim-visitor", fixes)
+        assert records
+        # The dominant detected zone is the one actually walked.
+        dominant = max(records, key=lambda r: r.duration)
+        assert dominant.state == ZONE_SALLE_DES_ETATS
+
+        builder = TrajectoryBuilder(louvre_space.zone_nrg)
+        trajectories, _ = builder.build_all(records)
+        assert len(trajectories) == 1
+        assert trajectories[0].trace.visits_state(ZONE_SALLE_DES_ETATS)
+
+
+class TestCrossModelConsistency:
+    def test_room_and_zone_views_agree(self, louvre_space):
+        """A room's zone (attribute) matches the zone joint edges."""
+        graph = louvre_space.graph
+        for room_id in list(graph.layer("rooms").nodes)[:50]:
+            zone_attr = louvre_space.zone_of_room(room_id)
+            partners = graph.joint_partners(room_id, layer="zones")
+            assert partners == [zone_attr]
+
+    def test_mona_lisa_room_overall_state(self, louvre_space):
+        assert louvre_space.graph.is_valid_overall_state({
+            "rooms": SALLE_DES_ETATS_ROOM,
+            "zones": ZONE_SALLE_DES_ETATS,
+            "floors": "floor:denon:1",
+        })
