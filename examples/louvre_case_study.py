@@ -1,9 +1,10 @@
 """The full Louvre case study (Section 4 of the paper), end to end.
 
-Builds the six-layer Louvre space model, generates a (scaled) synthetic
-visit corpus matching the paper's statistics, extracts semantic
-trajectories, repairs coverage gaps with topology inference, and mines
-multi-granularity patterns.
+Builds the six-layer Louvre space model, then streams a (scaled)
+synthetic visit corpus through one :mod:`repro.pipeline` engine run:
+clean → segment → trace → annotate → gap inference → store → mining.
+Gap repair (Figure 6) rides along as a *custom* stage registered under
+``infer-gaps``, showing how applications extend the stage catalog.
 
 Run:  python examples/louvre_case_study.py [scale]
       (scale defaults to 0.1; use 1.0 for the full 20,245-record corpus)
@@ -14,18 +15,39 @@ import sys
 from repro.core import TrajectoryBuilder, infer_missing_presence
 from repro.core.annotations import AnnotationKind
 from repro.core.inference import InferenceReport
-from repro.louvre import (
-    DatasetParameters,
-    LouvreDatasetGenerator,
-    LouvreSpace,
+from repro.louvre import LouvreSpace
+from repro.mining import floor_switch_profile
+from repro.pipeline import (
+    Pipeline,
+    PrefixSpanStage,
+    Stage,
+    StateSequenceStage,
+    StoreSinkStage,
+    louvre_source,
+    register_stage,
 )
-from repro.mining import (
-    floor_switch_profile,
-    prefixspan,
-    state_sequences,
-)
-from repro.mining.sequences import corpus_summary
-from repro.storage import Query, TrajectoryStore
+from repro.storage import Query
+
+
+@register_stage("infer-gaps")
+class InferenceStage(Stage):
+    """Repair coverage gaps via topology inference (Figure 6)."""
+
+    name = "infer-gaps"
+
+    def __init__(self, nrg):
+        super().__init__()
+        self.nrg = nrg
+        self.report = InferenceReport()
+
+    def process(self, batch):
+        before = self.report.tuples_inserted
+        repaired = [infer_missing_presence(t, self.nrg,
+                                           report=self.report)
+                    for t in batch]
+        self.metrics.count("tuples_inserted",
+                           self.report.tuples_inserted - before)
+        return repaired
 
 
 def main(scale: float = 0.1) -> None:
@@ -34,52 +56,41 @@ def main(scale: float = 0.1) -> None:
     for key, value in space.summary().items():
         print("  {:22s} {}".format(key, value))
 
-    print("\n=== generating the synthetic corpus (Section 4.1) ===")
-    parameters = DatasetParameters() if scale >= 1.0 \
-        else DatasetParameters().scaled(scale)
-    generator = LouvreDatasetGenerator(space, parameters)
-    records = generator.detection_records()
-    print("  detection records:", len(records))
-
-    print("\n=== extracting semantic trajectories ===")
-    builder = TrajectoryBuilder(space.dataset_zone_nrg())
-    trajectories, report = builder.build_all(records)
-    print("  visits built:", report.trajectories)
-    print("  zero-duration detections dropped: {} ({:.1%})".format(
-        report.cleaning.dropped_zero_duration,
-        report.cleaning.zero_duration_share))
-    print("  unobserved transitions flagged:",
-          report.unobserved_transitions)
-    summary = corpus_summary(trajectories)
-    print("  visitors:", int(summary["visitors"]))
-
-    print("\n=== repairing coverage gaps (Figure 6 inference) ===")
+    print("\n=== one engine run: generate -> build -> repair -> "
+          "store -> mine ===")
     nrg = space.dataset_zone_nrg()
-    inference = InferenceReport()
-    repaired = [infer_missing_presence(t, nrg, report=inference)
-                for t in trajectories]
-    print("  gaps examined:", inference.gaps_examined)
-    print("  presence tuples inferred:", inference.tuples_inserted)
+    builder = TrajectoryBuilder(nrg)
+    inference = InferenceStage(nrg)
+    store_sink = StoreSinkStage()
+    miner = PrefixSpanStage(min_support=0.05, max_length=3)
+    pipeline = Pipeline(
+        builder.stages()
+        + [inference, store_sink, StateSequenceStage(), miner],
+        batch_size=512)
+    pipeline.run(louvre_source(space, scale=scale), collect=False)
+    print(pipeline.metrics.render())
 
-    print("\n=== storing and querying ===")
-    store = TrajectoryStore()
-    store.insert_many(repaired)
+    report = inference.report
+    print("\n=== coverage gaps repaired (Figure 6 inference) ===")
+    print("  gaps examined:", report.gaps_examined)
+    print("  presence tuples inferred:", report.tuples_inserted)
+
+    print("\n=== querying the populated store ===")
+    store = store_sink.store
     mona_lisa_visits = (Query(store)
                         .visiting_state("zone60853")
                         .with_annotation(AnnotationKind.GOAL, "visit")
                         .execute())
+    print("  trajectories stored:", len(store))
     print("  visits reaching the Salle des États zone:",
           len(mona_lisa_visits))
 
     print("\n=== mining: zone-level sequential patterns ===")
-    sequences = state_sequences(repaired)
-    patterns = prefixspan(sequences,
-                          min_support=max(2, len(sequences) // 20),
-                          max_length=3)
-    for pattern in patterns[:8]:
+    for pattern in miner.patterns[:8]:
         print("  " + pattern.describe())
 
     print("\n=== mining: floor-switching patterns (Section 5) ===")
+    repaired = list(store)
     profile = floor_switch_profile(repaired, space.zone_hierarchy,
                                    "floors")
     print("  mean floor switches per visit: {:.2f}".format(

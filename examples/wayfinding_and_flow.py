@@ -16,11 +16,7 @@ from repro.indoor.navigation import (
     plan_hierarchical,
     route_instructions,
 )
-from repro.louvre import (
-    DatasetParameters,
-    LouvreDatasetGenerator,
-    LouvreSpace,
-)
+from repro.louvre import LouvreSpace
 from repro.louvre.floorplan import SALLE_DES_ETATS_ROOM
 from repro.louvre.zones import ZONE_C, ZONE_E, ZONE_ENTRANCE
 from repro.mining.flow import (
@@ -30,7 +26,7 @@ from repro.mining.flow import (
     od_matrix,
     peak_hour,
 )
-from repro.storage import TrajectoryStore
+from repro.pipeline import Pipeline, StoreSinkStage, louvre_source
 
 
 def wayfinding_demo(space: LouvreSpace) -> None:
@@ -62,10 +58,16 @@ def wayfinding_demo(space: LouvreSpace) -> None:
 
 def flow_demo(space: LouvreSpace) -> None:
     print("\n=== collective flow analytics ===")
-    generator = LouvreDatasetGenerator(
-        space, DatasetParameters().scaled(0.1))
+    # Build and index the 10%-scale corpus in one streaming engine run.
     builder = TrajectoryBuilder(space.dataset_zone_nrg())
-    trajectories, _ = builder.build_all(generator.detection_records())
+    store_sink = StoreSinkStage()
+    pipeline = Pipeline(builder.stages(streaming=True) + [store_sink],
+                        batch_size=512)
+    pipeline.run(louvre_source(space, scale=0.1), collect=False)
+    trajectories = list(store_sink.store)
+    print("engine: {} records -> {} trajectories in {:.3f}s".format(
+        pipeline.metrics["clean"].items_in, len(trajectories),
+        pipeline.metrics.total_seconds))
 
     print("top origin→destination pairs:")
     matrix = od_matrix(trajectories)
@@ -87,8 +89,7 @@ def flow_demo(space: LouvreSpace) -> None:
             zone, peak_hour(series), series[peak_hour(series)] / 3600))
 
     print("\ncongestion through one afternoon:")
-    store = TrajectoryStore()
-    store.insert_many(trajectories)
+    store = store_sink.store
     day = from_date("15-02-2017")
     for t, total, busiest in congestion_profile(
             store, day + 12 * 3600, day + 17 * 3600, step=3600.0):

@@ -7,6 +7,8 @@ Usage (after installation)::
     python -m repro.cli experiments --scale 1.0
     python -m repro.cli validate detections.csv
     python -m repro.cli zones
+    python -m repro.cli pipeline run --scale 0.1 --store --mine
+    python -m repro.cli pipeline stages
 
 Every subcommand is a thin shell over the library API, so scripted
 pipelines can do exactly what the CLI does.
@@ -28,10 +30,24 @@ from repro.louvre import (
     LouvreSpace,
 )
 from repro.louvre.zones import ZONES
+from repro.pipeline import (
+    Pipeline,
+    PipelineError,
+    PrefixSpanStage,
+    StoreSinkStage,
+    UnknownStageError,
+    create_stage,
+    csv_source,
+    louvre_source,
+    stage_catalog,
+)
 from repro.storage.csvio import (
     read_detrecords_csv,
     write_detections_csv,
 )
+
+#: Default stage chain of ``pipeline run`` — the builder decomposition.
+DEFAULT_STAGES = "clean,segment,trace,annotate"
 
 
 def _parameters(scale: float) -> DatasetParameters:
@@ -86,6 +102,83 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 1 if error_total else 0
 
 
+def _pipeline_stage_kwargs(name: str, args: argparse.Namespace,
+                           builder: TrajectoryBuilder) -> dict:
+    """Constructor arguments for a named stage, from CLI options."""
+    if name in ("clean", "trace", "annotate"):
+        return {"builder": builder}
+    if name == "segment":
+        return {"builder": builder, "streaming": args.streaming}
+    if name == "prefixspan":
+        return {"min_support": args.min_support}
+    if name == "jsonl-sink":
+        return {"path": args.out}
+    return {}
+
+
+def cmd_pipeline_run(args: argparse.Namespace) -> int:
+    """Assemble a pipeline from registry names and stream a corpus."""
+    space = LouvreSpace()
+    builder = TrajectoryBuilder(space.dataset_zone_nrg())
+    names = [name.strip() for name in args.stages.split(",")
+             if name.strip()]
+    if "jsonl-sink" in names and not args.out:
+        print("error: stage 'jsonl-sink' needs --out PATH",
+              file=sys.stderr)
+        return 2
+    if args.out and "jsonl-sink" not in names:
+        names.append("jsonl-sink")
+    if args.store:
+        names.append("store")
+    if args.mine:
+        names.extend(["state-sequences", "prefixspan"])
+    try:
+        stages = [create_stage(name,
+                               **_pipeline_stage_kwargs(name, args,
+                                                        builder))
+                  for name in names]
+    except UnknownStageError as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 2
+    if args.csv:
+        source = csv_source(args.csv)
+    else:
+        source = louvre_source(space, scale=args.scale)
+    try:
+        pipeline = Pipeline(stages, batch_size=args.batch_size)
+        pipeline.run(source, collect=False)
+    except PipelineError as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 2
+    except (OSError, ValueError) as error:
+        # bad --csv path or malformed detection CSV
+        print("error: {}".format(error), file=sys.stderr)
+        return 1
+
+    print("pipeline: {}".format(" -> ".join(names)))
+    print("batch size: {} | mode: {}".format(
+        args.batch_size, "streaming" if args.streaming else "exact"))
+    print()
+    print(pipeline.metrics.render())
+    for stage in stages:
+        if isinstance(stage, StoreSinkStage):
+            print("\nstored trajectories: {}".format(len(stage.store)))
+        if isinstance(stage, PrefixSpanStage) and stage.patterns:
+            print("\ntop sequential patterns:")
+            for pattern in stage.patterns[:8]:
+                print("  " + pattern.describe())
+    return 0
+
+
+def cmd_pipeline_stages(args: argparse.Namespace) -> int:
+    """List the registered pipeline stages."""
+    catalog = stage_catalog()
+    width = max(len(name) for name, _ in catalog)
+    for name, description in catalog:
+        print("{:{width}s}  {}".format(name, description, width=width))
+    return 0
+
+
 def cmd_zones(args: argparse.Namespace) -> int:
     """Print the 52-zone table."""
     print("{:10s} {:10s} {:>5s} {:>8s}  {}".format(
@@ -129,6 +222,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     zones = sub.add_parser("zones", help="print the 52-zone table")
     zones.set_defaults(func=cmd_zones)
+
+    pipeline = sub.add_parser(
+        "pipeline",
+        help="the streaming pipeline engine (repro.pipeline)")
+    pipe_sub = pipeline.add_subparsers(dest="pipeline_command",
+                                       required=True)
+    run = pipe_sub.add_parser(
+        "run", help="assemble a pipeline from registered stages and "
+                    "stream a corpus through it")
+    run.add_argument("--scale", type=float, default=0.1,
+                     help="synthetic corpus scale in (0, 1]")
+    run.add_argument("--csv", metavar="PATH",
+                     help="stream detections from a CSV file instead "
+                          "of generating the corpus")
+    run.add_argument("--batch-size", type=int, default=512,
+                     help="records per engine batch")
+    run.add_argument("--streaming", action="store_true",
+                     help="streaming segmentation: O(batch) memory, "
+                          "requires visit-contiguous input")
+    run.add_argument("--stages", default=DEFAULT_STAGES,
+                     help="comma-separated registry stage names "
+                          "(default: %(default)s)")
+    run.add_argument("--store", action="store_true",
+                     help="append a trajectory-store sink")
+    run.add_argument("--mine", action="store_true",
+                     help="append state-sequences + prefixspan stages")
+    run.add_argument("--min-support", type=float, default=0.05,
+                     help="prefixspan support (fraction < 1, else "
+                          "absolute count)")
+    run.add_argument("--out", metavar="PATH",
+                     help="write trajectories to a JSON-lines archive")
+    run.set_defaults(func=cmd_pipeline_run)
+    stages = pipe_sub.add_parser("stages",
+                                 help="list registered pipeline stages")
+    stages.set_defaults(func=cmd_pipeline_stages)
     return parser
 
 

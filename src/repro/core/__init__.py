@@ -53,6 +53,7 @@ from repro.core.builder import (
     BuildReport,
     CleaningReport,
     DetectionRecord,
+    TraceDraft,
     TrajectoryBuilder,
 )
 from repro.core.inference import (
@@ -103,6 +104,7 @@ __all__ = [
     "BuildReport",
     "CleaningReport",
     "DetectionRecord",
+    "TraceDraft",
     "TrajectoryBuilder",
     "InferenceReport",
     "LiftReport",

@@ -24,11 +24,23 @@ start late or stop early.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.annotations import AnnotationSet
 from repro.core.trajectory import SemanticTrajectory, Trace, TraceEntry
 from repro.indoor.nrg import NodeRelationGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pipeline.metrics import PipelineMetrics
 
 #: Prefix used for transitions observed in the data but absent from the
 #: accessibility NRG — either a data error or an incomplete graph, both
@@ -97,17 +109,37 @@ class CleaningReport:
 
 @dataclass
 class BuildReport:
-    """Summary of a full build run."""
+    """Summary of a full build run.
+
+    When the build ran on the pipeline engine, ``stage_metrics`` holds
+    the per-stage instrumentation (items in/out, drop reasons, wall
+    time) the aggregate numbers were derived from.
+    """
 
     cleaning: CleaningReport = field(default_factory=CleaningReport)
     trajectories: int = 0
     entries: int = 0
     unobserved_transitions: int = 0
+    stage_metrics: Optional["PipelineMetrics"] = None
 
     @property
     def transitions(self) -> int:
         """Intra-visit transitions (entries minus one per trajectory)."""
         return self.entries - self.trajectories
+
+
+@dataclass(frozen=True)
+class TraceDraft:
+    """A constructed trace awaiting its trajectory-level annotations.
+
+    The trace-construction stage emits drafts because Definition 3.1
+    forbids a :class:`SemanticTrajectory` with an empty ``A_traj`` —
+    attaching the annotation set is a stage of its own.
+    """
+
+    mo_id: str
+    trace: Trace
+    unobserved_transitions: int = 0
 
 
 class TrajectoryBuilder:
@@ -143,6 +175,20 @@ class TrajectoryBuilder:
     # ------------------------------------------------------------------
     # stage 1: cleaning
     # ------------------------------------------------------------------
+    def classify_record(self, record: DetectionRecord) -> Optional[str]:
+        """The drop reason for a record, or ``None`` when it is kept.
+
+        Reasons are the stable keys the pipeline metrics report:
+        ``negative_duration``, ``zero_duration``, ``unknown_state``.
+        """
+        if record.duration < 0:
+            return "negative_duration"
+        if record.duration <= self.min_duration:
+            return "zero_duration"
+        if self.drop_unknown_states and record.state not in self.nrg:
+            return "unknown_state"
+        return None
+
     def clean(self, records: Iterable[DetectionRecord]
               ) -> Tuple[List[DetectionRecord], CleaningReport]:
         """Filter error records; returns survivors sorted by (mo, time)."""
@@ -150,16 +196,15 @@ class TrajectoryBuilder:
         kept: List[DetectionRecord] = []
         for record in records:
             report.total += 1
-            if record.duration < 0:
+            reason = self.classify_record(record)
+            if reason == "negative_duration":
                 report.dropped_negative_duration += 1
-                continue
-            if record.duration <= self.min_duration:
+            elif reason == "zero_duration":
                 report.dropped_zero_duration += 1
-                continue
-            if self.drop_unknown_states and record.state not in self.nrg:
+            elif reason == "unknown_state":
                 report.dropped_unknown_state += 1
-                continue
-            kept.append(record)
+            else:
+                kept.append(record)
         kept.sort(key=lambda r: (r.mo_id, r.t_start, r.t_end))
         kept = self._resolve_overlaps(kept, report)
         report.kept = len(kept)
@@ -251,11 +296,9 @@ class TrajectoryBuilder:
         return (UNOBSERVED_TRANSITION_PREFIX
                 + "{}->{}".format(from_state, to_state), False)
 
-    def build_trajectory(self, visit: Sequence[DetectionRecord],
-                         annotations: Optional[AnnotationSet] = None,
-                         report: Optional[BuildReport] = None
-                         ) -> SemanticTrajectory:
-        """Build one semantic trajectory from one visit's records.
+    def construct_trace(self, visit: Sequence[DetectionRecord]
+                        ) -> TraceDraft:
+        """Build the trace of one visit (stage 3, no annotations yet).
 
         Raises:
             ValueError: for an empty visit or mixed moving objects.
@@ -268,14 +311,15 @@ class TrajectoryBuilder:
                 "one trajectory concerns one moving object, got {}".format(
                     sorted(mo_ids)))
         entries: List[TraceEntry] = []
+        unobserved = 0
         previous: Optional[DetectionRecord] = None
         for record in visit:
             transition: Optional[str] = None
             if previous is not None and previous.state != record.state:
                 transition, observed = self.resolve_transition(
                     previous.state, record.state)
-                if report is not None and not observed:
-                    report.unobserved_transitions += 1
+                if not observed:
+                    unobserved += 1
             entries.append(TraceEntry(
                 transition=transition,
                 state=record.state,
@@ -283,26 +327,98 @@ class TrajectoryBuilder:
                 t_end=record.t_end,
             ))
             previous = record
+        return TraceDraft(mo_id=next(iter(mo_ids)),
+                          trace=Trace(entries),
+                          unobserved_transitions=unobserved)
+
+    def annotate(self, draft: TraceDraft,
+                 annotations: Optional[AnnotationSet] = None
+                 ) -> SemanticTrajectory:
+        """Attach ``A_traj`` to a draft (stage 4), completing it."""
         return SemanticTrajectory(
-            mo_id=next(iter(mo_ids)),
-            trace=Trace(entries),
+            mo_id=draft.mo_id,
+            trace=draft.trace,
             annotations=annotations if annotations is not None
             else self.default_annotations,
         )
 
-    def build_all(self, records: Iterable[DetectionRecord]
-                  ) -> Tuple[List[SemanticTrajectory], BuildReport]:
-        """Run the full pipeline: clean → split → build.
+    def build_trajectory(self, visit: Sequence[DetectionRecord],
+                         annotations: Optional[AnnotationSet] = None,
+                         report: Optional[BuildReport] = None
+                         ) -> SemanticTrajectory:
+        """Build one semantic trajectory from one visit's records.
 
-        Returns the trajectories (ordered by moving object and time)
-        and a :class:`BuildReport`.
+        Raises:
+            ValueError: for an empty visit or mixed moving objects.
         """
-        report = BuildReport()
-        cleaned, report.cleaning = self.clean(records)
-        trajectories: List[SemanticTrajectory] = []
-        for visit in self.split_visits(cleaned):
-            trajectory = self.build_trajectory(visit, report=report)
-            trajectories.append(trajectory)
-            report.entries += len(trajectory.trace)
-        report.trajectories = len(trajectories)
-        return trajectories, report
+        draft = self.construct_trace(visit)
+        if report is not None:
+            report.unobserved_transitions += draft.unobserved_transitions
+        return self.annotate(draft, annotations)
+
+    # ------------------------------------------------------------------
+    # the composed pipeline
+    # ------------------------------------------------------------------
+    def stages(self, streaming: bool = False) -> List["object"]:
+        """The builder decomposed into its four pipeline stages.
+
+        Args:
+            streaming: passed to the segmentation stage; see
+                :class:`repro.pipeline.stages.SegmentStage` for the
+                contiguity assumption streaming mode makes.
+        """
+        from repro.pipeline.stages import (
+            AnnotateStage,
+            CleanStage,
+            SegmentStage,
+            TraceConstructStage,
+        )
+        return [CleanStage(self), SegmentStage(self, streaming=streaming),
+                TraceConstructStage(self), AnnotateStage(self)]
+
+    def build_all(self, records: Iterable[DetectionRecord],
+                  batch_size: int = 2048
+                  ) -> Tuple[List[SemanticTrajectory], BuildReport]:
+        """Run the full pipeline: clean → segment → trace → annotate.
+
+        Runs on the :mod:`repro.pipeline` engine; the returned
+        :class:`BuildReport` aggregates the engine's per-stage metrics
+        (also exposed raw as ``report.stage_metrics``).  Returns the
+        trajectories ordered by moving object and time.
+        """
+        from repro.pipeline.engine import Pipeline
+
+        pipeline = Pipeline(self.stages(), batch_size=batch_size)
+        trajectories = pipeline.run(records)
+        return trajectories, build_report_from_metrics(pipeline.metrics)
+
+
+def build_report_from_metrics(metrics: "PipelineMetrics") -> BuildReport:
+    """Aggregate engine stage metrics into a :class:`BuildReport`.
+
+    The mapping is the contract between the builder stages and the
+    legacy report shape: ``clean`` contributes the error-filter drops,
+    ``segment`` the overlap repairs, ``trace`` the entry and
+    unobserved-transition counts, ``annotate`` the trajectory count.
+    """
+    clean = metrics["clean"]
+    segment = metrics["segment"]
+    trace = metrics["trace"]
+    annotate = metrics["annotate"]
+    cleaning = CleaningReport(
+        total=clean.items_in,
+        kept=clean.items_out - segment.drops.get("overlap_contained", 0),
+        dropped_zero_duration=clean.drops.get("zero_duration", 0),
+        dropped_negative_duration=clean.drops.get("negative_duration", 0),
+        dropped_unknown_state=clean.drops.get("unknown_state", 0),
+        dropped_contained=segment.drops.get("overlap_contained", 0),
+        clipped_overlaps=segment.counters.get("overlap_clipped", 0),
+    )
+    return BuildReport(
+        cleaning=cleaning,
+        trajectories=annotate.items_out,
+        entries=trace.counters.get("entries", 0),
+        unobserved_transitions=trace.counters.get(
+            "unobserved_transitions", 0),
+        stage_metrics=metrics,
+    )

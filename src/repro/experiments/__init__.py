@@ -15,6 +15,7 @@ fig6      Figure 6 — missing-presence inference (Zone 60888)
 dataset_stats  Section 4.1 — corpus statistics
 ablations A1 directed vs undirected; A2 static hierarchy vs ad-hoc;
           A3 overlapping vs exclusive episodes
+pipeline_metrics  per-stage metrics of the streaming pipeline engine
 ========  ==========================================================
 
 Every module exposes ``run(...)`` returning a plain-data result dict
@@ -32,6 +33,7 @@ from repro.experiments import (  # noqa: F401
     fig4,
     fig5,
     fig6,
+    pipeline_metrics,
     table1,
 )
 from repro.experiments.runner import run_all
@@ -45,6 +47,7 @@ __all__ = [
     "fig4",
     "fig5",
     "fig6",
+    "pipeline_metrics",
     "table1",
     "run_all",
 ]

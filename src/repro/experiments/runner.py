@@ -18,6 +18,7 @@ from repro.experiments import (
     fig4,
     fig5,
     fig6,
+    pipeline_metrics,
     table1,
 )
 from repro.louvre.space import LouvreSpace
@@ -33,10 +34,12 @@ EXPERIMENTS = (
     ("F6", "Figure 6 — Zone 60888 inference", fig6),
     ("S41", "Section 4.1 — dataset statistics", dataset_stats),
     ("ABL", "Ablations A1–A3", ablations),
+    ("ENG", "Pipeline — per-stage streaming engine metrics",
+     pipeline_metrics),
 )
 
 #: Experiments whose run() accepts a shared LouvreSpace.
-_TAKES_SPACE = {"F2", "F3", "F4", "F6", "S41", "ABL"}
+_TAKES_SPACE = {"F2", "F3", "F4", "F6", "S41", "ABL", "ENG"}
 
 
 def run_all(scale: float = 1.0) -> Dict[str, Dict[str, object]]:
@@ -52,7 +55,7 @@ def run_all(scale: float = 1.0) -> Dict[str, Dict[str, object]]:
         kwargs: Dict[str, object] = {}
         if exp_id in _TAKES_SPACE:
             kwargs["space"] = space
-        if exp_id in ("F3", "S41"):
+        if exp_id in ("F3", "S41", "ENG"):
             kwargs["scale"] = scale
         results[exp_id] = module.run(**kwargs)
     return results

@@ -1,0 +1,63 @@
+"""The unified streaming pipeline engine.
+
+The paper's workflow is one fixed chain — zone detections are cleaned,
+segmented into visits, lifted to SITM trajectories, indexed, then
+mined (Sections 4.1–4.3).  This package turns that chain into a
+composable engine: a :class:`Stage` protocol over batches, a
+:class:`Pipeline` executor that streams configurable-size batches end
+to end (memory stays O(batch), not O(corpus)), per-stage
+metrics/instrumentation, and a named-stage registry so pipelines can
+be assembled from specs and extended with custom stages.
+
+See ``docs/pipeline.md`` for the architecture and the stage catalog.
+"""
+
+from repro.pipeline.engine import Pipeline, PipelineError, Stage
+from repro.pipeline.metrics import PipelineMetrics, StageMetrics
+from repro.pipeline.registry import (
+    UnknownStageError,
+    available_stages,
+    create_stage,
+    register_stage,
+    stage_catalog,
+)
+from repro.pipeline.sources import csv_source, louvre_source
+from repro.pipeline.stages import (
+    AnnotateStage,
+    CleanStage,
+    CollectStage,
+    FilterStage,
+    JsonlSinkStage,
+    MapStage,
+    PrefixSpanStage,
+    SegmentStage,
+    StateSequenceStage,
+    StoreSinkStage,
+    TraceConstructStage,
+)
+
+__all__ = [
+    "Pipeline",
+    "PipelineError",
+    "Stage",
+    "PipelineMetrics",
+    "StageMetrics",
+    "UnknownStageError",
+    "available_stages",
+    "create_stage",
+    "register_stage",
+    "stage_catalog",
+    "csv_source",
+    "louvre_source",
+    "AnnotateStage",
+    "CleanStage",
+    "CollectStage",
+    "FilterStage",
+    "JsonlSinkStage",
+    "MapStage",
+    "PrefixSpanStage",
+    "SegmentStage",
+    "StateSequenceStage",
+    "StoreSinkStage",
+    "TraceConstructStage",
+]

@@ -1,0 +1,166 @@
+"""The streaming pipeline engine.
+
+A :class:`Pipeline` is an ordered chain of :class:`Stage` objects.  The
+executor pulls items from any iterable source, chunks them into
+batches of a configurable size and pushes each batch through every
+stage in order, so peak memory stays proportional to the batch size
+(plus whatever state individual stages choose to hold) instead of the
+corpus size.  When the source is exhausted each stage is *flushed* in
+order — anything a stateful stage still buffers cascades through the
+stages downstream of it.
+
+Stages transform batches of items and may change the item type along
+the chain (detection records → visits → trace drafts → trajectories →
+patterns); the engine is agnostic to what flows through it.  Every run
+produces a fresh :class:`~repro.pipeline.metrics.PipelineMetrics` with
+per-stage items in/out, drop reasons and wall time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Any, Iterable, Iterator, List, Optional, Sequence
+
+from repro.pipeline.metrics import PipelineMetrics, StageMetrics
+
+
+class Stage:
+    """One typed transformation step of a pipeline.
+
+    Subclasses override :meth:`process` (and :meth:`finish` when they
+    buffer state across batches).  During a run the executor attaches a
+    :class:`~repro.pipeline.metrics.StageMetrics` as ``self.metrics``;
+    stages report discarded items via ``self.metrics.drop(reason)`` and
+    domain counters via ``self.metrics.count(key)``.
+
+    A stage instance carries run state, so one instance belongs to one
+    pipeline run at a time.
+    """
+
+    #: Registry/display name; subclasses override.
+    name: str = "stage"
+
+    def __init__(self) -> None:
+        self.metrics = StageMetrics(self.name)
+
+    def process(self, batch: Sequence[Any]) -> List[Any]:
+        """Transform one batch; returns the items to pass downstream."""
+        return list(batch)
+
+    def finish(self) -> List[Any]:
+        """Flush buffered state at end of stream (default: nothing)."""
+        return []
+
+
+class PipelineError(RuntimeError):
+    """A pipeline could not be assembled or executed."""
+
+
+class Pipeline:
+    """A composed chain of stages with a streaming batch executor.
+
+    Args:
+        stages: the stage instances, in processing order.
+        batch_size: how many source items form one batch.
+
+    Raises:
+        PipelineError: for an empty stage list or a bad batch size.
+    """
+
+    def __init__(self, stages: Sequence[Stage],
+                 batch_size: int = 512) -> None:
+        if not stages:
+            raise PipelineError("a pipeline needs at least one stage")
+        if batch_size < 1:
+            raise PipelineError(
+                "batch_size must be >= 1, got {}".format(batch_size))
+        self.stages: List[Stage] = list(stages)
+        self.batch_size = batch_size
+        self._metrics: Optional[PipelineMetrics] = None
+
+    # ------------------------------------------------------------------
+    # composition
+    # ------------------------------------------------------------------
+    def then(self, stage: Stage) -> "Pipeline":
+        """Append a stage (fluent composition); returns ``self``."""
+        self.stages.append(stage)
+        return self
+
+    @property
+    def metrics(self) -> PipelineMetrics:
+        """Metrics of the most recent run.
+
+        Raises:
+            PipelineError: before the first run.
+        """
+        if self._metrics is None:
+            raise PipelineError("pipeline has not been run yet")
+        return self._metrics
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run_iter(self, source: Iterable[Any]) -> Iterator[List[Any]]:
+        """Stream ``source`` through the pipeline, yielding output batches.
+
+        Peak engine memory is O(batch_size) plus per-stage state; the
+        caller decides whether to materialize the yielded batches.
+        Metrics become available on :attr:`metrics` once the iterator
+        is exhausted (they are complete only after the final flush).
+        """
+        per_stage = [StageMetrics(stage.name) for stage in self.stages]
+        for stage, metrics in zip(self.stages, per_stage):
+            stage.metrics = metrics
+        self._metrics = PipelineMetrics(per_stage)
+
+        iterator = iter(source)
+        while True:
+            batch = list(itertools.islice(iterator, self.batch_size))
+            if not batch:
+                break
+            out = self._push(batch, 0)
+            if out:
+                yield out
+        # End of stream: flush each stage in order; whatever it still
+        # buffered flows through the stages after it.
+        for index, stage in enumerate(self.stages):
+            started = time.perf_counter()
+            tail = stage.finish()
+            stage.metrics.seconds += time.perf_counter() - started
+            if tail:
+                stage.metrics.batches += 1
+                stage.metrics.items_out += len(tail)
+                out = self._push(tail, index + 1)
+                if out:
+                    yield out
+
+    def run(self, source: Iterable[Any],
+            collect: bool = True) -> List[Any]:
+        """Run to completion; returns the last stage's output.
+
+        Args:
+            source: any iterable of input items.
+            collect: when False the final output is discarded as it is
+                produced (sinks keep what matters), so memory stays
+                bounded by the batch size.
+        """
+        output: List[Any] = []
+        for batch in self.run_iter(source):
+            if collect:
+                output.extend(batch)
+        return output
+
+    def _push(self, batch: List[Any], start: int) -> List[Any]:
+        """Push one batch through ``stages[start:]``."""
+        for stage in self.stages[start:]:
+            metrics = stage.metrics
+            metrics.batches += 1
+            metrics.items_in += len(batch)
+            started = time.perf_counter()
+            batch = stage.process(batch)
+            metrics.seconds += time.perf_counter() - started
+            metrics.items_out += len(batch)
+            if not batch:
+                break
+        return batch

@@ -1,0 +1,143 @@
+"""Per-stage instrumentation for pipeline runs.
+
+Every :class:`~repro.pipeline.engine.Pipeline` run attaches one
+:class:`StageMetrics` to each stage and aggregates them into a
+:class:`PipelineMetrics`.  Stages record *why* items disappeared
+(:meth:`StageMetrics.drop`) and arbitrary domain counters
+(:meth:`StageMetrics.count`), while the executor itself accounts for
+items in/out, batch counts and wall time — so a run explains itself
+without any consumer re-deriving statistics from the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class StageMetrics:
+    """What one stage did during one pipeline run.
+
+    Attributes:
+        name: the stage's registry name.
+        batches: number of ``process`` calls (the ``finish`` flush
+            counts as one more when it emitted items).
+        items_in: items handed to the stage.
+        items_out: items the stage emitted (including its flush).
+        seconds: wall time spent inside the stage.
+        drops: drop reason → count of items discarded for it.
+        counters: free-form domain counters (e.g. ``entries``,
+            ``overlap_clipped``).
+    """
+
+    name: str
+    batches: int = 0
+    items_in: int = 0
+    items_out: int = 0
+    seconds: float = 0.0
+    drops: Dict[str, int] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def drop(self, reason: str, count: int = 1) -> None:
+        """Record ``count`` items discarded for ``reason``."""
+        self.drops[reason] = self.drops.get(reason, 0) + count
+
+    def count(self, key: str, amount: int = 1) -> None:
+        """Bump a free-form domain counter."""
+        self.counters[key] = self.counters.get(key, 0) + amount
+
+    @property
+    def dropped(self) -> int:
+        """Total items discarded across all reasons."""
+        return sum(self.drops.values())
+
+    @property
+    def throughput(self) -> float:
+        """Items in per second (0 when no time was measured)."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.items_in / self.seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-data form for reports and JSON."""
+        return {
+            "name": self.name,
+            "batches": self.batches,
+            "items_in": self.items_in,
+            "items_out": self.items_out,
+            "dropped": self.dropped,
+            "seconds": self.seconds,
+            "drops": dict(self.drops),
+            "counters": dict(self.counters),
+        }
+
+
+class PipelineMetrics:
+    """The ordered per-stage metrics of one pipeline run."""
+
+    def __init__(self, stages: List[StageMetrics]) -> None:
+        self._stages = list(stages)
+        self._by_name: Dict[str, StageMetrics] = {}
+        for metrics in self._stages:
+            # first occurrence wins when a name repeats
+            self._by_name.setdefault(metrics.name, metrics)
+
+    def __iter__(self) -> Iterator[StageMetrics]:
+        return iter(self._stages)
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    def __getitem__(self, name: str) -> StageMetrics:
+        """Metrics of the (first) stage with the given name.
+
+        Raises:
+            KeyError: when no stage has that name.
+        """
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError("no stage named {!r}; stages: {}".format(
+                name, [m.name for m in self._stages]))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time summed over all stages."""
+        return sum(m.seconds for m in self._stages)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-data form for reports and JSON."""
+        return {
+            "total_seconds": self.total_seconds,
+            "stages": [m.as_dict() for m in self._stages],
+        }
+
+    def render(self) -> str:
+        """A fixed-width per-stage summary table."""
+        header = ("stage", "batches", "in", "out", "dropped", "seconds")
+        rows: List[List[str]] = [list(header)]
+        for m in self._stages:
+            rows.append([m.name, str(m.batches), str(m.items_in),
+                         str(m.items_out), str(m.dropped),
+                         "{:.4f}".format(m.seconds)])
+        widths = [max(len(row[i]) for row in rows)
+                  for i in range(len(header))]
+        lines = ["  ".join(cell.ljust(widths[i])
+                           for i, cell in enumerate(row)).rstrip()
+                 for row in rows]
+        detail: List[str] = []
+        for m in self._stages:
+            notes = dict(m.drops)
+            notes.update(m.counters)
+            if notes:
+                detail.append("  {}: {}".format(m.name, ", ".join(
+                    "{}={}".format(k, v)
+                    for k, v in sorted(notes.items()))))
+        if detail:
+            lines.append("")
+            lines.extend(detail)
+        return "\n".join(lines)

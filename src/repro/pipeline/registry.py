@@ -1,0 +1,74 @@
+"""The named-stage registry.
+
+Stages register under a short name (``clean``, ``segment``, ``store``,
+...) so pipelines can be assembled from specs — the CLI's
+``repro pipeline run --stages clean,segment,trace,annotate,store``
+resolves names through this module, and downstream code can plug in
+custom stages with :func:`register_stage` (see ``docs/pipeline.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class UnknownStageError(KeyError):
+    """A stage name was not found in the registry."""
+
+    def __init__(self, name: str, available: List[str]) -> None:
+        super().__init__(name)
+        self.name = name
+        self.available = available
+
+    def __str__(self) -> str:
+        return "unknown pipeline stage {!r}; registered stages: {}".format(
+            self.name, ", ".join(self.available) or "(none)")
+
+
+#: name → stage factory (usually the stage class itself).
+_REGISTRY: Dict[str, Callable[..., object]] = {}
+
+
+def register_stage(name: str,
+                   factory: Optional[Callable[..., object]] = None):
+    """Register a stage factory under ``name``.
+
+    Usable directly (``register_stage("x", factory)``) or as a class
+    decorator (``@register_stage("x")``).  Re-registering a name
+    replaces the previous factory, so applications can override
+    built-ins.
+    """
+    def _register(target: Callable[..., object]):
+        _REGISTRY[name] = target
+        return target
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def create_stage(name: str, **kwargs):
+    """Instantiate the stage registered under ``name``.
+
+    Raises:
+        UnknownStageError: for an unregistered name.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise UnknownStageError(name, available_stages()) from None
+    return factory(**kwargs)
+
+
+def available_stages() -> List[str]:
+    """The registered stage names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def stage_catalog() -> List[Tuple[str, str]]:
+    """(name, one-line description) for every registered stage."""
+    catalog: List[Tuple[str, str]] = []
+    for name in available_stages():
+        doc = _REGISTRY[name].__doc__ or ""
+        catalog.append((name, doc.strip().splitlines()[0] if doc else ""))
+    return catalog

@@ -1,0 +1,43 @@
+"""Source iterables feeding detection records into pipelines.
+
+A pipeline source is just an iterable — these helpers wrap the two
+record producers the reproduction ships: the synthetic Louvre corpus
+generator and the detection-CSV reader.  The CSV source streams row by
+row, so a pipeline over a file on disk never materializes the corpus;
+the Louvre generator is corpus-global by construction (its
+zero-duration injection samples over all visits), so its source
+materializes inside the generator and then *emits* visit by visit,
+keeping everything downstream O(batch).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core.builder import DetectionRecord
+from repro.louvre.dataset import DatasetParameters, LouvreDatasetGenerator
+from repro.louvre.space import LouvreSpace
+from repro.storage.csvio import iter_detrecords_csv
+
+
+def louvre_source(space: Optional[LouvreSpace] = None,
+                  parameters: Optional[DatasetParameters] = None,
+                  scale: float = 1.0) -> Iterator[DetectionRecord]:
+    """Detection records of the (scaled) synthetic Louvre corpus.
+
+    Records are yielded visit-contiguously, which is exactly the
+    contiguity :class:`~repro.pipeline.stages.SegmentStage` streaming
+    mode assumes.
+    """
+    if parameters is None:
+        parameters = DatasetParameters() if scale >= 1.0 \
+            else DatasetParameters().scaled(scale)
+    generator = LouvreDatasetGenerator(space, parameters)
+    for visit in generator.generate():
+        for record in visit.records:
+            yield record
+
+
+def csv_source(path: str) -> Iterator[DetectionRecord]:
+    """Detection records streamed from a detection CSV file."""
+    return iter_detrecords_csv(path)

@@ -13,6 +13,7 @@ from repro.storage.index import InvertedIndex
 from repro.storage.store import StoredTrajectory, TrajectoryStore
 from repro.storage.query import Query
 from repro.storage.csvio import (
+    iter_detrecords_csv,
     read_detrecords_csv,
     read_trajectories_jsonl,
     write_detections_csv,
@@ -26,6 +27,7 @@ __all__ = [
     "StoredTrajectory",
     "TrajectoryStore",
     "Query",
+    "iter_detrecords_csv",
     "read_detrecords_csv",
     "read_trajectories_jsonl",
     "write_detections_csv",

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import csv
 import json
-from typing import Iterable, List
+from typing import Iterable, Iterator, List
 
 from repro.core.builder import DetectionRecord
 from repro.core.trajectory import SemanticTrajectory
@@ -41,13 +41,15 @@ def write_detections_csv(records: Iterable[DetectionRecord],
     return count
 
 
-def read_detrecords_csv(path: str) -> List[DetectionRecord]:
-    """Read detection records from CSV.
+def iter_detrecords_csv(path: str) -> Iterator[DetectionRecord]:
+    """Stream detection records from CSV, one row at a time.
+
+    The streaming counterpart of :func:`read_detrecords_csv` — used as
+    a pipeline source, it keeps file-backed runs O(batch) in memory.
 
     Raises:
         ValueError: on a malformed header.
     """
-    records: List[DetectionRecord] = []
     with open(path, "r", encoding="utf-8", newline="") as handle:
         reader = csv.reader(handle)
         header = next(reader, None)
@@ -56,14 +58,22 @@ def read_detrecords_csv(path: str) -> List[DetectionRecord]:
                 "unexpected detection CSV header: {!r}".format(header))
         for row in reader:
             mo_id, state, t_start, t_end, visit_id = row
-            records.append(DetectionRecord(
+            yield DetectionRecord(
                 mo_id=mo_id,
                 state=state,
                 t_start=float(t_start),
                 t_end=float(t_end),
                 visit_id=visit_id or None,
-            ))
-    return records
+            )
+
+
+def read_detrecords_csv(path: str) -> List[DetectionRecord]:
+    """Read detection records from CSV.
+
+    Raises:
+        ValueError: on a malformed header.
+    """
+    return list(iter_detrecords_csv(path))
 
 
 def write_trajectories_jsonl(trajectories: Iterable[SemanticTrajectory],

@@ -49,6 +49,42 @@ class TrajectoryStore:
     # ------------------------------------------------------------------
     def insert(self, trajectory: SemanticTrajectory) -> int:
         """Store a trajectory; returns its document id."""
+        doc_id = self._index_one(trajectory)
+        self._interval_index = None  # invalidate; rebuilt lazily
+        return doc_id
+
+    def insert_many(self,
+                    trajectories: Iterable[SemanticTrajectory]
+                    ) -> List[int]:
+        """Store several trajectories; returns their document ids."""
+        return self.extend(trajectories)
+
+    def extend(self, trajectories: Iterable[SemanticTrajectory],
+               rebuild_interval: bool = False) -> List[int]:
+        """Bulk-insert a batch; returns the document ids.
+
+        The ingest path for pipeline sinks: the inverted indexes are
+        updated incrementally per trajectory, but the interval index —
+        a static structure — is touched exactly once per batch, and
+        can optionally be rebuilt on the spot so batched ingest
+        interleaved with temporal queries pays one rebuild per batch
+        rather than one per query-after-insert.
+
+        Args:
+            trajectories: the batch to store.
+            rebuild_interval: rebuild the interval index immediately
+                after the batch (keeps temporal queries warm) instead
+                of lazily on the next temporal query.
+        """
+        doc_ids = [self._index_one(t) for t in trajectories]
+        if doc_ids:
+            self._interval_index = None  # one invalidation per batch
+            if rebuild_interval:
+                self._ensure_interval_index()
+        return doc_ids
+
+    def _index_one(self, trajectory: SemanticTrajectory) -> int:
+        """Append one trajectory and update every inverted index."""
         doc_id = len(self._docs)
         self._docs.append(trajectory)
         self._by_mo.add(trajectory.mo_id, doc_id)
@@ -61,14 +97,7 @@ class TrajectoryStore:
             for annotation in entry.annotations:
                 self._by_annotation.add(
                     (annotation.kind, annotation.value), doc_id)
-        self._interval_index = None  # invalidate; rebuilt lazily
         return doc_id
-
-    def insert_many(self,
-                    trajectories: Iterable[SemanticTrajectory]
-                    ) -> List[int]:
-        """Store several trajectories; returns their document ids."""
-        return [self.insert(t) for t in trajectories]
 
     # ------------------------------------------------------------------
     # reads

@@ -1,0 +1,154 @@
+"""Tests for the streaming pipeline executor."""
+
+import pytest
+
+from repro.pipeline import (
+    FilterStage,
+    MapStage,
+    Pipeline,
+    PipelineError,
+    Stage,
+)
+
+
+class TagStage(Stage):
+    """Append a tag to every (string) item — order-sensitive."""
+
+    def __init__(self, tag):
+        self.name = "tag-" + tag
+        super().__init__()
+        self.tag = tag
+
+    def process(self, batch):
+        return [item + self.tag for item in batch]
+
+
+class BufferingStage(Stage):
+    """Hold everything until the flush (a barrier stage)."""
+
+    name = "buffer"
+
+    def __init__(self):
+        super().__init__()
+        self._held = []
+
+    def process(self, batch):
+        self._held.extend(batch)
+        return []
+
+    def finish(self):
+        held, self._held = self._held, []
+        return held
+
+
+class TestComposition:
+    def test_stage_order_is_respected(self):
+        pipeline = Pipeline([TagStage("a"), TagStage("b")])
+        assert pipeline.run(["x", "y"]) == ["xab", "yab"]
+
+    def test_then_appends(self):
+        pipeline = Pipeline([TagStage("a")]).then(TagStage("b"))
+        assert pipeline.run(["x"]) == ["xab"]
+
+    def test_needs_stages(self):
+        with pytest.raises(PipelineError):
+            Pipeline([])
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(PipelineError):
+            Pipeline([TagStage("a")], batch_size=0)
+
+    def test_metrics_before_run_raises(self):
+        with pytest.raises(PipelineError):
+            Pipeline([TagStage("a")]).metrics
+
+
+class TestExecution:
+    def test_batching(self):
+        pipeline = Pipeline([TagStage("a")], batch_size=3)
+        out = pipeline.run(["i{}".format(n) for n in range(10)])
+        assert len(out) == 10
+        metrics = pipeline.metrics["tag-a"]
+        assert metrics.batches == 4  # 3 + 3 + 3 + 1
+        assert metrics.items_in == 10
+        assert metrics.items_out == 10
+
+    def test_generator_source_is_consumed_lazily(self):
+        seen = []
+
+        def source():
+            for n in range(5):
+                seen.append(n)
+                yield n
+
+        pipeline = Pipeline([MapStage(lambda x: x * 2)], batch_size=2)
+        iterator = pipeline.run_iter(source())
+        first = next(iterator)
+        assert first == [0, 2]
+        assert seen == [0, 1]  # only one batch pulled so far
+        rest = [item for batch in iterator for item in batch]
+        assert rest == [4, 6, 8]
+
+    def test_finish_cascades_downstream(self):
+        pipeline = Pipeline([BufferingStage(), TagStage("z")],
+                            batch_size=2)
+        assert pipeline.run(["a", "b", "c"]) == ["az", "bz", "cz"]
+        # The tag stage only ever saw the flushed batch.
+        assert pipeline.metrics["tag-z"].batches == 1
+        assert pipeline.metrics["buffer"].items_out == 3
+
+    def test_empty_source(self):
+        pipeline = Pipeline([TagStage("a")])
+        assert pipeline.run([]) == []
+        assert pipeline.metrics["tag-a"].items_in == 0
+
+    def test_collect_false_discards_output(self):
+        pipeline = Pipeline([TagStage("a")])
+        assert pipeline.run(["x"], collect=False) == []
+        assert pipeline.metrics["tag-a"].items_out == 1
+
+    def test_empty_batch_short_circuits_downstream(self):
+        pipeline = Pipeline([FilterStage(lambda x: False,
+                                         name="drop-all"),
+                             TagStage("a")], batch_size=2)
+        assert pipeline.run([1, 2, 3]) == []
+        assert pipeline.metrics["drop-all"].dropped == 3
+        assert pipeline.metrics["tag-a"].batches == 0
+
+    def test_rerun_resets_metrics(self):
+        pipeline = Pipeline([TagStage("a")])
+        pipeline.run(["x", "y"])
+        pipeline.run(["z"])
+        assert pipeline.metrics["tag-a"].items_in == 1
+
+
+class TestMetrics:
+    def test_drop_accounting(self):
+        pipeline = Pipeline([FilterStage(lambda x: x % 2 == 0,
+                                         name="evens",
+                                         drop_reason="odd")])
+        out = pipeline.run(list(range(6)))
+        assert out == [0, 2, 4]
+        metrics = pipeline.metrics["evens"]
+        assert metrics.drops == {"odd": 3}
+        assert metrics.dropped == 3
+
+    def test_render_contains_stage_rows(self):
+        pipeline = Pipeline([TagStage("a"), TagStage("b")])
+        pipeline.run(["x"])
+        text = pipeline.metrics.render()
+        assert "tag-a" in text
+        assert "tag-b" in text
+
+    def test_unknown_stage_name_lookup(self):
+        pipeline = Pipeline([TagStage("a")])
+        pipeline.run([])
+        with pytest.raises(KeyError):
+            pipeline.metrics["nope"]
+
+    def test_as_dict_shape(self):
+        pipeline = Pipeline([TagStage("a")])
+        pipeline.run(["x"])
+        data = pipeline.metrics.as_dict()
+        assert data["stages"][0]["name"] == "tag-a"
+        assert data["stages"][0]["items_in"] == 1

@@ -1,0 +1,73 @@
+"""Tests for the named-stage registry."""
+
+import pytest
+
+from repro.pipeline import (
+    Stage,
+    UnknownStageError,
+    available_stages,
+    create_stage,
+    register_stage,
+    stage_catalog,
+)
+from repro.pipeline.registry import _REGISTRY
+
+
+class TestLookup:
+    def test_builtins_are_registered(self):
+        names = available_stages()
+        for name in ("clean", "segment", "trace", "annotate", "store",
+                     "state-sequences", "prefixspan", "jsonl-sink",
+                     "collect"):
+            assert name in names
+
+    def test_create_known_stage(self):
+        stage = create_stage("prefixspan", min_support=3)
+        assert stage.name == "prefixspan"
+        assert stage.min_support == 3
+
+    def test_unknown_stage_raises_with_catalog(self):
+        with pytest.raises(UnknownStageError) as excinfo:
+            create_stage("does-not-exist")
+        message = str(excinfo.value)
+        assert "does-not-exist" in message
+        assert "clean" in message  # the message lists what exists
+
+    def test_unknown_stage_is_a_key_error(self):
+        with pytest.raises(KeyError):
+            create_stage("nope")
+
+    def test_catalog_has_descriptions(self):
+        catalog = dict(stage_catalog())
+        assert catalog["clean"].startswith("Stage 1")
+        assert all(name for name in catalog)
+
+
+class TestRegistration:
+    def test_register_custom_stage_decorator(self):
+        try:
+            @register_stage("test-custom")
+            class CustomStage(Stage):
+                name = "test-custom"
+
+            stage = create_stage("test-custom")
+            assert isinstance(stage, CustomStage)
+        finally:
+            _REGISTRY.pop("test-custom", None)
+
+    def test_register_factory_directly(self):
+        try:
+            register_stage("test-factory",
+                           lambda: Stage())
+            assert "test-factory" in available_stages()
+            assert isinstance(create_stage("test-factory"), Stage)
+        finally:
+            _REGISTRY.pop("test-factory", None)
+
+    def test_reregistering_overrides(self):
+        try:
+            register_stage("test-override", lambda: "first")
+            register_stage("test-override", lambda: "second")
+            assert create_stage("test-override") == "second"
+        finally:
+            _REGISTRY.pop("test-override", None)

@@ -1,0 +1,180 @@
+"""Tests for the built-in stage catalog (builder, storage, mining)."""
+
+import pytest
+
+from repro.core import DetectionRecord, TrajectoryBuilder
+from repro.pipeline import (
+    JsonlSinkStage,
+    Pipeline,
+    PrefixSpanStage,
+    SegmentStage,
+    StateSequenceStage,
+    StoreSinkStage,
+)
+from repro.storage import TrajectoryStore, read_trajectories_jsonl
+
+
+@pytest.fixture()
+def builder(louvre_space):
+    return TrajectoryBuilder(louvre_space.dataset_zone_nrg())
+
+
+def rec(mo, state, start, end, visit=None):
+    return DetectionRecord(mo, state, start, end, visit_id=visit)
+
+
+class TestBuilderStages:
+    def test_clean_stage_counts_reasons(self, builder):
+        pipeline = Pipeline([builder.stages()[0]])
+        records = [
+            rec("a", "zone60853", 0.0, 10.0),
+            rec("a", "zone60853", 20.0, 20.0),    # zero duration
+            rec("a", "zone60853", 40.0, 30.0),    # negative duration
+            rec("a", "not-a-zone", 50.0, 60.0),   # unknown state
+        ]
+        out = pipeline.run(records)
+        assert len(out) == 1
+        metrics = pipeline.metrics["clean"]
+        assert metrics.drops == {"zero_duration": 1,
+                                 "negative_duration": 1,
+                                 "unknown_state": 1}
+
+    def test_exact_matches_legacy_methods(self, builder, small_corpus):
+        _, records = small_corpus
+        cleaned, _ = builder.clean(records)
+        expected = [builder.build_trajectory(v)
+                    for v in builder.split_visits(cleaned)]
+        built = Pipeline(builder.stages(), batch_size=97).run(records)
+        assert [t.to_dict() for t in built] \
+            == [t.to_dict() for t in expected]
+
+    def test_batch_boundary_does_not_change_segmentation(self, builder):
+        # One gap-segmented visit pair whose records straddle every
+        # possible batch boundary must segment identically to the
+        # materialized (exact, single-batch) path.
+        records = [
+            rec("a", "zone60853", 0.0, 100.0),
+            rec("a", "zone60854", 110.0, 200.0),
+            rec("a", "zone60853", 220.0, 300.0),
+            # > 4 h inactivity gap: a second visit
+            rec("a", "zone60854", 20000.0, 20100.0),
+            rec("a", "zone60855", 20110.0, 20200.0),
+        ]
+        exact = Pipeline(builder.stages(),
+                         batch_size=len(records)).run(records)
+        assert len(exact) == 2
+        for batch_size in range(1, len(records) + 1):
+            for streaming in (False, True):
+                out = Pipeline(builder.stages(streaming=streaming),
+                               batch_size=batch_size).run(records)
+                assert [t.to_dict() for t in out] \
+                    == [t.to_dict() for t in exact], \
+                    "batch_size={} streaming={}".format(batch_size,
+                                                        streaming)
+
+    def test_streaming_flushes_visits_before_end_of_stream(self,
+                                                           builder):
+        # With visit_id-contiguous input, a visit is emitted as soon
+        # as the next key arrives — not held until the source ends.
+        records = [rec("a", "zone60853", 0.0, 10.0, visit="v1"),
+                   rec("a", "zone60854", 20.0, 30.0, visit="v1"),
+                   rec("b", "zone60853", 0.0, 10.0, visit="v2")]
+        stage = SegmentStage(builder, streaming=True)
+        assert stage.process(records[:2]) == []
+        emitted = stage.process(records[2:])
+        assert len(emitted) == 1
+        assert [r.visit_id for r in emitted[0]] == ["v1", "v1"]
+        assert len(stage.finish()) == 1
+
+    def test_empty_corpus(self, builder):
+        trajectories, report = builder.build_all([])
+        assert trajectories == []
+        assert report.trajectories == 0
+        assert report.cleaning.total == 0
+        assert report.stage_metrics["annotate"].items_out == 0
+
+    def test_single_record_corpus(self, builder):
+        trajectories, report = builder.build_all(
+            [rec("solo", "zone60853", 0.0, 60.0)])
+        assert len(trajectories) == 1
+        assert len(trajectories[0].trace) == 1
+        assert report.entries == 1
+        assert report.cleaning.kept == 1
+
+    def test_build_all_reports_engine_drop_counts(self, builder,
+                                                  small_corpus):
+        _, records = small_corpus
+        _, report = builder.build_all(records)
+        clean = report.stage_metrics["clean"]
+        assert clean.drops["zero_duration"] \
+            == report.cleaning.dropped_zero_duration
+        assert clean.items_in == report.cleaning.total
+        share = clean.drops["zero_duration"] / clean.items_in
+        assert share == pytest.approx(
+            report.cleaning.zero_duration_share)
+
+
+class TestStorageStages:
+    def test_store_sink_extends_and_passes_through(self,
+                                                   small_trajectories):
+        sink = StoreSinkStage()
+        pipeline = Pipeline([sink], batch_size=17)
+        out = pipeline.run(small_trajectories)
+        assert len(out) == len(small_trajectories)
+        assert len(sink.store) == len(small_trajectories)
+        assert list(sink.store)[0] is small_trajectories[0]
+
+    def test_store_extend_matches_per_insert(self, small_trajectories):
+        a, b = TrajectoryStore(), TrajectoryStore()
+        for trajectory in small_trajectories:
+            a.insert(trajectory)
+        ids = b.extend(small_trajectories)
+        assert ids == list(range(len(small_trajectories)))
+        assert a.state_cardinalities() == b.state_cardinalities()
+        assert a.moving_objects() == b.moving_objects()
+        window = (small_trajectories[0].t_start,
+                  small_trajectories[0].t_end)
+        assert a.ids_active_between(*window) \
+            == b.ids_active_between(*window)
+
+    def test_store_extend_rebuild_interval(self, small_trajectories):
+        store = TrajectoryStore()
+        store.extend(small_trajectories[:3], rebuild_interval=True)
+        # The interval index is already warm (private but load-bearing
+        # for the batched-ingest contract).
+        assert store._interval_index is not None
+        store.extend(small_trajectories[3:5])
+        assert store._interval_index is None
+
+    def test_jsonl_sink_round_trip(self, small_trajectories, tmp_path):
+        path = str(tmp_path / "out.jsonl")
+        sink = JsonlSinkStage(path)
+        Pipeline([sink], batch_size=7).run(small_trajectories[:10],
+                                           collect=False)
+        assert sink.written == 10
+        loaded = read_trajectories_jsonl(path)
+        assert [t.to_dict() for t in loaded] \
+            == [t.to_dict() for t in small_trajectories[:10]]
+
+
+class TestMiningStages:
+    def test_state_sequences_then_prefixspan(self, small_trajectories):
+        miner = PrefixSpanStage(min_support=2, max_length=3)
+        pipeline = Pipeline([StateSequenceStage(), miner],
+                            batch_size=31)
+        patterns = pipeline.run(small_trajectories)
+        assert patterns
+        assert patterns == miner.patterns
+        assert all(p.support >= 2 for p in patterns)
+
+    def test_fractional_support_resolved_at_flush(self,
+                                                  small_trajectories):
+        miner = PrefixSpanStage(min_support=0.5, max_length=2)
+        Pipeline([StateSequenceStage(), miner]).run(small_trajectories)
+        expected = max(2, int(len(small_trajectories) * 0.5))
+        assert miner.metrics.counters["min_support"] == expected
+
+    def test_prefixspan_empty_input(self):
+        miner = PrefixSpanStage(min_support=2)
+        assert Pipeline([miner]).run([]) == []
+        assert miner.patterns == []

@@ -42,5 +42,82 @@ class TestCommands:
     def test_experiments_small_scale(self, capsys):
         assert main(["experiments", "--scale", "0.01"]) == 0
         out = capsys.readouterr().out
-        for marker in ("T1", "F1", "F6", "S41"):
+        for marker in ("T1", "F1", "F6", "S41", "ENG"):
             assert marker in out
+
+
+class TestPipelineCommands:
+    def test_pipeline_help_smoke(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["pipeline", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "run" in out
+        assert "stages" in out
+
+    def test_pipeline_run_help_smoke(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["pipeline", "run", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--batch-size" in out
+        assert "--streaming" in out
+
+    def test_pipeline_stages_lists_catalog(self, capsys):
+        assert main(["pipeline", "stages"]) == 0
+        out = capsys.readouterr().out
+        for name in ("clean", "segment", "trace", "annotate",
+                     "store", "prefixspan"):
+            assert name in out
+
+    def test_pipeline_run_small(self, capsys):
+        assert main(["pipeline", "run", "--scale", "0.01",
+                     "--store", "--mine",
+                     "--batch-size", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "stored trajectories:" in out
+
+    def test_pipeline_run_streaming_with_jsonl(self, tmp_path,
+                                               capsys):
+        out_path = str(tmp_path / "trajectories.jsonl")
+        assert main(["pipeline", "run", "--scale", "0.01",
+                     "--streaming", "--out", out_path]) == 0
+        capsys.readouterr()
+        from repro.storage import read_trajectories_jsonl
+        assert read_trajectories_jsonl(out_path)
+
+    def test_pipeline_run_from_csv(self, tmp_path, capsys):
+        csv_path = str(tmp_path / "detections.csv")
+        assert main(["generate", "--scale", "0.01",
+                     "--out", csv_path]) == 0
+        assert main(["pipeline", "run", "--csv", csv_path]) == 0
+        out = capsys.readouterr().out
+        assert "annotate" in out
+
+    def test_pipeline_run_unknown_stage(self, capsys):
+        assert main(["pipeline", "run", "--scale", "0.01",
+                     "--stages", "clean,nope"]) == 2
+        err = capsys.readouterr().err
+        assert "nope" in err
+
+    def test_pipeline_run_jsonl_stage_needs_out(self, capsys):
+        assert main(["pipeline", "run", "--scale", "0.01",
+                     "--stages", "clean,segment,trace,annotate,"
+                                 "jsonl-sink"]) == 2
+        err = capsys.readouterr().err
+        assert "--out" in err
+
+    def test_pipeline_run_jsonl_stage_listed_with_out(self, tmp_path,
+                                                      capsys):
+        # Listing jsonl-sink explicitly plus --out must not attach
+        # two sinks writing the same file.
+        out_path = str(tmp_path / "t.jsonl")
+        assert main(["pipeline", "run", "--scale", "0.01",
+                     "--stages", "clean,segment,trace,annotate,"
+                                 "jsonl-sink",
+                     "--out", out_path]) == 0
+        out = capsys.readouterr().out
+        assert out.count("jsonl-sink") == 2  # chain line + table row
+        from repro.storage import read_trajectories_jsonl
+        assert read_trajectories_jsonl(out_path)
