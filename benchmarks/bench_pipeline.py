@@ -90,11 +90,12 @@ def test_bench_store_query(benchmark, full_corpus_trajectories):
     store.extend(full_corpus_trajectories)
 
     def query():
+        # execute() is lazy; materialize so the index work is timed.
         return (Query(store)
                 .visiting_state("zone60853")
                 .with_annotation(AnnotationKind.GOAL, "visit")
                 .min_entries(2)
-                .execute())
+                .execute().to_list())
 
     hits = benchmark(query)
     assert hits

@@ -1,0 +1,138 @@
+"""Bench Q1 — the cost-based planner vs. naive execution.
+
+Runs the PR-2 query stack on the full Louvre corpus (4,819 stored
+trajectories): a selective conjunction (rare state ∧ time window),
+an OR/NOT expression, the index-only ``count()`` fast path, and —
+the headline assertion — a timed comparison showing the planned
+execution beating a brute-force scan on selective queries.
+
+Every test here also runs in CI smoke mode
+(``pytest benchmarks/bench_query.py --benchmark-disable``), where the
+``benchmark`` fixture degrades to a single call; the planner-vs-naive
+assertion uses its own best-of-N timing and holds either way.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.storage import Query, TrajectoryStore, expr as E
+from repro.storage.planner import plan_expression
+
+
+@pytest.fixture(scope="module")
+def store(full_corpus_trajectories):
+    store = TrajectoryStore()
+    store.extend(full_corpus_trajectories, rebuild_interval=True)
+    return store
+
+
+@pytest.fixture(scope="module")
+def selective_expression(store):
+    """Rare state ∧ time window: the planner's showcase shape."""
+    cardinalities = store.state_cardinalities()
+    rare_state = min(cardinalities, key=cardinalities.get)
+    start, end = store.time_span()
+    window_end = start + (end - start) * 0.25
+    return E.state(rare_state) & E.time_window(start, window_end) \
+        & E.goal("visit")
+
+
+def naive_execute(store, expression):
+    """Brute force: scan every trajectory, no indexes, no planner."""
+    return [doc_id for doc_id in sorted(store.all_ids())
+            if expression.matches(store.get(doc_id))]
+
+
+def test_bench_planned_selective(benchmark, store,
+                                 selective_expression):
+    """Planned execution of the selective conjunction."""
+    query = Query(store, selective_expression)
+    hits = benchmark(lambda: query.execute().to_list())
+    assert [h.doc_id for h in hits] \
+        == naive_execute(store, selective_expression)
+
+
+def test_bench_naive_selective(benchmark, store,
+                               selective_expression):
+    """The same conjunction as a full brute-force scan."""
+    hits = benchmark(naive_execute, store, selective_expression)
+    assert hits == [h.doc_id for h in
+                    Query(store, selective_expression).execute()]
+
+
+def test_bench_or_not_expression(benchmark, store):
+    """Union + difference: (a ∨ b) ∧ ¬c through the planner."""
+    expression = ((E.state("zone60853") | E.state("zone60854"))
+                  & ~E.state("zone60891"))
+    query = Query(store, expression)
+    hits = benchmark(lambda: query.execute().to_list())
+    assert [h.doc_id for h in hits] == naive_execute(store, expression)
+
+
+def test_bench_count_fast_path(benchmark, store):
+    """Index-only count() vs. materializing execute()."""
+    query = Query(store).visiting_state("zone60853")
+    count = benchmark(query.count)
+    assert count == len(query.execute().to_list())
+
+
+def test_planner_beats_naive_on_selective_query(
+        store, selective_expression):
+    """The acceptance assertion: planned ≪ brute force.
+
+    Times both paths best-of-5; the planned run touches only the rare
+    state's posting list while the naive run scans 4,819 traces, so
+    the margin is large and the assertion is timing-robust.
+    """
+    query = Query(store, selective_expression)
+    expected = naive_execute(store, selective_expression)
+
+    def best_of(fn, rounds=5):
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    planned = best_of(lambda: query.execute().to_list())
+    naive = best_of(lambda: naive_execute(store,
+                                          selective_expression))
+    assert [h.doc_id for h in query.execute()] == expected
+    assert planned < naive / 2, \
+        "planned {:.6f}s not faster than naive {:.6f}s".format(
+            planned, naive)
+
+
+def test_explain_shows_cost_based_choices(store,
+                                          selective_expression):
+    """The full-corpus plan anchors on the rare state and demotes
+    the unselective window/annotation to streamed verification."""
+    plan = plan_expression(store, selective_expression)
+    text = plan.explain()
+    scans = [line for line in text.splitlines()
+             if "index-scan" in line]
+    assert scans and "state=" in scans[0]  # the rare state anchors
+    assert "residual (streamed)" in text
+    assert "window=" in text  # demoted, not materialized
+    # Two mid-size states intersect normally, smallest first.
+    cards = store.state_cardinalities()
+    a, b = sorted(cards, key=cards.get)[1:3]
+    two = plan_expression(store, E.state(b) & E.state(a))
+    assert "intersect (smallest-first)" in two.explain()
+    first_scan = [line for line in two.explain().splitlines()
+                  if "index-scan" in line][0]
+    assert "state='{}'".format(a) in first_scan
+
+
+def test_serialization_identical_results_full_corpus(store):
+    """from_dict(to_dict) returns identical results at full scale."""
+    query = (Query(store).visiting_state("zone60853")
+             .active_between(*store.time_span())
+             .min_entries(2))
+    restored = Query.from_dict(store, query.to_dict())
+    assert restored.execute().ids() == query.execute().ids()
+    assert restored.count() == query.count()

@@ -75,15 +75,24 @@ def main(scale: float = 0.1) -> None:
     print("  gaps examined:", report.gaps_examined)
     print("  presence tuples inferred:", report.tuples_inserted)
 
-    print("\n=== querying the populated store ===")
+    print("\n=== querying the populated store (planned, lazy) ===")
     store = store_sink.store
-    mona_lisa_visits = (Query(store)
-                        .visiting_state("zone60853")
-                        .with_annotation(AnnotationKind.GOAL, "visit")
-                        .execute())
+    mona_lisa = (Query(store)
+                 .visiting_state("zone60853")
+                 .with_annotation(AnnotationKind.GOAL, "visit"))
     print("  trajectories stored:", len(store))
+    for line in mona_lisa.explain().splitlines():
+        print("  | " + line)
+    # count() touches only the index candidates the plan proved,
+    # never the rest of the corpus (goal:visit is demoted to a
+    # streamed check because nearly every visit carries it).
     print("  visits reaching the Salle des États zone:",
-          len(mona_lisa_visits))
+          mona_lisa.count())
+    longest = mona_lisa.order_by("duration", reverse=True).first()
+    if longest is not None:
+        print("  longest such visit: {} ({:.1f}h)".format(
+            longest.trajectory.mo_id,
+            longest.trajectory.duration / 3600))
 
     print("\n=== mining: zone-level sequential patterns ===")
     for pattern in miner.patterns[:8]:

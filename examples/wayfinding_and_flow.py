@@ -8,7 +8,7 @@ museum.
 Run:  python examples/wayfinding_and_flow.py
 """
 
-from repro.core import TrajectoryBuilder
+from repro.api import Workbench
 from repro.core.timeutil import clock, from_date
 from repro.indoor.navigation import (
     RoutePlanner,
@@ -21,12 +21,11 @@ from repro.louvre.floorplan import SALLE_DES_ETATS_ROOM
 from repro.louvre.zones import ZONE_C, ZONE_E, ZONE_ENTRANCE
 from repro.mining.flow import (
     congestion_profile,
-    flow_balances,
     hourly_occupancy,
     od_matrix,
     peak_hour,
 )
-from repro.pipeline import Pipeline, StoreSinkStage, louvre_source
+from repro.storage import expr as E
 
 
 def wayfinding_demo(space: LouvreSpace) -> None:
@@ -57,39 +56,38 @@ def wayfinding_demo(space: LouvreSpace) -> None:
 
 
 def flow_demo(space: LouvreSpace) -> None:
-    print("\n=== collective flow analytics ===")
-    # Build and index the 10%-scale corpus in one streaming engine run.
-    builder = TrajectoryBuilder(space.dataset_zone_nrg())
-    store_sink = StoreSinkStage()
-    pipeline = Pipeline(builder.stages(streaming=True) + [store_sink],
-                        batch_size=512)
-    pipeline.run(louvre_source(space, scale=0.1), collect=False)
-    trajectories = list(store_sink.store)
+    print("\n=== collective flow analytics (via the Workbench) ===")
+    # One facade call: generate → build → store, engine-backed.
+    workbench = Workbench.louvre(scale=0.1, space=space)
+    metrics = workbench.metrics
     print("engine: {} records -> {} trajectories in {:.3f}s".format(
-        pipeline.metrics["clean"].items_in, len(trajectories),
-        pipeline.metrics.total_seconds))
+        metrics["clean"].items_in, len(workbench.store),
+        metrics.total_seconds))
 
     print("top origin→destination pairs:")
-    matrix = od_matrix(trajectories)
+    matrix = od_matrix(workbench.store)
     for (origin, destination), count in sorted(
             matrix.items(), key=lambda kv: -kv[1])[:5]:
         print("  {:5d}x  {} → {}".format(count, origin, destination))
 
-    print("\nflow imbalance (sources < 0 < sinks):")
-    for balance in flow_balances(trajectories)[:5]:
+    # Mining straight over a *query*: only multi-zone visits.
+    roaming = workbench.query(E.min_entries(2))
+    print("\nflow imbalance over {} multi-zone visits "
+          "(sources < 0 < sinks):".format(roaming.count()))
+    for balance in workbench.flow(roaming)[:5]:
         print("  {:10s} in={:5d} out={:5d} imbalance={:+d}".format(
             balance.state, balance.inflow, balance.outflow,
             balance.imbalance))
 
     print("\nbusiest hour per headline zone:")
-    occupancy = hourly_occupancy(trajectories,
+    occupancy = hourly_occupancy(workbench.store,
                                  states=["zone60853", "zone60886"])
     for zone, series in occupancy.items():
         print("  {}: peak at {:02d}:00 ({:.0f} presence-hours)".format(
             zone, peak_hour(series), series[peak_hour(series)] / 3600))
 
     print("\ncongestion through one afternoon:")
-    store = store_sink.store
+    store = workbench.store
     day = from_date("15-02-2017")
     for t, total, busiest in congestion_profile(
             store, day + 12 * 3600, day + 17 * 3600, step=3600.0):

@@ -17,14 +17,27 @@ substrate the model depends on:
   statistics-calibrated synthetic corpus;
 * :mod:`repro.mining` — sequential patterns, association rules,
   similarity, profiling, floor-switching analysis;
-* :mod:`repro.storage` — trajectory store, indexes, query API;
+* :mod:`repro.storage` — trajectory store, indexes, the declarative
+  planned query API (expression trees, cost-based planner, lazy
+  result sets);
 * :mod:`repro.experiments` — executable reproductions of every table
   and figure in the paper;
+* :mod:`repro.api` — the :class:`~repro.api.Workbench` facade
+  unifying generate → build → store → query → mine;
 * :mod:`repro.cli` — command-line interface.
 
 See README.md for a tour and DESIGN.md for the system inventory.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "Workbench"]
+
+
+def __getattr__(name):
+    # Lazy so `import repro` stays light; `repro.Workbench` works.
+    if name == "Workbench":
+        from repro.api import Workbench
+        return Workbench
+    raise AttributeError(
+        "module {!r} has no attribute {!r}".format(__name__, name))

@@ -1,0 +1,222 @@
+"""The workbench facade: generate → build → store → query → mine.
+
+:class:`Workbench` unifies the reproduction's layers behind one
+object.  A workbench owns a space model, a
+:class:`~repro.storage.store.TrajectoryStore`, and the metrics of its
+last build; it ingests detection records through the streaming
+pipeline engine, exposes the declarative planned query API, and feeds
+query results straight into the mining layer::
+
+    from repro.api import Workbench
+    from repro.storage import expr as E
+
+    wb = Workbench.louvre(scale=0.1)
+    salle = wb.query().matching(E.state("zone60853") & E.goal("visit"))
+    print(salle.explain())
+    patterns = wb.patterns(salle, min_support=0.1)
+    balances = wb.flow(salle.execute().limit(500))
+
+Every mining entry point (:meth:`sequences`, :meth:`similarity`,
+:meth:`flow`, :meth:`patterns`) accepts a corpus in any form — a
+query, a lazy result set, stored hits, plain trajectories, or nothing
+(meaning the whole store).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.builder import DetectionRecord, TrajectoryBuilder
+from repro.mining.corpus import Corpus, iter_trajectories
+from repro.mining.flow import FlowBalance, flow_balances
+from repro.mining.prefixspan import SequentialPattern, prefixspan
+from repro.mining.sequences import corpus_summary, state_sequences
+from repro.mining.similarity import similarity_matrix
+from repro.pipeline import Pipeline, Stage, StoreSinkStage
+from repro.pipeline.metrics import PipelineMetrics
+from repro.storage.expr import Expr
+from repro.storage.query import Query
+from repro.storage.results import ResultSet
+from repro.storage.store import TrajectoryStore
+
+
+class Workbench:
+    """One handle over a corpus: build it, query it, mine it.
+
+    Args:
+        space: the indoor space model (needed for building from
+            detection records and for hierarchy-aware mining); may be
+            ``None`` for pre-built trajectory corpora.
+        store: an existing store to adopt; a fresh one by default.
+    """
+
+    def __init__(self, space: Optional[object] = None,
+                 store: Optional[TrajectoryStore] = None) -> None:
+        self.space = space
+        self.store = store if store is not None else TrajectoryStore()
+        #: Metrics of the most recent :meth:`build` run.
+        self.metrics: Optional[PipelineMetrics] = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def louvre(cls, scale: float = 1.0, space: Optional[object] = None,
+               batch_size: int = 512,
+               streaming: bool = True) -> "Workbench":
+        """A workbench over the (scaled) synthetic Louvre corpus."""
+        from repro.louvre.space import LouvreSpace
+        from repro.pipeline.sources import louvre_source
+
+        workbench = cls(space=space if space is not None
+                        else LouvreSpace())
+        workbench.build(louvre_source(workbench.space, scale=scale),
+                        batch_size=batch_size, streaming=streaming)
+        return workbench
+
+    @classmethod
+    def from_csv(cls, path: str, space: Optional[object] = None,
+                 batch_size: int = 512,
+                 streaming: bool = False) -> "Workbench":
+        """A workbench built from a detection CSV (Louvre zones by
+        default)."""
+        from repro.louvre.space import LouvreSpace
+        from repro.pipeline.sources import csv_source
+
+        workbench = cls(space=space if space is not None
+                        else LouvreSpace())
+        workbench.build(csv_source(path), batch_size=batch_size,
+                        streaming=streaming)
+        return workbench
+
+    @classmethod
+    def from_trajectories(cls,
+                          trajectories: Corpus,
+                          space: Optional[object] = None) -> "Workbench":
+        """A workbench over already-built trajectories (no pipeline
+        run)."""
+        workbench = cls(space=space)
+        workbench.store.extend(iter_trajectories(trajectories))
+        return workbench
+
+    # ------------------------------------------------------------------
+    # build (the pipeline engine)
+    # ------------------------------------------------------------------
+    def build(self, records: Iterable[DetectionRecord],
+              batch_size: int = 512, streaming: bool = True,
+              extra_stages: Sequence[Stage] = ()) -> PipelineMetrics:
+        """Stream detection records through clean → segment → trace →
+        annotate → store, appending to this workbench's store.
+
+        Args:
+            records: any detection-record iterable (a pipeline source).
+            batch_size: engine batch size.
+            streaming: use the O(longest-visit) streaming segmenter
+                (requires visit-contiguous input, as the bundled
+                sources produce).
+            extra_stages: stages appended between ``annotate`` and the
+                store sink (e.g. a gap-inference stage).
+
+        Raises:
+            ValueError: when the workbench has no space model.
+        """
+        if self.space is None:
+            raise ValueError(
+                "building from detection records needs a space model; "
+                "construct the Workbench with one or use "
+                "from_trajectories()")
+        builder = TrajectoryBuilder(self.space.dataset_zone_nrg())
+        sink = StoreSinkStage(store=self.store)
+        pipeline = Pipeline(
+            builder.stages(streaming=streaming) + list(extra_stages)
+            + [sink],
+            batch_size=batch_size)
+        pipeline.run(records, collect=False)
+        self.metrics = pipeline.metrics
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    # query surface
+    # ------------------------------------------------------------------
+    def query(self, expression: Optional[Expr] = None) -> Query:
+        """A planned query over the store (optionally pre-seeded)."""
+        return Query(self.store, expression)
+
+    def find(self, expression: Expr) -> ResultSet:
+        """Plan and execute an expression; a lazy result stream."""
+        return self.query(expression).execute()
+
+    def explain(self, expression: Expr) -> str:
+        """The selectivity-ordered plan an expression compiles to."""
+        return self.query(expression).explain()
+
+    def load_query(self, data: Mapping) -> Query:
+        """Rebuild a serialized query (:meth:`Query.to_dict`) against
+        this store."""
+        return Query.from_dict(self.store, data)
+
+    # ------------------------------------------------------------------
+    # mining over any corpus form
+    # ------------------------------------------------------------------
+    def _corpus(self, corpus: Optional[Corpus]) -> Corpus:
+        return self.store if corpus is None else corpus
+
+    def sequences(self, corpus: Optional[Corpus] = None
+                  ) -> List[List[str]]:
+        """Distinct state sequences (``None`` → the whole store)."""
+        return state_sequences(self._corpus(corpus))
+
+    def patterns(self, corpus: Optional[Corpus] = None,
+                 min_support: float = 0.05,
+                 max_length: int = 4) -> List[SequentialPattern]:
+        """Sequential patterns (PrefixSpan) over a corpus.
+
+        Args:
+            corpus: any corpus form; ``None`` mines the whole store.
+            min_support: absolute count when >= 1, else a fraction of
+                the corpus (floored at 2).
+            max_length: longest pattern to explore.
+        """
+        sequences = self.sequences(corpus)
+        if not sequences:
+            return []
+        if min_support >= 1:
+            support = int(min_support)
+        else:
+            support = max(2, int(math.ceil(min_support
+                                           * len(sequences))))
+        return prefixspan(sequences, support, max_length)
+
+    def similarity(self, corpus: Optional[Corpus] = None,
+                   hierarchy: Optional[object] = None
+                   ) -> List[List[float]]:
+        """Pairwise trajectory similarity matrix over a corpus.
+
+        Uses the hierarchy-aware metric when a layer hierarchy is
+        given — or the space's ``zone_hierarchy`` when it has one —
+        and plain normalized edit similarity otherwise.
+        """
+        if hierarchy is None:
+            hierarchy = getattr(self.space, "zone_hierarchy", None)
+        return similarity_matrix(hierarchy, self.sequences(corpus))
+
+    def flow(self, corpus: Optional[Corpus] = None
+             ) -> List[FlowBalance]:
+        """Per-cell flow balances over a corpus."""
+        return flow_balances(self._corpus(corpus))
+
+    def summary(self, corpus: Optional[Corpus] = None
+                ) -> Dict[str, float]:
+        """Section 4.1-style headline numbers over a corpus."""
+        return corpus_summary(self._corpus(corpus))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def __repr__(self) -> str:
+        return "Workbench(store={} trajectories, space={})".format(
+            len(self.store),
+            type(self.space).__name__ if self.space is not None
+            else None)

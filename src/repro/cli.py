@@ -9,6 +9,8 @@ Usage (after installation)::
     python -m repro.cli zones
     python -m repro.cli pipeline run --scale 0.1 --store --mine
     python -m repro.cli pipeline stages
+    python -m repro.cli query --visiting zone60853 --or \\
+        --annotation goal=visit --limit 10 --explain
 
 Every subcommand is a thin shell over the library API, so scripted
 pipelines can do exactly what the CLI does.
@@ -179,6 +181,145 @@ def cmd_pipeline_stages(args: argparse.Namespace) -> int:
     return 0
 
 
+class _TermAction(argparse.Action):
+    """Collect query predicates in *command-line order*.
+
+    Boolean structure depends on where ``--or`` / ``--not`` appear
+    relative to the predicates, so every query option appends an
+    ``(option, value)`` pair to one shared ordered list instead of
+    its own namespace slot.
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        terms = getattr(namespace, "terms", None)
+        if terms is None:
+            terms = []
+            namespace.terms = terms
+        terms.append((self.dest, values))
+
+
+def _parse_query_terms(terms):
+    """Ordered (option, value) pairs → an expression tree.
+
+    ``--or`` splits the predicates into disjunct groups; ``--not``
+    negates the predicate that follows it.  Each group is an And, the
+    groups are Or-ed.
+
+    Raises:
+        ValueError: for dangling ``--or``/``--not`` or malformed
+            ``--annotation`` values.
+    """
+    from repro.core.annotations import AnnotationKind
+    from repro.storage import expr as E
+
+    groups = [[]]
+    negate_next = False
+    for option, value in terms:
+        if option == "or_sep":
+            if negate_next:
+                raise ValueError("--not needs a predicate after it")
+            if not groups[-1]:
+                raise ValueError("--or needs a predicate before it")
+            groups.append([])
+            continue
+        if option == "not_next":
+            negate_next = not negate_next  # --not --not cancels
+            continue
+        if option == "visiting":
+            node = E.state(value)
+        elif option == "annotation":
+            kind_name, sep, ann_value = value.partition("=")
+            if not sep or not ann_value:
+                raise ValueError(
+                    "--annotation wants KIND=VALUE, e.g. goal=visit")
+            try:
+                kind = AnnotationKind(kind_name)
+            except ValueError:
+                raise ValueError(
+                    "unknown annotation kind {!r}; one of: {}".format(
+                        kind_name, ", ".join(
+                            k.value for k in AnnotationKind)))
+            node = E.annotation(kind, ann_value)
+        elif option == "mo":
+            node = E.moving_object(value)
+        elif option == "between":
+            node = E.time_window(float(value[0]), float(value[1]))
+        elif option == "min_duration":
+            node = E.min_duration(value)
+        elif option == "min_entries":
+            node = E.min_entries(value)
+        elif option == "follows":
+            node = E.follows(*[s.strip() for s in value.split(",")
+                               if s.strip()])
+        else:  # pragma: no cover - guarded by the parser definition
+            raise ValueError("unknown query option {!r}".format(option))
+        if negate_next:
+            node = ~node
+            negate_next = False
+        groups[-1].append(node)
+    if negate_next:
+        raise ValueError("--not needs a predicate after it")
+    if len(groups) > 1 and not groups[-1]:
+        raise ValueError("--or needs a predicate after it")
+    disjuncts = [E.And.of(*group) for group in groups if group]
+    if not disjuncts:
+        return None
+    return E.Or.of(*disjuncts)
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Plan and run a declarative query over a corpus."""
+    from repro.api import Workbench
+    from repro.storage.csvio import read_trajectories_jsonl
+
+    try:
+        expression = _parse_query_terms(getattr(args, "terms", []))
+    except ValueError as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 2
+
+    try:
+        if args.jsonl:
+            workbench = Workbench.from_trajectories(
+                read_trajectories_jsonl(args.jsonl))
+        elif args.csv:
+            workbench = Workbench.from_csv(args.csv)
+        else:
+            workbench = Workbench.louvre(scale=args.scale)
+    except (OSError, ValueError) as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 1
+
+    query = workbench.query(expression)
+    print("corpus: {} trajectories".format(len(workbench.store)))
+    if args.explain:
+        print("plan:")
+        for line in query.explain().splitlines():
+            print("  " + line)
+    if args.count:
+        # Index-only when no residuals remain; never materializes.
+        print("matches: {}".format(query.count()))
+        return 0
+
+    # Execute exactly once; count and shaping both read this list.
+    from repro.storage.results import ORDER_KEYS
+
+    hits = query.execute().to_list()
+    print("matches: {}".format(len(hits)))
+    if args.order_by:
+        hits = sorted(hits, key=ORDER_KEYS[args.order_by],
+                      reverse=args.desc)
+    hits = hits[args.offset:args.offset + args.limit]
+    for hit in hits:
+        trajectory = hit.trajectory
+        sequence = trajectory.distinct_state_sequence()
+        print("#{:<5d} {:12s} {:>7.0f}s  {} states: {}".format(
+            hit.doc_id, trajectory.mo_id, trajectory.duration,
+            len(sequence), " → ".join(sequence[:6])
+            + (" …" if len(sequence) > 6 else "")))
+    return 0
+
+
 def cmd_zones(args: argparse.Namespace) -> int:
     """Print the 52-zone table."""
     print("{:10s} {:10s} {:>5s} {:>8s}  {}".format(
@@ -222,6 +363,73 @@ def build_parser() -> argparse.ArgumentParser:
 
     zones = sub.add_parser("zones", help="print the 52-zone table")
     zones.set_defaults(func=cmd_zones)
+
+    query = sub.add_parser(
+        "query",
+        help="run a declarative planned query over a corpus",
+        description="Predicates are AND-ed; --or starts a new "
+                    "disjunct group; --not negates the next "
+                    "predicate.  Example: --visiting zone60853 --or "
+                    "--annotation goal=visit --limit 10 --explain")
+    corpus = query.add_argument_group("corpus")
+    corpus.add_argument("--scale", type=float, default=0.05,
+                        help="synthetic corpus scale in (0, 1] "
+                             "(default: %(default)s)")
+    corpus.add_argument("--csv", metavar="PATH",
+                        help="build the corpus from a detection CSV")
+    corpus.add_argument("--jsonl", metavar="PATH",
+                        help="load trajectories from a JSON-lines "
+                             "archive")
+    predicates = query.add_argument_group("predicates (order matters)")
+    predicates.add_argument("--visiting", dest="visiting",
+                            action=_TermAction, metavar="STATE",
+                            help="trajectories visiting the state")
+    predicates.add_argument("--annotation", dest="annotation",
+                            action=_TermAction, metavar="KIND=VALUE",
+                            help="trajectories annotated with "
+                                 "KIND=VALUE, e.g. goal=visit")
+    predicates.add_argument("--mo", dest="mo", action=_TermAction,
+                            metavar="ID",
+                            help="one moving object's trajectories")
+    predicates.add_argument("--between", dest="between", nargs=2,
+                            action=_TermAction, metavar=("T1", "T2"),
+                            help="active in the time window [T1, T2]")
+    predicates.add_argument("--min-duration", dest="min_duration",
+                            type=float, action=_TermAction,
+                            metavar="SECONDS",
+                            help="lasting at least SECONDS")
+    predicates.add_argument("--min-entries", dest="min_entries",
+                            type=int, action=_TermAction, metavar="N",
+                            help="with at least N presence intervals")
+    predicates.add_argument("--follows", dest="follows",
+                            action=_TermAction, metavar="A,B,...",
+                            help="containing the contiguous state "
+                                 "sequence")
+    predicates.add_argument("--or", dest="or_sep", nargs=0,
+                            action=_TermAction,
+                            help="start a new OR group")
+    predicates.add_argument("--not", dest="not_next", nargs=0,
+                            action=_TermAction,
+                            help="negate the next predicate")
+    shaping = query.add_argument_group("results")
+    shaping.add_argument("--limit", type=int, default=10,
+                         help="print at most N hits "
+                              "(default: %(default)s)")
+    shaping.add_argument("--offset", type=int, default=0,
+                         help="skip the first N hits")
+    shaping.add_argument("--order-by", dest="order_by",
+                         choices=("doc_id", "mo_id", "t_start",
+                                  "t_end", "duration", "entries"),
+                         help="sort hits by a field")
+    shaping.add_argument("--desc", action="store_true",
+                         help="sort descending")
+    shaping.add_argument("--count", action="store_true",
+                         help="print only the match count")
+    shaping.add_argument("--explain", action="store_true",
+                         help="print the chosen physical plan")
+    # No terms=[] default here: a parser-level list would be shared
+    # across parses; _TermAction lazily creates one per namespace.
+    query.set_defaults(func=cmd_query)
 
     pipeline = sub.add_parser(
         "pipeline",

@@ -20,6 +20,7 @@ from repro.experiments import (
     fig6,
     pipeline_metrics,
     table1,
+    workbench_queries,
 )
 from repro.louvre.space import LouvreSpace
 
@@ -36,10 +37,12 @@ EXPERIMENTS = (
     ("ABL", "Ablations A1–A3", ablations),
     ("ENG", "Pipeline — per-stage streaming engine metrics",
      pipeline_metrics),
+    ("QRY", "Workbench — planned queries + mining over results",
+     workbench_queries),
 )
 
 #: Experiments whose run() accepts a shared LouvreSpace.
-_TAKES_SPACE = {"F2", "F3", "F4", "F6", "S41", "ABL", "ENG"}
+_TAKES_SPACE = {"F2", "F3", "F4", "F6", "S41", "ABL", "ENG", "QRY"}
 
 
 def run_all(scale: float = 1.0) -> Dict[str, Dict[str, object]]:
@@ -55,7 +58,7 @@ def run_all(scale: float = 1.0) -> Dict[str, Dict[str, object]]:
         kwargs: Dict[str, object] = {}
         if exp_id in _TAKES_SPACE:
             kwargs["space"] = space
-        if exp_id in ("F3", "S41", "ENG"):
+        if exp_id in ("F3", "S41", "ENG", "QRY"):
             kwargs["scale"] = scale
         results[exp_id] = module.run(**kwargs)
     return results

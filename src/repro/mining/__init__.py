@@ -23,6 +23,8 @@ the named method families:
   insight ... e.g. floor-switching patterns" — Section 5).
 """
 
+from repro.mining.corpus import Corpus, as_trajectory_list, \
+    iter_trajectories
 from repro.mining.sequences import (
     detection_counts,
     state_sequences,
@@ -62,6 +64,9 @@ from repro.mining.stops import (
 )
 
 __all__ = [
+    "Corpus",
+    "as_trajectory_list",
+    "iter_trajectories",
     "detection_counts",
     "state_sequences",
     "transition_matrix",

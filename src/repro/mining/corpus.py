@@ -1,0 +1,49 @@
+"""Corpus coercion: every miner accepts query results directly.
+
+Mining entry points take a *corpus* argument that may be any of:
+
+* an iterable of :class:`~repro.core.trajectory.SemanticTrajectory`
+  (the historical form);
+* an iterable of :class:`~repro.storage.store.StoredTrajectory`
+  (store hits — ids are stripped);
+* a lazy :class:`~repro.storage.results.ResultSet`;
+* an unexecuted :class:`~repro.storage.query.Query` (executed here);
+* a whole :class:`~repro.storage.store.TrajectoryStore`.
+
+:func:`iter_trajectories` normalizes all of them to a stream of plain
+trajectories, so ``patterns(Query(store).visiting_state("z"))`` works
+without materializing anything the caller didn't ask for.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Union
+
+from repro.core.trajectory import SemanticTrajectory
+from repro.storage.store import StoredTrajectory
+
+#: Anything the miners accept as a corpus.
+Corpus = Union[
+    Iterable[SemanticTrajectory],
+    Iterable[StoredTrajectory],
+    "repro.storage.query.Query",          # noqa: F821
+    "repro.storage.results.ResultSet",    # noqa: F821
+    "repro.storage.store.TrajectoryStore",  # noqa: F821
+]
+
+
+def iter_trajectories(corpus: Corpus) -> Iterator[SemanticTrajectory]:
+    """Stream plain trajectories out of any corpus form."""
+    execute = getattr(corpus, "execute", None)
+    if callable(execute):  # an unexecuted Query
+        corpus = execute()
+    for item in corpus:
+        if isinstance(item, StoredTrajectory):
+            yield item.trajectory
+        else:
+            yield item
+
+
+def as_trajectory_list(corpus: Corpus) -> List[SemanticTrajectory]:
+    """Materialize a corpus (for multi-pass consumers)."""
+    return list(iter_trajectories(corpus))

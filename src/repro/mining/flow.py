@@ -17,18 +17,17 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.timeutil import SECONDS_PER_DAY
-from repro.core.trajectory import SemanticTrajectory
+from repro.mining.corpus import Corpus, iter_trajectories
 from repro.storage.store import TrajectoryStore
 
 
-def od_matrix(trajectories: Iterable[SemanticTrajectory]
-              ) -> Dict[Tuple[str, str], int]:
+def od_matrix(trajectories: Corpus) -> Dict[Tuple[str, str], int]:
     """Origin–destination counts: first state → last state per visit."""
     counter: Counter = Counter()
-    for trajectory in trajectories:
+    for trajectory in iter_trajectories(trajectories):
         sequence = trajectory.distinct_state_sequence()
         counter[(sequence[0], sequence[-1])] += 1
     return dict(counter)
@@ -59,15 +58,14 @@ class FlowBalance:
         return self.inflow - self.outflow
 
 
-def flow_balances(trajectories: Sequence[SemanticTrajectory]
-                  ) -> List[FlowBalance]:
+def flow_balances(trajectories: Corpus) -> List[FlowBalance]:
     """Per-cell flow balance, sorted by |imbalance| descending."""
     inflow: Counter = Counter()
     outflow: Counter = Counter()
     starts: Counter = Counter()
     ends: Counter = Counter()
     states: set = set()
-    for trajectory in trajectories:
+    for trajectory in iter_trajectories(trajectories):
         sequence = trajectory.distinct_state_sequence()
         states.update(sequence)
         starts[sequence[0]] += 1
@@ -81,7 +79,7 @@ def flow_balances(trajectories: Sequence[SemanticTrajectory]
     return sorted(balances, key=lambda b: (-abs(b.imbalance), b.state))
 
 
-def hourly_occupancy(trajectories: Iterable[SemanticTrajectory],
+def hourly_occupancy(trajectories: Corpus,
                      states: Optional[Sequence[str]] = None
                      ) -> Dict[str, List[float]]:
     """Seconds of presence per cell per hour-of-day (24 buckets).
@@ -91,7 +89,7 @@ def hourly_occupancy(trajectories: Iterable[SemanticTrajectory],
     hour 11 (capped at the stay end).
     """
     occupancy: Dict[str, List[float]] = {}
-    for trajectory in trajectories:
+    for trajectory in iter_trajectories(trajectories):
         for entry in trajectory.trace:
             series = occupancy.setdefault(entry.state, [0.0] * 24)
             _apportion(series, entry.t_start, entry.t_end)

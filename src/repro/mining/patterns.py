@@ -13,11 +13,12 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.inference import lift_trajectory
 from repro.core.trajectory import SemanticTrajectory
 from repro.indoor.hierarchy import LayerHierarchy
+from repro.mining.corpus import Corpus, iter_trajectories
 
 
 @dataclass(frozen=True)
@@ -39,7 +40,7 @@ class FloorSwitchProfile:
     top_switches: List[Tuple[Tuple[str, str], int]]
 
 
-def switch_sequences(trajectories: Iterable[SemanticTrajectory],
+def switch_sequences(trajectories: Corpus,
                      hierarchy: LayerHierarchy,
                      target_layer: str) -> List[List[str]]:
     """Lift every trajectory and return its coarse state sequence.
@@ -48,7 +49,7 @@ def switch_sequences(trajectories: Iterable[SemanticTrajectory],
     their states are orphans at the target layer).
     """
     sequences: List[List[str]] = []
-    for trajectory in trajectories:
+    for trajectory in iter_trajectories(trajectories):
         try:
             lifted = lift_trajectory(trajectory, hierarchy, target_layer)
         except ValueError:
@@ -57,7 +58,7 @@ def switch_sequences(trajectories: Iterable[SemanticTrajectory],
     return sequences
 
 
-def floor_switch_profile(trajectories: Sequence[SemanticTrajectory],
+def floor_switch_profile(trajectories: Corpus,
                          hierarchy: LayerHierarchy,
                          target_layer: str = "floors",
                          top: int = 10) -> FloorSwitchProfile:
@@ -92,14 +93,14 @@ def multi_floor_share(profile: FloorSwitchProfile) -> float:
     return 1.0 - single / profile.visits
 
 
-def vertical_explorers(trajectories: Sequence[SemanticTrajectory],
+def vertical_explorers(trajectories: Corpus,
                        hierarchy: LayerHierarchy,
                        min_floors: int = 3,
                        target_layer: str = "floors"
                        ) -> List[SemanticTrajectory]:
     """Visits that reached at least ``min_floors`` distinct floors."""
     explorers: List[SemanticTrajectory] = []
-    for trajectory in trajectories:
+    for trajectory in iter_trajectories(trajectories):
         floors = set()
         for state in trajectory.distinct_state_sequence():
             lifted = hierarchy.lift(state, target_layer)

@@ -9,29 +9,30 @@ is the point of the model: no geometry is touched.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.trajectory import SemanticTrajectory
+from repro.mining.corpus import Corpus, as_trajectory_list, \
+    iter_trajectories
 
 
-def state_sequences(trajectories: Iterable[SemanticTrajectory]
-                    ) -> List[List[str]]:
+def state_sequences(trajectories: Corpus) -> List[List[str]]:
     """The distinct state sequence of every trajectory."""
-    return [t.distinct_state_sequence() for t in trajectories]
+    return [t.distinct_state_sequence()
+            for t in iter_trajectories(trajectories)]
 
 
-def detection_counts(trajectories: Iterable[SemanticTrajectory],
+def detection_counts(trajectories: Corpus,
                      states: Optional[Sequence[str]] = None
                      ) -> Dict[str, int]:
     """Number of presence intervals per state across the corpus.
 
     Args:
-        trajectories: the corpus.
+        trajectories: the corpus (any form, incl. a query/result set).
         states: when given, restrict (and zero-fill) to these states —
             e.g. the 11 ground-floor zones for the Figure 3 choropleth.
     """
     counter: Counter = Counter()
-    for trajectory in trajectories:
+    for trajectory in iter_trajectories(trajectories):
         for entry in trajectory.trace:
             counter[entry.state] += 1
     if states is None:
@@ -39,12 +40,12 @@ def detection_counts(trajectories: Iterable[SemanticTrajectory],
     return {state: counter.get(state, 0) for state in states}
 
 
-def visitor_counts(trajectories: Iterable[SemanticTrajectory],
+def visitor_counts(trajectories: Corpus,
                    states: Optional[Sequence[str]] = None
                    ) -> Dict[str, int]:
     """Number of distinct moving objects that visited each state."""
     seen: Dict[str, set] = {}
-    for trajectory in trajectories:
+    for trajectory in iter_trajectories(trajectories):
         for state in set(trajectory.states()):
             seen.setdefault(state, set()).add(trajectory.mo_id)
     counts = {state: len(mos) for state, mos in seen.items()}
@@ -53,11 +54,11 @@ def visitor_counts(trajectories: Iterable[SemanticTrajectory],
     return {state: counts.get(state, 0) for state in states}
 
 
-def transition_matrix(trajectories: Iterable[SemanticTrajectory]
+def transition_matrix(trajectories: Corpus
                       ) -> Dict[Tuple[str, str], int]:
     """Counts of observed state-to-state moves across the corpus."""
     counter: Counter = Counter()
-    for trajectory in trajectories:
+    for trajectory in iter_trajectories(trajectories):
         for pair in trajectory.trace.transitions():
             counter[pair] += 1
     return dict(counter)
@@ -69,7 +70,7 @@ def top_transitions(matrix: Mapping[Tuple[str, str], int],
     return sorted(matrix.items(), key=lambda kv: (-kv[1], kv[0]))[:count]
 
 
-def ngram_counts(sequences: Iterable[Sequence[str]],
+def ngram_counts(sequences: Sequence[Sequence[str]],
                  n: int = 2) -> Dict[Tuple[str, ...], int]:
     """Frequency of contiguous state n-grams across sequences.
 
@@ -85,11 +86,11 @@ def ngram_counts(sequences: Iterable[Sequence[str]],
     return dict(counter)
 
 
-def dwell_statistics(trajectories: Iterable[SemanticTrajectory]
+def dwell_statistics(trajectories: Corpus
                      ) -> Dict[str, Dict[str, float]]:
     """Per-state dwell-time statistics (count/total/mean/max seconds)."""
     dwell: Dict[str, List[float]] = {}
-    for trajectory in trajectories:
+    for trajectory in iter_trajectories(trajectories):
         for entry in trajectory.trace:
             dwell.setdefault(entry.state, []).append(entry.duration)
     stats: Dict[str, Dict[str, float]] = {}
@@ -103,9 +104,9 @@ def dwell_statistics(trajectories: Iterable[SemanticTrajectory]
     return stats
 
 
-def corpus_summary(trajectories: Sequence[SemanticTrajectory]
-                   ) -> Dict[str, float]:
+def corpus_summary(trajectories: Corpus) -> Dict[str, float]:
     """Section 4.1-style corpus headline numbers."""
+    trajectories = as_trajectory_list(trajectories)
     if not trajectories:
         return {"visits": 0, "visitors": 0, "detections": 0,
                 "transitions": 0, "max_visit_duration": 0.0,

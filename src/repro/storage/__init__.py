@@ -4,13 +4,19 @@ The SITM is a *data model*; this package is the corresponding data
 management substrate: a typed in-memory trajectory store with the
 secondary indexes symbolic trajectory workloads need (inverted state /
 annotation / moving-object indexes, an interval index over presence
-times) and a composable query API over them.  CSV / JSON-lines
-persistence rounds it out.
+times) and a declarative query API over them — logical expression
+trees (:mod:`repro.storage.expr`) compiled by a cost-based planner
+(:mod:`repro.storage.planner`) into lazy, streaming result sets
+(:mod:`repro.storage.results`).  CSV / JSON-lines persistence rounds
+it out.  See ``docs/query.md`` for the query model.
 """
 
 from repro.storage.intervals import Interval, IntervalIndex
 from repro.storage.index import InvertedIndex
 from repro.storage.store import StoredTrajectory, TrajectoryStore
+from repro.storage.expr import Expr, ExprSerializationError, expr_from_dict
+from repro.storage.planner import Plan, plan_expression
+from repro.storage.results import ResultSet
 from repro.storage.query import Query
 from repro.storage.csvio import (
     iter_detrecords_csv,
@@ -26,6 +32,12 @@ __all__ = [
     "InvertedIndex",
     "StoredTrajectory",
     "TrajectoryStore",
+    "Expr",
+    "ExprSerializationError",
+    "expr_from_dict",
+    "Plan",
+    "plan_expression",
+    "ResultSet",
     "Query",
     "iter_detrecords_csv",
     "read_detrecords_csv",

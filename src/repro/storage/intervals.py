@@ -5,6 +5,11 @@ zone X between t1 and t2" is the store's hottest query shape.  The
 index is a classic centered interval tree built once over the corpus
 (the store rebuilds it lazily after inserts), giving
 O(log n + k) stabbing and overlap queries instead of a corpus scan.
+
+Payloads are opaque to the tree; the store attaches ``(doc_id,
+state)`` pairs so a stab proves containment *and* answers "in which
+state" in one step — consumers never rescan a trace the index already
+searched.
 """
 
 from __future__ import annotations

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
-from repro.core.annotations import AnnotationKind
+from repro.core.annotations import AnnotationKind, AnnotationValue
 from repro.core.trajectory import SemanticTrajectory
 from repro.storage.index import InvertedIndex
 from repro.storage.intervals import Interval, IntervalIndex
@@ -43,6 +43,7 @@ class TrajectoryStore:
         self._by_annotation = InvertedIndex()
         self._by_mo = InvertedIndex()
         self._interval_index: Optional[IntervalIndex] = None
+        self._span: Optional[Tuple[float, float]] = None
 
     # ------------------------------------------------------------------
     # writes
@@ -51,6 +52,7 @@ class TrajectoryStore:
         """Store a trajectory; returns its document id."""
         doc_id = self._index_one(trajectory)
         self._interval_index = None  # invalidate; rebuilt lazily
+        self._span = None
         return doc_id
 
     def insert_many(self,
@@ -79,6 +81,7 @@ class TrajectoryStore:
         doc_ids = [self._index_one(t) for t in trajectories]
         if doc_ids:
             self._interval_index = None  # one invalidation per batch
+            self._span = None
             if rebuild_interval:
                 self._ensure_interval_index()
         return doc_ids
@@ -148,27 +151,36 @@ class TrajectoryStore:
                            end: float) -> FrozenSet[int]:
         """Trajectories with a presence interval intersecting the window."""
         index = self._ensure_interval_index()
-        return frozenset(iv.payload
+        return frozenset(iv.payload[0]
                          for iv in index.overlapping(start, end))
 
     def states_occupied_at(self, t: float) -> Dict[int, str]:
-        """doc id → state for every trajectory present at time ``t``."""
+        """doc id → state for every trajectory present at time ``t``.
+
+        The interval payload carries the stay's state, so no trace is
+        rescanned — the stab answers the question outright.  When
+        bounded sensing overlap makes two stays of one trajectory
+        contain ``t``, the later stay wins (the newer detection
+        supersedes, matching ``Trace.entry_at``).
+        """
         index = self._ensure_interval_index()
         hits: Dict[int, str] = {}
+        starts: Dict[int, float] = {}
         for interval in index.stab(t):
-            doc_id = interval.payload
-            state = self._docs[doc_id].state_at(t)
-            if state is not None:
+            doc_id, state = interval.payload
+            if doc_id not in hits or interval.start >= starts[doc_id]:
                 hits[doc_id] = state
+                starts[doc_id] = interval.start
         return hits
 
     def _ensure_interval_index(self) -> IntervalIndex:
+        """The interval index; payloads are ``(doc_id, state)``."""
         if self._interval_index is None:
             intervals: List[Interval] = []
             for doc_id, trajectory in enumerate(self._docs):
                 for entry in trajectory.trace:
                     intervals.append(Interval(entry.t_start, entry.t_end,
-                                              doc_id))
+                                              (doc_id, entry.state)))
             self._interval_index = IntervalIndex(intervals)
         return self._interval_index
 
@@ -179,6 +191,24 @@ class TrajectoryStore:
         """State → number of trajectories visiting it (selectivity)."""
         return {str(k): v
                 for k, v in self._by_state.posting_sizes().items()}
+
+    def annotation_cardinalities(
+            self) -> Dict[Tuple[AnnotationKind, AnnotationValue], int]:
+        """(kind, value) → number of trajectories carrying it."""
+        return dict(self._by_annotation.posting_sizes())
+
+    def time_span(self) -> Optional[Tuple[float, float]]:
+        """``(earliest t_start, latest t_end)`` over the corpus.
+
+        ``None`` for an empty store.  Cached; invalidated on insert
+        alongside the interval index.
+        """
+        if not self._docs:
+            return None
+        if self._span is None:
+            self._span = (min(t.t_start for t in self._docs),
+                          max(t.t_end for t in self._docs))
+        return self._span
 
     def moving_objects(self) -> List[str]:
         """All distinct moving-object ids."""

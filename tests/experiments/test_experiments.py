@@ -144,7 +144,7 @@ class TestRunner:
     def test_registry_covers_all_artefacts(self):
         ids = [exp_id for exp_id, _, _ in EXPERIMENTS]
         assert ids == ["T1", "F1", "F2", "F3", "F4", "F5", "F6",
-                       "S41", "ABL", "ENG"]
+                       "S41", "ABL", "ENG", "QRY"]
 
     def test_run_all_small(self):
         results = run_all(scale=0.02)

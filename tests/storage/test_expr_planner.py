@@ -1,0 +1,289 @@
+"""Tests for expression trees, the cost-based planner and ResultSet."""
+
+import pytest
+
+from repro.core.annotations import AnnotationKind, AnnotationSet
+from repro.storage import expr as E
+from repro.storage.expr import ExprSerializationError, expr_from_dict
+from repro.storage.planner import (
+    Difference,
+    Filter,
+    Intersect,
+    IndexScan,
+    Union,
+    normalize,
+    plan_expression,
+)
+from repro.storage.query import Query
+from repro.storage.results import ResultSet
+from repro.storage.store import TrajectoryStore
+from tests.conftest import make_trajectory
+
+
+@pytest.fixture
+def store():
+    store = TrajectoryStore()
+    store.insert(make_trajectory(
+        mo_id="m1", states=("a", "b"), start=0.0))
+    store.insert(make_trajectory(
+        mo_id="m2", states=("b", "c"), start=1000.0,
+        annotations=AnnotationSet.goals("buy")))
+    store.insert(make_trajectory(
+        mo_id="m1", states=("a", "c"), start=5000.0))
+    store.insert(make_trajectory(
+        mo_id="m3", states=("d",), start=9000.0, dwell=10.0))
+    return store
+
+
+def ids(result):
+    return sorted(h.doc_id for h in result)
+
+
+class TestExpressions:
+    def test_operators_build_trees(self):
+        tree = (E.state("a") | E.state("b")) & ~E.goal("buy")
+        assert isinstance(tree, E.And)
+        assert isinstance(tree.children[0], E.Or)
+        assert isinstance(tree.children[1], E.Not)
+
+    def test_and_or_flatten(self):
+        tree = E.state("a") & E.state("b") & E.state("c")
+        assert len(tree.children) == 3
+        tree = E.state("a") | (E.state("b") | E.state("c"))
+        assert len(tree.children) == 3
+
+    def test_double_negation_collapses(self):
+        assert ~~E.state("a") == E.state("a")
+
+    def test_matches_ground_truth(self, store):
+        t = store.get(1)
+        assert E.state("b").matches(t)
+        assert not E.state("a").matches(t)
+        assert E.annotation(AnnotationKind.GOAL, "buy").matches(t)
+        assert E.moving_object("m2").matches(t)
+        assert E.time_window(1000.0, 1001.0).matches(t)
+        assert not E.time_window(0.0, 900.0).matches(t)
+        assert E.min_entries(2).matches(t)
+        assert E.follows("b", "c").matches(t)
+        assert not E.follows("c", "b").matches(t)
+        assert (~E.state("a")).matches(t)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            E.time_window(10.0, 0.0)
+
+    def test_serialization_round_trip(self):
+        tree = ((E.state("a") | E.goal("buy"))
+                & ~E.moving_object("m1")
+                & E.time_window(0.0, 50.0)
+                & E.min_duration(5.0) & E.min_entries(2)
+                & E.follows("a", "b"))
+        assert expr_from_dict(tree.to_dict()) == tree
+
+    def test_where_refuses_serialization(self):
+        with pytest.raises(ExprSerializationError):
+            E.where(lambda t: True).to_dict()
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            expr_from_dict({"op": "teleport"})
+
+
+class TestNormalization:
+    def test_de_morgan_and(self):
+        out = normalize(~(E.state("a") & E.state("b")))
+        assert isinstance(out, E.Or)
+        assert all(isinstance(c, E.Not) for c in out.children)
+
+    def test_de_morgan_or(self):
+        out = normalize(~(E.state("a") | E.state("b")))
+        assert isinstance(out, E.And)
+        assert all(isinstance(c, E.Not) for c in out.children)
+
+    def test_double_not_via_constructor(self):
+        out = normalize(E.Not(E.Not(E.state("a"))))
+        assert out == E.state("a")
+
+
+class TestPlanner:
+    def test_intersection_ordered_smallest_first(self, store):
+        # 'd' has 1 posting, 'b' and goal:visit are larger.
+        plan = plan_expression(
+            store, E.state("b") & E.goal("visit") & E.state("d"))
+        assert isinstance(plan.root, Intersect)
+        estimates = [c.estimate for c in plan.root.children]
+        assert estimates == sorted(estimates)
+        assert plan.root.children[0].label == "state='d'"
+
+    def test_explain_shows_selectivities(self, store):
+        text = (Query(store).visiting_state("b")
+                .with_annotation(AnnotationKind.GOAL, "visit")
+                .explain())
+        assert "intersect (smallest-first)" in text
+        assert "index-scan state='b'  [est=2]" in text
+        assert "index-only" in text
+
+    def test_not_becomes_difference(self, store):
+        plan = plan_expression(store, E.state("b") & ~E.state("c"))
+        assert isinstance(plan.root, Difference)
+        assert ids(plan.iter_results()) == [0]
+
+    def test_bare_not_uses_full_scan_difference(self, store):
+        plan = plan_expression(store, ~E.state("a"))
+        assert isinstance(plan.root, Difference)
+        assert ids(plan.iter_results()) == [1, 3]
+
+    def test_or_becomes_union(self, store):
+        plan = plan_expression(store, E.state("a") | E.state("d"))
+        assert isinstance(plan.root, Union)
+        assert ids(plan.iter_results()) == [0, 2, 3]
+
+    def test_residual_stays_lazy_at_top_level(self, store):
+        plan = plan_expression(store,
+                               E.state("a") & E.min_entries(2))
+        assert len(plan.residuals) == 1
+        assert not plan.exact_count_available
+
+    def test_residual_under_or_compiles_to_filter(self, store):
+        plan = plan_expression(store,
+                               E.state("d") | E.min_duration(1e9))
+        assert isinstance(plan.root, Union)
+        assert any(isinstance(c, Filter)
+                   for c in plan.root.children)
+        assert ids(plan.iter_results()) == [3]
+
+    def test_empty_query_full_scan(self, store):
+        plan = plan_expression(store, E.And(()))
+        assert plan.candidate_ids() == store.all_ids()
+
+    def test_empty_or_matches_nothing(self, store):
+        plan = plan_expression(store, E.Or(()))
+        assert plan.candidate_ids() == frozenset()
+
+    def test_de_morgan_execution(self, store):
+        got = ids(plan_expression(
+            store, ~(E.state("a") | E.state("c"))).iter_results())
+        expected = [i for i in sorted(store.all_ids())
+                    if not (E.state("a") | E.state("c")).matches(
+                        store.get(i))]
+        assert got == expected == [3]
+
+    def test_window_estimate_scales_with_span(self, store):
+        wide = plan_expression(store, E.time_window(0.0, 10_000.0))
+        narrow = plan_expression(store, E.time_window(0.0, 100.0))
+        assert isinstance(wide.root, IndexScan)
+        assert narrow.root.estimate < wide.root.estimate
+
+    def test_disjoint_window_estimate_zero(self, store):
+        plan = plan_expression(store, E.time_window(1e9, 2e9))
+        assert plan.root.estimate == 0
+        assert plan.candidate_ids() == frozenset()
+
+
+class TestCountFastPath:
+    def test_count_without_residuals_is_index_only(self, store):
+        fetched = []
+        original_get = store.get
+        store.get = lambda doc_id: (fetched.append(doc_id),
+                                    original_get(doc_id))[1]
+        try:
+            assert Query(store).visiting_state("a").count() == 2
+            assert fetched == []
+            assert Query(store).count() == 4
+            assert fetched == []
+        finally:
+            store.get = original_get
+
+    def test_count_with_residuals_fetches(self, store):
+        assert Query(store).min_entries(2).count() == 3
+
+    def test_resultset_len_uses_fast_count(self, store):
+        results = Query(store).visiting_state("a").execute()
+        assert len(results) == 2
+
+
+class TestResultSet:
+    def test_lazy_and_reiterable(self, store):
+        results = Query(store).visiting_state("a").execute()
+        assert ids(results) == [0, 2]
+        assert ids(results) == [0, 2]  # second pass re-executes
+
+    def test_reflects_store_updates(self, store):
+        results = Query(store).visiting_state("d").execute()
+        assert results.count() == 1
+        store.insert(make_trajectory(mo_id="m9", states=("d",),
+                                     start=20_000.0))
+        assert results.count() == 2
+
+    def test_limit_offset(self, store):
+        results = Query(store).execute()
+        assert ids(results.limit(2)) == [0, 1]
+        assert ids(results.offset(3)) == [3]
+        assert results.limit(2).count() == 2
+        assert results.offset(3).count() == 1
+        with pytest.raises(ValueError):
+            results.limit(-1)
+        with pytest.raises(ValueError):
+            results.offset(-1)
+
+    def test_order_by_field_and_callable(self, store):
+        results = Query(store).execute()
+        by_duration = [h.doc_id
+                       for h in results.order_by("duration")]
+        assert by_duration[0] == 3  # the short 'd' visit
+        by_mo = [h.doc_id for h in results.order_by(
+            lambda h: h.trajectory.mo_id, reverse=True)]
+        assert by_mo[0] == 3  # m3 sorts last, reversed first
+        with pytest.raises(KeyError):
+            results.order_by("nope")
+
+    def test_first_and_bool(self, store):
+        assert Query(store).visiting_state("d").first().doc_id == 3
+        assert Query(store).visiting_state("ghost").first() is None
+        assert not Query(store).visiting_state("ghost").execute()
+        assert Query(store).visiting_state("d").execute()
+
+    def test_trajectories_and_ids(self, store):
+        results = Query(store).visiting_state("a").execute()
+        assert results.ids() == {0, 2}
+        assert [t.mo_id for t in results.trajectories()] == ["m1",
+                                                             "m1"]
+
+    def test_list_compat(self, store):
+        results = Query(store).visiting_state("ghost").execute()
+        assert results == []
+        full = Query(store).visiting_state("a").execute()
+        assert full == full.to_list()
+        assert repr(full).startswith("ResultSet(")
+
+
+class TestQuerySerialization:
+    def test_round_trip_same_results(self, store):
+        query = (Query(store).visiting_any(["a", "d"])
+                 .excluding(E.moving_object("m2"))
+                 .min_entries(1))
+        data = query.to_dict()
+        restored = Query.from_dict(store, data)
+        assert ids(restored.execute()) == ids(query.execute())
+        assert restored.expression() == query.expression()
+
+    def test_where_query_refuses_to_dict(self, store):
+        with pytest.raises(ExprSerializationError):
+            Query(store).where(lambda t: True).to_dict()
+
+
+class TestStoreStatistics:
+    def test_annotation_cardinalities(self, store):
+        cards = store.annotation_cardinalities()
+        assert cards[(AnnotationKind.GOAL, "visit")] == 3
+        assert cards[(AnnotationKind.GOAL, "buy")] == 1
+
+    def test_time_span_cached_and_invalidated(self, store):
+        span = store.time_span()
+        assert span[0] == 0.0
+        store.insert(make_trajectory(mo_id="m4", states=("e",),
+                                     start=50_000.0))
+        assert store.time_span()[1] > span[1]
+
+    def test_empty_store_span(self):
+        assert TrajectoryStore().time_span() is None

@@ -3,6 +3,8 @@
 from hypothesis import given, settings, strategies as st
 
 from repro.core.annotations import AnnotationKind, AnnotationSet
+from repro.storage import expr as E
+from repro.storage.expr import expr_from_dict
 from repro.storage.query import Query
 from repro.storage.store import TrajectoryStore
 from tests.conftest import make_trajectory
@@ -71,6 +73,69 @@ def test_property_time_query_matches_scan(corpus, start, length):
         i for i, t in enumerate(corpus)
         if any(e.overlaps_time(start, end) for e in t.trace)}
     assert hits == expected
+
+
+@st.composite
+def expressions(draw, depth=0):
+    """Random expression trees over every typed predicate and
+    combinator — the planner must agree with brute force on all of
+    them (catches ``Or``/``Not`` distribution and ordering bugs)."""
+    leaf_weight = 2 if depth < 3 else 10
+    choice = draw(st.integers(0, leaf_weight + 2))
+    if choice > leaf_weight:  # a combinator
+        op = draw(st.sampled_from(["and", "or", "not"]))
+        if op == "not":
+            return E.Not(draw(expressions(depth=depth + 1)))
+        children = draw(st.lists(expressions(depth=depth + 1),
+                                 min_size=1, max_size=3))
+        return (E.And if op == "and" else E.Or)(children)
+    kind = draw(st.sampled_from(
+        ["state", "goal", "mo", "window", "min_entries",
+         "min_duration", "follows"]))
+    if kind == "state":
+        return E.state(draw(st.sampled_from(STATES + ["ghost"])))
+    if kind == "goal":
+        return E.goal(draw(st.sampled_from(GOALS)))
+    if kind == "mo":
+        return E.moving_object("mo{}".format(draw(st.integers(0, 4))))
+    if kind == "window":
+        start = draw(st.integers(0, 11_000))
+        return E.time_window(float(start),
+                             float(start + draw(st.integers(0, 2_000))))
+    if kind == "min_entries":
+        return E.min_entries(draw(st.integers(0, 6)))
+    if kind == "min_duration":
+        return E.min_duration(float(draw(st.integers(0, 600))))
+    return E.follows(*draw(st.lists(st.sampled_from(STATES),
+                                    min_size=1, max_size=3)))
+
+
+@settings(max_examples=120, deadline=None)
+@given(corpora(), expressions())
+def test_property_planner_matches_brute_force(corpus, expression):
+    """The planned execution of a random tree equals a full scan."""
+    store = TrajectoryStore()
+    store.insert_many(corpus)
+    query = Query(store, expression)
+    planned = {h.doc_id for h in query.execute()}
+    brute = {doc_id for doc_id in store.all_ids()
+             if expression.matches(store.get(doc_id))}
+    assert planned == brute
+    assert query.count() == len(brute)
+
+
+@settings(max_examples=60, deadline=None)
+@given(corpora(), expressions())
+def test_property_serialization_preserves_results(corpus, expression):
+    """to_dict/from_dict round-trips both the tree and its results."""
+    store = TrajectoryStore()
+    store.insert_many(corpus)
+    query = Query(store, expression)
+    restored = Query.from_dict(store, query.to_dict())
+    assert restored.expression() == query.expression()
+    assert [h.doc_id for h in restored.execute()] \
+        == [h.doc_id for h in query.execute()]
+    assert expr_from_dict(expression.to_dict()) == expression
 
 
 @settings(max_examples=40, deadline=None)

@@ -42,8 +42,79 @@ class TestCommands:
     def test_experiments_small_scale(self, capsys):
         assert main(["experiments", "--scale", "0.01"]) == 0
         out = capsys.readouterr().out
-        for marker in ("T1", "F1", "F6", "S41", "ENG"):
+        for marker in ("T1", "F1", "F6", "S41", "ENG", "QRY"):
             assert marker in out
+
+
+class TestQueryCommand:
+    def test_query_help_smoke(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--visiting" in out
+        assert "--or" in out
+
+    def test_query_basic(self, capsys):
+        assert main(["query", "--scale", "0.01",
+                     "--annotation", "goal=visit",
+                     "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "matches:" in out
+        assert "visitor" in out
+
+    def test_query_or_not_explain(self, capsys):
+        assert main(["query", "--scale", "0.01",
+                     "--visiting", "zone60853", "--or",
+                     "--not", "--visiting", "zone60886",
+                     "--explain", "--count"]) == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out
+        assert "union" in out
+        assert "difference" in out
+        assert "matches:" in out
+
+    def test_query_order_and_offset(self, capsys):
+        assert main(["query", "--scale", "0.01",
+                     "--min-entries", "2",
+                     "--order-by", "duration", "--desc",
+                     "--offset", "1", "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("visitor") == 2
+
+    def test_query_from_jsonl(self, tmp_path, capsys):
+        from repro.storage import write_trajectories_jsonl
+        from tests.conftest import make_trajectory
+
+        path = str(tmp_path / "t.jsonl")
+        write_trajectories_jsonl(
+            [make_trajectory(mo_id="m1", states=("a", "b")),
+             make_trajectory(mo_id="m2", states=("c",),
+                             start=9000.0)], path)
+        assert main(["query", "--jsonl", path,
+                     "--visiting", "a"]) == 0
+        out = capsys.readouterr().out
+        assert "corpus: 2 trajectories" in out
+        assert "matches: 1" in out
+
+    def test_query_bad_annotation(self, capsys):
+        assert main(["query", "--scale", "0.01",
+                     "--annotation", "nonsense"]) == 2
+        assert "KIND=VALUE" in capsys.readouterr().err
+
+    def test_query_dangling_or(self, capsys):
+        assert main(["query", "--scale", "0.01",
+                     "--visiting", "zone60853", "--or"]) == 2
+        assert "--or" in capsys.readouterr().err
+
+    def test_query_dangling_not(self, capsys):
+        assert main(["query", "--scale", "0.01",
+                     "--visiting", "zone60853", "--not"]) == 2
+        assert "--not" in capsys.readouterr().err
+
+    def test_query_missing_jsonl(self, capsys):
+        assert main(["query", "--jsonl", "/no/such/file"]) == 1
+        assert "error" in capsys.readouterr().err
 
 
 class TestPipelineCommands:
