@@ -1,0 +1,315 @@
+"""Bench P2 — the parallel executor, the stage cache and the hot-path
+optimization sweep, with a persisted baseline.
+
+Run as a script (not under pytest-benchmark): it measures
+
+* the full-corpus build serial vs parallel (4 thread workers) — the
+  CPU-bound speedup is hardware-honest (≈1× under a GIL on one core,
+  scaling with cores otherwise), so it is *recorded* but not
+  regression-checked;
+* the same build with a parallel-safe simulated-I/O stage (a
+  per-batch latency such as an enrichment lookup or remote write),
+  where the thread executor overlaps the waits — ≥2× with 4 workers
+  on any hardware;
+* a cached rebuild (inter-stage cache warm) vs a cold build;
+* ``similarity_matrix`` with the memoized LCA + alphabet-pair table
+  vs the seed's per-cell algorithm;
+* the ``IntervalIndex`` sorted-once build and the timing-off
+  ``_push`` fast path (informational).
+
+``--out`` writes the measurements as ``BENCH_pipeline.json``;
+``--check BASELINE`` fails (exit 1) when a machine-portable speedup
+regressed more than ``--threshold`` (default 20 %) against the
+committed baseline.  ``--smoke`` shrinks the corpus for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.core import TrajectoryBuilder
+from repro.indoor.hierarchy import LayerHierarchy
+from repro.louvre.space import LouvreSpace
+from repro.mining.similarity import similarity_matrix
+from repro.mining.sequences import state_sequences
+from repro.pipeline import (
+    MapStage,
+    Pipeline,
+    StageCache,
+    StoreSinkStage,
+    louvre_source,
+)
+from repro.storage.intervals import Interval, IntervalIndex
+
+#: Speedups compared by --check: dimensionless and machine-portable
+#: (algorithmic or latency-overlap wins, not core-count wins).
+CHECKED_SPEEDUPS = ("cached_rebuild", "similarity", "io_overlap")
+
+
+def _best(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+class SimulatedIoStage(MapStage):
+    """A parallel-safe stage paying a fixed per-batch latency.
+
+    Stands in for the I/O-bound stages of a production pipeline
+    (enrichment lookups, remote writes); the thread executor overlaps
+    these waits across batches even on a single core.
+    """
+
+    parallel_safe = True
+
+    def __init__(self, delay: float) -> None:
+        super().__init__(lambda item: item, name="simulated-io")
+        self.delay = delay
+
+    def process(self, batch):
+        time.sleep(self.delay)
+        return list(batch)
+
+
+def _naive_state_similarity(hierarchy: LayerHierarchy, a: str,
+                            b: str) -> float:
+    """The seed's per-call algorithm: unmemoized ancestor walks."""
+    if a == b:
+        return 1.0
+    chain_a = [a] + hierarchy.ancestors(a)
+    chain_b = set([b] + hierarchy.ancestors(b))
+    lca = None
+    for candidate in chain_a:
+        if candidate in chain_b:
+            lca = candidate
+            break
+    if lca is None:
+        return 0.0
+    level = hierarchy._level  # the seed resolved depths per call
+    depth_a = level[hierarchy.graph.layer_of(a)] + 1
+    depth_b = level[hierarchy.graph.layer_of(b)] + 1
+    depth_lca = level[hierarchy.graph.layer_of(lca)] + 1
+    return 2.0 * depth_lca / (depth_a + depth_b)
+
+
+def _naive_similarity_matrix(hierarchy: LayerHierarchy,
+                             sequences: List[List[str]]
+                             ) -> List[List[float]]:
+    """The seed's O(n²·len²) matrix with per-cell hierarchy walks."""
+    size = len(sequences)
+    matrix = [[1.0] * size for _ in range(size)]
+    for i in range(size):
+        for j in range(i + 1, size):
+            a, b = sequences[i], sequences[j]
+            if not a and not b:
+                value = 1.0
+            elif not a or not b:
+                value = 0.0
+            else:
+                previous = [float(col) for col in range(len(b) + 1)]
+                for row, item_a in enumerate(a, start=1):
+                    current = [float(row)] + [0.0] * len(b)
+                    for col, item_b in enumerate(b, start=1):
+                        cost = 1.0 - _naive_state_similarity(
+                            hierarchy, item_a, item_b)
+                        current[col] = min(previous[col] + 1.0,
+                                           current[col - 1] + 1.0,
+                                           previous[col - 1] + cost)
+                    previous = current
+                value = 1.0 - previous[-1] / max(len(a), len(b))
+            matrix[i][j] = value
+            matrix[j][i] = value
+    return matrix
+
+
+def run_benchmarks(smoke: bool, workers: int) -> Dict[str, object]:
+    scale = 0.25 if smoke else 1.0
+    repeats = 3  # best-of-N damps scheduler noise, smoke included
+    sim_count = 60 if smoke else 200
+    io_batches_delay = 0.004
+    interval_count = 5000 if smoke else 20000
+
+    space = LouvreSpace()
+    source = louvre_source(space, scale=scale)
+    records = list(source)
+
+    def build(pipeline_workers: int, executor: str = "thread",
+              timing: bool = True, cache: StageCache = None,
+              extra: List[MapStage] = ()) -> Pipeline:
+        builder = TrajectoryBuilder(space.dataset_zone_nrg())
+        pipeline = Pipeline(
+            builder.stages(streaming=True) + list(extra)
+            + [StoreSinkStage()],
+            batch_size=256, workers=pipeline_workers,
+            executor=executor, timing=timing, cache=cache)
+        pipeline.run(records, collect=False,
+                     fingerprint=source.fingerprint)
+        return pipeline
+
+    metrics: Dict[str, float] = {}
+    speedups: Dict[str, float] = {}
+
+    # -- CPU-bound build: serial vs parallel (hardware-honest) --------
+    metrics["build_serial_s"] = _best(lambda: build(0), repeats)
+    metrics["build_parallel_thread_s"] = _best(
+        lambda: build(workers), repeats)
+    speedups["parallel_cpu"] = (metrics["build_serial_s"]
+                                / metrics["build_parallel_thread_s"])
+
+    # -- I/O-bound build: the executor overlaps per-batch latency ----
+    metrics["build_io_serial_s"] = _best(
+        lambda: build(0, extra=[SimulatedIoStage(io_batches_delay)]),
+        repeats)
+    metrics["build_io_parallel_s"] = _best(
+        lambda: build(workers,
+                      extra=[SimulatedIoStage(io_batches_delay)]),
+        repeats)
+    speedups["io_overlap"] = (metrics["build_io_serial_s"]
+                              / metrics["build_io_parallel_s"])
+
+    # -- inter-stage cache: cold build vs warm rebuild ---------------
+    cache = StageCache()
+    started = time.perf_counter()
+    build(0, cache=cache)
+    metrics["build_cold_cache_s"] = time.perf_counter() - started
+    started = time.perf_counter()
+    build(0, cache=cache)
+    metrics["build_warm_cache_s"] = time.perf_counter() - started
+    assert cache.hits >= 1, "warm rebuild did not hit the cache"
+    speedups["cached_rebuild"] = (metrics["build_cold_cache_s"]
+                                  / metrics["build_warm_cache_s"])
+
+    # -- similarity_matrix: memoized vs the seed's per-cell walks ----
+    store = build(0).stages[-1].store
+    sequences = state_sequences(store)[:sim_count]
+    hierarchy = space.zone_hierarchy
+    metrics["similarity_naive_s"] = _best(
+        lambda: _naive_similarity_matrix(hierarchy, sequences),
+        repeats)
+    metrics["similarity_optimized_s"] = _best(
+        lambda: similarity_matrix(hierarchy, sequences), repeats)
+    speedups["similarity"] = (metrics["similarity_naive_s"]
+                              / metrics["similarity_optimized_s"])
+    assert similarity_matrix(hierarchy, sequences) \
+        == _naive_similarity_matrix(hierarchy, sequences), \
+        "optimized similarity diverged from the reference"
+
+    # -- informational: interval build + timing-off fast path --------
+    intervals = [Interval(float(i % 977), float(i % 977 + i % 53 + 1),
+                          i) for i in range(interval_count)]
+    metrics["interval_index_build_s"] = _best(
+        lambda: IntervalIndex(intervals), repeats)
+
+    # _push fast path micro-bench: single-item batches make the
+    # per-batch timer calls the dominant engine overhead.
+    tiny_items = list(range(2000 if smoke else 20000))
+
+    def micro(timing: bool) -> None:
+        Pipeline([MapStage(lambda item: item, name="id-a"),
+                  MapStage(lambda item: item, name="id-b")],
+                 batch_size=1, timing=timing).run(tiny_items,
+                                                  collect=False)
+
+    metrics["push_timing_on_s"] = _best(lambda: micro(True),
+                                        max(repeats, 3))
+    metrics["push_timing_off_s"] = _best(lambda: micro(False),
+                                         max(repeats, 3))
+    speedups["push_no_timing"] = (metrics["push_timing_on_s"]
+                                  / metrics["push_timing_off_s"])
+
+    import os
+    return {
+        "meta": {
+            "smoke": smoke,
+            "workers": workers,
+            "scale": scale,
+            "records": len(records),
+            "similarity_sequences": len(sequences),
+            "python": sys.version.split()[0],
+            "cpus": os.cpu_count(),
+        },
+        "metrics": {key: round(value, 6)
+                    for key, value in metrics.items()},
+        "speedups": {key: round(value, 3)
+                     for key, value in speedups.items()},
+    }
+
+
+def check_regression(result: Dict[str, object], baseline_path: str,
+                     threshold: float) -> List[str]:
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    # Compare like against like: a smoke run checks the baseline's
+    # smoke section (ratios shift with workload size).
+    if bool(baseline.get("meta", {}).get("smoke")) \
+            == bool(result["meta"]["smoke"]):
+        reference_speedups = baseline.get("speedups", {})
+    else:
+        reference_speedups = baseline.get("smoke_speedups", {})
+    failures = []
+    for key in CHECKED_SPEEDUPS:
+        reference = reference_speedups.get(key)
+        measured = result["speedups"].get(key)
+        if reference is None or measured is None:
+            continue
+        floor = reference * (1.0 - threshold)
+        if measured < floor:
+            failures.append(
+                "speedup {!r} regressed: measured {:.2f}x < floor "
+                "{:.2f}x (baseline {:.2f}x, threshold {:.0%})".format(
+                    key, measured, floor, reference, threshold))
+    return failures
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced corpus for CI")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--out", metavar="PATH",
+                        help="write the measurements as JSON")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="fail on speedup regression vs a "
+                             "committed BENCH_pipeline.json")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="allowed relative regression (default "
+                             "0.2 = 20%%)")
+    args = parser.parse_args(argv)
+
+    result = run_benchmarks(smoke=args.smoke, workers=args.workers)
+    if args.out and not args.smoke:
+        # Embed a smoke-mode section so CI smoke runs have a
+        # same-workload reference to regression-check against.
+        smoke_result = run_benchmarks(smoke=True,
+                                      workers=args.workers)
+        result["smoke_speedups"] = smoke_result["speedups"]
+        result["smoke_metrics"] = smoke_result["metrics"]
+    print(json.dumps(result, indent=2))
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+        print("\nwrote {}".format(args.out))
+
+    if args.check:
+        failures = check_regression(result, args.check,
+                                    args.threshold)
+        if failures:
+            for failure in failures:
+                print("REGRESSION: " + failure, file=sys.stderr)
+            return 1
+        print("no speedup regression vs {} (checked: {})".format(
+            args.check, ", ".join(CHECKED_SPEEDUPS)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

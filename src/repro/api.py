@@ -64,21 +64,32 @@ class Workbench:
     @classmethod
     def louvre(cls, scale: float = 1.0, space: Optional[object] = None,
                batch_size: int = 512,
-               streaming: bool = True) -> "Workbench":
-        """A workbench over the (scaled) synthetic Louvre corpus."""
+               streaming: bool = True,
+               workers: int = 0, executor: str = "thread",
+               cache: object = None) -> "Workbench":
+        """A workbench over the (scaled) synthetic Louvre corpus.
+
+        ``workers``/``executor``/``cache`` are forwarded to
+        :meth:`build` (parallel batch execution and inter-stage
+        caching).
+        """
         from repro.louvre.space import LouvreSpace
         from repro.pipeline.sources import louvre_source
 
         workbench = cls(space=space if space is not None
                         else LouvreSpace())
         workbench.build(louvre_source(workbench.space, scale=scale),
-                        batch_size=batch_size, streaming=streaming)
+                        batch_size=batch_size, streaming=streaming,
+                        workers=workers, executor=executor,
+                        cache=cache)
         return workbench
 
     @classmethod
     def from_csv(cls, path: str, space: Optional[object] = None,
                  batch_size: int = 512,
-                 streaming: bool = False) -> "Workbench":
+                 streaming: bool = False,
+                 workers: int = 0, executor: str = "thread",
+                 cache: object = None) -> "Workbench":
         """A workbench built from a detection CSV (Louvre zones by
         default)."""
         from repro.louvre.space import LouvreSpace
@@ -87,7 +98,8 @@ class Workbench:
         workbench = cls(space=space if space is not None
                         else LouvreSpace())
         workbench.build(csv_source(path), batch_size=batch_size,
-                        streaming=streaming)
+                        streaming=streaming, workers=workers,
+                        executor=executor, cache=cache)
         return workbench
 
     @classmethod
@@ -105,7 +117,9 @@ class Workbench:
     # ------------------------------------------------------------------
     def build(self, records: Iterable[DetectionRecord],
               batch_size: int = 512, streaming: bool = True,
-              extra_stages: Sequence[Stage] = ()) -> PipelineMetrics:
+              extra_stages: Sequence[Stage] = (),
+              workers: int = 0, executor: str = "thread",
+              cache: object = None) -> PipelineMetrics:
         """Stream detection records through clean → segment → trace →
         annotate → store, appending to this workbench's store.
 
@@ -117,21 +131,40 @@ class Workbench:
                 sources produce).
             extra_stages: stages appended between ``annotate`` and the
                 store sink (e.g. a gap-inference stage).
+            workers: parallel-safe stages run their batches on a pool
+                of this size (0/1 = serial; see ``docs/pipeline.md``).
+            executor: ``"thread"`` or ``"process"`` pool kind.
+            cache: inter-stage result cache — a
+                :class:`~repro.pipeline.cache.StageCache`, ``True``
+                for the process-wide default cache, or
+                ``False``/``None`` for no caching.  Repeated builds
+                of a fingerprinted source replay the memoized
+                clean→…→annotate prefix instead of recomputing it.
 
         Raises:
             ValueError: when the workbench has no space model.
         """
+        from repro.pipeline.cache import DEFAULT_CACHE, StageCache
+
         if self.space is None:
             raise ValueError(
                 "building from detection records needs a space model; "
                 "construct the Workbench with one or use "
                 "from_trajectories()")
+        if cache is True:
+            cache = DEFAULT_CACHE
+        elif cache is False:
+            cache = None
+        elif cache is not None and not isinstance(cache, StageCache):
+            raise ValueError(
+                "cache must be a StageCache, a bool or None")
         builder = TrajectoryBuilder(self.space.dataset_zone_nrg())
         sink = StoreSinkStage(store=self.store)
         pipeline = Pipeline(
             builder.stages(streaming=streaming) + list(extra_stages)
             + [sink],
-            batch_size=batch_size)
+            batch_size=batch_size, workers=workers, executor=executor,
+            cache=cache)
         pipeline.run(records, collect=False)
         self.metrics = pipeline.metrics
         return self.metrics

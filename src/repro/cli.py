@@ -147,7 +147,10 @@ def cmd_pipeline_run(args: argparse.Namespace) -> int:
     else:
         source = louvre_source(space, scale=args.scale)
     try:
-        pipeline = Pipeline(stages, batch_size=args.batch_size)
+        pipeline = Pipeline(stages, batch_size=args.batch_size,
+                            workers=args.workers,
+                            executor=args.executor,
+                            timing=not args.no_timing)
         pipeline.run(source, collect=False)
     except PipelineError as error:
         print("error: {}".format(error), file=sys.stderr)
@@ -158,8 +161,10 @@ def cmd_pipeline_run(args: argparse.Namespace) -> int:
         return 1
 
     print("pipeline: {}".format(" -> ".join(names)))
-    print("batch size: {} | mode: {}".format(
-        args.batch_size, "streaming" if args.streaming else "exact"))
+    print("batch size: {} | mode: {} | workers: {}".format(
+        args.batch_size, "streaming" if args.streaming else "exact",
+        "{} ({})".format(args.workers, args.executor)
+        if args.workers > 1 else "serial"))
     print()
     print(pipeline.metrics.render())
     for stage in stages:
@@ -461,6 +466,15 @@ def build_parser() -> argparse.ArgumentParser:
                           "absolute count)")
     run.add_argument("--out", metavar="PATH",
                      help="write trajectories to a JSON-lines archive")
+    run.add_argument("--workers", type=int, default=0,
+                     help="run parallel-safe stages on a pool of this "
+                          "size (0 = serial)")
+    run.add_argument("--executor", choices=["thread", "process"],
+                     default="thread",
+                     help="pool kind for --workers (default: thread)")
+    run.add_argument("--no-timing", action="store_true",
+                     help="skip per-batch wall-time accounting "
+                          "(hot-path fast mode)")
     run.set_defaults(func=cmd_pipeline_run)
     stages = pipe_sub.add_parser("stages",
                                  help="list registered pipeline stages")

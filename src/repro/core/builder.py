@@ -172,6 +172,23 @@ class TrajectoryBuilder:
         self.min_duration = min_duration
         self.drop_unknown_states = drop_unknown_states
 
+    def config_fingerprint(self) -> str:
+        """A stable digest of everything that shapes the build output.
+
+        Covers the NRG's node/edge structure and every builder knob,
+        so the pipeline stage cache can prove two builds equivalent
+        (see :mod:`repro.pipeline.cache`).
+        """
+        from repro.pipeline.cache import fingerprint_of
+
+        edges = sorted((edge.source, edge.target, edge.edge_id)
+                       for edge in self.nrg.edges)
+        annotations = sorted(repr(a) for a in self.default_annotations)
+        return fingerprint_of(
+            "trajectory-builder", sorted(self.nrg.nodes), edges,
+            annotations, self.visit_gap_seconds, self.min_duration,
+            self.drop_unknown_states)
+
     # ------------------------------------------------------------------
     # stage 1: cleaning
     # ------------------------------------------------------------------

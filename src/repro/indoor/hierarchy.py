@@ -32,6 +32,10 @@ from repro.indoor.multilayer import JointEdge, LayeredIndoorGraph
 from repro.spatial.topology import HIERARCHY_RELATIONS, TopologicalRelation
 
 
+#: Distinguishes "cached None" from "not cached" in the LCA memo.
+_MISSING = object()
+
+
 class LayerRole(enum.Enum):
     """Semantic roles of the paper's canonical layers."""
 
@@ -101,6 +105,11 @@ class LayerHierarchy:
             name: i for i, name in enumerate(self._layers)}
         self._parent: Dict[str, str] = {}
         self._children: Dict[str, List[str]] = {}
+        # Bounded memos for the hot multi-granularity lookups; see
+        # invalidate_caches()/reindex() for the mutation contract.
+        self._cache_limit = 1 << 16
+        self._lca_cache: Dict[Tuple[str, str], Optional[str]] = {}
+        self._depth_cache: Dict[str, int] = {}
         self._index_edges()
         if validate:
             errors = self.validate()
@@ -234,18 +243,61 @@ class LayerHierarchy:
 
         Used by hierarchy-aware trajectory similarity: two exhibits in
         the same room are semantically closer than two exhibits that
-        only share a wing.
+        only share a wing.  Results are memoized (the hierarchy is
+        static after construction — call :meth:`reindex` after
+        mutating the underlying graph).
         """
+        key = (node_a, node_b)
+        cached = self._lca_cache.get(key, _MISSING)
+        if cached is not _MISSING:
+            return cached
         chain_a = [node_a] + self.ancestors(node_a)
         chain_b = set([node_b] + self.ancestors(node_b))
+        result: Optional[str] = None
         for candidate in chain_a:
             if candidate in chain_b:
-                return candidate
-        return None
+                result = candidate
+                break
+        if len(self._lca_cache) >= self._cache_limit:
+            self._lca_cache.clear()
+        self._lca_cache[key] = result
+        self._lca_cache[(node_b, node_a)] = result  # LCA is symmetric
+        return result
 
     def depth_of_node(self, node: str) -> int:
-        """The node's 0-based layer level."""
-        return self._level[self.graph.layer_of(node)]
+        """The node's 0-based layer level (memoized)."""
+        depth = self._depth_cache.get(node)
+        if depth is None:
+            depth = self._level[self.graph.layer_of(node)]
+            if len(self._depth_cache) >= self._cache_limit:
+                self._depth_cache.clear()
+            self._depth_cache[node] = depth
+        return depth
+
+    # ------------------------------------------------------------------
+    # cache management
+    # ------------------------------------------------------------------
+    def invalidate_caches(self) -> None:
+        """Drop the memoized LCA/depth lookups.
+
+        Needed only when the underlying graph changed; :meth:`reindex`
+        calls this automatically.
+        """
+        self._lca_cache.clear()
+        self._depth_cache.clear()
+
+    def reindex(self) -> None:
+        """Rebuild parent/child maps after graph mutation.
+
+        The hierarchy indexes the graph's joint edges at construction;
+        adding nodes or hierarchy edges afterwards (e.g. via
+        :func:`add_hierarchy_edge`) requires a reindex for navigation
+        — and the memoized lookups — to observe them.
+        """
+        self._parent.clear()
+        self._children.clear()
+        self._index_edges()
+        self.invalidate_caches()
 
     # ------------------------------------------------------------------
     # validation (the Section 3.2 rules)

@@ -16,7 +16,7 @@ are provided:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.indoor.hierarchy import LayerHierarchy
 
@@ -84,24 +84,56 @@ def state_similarity(hierarchy: LayerHierarchy, state_a: str,
     return 2.0 * depth_lca / (depth_a + depth_b)
 
 
+def state_similarity_table(hierarchy: LayerHierarchy,
+                           states: Sequence[str]
+                           ) -> Dict[Tuple[str, str], float]:
+    """Precomputed :func:`state_similarity` over a state alphabet.
+
+    The hierarchy metric's DP recomputes the same state-pair
+    similarities for every cell of every sequence pair, yet a corpus
+    draws its states from a small alphabet (the detection layer's ~70
+    zones).  Computing each unordered pair once turns the dominant
+    cost of :func:`similarity_matrix` from O(n²·len²·h) hierarchy
+    walks into O(k²) table builds plus O(n²·len²) dict lookups.
+    """
+    alphabet = sorted(set(states))
+    table: Dict[Tuple[str, str], float] = {}
+    for index, state_a in enumerate(alphabet):
+        table[(state_a, state_a)] = 1.0
+        for state_b in alphabet[index + 1:]:
+            value = state_similarity(hierarchy, state_a, state_b)
+            table[(state_a, state_b)] = value
+            table[(state_b, state_a)] = value
+    return table
+
+
 def hierarchy_similarity(hierarchy: LayerHierarchy,
-                         a: Sequence[str], b: Sequence[str]) -> float:
+                         a: Sequence[str], b: Sequence[str],
+                         table: Optional[Dict[Tuple[str, str], float]]
+                         = None) -> float:
     """Hierarchy-aware sequence similarity in [0, 1].
 
     A soft edit distance: substitution cost is
     ``1 − state_similarity``, insert/delete cost 1, normalised by the
     longer sequence's length.  Sequences through sibling cells score
     higher than through unrelated ones even with zero exact matches.
+
+    Args:
+        table: optional precomputed pair-similarity table
+            (:func:`state_similarity_table`) covering every state of
+            both sequences; built on the fly when omitted.
     """
     if not a and not b:
         return 1.0
     if not a or not b:
         return 0.0
+    if table is None:
+        table = state_similarity_table(hierarchy, list(a) + list(b))
     previous: List[float] = [float(j) for j in range(len(b) + 1)]
     for i, item_a in enumerate(a, start=1):
         current = [float(i)] + [0.0] * len(b)
         for j, item_b in enumerate(b, start=1):
-            cost = 1.0 - state_similarity(hierarchy, item_a, item_b)
+            cost = 1.0 - table[(item_a, item_b)]
             current[j] = min(previous[j] + 1.0,
                              current[j - 1] + 1.0,
                              previous[j - 1] + cost)
@@ -110,20 +142,104 @@ def hierarchy_similarity(hierarchy: LayerHierarchy,
     return 1.0 - distance / max(len(a), len(b))
 
 
+def _encoded_costs(hierarchy: LayerHierarchy,
+                   sequences: Sequence[Sequence[str]]
+                   ) -> Tuple[List[List[int]], List[List[float]]]:
+    """Sequences as state codes plus a dense substitution-cost matrix.
+
+    Integer codes turn the DP's per-cell tuple-dict lookup into a list
+    index — the remaining constant factor after the alphabet table
+    removed the per-cell hierarchy walks.
+    """
+    alphabet = sorted({state for sequence in sequences
+                       for state in sequence})
+    code_of = {state: code for code, state in enumerate(alphabet)}
+    costs = [[0.0] * len(alphabet) for _ in alphabet]
+    for code_a, state_a in enumerate(alphabet):
+        for code_b in range(code_a + 1, len(alphabet)):
+            cost = 1.0 - state_similarity(hierarchy, state_a,
+                                          alphabet[code_b])
+            costs[code_a][code_b] = cost
+            costs[code_b][code_a] = cost
+    encoded = [[code_of[state] for state in sequence]
+               for sequence in sequences]
+    return encoded, costs
+
+
+def _soft_edit_similarity(a: List[int], b: List[int],
+                          costs: List[List[float]]) -> float:
+    """The hierarchy_similarity DP over coded sequences."""
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    width = len(b)
+    previous: List[float] = [float(j) for j in range(width + 1)]
+    for i, code_a in enumerate(a, start=1):
+        row = costs[code_a]
+        current = [float(i)] + [0.0] * width
+        for j, code_b in enumerate(b, start=1):
+            substitution = previous[j - 1] + row[code_b]
+            deletion = previous[j] + 1.0
+            insertion = current[j - 1] + 1.0
+            best = substitution if substitution <= deletion \
+                else deletion
+            current[j] = best if best <= insertion else insertion
+        previous = current
+    return 1.0 - previous[-1] / max(len(a), len(b))
+
+
 def similarity_matrix(hierarchy: Optional[LayerHierarchy],
                       sequences: Sequence[Sequence[str]]
                       ) -> List[List[float]]:
-    """Pairwise similarity matrix (hierarchy-aware when given one)."""
+    """Pairwise similarity matrix (hierarchy-aware when given one).
+
+    With a hierarchy, the state-pair similarities are precomputed once
+    over the sequences' alphabet and shared across all O(n²) DP runs
+    on integer-coded sequences; the values are identical to calling
+    :func:`hierarchy_similarity` per pair.
+    """
     size = len(sequences)
     matrix = [[1.0] * size for _ in range(size)]
+    if hierarchy is not None:
+        encoded, costs = _encoded_costs(hierarchy, sequences)
+        # Corpora repeat state sequences heavily (short symbolic
+        # paths over a small alphabet): run the DP once per unique
+        # sequence pair and broadcast.  hierarchy_similarity depends
+        # only on sequence contents, so values are unchanged.
+        unique_index: Dict[Tuple[int, ...], int] = {}
+        member_of: List[int] = []
+        unique: List[List[int]] = []
+        for codes in encoded:
+            key = tuple(codes)
+            found = unique_index.get(key)
+            if found is None:
+                found = len(unique)
+                unique_index[key] = found
+                unique.append(codes)
+            member_of.append(found)
+        pair_value: Dict[Tuple[int, int], float] = {}
+        for i in range(size):
+            unique_i = member_of[i]
+            for j in range(i + 1, size):
+                unique_j = member_of[j]
+                if unique_i == unique_j:
+                    value = 1.0
+                else:
+                    pair = (unique_i, unique_j) \
+                        if unique_i < unique_j else (unique_j, unique_i)
+                    value = pair_value.get(pair)
+                    if value is None:
+                        value = _soft_edit_similarity(
+                            unique[pair[0]], unique[pair[1]], costs)
+                        pair_value[pair] = value
+                matrix[i][j] = value
+                matrix[j][i] = value
+        return matrix
     for i in range(size):
         for j in range(i + 1, size):
-            if hierarchy is not None:
-                value = hierarchy_similarity(hierarchy, sequences[i],
-                                             sequences[j])
-            else:
-                value = normalized_edit_similarity(sequences[i],
-                                                   sequences[j])
+            value = normalized_edit_similarity(sequences[i],
+                                               sequences[j])
             matrix[i][j] = value
             matrix[j][i] = value
     return matrix

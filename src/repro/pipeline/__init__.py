@@ -12,7 +12,8 @@ be assembled from specs and extended with custom stages.
 See ``docs/pipeline.md`` for the architecture and the stage catalog.
 """
 
-from repro.pipeline.engine import Pipeline, PipelineError, Stage
+from repro.pipeline.cache import DEFAULT_CACHE, StageCache, fingerprint_of
+from repro.pipeline.engine import EXECUTORS, Pipeline, PipelineError, Stage
 from repro.pipeline.metrics import PipelineMetrics, StageMetrics
 from repro.pipeline.registry import (
     UnknownStageError,
@@ -21,7 +22,11 @@ from repro.pipeline.registry import (
     register_stage,
     stage_catalog,
 )
-from repro.pipeline.sources import csv_source, louvre_source
+from repro.pipeline.sources import (
+    FingerprintedSource,
+    csv_source,
+    louvre_source,
+)
 from repro.pipeline.stages import (
     AnnotateStage,
     CleanStage,
@@ -37,9 +42,14 @@ from repro.pipeline.stages import (
 )
 
 __all__ = [
+    "DEFAULT_CACHE",
+    "EXECUTORS",
+    "FingerprintedSource",
     "Pipeline",
     "PipelineError",
     "Stage",
+    "StageCache",
+    "fingerprint_of",
     "PipelineMetrics",
     "StageMetrics",
     "UnknownStageError",

@@ -1,0 +1,117 @@
+"""Inter-stage result caching for pipeline runs.
+
+Rebuilding the same corpus through the same stage prefix is pure
+recomputation: the builder stages are deterministic functions of
+(source content, stage configuration).  :class:`StageCache` memoizes
+the *boundary output* of a chain's cache-safe prefix — the longest run
+of stages whose :meth:`~repro.pipeline.engine.Stage.config_fingerprint`
+is not ``None`` — keyed on
+
+``(source fingerprint, ((stage name, stage config hash), ...))``
+
+so a repeated :class:`~repro.pipeline.engine.Pipeline` run (or
+``Workbench`` build) replays the memoized batches into the remaining
+stages instead of re-running the prefix.  A run whose chain *extends*
+a cached prefix (same leading keys, more cacheable stages) reuses the
+shorter entry and records the longer one.
+
+Cached batches hold the original item objects; consumers must treat
+pipeline items as immutable (the builder's trajectories are).  Entries
+are evicted LRU beyond ``max_entries`` — every entry holds one
+corpus-sized item list, so the bound is deliberately small.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.pipeline.metrics import StageMetrics
+
+#: One prefix key: ``(stage name, stage config fingerprint)``.
+PrefixKey = Tuple[str, str]
+
+
+def fingerprint_of(*parts: Any) -> str:
+    """A stable hex digest over the ``repr`` of the given parts.
+
+    Convenience for building source and stage-config fingerprints;
+    callers are responsible for passing parts whose ``repr`` is
+    deterministic (sort sets and dicts first).
+    """
+    digest = hashlib.sha1()
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()
+
+
+class StageCache:
+    """An LRU memo of stage-prefix outputs, keyed by source + config.
+
+    Thread-safe; one instance may back many pipelines.  ``hits`` /
+    ``misses`` counters make cache behavior observable in tests and
+    benchmarks.
+
+    Args:
+        max_entries: how many prefix outputs to retain (LRU beyond).
+    """
+
+    def __init__(self, max_entries: int = 4) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[str, Tuple[PrefixKey, ...]], " \
+            "Tuple[List[List[Any]], List[StageMetrics]]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, fingerprint: str,
+               keys: Sequence[PrefixKey]
+               ) -> Optional[Tuple[int, List[List[Any]],
+                                   List[StageMetrics]]]:
+        """The longest cached prefix of ``keys`` for this source.
+
+        Returns ``(depth, batches, metrics)`` where ``depth`` is how
+        many leading stages the entry covers, or ``None`` on a miss.
+        """
+        with self._lock:
+            for depth in range(len(keys), 0, -1):
+                entry_key = (fingerprint, tuple(keys[:depth]))
+                entry = self._entries.get(entry_key)
+                if entry is not None:
+                    self._entries.move_to_end(entry_key)
+                    self.hits += 1
+                    batches, metrics = entry
+                    return depth, batches, metrics
+            self.misses += 1
+            return None
+
+    def store(self, fingerprint: str, keys: Sequence[PrefixKey],
+              batches: List[List[Any]],
+              metrics: List[StageMetrics]) -> None:
+        """Memoize a prefix's boundary output and its stage metrics."""
+        with self._lock:
+            entry_key = (fingerprint, tuple(keys))
+            self._entries[entry_key] = (batches, metrics)
+            self._entries.move_to_end(entry_key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+#: Process-wide cache used when callers opt in without providing their
+#: own instance (``Workbench.build(cache=True)``).
+DEFAULT_CACHE = StageCache()

@@ -14,15 +14,53 @@ the chain (detection records → visits → trace drafts → trajectories →
 patterns); the engine is agnostic to what flows through it.  Every run
 produces a fresh :class:`~repro.pipeline.metrics.PipelineMetrics` with
 per-stage items in/out, drop reasons and wall time.
+
+Two optional executor features sit behind the same API:
+
+* **Parallel batches** (``workers=N``) — stages declare whether they
+  are pure per-batch functions via :attr:`Stage.parallel_safe`; the
+  engine partitions the chain into maximal parallel-safe *segments*
+  and runs their batches on a ``concurrent.futures`` pool (``executor=
+  "thread"`` or ``"process"``) with an **ordered merge**, so outputs
+  and metric counts are identical to the serial engine.  Stateful
+  segments (segmenter, sinks, miners) always run serially in the main
+  thread, in chain order.
+* **Inter-stage caching** (``cache=StageCache()``) — when the source
+  carries a content ``fingerprint`` and a prefix of the chain is
+  config-fingerprintable, the boundary output of that prefix is
+  memoized so repeated runs skip the unchanged prefix entirely (see
+  :mod:`repro.pipeline.cache`).
 """
 
 from __future__ import annotations
 
+import copy
 import itertools
+import pickle
+import threading
 import time
-from typing import Any, Iterable, Iterator, List, Optional, Sequence
+from collections import deque
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.pipeline.metrics import PipelineMetrics, StageMetrics
+
+#: The supported pool kinds for ``Pipeline(workers=...)``.
+EXECUTORS = ("thread", "process")
+
+#: Thread-local StageMetrics overrides used by parallel tasks, keyed by
+#: ``id(stage)``.  A stage instance is shared between worker threads,
+#: so each task routes ``stage.metrics`` to its own private metrics
+#: and the engine merges them back in submission order.
+_TASK_METRICS = threading.local()
 
 
 class Stage:
@@ -41,8 +79,28 @@ class Stage:
     #: Registry/display name; subclasses override.
     name: str = "stage"
 
+    #: Declare ``process`` a pure function of its batch: no state
+    #: shared across batches, no ordering-sensitive side effects, and
+    #: metrics recorded only through ``self.metrics``.  Only then may
+    #: the parallel executor run different batches of this stage
+    #: concurrently.  ``finish`` must return ``[]`` for such stages.
+    parallel_safe: bool = False
+
     def __init__(self) -> None:
-        self.metrics = StageMetrics(self.name)
+        self._metrics = StageMetrics(self.name)
+
+    @property
+    def metrics(self) -> StageMetrics:
+        overrides = getattr(_TASK_METRICS, "overrides", None)
+        if overrides is not None:
+            override = overrides.get(id(self))
+            if override is not None:
+                return override
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, value: StageMetrics) -> None:
+        self._metrics = value
 
     def process(self, batch: Sequence[Any]) -> List[Any]:
         """Transform one batch; returns the items to pass downstream."""
@@ -52,9 +110,80 @@ class Stage:
         """Flush buffered state at end of stream (default: nothing)."""
         return []
 
+    def config_fingerprint(self) -> Optional[str]:
+        """A stable digest of the stage's configuration, or ``None``.
+
+        Returning a string declares the stage *cache-safe*: given the
+        same source and the same fingerprint, the stage (re)produces
+        the same output and may be skipped by replaying memoized
+        results.  Stages with side effects (sinks) or unhashable
+        configuration return ``None`` (the default), which ends the
+        cacheable prefix of the chain.
+        """
+        return None
+
 
 class PipelineError(RuntimeError):
     """A pipeline could not be assembled or executed."""
+
+
+def _run_segment(stages: Sequence[Stage],
+                 metrics: Sequence[StageMetrics],
+                 batch: List[Any], timing: bool) -> List[Any]:
+    """Push one batch through a stage segment using explicit metrics."""
+    for stage, stage_metrics in zip(stages, metrics):
+        stage_metrics.batches += 1
+        stage_metrics.items_in += len(batch)
+        if timing:
+            started = time.perf_counter()
+            batch = stage.process(batch)
+            stage_metrics.seconds += time.perf_counter() - started
+        else:
+            batch = stage.process(batch)
+        stage_metrics.items_out += len(batch)
+        if not batch:
+            break
+    return batch
+
+
+def _thread_segment_task(stages: Sequence[Stage], batch: List[Any],
+                         timing: bool
+                         ) -> Tuple[List[Any], List[StageMetrics]]:
+    """Worker body for thread pools: private metrics per task."""
+    task_metrics = [StageMetrics(stage.name) for stage in stages]
+    overrides = {id(stage): m for stage, m in zip(stages, task_metrics)}
+    previous = getattr(_TASK_METRICS, "overrides", None)
+    _TASK_METRICS.overrides = overrides
+    try:
+        out = _run_segment(stages, task_metrics, batch, timing)
+    finally:
+        _TASK_METRICS.overrides = previous
+    return out, task_metrics
+
+
+#: Per-process copy of the pipeline's parallel segments, installed by
+#: the pool initializer so stages are pickled once per worker instead
+#: of once per task.
+_WORKER_SEGMENTS: Dict[Tuple[int, int], List[Stage]] = {}
+
+
+def _init_process_worker(payload: bytes) -> None:
+    global _WORKER_SEGMENTS
+    _WORKER_SEGMENTS = pickle.loads(payload)
+
+
+def _process_segment_task(key: Tuple[int, int], batch: List[Any],
+                          timing: bool
+                          ) -> Tuple[List[Any], List[StageMetrics]]:
+    """Worker body for process pools: stages live in worker globals."""
+    stages = _WORKER_SEGMENTS[key]
+    task_metrics = [StageMetrics(stage.name) for stage in stages]
+    # Worker processes run tasks one at a time; direct assignment on
+    # the worker's private stage copies is safe.
+    for stage, stage_metrics in zip(stages, task_metrics):
+        stage.metrics = stage_metrics
+    out = _run_segment(stages, task_metrics, batch, timing)
+    return out, task_metrics
 
 
 class Pipeline:
@@ -63,20 +192,50 @@ class Pipeline:
     Args:
         stages: the stage instances, in processing order.
         batch_size: how many source items form one batch.
+        workers: pool size for parallel-safe segments; ``0`` or ``1``
+            executes everything serially (the default).
+        executor: ``"thread"`` or ``"process"`` — the pool kind used
+            for parallel-safe segments.  Process pools require the
+            segment stages and the items crossing them to be
+            picklable.
+        timing: record per-batch wall time in the metrics.  Disabling
+            it removes two clock reads per stage per batch from the
+            hot path; item/drop accounting is kept either way.
+        cache: a :class:`~repro.pipeline.cache.StageCache` memoizing
+            the output of the chain's cache-safe prefix per source
+            fingerprint, or ``None`` (the default) for no caching.
 
     Raises:
-        PipelineError: for an empty stage list or a bad batch size.
+        PipelineError: for an empty stage list, a bad batch size, a
+            negative worker count or an unknown executor kind.
     """
 
     def __init__(self, stages: Sequence[Stage],
-                 batch_size: int = 512) -> None:
+                 batch_size: int = 512,
+                 workers: int = 0,
+                 executor: str = "thread",
+                 timing: bool = True,
+                 cache: Optional["StageCache"] = None) -> None:
         if not stages:
             raise PipelineError("a pipeline needs at least one stage")
         if batch_size < 1:
             raise PipelineError(
                 "batch_size must be >= 1, got {}".format(batch_size))
+        if workers is None:
+            workers = 0
+        if workers < 0:
+            raise PipelineError(
+                "workers must be >= 0, got {}".format(workers))
+        if executor not in EXECUTORS:
+            raise PipelineError(
+                "executor must be one of {}, got {!r}".format(
+                    "/".join(EXECUTORS), executor))
         self.stages: List[Stage] = list(stages)
         self.batch_size = batch_size
+        self.workers = int(workers)
+        self.executor = executor
+        self.timing = timing
+        self.cache = cache
         self._metrics: Optional[PipelineMetrics] = None
 
     # ------------------------------------------------------------------
@@ -98,45 +257,109 @@ class Pipeline:
             raise PipelineError("pipeline has not been run yet")
         return self._metrics
 
+    def segments(self) -> List[Tuple[int, int, bool]]:
+        """The chain partitioned into maximal same-safety runs.
+
+        Returns ``(start, end, parallel_safe)`` index triples; with
+        ``workers <= 1`` the whole chain is one serial segment.
+        """
+        return self._segments(0, len(self.stages))
+
+    def cacheable_depth(self) -> int:
+        """Length of the longest config-fingerprintable chain prefix."""
+        depth = 0
+        for stage in self.stages:
+            if stage.config_fingerprint() is None:
+                break
+            depth += 1
+        return depth
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def run_iter(self, source: Iterable[Any]) -> Iterator[List[Any]]:
+    def run_iter(self, source: Iterable[Any],
+                 fingerprint: Optional[str] = None
+                 ) -> Iterator[List[Any]]:
         """Stream ``source`` through the pipeline, yielding output batches.
 
-        Peak engine memory is O(batch_size) plus per-stage state; the
-        caller decides whether to materialize the yielded batches.
-        Metrics become available on :attr:`metrics` once the iterator
-        is exhausted (they are complete only after the final flush).
+        Peak engine memory is O(batch_size) plus per-stage state (the
+        parallel executor keeps at most ``~2×workers`` batches in
+        flight); the caller decides whether to materialize the yielded
+        batches.  Metrics become available on :attr:`metrics` once the
+        iterator is exhausted (they are complete only after the final
+        flush).
+
+        Args:
+            source: any iterable of input items.
+            fingerprint: content fingerprint of the source for the
+                stage cache; defaults to ``source.fingerprint`` when
+                the source carries one (see
+                :mod:`repro.pipeline.sources`).
         """
         per_stage = [StageMetrics(stage.name) for stage in self.stages]
-        for stage, metrics in zip(self.stages, per_stage):
-            stage.metrics = metrics
+        for stage, stage_metrics in zip(self.stages, per_stage):
+            stage.metrics = stage_metrics
         self._metrics = PipelineMetrics(per_stage)
 
-        iterator = iter(source)
-        while True:
-            batch = list(itertools.islice(iterator, self.batch_size))
-            if not batch:
-                break
-            out = self._push(batch, 0)
-            if out:
-                yield out
-        # End of stream: flush each stage in order; whatever it still
-        # buffered flows through the stages after it.
-        for index, stage in enumerate(self.stages):
-            started = time.perf_counter()
-            tail = stage.finish()
-            stage.metrics.seconds += time.perf_counter() - started
-            if tail:
-                stage.metrics.batches += 1
-                stage.metrics.items_out += len(tail)
-                out = self._push(tail, index + 1)
-                if out:
+        if fingerprint is None:
+            fingerprint = getattr(source, "fingerprint", None)
+
+        start = 0
+        stream: Optional[Iterator[List[Any]]] = None
+        record_upto = 0
+        prefix_keys: Optional[Tuple[Tuple[str, str], ...]] = None
+        if self.cache is not None and fingerprint is not None:
+            depth = self.cacheable_depth()
+            if depth:
+                prefix_keys = tuple(
+                    (stage.name, stage.config_fingerprint())
+                    for stage in self.stages[:depth])
+                hit = self.cache.lookup(fingerprint, prefix_keys)
+                if hit is not None:
+                    matched, batches, cached_metrics = hit
+                    for target, cached in zip(per_stage[:matched],
+                                              cached_metrics):
+                        target.merge_from(cached)
+                    # Shallow-copy each batch so downstream stages can
+                    # consume the lists; the items themselves are
+                    # shared with the cache and must stay immutable.
+                    stream = iter([list(batch) for batch in batches])
+                    start = matched
+                else:
+                    matched = 0
+                if matched < depth:
+                    record_upto = depth
+        if stream is None:
+            stream = self._batches(iter(source))
+
+        pools: Dict[str, Any] = {}
+        try:
+            end = len(self.stages)
+            if record_upto > start:
+                recorded: List[List[Any]] = []
+                boundary = self._compose(stream, start, record_upto,
+                                         pools)
+                suffix = self._compose(
+                    self._recording(boundary, recorded),
+                    record_upto, end, pools)
+                for out in suffix:
                     yield out
+                assert prefix_keys is not None
+                self.cache.store(
+                    fingerprint, prefix_keys, recorded,
+                    [copy.deepcopy(m)
+                     for m in per_stage[:record_upto]])
+            else:
+                for out in self._compose(stream, start, end, pools):
+                    yield out
+        finally:
+            pool = pools.get("pool")
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
 
     def run(self, source: Iterable[Any],
-            collect: bool = True) -> List[Any]:
+            collect: bool = True,
+            fingerprint: Optional[str] = None) -> List[Any]:
         """Run to completion; returns the last stage's output.
 
         Args:
@@ -144,23 +367,186 @@ class Pipeline:
             collect: when False the final output is discarded as it is
                 produced (sinks keep what matters), so memory stays
                 bounded by the batch size.
+            fingerprint: see :meth:`run_iter`.
         """
         output: List[Any] = []
-        for batch in self.run_iter(source):
+        for batch in self.run_iter(source, fingerprint=fingerprint):
             if collect:
                 output.extend(batch)
         return output
 
-    def _push(self, batch: List[Any], start: int) -> List[Any]:
-        """Push one batch through ``stages[start:]``."""
-        for stage in self.stages[start:]:
-            metrics = stage.metrics
-            metrics.batches += 1
-            metrics.items_in += len(batch)
-            started = time.perf_counter()
-            batch = stage.process(batch)
-            metrics.seconds += time.perf_counter() - started
-            metrics.items_out += len(batch)
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _batches(self, iterator: Iterator[Any]
+                 ) -> Iterator[List[Any]]:
+        while True:
+            batch = list(itertools.islice(iterator, self.batch_size))
+            if not batch:
+                return
+            yield batch
+
+    @staticmethod
+    def _recording(stream: Iterator[List[Any]],
+                   into: List[List[Any]]) -> Iterator[List[Any]]:
+        for batch in stream:
+            into.append(list(batch))
+            yield batch
+
+    def _segments(self, start: int, end: int
+                  ) -> List[Tuple[int, int, bool]]:
+        if self.workers <= 1:
+            return [(start, end, False)] if start < end else []
+        segments: List[Tuple[int, int, bool]] = []
+        index = start
+        while index < end:
+            safe = self.stages[index].parallel_safe
+            stop = index
+            while stop < end and self.stages[stop].parallel_safe == safe:
+                stop += 1
+            segments.append((index, stop, safe))
+            index = stop
+        return segments
+
+    def _compose(self, stream: Iterator[List[Any]], start: int,
+                 end: int, pools: Dict[str, Any]
+                 ) -> Iterator[List[Any]]:
+        """Chain segment appliers over ``stages[start:end]``.
+
+        Each applier consumes the one upstream of it and flushes its
+        own stages once the upstream is exhausted, which reproduces
+        the serial engine's event order exactly: a stage's flush tail
+        passes through every downstream stage before the next stage
+        flushes.
+        """
+        generator = stream
+        for seg_start, seg_end, safe in self._segments(start, end):
+            if safe:
+                # Register before any pool exists: the process pool's
+                # initializer payload covers exactly the parallel
+                # segments composed for this run (cache splits shift
+                # segment boundaries, so they cannot be derived from
+                # the full chain).
+                pools.setdefault("segments", []).append(
+                    (seg_start, seg_end))
+                generator = self._apply_parallel(generator, seg_start,
+                                                 seg_end, pools)
+            else:
+                generator = self._apply_serial(generator, seg_start,
+                                               seg_end)
+        return generator
+
+    def _apply_serial(self, stream: Iterator[List[Any]], start: int,
+                      end: int) -> Iterator[List[Any]]:
+        for batch in stream:
+            out = self._push_range(batch, start, end)
+            if out:
+                yield out
+        for out in self._flush_range(start, end):
+            yield out
+
+    def _apply_parallel(self, stream: Iterator[List[Any]], start: int,
+                        end: int, pools: Dict[str, Any]
+                        ) -> Iterator[List[Any]]:
+        """Run a parallel-safe segment's batches on the pool.
+
+        Futures are consumed strictly in submission order (a bounded
+        sliding window), so outputs, metric counts and drop-reason
+        insertion order are identical to serial execution.
+        """
+        pool = self._pool(pools)
+        stages = self.stages[start:end]
+        timing = self.timing
+        in_flight: deque = deque()
+        limit = max(2, self.workers * 2)
+        if self.executor == "process":
+            key = (start, end)
+
+            def submit(batch: List[Any]):
+                return pool.submit(_process_segment_task, key, batch,
+                                   timing)
+        else:
+            def submit(batch: List[Any]):
+                return pool.submit(_thread_segment_task, stages, batch,
+                                   timing)
+
+        for batch in stream:
+            in_flight.append(submit(batch))
+            if len(in_flight) >= limit:
+                out = self._merge_task(in_flight.popleft(), start, end)
+                if out:
+                    yield out
+        while in_flight:
+            out = self._merge_task(in_flight.popleft(), start, end)
+            if out:
+                yield out
+        # Parallel-safe stages hold no cross-batch state, but honor
+        # the protocol anyway so a mis-flagged stage still flushes.
+        for out in self._flush_range(start, end):
+            yield out
+
+    def _merge_task(self, future: Any, start: int,
+                    end: int) -> List[Any]:
+        out, task_metrics = future.result()
+        for stage, merged in zip(self.stages[start:end], task_metrics):
+            stage.metrics.merge_from(merged)
+        return out
+
+    def _pool(self, pools: Dict[str, Any]):
+        pool = pools.get("pool")
+        if pool is None:
+            import concurrent.futures
+
+            if self.executor == "process":
+                payload = pickle.dumps({
+                    (seg_start, seg_end): self.stages[seg_start:seg_end]
+                    for seg_start, seg_end
+                    in pools.get("segments", ())})
+                pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_process_worker,
+                    initargs=(payload,))
+            else:
+                pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-pipeline")
+            pools["pool"] = pool
+        return pool
+
+    def _push_range(self, batch: List[Any], start: int,
+                    end: int) -> List[Any]:
+        """Push one batch through ``stages[start:end]`` serially."""
+        timing = self.timing
+        for index in range(start, end):
+            stage = self.stages[index]
+            stage_metrics = stage.metrics
+            stage_metrics.batches += 1
+            stage_metrics.items_in += len(batch)
+            if timing:
+                started = time.perf_counter()
+                batch = stage.process(batch)
+                stage_metrics.seconds += time.perf_counter() - started
+            else:
+                batch = stage.process(batch)
+            stage_metrics.items_out += len(batch)
             if not batch:
                 break
         return batch
+
+    def _flush_range(self, start: int, end: int
+                     ) -> Iterator[List[Any]]:
+        """Flush ``stages[start:end]`` in order, cascading tails."""
+        for index in range(start, end):
+            stage = self.stages[index]
+            if self.timing:
+                started = time.perf_counter()
+                tail = stage.finish()
+                stage.metrics.seconds += time.perf_counter() - started
+            else:
+                tail = stage.finish()
+            if tail:
+                stage.metrics.batches += 1
+                stage.metrics.items_out += len(tail)
+                out = self._push_range(tail, index + 1, end)
+                if out:
+                    yield out

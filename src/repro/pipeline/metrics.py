@@ -47,6 +47,23 @@ class StageMetrics:
         """Bump a free-form domain counter."""
         self.counters[key] = self.counters.get(key, 0) + amount
 
+    def merge_from(self, other: "StageMetrics") -> None:
+        """Fold another metrics record for the same stage into this one.
+
+        Used by the parallel executor (per-task metrics merged in
+        submission order) and the stage cache (memoized prefix metrics
+        replayed into a fresh run), so aggregate counts — and the
+        insertion order of drop reasons — match serial execution.
+        """
+        self.batches += other.batches
+        self.items_in += other.items_in
+        self.items_out += other.items_out
+        self.seconds += other.seconds
+        for reason, count in other.drops.items():
+            self.drops[reason] = self.drops.get(reason, 0) + count
+        for key, amount in other.counters.items():
+            self.counters[key] = self.counters.get(key, 0) + amount
+
     @property
     def dropped(self) -> int:
         """Total items discarded across all reasons."""

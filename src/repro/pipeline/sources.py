@@ -8,36 +8,85 @@ the Louvre generator is corpus-global by construction (its
 zero-duration injection samples over all visits), so its source
 materializes inside the generator and then *emits* visit by visit,
 keeping everything downstream O(batch).
+
+Both helpers return a :class:`FingerprintedSource` — a re-iterable
+carrying a stable content ``fingerprint`` that the engine's stage
+cache keys on (:mod:`repro.pipeline.cache`): the generator is
+deterministic given its parameters, and a CSV file is identified by
+path, size and mtime.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+import os
+from typing import Callable, Iterable, Iterator, Optional
 
 from repro.core.builder import DetectionRecord
 from repro.louvre.dataset import DatasetParameters, LouvreDatasetGenerator
 from repro.louvre.space import LouvreSpace
+from repro.pipeline.cache import fingerprint_of
 from repro.storage.csvio import iter_detrecords_csv
+
+
+class FingerprintedSource:
+    """A re-iterable record source with a content fingerprint.
+
+    Args:
+        factory: zero-argument callable producing a fresh iterator of
+            records for each pass.
+        fingerprint: stable digest of the source's content, or ``None``
+            when the content cannot be fingerprinted (disables
+            caching for runs over this source).
+    """
+
+    def __init__(self, factory: Callable[[], Iterable[DetectionRecord]],
+                 fingerprint: Optional[str]) -> None:
+        self._factory = factory
+        self.fingerprint = fingerprint
+
+    def __iter__(self) -> Iterator[DetectionRecord]:
+        return iter(self._factory())
 
 
 def louvre_source(space: Optional[LouvreSpace] = None,
                   parameters: Optional[DatasetParameters] = None,
-                  scale: float = 1.0) -> Iterator[DetectionRecord]:
+                  scale: float = 1.0) -> FingerprintedSource:
     """Detection records of the (scaled) synthetic Louvre corpus.
 
     Records are yielded visit-contiguously, which is exactly the
     contiguity :class:`~repro.pipeline.stages.SegmentStage` streaming
-    mode assumes.
+    mode assumes.  The generator is seeded and deterministic, so the
+    source fingerprint is derived from its parameters.
     """
     if parameters is None:
         parameters = DatasetParameters() if scale >= 1.0 \
             else DatasetParameters().scaled(scale)
-    generator = LouvreDatasetGenerator(space, parameters)
-    for visit in generator.generate():
-        for record in visit.records:
-            yield record
+
+    def generate() -> Iterator[DetectionRecord]:
+        generator = LouvreDatasetGenerator(space, parameters)
+        for visit in generator.generate():
+            for record in visit.records:
+                yield record
+
+    fingerprint = fingerprint_of(
+        "louvre",
+        type(space).__name__ if space is not None else "LouvreSpace",
+        parameters)
+    return FingerprintedSource(generate, fingerprint)
 
 
-def csv_source(path: str) -> Iterator[DetectionRecord]:
-    """Detection records streamed from a detection CSV file."""
-    return iter_detrecords_csv(path)
+def csv_source(path: str) -> FingerprintedSource:
+    """Detection records streamed from a detection CSV file.
+
+    The fingerprint identifies the file by absolute path, size and
+    mtime; an unreadable path yields no fingerprint (and the usual
+    error once the pipeline starts pulling records).
+    """
+    try:
+        stat = os.stat(path)
+        fingerprint = fingerprint_of("csv", os.path.abspath(path),
+                                     stat.st_size, stat.st_mtime_ns)
+    except OSError:
+        fingerprint = None
+    return FingerprintedSource(lambda: iter_detrecords_csv(path),
+                               fingerprint)

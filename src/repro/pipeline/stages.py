@@ -21,6 +21,7 @@ from repro.core.builder import (
     DetectionRecord,
     TrajectoryBuilder,
 )
+from repro.pipeline.cache import fingerprint_of
 from repro.pipeline.engine import Stage
 from repro.pipeline.registry import register_stage
 from repro.storage.store import TrajectoryStore
@@ -30,9 +31,14 @@ from repro.storage.store import TrajectoryStore
 # generic building blocks
 # ----------------------------------------------------------------------
 class MapStage(Stage):
-    """Apply a function to every item (stateless, streaming)."""
+    """Apply a function to every item (stateless, streaming).
+
+    Declared ``parallel_safe``: the mapped function must be a pure
+    per-item function for the parallel executor to be used.
+    """
 
     name = "map"
+    parallel_safe = True
 
     def __init__(self, fn: Callable[[Any], Any],
                  name: Optional[str] = None) -> None:
@@ -46,9 +52,14 @@ class MapStage(Stage):
 
 
 class FilterStage(Stage):
-    """Keep items satisfying a predicate (stateless, streaming)."""
+    """Keep items satisfying a predicate (stateless, streaming).
+
+    Declared ``parallel_safe``: the predicate must be pure for the
+    parallel executor to be used.
+    """
 
     name = "filter"
+    parallel_safe = True
 
     def __init__(self, predicate: Callable[[Any], bool],
                  name: Optional[str] = None,
@@ -95,10 +106,14 @@ class CleanStage(Stage):
     """
 
     name = "clean"
+    parallel_safe = True
 
     def __init__(self, builder: TrajectoryBuilder) -> None:
         super().__init__()
         self.builder = builder
+
+    def config_fingerprint(self) -> str:
+        return fingerprint_of("clean", self.builder.config_fingerprint())
 
     def process(self, batch: Sequence[DetectionRecord]
                 ) -> List[DetectionRecord]:
@@ -144,6 +159,11 @@ class SegmentStage(Stage):
         self._buffer: List[DetectionRecord] = []
         self._open_key: Optional[Tuple[str, Optional[str]]] = None
         self._open: List[DetectionRecord] = []
+
+    def config_fingerprint(self) -> str:
+        return fingerprint_of("segment",
+                              self.builder.config_fingerprint(),
+                              self.streaming)
 
     def process(self, batch: Sequence[DetectionRecord]
                 ) -> List[List[DetectionRecord]]:
@@ -199,10 +219,14 @@ class TraceConstructStage(Stage):
     """Stage 3 — resolve transitions and build each visit's trace."""
 
     name = "trace"
+    parallel_safe = True
 
     def __init__(self, builder: TrajectoryBuilder) -> None:
         super().__init__()
         self.builder = builder
+
+    def config_fingerprint(self) -> str:
+        return fingerprint_of("trace", self.builder.config_fingerprint())
 
     def process(self, batch: Sequence[Sequence[DetectionRecord]]
                 ) -> List[Any]:
@@ -222,10 +246,15 @@ class AnnotateStage(Stage):
     """Stage 4 — attach ``A_traj``, completing each trajectory."""
 
     name = "annotate"
+    parallel_safe = True
 
     def __init__(self, builder: TrajectoryBuilder) -> None:
         super().__init__()
         self.builder = builder
+
+    def config_fingerprint(self) -> str:
+        return fingerprint_of("annotate",
+                              self.builder.config_fingerprint())
 
     def process(self, batch: Sequence[Any]) -> List[Any]:
         return [self.builder.annotate(draft) for draft in batch]
@@ -297,6 +326,10 @@ class StateSequenceStage(Stage):
     """Trajectory → its distinct symbolic state sequence."""
 
     name = "state-sequences"
+    parallel_safe = True
+
+    def config_fingerprint(self) -> str:
+        return fingerprint_of("state-sequences")
 
     def process(self, batch: Sequence[Any]) -> List[List[str]]:
         return [t.distinct_state_sequence() for t in batch]

@@ -256,10 +256,18 @@ class And(Expr):
 
     @staticmethod
     def of(*children: Expr) -> "Expr":
+        # Flatten recursively so the result is canonical (no nested
+        # And, no single-child And) and therefore idempotent — a
+        # serialization round trip must not change what another
+        # application of ``of`` produces.
         flat: list = []
         for child in children:
             if isinstance(child, And):
-                flat.extend(child.children)
+                collapsed = And.of(*child.children)
+                if isinstance(collapsed, And):
+                    flat.extend(collapsed.children)
+                else:
+                    flat.append(collapsed)
             else:
                 flat.append(child)
         if len(flat) == 1:
@@ -292,10 +300,15 @@ class Or(Expr):
 
     @staticmethod
     def of(*children: Expr) -> "Expr":
+        # Recursive flattening, mirroring And.of (idempotence).
         flat: list = []
         for child in children:
             if isinstance(child, Or):
-                flat.extend(child.children)
+                collapsed = Or.of(*child.children)
+                if isinstance(collapsed, Or):
+                    flat.extend(collapsed.children)
+                else:
+                    flat.append(collapsed)
             else:
                 flat.append(child)
         if len(flat) == 1:

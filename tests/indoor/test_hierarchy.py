@@ -161,3 +161,44 @@ class TestSectionRules:
     def test_add_hierarchy_edge_rejects_overlap(self, museum_graph):
         with pytest.raises(ValueError):
             add_hierarchy_edge(museum_graph, "F0", "r3", R.OVERLAP)
+
+
+class TestMemoization:
+    """LCA/depth lookups are memoized; reindex() refreshes both the
+    navigation maps and the memos after graph mutation."""
+
+    def test_cached_results_stable(self, hierarchy):
+        first = hierarchy.lowest_common_ancestor("r1", "r2")
+        assert first == "F0"
+        assert hierarchy.lowest_common_ancestor("r1", "r2") == first
+        # symmetric pair is cached too and agrees
+        assert hierarchy.lowest_common_ancestor("r2", "r1") == first
+        assert hierarchy.depth_of_node("r1") == 2
+        assert hierarchy.depth_of_node("r1") == 2
+
+    def test_cached_none_is_remembered(self, museum_graph):
+        graph = LayeredIndoorGraph("partial")
+        graph.add_layer(layer("building", ["B"]))
+        graph.add_layer(layer("floor", ["F0", "F1"]))
+        hierarchy = LayerHierarchy(graph, ["building", "floor"])
+        assert hierarchy.lowest_common_ancestor("F0", "F1") is None
+        assert hierarchy.lowest_common_ancestor("F0", "F1") is None
+
+    def test_reindex_picks_up_new_edges(self):
+        graph = LayeredIndoorGraph("growing")
+        graph.add_layer(layer("building", ["B"]))
+        graph.add_layer(layer("floor", ["F0", "F1"]))
+        hierarchy = LayerHierarchy(graph, ["building", "floor"])
+        # Prime the memo with the unparented answer.
+        assert hierarchy.lowest_common_ancestor("F0", "F1") is None
+        add_hierarchy_edge(graph, "B", "F0")
+        add_hierarchy_edge(graph, "B", "F1")
+        hierarchy.reindex()
+        assert hierarchy.parent("F0") == "B"
+        assert hierarchy.lowest_common_ancestor("F0", "F1") == "B"
+
+    def test_invalidate_caches_alone_keeps_navigation(self, hierarchy):
+        assert hierarchy.lowest_common_ancestor("r1", "r2") == "F0"
+        hierarchy.invalidate_caches()
+        assert hierarchy.lowest_common_ancestor("r1", "r2") == "F0"
+        assert hierarchy.depth_of_node("r3") == 2

@@ -13,6 +13,7 @@ from repro.mining.similarity import (
     normalized_edit_similarity,
     similarity_matrix,
     state_similarity,
+    state_similarity_table,
 )
 
 
@@ -103,6 +104,44 @@ class TestHierarchySimilarity:
         matrix = similarity_matrix(None, [["a"], ["a"], ["b"]])
         assert matrix[0][1] == 1.0
         assert matrix[0][2] == 0.0
+
+
+class TestSimilarityTable:
+    """The precomputed alphabet-pair table is a pure memo: identical
+    values to per-cell state_similarity calls."""
+
+    def test_table_matches_direct_calls(self, hierarchy):
+        states = ["r1", "r2", "r3"]
+        table = state_similarity_table(hierarchy, states)
+        for a in states:
+            for b in states:
+                assert table[(a, b)] == state_similarity(hierarchy,
+                                                         a, b)
+
+    def test_table_covers_duplicates_once(self, hierarchy):
+        table = state_similarity_table(hierarchy,
+                                       ["r1", "r1", "r2", "r1"])
+        assert set(table) == {("r1", "r1"), ("r1", "r2"),
+                              ("r2", "r1"), ("r2", "r2")}
+
+    def test_sequence_similarity_with_and_without_table_agree(
+            self, hierarchy):
+        a = ["r1", "r2", "r3", "r1"]
+        b = ["r2", "r3", "r3"]
+        table = state_similarity_table(hierarchy, a + b)
+        assert hierarchy_similarity(hierarchy, a, b, table) \
+            == hierarchy_similarity(hierarchy, a, b)
+
+    def test_matrix_equals_per_pair_computation(self, hierarchy):
+        sequences = [["r1", "r2"], ["r2", "r3"], ["r3"],
+                     ["r1", "r1", "r3"]]
+        matrix = similarity_matrix(hierarchy, sequences)
+        for i, seq_a in enumerate(sequences):
+            for j, seq_b in enumerate(sequences):
+                if i == j:
+                    continue
+                assert matrix[i][j] == hierarchy_similarity(
+                    hierarchy, seq_a, seq_b)
 
 
 items = st.lists(st.sampled_from(["a", "b", "c", "d"]), max_size=8)

@@ -1,0 +1,247 @@
+"""Tests for the inter-stage result cache."""
+
+import pytest
+
+from repro.api import Workbench
+from repro.core import TrajectoryBuilder
+from repro.pipeline import (
+    MapStage,
+    Pipeline,
+    StageCache,
+    StoreSinkStage,
+    fingerprint_of,
+    louvre_source,
+)
+
+
+class CountingStage(MapStage):
+    """A cache-safe map stage that counts its process() calls."""
+
+    def __init__(self, tag, fn=lambda x: x):
+        super().__init__(fn, name="counting-" + tag)
+        self.tag = tag
+        self.calls = 0
+
+    def config_fingerprint(self):
+        return fingerprint_of("counting", self.tag)
+
+    def process(self, batch):
+        self.calls += 1
+        return super().process(batch)
+
+
+class SinkStage(MapStage):
+    """Uncacheable pass-through (no config fingerprint)."""
+
+    def __init__(self):
+        super().__init__(lambda x: x, name="sink")
+        self.seen = []
+
+    def config_fingerprint(self):
+        return None
+
+    def process(self, batch):
+        self.seen.extend(batch)
+        return list(batch)
+
+
+def _double_item(item):
+    return item * 2
+
+
+class ProcessSafeDoubler(MapStage):
+    """Cache-safe, parallel-safe, picklable (module-level fn)."""
+
+    def __init__(self):
+        super().__init__(_double_item, name="proc-double")
+
+    def config_fingerprint(self):
+        return fingerprint_of("proc-double")
+
+
+class ProcessSafeIdentity(MapStage):
+    """Parallel-safe but uncacheable, picklable."""
+
+    def __init__(self):
+        super().__init__(_identity_item, name="proc-id")
+
+
+def _identity_item(item):
+    return item
+
+
+class FakeSource:
+    def __init__(self, items, fingerprint):
+        self._items = list(items)
+        self.fingerprint = fingerprint
+
+    def __iter__(self):
+        return iter(self._items)
+
+
+class TestStageCache:
+    def test_prefix_replay_skips_cached_stages(self):
+        cache = StageCache()
+        source = FakeSource(range(20), "src-1")
+
+        first_a, first_sink = CountingStage("a"), SinkStage()
+        pipeline = Pipeline([first_a, first_sink], batch_size=4,
+                            cache=cache)
+        out_first = pipeline.run(source)
+        assert first_a.calls == 5
+        assert cache.misses == 1 and cache.hits == 0
+
+        second_a, second_sink = CountingStage("a"), SinkStage()
+        pipeline = Pipeline([second_a, second_sink], batch_size=4,
+                            cache=cache)
+        out_second = pipeline.run(source)
+        assert out_second == out_first
+        assert second_a.calls == 0  # replayed from cache
+        assert second_sink.seen == first_sink.seen  # sink re-ran
+        assert cache.hits == 1
+
+    def test_replay_metrics_match_fresh_run(self):
+        cache = StageCache()
+        source = FakeSource(range(10), "src-m")
+        pipeline = Pipeline([CountingStage("a"), SinkStage()],
+                            batch_size=3, cache=cache)
+        pipeline.run(source)
+        fresh = pipeline.metrics.as_dict()
+
+        pipeline = Pipeline([CountingStage("a"), SinkStage()],
+                            batch_size=3, cache=cache)
+        pipeline.run(source)
+        replayed = pipeline.metrics.as_dict()
+        for data in (fresh, replayed):
+            data.pop("total_seconds")
+            for stage in data["stages"]:
+                stage.pop("seconds")
+        assert replayed == fresh
+
+    def test_config_change_misses(self):
+        cache = StageCache()
+        source = FakeSource(range(8), "src-2")
+        stage = CountingStage("a")
+        Pipeline([stage, SinkStage()], batch_size=4,
+                 cache=cache).run(source)
+        other = CountingStage("b")
+        Pipeline([other, SinkStage()], batch_size=4,
+                 cache=cache).run(source)
+        assert other.calls == 2  # different config → recomputed
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_source_change_misses(self):
+        cache = StageCache()
+        stage = CountingStage("a")
+        Pipeline([stage, SinkStage()], batch_size=4, cache=cache) \
+            .run(FakeSource(range(8), "src-A"))
+        again = CountingStage("a")
+        Pipeline([again, SinkStage()], batch_size=4, cache=cache) \
+            .run(FakeSource(range(8), "src-B"))
+        assert again.calls == 2
+        assert cache.hits == 0
+
+    def test_unfingerprinted_source_bypasses_cache(self):
+        cache = StageCache()
+        stage = CountingStage("a")
+        Pipeline([stage], batch_size=4, cache=cache).run(range(8))
+        assert cache.hits == 0 and cache.misses == 0
+        assert len(cache) == 0
+
+    def test_extended_chain_reuses_shorter_prefix(self):
+        """A chain extending a cached prefix replays it and records
+        the longer prefix for next time."""
+        cache = StageCache()
+        source = FakeSource(range(12), "src-3")
+        Pipeline([CountingStage("a"), SinkStage()], batch_size=4,
+                 cache=cache).run(source)
+
+        replayed_a = CountingStage("a")
+        fresh_b = CountingStage("b")
+        out = Pipeline([replayed_a, fresh_b, SinkStage()],
+                       batch_size=4, cache=cache).run(source)
+        assert out == list(range(12))
+        assert replayed_a.calls == 0   # depth-1 prefix replayed
+        assert fresh_b.calls == 3      # extension computed fresh
+        assert cache.hits == 1
+
+        third_a, third_b = CountingStage("a"), CountingStage("b")
+        Pipeline([third_a, third_b, SinkStage()], batch_size=4,
+                 cache=cache).run(source)
+        assert third_a.calls == 0 and third_b.calls == 0
+        assert cache.hits == 2
+
+    def test_lru_eviction(self):
+        cache = StageCache(max_entries=1)
+        Pipeline([CountingStage("a")], batch_size=4, cache=cache) \
+            .run(FakeSource(range(4), "src-A"))
+        Pipeline([CountingStage("a")], batch_size=4, cache=cache) \
+            .run(FakeSource(range(4), "src-B"))
+        assert len(cache) == 1
+        evicted = CountingStage("a")
+        Pipeline([evicted], batch_size=4, cache=cache) \
+            .run(FakeSource(range(4), "src-A"))
+        assert evicted.calls == 1  # src-A was evicted by src-B
+
+    def test_rejects_bad_max_entries(self):
+        with pytest.raises(ValueError):
+            StageCache(max_entries=0)
+
+    def test_cache_with_process_executor_boundary_mid_segment(self):
+        """The cache boundary splitting a parallel-safe run must not
+        break the process pool's segment map (regression)."""
+        cache = StageCache()
+        source = FakeSource(range(30), "src-proc")
+        # doubler is cache-safe, identity is not: the boundary falls
+        # inside the single parallel-safe run [doubler, identity].
+        out_cold = Pipeline(
+            [ProcessSafeDoubler(), ProcessSafeIdentity()],
+            batch_size=5, workers=2, executor="process",
+            cache=cache).run(source)
+        assert out_cold == [n * 2 for n in range(30)]
+        out_warm = Pipeline(
+            [ProcessSafeDoubler(), ProcessSafeIdentity()],
+            batch_size=5, workers=2, executor="process",
+            cache=cache).run(source)
+        assert out_warm == out_cold
+        assert cache.hits == 1
+
+
+class TestBuilderChainCaching:
+    def test_workbench_rebuild_hits_cache(self, louvre_space):
+        cache = StageCache()
+        first = Workbench.louvre(scale=0.05, space=louvre_space,
+                                 cache=cache)
+        assert cache.misses == 1 and cache.hits == 0
+        second = Workbench.louvre(scale=0.05, space=louvre_space,
+                                  cache=cache)
+        assert cache.hits == 1
+        assert [t.to_dict() for t in second.store] \
+            == [t.to_dict() for t in first.store]
+        assert second.store.state_cardinalities() \
+            == first.store.state_cardinalities()
+
+    def test_workbench_cache_false_disables(self, louvre_space):
+        workbench = Workbench.louvre(scale=0.05, space=louvre_space,
+                                     cache=False)
+        assert len(workbench.store) > 0
+
+    def test_workbench_rejects_bad_cache(self, louvre_space):
+        with pytest.raises(ValueError):
+            Workbench.louvre(scale=0.05, space=louvre_space,
+                             cache="yes")
+
+    def test_builder_config_change_invalidates(self, louvre_space):
+        cache = StageCache()
+        source = louvre_source(louvre_space, scale=0.05)
+        builder = TrajectoryBuilder(louvre_space.dataset_zone_nrg())
+        Pipeline(builder.stages(streaming=True) + [StoreSinkStage()],
+                 batch_size=256, cache=cache).run(source,
+                                                  collect=False)
+        relaxed = TrajectoryBuilder(louvre_space.dataset_zone_nrg(),
+                                    min_duration=-1.0)
+        Pipeline(relaxed.stages(streaming=True) + [StoreSinkStage()],
+                 batch_size=256, cache=cache).run(source,
+                                                  collect=False)
+        assert cache.hits == 0
+        assert cache.misses == 2

@@ -122,6 +122,79 @@ class TestExecution:
         assert pipeline.metrics["tag-a"].items_in == 1
 
 
+class TestFlushAccounting:
+    """The flush path shares _push accounting with the batch path."""
+
+    def test_finish_items_dropped_downstream_records_items_in(self):
+        """A stage's flush tail that the next stage fully drops must
+        still count as items_in (and a batch) on the dropping stage."""
+        pipeline = Pipeline([BufferingStage(),
+                             FilterStage(lambda x: False,
+                                         name="reject-all")],
+                            batch_size=2)
+        assert pipeline.run(["a", "b", "c"]) == []
+        buffer = pipeline.metrics["buffer"]
+        assert buffer.items_out == 3
+        assert buffer.batches == 3  # two process calls + the flush
+        rejecting = pipeline.metrics["reject-all"]
+        assert rejecting.items_in == 3
+        assert rejecting.items_out == 0
+        assert rejecting.batches == 1
+        assert rejecting.drops == {"predicate": 3}
+
+    def test_stage_after_flush_drop_stays_untouched(self):
+        """When the flush tail dies mid-chain, later stages see
+        nothing — no phantom batches or items."""
+        pipeline = Pipeline([BufferingStage(),
+                             FilterStage(lambda x: False,
+                                         name="reject-all"),
+                             TagStage("z")],
+                            batch_size=2)
+        assert pipeline.run(["a", "b"]) == []
+        assert pipeline.metrics["tag-z"].batches == 0
+        assert pipeline.metrics["tag-z"].items_in == 0
+
+    def test_partial_flush_drop_accounting(self):
+        """A partially-dropped flush tail keeps exact counts."""
+        pipeline = Pipeline([BufferingStage(),
+                             FilterStage(lambda x: x % 2 == 0,
+                                         name="evens",
+                                         drop_reason="odd"),
+                             MapStage(lambda x: x * 10, name="tens")],
+                            batch_size=2)
+        assert pipeline.run([1, 2, 3, 4, 5]) == [20, 40]
+        evens = pipeline.metrics["evens"]
+        assert evens.items_in == 5
+        assert evens.items_out == 2
+        assert evens.drops == {"odd": 3}
+        tens = pipeline.metrics["tens"]
+        assert tens.items_in == 2
+        assert tens.items_out == 2
+        assert tens.batches == 1
+
+    def test_empty_finish_adds_no_batch(self):
+        """A finish() returning nothing must not bump batches."""
+        pipeline = Pipeline([TagStage("a"), TagStage("b")])
+        pipeline.run(["x"])
+        assert pipeline.metrics["tag-a"].batches == 1
+        assert pipeline.metrics["tag-b"].batches == 1
+
+
+class TestTimingDisabled:
+    def test_timing_off_keeps_counts_drops_output(self):
+        pipeline = Pipeline([FilterStage(lambda x: x % 2 == 0,
+                                         name="evens",
+                                         drop_reason="odd"),
+                             MapStage(lambda x: x + 1, name="inc")],
+                            timing=False)
+        assert pipeline.run(list(range(6))) == [1, 3, 5]
+        evens = pipeline.metrics["evens"]
+        assert evens.items_in == 6
+        assert evens.drops == {"odd": 3}
+        assert evens.seconds == 0.0
+        assert pipeline.metrics["inc"].seconds == 0.0
+
+
 class TestMetrics:
     def test_drop_accounting(self):
         pipeline = Pipeline([FilterStage(lambda x: x % 2 == 0,

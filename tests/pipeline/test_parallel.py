@@ -1,0 +1,208 @@
+"""Parallel-vs-serial determinism of the pipeline executor.
+
+The parallel executor's contract: for any chain of stages — whatever
+mix of parallel-safe and stateful — outputs, item counts, drop reasons
+and counters are identical to serial execution; only wall time may
+differ.  Verified on the real builder chain (thread and process pools)
+and property-tested on random stage chains.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TrajectoryBuilder
+from repro.pipeline import (
+    FilterStage,
+    MapStage,
+    Pipeline,
+    PipelineError,
+    Stage,
+    StoreSinkStage,
+    louvre_source,
+)
+
+
+def _double(item):
+    return item * 2
+
+
+def _keep_even(item):
+    return item % 2 == 0
+
+
+class BarrierStage(Stage):
+    """Stateful: buffers everything and flushes at end of stream."""
+
+    name = "barrier"
+
+    def __init__(self):
+        super().__init__()
+        self._held = []
+
+    def process(self, batch):
+        self._held.extend(batch)
+        return []
+
+    def finish(self):
+        held, self._held = self._held, []
+        return held
+
+
+class RunningSumStage(Stage):
+    """Stateful and order-sensitive: prefix sums across batches."""
+
+    name = "running-sum"
+
+    def __init__(self):
+        super().__init__()
+        self._total = 0
+
+    def process(self, batch):
+        out = []
+        for item in batch:
+            self._total += item
+            out.append(self._total)
+        return out
+
+
+def _metrics_counts(metrics):
+    """Metrics as comparable plain data, wall time excluded."""
+    data = metrics.as_dict()
+    for stage in data["stages"]:
+        stage.pop("seconds")
+    data.pop("total_seconds")
+    return data
+
+
+def _stage_chain(spec):
+    """Build a fresh stage chain from a compact spec string list."""
+    stages = []
+    for index, kind in enumerate(spec):
+        if kind == "map":
+            stages.append(MapStage(_double, name="map-{}".format(index)))
+        elif kind == "filter":
+            stages.append(FilterStage(_keep_even,
+                                      name="filter-{}".format(index),
+                                      drop_reason="odd"))
+        elif kind == "drop-all":
+            stages.append(FilterStage(lambda item: False,
+                                      name="drop-{}".format(index),
+                                      drop_reason="all"))
+        elif kind == "barrier":
+            stage = BarrierStage()
+            stage.name = "barrier-{}".format(index)
+            stages.append(stage)
+        else:
+            stage = RunningSumStage()
+            stage.name = "sum-{}".format(index)
+            stages.append(stage)
+    return stages
+
+
+def _run(spec, items, batch_size, workers, executor="thread"):
+    pipeline = Pipeline(_stage_chain(spec), batch_size=batch_size,
+                        workers=workers, executor=executor)
+    output = pipeline.run(items)
+    return output, _metrics_counts(pipeline.metrics)
+
+
+class TestBuilderChainParity:
+    @pytest.fixture(scope="class")
+    def corpus(self, louvre_space):
+        return louvre_source(louvre_space, scale=0.15)
+
+    def _build(self, louvre_space, corpus, workers, executor="thread",
+               batch_size=128):
+        builder = TrajectoryBuilder(louvre_space.dataset_zone_nrg())
+        sink = StoreSinkStage()
+        pipeline = Pipeline(builder.stages(streaming=True) + [sink],
+                            batch_size=batch_size, workers=workers,
+                            executor=executor)
+        output = pipeline.run(corpus)
+        return output, pipeline.metrics, sink.store
+
+    def test_thread_pool_byte_identical(self, louvre_space, corpus):
+        serial_out, serial_metrics, serial_store = self._build(
+            louvre_space, corpus, workers=0)
+        parallel_out, parallel_metrics, parallel_store = self._build(
+            louvre_space, corpus, workers=4)
+        assert [t.to_dict() for t in parallel_out] \
+            == [t.to_dict() for t in serial_out]
+        assert _metrics_counts(parallel_metrics) \
+            == _metrics_counts(serial_metrics)
+        assert [t.to_dict() for t in parallel_store] \
+            == [t.to_dict() for t in serial_store]
+        assert parallel_store.state_cardinalities() \
+            == serial_store.state_cardinalities()
+
+    def test_process_pool_byte_identical(self, louvre_space, corpus):
+        serial_out, serial_metrics, _ = self._build(
+            louvre_space, corpus, workers=0, batch_size=512)
+        parallel_out, parallel_metrics, _ = self._build(
+            louvre_space, corpus, workers=2, executor="process",
+            batch_size=512)
+        assert [t.to_dict() for t in parallel_out] \
+            == [t.to_dict() for t in serial_out]
+        assert _metrics_counts(parallel_metrics) \
+            == _metrics_counts(serial_metrics)
+
+    def test_exact_segmenter_parity(self, louvre_space, corpus):
+        """The buffering (exact-mode) segmenter stays serial and the
+        chain around it still parallelizes correctly."""
+        builder = TrajectoryBuilder(louvre_space.dataset_zone_nrg())
+        serial = Pipeline(builder.stages(streaming=False),
+                          batch_size=256)
+        serial_out = serial.run(corpus)
+        builder2 = TrajectoryBuilder(louvre_space.dataset_zone_nrg())
+        parallel = Pipeline(builder2.stages(streaming=False),
+                            batch_size=256, workers=3)
+        parallel_out = parallel.run(corpus)
+        assert [t.to_dict() for t in parallel_out] \
+            == [t.to_dict() for t in serial_out]
+        assert _metrics_counts(parallel.metrics) \
+            == _metrics_counts(serial.metrics)
+
+
+class TestSegmentation:
+    def test_serial_pipeline_is_one_segment(self):
+        pipeline = Pipeline(_stage_chain(["map", "barrier", "map"]))
+        assert pipeline.segments() == [(0, 3, False)]
+
+    def test_parallel_partition_alternates_on_safety(self):
+        pipeline = Pipeline(_stage_chain(["map", "filter", "barrier",
+                                          "map", "sum"]),
+                            workers=2)
+        assert pipeline.segments() == [(0, 2, True), (2, 3, False),
+                                       (3, 4, True), (4, 5, False)]
+
+    def test_rejects_bad_executor(self):
+        with pytest.raises(PipelineError):
+            Pipeline([MapStage(_double)], executor="fork")
+
+    def test_rejects_negative_workers(self):
+        with pytest.raises(PipelineError):
+            Pipeline([MapStage(_double)], workers=-1)
+
+
+class TestRandomChains:
+    """Satellite: property test — identical outputs, drop reasons and
+    item counts for random stage chains under both executors."""
+
+    @given(
+        spec=st.lists(st.sampled_from(
+            ["map", "filter", "drop-all", "barrier", "sum"]),
+            min_size=1, max_size=6),
+        items=st.lists(st.integers(min_value=-50, max_value=50),
+                       max_size=60),
+        batch_size=st.integers(min_value=1, max_value=16),
+        workers=st.sampled_from([2, 3, 4]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_parallel_equals_serial(self, spec, items, batch_size,
+                                    workers):
+        serial_out, serial_metrics = _run(spec, items, batch_size, 0)
+        parallel_out, parallel_metrics = _run(spec, items, batch_size,
+                                              workers)
+        assert parallel_out == serial_out
+        assert parallel_metrics == serial_metrics

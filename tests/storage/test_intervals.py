@@ -85,3 +85,28 @@ def test_property_overlap_matches_bruteforce(raw, start, length):
     expected = {iv.payload for iv in intervals if iv.overlaps(start, end)}
     assert {iv.payload
             for iv in index.overlapping(start, end)} == expected
+
+
+@given(intervals_strategy)
+def test_property_build_is_deterministic(raw):
+    """Two builds over the same input yield identical query results,
+    including result order (the sorted-once build partitions stably)."""
+    intervals = [Interval(s, s + length, i)
+                 for i, (s, length) in enumerate(raw)]
+    first = IntervalIndex(intervals)
+    second = IntervalIndex(intervals)
+    assert [iv.payload for iv in first.stab(50)] \
+        == [iv.payload for iv in second.stab(50)]
+    assert [iv.payload for iv in first.overlapping(10, 200)] \
+        == [iv.payload for iv in second.overlapping(10, 200)]
+    assert sorted(iv.payload for iv in first.all_intervals()) \
+        == list(range(len(intervals)))
+
+
+def test_deep_unbalanced_tree_iterative_walk():
+    """A heavily skewed interval set must not hit recursion limits in
+    overlap collection (the walk is iterative)."""
+    intervals = [Interval(i, i + 0.5, i) for i in range(5000)]
+    index = IntervalIndex(intervals)
+    hits = index.overlapping(0, 5001)
+    assert len(hits) == 5000
