@@ -1,0 +1,189 @@
+"""Bench S1 — service-layer request throughput and latency.
+
+Run as a script (not under pytest-benchmark): against one *warm*
+session (built once, store indexes hot) it measures
+
+* ``local_call`` — ``RunQuery`` through the in-process
+  :class:`~repro.service.executor.LocalBinding` (protocol cost
+  without HTTP: dispatch, planning, pagination, typed responses);
+* ``http_query`` — the same command over the embedded HTTP server on
+  an ephemeral port, sequential requests (per-request latency
+  p50/p95 and requests/s, connection setup included as a real client
+  pays it);
+* ``http_paginate`` — a full stable-cursor walk over the corpus in
+  pages of 100 (pages/s);
+* ``http_concurrent`` — 4 client threads hammering ``RunQuery``
+  against the threaded server (aggregate requests/s).
+
+The serialization denominator: every request plans the query, pages
+the lazy result set, and serializes full trajectories to canonical
+JSON — so requests/s here is end-to-end service work, not socket
+ping-pong.  ``--out`` writes the measurements (the committed baseline
+is ``BENCH_service.json``); ``--smoke`` shrinks the corpus and
+request counts for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import threading
+import time
+from typing import Dict, List
+
+from repro.service import protocol as P
+from repro.service.client import ServiceClient
+from repro.service.executor import LocalBinding
+from repro.service.registry import SessionRegistry
+from repro.service.server import ServiceServer
+
+SESSION = "bench"
+QUERY = {"expr": {"op": "annotation", "kind": "goal",
+                  "value": "visit"}}
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1,
+                max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+def _latency_stats(samples: List[float]) -> Dict[str, float]:
+    return {
+        "mean_ms": statistics.fmean(samples) * 1000.0,
+        "p50_ms": _percentile(samples, 0.50) * 1000.0,
+        "p95_ms": _percentile(samples, 0.95) * 1000.0,
+        "max_ms": max(samples) * 1000.0,
+    }
+
+
+def run_benchmarks(smoke: bool = False) -> Dict:
+    scale = 0.02 if smoke else 0.1
+    requests = 50 if smoke else 300
+    limit = 20
+
+    registry = SessionRegistry()
+    job = registry.build(SESSION, scale=scale, wait=True)
+    assert job.state.value == "done", job.error
+    corpus_size = len(registry.get(SESSION).workbench.store)
+
+    binding = LocalBinding(registry)
+    command = P.RunQuery(session=SESSION, query=QUERY, limit=limit,
+                         include_total=False)
+
+    # -- in-process protocol dispatch ----------------------------------
+    binding.call(command)  # warm
+    local_times: List[float] = []
+    for _ in range(requests):
+        started = time.perf_counter()
+        response = binding.call(command)
+        local_times.append(time.perf_counter() - started)
+        assert response.hits
+
+    metrics: Dict[str, Dict] = {
+        "local_call": dict(_latency_stats(local_times),
+                           requests_per_s=requests
+                           / sum(local_times)),
+    }
+
+    # -- over HTTP ------------------------------------------------------
+    server = ServiceServer(registry, port=0).start()
+    try:
+        client = ServiceClient(server.url)
+        client.run_query(SESSION, QUERY, limit=limit)  # warm
+
+        http_times: List[float] = []
+        for _ in range(requests):
+            started = time.perf_counter()
+            page = client.run_query(SESSION, QUERY, limit=limit,
+                                    include_total=False)
+            http_times.append(time.perf_counter() - started)
+            assert page.hits
+        metrics["http_query"] = dict(
+            _latency_stats(http_times),
+            requests_per_s=requests / sum(http_times))
+
+        started = time.perf_counter()
+        pages = 0
+        hits = 0
+        for page in client.iter_pages(SESSION, QUERY, limit=100):
+            pages += 1
+            hits += len(page.hits)
+        paginate_seconds = time.perf_counter() - started
+        metrics["http_paginate"] = {
+            "pages": pages, "hits": hits,
+            "seconds": paginate_seconds,
+            "pages_per_s": pages / paginate_seconds,
+        }
+
+        workers = 4
+        per_worker = max(10, requests // workers)
+        errors: List[BaseException] = []
+
+        def hammer() -> None:
+            try:
+                worker_client = ServiceClient(server.url)
+                for _ in range(per_worker):
+                    worker_client.run_query(SESSION, QUERY,
+                                            limit=limit,
+                                            include_total=False)
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer)
+                   for _ in range(workers)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        concurrent_seconds = time.perf_counter() - started
+        assert not errors, errors[:1]
+        metrics["http_concurrent"] = {
+            "threads": workers,
+            "requests": workers * per_worker,
+            "seconds": concurrent_seconds,
+            "requests_per_s": workers * per_worker
+            / concurrent_seconds,
+        }
+    finally:
+        server.stop()
+
+    return {
+        "bench": "service",
+        "config": {"smoke": smoke, "scale": scale,
+                   "requests": requests, "limit": limit,
+                   "corpus": corpus_size,
+                   "python": sys.version.split()[0]},
+        "metrics": metrics,
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced corpus/requests for CI")
+    parser.add_argument("--out", metavar="PATH",
+                        help="write the measurements as JSON")
+    args = parser.parse_args(argv)
+
+    result = run_benchmarks(smoke=args.smoke)
+    if args.out and not args.smoke:
+        # Embed a smoke-mode section so CI smoke runs have a
+        # same-workload reference.
+        result["smoke_metrics"] = run_benchmarks(
+            smoke=True)["metrics"]
+    print(json.dumps(result, indent=2))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+        print("\nwrote {}".format(args.out))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

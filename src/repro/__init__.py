@@ -23,13 +23,17 @@ substrate the model depends on:
 * :mod:`repro.experiments` — executable reproductions of every table
   and figure in the paper;
 * :mod:`repro.api` — the :class:`~repro.api.Workbench` facade
-  unifying generate → build → store → query → mine;
+  unifying generate → build → store → query → mine (a local binding
+  of the service protocol);
+* :mod:`repro.service` — the service layer: multi-dataset session
+  registry, typed JSON wire protocol, embedded threaded HTTP server
+  and client (``repro serve`` / ``repro call``);
 * :mod:`repro.cli` — command-line interface.
 
 See README.md for a tour and DESIGN.md for the system inventory.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = ["__version__", "Workbench"]
 

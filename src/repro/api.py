@@ -20,25 +20,36 @@ Every mining entry point (:meth:`sequences`, :meth:`similarity`,
 :meth:`flow`, :meth:`patterns`) accepts a corpus in any form — a
 query, a lazy result set, stored hits, plain trajectories, or nothing
 (meaning the whole store).
+
+Since the service-layer redesign, :class:`Workbench` is *sugar over
+the service protocol*: its query/mining operations compile to the
+same typed commands (:mod:`repro.service.protocol`) that the embedded
+HTTP server executes, dispatched through an in-process
+:class:`~repro.service.executor.LocalBinding` — so library callers
+and wire callers hit one code path and get byte-identical results.
+See ``docs/service.md`` (the protocol reference) and ``docs/query.md``
+(the query language).
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.builder import DetectionRecord, TrajectoryBuilder
 from repro.mining.corpus import Corpus, iter_trajectories
 from repro.mining.flow import FlowBalance, flow_balances
-from repro.mining.prefixspan import SequentialPattern, prefixspan
+from repro.mining.prefixspan import SequentialPattern
 from repro.mining.sequences import corpus_summary, state_sequences
-from repro.mining.similarity import similarity_matrix
 from repro.pipeline import Pipeline, Stage, StoreSinkStage
 from repro.pipeline.metrics import PipelineMetrics
-from repro.storage.expr import Expr
+from repro.storage.expr import Expr, ExprSerializationError
 from repro.storage.query import Query
 from repro.storage.results import ResultSet
 from repro.storage.store import TrajectoryStore
+
+#: The session name a workbench's corpus occupies in its private
+#: service registry (the local binding's one tenant).
+LOCAL_SESSION = "local"
 
 
 class Workbench:
@@ -57,6 +68,7 @@ class Workbench:
         self.store = store if store is not None else TrajectoryStore()
         #: Metrics of the most recent :meth:`build` run.
         self.metrics: Optional[PipelineMetrics] = None
+        self._binding = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -115,6 +127,46 @@ class Workbench:
     # ------------------------------------------------------------------
     # build (the pipeline engine)
     # ------------------------------------------------------------------
+    def prepare_build(self, batch_size: int = 512,
+                      streaming: bool = True,
+                      extra_stages: Sequence[Stage] = (),
+                      workers: int = 0, executor: str = "thread",
+                      cache: object = None) -> Pipeline:
+        """Assemble (but do not run) the build pipeline.
+
+        The clean → segment → trace → annotate → store chain over
+        this workbench's space and store, ready for
+        :meth:`Pipeline.run <repro.pipeline.engine.Pipeline.run>`.
+        :meth:`build` is this plus the run; the service layer's
+        background jobs call it directly so they can hold the
+        pipeline and report live metrics while it streams.
+
+        Raises:
+            ValueError: when the workbench has no space model or the
+                cache argument is malformed.
+        """
+        from repro.pipeline.cache import DEFAULT_CACHE, StageCache
+
+        if self.space is None:
+            raise ValueError(
+                "building from detection records needs a space model; "
+                "construct the Workbench with one or use "
+                "from_trajectories()")
+        if cache is True:
+            cache = DEFAULT_CACHE
+        elif cache is False:
+            cache = None
+        elif cache is not None and not isinstance(cache, StageCache):
+            raise ValueError(
+                "cache must be a StageCache, a bool or None")
+        builder = TrajectoryBuilder(self.space.dataset_zone_nrg())
+        sink = StoreSinkStage(store=self.store)
+        return Pipeline(
+            builder.stages(streaming=streaming) + list(extra_stages)
+            + [sink],
+            batch_size=batch_size, workers=workers, executor=executor,
+            cache=cache)
+
     def build(self, records: Iterable[DetectionRecord],
               batch_size: int = 512, streaming: bool = True,
               extra_stages: Sequence[Stage] = (),
@@ -144,27 +196,10 @@ class Workbench:
         Raises:
             ValueError: when the workbench has no space model.
         """
-        from repro.pipeline.cache import DEFAULT_CACHE, StageCache
-
-        if self.space is None:
-            raise ValueError(
-                "building from detection records needs a space model; "
-                "construct the Workbench with one or use "
-                "from_trajectories()")
-        if cache is True:
-            cache = DEFAULT_CACHE
-        elif cache is False:
-            cache = None
-        elif cache is not None and not isinstance(cache, StageCache):
-            raise ValueError(
-                "cache must be a StageCache, a bool or None")
-        builder = TrajectoryBuilder(self.space.dataset_zone_nrg())
-        sink = StoreSinkStage(store=self.store)
-        pipeline = Pipeline(
-            builder.stages(streaming=streaming) + list(extra_stages)
-            + [sink],
-            batch_size=batch_size, workers=workers, executor=executor,
-            cache=cache)
+        pipeline = self.prepare_build(
+            batch_size=batch_size, streaming=streaming,
+            extra_stages=extra_stages, workers=workers,
+            executor=executor, cache=cache)
         pipeline.run(records, collect=False)
         self.metrics = pipeline.metrics
         return self.metrics
@@ -190,6 +225,66 @@ class Workbench:
         return Query.from_dict(self.store, data)
 
     # ------------------------------------------------------------------
+    # the service binding (one code path for library and wire callers)
+    # ------------------------------------------------------------------
+    @property
+    def binding(self):
+        """The workbench's in-process service endpoint.
+
+        A :class:`~repro.service.executor.LocalBinding` over a
+        private single-session registry holding this workbench under
+        the name :data:`LOCAL_SESSION` — every protocol-expressible
+        operation below routes through it, so the in-process path is
+        the HTTP server's path minus the socket.
+        """
+        if self._binding is None:
+            from repro.service.executor import LocalBinding
+            from repro.service.registry import SessionRegistry
+
+            self._binding = LocalBinding(SessionRegistry())
+        registry = self._binding.registry
+        if LOCAL_SESSION not in registry.names():
+            # (Re-)adopt: resilient to a DropSession("local") issued
+            # through the binding or a served endpoint — the store
+            # lives on the workbench, so nothing is lost.
+            registry.adopt(LOCAL_SESSION, self)
+        return self._binding
+
+    def _protocol_query(self, corpus: Optional[Corpus]
+                        ) -> Tuple[bool, Optional[Dict]]:
+        """``(expressible, query_dict)`` for a corpus argument.
+
+        A corpus is protocol-expressible when it is the whole store
+        (``None``) or a serializable :class:`Query` over *this*
+        workbench's store; materialized iterables and foreign-store
+        queries fall back to the direct mining path.
+        """
+        if corpus is None:
+            return True, None
+        if isinstance(corpus, Query) and corpus._store is self.store:
+            try:
+                return True, corpus.to_dict()
+            except ExprSerializationError:
+                return False, None  # holds a where() callable
+        return False, None
+
+    def _delegate(self, corpus: Optional[Corpus], make_command,
+                  attribute: str, fallback):
+        """Route through the protocol when the corpus allows it.
+
+        ``make_command(query_dict)`` builds the command,
+        ``attribute`` names the response field to return, and
+        ``fallback()`` serves corpora the protocol cannot express
+        (materialized iterables, foreign-store or ``where()``
+        queries) via the same executor-level helpers.
+        """
+        expressible, query = self._protocol_query(corpus)
+        if expressible:
+            return getattr(self.binding.call(make_command(query)),
+                           attribute)
+        return fallback()
+
+    # ------------------------------------------------------------------
     # mining over any corpus form
     # ------------------------------------------------------------------
     def _corpus(self, corpus: Optional[Corpus]) -> Corpus:
@@ -198,7 +293,13 @@ class Workbench:
     def sequences(self, corpus: Optional[Corpus] = None
                   ) -> List[List[str]]:
         """Distinct state sequences (``None`` → the whole store)."""
-        return state_sequences(self._corpus(corpus))
+        from repro.service import protocol as P
+
+        return self._delegate(
+            corpus,
+            lambda q: P.Sequences(session=LOCAL_SESSION, query=q),
+            "sequences",
+            lambda: state_sequences(self._corpus(corpus)))
 
     def patterns(self, corpus: Optional[Corpus] = None,
                  min_support: float = 0.05,
@@ -211,15 +312,18 @@ class Workbench:
                 the corpus (floored at 2).
             max_length: longest pattern to explore.
         """
-        sequences = self.sequences(corpus)
-        if not sequences:
-            return []
-        if min_support >= 1:
-            support = int(min_support)
-        else:
-            support = max(2, int(math.ceil(min_support
-                                           * len(sequences))))
-        return prefixspan(sequences, support, max_length)
+        from repro.service import protocol as P
+        from repro.service.executor import patterns_over
+
+        return self._delegate(
+            corpus,
+            lambda q: P.MinePatterns(session=LOCAL_SESSION, query=q,
+                                     min_support=min_support,
+                                     max_length=max_length),
+            "patterns",
+            lambda: patterns_over(
+                state_sequences(self._corpus(corpus)),
+                min_support, max_length))
 
     def similarity(self, corpus: Optional[Corpus] = None,
                    hierarchy: Optional[object] = None
@@ -230,19 +334,55 @@ class Workbench:
         given — or the space's ``zone_hierarchy`` when it has one —
         and plain normalized edit similarity otherwise.
         """
-        if hierarchy is None:
-            hierarchy = getattr(self.space, "zone_hierarchy", None)
-        return similarity_matrix(hierarchy, self.sequences(corpus))
+        from repro.service import protocol as P
+        from repro.service.executor import similarity_over
+
+        # An explicit hierarchy cannot cross the protocol (it derives
+        # the hierarchy from the session's space) — direct path only.
+        direct = lambda: similarity_over(  # noqa: E731
+            self.space, state_sequences(self._corpus(corpus)),
+            hierarchy)
+        if hierarchy is not None:
+            return direct()
+        return self._delegate(
+            corpus,
+            lambda q: P.Similarity(session=LOCAL_SESSION, query=q),
+            "matrix", direct)
 
     def flow(self, corpus: Optional[Corpus] = None
              ) -> List[FlowBalance]:
         """Per-cell flow balances over a corpus."""
-        return flow_balances(self._corpus(corpus))
+        from repro.service import protocol as P
+
+        return self._delegate(
+            corpus,
+            lambda q: P.Flow(session=LOCAL_SESSION, query=q),
+            "balances",
+            lambda: flow_balances(self._corpus(corpus)))
 
     def summary(self, corpus: Optional[Corpus] = None
                 ) -> Dict[str, float]:
         """Section 4.1-style headline numbers over a corpus."""
-        return corpus_summary(self._corpus(corpus))
+        from repro.service import protocol as P
+
+        return self._delegate(
+            corpus,
+            lambda q: P.Summary(session=LOCAL_SESSION, query=q),
+            "stats",
+            lambda: corpus_summary(self._corpus(corpus)))
+
+    def serve(self, host: str = "127.0.0.1", port: int = 0):
+        """Expose this workbench over HTTP (non-blocking).
+
+        Starts an embedded :class:`~repro.service.server
+        .ServiceServer` over the binding's registry, so the corpus is
+        addressable as session :data:`LOCAL_SESSION`.  Returns the
+        started server; call ``.stop()`` when done.
+        """
+        from repro.service.server import ServiceServer
+
+        return ServiceServer(self.binding.registry, host=host,
+                             port=port).start()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

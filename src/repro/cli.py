@@ -11,16 +11,23 @@ Usage (after installation)::
     python -m repro.cli pipeline stages
     python -m repro.cli query --visiting zone60853 --or \\
         --annotation goal=visit --limit 10 --explain
+    python -m repro.cli serve --scale 0.05 --port 8731
+    python -m repro.cli call '{"command": "ListSessions"}'
 
 Every subcommand is a thin shell over the library API, so scripted
-pipelines can do exactly what the CLI does.
+pipelines can do exactly what the CLI does.  ``serve`` and ``call``
+are shells over :mod:`repro.service` — the same commands, over HTTP.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
+
+#: Default TCP port of ``repro serve`` / ``repro call``.
+DEFAULT_PORT = 8731
 
 from repro.core import TrajectoryBuilder, validate_trajectory
 from repro.core.validation import Severity
@@ -160,6 +167,18 @@ def cmd_pipeline_run(args: argparse.Namespace) -> int:
         print("error: {}".format(error), file=sys.stderr)
         return 1
 
+    if args.json:
+        # Machine output: metrics plus the miners' own to_dict forms.
+        document = {"pipeline": names,
+                    "metrics": pipeline.metrics.as_dict()}
+        for stage in stages:
+            if isinstance(stage, StoreSinkStage):
+                document["stored"] = len(stage.store)
+            if isinstance(stage, PrefixSpanStage):
+                document["patterns"] = [p.to_dict()
+                                        for p in stage.patterns]
+        print(json.dumps(document, sort_keys=True, indent=2))
+        return 0
     print("pipeline: {}".format(" -> ".join(names)))
     print("batch size: {} | mode: {} | workers: {}".format(
         args.batch_size, "streaming" if args.streaming else "exact",
@@ -296,6 +315,31 @@ def cmd_query(args: argparse.Namespace) -> int:
         return 1
 
     query = workbench.query(expression)
+    if args.json:
+        # Machine output through the service binding, so the CLI
+        # emits exactly what the wire protocol serves (one code
+        # path, one shape).
+        from repro.api import LOCAL_SESSION
+        from repro.service import protocol as P
+
+        document = {"corpus": len(workbench.store)}
+        if args.explain:
+            document["plan"] = query.explain()
+        if args.count:
+            # Index-only when no residuals remain.
+            document["matches"] = query.count()
+            print(json.dumps(document, sort_keys=True, indent=2))
+            return 0
+        page = workbench.binding.call(P.RunQuery(
+            session=LOCAL_SESSION,
+            query=None if expression is None else query.to_dict(),
+            limit=max(1, args.limit), offset=args.offset,
+            order_by=args.order_by, descending=args.desc))
+        document["matches"] = page.total
+        document["hits"] = [] if args.limit < 1 \
+            else [hit.to_dict() for hit in page.hits]
+        print(json.dumps(document, sort_keys=True, indent=2))
+        return 0
     print("corpus: {} trajectories".format(len(workbench.store)))
     if args.explain:
         print("plan:")
@@ -322,6 +366,91 @@ def cmd_query(args: argparse.Namespace) -> int:
             hit.doc_id, trajectory.mo_id, trajectory.duration,
             len(sequence), " → ".join(sequence[:6])
             + (" …" if len(sequence) > 6 else "")))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the embedded trajectory server (repro.service)."""
+    from repro.service.registry import SessionRegistry
+    from repro.service.server import ServiceServer
+
+    registry = SessionRegistry()
+    # Bind first: a port conflict must fail fast, not after minutes
+    # of corpus building.
+    try:
+        server = ServiceServer(registry, host=args.host,
+                               port=args.port, verbose=args.verbose)
+    except OSError as error:
+        print("error: cannot bind {}:{}: {}".format(
+            args.host, args.port, error), file=sys.stderr)
+        return 1
+    if not args.empty:
+        source = "csv" if args.csv else "louvre"
+        job = registry.build(args.session, source=source,
+                             scale=args.scale, path=args.csv,
+                             workers=args.workers,
+                             executor=args.executor,
+                             wait=not args.lazy)
+        if args.lazy:
+            print("building session {!r} in the background "
+                  "({})".format(args.session, job.job_id))
+        elif job.state.value == "failed":
+            print("error: build failed: {}".format(job.error),
+                  file=sys.stderr)
+            return 1
+        else:
+            print("session {!r}: {} trajectories".format(
+                args.session,
+                len(registry.get(args.session).workbench.store)))
+    print("serving on {}  (POST /v1/call, GET /v1/health)".format(
+        server.url))
+    print("try: repro call --url {} "
+          "'{{\"command\": \"ListSessions\"}}'".format(server.url))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nbye")
+    return 0
+
+
+def cmd_call(args: argparse.Namespace) -> int:
+    """Issue one protocol command against a running server."""
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.protocol import (
+        PROTOCOL_VERSION,
+        ProtocolError,
+        command_from_dict,
+    )
+
+    payload = sys.stdin.read() if args.payload == "-" else args.payload
+    try:
+        data = json.loads(payload)
+    except ValueError as error:
+        print("error: payload is not JSON: {}".format(error),
+              file=sys.stderr)
+        return 2
+    if isinstance(data, dict):
+        data.setdefault("v", PROTOCOL_VERSION)  # convenience
+    try:
+        command = command_from_dict(data)
+    except ProtocolError as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 2
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        response = client.call(command)
+    except ServiceError as error:
+        print(json.dumps({"response": "Error", "code": error.code,
+                          "message": error.message}, sort_keys=True),
+              file=sys.stderr)
+        return 1
+    except OSError as error:
+        print("error: cannot reach {}: {}".format(args.url, error),
+              file=sys.stderr)
+        return 1
+    indent = 2 if args.pretty else None
+    print(json.dumps(response.to_dict(), sort_keys=True,
+                     indent=indent))
     return 0
 
 
@@ -432,6 +561,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print only the match count")
     shaping.add_argument("--explain", action="store_true",
                          help="print the chosen physical plan")
+    shaping.add_argument("--json", action="store_true",
+                         help="emit hits as JSON (service wire "
+                              "format)")
     # No terms=[] default here: a parser-level list would be shared
     # across parses; _TermAction lazily creates one per namespace.
     query.set_defaults(func=cmd_query)
@@ -475,10 +607,67 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-timing", action="store_true",
                      help="skip per-batch wall-time accounting "
                           "(hot-path fast mode)")
+    run.add_argument("--json", action="store_true",
+                     help="emit metrics and mined patterns as JSON")
     run.set_defaults(func=cmd_pipeline_run)
     stages = pipe_sub.add_parser("stages",
                                  help="list registered pipeline stages")
     stages.set_defaults(func=cmd_pipeline_stages)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the embedded trajectory server (repro.service)",
+        description="Starts the HTTP/JSON service and, unless "
+                    "--empty, builds one session first.  See "
+                    "docs/service.md for the protocol.")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: %(default)s)")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                       help="TCP port, 0 for ephemeral "
+                            "(default: %(default)s)")
+    serve.add_argument("--session", default="louvre",
+                       help="name of the preloaded session "
+                            "(default: %(default)s)")
+    serve.add_argument("--scale", type=float, default=0.05,
+                       help="synthetic corpus scale for the preload "
+                            "(default: %(default)s)")
+    serve.add_argument("--csv", metavar="PATH",
+                       help="preload from a detection CSV instead of "
+                            "the synthetic corpus")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="parallel build workers (default: serial)")
+    serve.add_argument("--executor", choices=["thread", "process"],
+                       default="thread",
+                       help="pool kind for --workers")
+    serve.add_argument("--lazy", action="store_true",
+                       help="serve immediately and build the preload "
+                            "session in the background")
+    serve.add_argument("--empty", action="store_true",
+                       help="start with no sessions (clients build "
+                            "their own)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log each request line")
+    serve.set_defaults(func=cmd_serve)
+
+    call = sub.add_parser(
+        "call",
+        help="issue one service-protocol command over HTTP",
+        description="PAYLOAD is a protocol command as JSON ('-' reads "
+                    "stdin); the \"v\" field is filled in when "
+                    "omitted.  Example: repro call '{\"command\": "
+                    "\"RunQuery\", \"session\": \"louvre\", "
+                    "\"limit\": 5}'")
+    call.add_argument("payload",
+                      help="command JSON, or '-' to read stdin")
+    call.add_argument("--url",
+                      default="http://127.0.0.1:{}".format(
+                          DEFAULT_PORT),
+                      help="server base URL (default: %(default)s)")
+    call.add_argument("--timeout", type=float, default=30.0,
+                      help="request timeout in seconds")
+    call.add_argument("--pretty", action="store_true",
+                      help="indent the response JSON")
+    call.set_defaults(func=cmd_call)
     return parser
 
 

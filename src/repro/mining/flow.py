@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.timeutil import SECONDS_PER_DAY
 from repro.mining.corpus import Corpus, iter_trajectories
@@ -56,6 +56,26 @@ class FlowBalance:
         """``inflow - outflow``; large positive values mark sinks
         (exits), large negative values mark sources (entrances)."""
         return self.inflow - self.outflow
+
+    def to_dict(self) -> Dict:
+        """JSON-safe plain-data form (service wire format).
+
+        ``imbalance`` is included for consumers but ignored on the
+        way back in (it is derived).
+        """
+        return {"state": self.state, "inflow": self.inflow,
+                "outflow": self.outflow,
+                "started_here": self.started_here,
+                "ended_here": self.ended_here,
+                "imbalance": self.imbalance}
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "FlowBalance":
+        """Inverse of :meth:`to_dict`."""
+        return FlowBalance(data["state"], int(data["inflow"]),
+                           int(data["outflow"]),
+                           int(data["started_here"]),
+                           int(data["ended_here"]))
 
 
 def flow_balances(trajectories: Corpus) -> List[FlowBalance]:

@@ -14,7 +14,7 @@ makes the projected-database machinery simple and fast.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -39,6 +39,17 @@ class SequentialPattern:
         """Compact form, e.g. ``zone60886→zone60861 (support 120)``."""
         return "{} (support {})".format("→".join(self.sequence),
                                         self.support)
+
+    def to_dict(self) -> Dict:
+        """JSON-safe plain-data form (service wire format)."""
+        return {"sequence": list(self.sequence),
+                "support": self.support}
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "SequentialPattern":
+        """Inverse of :meth:`to_dict`."""
+        return SequentialPattern(tuple(data["sequence"]),
+                                 int(data["support"]))
 
 
 def prefixspan(sequences: Sequence[Sequence[str]],

@@ -1,0 +1,62 @@
+"""The service layer: the reproduction as an addressable system.
+
+Everything PR 1–3 made fast and composable — the streaming pipeline
+engine, the cost-based planned queries, the mining layer — is exposed
+here as a *service*: named multi-dataset sessions, a typed JSON wire
+protocol, and an embedded threaded HTTP server, all on the standard
+library only.
+
+* :mod:`repro.service.protocol` — dataclass commands and responses
+  (``BuildDataset``, ``RunQuery``, ``Explain``, ``MinePatterns``,
+  ``Similarity``, ``Flow``, ``Sequences``, …) that round-trip through
+  JSON, plus stable cursor-based pagination;
+* :mod:`repro.service.registry` — :class:`SessionRegistry`, named
+  independently-configured datasets with background build jobs over
+  the parallel pipeline engine and live
+  :class:`~repro.pipeline.metrics.PipelineMetrics` progress;
+* :mod:`repro.service.executor` — the one implementation of every
+  command; :class:`LocalBinding` runs it in-process (this is what
+  :class:`~repro.api.Workbench` is sugar over), the server runs the
+  same functions behind HTTP;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  embedded ``http.server``-based JSON endpoint and its thin
+  ``urllib`` client.
+
+See ``docs/service.md`` for the protocol reference and curl examples.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.executor import (
+    LocalBinding,
+    execute_command,
+    execute_command_safely,
+)
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    command_from_dict,
+    command_from_json,
+    response_from_dict,
+    response_from_json,
+)
+from repro.service.registry import BuildJob, JobState, Session, SessionRegistry
+from repro.service.server import ServiceServer
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "command_from_dict",
+    "command_from_json",
+    "response_from_dict",
+    "response_from_json",
+    "BuildJob",
+    "JobState",
+    "Session",
+    "SessionRegistry",
+    "LocalBinding",
+    "execute_command",
+    "execute_command_safely",
+    "ServiceServer",
+    "ServiceClient",
+    "ServiceError",
+]

@@ -1,0 +1,184 @@
+"""A thin typed client for the trajectory service.
+
+:class:`ServiceClient` speaks the wire protocol over ``urllib`` (no
+dependencies): commands go out as canonical JSON on
+``POST /v1/call``, replies come back as typed
+:mod:`~repro.service.protocol` response objects.  Error replies raise
+:class:`~repro.service.protocol.ServiceError` with the same
+code/message the in-process :class:`~repro.service.executor
+.LocalBinding` raises, so code written against one transport runs
+unchanged on the other::
+
+    client = ServiceClient("http://127.0.0.1:8731")
+    client.build("louvre", scale=0.05, wait=True)
+    page = client.run_query("louvre", query, limit=100)
+    for page in client.iter_pages("louvre", query):
+        ...
+    patterns = client.mine_patterns("louvre", query).patterns
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, Optional
+
+from repro.service import protocol as P
+
+
+class ServiceClient:
+    """Typed HTTP access to one service endpoint.
+
+    Args:
+        url: base URL, e.g. ``http://127.0.0.1:8731``.
+        timeout: per-request socket timeout in seconds.
+    """
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def call(self, command: P.Command) -> P.Response:
+        """POST one command; typed response or raised error.
+
+        Raises:
+            ServiceError: when the service answers with ``Error`` (any
+                HTTP status — the payload decides).
+            ProtocolError: when the reply is not a protocol object.
+            OSError: on transport failures (connection refused, ...).
+        """
+        request = urllib.request.Request(
+            self.url + "/v1/call", data=command.to_json(),
+            headers={"Content-Type": "application/json"},
+            method="POST")
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout) as reply:
+                raw = reply.read()
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+        response = P.response_from_json(raw)
+        if isinstance(response, P.ErrorInfo):
+            raise P.ServiceError(response.code, response.message)
+        return response
+
+    def health(self) -> Dict:
+        """``GET /v1/health`` — liveness plus the session roster."""
+        with urllib.request.urlopen(self.url + "/v1/health",
+                                    timeout=self.timeout) as reply:
+            return json.loads(reply.read().decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # command sugar (one method per protocol command)
+    # ------------------------------------------------------------------
+    def build(self, session: str, source: str = "louvre",
+              scale: float = 0.05, path: Optional[str] = None,
+              workers: int = 0, executor: str = "thread",
+              batch_size: int = 512, streaming: bool = True,
+              cache: bool = False, wait: bool = False) -> P.JobInfo:
+        """Start (or await) a dataset build; returns the job info."""
+        return self.call(P.BuildDataset(
+            session=session, source=source, scale=scale, path=path,
+            workers=workers, executor=executor,
+            batch_size=batch_size, streaming=streaming, cache=cache,
+            wait=wait))
+
+    def job_status(self, job_id: str) -> P.JobInfo:
+        """Poll a build job."""
+        return self.call(P.JobStatus(job_id=job_id))
+
+    def wait_for_job(self, job_id: str, timeout: float = 120.0,
+                     poll: float = 0.1) -> P.JobInfo:
+        """Poll until the job leaves pending/running.
+
+        Raises:
+            TimeoutError: when it does not finish within ``timeout``.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            info = self.job_status(job_id)
+            if info.state not in ("pending", "running"):
+                return info
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    "job {} still {} after {}s".format(
+                        job_id, info.state, timeout))
+            time.sleep(poll)
+
+    def sessions(self) -> P.SessionList:
+        """The session roster."""
+        return self.call(P.ListSessions())
+
+    def drop_session(self, session: str) -> P.Dropped:
+        """Remove a session."""
+        return self.call(P.DropSession(session=session))
+
+    def run_query(self, session: str, query: Optional[Dict] = None,
+                  limit: int = 50, cursor: Optional[str] = None,
+                  offset: int = 0, order_by: Optional[str] = None,
+                  descending: bool = False,
+                  include_total: bool = True) -> P.QueryPage:
+        """One page of planned-query hits."""
+        return self.call(P.RunQuery(
+            session=session, query=query, limit=limit, cursor=cursor,
+            offset=offset, order_by=order_by, descending=descending,
+            include_total=include_total))
+
+    def iter_pages(self, session: str, query: Optional[Dict] = None,
+                   limit: int = 200, order_by: Optional[str] = None,
+                   descending: bool = False
+                   ) -> Iterator[P.QueryPage]:
+        """Follow ``next_cursor`` until the result is exhausted."""
+        cursor: Optional[str] = None
+        while True:
+            page = self.run_query(session, query, limit=limit,
+                                  cursor=cursor, order_by=order_by,
+                                  descending=descending,
+                                  include_total=False)
+            yield page
+            if page.next_cursor is None:
+                return
+            cursor = page.next_cursor
+
+    def explain(self, session: str,
+                query: Optional[Dict] = None) -> P.Explanation:
+        """The plan a query compiles to."""
+        return self.call(P.Explain(session=session, query=query))
+
+    def mine_patterns(self, session: str,
+                      query: Optional[Dict] = None,
+                      min_support: float = 0.05,
+                      max_length: int = 4) -> P.PatternList:
+        """Sequential patterns over a (queried) corpus."""
+        return self.call(P.MinePatterns(
+            session=session, query=query, min_support=min_support,
+            max_length=max_length))
+
+    def similarity(self, session: str,
+                   query: Optional[Dict] = None) -> P.SimilarityMatrix:
+        """Pairwise similarity matrix over a (queried) corpus."""
+        return self.call(P.Similarity(session=session, query=query))
+
+    def flow(self, session: str,
+             query: Optional[Dict] = None) -> P.FlowList:
+        """Per-cell flow balances over a (queried) corpus."""
+        return self.call(P.Flow(session=session, query=query))
+
+    def sequences(self, session: str,
+                  query: Optional[Dict] = None) -> P.SequenceList:
+        """Distinct state sequences of a (queried) corpus."""
+        return self.call(P.Sequences(session=session, query=query))
+
+    def summary(self, session: str,
+                query: Optional[Dict] = None) -> P.SummaryStats:
+        """Corpus headline numbers."""
+        return self.call(P.Summary(session=session, query=query))
+
+
+#: Re-exported here so client users need one import.
+ServiceError = P.ServiceError

@@ -1,0 +1,399 @@
+"""The one implementation of every protocol command.
+
+:func:`execute_command` maps a :class:`~repro.service.protocol.Command`
+to a :class:`~repro.service.protocol.Response` against a
+:class:`~repro.service.registry.SessionRegistry`.  It is the *single*
+code path behind both transports: the HTTP server
+(:mod:`repro.service.server`) calls it per request, and
+:class:`LocalBinding` calls it in-process — which is what
+:class:`~repro.api.Workbench` delegates its protocol-expressible
+operations to.  Anything this module computes is therefore guaranteed
+to serialize identically whether it travelled over a socket or not.
+
+Failures never escape as raw exceptions: they come back as
+:class:`~repro.service.protocol.ErrorInfo` with a machine-matchable
+code (``unknown_session``, ``bad_cursor``, ...).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Type
+
+from repro.mining.corpus import Corpus
+from repro.mining.flow import flow_balances
+from repro.mining.prefixspan import SequentialPattern, prefixspan
+from repro.mining.sequences import corpus_summary, state_sequences
+from repro.mining.similarity import similarity_matrix
+from repro.service import protocol as P
+from repro.service.registry import (
+    BuildJob,
+    Session,
+    SessionRegistry,
+    UnknownJobError,
+    UnknownSessionError,
+)
+from repro.storage.expr import ExprSerializationError
+from repro.storage.query import Query
+from repro.storage.results import ORDER_KEYS, ResultSet
+
+#: Hard page-size ceiling; RunQuery limits are clamped to it.
+MAX_PAGE_SIZE = 1000
+
+
+class CommandError(Exception):
+    """Internal: a handler failure destined to become ``ErrorInfo``."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+# ----------------------------------------------------------------------
+# shared corpus-level mining helpers (Workbench uses these too)
+# ----------------------------------------------------------------------
+def patterns_over(sequences: Sequence[Sequence[str]],
+                  min_support: float = 0.05,
+                  max_length: int = 4) -> List[SequentialPattern]:
+    """PrefixSpan with the service's support convention.
+
+    ``min_support`` is an absolute count when >= 1, else a fraction
+    of the corpus (floored at 2).  The one implementation shared by
+    the ``MinePatterns`` command and :meth:`Workbench.patterns
+    <repro.api.Workbench.patterns>`.
+    """
+    if not sequences:
+        return []
+    if min_support >= 1:
+        support = int(min_support)
+    else:
+        support = max(2, int(math.ceil(min_support * len(sequences))))
+    return prefixspan(sequences, support, max_length)
+
+
+def similarity_over(space: Optional[object],
+                    sequences: Sequence[Sequence[str]],
+                    hierarchy: Optional[object] = None
+                    ) -> List[List[float]]:
+    """Similarity matrix, hierarchy-aware when the space has one."""
+    if hierarchy is None:
+        hierarchy = getattr(space, "zone_hierarchy", None)
+    return similarity_matrix(hierarchy, sequences)
+
+
+# ----------------------------------------------------------------------
+# per-command handlers
+# ----------------------------------------------------------------------
+def _session(registry: SessionRegistry, name: str) -> Session:
+    try:
+        return registry.get(name)
+    except UnknownSessionError:
+        raise CommandError(
+            "unknown_session",
+            "no session named {!r}; sessions: {}".format(
+                name, ", ".join(registry.names()) or "(none)"))
+
+
+def _query(session: Session, query: Optional[Dict]) -> Query:
+    store = session.workbench.store
+    if query is None:
+        return Query(store)
+    try:
+        return Query.from_dict(store, query)
+    except (KeyError, TypeError, ValueError) as error:
+        raise CommandError(
+            "bad_request", "unparseable query: {}".format(error))
+
+
+def _corpus(session: Session, query: Optional[Dict]) -> Corpus:
+    if query is None:
+        return session.workbench.store
+    return _query(session, query).execute()
+
+
+def _job_info(job: BuildJob) -> P.JobInfo:
+    return P.JobInfo(job_id=job.job_id, session=job.session,
+                     state=job.state.value, error=job.error,
+                     metrics=P.JobInfo.metrics_dict(job.metrics))
+
+
+def _build(registry: SessionRegistry,
+           command: P.BuildDataset) -> P.Response:
+    try:
+        job = registry.build(
+            command.session, source=command.source,
+            scale=command.scale, path=command.path,
+            workers=command.workers, executor=command.executor,
+            batch_size=command.batch_size,
+            streaming=command.streaming, cache=command.cache,
+            wait=command.wait)
+    except ValueError as error:
+        raise CommandError("bad_request", str(error))
+    return _job_info(job)
+
+
+def _job_status(registry: SessionRegistry,
+                command: P.JobStatus) -> P.Response:
+    try:
+        job = registry.job(command.job_id)
+    except UnknownJobError:
+        raise CommandError("unknown_job",
+                           "no job {!r}".format(command.job_id))
+    return _job_info(job)
+
+
+def _list_sessions(registry: SessionRegistry,
+                   command: P.ListSessions) -> P.Response:
+    infos = []
+    for session in registry.sessions():
+        space = session.workbench.space
+        infos.append(P.SessionInfo(
+            name=session.name,
+            trajectories=len(session.workbench.store),
+            state=session.state,
+            space=type(space).__name__ if space is not None else None))
+    return P.SessionList(sessions=infos)
+
+
+def _drop_session(registry: SessionRegistry,
+                  command: P.DropSession) -> P.Response:
+    try:
+        registry.drop(command.session)
+    except UnknownSessionError:
+        raise CommandError(
+            "unknown_session",
+            "no session named {!r}".format(command.session))
+    return P.Dropped(session=command.session)
+
+
+def _run_query(registry: SessionRegistry,
+               command: P.RunQuery) -> P.Response:
+    session = _session(registry, command.session)
+    if command.limit < 1:
+        raise CommandError("bad_request",
+                           "limit must be >= 1, got {}".format(
+                               command.limit))
+    if command.offset < 0:
+        raise CommandError("bad_request", "offset must be >= 0")
+    if command.order_by is not None \
+            and command.order_by not in ORDER_KEYS:
+        raise CommandError(
+            "bad_request",
+            "unknown order_by {!r}; one of: {}".format(
+                command.order_by, ", ".join(sorted(ORDER_KEYS))))
+    limit = min(command.limit, MAX_PAGE_SIZE)
+    fingerprint = P.page_fingerprint(command.query, command.order_by,
+                                     command.descending)
+
+    # ``descending`` without an explicit key means newest-first
+    # natural order: honor it as an explicit doc_id sort (offset
+    # cursors), never silently ignore it.
+    order_by = command.order_by
+    if order_by is None and command.descending:
+        order_by = "doc_id"
+
+    query = _query(session, command.query)
+    results: ResultSet = query.execute()
+    if order_by is not None:
+        results = results.order_by(order_by,
+                                   reverse=command.descending)
+
+    offset = command.offset
+    last_doc_id: Optional[int] = None
+    if command.cursor is not None:
+        try:
+            token = P.decode_cursor(command.cursor)
+        except P.ProtocolError as error:
+            raise CommandError("bad_cursor", str(error))
+        if token.get("f") != fingerprint:
+            raise CommandError(
+                "bad_cursor",
+                "cursor belongs to a different query/ordering")
+        try:
+            if order_by is not None:
+                offset = int(token.get("o", 0))
+            else:
+                last_doc_id = int(token.get("k", -1))
+        except (TypeError, ValueError):
+            raise CommandError("bad_cursor",
+                               "cursor position is not an integer")
+        if offset < 0:  # cursors are forgeable base64 — validate
+            raise CommandError("bad_cursor",
+                               "cursor position is negative")
+
+    if last_doc_id is not None:
+        # Resume below the result-set layer: the plan drops candidate
+        # ids <= the boundary *before* fetching/residual-checking, so
+        # a full cursor walk costs O(N), not O(N²/page).
+        resume_after = last_doc_id
+        view = ResultSet(
+            lambda: query.plan().iter_results(
+                start_after=resume_after))
+    elif offset:
+        view = results.offset(offset)
+    else:
+        view = results
+    # Probe one past the page: a full probe means a next page exists.
+    window = view.limit(limit + 1).to_list()
+    page = window[:limit]
+
+    next_cursor: Optional[str] = None
+    if len(window) > limit and page:
+        if order_by is not None:
+            token = {"f": fingerprint, "o": offset + limit}
+        else:
+            token = {"f": fingerprint, "k": page[-1].doc_id}
+        next_cursor = P.encode_cursor(token)
+
+    # The total costs a second plan execution when residuals remain,
+    # so it is computed once per pagination stream (the cursor-less
+    # first page), not per page.
+    total = query.count() if command.include_total \
+        and command.cursor is None else None
+    hits = [P.Hit(doc_id=hit.doc_id, trajectory=hit.trajectory)
+            for hit in page]
+    return P.QueryPage(hits=hits, total=total,
+                       next_cursor=next_cursor)
+
+
+def _explain(registry: SessionRegistry,
+             command: P.Explain) -> P.Response:
+    session = _session(registry, command.session)
+    return P.Explanation(plan=_query(session, command.query).explain())
+
+
+def _mine_patterns(registry: SessionRegistry,
+                   command: P.MinePatterns) -> P.Response:
+    session = _session(registry, command.session)
+    sequences = state_sequences(_corpus(session, command.query))
+    try:
+        patterns = patterns_over(sequences, command.min_support,
+                                 command.max_length)
+    except ValueError as error:
+        raise CommandError("bad_request", str(error))
+    return P.PatternList(patterns=patterns)
+
+
+def _similarity(registry: SessionRegistry,
+                command: P.Similarity) -> P.Response:
+    session = _session(registry, command.session)
+    sequences = state_sequences(_corpus(session, command.query))
+    matrix = similarity_over(session.workbench.space, sequences)
+    return P.SimilarityMatrix(matrix=matrix)
+
+
+def _flow(registry: SessionRegistry, command: P.Flow) -> P.Response:
+    session = _session(registry, command.session)
+    return P.FlowList(
+        balances=flow_balances(_corpus(session, command.query)))
+
+
+def _sequences(registry: SessionRegistry,
+               command: P.Sequences) -> P.Response:
+    session = _session(registry, command.session)
+    return P.SequenceList(
+        sequences=state_sequences(_corpus(session, command.query)))
+
+
+def _summary(registry: SessionRegistry,
+             command: P.Summary) -> P.Response:
+    session = _session(registry, command.session)
+    return P.SummaryStats(
+        stats=corpus_summary(_corpus(session, command.query)))
+
+
+_HANDLERS: Dict[Type[P.Command], Callable] = {
+    P.BuildDataset: _build,
+    P.JobStatus: _job_status,
+    P.ListSessions: _list_sessions,
+    P.DropSession: _drop_session,
+    P.RunQuery: _run_query,
+    P.Explain: _explain,
+    P.MinePatterns: _mine_patterns,
+    P.Similarity: _similarity,
+    P.Flow: _flow,
+    P.Sequences: _sequences,
+    P.Summary: _summary,
+}
+
+
+def execute_command(registry: SessionRegistry,
+                    command: P.Command) -> P.Response:
+    """Run one command; *expected* failures become ``ErrorInfo``.
+
+    Unexpected exceptions (genuine bugs) propagate with their
+    traceback intact — the in-process library path must not swallow
+    them.  The transport boundary (:meth:`ServiceServer`'s handler,
+    :meth:`LocalBinding.call_json`) converts them to ``internal``
+    errors, because a wire server must answer, not crash.
+    """
+    handler = _HANDLERS.get(type(command))
+    if handler is None:
+        return P.ErrorInfo(
+            code="bad_request",
+            message="unhandled command {!r}".format(command.kind))
+    try:
+        return handler(registry, command)
+    except CommandError as error:
+        return P.ErrorInfo(code=error.code, message=error.message)
+    except ExprSerializationError as error:
+        return P.ErrorInfo(code="unserializable", message=str(error))
+    except P.ProtocolError as error:
+        return P.ErrorInfo(code="protocol", message=str(error))
+
+
+def execute_command_safely(registry: SessionRegistry,
+                           command: P.Command) -> P.Response:
+    """:func:`execute_command` with the wire-boundary catch-all."""
+    try:
+        return execute_command(registry, command)
+    except Exception as error:  # the service must answer, not crash
+        return P.ErrorInfo(
+            code="internal",
+            message="{}: {}".format(type(error).__name__, error))
+
+
+class LocalBinding:
+    """The service protocol without sockets.
+
+    Wraps a registry so commands execute in-process through the exact
+    code path the HTTP server uses.  :class:`~repro.api.Workbench` is
+    sugar over one of these; tests use :meth:`call_json` to prove the
+    wire form is byte-identical to the in-process form.
+    """
+
+    def __init__(self,
+                 registry: Optional[SessionRegistry] = None) -> None:
+        self.registry = registry if registry is not None \
+            else SessionRegistry()
+
+    def call(self, command: P.Command) -> P.Response:
+        """Execute a command; typed response or raised error.
+
+        Expected service failures raise :class:`ServiceError`;
+        genuine bugs propagate with their original traceback (this
+        is the library path, not a wire boundary).
+
+        Raises:
+            ServiceError: when the service answers with ``Error``.
+        """
+        response = execute_command(self.registry, command)
+        if isinstance(response, P.ErrorInfo):
+            raise P.ServiceError(response.code, response.message)
+        return response
+
+    def call_json(self, raw: bytes) -> bytes:
+        """Bytes-in/bytes-out variant (the wire path minus HTTP).
+
+        Parses ``raw`` as a command, executes it, and returns the
+        response's canonical JSON — errors included, exactly as the
+        server would put them on the wire.
+        """
+        try:
+            command = P.command_from_json(raw)
+        except P.ProtocolError as error:
+            return P.ErrorInfo(code="protocol",
+                               message=str(error)).to_json()
+        return execute_command_safely(self.registry,
+                                      command).to_json()

@@ -1,0 +1,631 @@
+"""The typed wire protocol: dataclass commands and responses.
+
+Every interaction with the service is one *command* — a frozen
+dataclass that serializes to a JSON object via :meth:`to_dict` and
+back via :func:`command_from_dict` — answered by one *response*
+dataclass with the same symmetry.  The protocol reuses the
+serializations the lower layers already define
+(:meth:`Query.to_dict <repro.storage.query.Query.to_dict>` for query
+expressions, :meth:`SemanticTrajectory.to_dict
+<repro.core.trajectory.SemanticTrajectory.to_dict>` for hits,
+:meth:`SequentialPattern.to_dict
+<repro.mining.prefixspan.SequentialPattern.to_dict>` /
+:meth:`FlowBalance.to_dict <repro.mining.flow.FlowBalance.to_dict>`
+for mining results), so the wire form of a result is byte-identical
+to serializing the in-process object.
+
+Pagination is cursor-based and *stable*: a cursor for the natural
+document-id order encodes the last id seen, so resuming never skips
+or repeats hits even while a background build appends matching
+trajectories (new documents only ever sort past the boundary).
+Explicitly ordered pages fall back to offset cursors over the sorted
+view.  Cursors carry a fingerprint of ``(query, order)`` and are
+rejected when replayed against a different query.
+
+Wire framing (the HTTP server POSTs one JSON object per call)::
+
+    {"v": 1, "command": "RunQuery", "session": "louvre", ...}
+    {"v": 1, "response": "QueryPage", "hits": [...], ...}
+
+See ``docs/service.md`` for the full reference with curl examples.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Mapping, Optional, Tuple, Type
+
+from repro.core.trajectory import SemanticTrajectory
+from repro.mining.flow import FlowBalance
+from repro.mining.prefixspan import SequentialPattern
+from repro.pipeline.metrics import PipelineMetrics
+
+#: Protocol revision; bump on incompatible message changes.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """A message that does not parse as a protocol object."""
+
+
+class ServiceError(RuntimeError):
+    """A call that the service answered with an ``Error`` response.
+
+    Raised identically by the in-process :class:`~repro.service
+    .executor.LocalBinding` and the HTTP
+    :class:`~repro.service.client.ServiceClient`, so callers handle
+    failures the same way on both transports.
+
+    Attributes:
+        code: the machine-matchable error code.
+        message: the human-readable detail.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__("{}: {}".format(code, message))
+        self.code = code
+        self.message = message
+
+
+def canonical_json(data: object) -> bytes:
+    """The protocol's one JSON encoding: sorted keys, no whitespace.
+
+    Both endpoints encode with this, which is what makes "byte
+    identical results over the wire and in process" a meaningful
+    guarantee (and cursors/fingerprints deterministic).
+    """
+    return json.dumps(data, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# message plumbing
+# ----------------------------------------------------------------------
+COMMANDS: Dict[str, Type["Command"]] = {}
+RESPONSES: Dict[str, Type["Response"]] = {}
+
+
+class _Message:
+    """Shared to_dict/from_dict over the subclass's dataclass fields.
+
+    Field values must be JSON-native; messages holding richer objects
+    (trajectories, patterns) override ``to_dict``/``_from_fields``.
+    """
+
+    kind: str = ""
+    _tag: str = ""  # "command" or "response"
+
+    def to_dict(self) -> Dict:
+        """JSON-safe plain-data form, tagged with kind and version."""
+        data: Dict = {"v": PROTOCOL_VERSION, self._tag: self.kind}
+        for spec in fields(self):  # type: ignore[arg-type]
+            data[spec.name] = getattr(self, spec.name)
+        return data
+
+    def to_json(self) -> bytes:
+        """Canonical JSON bytes of :meth:`to_dict`."""
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def _from_fields(cls, data: Mapping) -> "_Message":
+        known = {spec.name for spec in fields(cls)}  # type: ignore[arg-type]
+        kwargs = {key: value for key, value in data.items()
+                  if key in known}
+        try:
+            return cls(**kwargs)  # type: ignore[call-arg]
+        except TypeError as error:
+            raise ProtocolError(
+                "bad {} payload for {}: {}".format(cls._tag, cls.kind,
+                                                   error))
+
+
+def _parse(data: Mapping, tag: str,
+           registry: Dict[str, Type["_Message"]]) -> "_Message":
+    if not isinstance(data, Mapping):
+        raise ProtocolError("a protocol message must be a JSON object")
+    version = data.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "unsupported protocol version {!r} (this build speaks "
+            "{})".format(version, PROTOCOL_VERSION))
+    kind = data.get(tag)
+    if kind not in registry:
+        raise ProtocolError("unknown {} {!r}; one of: {}".format(
+            tag, kind, ", ".join(sorted(registry))))
+    return registry[kind]._from_fields(data)
+
+
+def command_from_dict(data: Mapping) -> "Command":
+    """Parse a command object from plain data.
+
+    Raises:
+        ProtocolError: on version/kind/payload mismatch.
+    """
+    return _parse(data, "command", COMMANDS)  # type: ignore[return-value]
+
+
+def response_from_dict(data: Mapping) -> "Response":
+    """Parse a response object from plain data.
+
+    Raises:
+        ProtocolError: on version/kind/payload mismatch.
+    """
+    return _parse(data, "response", RESPONSES)  # type: ignore[return-value]
+
+
+def _from_json(raw: bytes, parse) -> "_Message":
+    try:
+        data = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise ProtocolError("undecodable message: {}".format(error))
+    return parse(data)
+
+
+def command_from_json(raw: bytes) -> "Command":
+    """Bytes → command (inverse of :meth:`Command.to_json`)."""
+    return _from_json(raw, command_from_dict)  # type: ignore[return-value]
+
+
+def response_from_json(raw: bytes) -> "Response":
+    """Bytes → response (inverse of :meth:`Response.to_json`)."""
+    return _from_json(raw, response_from_dict)  # type: ignore[return-value]
+
+
+class Command(_Message):
+    """Base class of every request message."""
+
+    _tag = "command"
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        COMMANDS[cls.kind] = cls
+
+
+class Response(_Message):
+    """Base class of every reply message."""
+
+    _tag = "response"
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        RESPONSES[cls.kind] = cls
+
+
+# ----------------------------------------------------------------------
+# cursors
+# ----------------------------------------------------------------------
+def page_fingerprint(query: Optional[Mapping], order_by: Optional[str],
+                     descending: bool) -> str:
+    """Digest identifying one (query, ordering) pagination stream."""
+    raw = canonical_json({"q": query, "ob": order_by,
+                          "d": bool(descending)})
+    return hashlib.sha256(raw).hexdigest()[:12]
+
+
+def encode_cursor(payload: Mapping) -> str:
+    """Opaque, URL-safe cursor token from plain data."""
+    return base64.urlsafe_b64encode(
+        canonical_json(payload)).decode("ascii").rstrip("=")
+
+
+def decode_cursor(token: str) -> Dict:
+    """Inverse of :func:`encode_cursor`.
+
+    Raises:
+        ProtocolError: for a token that is not one of ours.
+    """
+    padded = token + "=" * (-len(token) % 4)
+    try:
+        data = json.loads(base64.urlsafe_b64decode(
+            padded.encode("ascii")).decode("utf-8"))
+    except (binascii.Error, UnicodeError, ValueError):
+        raise ProtocolError("malformed cursor {!r}".format(token))
+    if not isinstance(data, dict) or "f" not in data:
+        raise ProtocolError("malformed cursor {!r}".format(token))
+    return data
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BuildDataset(Command):
+    """Create (or extend) a named session by running the build
+    pipeline over a record source.
+
+    Attributes:
+        session: session name, e.g. ``louvre@0.1``.
+        source: ``"louvre"`` (synthetic corpus) or ``"csv"``.
+        scale: corpus scale for the louvre source.
+        path: detection-CSV path for the csv source.
+        workers / executor / batch_size / streaming / cache: forwarded
+            to the parallel pipeline engine (PR 3 semantics).
+        wait: block until the build finishes instead of returning a
+            job handle immediately.
+    """
+
+    kind = "BuildDataset"
+
+    session: str
+    source: str = "louvre"
+    scale: float = 0.05
+    path: Optional[str] = None
+    workers: int = 0
+    executor: str = "thread"
+    batch_size: int = 512
+    streaming: bool = True
+    cache: bool = False
+    wait: bool = False
+
+
+@dataclass(frozen=True)
+class JobStatus(Command):
+    """Poll a background build job by id."""
+
+    kind = "JobStatus"
+
+    job_id: str
+
+
+@dataclass(frozen=True)
+class ListSessions(Command):
+    """Enumerate the registry's sessions."""
+
+    kind = "ListSessions"
+
+
+@dataclass(frozen=True)
+class DropSession(Command):
+    """Remove a session (and its store) from the registry."""
+
+    kind = "DropSession"
+
+    session: str
+
+
+@dataclass(frozen=True)
+class RunQuery(Command):
+    """Execute a planned query and return one page of hits.
+
+    Attributes:
+        session: the session to query.
+        query: a serialized expression tree
+            (:meth:`Query.to_dict <repro.storage.query.Query.to_dict>`
+            payload, i.e. ``{"expr": {...}}``); ``None`` matches the
+            whole corpus.
+        limit: page size (server caps apply).
+        cursor: resume token from a previous page's ``next_cursor``.
+        offset: hits to skip (first page only; cursors already carry
+            their position).
+        order_by / descending: explicit ordering by a
+            :data:`~repro.storage.results.ORDER_KEYS` field name;
+            default is natural document-id order, whose cursors stay
+            stable under concurrent ingestion.
+        include_total: also count the full result (index-only when
+            the plan allows).  Computed on the cursor-less first
+            page only — follow-up pages always report ``total:
+            null`` so paginating never re-executes the plan per
+            page.
+    """
+
+    kind = "RunQuery"
+
+    session: str
+    query: Optional[Dict] = None
+    limit: int = 50
+    cursor: Optional[str] = None
+    offset: int = 0
+    order_by: Optional[str] = None
+    descending: bool = False
+    include_total: bool = True
+
+
+@dataclass(frozen=True)
+class Explain(Command):
+    """The selectivity-ordered physical plan a query compiles to."""
+
+    kind = "Explain"
+
+    session: str
+    query: Optional[Dict] = None
+
+
+@dataclass(frozen=True)
+class MinePatterns(Command):
+    """PrefixSpan sequential patterns over a (queried) corpus."""
+
+    kind = "MinePatterns"
+
+    session: str
+    query: Optional[Dict] = None
+    min_support: float = 0.05
+    max_length: int = 4
+
+
+@dataclass(frozen=True)
+class Similarity(Command):
+    """Pairwise trajectory similarity matrix over a (queried)
+    corpus."""
+
+    kind = "Similarity"
+
+    session: str
+    query: Optional[Dict] = None
+
+
+@dataclass(frozen=True)
+class Flow(Command):
+    """Per-cell flow balances over a (queried) corpus."""
+
+    kind = "Flow"
+
+    session: str
+    query: Optional[Dict] = None
+
+
+@dataclass(frozen=True)
+class Sequences(Command):
+    """Distinct state sequences of a (queried) corpus."""
+
+    kind = "Sequences"
+
+    session: str
+    query: Optional[Dict] = None
+
+
+@dataclass(frozen=True)
+class Summary(Command):
+    """Section 4.1-style corpus headline numbers."""
+
+    kind = "Summary"
+
+    session: str
+    query: Optional[Dict] = None
+
+
+# ----------------------------------------------------------------------
+# responses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ErrorInfo(Response):
+    """The failure reply; ``code`` is machine-matchable.
+
+    Codes: ``bad_request``, ``protocol``, ``unknown_session``,
+    ``unknown_job``, ``bad_cursor``, ``unserializable``,
+    ``not_found`` (unknown HTTP path), ``internal``.
+    """
+
+    kind = "Error"
+
+    code: str
+    message: str
+
+
+@dataclass(frozen=True)
+class JobInfo(Response):
+    """A build job's state (reply to ``BuildDataset`` and
+    ``JobStatus``).
+
+    Attributes:
+        job_id: registry-assigned id, stable across polls.
+        session: the session the job builds into.
+        state: ``pending`` / ``running`` / ``done`` / ``failed``.
+        error: failure message when ``state == "failed"``.
+        metrics: live :meth:`PipelineMetrics.as_dict
+            <repro.pipeline.metrics.PipelineMetrics.as_dict>` snapshot
+            (per-stage items in/out, drops, seconds) — progress while
+            running, totals once done.
+    """
+
+    kind = "JobInfo"
+
+    job_id: str
+    session: str
+    state: str
+    error: Optional[str] = None
+    metrics: Optional[Dict] = None
+
+    @staticmethod
+    def metrics_dict(metrics: Optional[PipelineMetrics]
+                     ) -> Optional[Dict]:
+        """A JSON-safe snapshot of live pipeline metrics."""
+        return None if metrics is None else metrics.as_dict()
+
+
+@dataclass(frozen=True)
+class SessionInfo(Response):
+    """One session's headline state (also nested in
+    ``SessionList``)."""
+
+    kind = "SessionInfo"
+
+    name: str
+    trajectories: int
+    state: str
+    space: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SessionList(Response):
+    """Reply to ``ListSessions``."""
+
+    kind = "SessionList"
+
+    sessions: List[SessionInfo] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        return {"v": PROTOCOL_VERSION, self._tag: self.kind,
+                "sessions": [s.to_dict() for s in self.sessions]}
+
+    @classmethod
+    def _from_fields(cls, data: Mapping) -> "SessionList":
+        try:
+            sessions = [SessionInfo._from_fields(item)
+                        for item in data.get("sessions", ())]
+        except (TypeError, AttributeError):
+            raise ProtocolError("bad SessionList payload")
+        return cls(sessions=sessions)
+
+
+@dataclass(frozen=True)
+class Dropped(Response):
+    """Reply to ``DropSession``."""
+
+    kind = "Dropped"
+
+    session: str
+
+
+@dataclass(frozen=True)
+class Hit(Response):
+    """One query hit: a stored trajectory with its document id."""
+
+    kind = "Hit"
+
+    doc_id: int
+    trajectory: SemanticTrajectory
+
+    def to_dict(self) -> Dict:
+        return {"v": PROTOCOL_VERSION, self._tag: self.kind,
+                "doc_id": self.doc_id,
+                "trajectory": self.trajectory.to_dict()}
+
+    @classmethod
+    def _from_fields(cls, data: Mapping) -> "Hit":
+        try:
+            return cls(doc_id=int(data["doc_id"]),
+                       trajectory=SemanticTrajectory.from_dict(
+                           data["trajectory"]))
+        except (KeyError, TypeError, ValueError) as error:
+            raise ProtocolError("bad Hit payload: {}".format(error))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hit):
+            return NotImplemented
+        return (self.doc_id == other.doc_id
+                and self.trajectory.to_dict()
+                == other.trajectory.to_dict())
+
+    def __hash__(self) -> int:
+        # Consistent with __eq__ (the dataclass-generated hash would
+        # diverge on equal-but-distinct trajectory instances).
+        return hash((self.doc_id,
+                     canonical_json(self.trajectory.to_dict())))
+
+
+@dataclass(frozen=True)
+class QueryPage(Response):
+    """One page of query hits plus the cursor to the next.
+
+    ``next_cursor`` is ``None`` on the last page.  ``total`` is the
+    full (un-paginated) match count, reported on the cursor-less
+    first page only (see ``RunQuery.include_total``).
+    """
+
+    kind = "QueryPage"
+
+    hits: List[Hit] = field(default_factory=list)
+    total: Optional[int] = None
+    next_cursor: Optional[str] = None
+
+    def to_dict(self) -> Dict:
+        return {"v": PROTOCOL_VERSION, self._tag: self.kind,
+                "hits": [h.to_dict() for h in self.hits],
+                "total": self.total,
+                "next_cursor": self.next_cursor}
+
+    @classmethod
+    def _from_fields(cls, data: Mapping) -> "QueryPage":
+        try:
+            hits = [Hit._from_fields(item)
+                    for item in data.get("hits", ())]
+        except (TypeError, AttributeError):
+            raise ProtocolError("bad QueryPage payload")
+        total = data.get("total")
+        return cls(hits=hits,
+                   total=None if total is None else int(total),
+                   next_cursor=data.get("next_cursor"))
+
+
+@dataclass(frozen=True)
+class Explanation(Response):
+    """Reply to ``Explain``: the rendered physical plan."""
+
+    kind = "Explanation"
+
+    plan: str
+
+
+@dataclass(frozen=True)
+class PatternList(Response):
+    """Reply to ``MinePatterns``."""
+
+    kind = "PatternList"
+
+    patterns: List[SequentialPattern] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        return {"v": PROTOCOL_VERSION, self._tag: self.kind,
+                "patterns": [p.to_dict() for p in self.patterns]}
+
+    @classmethod
+    def _from_fields(cls, data: Mapping) -> "PatternList":
+        try:
+            patterns = [SequentialPattern.from_dict(item)
+                        for item in data.get("patterns", ())]
+        except (KeyError, TypeError, AttributeError):
+            raise ProtocolError("bad PatternList payload")
+        return cls(patterns=patterns)
+
+
+@dataclass(frozen=True)
+class SimilarityMatrix(Response):
+    """Reply to ``Similarity``: the symmetric pairwise matrix."""
+
+    kind = "SimilarityMatrix"
+
+    matrix: List[List[float]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class FlowList(Response):
+    """Reply to ``Flow``."""
+
+    kind = "FlowList"
+
+    balances: List[FlowBalance] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        return {"v": PROTOCOL_VERSION, self._tag: self.kind,
+                "balances": [b.to_dict() for b in self.balances]}
+
+    @classmethod
+    def _from_fields(cls, data: Mapping) -> "FlowList":
+        try:
+            balances = [FlowBalance.from_dict(item)
+                        for item in data.get("balances", ())]
+        except (KeyError, TypeError, AttributeError):
+            raise ProtocolError("bad FlowList payload")
+        return cls(balances=balances)
+
+
+@dataclass(frozen=True)
+class SequenceList(Response):
+    """Reply to ``Sequences``."""
+
+    kind = "SequenceList"
+
+    sequences: List[List[str]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class SummaryStats(Response):
+    """Reply to ``Summary``."""
+
+    kind = "SummaryStats"
+
+    stats: Dict[str, float] = field(default_factory=dict)

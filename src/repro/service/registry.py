@@ -1,0 +1,306 @@
+"""Named, independently configured datasets with background builds.
+
+A :class:`SessionRegistry` is the service's unit of multi-tenancy:
+each :class:`Session` owns one :class:`~repro.api.Workbench` (space
+model + store + last build metrics) under a caller-chosen name such
+as ``louvre@0.1`` or ``museum-march-csv``.  Builds run as background
+jobs on daemon threads through the PR 3 parallel pipeline engine; a
+:class:`BuildJob` handle exposes the job's state and a live
+:class:`~repro.pipeline.metrics.PipelineMetrics` snapshot while the
+pipeline streams, which is what the ``JobStatus`` protocol command
+reports.
+
+Ingestion is safe against concurrent readers because
+:class:`~repro.storage.store.TrajectoryStore` takes a read-write lock
+around every index mutation; the registry additionally serializes
+builds *per session* (single-writer), so two jobs never interleave
+half-batches into one store.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from typing import Dict, Iterable, List, Optional
+
+from repro.api import Workbench
+from repro.pipeline.engine import PipelineError
+from repro.pipeline.metrics import PipelineMetrics
+
+
+class UnknownSessionError(KeyError):
+    """Lookup of a session name the registry does not hold."""
+
+
+class UnknownJobError(KeyError):
+    """Lookup of a job id the registry does not hold."""
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a background build job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class BuildJob:
+    """Handle on one background build.
+
+    Attributes:
+        job_id: registry-assigned id (``job-N``).
+        session: the target session's name.
+    """
+
+    def __init__(self, job_id: str, session: str,
+                 target) -> None:
+        self.job_id = job_id
+        self.session = session
+        self._state = JobState.PENDING
+        self.error: Optional[str] = None
+        self._pipeline = None
+        self._finished = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, args=(target,),
+            name="repro-build-{}".format(job_id), daemon=True)
+
+    # -- lifecycle ------------------------------------------------------
+    def _start(self) -> None:
+        self._thread.start()
+
+    def _run(self, target) -> None:
+        self._state = JobState.RUNNING
+        try:
+            target(self)
+            self._state = JobState.DONE
+        except Exception as error:  # surfaced via the handle, not lost
+            self.error = "{}: {}".format(type(error).__name__, error)
+            self._state = JobState.FAILED
+        finally:
+            self._finished.set()
+
+    # -- observation ----------------------------------------------------
+    @property
+    def state(self) -> JobState:
+        """The job's current lifecycle state."""
+        return self._state
+
+    @property
+    def metrics(self) -> Optional[PipelineMetrics]:
+        """Live per-stage metrics of the running (or finished)
+        pipeline; ``None`` before the pipeline starts."""
+        pipeline = self._pipeline
+        if pipeline is None:
+            return None
+        try:
+            return pipeline.metrics
+        except PipelineError:  # assembled but not yet running
+            return None
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job finishes; True unless it timed out."""
+        return self._finished.wait(timeout)
+
+    def __repr__(self) -> str:
+        return "BuildJob({}, session={!r}, state={})".format(
+            self.job_id, self.session, self._state.value)
+
+
+class Session:
+    """One named dataset: a workbench plus build bookkeeping."""
+
+    def __init__(self, name: str, workbench: Workbench) -> None:
+        self.name = name
+        self.workbench = workbench
+        #: Serializes builds into this session (single writer).
+        self.build_lock = threading.Lock()
+        self._building = 0
+        self._failed = False
+
+    @property
+    def state(self) -> str:
+        """``building`` / ``ready`` / ``failed`` / ``empty``."""
+        if self._building:
+            return "building"
+        if self._failed:
+            return "failed"
+        return "ready" if len(self.workbench.store) else "empty"
+
+    def __repr__(self) -> str:
+        return "Session({!r}, {} trajectories, {})".format(
+            self.name, len(self.workbench.store), self.state)
+
+
+#: Finished jobs retained for ``JobStatus`` polling; older ones are
+#: pruned so a long-lived server's job table stays bounded.
+MAX_FINISHED_JOBS = 64
+
+
+class SessionRegistry:
+    """Thread-safe map of session name → :class:`Session` plus the
+    build-job table (finished jobs pruned past
+    :data:`MAX_FINISHED_JOBS`)."""
+
+    def __init__(self) -> None:
+        self._sessions: Dict[str, Session] = {}
+        self._jobs: Dict[str, BuildJob] = {}
+        self._job_ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # sessions
+    # ------------------------------------------------------------------
+    def create(self, name: str,
+               space: Optional[object] = None) -> Session:
+        """The named session, created empty on first use.
+
+        An existing session is returned as-is (``space`` ignored).
+        """
+        with self._lock:
+            session = self._sessions.get(name)
+            if session is None:
+                session = Session(name, Workbench(space=space))
+                self._sessions[name] = session
+            return session
+
+    def adopt(self, name: str, workbench: Workbench) -> Session:
+        """Register an existing workbench under ``name`` (replacing
+        any previous session of that name)."""
+        with self._lock:
+            session = Session(name, workbench)
+            self._sessions[name] = session
+            return session
+
+    def get(self, name: str) -> Session:
+        """Lookup by name.
+
+        Raises:
+            UnknownSessionError: for names never created.
+        """
+        with self._lock:
+            try:
+                return self._sessions[name]
+            except KeyError:
+                raise UnknownSessionError(name)
+
+    def drop(self, name: str) -> None:
+        """Forget a session (its store becomes garbage).
+
+        Raises:
+            UnknownSessionError: for names never created.
+        """
+        with self._lock:
+            if name not in self._sessions:
+                raise UnknownSessionError(name)
+            del self._sessions[name]
+
+    def names(self) -> List[str]:
+        """Session names, insertion-ordered."""
+        with self._lock:
+            return list(self._sessions)
+
+    def sessions(self) -> List[Session]:
+        """Every session, insertion-ordered."""
+        with self._lock:
+            return list(self._sessions.values())
+
+    # ------------------------------------------------------------------
+    # build jobs
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> BuildJob:
+        """Lookup a build job by id.
+
+        Raises:
+            UnknownJobError: for unknown ids.
+        """
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise UnknownJobError(job_id)
+
+    def build(self, name: str, source: str = "louvre",
+              scale: float = 0.05, path: Optional[str] = None,
+              workers: int = 0, executor: str = "thread",
+              batch_size: int = 512, streaming: bool = True,
+              cache: bool = False,
+              wait: bool = False) -> BuildJob:
+        """Start a (background) build into the named session.
+
+        The session is created on first use with a
+        :class:`~repro.louvre.space.LouvreSpace` model.  The job
+        streams the source through clean → segment → trace → annotate
+        → store on the parallel engine; its handle exposes live
+        metrics while it runs.
+
+        Args:
+            name: target session.
+            source: ``"louvre"`` or ``"csv"``.
+            scale: louvre-source corpus scale.
+            path: csv-source file path.
+            workers / executor / batch_size / streaming / cache:
+                engine knobs, as in :meth:`Workbench.build
+                <repro.api.Workbench.build>`.
+            wait: block until the job finishes before returning.
+
+        Raises:
+            ValueError: for an unknown source kind or a csv source
+                without a path.
+        """
+        if source not in ("louvre", "csv"):
+            raise ValueError(
+                "unknown source {!r}; one of: louvre, csv".format(
+                    source))
+        if source == "csv" and not path:
+            raise ValueError("csv source needs a path")
+
+        session = self.create(name)
+        if session.workbench.space is None:
+            from repro.louvre.space import LouvreSpace
+            session.workbench.space = LouvreSpace()
+
+        def records() -> Iterable:
+            if source == "louvre":
+                from repro.pipeline.sources import louvre_source
+                return louvre_source(session.workbench.space,
+                                     scale=scale)
+            from repro.pipeline.sources import csv_source
+            return csv_source(path)
+
+        def target(job: BuildJob) -> None:
+            with session.build_lock:  # single writer per session
+                session._building += 1
+                try:
+                    stream = records()
+                    pipeline = session.workbench.prepare_build(
+                        batch_size=batch_size, streaming=streaming,
+                        workers=workers, executor=executor,
+                        cache=cache)
+                    job._pipeline = pipeline
+                    pipeline.run(stream, collect=False)
+                    session.workbench.metrics = pipeline.metrics
+                    session._failed = False
+                except BaseException:
+                    session._failed = True
+                    raise
+                finally:
+                    session._building -= 1
+
+        with self._lock:
+            job = BuildJob("job-{}".format(next(self._job_ids)), name,
+                           target)
+            self._jobs[job.job_id] = job
+            # Retention: drop the oldest finished handles (each pins
+            # its pipeline and thread object) beyond the cap.
+            finished = [job_id for job_id, held in self._jobs.items()
+                        if held.state in (JobState.DONE,
+                                          JobState.FAILED)]
+            for job_id in finished[:max(0, len(finished)
+                                        - MAX_FINISHED_JOBS)]:
+                del self._jobs[job_id]
+        job._start()
+        if wait:
+            job.wait()
+        return job

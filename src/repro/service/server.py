@@ -1,0 +1,196 @@
+"""The embedded trajectory server: the protocol over HTTP/JSON.
+
+A thin, dependency-free wrapper around the standard library's
+``http.server``: a :class:`ThreadingHTTPServer` whose handler parses
+each ``POST /v1/call`` body as one protocol command, executes it
+through :func:`~repro.service.executor.execute_command` (the same
+code path :class:`~repro.service.executor.LocalBinding` uses), and
+writes the response's canonical JSON back.  Because the store takes a
+read-write lock and builds run as background jobs, many requests are
+served concurrently while a dataset is still ingesting.
+
+Endpoints::
+
+    POST /v1/call     body = one command object   → response object
+    GET  /v1/health   liveness + session roster   → plain JSON
+
+Error responses carry an ``Error`` protocol object and a matching
+HTTP status (400 for bad requests, 404 for unknown sessions/jobs,
+500 for internal failures).
+
+Usage::
+
+    server = ServiceServer(port=0)          # ephemeral port
+    server.start()
+    print(server.url)                       # http://127.0.0.1:PORT
+    ...
+    server.stop()
+
+or from the command line: ``repro serve --scale 0.05``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro import __version__
+from repro.service import protocol as P
+from repro.service.executor import execute_command_safely
+from repro.service.registry import SessionRegistry
+
+#: Request bodies above this are rejected (a command is small).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Error code → HTTP status of the reply carrying it.
+STATUS_OF_CODE = {
+    "bad_request": 400,
+    "protocol": 400,
+    "bad_cursor": 400,
+    "unserializable": 400,
+    "not_found": 404,
+    "unknown_session": 404,
+    "unknown_job": 404,
+    "internal": 500,
+}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request = one protocol command (or a health probe)."""
+
+    server_version = "repro-service/" + __version__
+    protocol_version = "HTTP/1.1"
+
+    # the ServiceServer injects this
+    registry: SessionRegistry
+
+    # -- plumbing -------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, payload: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _reply_error(self, status: int, code: str,
+                     message: str) -> None:
+        self._reply(status, P.ErrorInfo(code=code,
+                                        message=message).to_json())
+
+    # -- endpoints ------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server convention)
+        if self.path.rstrip("/") not in ("/v1/health", ""):
+            self._reply_error(404, "not_found",
+                              "unknown path {!r}".format(self.path))
+            return
+        roster = [{"name": session.name, "state": session.state,
+                   "trajectories": len(session.workbench.store)}
+                  for session in self.registry.sessions()]
+        self._reply(200, P.canonical_json({
+            "ok": True, "version": __version__,
+            "protocol": P.PROTOCOL_VERSION, "sessions": roster}))
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server convention)
+        if self.path.rstrip("/") != "/v1/call":
+            self._reply_error(404, "not_found",
+                              "unknown path {!r}".format(self.path))
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._reply_error(400, "bad_request",
+                              "bad or oversized request body")
+            return
+        raw = self.rfile.read(length)
+        try:
+            command = P.command_from_json(raw)
+        except P.ProtocolError as error:
+            self._reply_error(400, "protocol", str(error))
+            return
+        response = execute_command_safely(self.registry, command)
+        status = 200
+        if isinstance(response, P.ErrorInfo):
+            status = STATUS_OF_CODE.get(response.code, 500)
+        self._reply(status, response.to_json())
+
+
+class ServiceServer:
+    """The embedded threaded HTTP/JSON trajectory server.
+
+    Args:
+        registry: the session registry to serve; a fresh one by
+            default.
+        host: bind address (loopback by default — put a real proxy in
+            front for anything else).
+        port: TCP port; ``0`` picks an ephemeral free port.
+        verbose: log each request line to stderr.
+    """
+
+    def __init__(self, registry: Optional[SessionRegistry] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 verbose: bool = False) -> None:
+        self.registry = registry if registry is not None \
+            else SessionRegistry()
+        handler = type("BoundHandler", (_Handler,),
+                       {"registry": self.registry})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    # -- addresses ------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (port resolved when
+        ephemeral)."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        """Base URL, e.g. ``http://127.0.0.1:8731``."""
+        host, port = self.address
+        return "http://{}:{}".format(host, port)
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "ServiceServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-service", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread.
+
+        Safe on a never-started server (``shutdown()`` would block
+        forever waiting on ``serve_forever``): the socket is closed
+        either way.
+        """
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI foreground mode)."""
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._httpd.server_close()
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,97 @@
+"""A readers–writer lock for store concurrency.
+
+The service layer (:mod:`repro.service`) ingests trajectories from a
+background build job while HTTP worker threads read the same store, so
+:class:`~repro.storage.store.TrajectoryStore` needs one invariant the
+GIL alone does not give it: *no index is mutated while a reader walks
+it*.  (Copying a ``set`` that another thread is ``add``-ing to raises
+``RuntimeError: set changed size during iteration`` — the posting-list
+copies in :class:`~repro.storage.index.InvertedIndex` do exactly that
+copy on every lookup.)
+
+:class:`ReadWriteLock` is the classic condition-variable formulation
+with writer preference: any number of readers share the lock, writers
+get exclusive access, and arriving writers block *new* readers so a
+steady query stream cannot starve ingestion.
+
+The lock is deliberately non-reentrant; holders must keep critical
+sections short and must not call back into locked methods (the store
+keeps its internal helpers lock-free and takes the lock only at the
+public surface).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ReadWriteLock:
+    """Shared-read / exclusive-write lock with writer preference."""
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    # reader side
+    # ------------------------------------------------------------------
+    def acquire_read(self) -> None:
+        """Block until no writer is active or waiting, then share."""
+        with self._condition:
+            while self._writer_active or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        """Release one shared hold; wakes a waiting writer when last
+        out."""
+        with self._condition:
+            self._readers -= 1
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    # ------------------------------------------------------------------
+    # writer side
+    # ------------------------------------------------------------------
+    def acquire_write(self) -> None:
+        """Block until exclusive (no readers, no other writer)."""
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        """Release exclusivity; wakes every waiter."""
+        with self._condition:
+            self._writer_active = False
+            self._condition.notify_all()
+
+    # ------------------------------------------------------------------
+    # context managers
+    # ------------------------------------------------------------------
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """``with lock.read_locked():`` — a shared critical section."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """``with lock.write_locked():`` — an exclusive critical
+        section."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

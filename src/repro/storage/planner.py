@@ -32,7 +32,8 @@ the estimates that drove the ordering.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterator, List, Tuple
+from typing import Callable, Dict, FrozenSet, Iterator, List, \
+    Optional, Tuple
 
 from repro.storage.expr import (
     ActiveBetween,
@@ -211,10 +212,22 @@ class Plan:
         """The id set before the lazy residual phase."""
         return self.root.ids()
 
-    def iter_results(self) -> Iterator[StoredTrajectory]:
-        """Stream matches in document-id order, applying residuals."""
+    def iter_results(self, start_after: Optional[int] = None
+                     ) -> Iterator[StoredTrajectory]:
+        """Stream matches in document-id order, applying residuals.
+
+        Args:
+            start_after: skip documents with ``doc_id <= start_after``
+                *before* fetching or residual-checking them — the
+                resume primitive behind the service layer's stable
+                cursors (each page costs O(page), not O(prefix)).
+        """
         residuals = self.residuals
-        for doc_id in sorted(self.candidate_ids()):
+        candidates = self.candidate_ids()
+        if start_after is not None:
+            candidates = [doc_id for doc_id in candidates
+                          if doc_id > start_after]
+        for doc_id in sorted(candidates):
             trajectory = self._store.get(doc_id)
             if all(p.matches(trajectory) for p in residuals):
                 yield StoredTrajectory(doc_id, trajectory)

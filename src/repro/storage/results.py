@@ -119,6 +119,19 @@ class ResultSet:
         return ResultSet(lambda: islice(self._source(), count, None),
                          fast)
 
+    def since(self, doc_id: int) -> "ResultSet":
+        """Hits with ``doc_id`` strictly greater than the given id.
+
+        The resume primitive behind the service layer's stable
+        cursors: query execution yields hits in document-id order and
+        the store is insert-only, so "everything after the last id I
+        saw" identifies the same boundary on every consumption — even
+        when new matching trajectories were ingested meanwhile (they
+        only ever append past the boundary).
+        """
+        return ResultSet(lambda: (hit for hit in self._source()
+                                  if hit.doc_id > doc_id))
+
     def order_by(self, key: OrderKey,
                  reverse: bool = False) -> "ResultSet":
         """Hits sorted by a field name or key callable.

@@ -13,6 +13,15 @@ maintains three secondary indexes over them:
 Indexes are maintained incrementally on insert; the interval index —
 a static structure — is rebuilt lazily on first temporal query after a
 write.
+
+The store is safe for **concurrent readers with a single writer**: a
+:class:`~repro.storage.locks.ReadWriteLock` guards every public
+method, so a background ingestion job (the service layer's
+``BuildDataset``) can extend the corpus while HTTP worker threads run
+queries against it.  Reads are snapshot-consistent per call — a query
+sees the store as of some instant, never a half-indexed trajectory —
+and iteration snapshots the document count up front so a concurrent
+``extend`` cannot leak items into an in-flight scan.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from repro.core.annotations import AnnotationKind, AnnotationValue
 from repro.core.trajectory import SemanticTrajectory
 from repro.storage.index import InvertedIndex
 from repro.storage.intervals import Interval, IntervalIndex
+from repro.storage.locks import ReadWriteLock
 
 
 @dataclass(frozen=True)
@@ -44,15 +54,17 @@ class TrajectoryStore:
         self._by_mo = InvertedIndex()
         self._interval_index: Optional[IntervalIndex] = None
         self._span: Optional[Tuple[float, float]] = None
+        self._lock = ReadWriteLock()
 
     # ------------------------------------------------------------------
     # writes
     # ------------------------------------------------------------------
     def insert(self, trajectory: SemanticTrajectory) -> int:
         """Store a trajectory; returns its document id."""
-        doc_id = self._index_one(trajectory)
-        self._interval_index = None  # invalidate; rebuilt lazily
-        self._span = None
+        with self._lock.write_locked():
+            doc_id = self._index_one(trajectory)
+            self._interval_index = None  # invalidate; rebuilt lazily
+            self._span = None
         return doc_id
 
     def insert_many(self,
@@ -72,18 +84,24 @@ class TrajectoryStore:
         interleaved with temporal queries pays one rebuild per batch
         rather than one per query-after-insert.
 
+        The input iterable is materialized *before* the write lock is
+        taken, so a lazy source cannot stall readers (or call back
+        into the store) mid-ingestion.
+
         Args:
             trajectories: the batch to store.
             rebuild_interval: rebuild the interval index immediately
                 after the batch (keeps temporal queries warm) instead
                 of lazily on the next temporal query.
         """
-        doc_ids = [self._index_one(t) for t in trajectories]
-        if doc_ids:
-            self._interval_index = None  # one invalidation per batch
-            self._span = None
-            if rebuild_interval:
-                self._ensure_interval_index()
+        batch = list(trajectories)
+        with self._lock.write_locked():
+            doc_ids = [self._index_one(t) for t in batch]
+            if doc_ids:
+                self._interval_index = None  # one invalidation per batch
+                self._span = None
+                if rebuild_interval:
+                    self._build_interval_index()
         return doc_ids
 
     def _index_one(self, trajectory: SemanticTrajectory) -> int:
@@ -106,10 +124,22 @@ class TrajectoryStore:
     # reads
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._docs)
+        with self._lock.read_locked():
+            return len(self._docs)
 
     def __iter__(self) -> Iterator[SemanticTrajectory]:
-        return iter(self._docs)
+        """Iterate the corpus as of iteration start.
+
+        The document count is snapshotted under the read lock, then
+        items are yielded *without* holding it — consumers may run
+        queries per item, and a concurrent ``extend`` neither breaks
+        the scan nor leaks its new documents into it (the store is
+        insert-only, so ids below the snapshot are immutable).
+        """
+        with self._lock.read_locked():
+            count = len(self._docs)
+        for doc_id in range(count):
+            yield self._docs[doc_id]
 
     def get(self, doc_id: int) -> SemanticTrajectory:
         """Fetch by document id.
@@ -117,42 +147,50 @@ class TrajectoryStore:
         Raises:
             IndexError: for unknown ids.
         """
-        return self._docs[doc_id]
+        with self._lock.read_locked():
+            return self._docs[doc_id]
 
     def all_ids(self) -> FrozenSet[int]:
         """Every document id."""
-        return frozenset(range(len(self._docs)))
+        with self._lock.read_locked():
+            return frozenset(range(len(self._docs)))
 
     # ------------------------------------------------------------------
     # index lookups (used by the Query planner)
     # ------------------------------------------------------------------
     def ids_visiting_state(self, state: str) -> FrozenSet[int]:
         """Trajectories with at least one stay in ``state``."""
-        return self._by_state.lookup(state)
+        with self._lock.read_locked():
+            return self._by_state.lookup(state)
 
     def ids_visiting_any(self, states: Iterable[str]) -> FrozenSet[int]:
         """Trajectories visiting any of the states."""
-        return self._by_state.lookup_any(states)
+        with self._lock.read_locked():
+            return self._by_state.lookup_any(states)
 
     def ids_visiting_all(self, states: Iterable[str]) -> FrozenSet[int]:
         """Trajectories visiting every one of the states."""
-        return self._by_state.lookup_all(states)
+        with self._lock.read_locked():
+            return self._by_state.lookup_all(states)
 
     def ids_with_annotation(self, kind: AnnotationKind,
                             value: object) -> FrozenSet[int]:
         """Trajectories carrying the annotation anywhere."""
-        return self._by_annotation.lookup((kind, value))
+        with self._lock.read_locked():
+            return self._by_annotation.lookup((kind, value))
 
     def ids_of_mo(self, mo_id: str) -> FrozenSet[int]:
         """Trajectories of one moving object."""
-        return self._by_mo.lookup(mo_id)
+        with self._lock.read_locked():
+            return self._by_mo.lookup(mo_id)
 
     def ids_active_between(self, start: float,
                            end: float) -> FrozenSet[int]:
         """Trajectories with a presence interval intersecting the window."""
-        index = self._ensure_interval_index()
-        return frozenset(iv.payload[0]
-                         for iv in index.overlapping(start, end))
+        with self._lock.read_locked():
+            index = self._ensure_interval_index()
+            return frozenset(iv.payload[0]
+                             for iv in index.overlapping(start, end))
 
     def states_occupied_at(self, t: float) -> Dict[int, str]:
         """doc id → state for every trajectory present at time ``t``.
@@ -163,39 +201,50 @@ class TrajectoryStore:
         contain ``t``, the later stay wins (the newer detection
         supersedes, matching ``Trace.entry_at``).
         """
-        index = self._ensure_interval_index()
-        hits: Dict[int, str] = {}
-        starts: Dict[int, float] = {}
-        for interval in index.stab(t):
-            doc_id, state = interval.payload
-            if doc_id not in hits or interval.start >= starts[doc_id]:
-                hits[doc_id] = state
-                starts[doc_id] = interval.start
-        return hits
+        with self._lock.read_locked():
+            index = self._ensure_interval_index()
+            hits: Dict[int, str] = {}
+            starts: Dict[int, float] = {}
+            for interval in index.stab(t):
+                doc_id, state = interval.payload
+                if doc_id not in hits or interval.start >= starts[doc_id]:
+                    hits[doc_id] = state
+                    starts[doc_id] = interval.start
+            return hits
 
     def _ensure_interval_index(self) -> IntervalIndex:
-        """The interval index; payloads are ``(doc_id, state)``."""
+        """The interval index; payloads are ``(doc_id, state)``.
+
+        Caller must hold the lock (read side suffices: concurrent
+        readers may both build, which is idempotent — writers, the
+        only invalidators, are excluded while any reader is in here).
+        """
         if self._interval_index is None:
-            intervals: List[Interval] = []
-            for doc_id, trajectory in enumerate(self._docs):
-                for entry in trajectory.trace:
-                    intervals.append(Interval(entry.t_start, entry.t_end,
-                                              (doc_id, entry.state)))
-            self._interval_index = IntervalIndex(intervals)
+            self._build_interval_index()
         return self._interval_index
+
+    def _build_interval_index(self) -> None:
+        intervals: List[Interval] = []
+        for doc_id, trajectory in enumerate(self._docs):
+            for entry in trajectory.trace:
+                intervals.append(Interval(entry.t_start, entry.t_end,
+                                          (doc_id, entry.state)))
+        self._interval_index = IntervalIndex(intervals)
 
     # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
     def state_cardinalities(self) -> Dict[str, int]:
         """State → number of trajectories visiting it (selectivity)."""
-        return {str(k): v
-                for k, v in self._by_state.posting_sizes().items()}
+        with self._lock.read_locked():
+            return {str(k): v
+                    for k, v in self._by_state.posting_sizes().items()}
 
     def annotation_cardinalities(
             self) -> Dict[Tuple[AnnotationKind, AnnotationValue], int]:
         """(kind, value) → number of trajectories carrying it."""
-        return dict(self._by_annotation.posting_sizes())
+        with self._lock.read_locked():
+            return dict(self._by_annotation.posting_sizes())
 
     def time_span(self) -> Optional[Tuple[float, float]]:
         """``(earliest t_start, latest t_end)`` over the corpus.
@@ -203,13 +252,15 @@ class TrajectoryStore:
         ``None`` for an empty store.  Cached; invalidated on insert
         alongside the interval index.
         """
-        if not self._docs:
-            return None
-        if self._span is None:
-            self._span = (min(t.t_start for t in self._docs),
-                          max(t.t_end for t in self._docs))
-        return self._span
+        with self._lock.read_locked():
+            if not self._docs:
+                return None
+            if self._span is None:
+                self._span = (min(t.t_start for t in self._docs),
+                              max(t.t_end for t in self._docs))
+            return self._span
 
     def moving_objects(self) -> List[str]:
         """All distinct moving-object ids."""
-        return [str(k) for k in self._by_mo.keys()]
+        with self._lock.read_locked():
+            return [str(k) for k in self._by_mo.keys()]

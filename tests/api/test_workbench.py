@@ -110,3 +110,66 @@ class TestMiningOverCorpora:
                              start=9000.0)])
         matrix = wb.similarity()
         assert matrix[0][1] == 1.0
+
+
+class TestServiceBinding:
+    """Workbench is sugar over the service protocol's local
+    binding."""
+
+    def test_binding_registers_the_workbench(self, workbench):
+        from repro.api import LOCAL_SESSION
+
+        session = workbench.binding.registry.get(LOCAL_SESSION)
+        assert session.workbench is workbench
+
+    def test_protocol_path_matches_direct_path(self, workbench):
+        """The delegated (command) result equals the direct miner
+        call on the same corpus."""
+        from repro.mining.sequences import state_sequences
+        from repro.service.executor import patterns_over
+
+        query = workbench.query(E.min_entries(2))
+        via_protocol = workbench.patterns(query, min_support=0.2)
+        direct = patterns_over(
+            state_sequences(query.execute()), min_support=0.2)
+        assert via_protocol == direct
+
+    def test_unserializable_query_falls_back(self, workbench):
+        """A where() callable cannot cross the protocol; the direct
+        path serves it."""
+        query = workbench.query().where(
+            lambda t: len(t.trace) >= 2, label="fat")
+        patterns = workbench.patterns(query, min_support=0.2)
+        assert patterns == workbench.patterns(
+            workbench.query(E.min_entries(2)), min_support=0.2)
+
+    def test_foreign_store_query_falls_back(self, workbench):
+        other = Workbench.from_trajectories(
+            [make_trajectory(mo_id="m1", states=("a", "b")),
+             make_trajectory(mo_id="m2", states=("a", "b"),
+                             start=9000.0)])
+        query = other.query(E.state("a"))
+        # mined against the *query's* store, not the workbench's
+        assert workbench.sequences(query) == [["a", "b"], ["a", "b"]]
+
+    def test_serve_exposes_the_corpus(self, workbench):
+        from repro.api import LOCAL_SESSION
+        from repro.service.client import ServiceClient
+
+        server = workbench.serve(port=0)
+        try:
+            client = ServiceClient(server.url)
+            page = client.run_query(LOCAL_SESSION, limit=3)
+            assert page.total == len(workbench)
+        finally:
+            server.stop()
+
+    def test_binding_survives_drop_session(self, workbench):
+        """DropSession('local') must not brick the facade — the
+        binding re-adopts the workbench on next access."""
+        from repro.api import LOCAL_SESSION
+        from repro.service import protocol as P
+
+        baseline = workbench.summary()["visits"]
+        workbench.binding.call(P.DropSession(session=LOCAL_SESSION))
+        assert workbench.summary()["visits"] == baseline

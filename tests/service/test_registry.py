@@ -1,0 +1,180 @@
+"""SessionRegistry: named sessions, background jobs, job handles."""
+
+import pytest
+
+from repro.api import Workbench
+from repro.service import protocol as P
+from repro.service.executor import LocalBinding
+from repro.service.registry import (
+    JobState,
+    SessionRegistry,
+    UnknownJobError,
+    UnknownSessionError,
+)
+from tests.conftest import make_trajectory
+
+
+class TestSessions:
+    def test_create_is_idempotent(self):
+        registry = SessionRegistry()
+        a = registry.create("one")
+        assert registry.create("one") is a
+        assert registry.names() == ["one"]
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownSessionError):
+            SessionRegistry().get("nope")
+
+    def test_drop(self):
+        registry = SessionRegistry()
+        registry.create("one")
+        registry.drop("one")
+        assert registry.names() == []
+        with pytest.raises(UnknownSessionError):
+            registry.drop("one")
+
+    def test_adopt_existing_workbench(self):
+        registry = SessionRegistry()
+        workbench = Workbench.from_trajectories(
+            [make_trajectory(states=("a", "b"))])
+        session = registry.adopt("mine", workbench)
+        assert session.workbench is workbench
+        assert session.state == "ready"
+
+    def test_empty_session_state(self):
+        assert SessionRegistry().create("x").state == "empty"
+
+
+class TestBuildJobs:
+    def test_background_build_completes(self):
+        registry = SessionRegistry()
+        job = registry.build("louvre", scale=0.02)
+        assert job.wait(timeout=120)
+        assert job.state is JobState.DONE
+        assert job.error is None
+        session = registry.get("louvre")
+        assert session.state == "ready"
+        assert len(session.workbench.store) > 0
+        # the handle exposes the finished pipeline's metrics
+        assert job.metrics is not None
+        assert job.metrics["store"].items_in \
+            == len(session.workbench.store)
+
+    def test_wait_flag_blocks(self):
+        registry = SessionRegistry()
+        job = registry.build("louvre", scale=0.02, wait=True)
+        assert job.state is JobState.DONE
+
+    def test_two_sessions_are_independent(self):
+        registry = SessionRegistry()
+        job_a = registry.build("a", scale=0.02, wait=True)
+        job_b = registry.build("b", scale=0.01, wait=True)
+        assert job_a.state is JobState.DONE
+        assert job_b.state is JobState.DONE
+        size_a = len(registry.get("a").workbench.store)
+        size_b = len(registry.get("b").workbench.store)
+        assert size_a > size_b > 0
+
+    def test_failed_build_surfaces_error(self, tmp_path):
+        registry = SessionRegistry()
+        job = registry.build("bad", source="csv",
+                             path=str(tmp_path / "missing.csv"),
+                             wait=True)
+        assert job.state is JobState.FAILED
+        assert job.error
+        assert registry.get("bad").state == "failed"
+
+    def test_bad_source_rejected_synchronously(self):
+        registry = SessionRegistry()
+        with pytest.raises(ValueError):
+            registry.build("x", source="oracle")
+        with pytest.raises(ValueError):
+            registry.build("x", source="csv")  # no path
+
+    def test_unknown_job_raises(self):
+        with pytest.raises(UnknownJobError):
+            SessionRegistry().job("job-999")
+
+
+class TestLocalBindingLifecycle:
+    """The command protocol drives the same lifecycle."""
+
+    def test_build_then_query_then_mine(self):
+        binding = LocalBinding()
+        info = binding.call(P.BuildDataset(session="s", scale=0.02,
+                                           wait=True))
+        assert info.state == "done"
+        page = binding.call(P.RunQuery(session="s", limit=5))
+        assert page.total == len(
+            binding.registry.get("s").workbench.store)
+        patterns = binding.call(P.MinePatterns(session="s",
+                                               min_support=0.5))
+        assert patterns.patterns
+        sessions = binding.call(P.ListSessions()).sessions
+        assert [s.name for s in sessions] == ["s"]
+        assert sessions[0].state == "ready"
+
+    def test_job_status_command(self):
+        binding = LocalBinding()
+        info = binding.call(P.BuildDataset(session="s", scale=0.02))
+        final = binding.call(P.JobStatus(job_id=info.job_id))
+        binding.registry.job(info.job_id).wait(timeout=120)
+        final = binding.call(P.JobStatus(job_id=info.job_id))
+        assert final.state == "done"
+        assert final.metrics is not None
+
+    def test_errors_raise_service_error(self):
+        binding = LocalBinding()
+        with pytest.raises(P.ServiceError) as excinfo:
+            binding.call(P.RunQuery(session="ghost"))
+        assert excinfo.value.code == "unknown_session"
+
+    def test_call_json_is_the_wire_path(self):
+        binding = LocalBinding()
+        raw = P.ListSessions().to_json()
+        reply = P.response_from_json(binding.call_json(raw))
+        assert isinstance(reply, P.SessionList)
+        garbage = binding.call_json(b"not json")
+        assert isinstance(P.response_from_json(garbage), P.ErrorInfo)
+
+
+class TestJobRetention:
+    def test_finished_jobs_are_pruned(self, monkeypatch):
+        from repro.service import registry as R
+
+        monkeypatch.setattr(R, "MAX_FINISHED_JOBS", 3)
+        registry = SessionRegistry()
+        jobs = [registry.build("s", scale=0.01, wait=True)
+                for _ in range(6)]
+        # the most recent finished handles survive; the oldest are gone
+        assert registry.job(jobs[-1].job_id) is jobs[-1]
+        with pytest.raises(UnknownJobError):
+            registry.job(jobs[0].job_id)
+
+
+class TestErrorPropagation:
+    def test_library_path_does_not_swallow_bugs(self):
+        """A genuine bug propagates through LocalBinding.call with
+        its traceback; only the wire boundary converts to Error."""
+        binding = LocalBinding()
+        binding.call(P.BuildDataset(session="s", scale=0.01,
+                                    wait=True))
+        session = binding.registry.get("s")
+        original_space = session.workbench.space
+
+        class Broken:
+            @property
+            def zone_hierarchy(self):
+                raise RuntimeError("boom")
+
+        session.workbench.space = Broken()
+        try:
+            with pytest.raises(RuntimeError, match="boom"):
+                binding.call(P.Similarity(session="s"))
+            # the wire path answers instead of crashing
+            reply = P.response_from_json(
+                binding.call_json(P.Similarity(session="s").to_json()))
+            assert isinstance(reply, P.ErrorInfo)
+            assert reply.code == "internal"
+        finally:
+            session.workbench.space = original_space

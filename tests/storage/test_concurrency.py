@@ -1,0 +1,210 @@
+"""Concurrent read + single-writer ingestion on the store.
+
+The service layer ingests via a background build job while HTTP
+worker threads query the same :class:`TrajectoryStore`.  Without the
+read-write lock, a posting-list copy racing a posting-list ``add``
+dies with ``RuntimeError: set changed size during iteration``, and an
+iteration racing ``extend`` can observe half a batch.  These tests
+hammer exactly those interleavings.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.annotations import AnnotationSet
+from repro.storage.locks import ReadWriteLock
+from repro.storage.query import Query
+from repro.storage.store import TrajectoryStore
+from tests.conftest import make_trajectory
+
+STATES = ("a", "b", "c", "d")
+
+
+def _batch(index, size=20):
+    return [make_trajectory(
+        mo_id="mo{}".format(index * size + j),
+        states=STATES[(index + j) % 3:][:2] or ("a",),
+        start=1000.0 * index + j,
+        annotations=AnnotationSet.goals("visit"))
+        for j in range(size)]
+
+
+class TestReadWriteLock:
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        held = threading.Event()
+        release = threading.Event()
+
+        def reader():
+            with lock.read_locked():
+                held.set()
+                release.wait(timeout=5)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        assert held.wait(timeout=5)
+        # a second reader gets in while the first still holds
+        acquired = []
+        with lock.read_locked():
+            acquired.append(True)
+        release.set()
+        thread.join()
+        assert acquired == [True]
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        order = []
+        in_write = threading.Event()
+        done_write = threading.Event()
+
+        def writer():
+            with lock.write_locked():
+                in_write.set()
+                time.sleep(0.05)
+                order.append("write")
+            done_write.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        assert in_write.wait(timeout=5)
+        with lock.read_locked():
+            order.append("read")
+        thread.join()
+        assert order == ["write", "read"]
+
+    def test_writer_preference_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        writer_waiting = threading.Event()
+        wrote = threading.Event()
+
+        def writer():
+            writer_waiting.set()
+            with lock.write_locked():
+                wrote.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        assert writer_waiting.wait(timeout=5)
+        time.sleep(0.05)  # let the writer reach its wait()
+        # a new reader must now queue behind the waiting writer
+        reader_got_in = threading.Event()
+
+        def late_reader():
+            with lock.read_locked():
+                reader_got_in.set()
+
+        late = threading.Thread(target=late_reader)
+        late.start()
+        time.sleep(0.05)
+        assert not reader_got_in.is_set()
+        assert not wrote.is_set()
+        lock.release_read()
+        thread.join(timeout=5)
+        late.join(timeout=5)
+        assert wrote.is_set() and reader_got_in.is_set()
+
+
+class TestConcurrentStore:
+    def test_single_writer_many_readers_stress(self):
+        """Queries hammering every index while a writer ingests."""
+        store = TrajectoryStore()
+        store.extend(_batch(0))
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            try:
+                for index in range(1, 40):
+                    store.extend(_batch(index))
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+            finally:
+                stop.set()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    # posting-list copies racing posting-list adds
+                    ids = store.ids_visiting_state("a")
+                    assert all(isinstance(i, int) for i in ids)
+                    # a full planned query (plan + fetch + residual)
+                    hits = Query(store).visiting_state("b") \
+                        .min_entries(1).execute().to_list()
+                    assert all(h.trajectory.trace.visits_state("b")
+                               for h in hits)
+                    # interval-index rebuild racing invalidation
+                    store.ids_active_between(0.0, 1e9)
+                    store.time_span()
+                    store.state_cardinalities()
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        writer_thread = threading.Thread(target=writer)
+        for thread in readers:
+            thread.start()
+        writer_thread.start()
+        writer_thread.join(timeout=60)
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=60)
+        assert not errors, errors[:3]
+        assert len(store) == 40 * 20
+
+    def test_iteration_snapshots_against_extend(self):
+        """An in-flight scan never sees documents appended after it
+        began (the iteration-during-extend hazard)."""
+        store = TrajectoryStore()
+        store.extend(_batch(0, size=50))
+        started = len(store)
+
+        iterator = iter(store)
+        first = next(iterator)  # snapshot taken
+        store.extend(_batch(1, size=50))
+
+        remaining = sum(1 for _ in iterator)
+        assert 1 + remaining == started
+        assert first.mo_id == "mo0"
+        # a fresh iteration sees everything
+        assert sum(1 for _ in store) == 100
+
+    def test_reads_see_whole_batches_eventually(self):
+        """After the writer finishes, every index agrees."""
+        store = TrajectoryStore()
+
+        def writer():
+            for index in range(10):
+                store.extend(_batch(index, size=10))
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        thread.join(timeout=60)
+        assert len(store) == 100
+        assert len(store.all_ids()) == 100
+        assert Query(store).visiting_state("a").count() \
+            == len(store.ids_visiting_state("a"))
+        assert len(store.moving_objects()) == 100
+
+    def test_concurrent_temporal_queries_rebuild_once_each(self):
+        """Interval-index lazy rebuild is safe under reader races."""
+        store = TrajectoryStore()
+        store.extend(_batch(0, size=30))
+        results = []
+        errors = []
+
+        def stab():
+            try:
+                results.append(store.states_occupied_at(1005.0))
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=stab) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert all(r == results[0] for r in results)
