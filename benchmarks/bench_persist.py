@@ -1,0 +1,200 @@
+"""Bench P1 — durable storage: snapshot, log, and disk-cache costs.
+
+Run as a script (not under pytest-benchmark); against a built corpus
+it measures
+
+* ``snapshot_save`` / ``snapshot_load`` — the on-disk snapshot format
+  (``repro.persist.format``) in MB/s over the segment bytes, load
+  split into the install-serialized-indexes path and the
+  rebuild-indexes path;
+* ``wal_append`` — write-ahead-log overhead on the ingest path:
+  plain ``TrajectoryStore.extend`` vs the same batches journaled with
+  ``fsync`` off and on (per-trajectory microseconds and the overhead
+  ratio — the price of durability-as-you-stream);
+* ``wal_replay`` — crash-recovery speed (records/s through
+  ``replay_into``);
+* ``disk_cache`` — cold pipeline build vs a warm rebuild through a
+  *fresh* :class:`~repro.persist.DiskStageCache` instance over the
+  same directory (the restart scenario the cache exists for).
+
+``--out`` writes the measurements; the committed baseline is
+``BENCH_persist.json``.  ``--smoke`` shrinks the corpus for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from typing import Dict, List
+
+from repro.api import Workbench
+from repro.louvre.space import LouvreSpace
+from repro.persist import DiskStageCache, WriteAheadLog, load_store, save_store
+from repro.pipeline.sources import louvre_source
+from repro.storage.store import TrajectoryStore
+
+
+def _timed(callable_):
+    started = time.perf_counter()
+    result = callable_()
+    return time.perf_counter() - started, result
+
+
+def bench_snapshot(store, base: str, repeats: int) -> Dict[str, Dict]:
+    path = os.path.join(base, "snap")
+    save_seconds: List[float] = []
+    info = None
+    for i in range(repeats):
+        target = "{}-{}".format(path, i)
+        seconds, info = _timed(lambda: save_store(store, target))
+        save_seconds.append(seconds)
+    mb = info.total_bytes / 1e6
+    load_seconds: List[float] = []
+    rebuild_seconds: List[float] = []
+    for i in range(repeats):
+        target = "{}-{}".format(path, i % repeats)
+        seconds, _ = _timed(lambda: load_store(target))
+        load_seconds.append(seconds)
+        seconds, _ = _timed(
+            lambda: load_store(target, use_indexes=False))
+        rebuild_seconds.append(seconds)
+    return {
+        "snapshot_save": {
+            "segment_mb": mb,
+            "seconds": min(save_seconds),
+            "mb_per_s": mb / min(save_seconds),
+        },
+        "snapshot_load": {
+            "seconds": min(load_seconds),
+            "mb_per_s": mb / min(load_seconds),
+            "rebuild_indexes_seconds": min(rebuild_seconds),
+            "rebuild_indexes_mb_per_s": mb / min(rebuild_seconds),
+        },
+    }
+
+
+def bench_wal(trajectories, base: str,
+              batch_size: int) -> Dict[str, Dict]:
+    batches = [trajectories[i:i + batch_size]
+               for i in range(0, len(trajectories), batch_size)]
+
+    def ingest(wal) -> float:
+        store = TrajectoryStore()
+        if wal is not None:
+            store.attach_wal(wal)
+        started = time.perf_counter()
+        for batch in batches:
+            store.extend(batch)
+        return time.perf_counter() - started
+
+    plain = ingest(None)
+    buffered_log = WriteAheadLog(os.path.join(base, "nofsync.log"),
+                                 fsync=False)
+    buffered = ingest(buffered_log)
+    buffered_log.close()
+    durable_log = WriteAheadLog(os.path.join(base, "fsync.log"),
+                                fsync=True)
+    durable = ingest(durable_log)
+    durable_log.close()
+
+    replay_target = TrajectoryStore()
+    replay_log = WriteAheadLog(os.path.join(base, "fsync.log"))
+    replay_seconds, last = _timed(
+        lambda: replay_log.replay_into(replay_target))
+    count = len(trajectories)
+    per_us = lambda seconds: seconds / count * 1e6  # noqa: E731
+    return {
+        "wal_append": {
+            "trajectories": count,
+            "batch_size": batch_size,
+            "plain_us_per_doc": per_us(plain),
+            "nofsync_us_per_doc": per_us(buffered),
+            "fsync_us_per_doc": per_us(durable),
+            "nofsync_overhead_x": buffered / plain,
+            "fsync_overhead_x": durable / plain,
+        },
+        "wal_replay": {
+            "records": last,
+            "seconds": replay_seconds,
+            "docs_per_s": count / replay_seconds,
+        },
+    }
+
+
+def bench_disk_cache(scale: float, base: str) -> Dict[str, Dict]:
+    cache_dir = os.path.join(base, "stage-cache")
+
+    def build(cache) -> float:
+        workbench = Workbench(space=LouvreSpace())
+        started = time.perf_counter()
+        workbench.build(louvre_source(workbench.space, scale=scale),
+                        cache=cache)
+        return time.perf_counter() - started
+
+    cold = build(DiskStageCache(cache_dir))
+    warm_cache = DiskStageCache(cache_dir)  # fresh instance: restart
+    warm = build(warm_cache)
+    assert warm_cache.disk_hits == 1, "expected a disk hit"
+    return {
+        "disk_cache": {
+            "cold_build_seconds": cold,
+            "warm_rebuild_seconds": warm,
+            "speedup_x": cold / warm,
+        },
+    }
+
+
+def run_benchmarks(smoke: bool = False) -> Dict:
+    scale = 0.02 if smoke else 0.2
+    repeats = 2 if smoke else 3
+    workbench = Workbench.louvre(scale=scale)
+    trajectories = list(workbench.store)
+
+    base = tempfile.mkdtemp(prefix="bench-persist-")
+    try:
+        metrics: Dict[str, Dict] = {}
+        metrics.update(bench_snapshot(workbench.store, base, repeats))
+        metrics.update(bench_wal(trajectories, base, batch_size=64))
+        metrics.update(bench_disk_cache(scale, base))
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+
+    return {
+        "bench": "persist",
+        "config": {"smoke": smoke, "scale": scale,
+                   "corpus": len(trajectories),
+                   "python": sys.version.split()[0]},
+        "metrics": metrics,
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced corpus for CI")
+    parser.add_argument("--out", metavar="PATH",
+                        help="write the measurements as JSON")
+    args = parser.parse_args(argv)
+
+    result = run_benchmarks(smoke=args.smoke)
+    if args.out and not args.smoke:
+        # Embed a smoke-mode section so CI smoke runs have a
+        # same-workload reference.
+        result["smoke_metrics"] = run_benchmarks(
+            smoke=True)["metrics"]
+    print(json.dumps(result, indent=2))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+        print("\nwrote {}".format(args.out))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -125,6 +125,42 @@ class Workbench:
         return workbench
 
     # ------------------------------------------------------------------
+    # durability (repro.persist)
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, directory: str, verify: bool = True) -> "Workbench":
+        """Recover a workbench persisted with :meth:`save`.
+
+        Loads the durable session directory's current snapshot,
+        replays its append log, revives the recorded space model, and
+        keeps the log attached — so the reopened workbench journals
+        further builds to disk as they stream.
+
+        Raises:
+            repro.persist.PersistError: when ``directory`` holds no
+                persisted session.
+            repro.persist.CorruptSnapshotError: when the snapshot
+                fails checksum verification.
+        """
+        from repro.persist import open_workbench
+
+        return open_workbench(directory, verify=verify)
+
+    def save(self, directory: str, fsync: bool = True):
+        """Persist this workbench's corpus as a durable session
+        directory (snapshot + append log; see
+        ``docs/persistence.md``).
+
+        Returns the :class:`~repro.persist.format.SnapshotInfo`.
+        Afterwards the store journals every further insert to the
+        directory's log, and calling :meth:`save` again folds the
+        log back into a fresh snapshot.
+        """
+        from repro.persist import save_workbench
+
+        return save_workbench(directory, self, fsync=fsync)
+
+    # ------------------------------------------------------------------
     # build (the pipeline engine)
     # ------------------------------------------------------------------
     def prepare_build(self, batch_size: int = 512,

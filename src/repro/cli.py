@@ -12,7 +12,10 @@ Usage (after installation)::
     python -m repro.cli query --visiting zone60853 --or \\
         --annotation goal=visit --limit 10 --explain
     python -m repro.cli serve --scale 0.05 --port 8731
+    python -m repro.cli serve --empty --persist-dir ./data
     python -m repro.cli call '{"command": "ListSessions"}'
+    python -m repro.cli snapshot --scale 0.05 --out ./data/louvre
+    python -m repro.cli restore ./data/louvre
 
 Every subcommand is a thin shell over the library API, so scripted
 pipelines can do exactly what the CLI does.  ``serve`` and ``call``
@@ -24,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 #: Default TCP port of ``repro serve`` / ``repro call``.
@@ -153,11 +157,17 @@ def cmd_pipeline_run(args: argparse.Namespace) -> int:
         source = csv_source(args.csv)
     else:
         source = louvre_source(space, scale=args.scale)
+    cache = None
+    if args.cache_dir:
+        from repro.persist import DiskStageCache
+
+        cache = DiskStageCache(args.cache_dir)
     try:
         pipeline = Pipeline(stages, batch_size=args.batch_size,
                             workers=args.workers,
                             executor=args.executor,
-                            timing=not args.no_timing)
+                            timing=not args.no_timing,
+                            cache=cache)
         pipeline.run(source, collect=False)
     except PipelineError as error:
         print("error: {}".format(error), file=sys.stderr)
@@ -369,12 +379,92 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    """Build a corpus and persist it as a durable session dir."""
+    from repro.api import Workbench
+    from repro.persist import PersistError
+    from repro.storage.csvio import read_trajectories_jsonl
+
+    try:
+        if args.jsonl:
+            workbench = Workbench.from_trajectories(
+                read_trajectories_jsonl(args.jsonl))
+        elif args.csv:
+            workbench = Workbench.from_csv(args.csv)
+        else:
+            workbench = Workbench.louvre(scale=args.scale)
+    except (OSError, ValueError) as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 1
+    try:
+        info = workbench.save(args.out, fsync=not args.no_fsync)
+    except PersistError as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps({
+            "path": args.out, "snapshot": info.path,
+            "trajectories": info.doc_count,
+            "total_bytes": info.total_bytes, "space": info.space,
+        }, sort_keys=True, indent=2))
+        return 0
+    print("snapshot: {} trajectories, {} segment bytes -> {}".format(
+        info.doc_count, info.total_bytes, info.path))
+    return 0
+
+
+def cmd_restore(args: argparse.Namespace) -> int:
+    """Recover a persisted session dir and summarize (or serve) it."""
+    from repro.api import Workbench
+    from repro.persist import CorruptSnapshotError, PersistError
+
+    try:
+        workbench = Workbench.open(args.path,
+                                   verify=not args.no_verify)
+    except CorruptSnapshotError as error:
+        print("error: corrupt snapshot: {}".format(error),
+              file=sys.stderr)
+        return 1
+    except PersistError as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 1
+    stats = workbench.summary()
+    if args.json:
+        print(json.dumps({
+            "path": args.path,
+            "trajectories": len(workbench.store),
+            "space": type(workbench.space).__name__
+            if workbench.space is not None else None,
+            "summary": stats,
+        }, sort_keys=True, indent=2))
+    else:
+        print("restored: {} trajectories from {}".format(
+            len(workbench.store), args.path))
+        print("space: {}".format(
+            type(workbench.space).__name__
+            if workbench.space is not None else "(none)"))
+        for key in sorted(stats):
+            print("  {}: {}".format(key, stats[key]))
+    if not args.serve:
+        return 0
+    server = workbench.serve(host=args.host, port=args.port)
+    print("serving restored corpus as session 'local' on {}".format(
+        server.url))
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nbye")
+        server.stop()
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the embedded trajectory server (repro.service)."""
     from repro.service.registry import SessionRegistry
     from repro.service.server import ServiceServer
 
-    registry = SessionRegistry()
+    registry = SessionRegistry(persist_dir=args.persist_dir)
     # Bind first: a port conflict must fail fast, not after minutes
     # of corpus building.
     try:
@@ -384,7 +474,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("error: cannot bind {}:{}: {}".format(
             args.host, args.port, error), file=sys.stderr)
         return 1
-    if not args.empty:
+    for name, message in registry.restore_errors.items():
+        print("warning: session {!r} failed to restore: {}".format(
+            name, message), file=sys.stderr)
+    preloaded = (args.persist_dir is not None
+                 and args.session in registry.names()
+                 and len(registry.get(args.session).workbench.store))
+    if preloaded:
+        print("session {!r}: {} trajectories (restored from "
+              "{})".format(args.session, preloaded, args.persist_dir))
+    if not args.empty and not preloaded:
         source = "csv" if args.csv else "louvre"
         job = registry.build(args.session, source=source,
                              scale=args.scale, path=args.csv,
@@ -607,12 +706,60 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-timing", action="store_true",
                      help="skip per-batch wall-time accounting "
                           "(hot-path fast mode)")
+    run.add_argument("--cache-dir", metavar="DIR",
+                     help="disk-backed stage cache: memoized "
+                          "clean→…→annotate prefixes survive "
+                          "restarts (repro.persist.DiskStageCache)")
     run.add_argument("--json", action="store_true",
                      help="emit metrics and mined patterns as JSON")
     run.set_defaults(func=cmd_pipeline_run)
     stages = pipe_sub.add_parser("stages",
                                  help="list registered pipeline stages")
     stages.set_defaults(func=cmd_pipeline_stages)
+
+    snapshot = sub.add_parser(
+        "snapshot",
+        help="build a corpus and persist it to disk (repro.persist)",
+        description="Builds the corpus (synthetic, CSV, or JSONL) "
+                    "and writes a durable session directory: a "
+                    "checksummed snapshot plus an append log for "
+                    "later ingestion.  Recover with 'repro restore'.")
+    snapshot.add_argument("--out", required=True, metavar="DIR",
+                          help="durable session directory to write")
+    snapshot.add_argument("--scale", type=float, default=0.05,
+                          help="synthetic corpus scale in (0, 1] "
+                               "(default: %(default)s)")
+    snapshot.add_argument("--csv", metavar="PATH",
+                          help="build from a detection CSV instead")
+    snapshot.add_argument("--jsonl", metavar="PATH",
+                          help="load trajectories from a JSON-lines "
+                               "archive instead")
+    snapshot.add_argument("--no-fsync", action="store_true",
+                          help="skip fsync on log writes (faster, "
+                               "weaker durability)")
+    snapshot.add_argument("--json", action="store_true",
+                          help="emit the snapshot info as JSON")
+    snapshot.set_defaults(func=cmd_snapshot)
+
+    restore = sub.add_parser(
+        "restore",
+        help="recover a persisted session directory",
+        description="Loads the directory's current snapshot, replays "
+                    "its append log, verifies checksums, and prints "
+                    "the corpus summary (or serves it with --serve).")
+    restore.add_argument("path", metavar="DIR",
+                         help="durable session directory")
+    restore.add_argument("--no-verify", action="store_true",
+                         help="skip checksum verification (faster)")
+    restore.add_argument("--serve", action="store_true",
+                         help="serve the restored corpus over HTTP")
+    restore.add_argument("--host", default="127.0.0.1",
+                         help="bind address for --serve")
+    restore.add_argument("--port", type=int, default=DEFAULT_PORT,
+                         help="TCP port for --serve")
+    restore.add_argument("--json", action="store_true",
+                         help="emit the summary as JSON")
+    restore.set_defaults(func=cmd_restore)
 
     serve = sub.add_parser(
         "serve",
@@ -645,6 +792,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--empty", action="store_true",
                        help="start with no sessions (clients build "
                             "their own)")
+    serve.add_argument("--persist-dir", metavar="DIR",
+                       help="durable session root: restore sessions "
+                            "found there on start, journal builds, "
+                            "auto-checkpoint (repro.persist)")
     serve.add_argument("--verbose", action="store_true",
                        help="log each request line")
     serve.set_defaults(func=cmd_serve)

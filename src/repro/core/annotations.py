@@ -204,7 +204,14 @@ class AnnotationSet:
     # serialisation
     # ------------------------------------------------------------------
     def to_list(self) -> List[Dict]:
-        """Plain-data form for JSON persistence."""
+        """Plain-data form for JSON persistence.
+
+        The order is **deterministic** (sorted by kind, then typed
+        value, then link/source/confidence), not set-iteration order:
+        equal sets serialize to identical bytes in every process,
+        which the wire protocol's byte-identity guarantee and the
+        on-disk snapshot format both build on.
+        """
         return [
             {
                 "kind": a.kind.value,
@@ -213,8 +220,16 @@ class AnnotationSet:
                 "source": a.source,
                 "confidence": a.confidence,
             }
-            for a in self
+            for a in sorted(self._items, key=self._sort_key)
         ]
+
+    @staticmethod
+    def _sort_key(a: SemanticAnnotation) -> Tuple:
+        # type name first: values mix str/int/float/bool, which do
+        # not compare across types
+        return (a.kind.value, type(a.value).__name__, str(a.value),
+                a.link or "", a.source or "",
+                -1.0 if a.confidence is None else a.confidence)
 
     @staticmethod
     def from_list(data: Iterable[Mapping]) -> "AnnotationSet":

@@ -1,0 +1,62 @@
+"""Durable storage: snapshots, the append log, session persistence.
+
+Everything above this package — the trajectory store, the pipeline,
+the multi-session service — is process-local RAM.  ``repro.persist``
+gives the stack durability:
+
+* :mod:`repro.persist.format` — a versioned on-disk **snapshot**
+  format for :class:`~repro.storage.store.TrajectoryStore`: a
+  manifest with per-segment content checksums over columnar record
+  segments (episodes / presence intervals / annotations) plus
+  optionally serialized inverted indexes.  ``save → load`` round-trips
+  byte-identically through the canonical-JSON machinery the wire
+  protocol already uses.
+* :mod:`repro.persist.wal` — an append-only **write-ahead log** so a
+  live session survives a crash: recovery is *snapshot + log replay*,
+  and any valid log prefix recovers the store to its exact document
+  count at that point.
+* :mod:`repro.persist.session` — :class:`DurableSession`, the unit
+  the service layer persists: a directory holding the current
+  snapshot, the log, and an atomically updated ``CURRENT`` pointer.
+  ``checkpoint()`` folds the log back into a fresh snapshot.
+* :mod:`repro.persist.diskcache` — :class:`DiskStageCache`, a
+  directory-backed :class:`~repro.pipeline.cache.StageCache` so
+  cached pipeline rebuilds survive restarts.
+
+See ``docs/persistence.md`` for the format layout and the durability
+guarantees.
+"""
+
+from repro.persist.diskcache import DiskStageCache
+from repro.persist.format import (
+    FORMAT_VERSION,
+    CorruptSnapshotError,
+    PersistError,
+    SnapshotInfo,
+    load_store,
+    read_manifest,
+    save_store,
+)
+from repro.persist.session import (
+    DurableSession,
+    open_workbench,
+    register_space,
+    save_workbench,
+)
+from repro.persist.wal import WriteAheadLog
+
+__all__ = [
+    "FORMAT_VERSION",
+    "CorruptSnapshotError",
+    "DiskStageCache",
+    "DurableSession",
+    "PersistError",
+    "SnapshotInfo",
+    "WriteAheadLog",
+    "load_store",
+    "open_workbench",
+    "read_manifest",
+    "register_space",
+    "save_store",
+    "save_workbench",
+]

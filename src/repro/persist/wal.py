@@ -1,0 +1,247 @@
+"""The append-only write-ahead log.
+
+One log = one file of JSON lines, each line a *record*::
+
+    {"crc": "<sha256[:16] of the payload>", "docs": [...], "seq": N}
+
+where ``docs`` are :meth:`SemanticTrajectory.to_dict
+<repro.core.trajectory.SemanticTrajectory.to_dict>` payloads and
+``seq`` increases strictly monotonically across the log's whole
+lifetime — it never restarts, even across :meth:`reset` — so a
+snapshot can record the highest sequence it folded in (its
+``wal_seq`` watermark) and recovery replays exactly the records past
+it, regardless of crashes between "snapshot written" and "log
+truncated".
+
+Durability and crash tolerance:
+
+* ``append`` writes the full line, flushes, and (by default) fsyncs
+  before returning — an acknowledged append survives a process kill.
+* A torn final write (partial line, bad JSON, checksum mismatch,
+  non-monotonic sequence) marks the *end* of the valid log: replay
+  stops there, and the next ``append`` truncates the garbage tail
+  first.  Every valid prefix of a log is itself a valid log, which is
+  what the crash-recovery property tests exercise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import IO, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.trajectory import SemanticTrajectory
+from repro.persist.format import PersistError
+from repro.service.protocol import canonical_json
+
+
+def _payload_crc(docs: List[dict], seq: int) -> str:
+    raw = canonical_json({"docs": docs, "seq": seq})
+    return hashlib.sha256(raw).hexdigest()[:16]
+
+
+class WriteAheadLog:
+    """An append-only trajectory log with checksummed records.
+
+    Args:
+        path: the log file (created on first append).
+        fsync: fsync after every append (the durability default);
+            ``False`` trades an acknowledged-write guarantee for
+            append throughput.
+        start_seq: lowest sequence number the *next* append may use;
+            the opener passes the current snapshot's watermark + 1 so
+            sequences stay monotonic even when the log file itself
+            was truncated away.
+    """
+
+    def __init__(self, path: str, fsync: bool = True,
+                 start_seq: int = 1) -> None:
+        self.path = path
+        self.fsync = fsync
+        self._sink: Optional[IO[bytes]] = None
+        last_seq, valid_bytes = self._scan()
+        self._next_seq = max(int(start_seq), last_seq + 1)
+        self._valid_bytes = valid_bytes
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def _scan(self) -> Tuple[int, int]:
+        """``(last valid seq, valid byte length)`` of the file."""
+        last_seq = 0
+        valid = 0
+        for seq, _, end in self._iter_raw():
+            last_seq = seq
+            valid = end
+        return last_seq, valid
+
+    def _iter_raw(self) -> Iterator[Tuple[int, List[dict], int]]:
+        """Yield ``(seq, docs, end_offset)`` per valid record.
+
+        Stops silently at the first torn/corrupt/non-monotonic
+        record — the crash-recovery contract — so a truncated tail
+        never poisons the valid prefix before it.
+        """
+        try:
+            source = open(self.path, "rb")
+        except FileNotFoundError:
+            return
+        with source:
+            offset = 0
+            last_seq = 0
+            for line in source:
+                end = offset + len(line)
+                if not line.endswith(b"\n"):
+                    return  # torn final write
+                try:
+                    record = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, ValueError):
+                    return
+                if not isinstance(record, dict):
+                    return
+                seq = record.get("seq")
+                docs = record.get("docs")
+                if not isinstance(seq, int) \
+                        or not isinstance(docs, list) \
+                        or seq <= last_seq:
+                    return
+                if record.get("crc") != _payload_crc(docs, seq):
+                    return
+                yield seq, docs, end
+                last_seq = seq
+                offset = end
+
+    def records(self, after_seq: int = 0
+                ) -> Iterator[Tuple[int, List[SemanticTrajectory]]]:
+        """Valid records with ``seq > after_seq``, oldest first.
+
+        Raises:
+            PersistError: when a *checksum-valid* record fails to
+                decode into trajectories (a format bug, not a torn
+                write — this must not be silently skipped).
+        """
+        for seq, docs, _ in self._iter_raw():
+            if seq <= after_seq:
+                continue
+            try:
+                yield seq, [SemanticTrajectory.from_dict(doc)
+                            for doc in docs]
+            except (KeyError, TypeError, ValueError) as error:
+                raise PersistError(
+                    "undecodable log record seq={}: {}".format(
+                        seq, error))
+
+    def replay_into(self, store, after_seq: int = 0) -> int:
+        """Apply every record past ``after_seq`` to ``store``.
+
+        The store must *not* have this log attached while replaying
+        (it would re-log its own recovery).  Returns the highest
+        sequence applied (``after_seq`` when none were).
+        """
+        last = after_seq
+        for seq, batch in self.records(after_seq):
+            store.extend(batch)
+            last = seq
+        return last
+
+    @property
+    def last_seq(self) -> int:
+        """Highest sequence number allocated so far (0 when none).
+
+        This is the watermark a checkpoint records: every record at
+        or below it is covered by the snapshot being written.
+        """
+        return self._next_seq - 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._iter_raw())
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def _open_sink(self) -> IO[bytes]:
+        if self._sink is None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            sink = open(self.path, "ab")
+            # Drop a torn tail before the first new write, so the
+            # file stays one valid prefix.
+            if sink.tell() > self._valid_bytes:
+                sink.truncate(self._valid_bytes)
+                sink.seek(self._valid_bytes)
+            self._sink = sink
+        return self._sink
+
+    def append(self, trajectories: Sequence[SemanticTrajectory]
+               ) -> int:
+        """Durably append one batch; returns its sequence number.
+
+        Empty batches are not logged (returns :attr:`last_seq`).
+
+        Raises:
+            PersistError: when the write fails.
+        """
+        batch = list(trajectories)
+        if not batch:
+            return self._next_seq - 1
+        seq = self._next_seq
+        docs = [trajectory.to_dict() for trajectory in batch]
+        line = canonical_json({"crc": _payload_crc(docs, seq),
+                               "docs": docs, "seq": seq}) + b"\n"
+        try:
+            sink = self._open_sink()
+            sink.write(line)
+            sink.flush()
+            if self.fsync:
+                os.fsync(sink.fileno())
+        except OSError as error:
+            # The write may have left torn bytes past _valid_bytes
+            # (ENOSPC mid-line, failed fsync).  Close the sink so the
+            # next append reopens and truncates back to the valid
+            # prefix — an unacknowledged record must never shadow a
+            # later acknowledged one.
+            self.close()
+            raise PersistError(
+                "cannot append to log {}: {}".format(self.path, error))
+        self._next_seq = seq + 1
+        self._valid_bytes += len(line)
+        return seq
+
+    def reset(self, next_seq: Optional[int] = None) -> None:
+        """Truncate the log (after its records were folded into a
+        snapshot).
+
+        Sequence numbers keep climbing: the next append uses
+        ``next_seq`` when given, else continues past the highest
+        sequence ever written here.
+        """
+        self.close()
+        try:
+            with open(self.path, "wb"):
+                pass
+        except FileNotFoundError:
+            pass
+        except OSError as error:
+            raise PersistError(
+                "cannot reset log {}: {}".format(self.path, error))
+        self._valid_bytes = 0
+        if next_seq is not None:
+            self._next_seq = max(self._next_seq, int(next_seq))
+
+    def close(self) -> None:
+        """Close the underlying file handle (reopened on demand)."""
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "WriteAheadLog({!r}, next_seq={})".format(
+            self.path, self._next_seq)

@@ -13,7 +13,9 @@ library only.
 * :mod:`repro.service.registry` — :class:`SessionRegistry`, named
   independently-configured datasets with background build jobs over
   the parallel pipeline engine and live
-  :class:`~repro.pipeline.metrics.PipelineMetrics` progress;
+  :class:`~repro.pipeline.metrics.PipelineMetrics` progress; give it
+  a ``persist_dir`` and sessions become durable (journaled builds,
+  auto-checkpoints, restore-on-restart — ``repro.persist``);
 * :mod:`repro.service.executor` — the one implementation of every
   command; :class:`LocalBinding` runs it in-process (this is what
   :class:`~repro.api.Workbench` is sugar over), the server runs the

@@ -19,6 +19,7 @@ unchanged on the other::
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
@@ -27,44 +28,87 @@ from typing import Dict, Iterator, Optional
 
 from repro.service import protocol as P
 
+#: Transport failures a dropped/half-closed connection produces.
+_RETRYABLE_ERRORS = (ConnectionResetError, BrokenPipeError,
+                     http.client.RemoteDisconnected)
+
+
+def _is_retryable(error: BaseException) -> bool:
+    """A transport failure worth one blind retry.
+
+    ``urlopen`` wraps connect-phase failures in ``URLError`` (the
+    original lives in ``.reason``); read-phase failures arrive raw —
+    both shapes are checked.
+    """
+    if isinstance(error, _RETRYABLE_ERRORS):
+        return True
+    reason = getattr(error, "reason", None)
+    return isinstance(reason, _RETRYABLE_ERRORS)
+
 
 class ServiceClient:
     """Typed HTTP access to one service endpoint.
 
+    Idempotent commands (reads, ``SaveSession``/``RestoreSession`` —
+    see :attr:`Command.idempotent
+    <repro.service.protocol.Command.idempotent>`) are retried **once**
+    after a short backoff when the connection is reset or the server
+    disconnects mid-request; mutating commands are never blindly
+    retried (the first attempt may have been applied).
+
     Args:
         url: base URL, e.g. ``http://127.0.0.1:8731``.
         timeout: per-request socket timeout in seconds.
+        retry_backoff: seconds to sleep before the single retry of an
+            idempotent command (0 disables retries).
     """
 
-    def __init__(self, url: str, timeout: float = 30.0) -> None:
+    def __init__(self, url: str, timeout: float = 30.0,
+                 retry_backoff: float = 0.1) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.retry_backoff = retry_backoff
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
-    def call(self, command: P.Command) -> P.Response:
-        """POST one command; typed response or raised error.
-
-        Raises:
-            ServiceError: when the service answers with ``Error`` (any
-                HTTP status — the payload decides).
-            ProtocolError: when the reply is not a protocol object.
-            OSError: on transport failures (connection refused, ...).
-        """
+    def _post(self, payload: bytes) -> tuple:
+        """One ``POST /v1/call``; returns ``(status, body)``."""
         request = urllib.request.Request(
-            self.url + "/v1/call", data=command.to_json(),
+            self.url + "/v1/call", data=payload,
             headers={"Content-Type": "application/json"},
             method="POST")
         try:
             with urllib.request.urlopen(
                     request, timeout=self.timeout) as reply:
-                raw = reply.read()
+                return reply.status, reply.read()
         except urllib.error.HTTPError as error:
-            raw = error.read()
+            return error.code, error.read()
+
+    def call(self, command: P.Command) -> P.Response:
+        """POST one command; typed response or raised error.
+
+        Raises:
+            ServiceError: when the service answers with ``Error`` (any
+                HTTP status — the payload decides); the exception
+                carries the service code *and* the HTTP status.
+            ProtocolError: when the reply is not a protocol object.
+            OSError: on transport failures (connection refused, a
+                reset on a non-idempotent command, ...).
+        """
+        payload = command.to_json()
+        try:
+            status, raw = self._post(payload)
+        except OSError as error:
+            if not (command.idempotent and self.retry_backoff > 0
+                    and _is_retryable(error)):
+                raise
+            time.sleep(self.retry_backoff)
+            status, raw = self._post(payload)
         response = P.response_from_json(raw)
         if isinstance(response, P.ErrorInfo):
-            raise P.ServiceError(response.code, response.message)
+            raise P.ServiceError(response.code, response.message,
+                                 http_status=status)
         return response
 
     def health(self) -> Dict:
@@ -117,6 +161,14 @@ class ServiceClient:
     def drop_session(self, session: str) -> P.Dropped:
         """Remove a session."""
         return self.call(P.DropSession(session=session))
+
+    def save_session(self, session: str) -> P.SessionSaved:
+        """Checkpoint a session to the server's persist directory."""
+        return self.call(P.SaveSession(session=session))
+
+    def restore_session(self, session: str) -> P.SessionInfo:
+        """(Re)load a session from the server's persist directory."""
+        return self.call(P.RestoreSession(session=session))
 
     def run_query(self, session: str, query: Optional[Dict] = None,
                   limit: int = 50, cursor: Optional[str] = None,

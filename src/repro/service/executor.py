@@ -18,7 +18,7 @@ code (``unknown_session``, ``bad_cursor``, ...).
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Sequence, Type
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.mining.corpus import Corpus
 from repro.mining.flow import flow_balances
@@ -167,6 +167,33 @@ def _drop_session(registry: SessionRegistry,
     return P.Dropped(session=command.session)
 
 
+def _keyset_view(results: ResultSet, order_by: str,
+                 descending: bool,
+                 boundary: Optional[Tuple]) -> List:
+    """Explicitly ordered hits strictly past a keyset boundary.
+
+    The sort key is the composite ``(order-key value, doc_id)`` with
+    *both* components following the sort direction, so the boundary —
+    the composite key of the last hit served — splits the ordering
+    into "already seen" and "still to serve" even when many documents
+    share an order-key value.  Documents ingested mid-walk land on
+    whichever side their composite key dictates: nothing already
+    served repeats, nothing still ahead is skipped.
+
+    Raises:
+        TypeError: when the boundary value does not order against
+            the key (a forged or stale cursor).
+    """
+    key_fn = ORDER_KEYS[order_by]
+    composite = lambda hit: (key_fn(hit), hit.doc_id)  # noqa: E731
+    ordered = sorted(results, key=composite, reverse=descending)
+    if boundary is None:
+        return ordered
+    if descending:
+        return [hit for hit in ordered if composite(hit) < boundary]
+    return [hit for hit in ordered if composite(hit) > boundary]
+
+
 def _run_query(registry: SessionRegistry,
                command: P.RunQuery) -> P.Response:
     session = _session(registry, command.session)
@@ -187,20 +214,17 @@ def _run_query(registry: SessionRegistry,
                                      command.descending)
 
     # ``descending`` without an explicit key means newest-first
-    # natural order: honor it as an explicit doc_id sort (offset
-    # cursors), never silently ignore it.
+    # natural order: honor it as an explicit doc_id sort, never
+    # silently ignore it.
     order_by = command.order_by
     if order_by is None and command.descending:
         order_by = "doc_id"
 
     query = _query(session, command.query)
-    results: ResultSet = query.execute()
-    if order_by is not None:
-        results = results.order_by(order_by,
-                                   reverse=command.descending)
 
     offset = command.offset
     last_doc_id: Optional[int] = None
+    boundary: Optional[Tuple] = None
     if command.cursor is not None:
         try:
             token = P.decode_cursor(command.cursor)
@@ -211,16 +235,32 @@ def _run_query(registry: SessionRegistry,
                 "bad_cursor",
                 "cursor belongs to a different query/ordering")
         try:
-            if order_by is not None:
-                offset = int(token.get("o", 0))
-            else:
-                last_doc_id = int(token.get("k", -1))
+            doc_id = int(token.get("k", -1))
         except (TypeError, ValueError):
             raise CommandError("bad_cursor",
                                "cursor position is not an integer")
-        if offset < 0:  # cursors are forgeable base64 — validate
+        if doc_id < 0:  # cursors are forgeable base64 — validate
             raise CommandError("bad_cursor",
                                "cursor position is negative")
+        if order_by is not None:
+            # Keyset cursor: (order-key value, doc id) of the last
+            # hit served.  The value's JSON type must match what the
+            # order key yields — a forged/stale token surfaces as
+            # bad_cursor, not as a TypeError mid-sort.
+            if "okv" not in token:
+                raise CommandError(
+                    "bad_cursor",
+                    "cursor carries no keyset boundary for ordered "
+                    "pagination (offset cursors are no longer "
+                    "issued)")
+            value = token["okv"]
+            if not isinstance(value, (str, int, float)) \
+                    or isinstance(value, bool):
+                raise CommandError(
+                    "bad_cursor", "unorderable cursor boundary")
+            boundary = (value, doc_id)
+        else:
+            last_doc_id = doc_id
 
     if last_doc_id is not None:
         # Resume below the result-set layer: the plan drops candidate
@@ -230,20 +270,35 @@ def _run_query(registry: SessionRegistry,
         view = ResultSet(
             lambda: query.plan().iter_results(
                 start_after=resume_after))
+    elif order_by is not None:
+        try:
+            hits_past = _keyset_view(query.execute(), order_by,
+                                     command.descending, boundary)
+        except TypeError:
+            raise CommandError(
+                "bad_cursor",
+                "cursor boundary does not order against this "
+                "key")
+        view = ResultSet(lambda: iter(hits_past))
+        if offset:
+            view = view.offset(offset)
     elif offset:
-        view = results.offset(offset)
+        view = query.execute().offset(offset)
     else:
-        view = results
+        view = query.execute()
     # Probe one past the page: a full probe means a next page exists.
     window = view.limit(limit + 1).to_list()
     page = window[:limit]
 
     next_cursor: Optional[str] = None
     if len(window) > limit and page:
+        last = page[-1]
         if order_by is not None:
-            token = {"f": fingerprint, "o": offset + limit}
+            token = {"f": fingerprint,
+                     "okv": ORDER_KEYS[order_by](last),
+                     "k": last.doc_id}
         else:
-            token = {"f": fingerprint, "k": page[-1].doc_id}
+            token = {"f": fingerprint, "k": last.doc_id}
         next_cursor = P.encode_cursor(token)
 
     # The total costs a second plan execution when residuals remain,
@@ -303,6 +358,47 @@ def _summary(registry: SessionRegistry,
         stats=corpus_summary(_corpus(session, command.query)))
 
 
+def _save_session(registry: SessionRegistry,
+                  command: P.SaveSession) -> P.Response:
+    import os
+
+    from repro.persist import PersistError
+
+    _session(registry, command.session)  # 404 before 500
+    try:
+        info = registry.save(command.session)
+    except PersistError as error:
+        raise CommandError("persistence", str(error))
+    return P.SessionSaved(
+        session=command.session,
+        snapshot=os.path.basename(info.path),
+        trajectories=info.doc_count,
+        total_bytes=info.total_bytes)
+
+
+def _restore_session(registry: SessionRegistry,
+                     command: P.RestoreSession) -> P.Response:
+    from repro.persist import PersistError
+
+    try:
+        session = registry.restore(command.session)
+    except UnknownSessionError:
+        # A name nobody ever created is the client's mistake (404),
+        # not a storage failure (500).
+        raise CommandError(
+            "unknown_session",
+            "no session named {!r} in memory or on disk".format(
+                command.session))
+    except PersistError as error:
+        raise CommandError("persistence", str(error))
+    space = session.workbench.space
+    return P.SessionInfo(
+        name=session.name,
+        trajectories=len(session.workbench.store),
+        state=session.state,
+        space=type(space).__name__ if space is not None else None)
+
+
 _HANDLERS: Dict[Type[P.Command], Callable] = {
     P.BuildDataset: _build,
     P.JobStatus: _job_status,
@@ -315,6 +411,8 @@ _HANDLERS: Dict[Type[P.Command], Callable] = {
     P.Flow: _flow,
     P.Sequences: _sequences,
     P.Summary: _summary,
+    P.SaveSession: _save_session,
+    P.RestoreSession: _restore_session,
 }
 
 

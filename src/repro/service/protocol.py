@@ -18,8 +18,11 @@ Pagination is cursor-based and *stable*: a cursor for the natural
 document-id order encodes the last id seen, so resuming never skips
 or repeats hits even while a background build appends matching
 trajectories (new documents only ever sort past the boundary).
-Explicitly ordered pages fall back to offset cursors over the sorted
-view.  Cursors carry a fingerprint of ``(query, order)`` and are
+Explicitly ordered pages use **keyset cursors** — the boundary is the
+``(order-key value, doc id)`` pair of the last hit, and a page is
+"everything strictly past the boundary in sort order" — so ordered
+walks neither skip nor repeat a document under concurrent ingestion
+either.  Cursors carry a fingerprint of ``(query, order)`` and are
 rejected when replayed against a different query.
 
 Wire framing (the HTTP server POSTs one JSON object per call)::
@@ -63,12 +66,23 @@ class ServiceError(RuntimeError):
     Attributes:
         code: the machine-matchable error code.
         message: the human-readable detail.
+        http_status: the HTTP status that carried the error, when it
+            travelled over the wire (``None`` in-process) — surfaced
+            in the exception text so a log line alone identifies
+            both the service code and the transport status.
     """
 
-    def __init__(self, code: str, message: str) -> None:
-        super().__init__("{}: {}".format(code, message))
+    def __init__(self, code: str, message: str,
+                 http_status: Optional[int] = None) -> None:
+        if http_status is None:
+            text = "{}: {}".format(code, message)
+        else:
+            text = "{} [HTTP {}]: {}".format(code, http_status,
+                                             message)
+        super().__init__(text)
         self.code = code
         self.message = message
+        self.http_status = http_status
 
 
 def canonical_json(data: object) -> bytes:
@@ -176,9 +190,17 @@ def response_from_json(raw: bytes) -> "Response":
 
 
 class Command(_Message):
-    """Base class of every request message."""
+    """Base class of every request message.
+
+    ``idempotent`` marks commands that are safe to retry blindly on a
+    dropped connection (reads, and persistence operations that
+    converge): the HTTP client retries exactly those once.  Mutating
+    commands (``BuildDataset``, ``DropSession``) stay ``False`` — a
+    retry could double-ingest or mask a real state change.
+    """
 
     _tag = "command"
+    idempotent: bool = False
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
@@ -267,6 +289,7 @@ class JobStatus(Command):
     """Poll a background build job by id."""
 
     kind = "JobStatus"
+    idempotent = True
 
     job_id: str
 
@@ -276,11 +299,17 @@ class ListSessions(Command):
     """Enumerate the registry's sessions."""
 
     kind = "ListSessions"
+    idempotent = True
 
 
 @dataclass(frozen=True)
 class DropSession(Command):
-    """Remove a session (and its store) from the registry."""
+    """Remove a session (and its store) from the registry.
+
+    In a durable registry the session's on-disk home is removed as
+    well — dropping means *gone*, not "resurrected on the next
+    restart with a rebuild appended on top".
+    """
 
     kind = "DropSession"
 
@@ -303,8 +332,10 @@ class RunQuery(Command):
             their position).
         order_by / descending: explicit ordering by a
             :data:`~repro.storage.results.ORDER_KEYS` field name;
-            default is natural document-id order, whose cursors stay
-            stable under concurrent ingestion.
+            default is natural document-id order.  Both orderings
+            paginate with ingestion-stable cursors: natural order
+            resumes past the last doc id, explicit orderings resume
+            past the last ``(order-key, doc id)`` keyset boundary.
         include_total: also count the full result (index-only when
             the plan allows).  Computed on the cursor-less first
             page only — follow-up pages always report ``total:
@@ -313,6 +344,7 @@ class RunQuery(Command):
     """
 
     kind = "RunQuery"
+    idempotent = True
 
     session: str
     query: Optional[Dict] = None
@@ -329,6 +361,7 @@ class Explain(Command):
     """The selectivity-ordered physical plan a query compiles to."""
 
     kind = "Explain"
+    idempotent = True
 
     session: str
     query: Optional[Dict] = None
@@ -339,6 +372,7 @@ class MinePatterns(Command):
     """PrefixSpan sequential patterns over a (queried) corpus."""
 
     kind = "MinePatterns"
+    idempotent = True
 
     session: str
     query: Optional[Dict] = None
@@ -352,6 +386,7 @@ class Similarity(Command):
     corpus."""
 
     kind = "Similarity"
+    idempotent = True
 
     session: str
     query: Optional[Dict] = None
@@ -362,6 +397,7 @@ class Flow(Command):
     """Per-cell flow balances over a (queried) corpus."""
 
     kind = "Flow"
+    idempotent = True
 
     session: str
     query: Optional[Dict] = None
@@ -372,6 +408,7 @@ class Sequences(Command):
     """Distinct state sequences of a (queried) corpus."""
 
     kind = "Sequences"
+    idempotent = True
 
     session: str
     query: Optional[Dict] = None
@@ -382,9 +419,39 @@ class Summary(Command):
     """Section 4.1-style corpus headline numbers."""
 
     kind = "Summary"
+    idempotent = True
 
     session: str
     query: Optional[Dict] = None
+
+
+@dataclass(frozen=True)
+class SaveSession(Command):
+    """Checkpoint a session's corpus to the server's persist
+    directory: write a fresh snapshot and fold the append log into it
+    (``compact``).  Idempotent — re-saving an unchanged session just
+    writes an equivalent snapshot.
+
+    The server chooses the path (its ``persist_dir``); clients never
+    supply filesystem locations over the wire.
+    """
+
+    kind = "SaveSession"
+    idempotent = True
+
+    session: str
+
+
+@dataclass(frozen=True)
+class RestoreSession(Command):
+    """(Re)load a session from the server's persist directory —
+    snapshot plus append-log replay — replacing whatever the registry
+    holds in memory under that name."""
+
+    kind = "RestoreSession"
+    idempotent = True
+
+    session: str
 
 
 # ----------------------------------------------------------------------
@@ -396,7 +463,9 @@ class ErrorInfo(Response):
 
     Codes: ``bad_request``, ``protocol``, ``unknown_session``,
     ``unknown_job``, ``bad_cursor``, ``unserializable``,
-    ``not_found`` (unknown HTTP path), ``internal``.
+    ``not_found`` (unknown HTTP path), ``persistence`` (durable
+    storage failure: no persist dir, unwritable disk, corrupt
+    snapshot), ``internal``.
     """
 
     kind = "Error"
@@ -478,6 +547,25 @@ class Dropped(Response):
     kind = "Dropped"
 
     session: str
+
+
+@dataclass(frozen=True)
+class SessionSaved(Response):
+    """Reply to ``SaveSession``: what the checkpoint wrote.
+
+    Attributes:
+        session: the session that was saved.
+        snapshot: the snapshot generation name (``snapshot-N``).
+        trajectories: documents the snapshot holds.
+        total_bytes: sum of the snapshot's segment sizes.
+    """
+
+    kind = "SessionSaved"
+
+    session: str
+    snapshot: str
+    trajectories: int
+    total_bytes: int
 
 
 @dataclass(frozen=True)

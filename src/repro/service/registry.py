@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import enum
 import itertools
+import os
+import shutil
 import threading
 from typing import Dict, Iterable, List, Optional
 
@@ -109,15 +111,46 @@ class BuildJob:
 
 
 class Session:
-    """One named dataset: a workbench plus build bookkeeping."""
+    """One named dataset: a workbench plus build bookkeeping.
 
-    def __init__(self, name: str, workbench: Workbench) -> None:
+    ``durable`` is the session's on-disk home
+    (:class:`~repro.persist.session.DurableSession`) when the
+    registry has a ``persist_dir`` — builds journal to its log as
+    they stream, and :meth:`checkpoint` folds the log into a fresh
+    snapshot.
+    """
+
+    def __init__(self, name: str, workbench: Workbench,
+                 durable=None) -> None:
         self.name = name
         self.workbench = workbench
+        self.durable = durable
         #: Serializes builds into this session (single writer).
         self.build_lock = threading.Lock()
         self._building = 0
         self._failed = False
+
+    def checkpoint(self):
+        """Fold the session's log into a fresh snapshot.
+
+        Caller must hold :attr:`build_lock` (checkpoint races a
+        concurrent build's log appends otherwise).  Returns the
+        :class:`~repro.persist.format.SnapshotInfo`.
+
+        Raises:
+            PersistError: when the session has no durable home or
+                the disk write fails.
+        """
+        from repro.persist import PersistError
+
+        if self.durable is None:
+            raise PersistError(
+                "session {!r} has no durable home (registry has no "
+                "persist_dir)".format(self.name))
+        space = self.workbench.space
+        return self.durable.checkpoint(
+            self.workbench.store,
+            space=type(space).__name__ if space is not None else None)
 
     @property
     def state(self) -> str:
@@ -141,13 +174,97 @@ MAX_FINISHED_JOBS = 64
 class SessionRegistry:
     """Thread-safe map of session name → :class:`Session` plus the
     build-job table (finished jobs pruned past
-    :data:`MAX_FINISHED_JOBS`)."""
+    :data:`MAX_FINISHED_JOBS`).
 
-    def __init__(self) -> None:
+    With a ``persist_dir`` the registry is **durable**: every session
+    lives in its own subdirectory (snapshot generations + append
+    log), sessions found on disk are restored on construction
+    (snapshot + log replay), new sessions journal their ingestion to
+    the log as it streams, and finished builds auto-checkpoint — so a
+    restarted registry serves the same sessions it held when it died.
+
+    Args:
+        persist_dir: root directory for durable sessions (created
+            lazily); ``None`` keeps the registry process-local.
+        fsync: fsync every log append (the durability default).
+        autosave: checkpoint a session after each successful build
+            (folds the build's log records into a fresh snapshot).
+    """
+
+    def __init__(self, persist_dir: Optional[str] = None,
+                 fsync: bool = True, autosave: bool = True) -> None:
         self._sessions: Dict[str, Session] = {}
         self._jobs: Dict[str, BuildJob] = {}
         self._job_ids = itertools.count(1)
         self._lock = threading.Lock()
+        self.persist_dir = persist_dir
+        self._fsync = fsync
+        self._autosave = autosave
+        #: Session name → error message for persisted sessions that
+        #: failed to restore at construction (corrupt snapshots);
+        #: healthy sessions are served regardless.
+        self.restore_errors: Dict[str, str] = {}
+        if persist_dir is not None:
+            self._restore_all()
+
+    # ------------------------------------------------------------------
+    # durability plumbing
+    # ------------------------------------------------------------------
+    def _durable_for(self, name: str):
+        """The on-disk home of session ``name`` (None when the
+        registry is process-local)."""
+        if self.persist_dir is None:
+            return None
+        from urllib.parse import quote
+
+        from repro.persist import DurableSession
+
+        return DurableSession(
+            os.path.join(self.persist_dir, quote(name, safe="")),
+            fsync=self._fsync)
+
+    def _load_session(self, name: str) -> Session:
+        """Recover one session from disk (no registry lock needed —
+        the caller swaps the result into ``_sessions``)."""
+        from repro.persist.session import revive_space
+
+        durable = self._durable_for(name)
+        store, space_name = durable.open()
+        workbench = Workbench(space=revive_space(space_name),
+                              store=store)
+        return Session(name, workbench, durable=durable)
+
+    def _restore_session(self, name: str) -> Session:
+        """Recover one session from disk (caller holds the lock)."""
+        session = self._load_session(name)
+        self._sessions[name] = session
+        return session
+
+    def _restore_all(self) -> None:
+        from urllib.parse import unquote
+
+        from repro.persist import PersistError
+
+        try:
+            entries = sorted(os.listdir(self.persist_dir))
+        except OSError:
+            return  # nothing persisted yet
+        for entry in entries:
+            if not os.path.isdir(os.path.join(self.persist_dir,
+                                              entry)):
+                continue
+            name = unquote(entry)
+            durable = self._durable_for(name)
+            if durable is None or not durable.exists():
+                continue
+            try:
+                with self._lock:
+                    self._restore_session(name)
+            except PersistError as error:
+                # One rotten session must not take the whole
+                # registry down — record it and keep serving the
+                # healthy ones (the CLI surfaces this map).
+                self.restore_errors[name] = str(error)
 
     # ------------------------------------------------------------------
     # sessions
@@ -157,11 +274,20 @@ class SessionRegistry:
         """The named session, created empty on first use.
 
         An existing session is returned as-is (``space`` ignored).
+        In a durable registry a brand-new session gets its on-disk
+        home immediately: the log is attached before the first
+        ingest, so nothing needs to be rebuilt after a crash.
         """
         with self._lock:
             session = self._sessions.get(name)
             if session is None:
-                session = Session(name, Workbench(space=space))
+                durable = self._durable_for(name)
+                if durable is not None and durable.exists():
+                    return self._restore_session(name)
+                workbench = Workbench(space=space)
+                if durable is not None:
+                    workbench.store.attach_wal(durable.log())
+                session = Session(name, workbench, durable=durable)
                 self._sessions[name] = session
             return session
 
@@ -169,9 +295,67 @@ class SessionRegistry:
         """Register an existing workbench under ``name`` (replacing
         any previous session of that name)."""
         with self._lock:
-            session = Session(name, workbench)
+            session = Session(name, workbench,
+                              durable=self._durable_for(name))
             self._sessions[name] = session
             return session
+
+    def save(self, name: str):
+        """Checkpoint a session to its durable home.
+
+        Serializes against builds (takes the session's writer lock),
+        so a snapshot never misses log records of an in-flight batch.
+        Returns the :class:`~repro.persist.format.SnapshotInfo`.
+
+        Raises:
+            UnknownSessionError: for names never created.
+            PersistError: without a ``persist_dir`` or on disk
+                failure.
+        """
+        session = self.get(name)
+        with session.build_lock:
+            return session.checkpoint()
+
+    def restore(self, name: str) -> Session:
+        """(Re)load a session from disk, replacing the in-memory one.
+
+        Raises:
+            UnknownSessionError: when the name is neither held in
+                memory nor persisted on disk.
+            PersistError: without a ``persist_dir``, or for a session
+                that exists in memory but has nothing persisted.
+            CorruptSnapshotError: when the snapshot fails
+                verification.
+        """
+        from repro.persist import PersistError
+
+        durable = self._durable_for(name)
+        if durable is None:
+            raise PersistError("registry has no persist_dir")
+        with self._lock:
+            previous = self._sessions.get(name)
+        if not durable.exists():
+            if previous is None:
+                raise UnknownSessionError(name)
+            raise PersistError(
+                "nothing persisted for session {!r}".format(name))
+        if previous is not None:
+            # Hold the writer lock across load *and* swap: a build
+            # queued on the old session object stays blocked until
+            # the new session is installed, so it cannot ingest into
+            # the orphaned store in between.
+            with previous.build_lock:
+                previous.workbench.store.detach_wal()
+                if previous.durable is not None:
+                    previous.durable.close()
+                session = self._load_session(name)
+                with self._lock:
+                    self._sessions[name] = session
+                return session
+        session = self._load_session(name)
+        with self._lock:
+            self._sessions[name] = session
+        return session
 
     def get(self, name: str) -> Session:
         """Lookup by name.
@@ -194,7 +378,16 @@ class SessionRegistry:
         with self._lock:
             if name not in self._sessions:
                 raise UnknownSessionError(name)
-            del self._sessions[name]
+            session = self._sessions.pop(name)
+        # Dropping a durable session removes its on-disk home too —
+        # otherwise the next create() (or registry restart) would
+        # silently resurrect the corpus and a follow-up build would
+        # append onto it, doubling the dataset.
+        session.workbench.store.detach_wal()
+        if session.durable is not None:
+            session.durable.close()
+            shutil.rmtree(session.durable.directory,
+                          ignore_errors=True)
 
     def names(self) -> List[str]:
         """Session names, insertion-ordered."""
@@ -256,12 +449,12 @@ class SessionRegistry:
         if source == "csv" and not path:
             raise ValueError("csv source needs a path")
 
-        session = self.create(name)
-        if session.workbench.space is None:
+        initial = self.create(name)
+        if initial.workbench.space is None:
             from repro.louvre.space import LouvreSpace
-            session.workbench.space = LouvreSpace()
+            initial.workbench.space = LouvreSpace()
 
-        def records() -> Iterable:
+        def records(session: Session) -> Iterable:
             if source == "louvre":
                 from repro.pipeline.sources import louvre_source
                 return louvre_source(session.workbench.space,
@@ -270,10 +463,15 @@ class SessionRegistry:
             return csv_source(path)
 
         def target(job: BuildJob) -> None:
+            # Resolve by name at run time: a RestoreSession between
+            # submit and start swaps the Session object, and building
+            # into the stale one would ingest into an orphaned,
+            # un-journaled store.
+            session = self.get(name)
             with session.build_lock:  # single writer per session
                 session._building += 1
                 try:
-                    stream = records()
+                    stream = records(session)
                     pipeline = session.workbench.prepare_build(
                         batch_size=batch_size, streaming=streaming,
                         workers=workers, executor=executor,
@@ -282,6 +480,14 @@ class SessionRegistry:
                     pipeline.run(stream, collect=False)
                     session.workbench.metrics = pipeline.metrics
                     session._failed = False
+                    if self._autosave and session.durable is not None:
+                        # Fold the batches this build journaled into
+                        # a fresh snapshot while we still hold the
+                        # writer lock.  A failure here fails the job
+                        # (the corpus is built but NOT yet compacted
+                        # — the log still has it, so nothing is
+                        # lost).
+                        session.checkpoint()
                 except BaseException:
                     session._failed = True
                     raise

@@ -53,6 +53,7 @@ STATUS_OF_CODE = {
     "not_found": 404,
     "unknown_session": 404,
     "unknown_job": 404,
+    "persistence": 500,
     "internal": 500,
 }
 

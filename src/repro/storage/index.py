@@ -63,3 +63,13 @@ class InvertedIndex:
         """Key → posting-list length (selectivity statistics)."""
         return {key: len(postings)
                 for key, postings in self._postings.items()}
+
+    def postings(self) -> Dict[Hashable, Set[int]]:
+        """Key → copy of its posting set (for serialization)."""
+        return {key: set(postings)
+                for key, postings in self._postings.items()}
+
+    def install(self, postings: Dict[Hashable, Iterable[int]]) -> None:
+        """Replace the contents wholesale (deserialization path)."""
+        self._postings = {key: set(ids)
+                          for key, ids in postings.items()}

@@ -55,17 +55,39 @@ class TrajectoryStore:
         self._interval_index: Optional[IntervalIndex] = None
         self._span: Optional[Tuple[float, float]] = None
         self._lock = ReadWriteLock()
+        self._wal = None
+
+    @classmethod
+    def from_documents(cls, docs: Iterable[SemanticTrajectory],
+                       indexes: Optional[Tuple[Dict, Dict, Dict]]
+                       = None) -> "TrajectoryStore":
+        """A store over already-built documents (the snapshot-load
+        path).
+
+        Args:
+            docs: the corpus, in document-id order.
+            indexes: optional pre-built ``(by_state, by_annotation,
+                by_mo)`` posting maps (key → id set), installed
+                verbatim instead of re-indexing every document.
+        """
+        store = cls()
+        if indexes is None:
+            for trajectory in docs:
+                store._index_one(trajectory)
+        else:
+            store._docs = list(docs)
+            by_state, by_annotation, by_mo = indexes
+            store._by_state.install(by_state)
+            store._by_annotation.install(by_annotation)
+            store._by_mo.install(by_mo)
+        return store
 
     # ------------------------------------------------------------------
     # writes
     # ------------------------------------------------------------------
     def insert(self, trajectory: SemanticTrajectory) -> int:
         """Store a trajectory; returns its document id."""
-        with self._lock.write_locked():
-            doc_id = self._index_one(trajectory)
-            self._interval_index = None  # invalidate; rebuilt lazily
-            self._span = None
-        return doc_id
+        return self.extend([trajectory])[0]
 
     def insert_many(self,
                     trajectories: Iterable[SemanticTrajectory]
@@ -96,6 +118,10 @@ class TrajectoryStore:
         """
         batch = list(trajectories)
         with self._lock.write_locked():
+            if self._wal is not None and batch:
+                # Write-ahead: the batch is durable before it is
+                # visible — a crash after this line replays it.
+                self._wal.append(batch)
             doc_ids = [self._index_one(t) for t in batch]
             if doc_ids:
                 self._interval_index = None  # one invalidation per batch
@@ -103,6 +129,66 @@ class TrajectoryStore:
                 if rebuild_interval:
                     self._build_interval_index()
         return doc_ids
+
+    # ------------------------------------------------------------------
+    # durability (repro.persist)
+    # ------------------------------------------------------------------
+    def attach_wal(self, wal) -> None:
+        """Journal every future insert/extend to a write-ahead log.
+
+        The log (:class:`~repro.persist.wal.WriteAheadLog`) is
+        appended *before* the batch is indexed, under the write lock,
+        so the on-disk record order always matches document-id order.
+        """
+        with self._lock.write_locked():
+            self._wal = wal
+
+    def detach_wal(self):
+        """Stop journaling; returns the previously attached log."""
+        with self._lock.write_locked():
+            wal, self._wal = self._wal, None
+            return wal
+
+    @property
+    def wal(self):
+        """The attached write-ahead log, if any."""
+        return self._wal
+
+    def snapshot_state(self) -> Tuple[List[SemanticTrajectory],
+                                      Dict, Dict, Dict]:
+        """One consistent ``(docs, by_state, by_annotation, by_mo)``
+        capture for the snapshot writer — taken under the read lock,
+        so a concurrent build cannot tear it."""
+        with self._lock.read_locked():
+            return (list(self._docs), self._by_state.postings(),
+                    self._by_annotation.postings(),
+                    self._by_mo.postings())
+
+    def save(self, path: str, include_indexes: bool = True,
+             space: Optional[str] = None):
+        """Write a verified on-disk snapshot of this store.
+
+        Sugar over :func:`repro.persist.format.save_store`; see
+        ``docs/persistence.md``.
+        """
+        from repro.persist.format import save_store
+
+        return save_store(self, path, include_indexes=include_indexes,
+                          space=space)
+
+    @classmethod
+    def load(cls, path: str, use_indexes: bool = True,
+             verify: bool = True) -> "TrajectoryStore":
+        """Reconstruct a store from a snapshot directory.
+
+        Sugar over :func:`repro.persist.format.load_store` (which
+        also returns the manifest metadata, when needed).
+        """
+        from repro.persist.format import load_store
+
+        store, _ = load_store(path, use_indexes=use_indexes,
+                              verify=verify)
+        return store
 
     def _index_one(self, trajectory: SemanticTrajectory) -> int:
         """Append one trajectory and update every inverted index."""

@@ -1,0 +1,178 @@
+"""Snapshot format: round-trip identity and corruption rejection."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.annotations import AnnotationSet, SemanticAnnotation
+from repro.persist.format import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    SEGMENT_ANNOTATIONS,
+    SEGMENT_INDEXES,
+    SEGMENT_INTERVALS,
+    CorruptSnapshotError,
+    load_store,
+    read_manifest,
+    save_store,
+)
+from repro.service.protocol import canonical_json
+from repro.storage.store import TrajectoryStore
+from tests.conftest import make_trajectory
+
+
+def corpus_store(count: int = 8) -> TrajectoryStore:
+    store = TrajectoryStore()
+    for i in range(count):
+        store.insert(make_trajectory(
+            mo_id="mo-{}".format(i),
+            states=("a", "b", "c")[: 1 + i % 3],
+            start=1000.0 + 37.0 * i,
+            annotations=AnnotationSet.of(
+                SemanticAnnotation.goal("visit"),
+                SemanticAnnotation.activity(
+                    "walk", confidence=0.5 + (i % 3) / 10.0))))
+    return store
+
+
+def store_bytes(store) -> bytes:
+    return canonical_json([t.to_dict() for t in store])
+
+
+class TestRoundTrip:
+    def test_byte_identical(self, tmp_path):
+        store = corpus_store()
+        save_store(store, str(tmp_path / "snap"))
+        loaded, info = load_store(str(tmp_path / "snap"))
+        assert store_bytes(loaded) == store_bytes(store)
+        assert info.doc_count == len(store) == len(loaded)
+
+    def test_indexes_installed_match_rebuilt(self, tmp_path):
+        store = corpus_store()
+        save_store(store, str(tmp_path / "snap"))
+        with_idx, _ = load_store(str(tmp_path / "snap"),
+                                 use_indexes=True)
+        rebuilt, _ = load_store(str(tmp_path / "snap"),
+                                use_indexes=False)
+        assert with_idx.state_cardinalities() \
+            == rebuilt.state_cardinalities() \
+            == store.state_cardinalities()
+        assert with_idx.annotation_cardinalities() \
+            == store.annotation_cardinalities()
+        assert with_idx.moving_objects() == store.moving_objects()
+
+    def test_snapshot_without_indexes_loads(self, tmp_path):
+        store = corpus_store()
+        save_store(store, str(tmp_path / "snap"),
+                   include_indexes=False)
+        assert not (tmp_path / "snap" / SEGMENT_INDEXES).exists()
+        loaded, _ = load_store(str(tmp_path / "snap"))
+        assert store_bytes(loaded) == store_bytes(store)
+        assert loaded.state_cardinalities() \
+            == store.state_cardinalities()
+
+    def test_empty_store(self, tmp_path):
+        save_store(TrajectoryStore(), str(tmp_path / "snap"))
+        loaded, info = load_store(str(tmp_path / "snap"))
+        assert len(loaded) == 0 and info.doc_count == 0
+
+    def test_identical_store_identical_segments(self, tmp_path):
+        store = corpus_store()
+        save_store(store, str(tmp_path / "one"))
+        save_store(store, str(tmp_path / "two"))
+        for name in os.listdir(tmp_path / "one"):
+            if name == MANIFEST_NAME:
+                continue  # carries no content, ordering may differ
+            assert (tmp_path / "one" / name).read_bytes() \
+                == (tmp_path / "two" / name).read_bytes(), name
+
+    def test_space_and_wal_seq_recorded(self, tmp_path):
+        info = save_store(corpus_store(), str(tmp_path / "snap"),
+                          space="LouvreSpace", wal_seq=17)
+        assert info.space == "LouvreSpace" and info.wal_seq == 17
+        _, loaded_info = load_store(str(tmp_path / "snap"))
+        assert loaded_info.space == "LouvreSpace"
+        assert loaded_info.wal_seq == 17
+
+    def test_queries_identical_after_reload(self, tmp_path,
+                                            small_trajectories):
+        store = TrajectoryStore()
+        store.extend(small_trajectories)
+        save_store(store, str(tmp_path / "snap"))
+        loaded, _ = load_store(str(tmp_path / "snap"))
+        state = next(iter(store.state_cardinalities()))
+        assert loaded.ids_visiting_state(state) \
+            == store.ids_visiting_state(state)
+        span = store.time_span()
+        assert loaded.time_span() == span
+        assert loaded.ids_active_between(span[0], span[0] + 600) \
+            == store.ids_active_between(span[0], span[0] + 600)
+
+
+class TestCorruptionRejected:
+    @pytest.fixture()
+    def snapshot(self, tmp_path):
+        save_store(corpus_store(), str(tmp_path / "snap"),
+                   space="LouvreSpace")
+        return tmp_path / "snap"
+
+    def test_manifest_bit_flip(self, snapshot):
+        path = snapshot / MANIFEST_NAME
+        raw = bytearray(path.read_bytes())
+        # flip a digit inside the doc_count value
+        text = raw.decode()
+        mutated = text.replace('"doc_count":8', '"doc_count":9')
+        assert mutated != text
+        path.write_bytes(mutated.encode())
+        with pytest.raises(CorruptSnapshotError,
+                           match="self-checksum"):
+            load_store(str(snapshot))
+
+    def test_manifest_not_json(self, snapshot):
+        (snapshot / MANIFEST_NAME).write_bytes(b"\x00garbage")
+        with pytest.raises(CorruptSnapshotError):
+            read_manifest(str(snapshot))
+
+    def test_missing_manifest(self, snapshot):
+        os.unlink(snapshot / MANIFEST_NAME)
+        with pytest.raises(CorruptSnapshotError, match="unreadable"):
+            load_store(str(snapshot))
+
+    def test_truncated_segment(self, snapshot):
+        path = snapshot / SEGMENT_INTERVALS
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CorruptSnapshotError, match="truncated"):
+            load_store(str(snapshot))
+
+    def test_segment_bit_flip_same_length(self, snapshot):
+        path = snapshot / SEGMENT_ANNOTATIONS
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CorruptSnapshotError, match="checksum"):
+            load_store(str(snapshot))
+
+    def test_unsupported_version(self, snapshot):
+        path = snapshot / MANIFEST_NAME
+        manifest = json.loads(path.read_bytes())
+        manifest["version"] = FORMAT_VERSION + 1
+        path.write_bytes(canonical_json(manifest))
+        with pytest.raises(CorruptSnapshotError,
+                           match="unsupported snapshot version"):
+            load_store(str(snapshot))
+
+    def test_verify_false_skips_checksums(self, snapshot):
+        # same-length bit flip inside a *numeric* column would decode;
+        # verify=False documents the trade-off (still structurally
+        # validated, not content-validated).
+        store, _ = load_store(str(snapshot), verify=False)
+        assert len(store) == 8
+
+    def test_missing_segment_file(self, snapshot):
+        os.unlink(snapshot / SEGMENT_INTERVALS)
+        with pytest.raises(CorruptSnapshotError, match="unreadable"):
+            load_store(str(snapshot))

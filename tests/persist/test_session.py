@@ -1,0 +1,163 @@
+"""DurableSession and the Workbench save/open sugar."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.api import Workbench
+from repro.persist import (
+    DurableSession,
+    PersistError,
+    open_workbench,
+    register_space,
+)
+from repro.persist.session import revive_space
+from repro.persist.wal import WriteAheadLog
+from repro.service.protocol import canonical_json
+from repro.storage.store import TrajectoryStore
+from tests.conftest import make_trajectory
+
+
+def docs(count, offset=0):
+    return [make_trajectory(mo_id="mo-{}".format(offset + i),
+                            start=1000.0 + 13.0 * (offset + i))
+            for i in range(count)]
+
+
+def store_bytes(store):
+    return canonical_json([t.to_dict() for t in store])
+
+
+class TestDurableSession:
+    def test_checkpoint_open_round_trip(self, tmp_path):
+        store = TrajectoryStore()
+        store.extend(docs(5))
+        session = DurableSession(str(tmp_path / "s"))
+        session.checkpoint(store, space="LouvreSpace")
+        session.close()
+
+        reopened, space = DurableSession(str(tmp_path / "s")).open()
+        assert space == "LouvreSpace"
+        assert store_bytes(reopened) == store_bytes(store)
+        assert reopened.wal is not None  # journaled from here on
+
+    def test_open_replays_log_past_snapshot(self, tmp_path):
+        session = DurableSession(str(tmp_path / "s"))
+        store = TrajectoryStore()
+        store.attach_wal(session.log())
+        store.extend(docs(3))
+        session.checkpoint(store)
+        store.extend(docs(2, offset=3))  # journaled, not snapshotted
+        session.close()
+
+        recovered, _ = DurableSession(str(tmp_path / "s")).open()
+        assert store_bytes(recovered) == store_bytes(store)
+
+    def test_open_without_snapshot_recovers_from_log_alone(
+            self, tmp_path):
+        # a session that crashed before its first checkpoint
+        session = DurableSession(str(tmp_path / "s"))
+        store = TrajectoryStore()
+        store.attach_wal(session.log())
+        store.extend(docs(4))
+        session.close()
+
+        recovered, space = DurableSession(str(tmp_path / "s")).open()
+        assert space is None
+        assert store_bytes(recovered) == store_bytes(store)
+
+    def test_crash_between_current_flip_and_log_reset(self, tmp_path):
+        """Replay filters on the watermark, so records the snapshot
+        already folded in are never applied twice."""
+        directory = str(tmp_path / "s")
+        session = DurableSession(directory)
+        store = TrajectoryStore()
+        store.attach_wal(session.log())
+        store.extend(docs(3))
+        session.checkpoint(store)
+        store.extend(docs(2, offset=3))
+        session.close()
+
+        # simulate the crash: re-append the pre-checkpoint records to
+        # the log as if reset() had never truncated them
+        log_path = os.path.join(directory, "wal.log")
+        live = open(log_path, "rb").read()
+        stale = WriteAheadLog(os.path.join(str(tmp_path), "ghost.log"))
+        stale.append(docs(3))  # seq 1, same as the folded record
+        stale.close()
+        ghost = open(stale.path, "rb").read()
+        with open(log_path, "wb") as sink:
+            sink.write(ghost + live)
+
+        recovered, _ = DurableSession(directory).open()
+        assert len(recovered) == 5  # not 8: seq 1 is below watermark
+
+    def test_checkpoint_prunes_old_generations(self, tmp_path):
+        store = TrajectoryStore()
+        store.extend(docs(2))
+        session = DurableSession(str(tmp_path / "s"),
+                                 keep_snapshots=2)
+        for _ in range(4):
+            session.checkpoint(store)
+        names = [name for name in os.listdir(str(tmp_path / "s"))
+                 if name.startswith("snapshot-")]
+        assert sorted(names) == ["snapshot-000003",
+                                 "snapshot-000004"]
+
+    def test_exists(self, tmp_path):
+        session = DurableSession(str(tmp_path / "s"))
+        assert not session.exists()
+        session.checkpoint(TrajectoryStore())
+        assert session.exists()
+
+
+class TestWorkbenchSugar:
+    def test_save_open_round_trip(self, tmp_path,
+                                  small_trajectories):
+        workbench = Workbench.from_trajectories(small_trajectories)
+        info = workbench.save(str(tmp_path / "wb"))
+        assert info.doc_count == len(workbench.store)
+
+        reopened = Workbench.open(str(tmp_path / "wb"))
+        assert store_bytes(reopened.store) \
+            == store_bytes(workbench.store)
+        # mining outputs byte-identical too
+        assert canonical_json(reopened.summary()) \
+            == canonical_json(workbench.summary())
+        assert canonical_json([p.to_dict() for p in
+                               reopened.patterns(min_support=0.2)]) \
+            == canonical_json([p.to_dict() for p in
+                               workbench.patterns(min_support=0.2)])
+
+    def test_saved_workbench_journals_afterwards(self, tmp_path):
+        workbench = Workbench.from_trajectories(docs(3))
+        workbench.save(str(tmp_path / "wb"))
+        workbench.store.extend(docs(2, offset=3))  # post-save ingest
+
+        reopened = Workbench.open(str(tmp_path / "wb"))
+        assert len(reopened.store) == 5
+
+    def test_open_missing_dir_raises(self, tmp_path):
+        with pytest.raises(PersistError, match="no persisted"):
+            Workbench.open(str(tmp_path / "nothing"))
+
+    def test_space_revival(self, tmp_path):
+        workbench = Workbench.louvre(scale=0.01)
+        workbench.save(str(tmp_path / "wb"))
+        reopened = Workbench.open(str(tmp_path / "wb"))
+        assert type(reopened.space).__name__ == "LouvreSpace"
+
+
+class TestSpaceRegistry:
+    def test_registered_factory_wins(self):
+        class FakeSpace:
+            pass
+
+        register_space("FakeSpace", FakeSpace)
+        assert isinstance(revive_space("FakeSpace"), FakeSpace)
+
+    def test_unknown_space_is_none(self):
+        assert revive_space("NoSuchSpace") is None
+        assert revive_space(None) is None

@@ -1,0 +1,177 @@
+"""Write-ahead log: append/replay, torn tails, sequence monotony."""
+
+from __future__ import annotations
+
+import json
+
+from repro.persist.wal import WriteAheadLog
+from repro.service.protocol import canonical_json
+from repro.storage.store import TrajectoryStore
+from tests.conftest import make_trajectory
+
+
+def docs(count, offset=0):
+    return [make_trajectory(mo_id="mo-{}".format(offset + i),
+                            start=1000.0 + 13.0 * (offset + i))
+            for i in range(count)]
+
+
+def store_bytes(store):
+    return canonical_json([t.to_dict() for t in store])
+
+
+class TestAppendReplay:
+    def test_round_trip(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        batch_a, batch_b = docs(3), docs(2, offset=3)
+        assert wal.append(batch_a) == 1
+        assert wal.append(batch_b) == 2
+        store = TrajectoryStore()
+        assert wal.replay_into(store) == 2
+        reference = TrajectoryStore()
+        reference.extend(batch_a + batch_b)
+        assert store_bytes(store) == store_bytes(reference)
+
+    def test_empty_batch_not_logged(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        wal.append([])
+        assert wal.last_seq == 0
+        assert len(wal) == 0
+
+    def test_reopen_continues_sequence(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append(docs(1))
+        wal.close()
+        again = WriteAheadLog(path)
+        assert again.append(docs(1, offset=1)) == 2
+        assert [seq for seq, _ in again.records()] == [1, 2]
+
+    def test_after_seq_filter(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        for i in range(4):
+            wal.append(docs(1, offset=i))
+        assert [seq for seq, _ in wal.records(after_seq=2)] == [3, 4]
+        store = TrajectoryStore()
+        wal.replay_into(store, after_seq=2)
+        assert len(store) == 2
+
+    def test_store_attachment_journals_writes(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        store = TrajectoryStore()
+        store.attach_wal(wal)
+        store.insert(make_trajectory(mo_id="one"))
+        store.extend(docs(2, offset=1))
+        recovered = TrajectoryStore()
+        WriteAheadLog(str(tmp_path / "wal.log")).replay_into(recovered)
+        assert store_bytes(recovered) == store_bytes(store)
+        assert store.detach_wal() is wal
+        store.insert(make_trajectory(mo_id="untracked"))
+        assert len(wal) == 2  # nothing logged after detach
+
+
+class TestCrashTolerance:
+    def test_torn_tail_is_ignored(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(str(path))
+        wal.append(docs(2))
+        wal.append(docs(2, offset=2))
+        wal.close()
+        raw = path.read_bytes()
+        first_line_end = raw.index(b"\n") + 1
+        # cut mid-way through the second record
+        path.write_bytes(raw[: first_line_end + 25])
+        reopened = WriteAheadLog(str(path))
+        assert [seq for seq, _ in reopened.records()] == [1]
+
+    def test_append_after_torn_tail_truncates_it(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(str(path))
+        wal.append(docs(1))
+        wal.close()
+        raw = path.read_bytes()
+        path.write_bytes(raw + b'{"seq": 2, "docs": [')  # torn write
+        reopened = WriteAheadLog(str(path))
+        assert reopened.append(docs(1, offset=1)) == 2
+        assert [seq for seq, _ in reopened.records()] == [1, 2]
+        # the file itself is one valid prefix again
+        for line in path.read_bytes().splitlines():
+            json.loads(line)
+
+    def test_checksum_mismatch_ends_valid_prefix(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(str(path))
+        wal.append(docs(1))
+        wal.append(docs(1, offset=1))
+        wal.close()
+        lines = path.read_bytes().splitlines(keepends=True)
+        tampered = lines[1].replace(b'"mo-1"', b'"mo-X"', 1)
+        path.write_bytes(lines[0] + tampered)
+        assert [seq for seq, _ in
+                WriteAheadLog(str(path)).records()] == [1]
+
+    def test_non_monotonic_seq_rejected(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(str(path))
+        wal.append(docs(1))
+        wal.close()
+        raw = path.read_bytes()
+        path.write_bytes(raw + raw)  # replayed duplicate of seq 1
+        assert [seq for seq, _ in
+                WriteAheadLog(str(path)).records()] == [1]
+
+
+class TestFailedAppend:
+    def test_failed_fsync_does_not_shadow_later_appends(
+            self, tmp_path, monkeypatch):
+        """A failed append may leave bytes on disk, but the next
+        successful append must truncate them — an unacknowledged
+        record never hides an acknowledged one from replay."""
+        import os as os_module
+
+        from repro.persist.format import PersistError as PErr
+
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, fsync=True)
+        wal.append(docs(1))
+
+        real_fsync = os_module.fsync
+
+        def exploding_fsync(fd):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.persist.wal.os.fsync",
+                            exploding_fsync)
+        try:
+            wal.append(docs(1, offset=1))
+        except PErr:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("append should have failed")
+        monkeypatch.setattr("repro.persist.wal.os.fsync", real_fsync)
+
+        assert wal.append(docs(1, offset=2)) == 2
+        replayed = [seq for seq, _ in
+                    WriteAheadLog(path).records()]
+        assert replayed == [1, 2]
+        store = TrajectoryStore()
+        WriteAheadLog(path).replay_into(store)
+        assert [t.mo_id for t in store] == ["mo-0", "mo-2"]
+
+
+class TestReset:
+    def test_reset_truncates_but_sequence_climbs(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append(docs(1))
+        wal.append(docs(1, offset=1))
+        wal.reset()
+        assert len(wal) == 0
+        assert wal.append(docs(1, offset=2)) == 3
+
+    def test_start_seq_floor_survives_truncation(self, tmp_path):
+        # A checkpointed session whose log was truncated must not
+        # reuse sequence numbers at or below the snapshot watermark.
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, start_seq=11)
+        assert wal.append(docs(1)) == 11

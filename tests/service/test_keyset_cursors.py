@@ -1,0 +1,161 @@
+"""Ordered pagination: keyset cursors under concurrent ingestion.
+
+Offset cursors were only stable for quiescent sessions (documented in
+``docs/service.md`` before this change): an ingest between two pages
+shifted the sorted view under the walker, repeating or skipping hits.
+Keyset cursors encode the last hit's ``(order-key value, doc id)``
+and resume strictly past that boundary, so every document present at
+walk start is served exactly once regardless of concurrent appends.
+"""
+
+import pytest
+
+from repro.service import protocol as P
+from repro.service.client import ServiceError
+from repro.service.executor import LocalBinding
+from repro.service.registry import SessionRegistry
+
+SESSION = "keyset"
+
+
+@pytest.fixture()
+def binding():
+    binding = LocalBinding(SessionRegistry())
+    binding.call(P.BuildDataset(session=SESSION, scale=0.02,
+                                wait=True))
+    return binding
+
+
+def walk(binding, order_by, descending=False, limit=3,
+         session=SESSION, grow_after=None):
+    """Full cursor walk; optionally ingest after the first page."""
+    pages = 0
+    seen = []
+    cursor = None
+    while True:
+        page = binding.call(P.RunQuery(
+            session=session, limit=limit, cursor=cursor,
+            order_by=order_by, descending=descending,
+            include_total=False))
+        seen.extend(page.hits)
+        pages += 1
+        if pages == 1 and grow_after is not None:
+            grow_after()
+        if page.next_cursor is None:
+            return seen
+        cursor = page.next_cursor
+
+
+def store_of(binding, session=SESSION):
+    return binding.registry.get(session).workbench.store
+
+
+class TestQuiescentOrderings:
+    @pytest.mark.parametrize("order_by", ["duration", "mo_id",
+                                          "t_start", "entries",
+                                          "doc_id"])
+    def test_walk_matches_full_sort(self, binding, order_by):
+        from repro.storage.results import ORDER_KEYS
+        from repro.storage.store import StoredTrajectory
+
+        hits = walk(binding, order_by)
+        store = store_of(binding)
+        expected = sorted(
+            (StoredTrajectory(i, store.get(i))
+             for i in range(len(store))),
+            key=lambda h: (ORDER_KEYS[order_by](h), h.doc_id))
+        assert [h.doc_id for h in hits] \
+            == [h.doc_id for h in expected]
+
+    def test_descending_walk(self, binding):
+        hits = walk(binding, "duration", descending=True)
+        durations = [h.trajectory.duration for h in hits]
+        assert durations == sorted(durations, reverse=True)
+        assert len({h.doc_id for h in hits}) == len(hits)
+
+    def test_ties_break_on_doc_id(self, binding):
+        # every document matches; entries has heavy ties
+        hits = walk(binding, "entries", limit=2)
+        composite = [(len(h.trajectory.trace), h.doc_id)
+                     for h in hits]
+        assert composite == sorted(composite)
+
+
+class TestConcurrentIngestion:
+    def test_no_repeat_no_skip_of_initial_documents(self, binding):
+        """Every document present at walk start appears exactly once,
+        even though an ingest doubled the corpus after page one."""
+        initial = len(store_of(binding))
+
+        def grow():
+            binding.call(P.BuildDataset(session=SESSION, scale=0.02,
+                                        wait=True))
+
+        hits = walk(binding, "duration", limit=2, grow_after=grow)
+        doc_ids = [h.doc_id for h in hits]
+        assert len(set(doc_ids)) == len(doc_ids), "repeated a hit"
+        missing = set(range(initial)) - set(doc_ids)
+        assert not missing, "skipped pre-existing documents"
+
+    def test_late_documents_follow_global_order(self, binding):
+        """Whatever the walk serves is ordered — newly ingested
+        documents may join, but only in their sorted place past the
+        boundary."""
+        def grow():
+            binding.call(P.BuildDataset(session=SESSION, scale=0.01,
+                                        wait=True))
+
+        hits = walk(binding, "duration", limit=2, grow_after=grow)
+        composite = [(h.trajectory.duration, h.doc_id) for h in hits]
+        assert composite == sorted(composite)
+
+
+class TestCursorValidation:
+    def first_cursor(self, binding, **kwargs):
+        page = binding.call(P.RunQuery(session=SESSION, limit=2,
+                                       include_total=False, **kwargs))
+        assert page.next_cursor is not None
+        return page.next_cursor
+
+    def test_cursor_carries_keyset_boundary(self, binding):
+        token = P.decode_cursor(
+            self.first_cursor(binding, order_by="duration"))
+        assert "okv" in token and "k" in token
+
+    def test_legacy_offset_cursor_rejected(self, binding):
+        fingerprint = P.page_fingerprint(None, "duration", False)
+        legacy = P.encode_cursor({"f": fingerprint, "o": 2, "k": 1})
+        with pytest.raises(ServiceError) as excinfo:
+            binding.call(P.RunQuery(session=SESSION, limit=2,
+                                    order_by="duration",
+                                    cursor=legacy))
+        assert excinfo.value.code == "bad_cursor"
+
+    def test_unorderable_boundary_rejected(self, binding):
+        fingerprint = P.page_fingerprint(None, "duration", False)
+        forged = P.encode_cursor({"f": fingerprint,
+                                  "okv": [1, 2], "k": 1})
+        with pytest.raises(ServiceError) as excinfo:
+            binding.call(P.RunQuery(session=SESSION, limit=2,
+                                    order_by="duration",
+                                    cursor=forged))
+        assert excinfo.value.code == "bad_cursor"
+
+    def test_type_mismatched_boundary_rejected(self, binding):
+        # a str boundary against a float key must be bad_cursor, not
+        # an internal TypeError
+        fingerprint = P.page_fingerprint(None, "duration", False)
+        forged = P.encode_cursor({"f": fingerprint,
+                                  "okv": "not-a-duration", "k": 1})
+        with pytest.raises(ServiceError) as excinfo:
+            binding.call(P.RunQuery(session=SESSION, limit=2,
+                                    order_by="duration",
+                                    cursor=forged))
+        assert excinfo.value.code == "bad_cursor"
+
+    def test_cursor_bound_to_ordering(self, binding):
+        cursor = self.first_cursor(binding, order_by="duration")
+        with pytest.raises(ServiceError) as excinfo:
+            binding.call(P.RunQuery(session=SESSION, limit=2,
+                                    order_by="mo_id", cursor=cursor))
+        assert excinfo.value.code == "bad_cursor"

@@ -85,6 +85,8 @@ COMMAND_STRATEGIES = {
     P.Sequences: st.builds(P.Sequences, session=names,
                            query=query_dicts),
     P.Summary: st.builds(P.Summary, session=names, query=query_dicts),
+    P.SaveSession: st.builds(P.SaveSession, session=names),
+    P.RestoreSession: st.builds(P.RestoreSession, session=names),
 }
 
 RESPONSE_STRATEGIES = {
@@ -107,6 +109,11 @@ RESPONSE_STRATEGIES = {
             P.SessionInfo, name=names, trajectories=counts,
             state=st.just("ready"), space=st.none()), max_size=3)),
     P.Dropped: st.builds(P.Dropped, session=names),
+    P.SessionSaved: st.builds(
+        P.SessionSaved, session=names,
+        snapshot=st.sampled_from(["snapshot-000001",
+                                  "snapshot-000042"]),
+        trajectories=counts, total_bytes=counts),
     P.Hit: hits(),
     P.QueryPage: st.builds(
         P.QueryPage, hits=st.lists(hits(), max_size=3),

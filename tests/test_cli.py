@@ -192,3 +192,79 @@ class TestPipelineCommands:
         assert out.count("jsonl-sink") == 2  # chain line + table row
         from repro.storage import read_trajectories_jsonl
         assert read_trajectories_jsonl(out_path)
+
+
+class TestSnapshotRestore:
+    def test_snapshot_then_restore(self, tmp_path, capsys):
+        directory = str(tmp_path / "corpus")
+        assert main(["snapshot", "--scale", "0.01",
+                     "--out", directory]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot:" in out and directory in out
+
+        assert main(["restore", directory]) == 0
+        out = capsys.readouterr().out
+        assert "restored:" in out
+        assert "LouvreSpace" in out
+        assert "visits" in out
+
+    def test_snapshot_json_round_trip(self, tmp_path, capsys):
+        import json as json_module
+
+        directory = str(tmp_path / "corpus")
+        assert main(["snapshot", "--scale", "0.01",
+                     "--out", directory, "--json"]) == 0
+        saved = json_module.loads(capsys.readouterr().out)
+        assert saved["trajectories"] > 0
+
+        assert main(["restore", directory, "--json"]) == 0
+        restored = json_module.loads(capsys.readouterr().out)
+        assert restored["trajectories"] == saved["trajectories"]
+        assert restored["space"] == "LouvreSpace"
+        assert restored["summary"]["visits"] == saved["trajectories"]
+
+    def test_snapshot_from_jsonl(self, tmp_path, capsys):
+        jsonl_path = str(tmp_path / "t.jsonl")
+        assert main(["pipeline", "run", "--scale", "0.01",
+                     "--streaming", "--out", jsonl_path]) == 0
+        capsys.readouterr()
+        directory = str(tmp_path / "corpus")
+        assert main(["snapshot", "--jsonl", jsonl_path,
+                     "--out", directory]) == 0
+        capsys.readouterr()
+        assert main(["restore", directory]) == 0
+        assert "restored:" in capsys.readouterr().out
+
+    def test_restore_missing_dir_fails(self, tmp_path, capsys):
+        assert main(["restore", str(tmp_path / "nothing")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_restore_corrupt_snapshot_fails(self, tmp_path, capsys):
+        import os as os_module
+
+        directory = str(tmp_path / "corpus")
+        assert main(["snapshot", "--scale", "0.01",
+                     "--out", directory]) == 0
+        capsys.readouterr()
+        current = open(os_module.path.join(directory,
+                                           "CURRENT")).read().strip()
+        manifest = os_module.path.join(directory, current,
+                                       "MANIFEST.json")
+        raw = bytearray(open(manifest, "rb").read())
+        raw[len(raw) // 2] ^= 0x01
+        open(manifest, "wb").write(bytes(raw))
+        assert main(["restore", directory]) == 1
+        assert "corrupt" in capsys.readouterr().err
+
+    def test_pipeline_run_cache_dir(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["pipeline", "run", "--scale", "0.01",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        import os as os_module
+        assert [name for name in os_module.listdir(cache_dir)
+                if name.endswith(".json")]
+        # second run replays the persisted prefix
+        assert main(["pipeline", "run", "--scale", "0.01",
+                     "--cache-dir", cache_dir]) == 0
+        assert "annotate" in capsys.readouterr().out
