@@ -13,6 +13,12 @@ it measures
   ratio — the price of durability-as-you-stream);
 * ``wal_replay`` — crash-recovery speed (records/s through
   ``replay_into``);
+* ``wal_group_commit`` — concurrent durable ingest: 8 appender
+  threads sharing write+fsync groups vs the same work serialized one
+  fsync per append, plus the achieved coalescing ratio
+  (``appends / group_flushes``) and the cost relative to the
+  fsync-free log (the acceptance bar: group-committed durable ingest
+  within 1.5x of nofsync);
 * ``disk_cache`` — cold pipeline build vs a warm rebuild through a
   *fresh* :class:`~repro.persist.DiskStageCache` instance over the
   same directory (the restart scenario the cache exists for).
@@ -29,6 +35,7 @@ import os
 import shutil
 import sys
 import tempfile
+import threading
 import time
 from typing import Dict, List
 
@@ -126,6 +133,68 @@ def bench_wal(trajectories, base: str,
     }
 
 
+def bench_group_commit(trajectories, base: str, writers: int = 8,
+                       batch_size: int = 16) -> Dict[str, Dict]:
+    batches = [trajectories[i:i + batch_size]
+               for i in range(0, len(trajectories), batch_size)]
+
+    def concurrent_ingest(path: str, fsync: bool):
+        wal = WriteAheadLog(path, fsync=fsync)
+        errors: List[BaseException] = []
+
+        def worker(index: int) -> None:
+            try:
+                for batch in batches[index::writers]:
+                    wal.append(batch)
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(index,))
+                   for index in range(writers)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        wal.close()
+        assert not errors, errors[:1]
+        return elapsed, wal
+
+    durable_seconds, durable_wal = concurrent_ingest(
+        os.path.join(base, "gc-fsync.log"), fsync=True)
+    nofsync_seconds, _ = concurrent_ingest(
+        os.path.join(base, "gc-nofsync.log"), fsync=False)
+
+    # The pre-group-commit equivalent: one appender, one fsync each.
+    serial_log = WriteAheadLog(os.path.join(base, "gc-serial.log"),
+                               fsync=True)
+    started = time.perf_counter()
+    for batch in batches:
+        serial_log.append(batch)
+    serial_seconds = time.perf_counter() - started
+    serial_log.close()
+
+    count = len(trajectories)
+    per_us = lambda seconds: seconds / count * 1e6  # noqa: E731
+    return {
+        "wal_group_commit": {
+            "writers": writers,
+            "batch_size": batch_size,
+            "appends": durable_wal.appends,
+            "group_flushes": durable_wal.group_flushes,
+            "coalescing_x": durable_wal.appends
+            / max(1, durable_wal.group_flushes),
+            "fsync_us_per_doc": per_us(durable_seconds),
+            "nofsync_us_per_doc": per_us(nofsync_seconds),
+            "serial_fsync_us_per_doc": per_us(serial_seconds),
+            "vs_nofsync_x": durable_seconds / nofsync_seconds,
+            "vs_serial_fsync_speedup_x": serial_seconds
+            / durable_seconds,
+        },
+    }
+
+
 def bench_disk_cache(scale: float, base: str) -> Dict[str, Dict]:
     cache_dir = os.path.join(base, "stage-cache")
 
@@ -160,6 +229,7 @@ def run_benchmarks(smoke: bool = False) -> Dict:
         metrics: Dict[str, Dict] = {}
         metrics.update(bench_snapshot(workbench.store, base, repeats))
         metrics.update(bench_wal(trajectories, base, batch_size=64))
+        metrics.update(bench_group_commit(trajectories, base))
         metrics.update(bench_disk_cache(scale, base))
     finally:
         shutil.rmtree(base, ignore_errors=True)

@@ -13,20 +13,32 @@ session (built once, store indexes hot) it measures
 * ``http_paginate`` — a full stable-cursor walk over the corpus in
   pages of 100 (pages/s);
 * ``http_concurrent`` — 4 client threads hammering ``RunQuery``
-  against the threaded server (aggregate requests/s).
+  against the threaded server (aggregate requests/s);
+* ``openloop`` — the concurrent load benchmark: raw keep-alive
+  sockets firing pre-serialized requests at a **target arrival
+  rate**, latency measured from each request's *intended* send time
+  (no coordinated omission — a slow server inflates the tail instead
+  of slowing the load down).  Three server configurations are
+  driven: the asyncio front-end with its versioned response cache
+  (the deployment default and the headline number), the asyncio
+  front-end with the cache off (every request pays plan + execute +
+  serialize), and the legacy threaded server.
 
 The serialization denominator: every request plans the query, pages
 the lazy result set, and serializes full trajectories to canonical
 JSON — so requests/s here is end-to-end service work, not socket
 ping-pong.  ``--out`` writes the measurements (the committed baseline
 is ``BENCH_service.json``); ``--smoke`` shrinks the corpus and
-request counts for CI.
+request counts for CI, and ``--floor N`` exits non-zero when the
+open-loop headline throughput lands under N requests/s (the CI
+regression gate).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import socket
 import statistics
 import sys
 import threading
@@ -34,6 +46,7 @@ import time
 from typing import Dict, List
 
 from repro.service import protocol as P
+from repro.service.aserver import AsyncServiceServer
 from repro.service.client import ServiceClient
 from repro.service.executor import LocalBinding
 from repro.service.registry import SessionRegistry
@@ -58,6 +71,156 @@ def _latency_stats(samples: List[float]) -> Dict[str, float]:
         "p95_ms": _percentile(samples, 0.95) * 1000.0,
         "max_ms": max(samples) * 1000.0,
     }
+
+
+def _post_bytes(body: bytes) -> bytes:
+    return (b"POST /v1/call HTTP/1.1\r\nHost: bench\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(body)).encode()
+            + b"\r\n\r\n" + body)
+
+
+def _quickack(sock: socket.socket) -> None:
+    # The legacy http.server front-end writes a response as several
+    # small segments with Nagle on; without immediate ACKs the bench
+    # would measure the kernel's delayed-ACK timer, not the server.
+    if hasattr(socket, "TCP_QUICKACK"):  # Linux
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP,
+                            socket.TCP_QUICKACK, 1)
+        except OSError:  # pragma: no cover
+            pass
+
+
+def _read_response(sock: socket.socket,
+                   buffer: bytes) -> tuple:
+    """``(status, leftover)`` of one keep-alive response."""
+    while b"\r\n\r\n" not in buffer:
+        _quickack(sock)
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("server closed")
+        buffer += chunk
+    head, _, buffer = buffer.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    length = 0
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            length = int(value.strip())
+    while len(buffer) < length:
+        _quickack(sock)
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("server closed mid-body")
+        buffer += chunk
+    return status, buffer[length:]
+
+
+def open_loop(address, request: bytes, target_rps: float,
+              duration: float, connections: int = 4) -> Dict:
+    """Drive ``request`` at ``target_rps`` for ``duration`` seconds.
+
+    Each connection owns ``target_rps / connections`` of the arrival
+    schedule; a request's latency runs from its *intended* arrival
+    time, so queueing delay a saturated server causes is charged to
+    the tail instead of silently thinning the load.
+    """
+    per_conn_rate = target_rps / connections
+    count = max(1, int(per_conn_rate * duration))
+    interval = 1.0 / per_conn_rate
+    latencies: List[float] = []
+    statuses: List[int] = []
+    errors: List[BaseException] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(connections + 1)
+
+    def fire() -> None:
+        sock = socket.create_connection(address, timeout=30)
+        sock.settimeout(30)
+        local_latencies = []
+        local_statuses = []
+        try:
+            barrier.wait()
+            buffer = b""
+            base = time.perf_counter()
+            for index in range(count):
+                intended = base + index * interval
+                now = time.perf_counter()
+                if now < intended:
+                    time.sleep(intended - now)
+                sock.sendall(request)
+                status, buffer = _read_response(sock, buffer)
+                local_statuses.append(status)
+                local_latencies.append(
+                    time.perf_counter() - intended)
+        except BaseException as error:
+            with lock:
+                errors.append(error)
+        finally:
+            sock.close()
+            with lock:
+                latencies.extend(local_latencies)
+                statuses.extend(local_statuses)
+
+    threads = [threading.Thread(target=fire)
+               for _ in range(connections)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    ok = sum(1 for status in statuses if status == 200)
+    return {
+        "target_rps": target_rps,
+        "achieved_rps": len(statuses) / elapsed,
+        "ok_rps": ok / elapsed,
+        "requests": len(statuses),
+        "ok": ok,
+        "shed_503": sum(1 for status in statuses
+                        if status == 503),
+        "connections": connections,
+        "seconds": elapsed,
+        "p50_ms": _percentile(latencies, 0.50) * 1000.0,
+        "p95_ms": _percentile(latencies, 0.95) * 1000.0,
+        "p99_ms": _percentile(latencies, 0.99) * 1000.0,
+        "max_ms": max(latencies) * 1000.0,
+    }
+
+
+def run_open_loop_suite(registry: SessionRegistry, command_bytes:
+                        bytes, smoke: bool) -> Dict[str, Dict]:
+    """The three server configurations under open-loop load."""
+    request = _post_bytes(command_bytes)
+    duration = 1.5 if smoke else 4.0
+    suite: Dict[str, Dict] = {}
+
+    def drive(server, target) -> Dict:
+        with server:
+            # warm: build the cache entry / touch every code path
+            probe = socket.create_connection(server.address,
+                                             timeout=30)
+            probe.sendall(request)
+            status, _ = _read_response(probe, b"")
+            assert status == 200
+            probe.close()
+            return open_loop(server.address, request, target,
+                             duration)
+
+    suite["async_cached"] = drive(
+        AsyncServiceServer(registry, port=0),
+        2000 if smoke else 8000)
+    suite["async_nocache"] = drive(
+        AsyncServiceServer(registry, port=0, response_cache=False),
+        400 if smoke else 1200)
+    suite["threading"] = drive(
+        ServiceServer(registry, port=0, response_cache=False),
+        400 if smoke else 1200)
+    return suite
 
 
 def run_benchmarks(smoke: bool = False) -> Dict:
@@ -152,6 +315,10 @@ def run_benchmarks(smoke: bool = False) -> Dict:
     finally:
         server.stop()
 
+    # -- open-loop concurrent load -------------------------------------
+    metrics["openloop"] = run_open_loop_suite(
+        registry, command.to_json(), smoke)
+
     return {
         "bench": "service",
         "config": {"smoke": smoke, "scale": scale,
@@ -168,6 +335,10 @@ def main(argv: List[str] = None) -> int:
                         help="reduced corpus/requests for CI")
     parser.add_argument("--out", metavar="PATH",
                         help="write the measurements as JSON")
+    parser.add_argument("--floor", type=float, metavar="RPS",
+                        help="fail (exit 1) when the open-loop "
+                             "async_cached throughput lands below "
+                             "this many requests/s")
     args = parser.parse_args(argv)
 
     result = run_benchmarks(smoke=args.smoke)
@@ -182,6 +353,16 @@ def main(argv: List[str] = None) -> int:
             json.dump(result, handle, indent=2)
             handle.write("\n")
         print("\nwrote {}".format(args.out))
+    if args.floor is not None:
+        headline = result["metrics"]["openloop"]["async_cached"]
+        if headline["ok_rps"] < args.floor:
+            print("FAIL: open-loop async_cached {:.0f} ok-req/s "
+                  "is below the floor of {:.0f}".format(
+                      headline["ok_rps"], args.floor),
+                  file=sys.stderr)
+            return 1
+        print("floor ok: {:.0f} ok-req/s >= {:.0f}".format(
+            headline["ok_rps"], args.floor))
     return 0
 
 

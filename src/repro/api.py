@@ -407,18 +407,31 @@ class Workbench:
             "stats",
             lambda: corpus_summary(self._corpus(corpus)))
 
-    def serve(self, host: str = "127.0.0.1", port: int = 0):
+    def serve(self, host: str = "127.0.0.1", port: int = 0,
+              backend: str = "asyncio"):
         """Expose this workbench over HTTP (non-blocking).
 
-        Starts an embedded :class:`~repro.service.server
-        .ServiceServer` over the binding's registry, so the corpus is
-        addressable as session :data:`LOCAL_SESSION`.  Returns the
+        Starts an embedded server over the binding's registry, so the
+        corpus is addressable as session :data:`LOCAL_SESSION`.
+        ``backend`` picks the front-end: ``"asyncio"`` (the default
+        :class:`~repro.service.aserver.AsyncServiceServer`) or
+        ``"threading"`` (the legacy :class:`~repro.service.server
+        .ServiceServer`) — both answer byte-identically.  Returns the
         started server; call ``.stop()`` when done.
         """
-        from repro.service.server import ServiceServer
+        if backend == "asyncio":
+            from repro.service.aserver import AsyncServiceServer
 
-        return ServiceServer(self.binding.registry, host=host,
-                             port=port).start()
+            return AsyncServiceServer(self.binding.registry,
+                                      host=host, port=port).start()
+        if backend == "threading":
+            from repro.service.server import ServiceServer
+
+            return ServiceServer(self.binding.registry, host=host,
+                                 port=port).start()
+        raise ValueError(
+            "unknown serve backend {!r} (expected 'asyncio' or "
+            "'threading')".format(backend))
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

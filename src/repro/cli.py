@@ -462,14 +462,27 @@ def cmd_restore(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the embedded trajectory server (repro.service)."""
     from repro.service.registry import SessionRegistry
-    from repro.service.server import ServiceServer
 
     registry = SessionRegistry(persist_dir=args.persist_dir)
     # Bind first: a port conflict must fail fast, not after minutes
     # of corpus building.
     try:
-        server = ServiceServer(registry, host=args.host,
-                               port=args.port, verbose=args.verbose)
+        if args.legacy_server:
+            from repro.service.server import ServiceServer
+
+            server = ServiceServer(
+                registry, host=args.host, port=args.port,
+                verbose=args.verbose,
+                response_cache=not args.no_response_cache)
+        else:
+            from repro.service.aserver import AsyncServiceServer
+
+            server = AsyncServiceServer(
+                registry, host=args.host, port=args.port,
+                verbose=args.verbose,
+                sync_workers=args.sync_workers,
+                max_inflight=args.max_inflight,
+                response_cache=not args.no_response_cache)
     except OSError as error:
         print("error: cannot bind {}:{}: {}".format(
             args.host, args.port, error), file=sys.stderr)
@@ -798,6 +811,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "auto-checkpoint (repro.persist)")
     serve.add_argument("--verbose", action="store_true",
                        help="log each request line")
+    serve.add_argument("--legacy-server", action="store_true",
+                       help="use the threaded http.server front-end "
+                            "instead of the asyncio one")
+    serve.add_argument("--sync-workers", type=int, default=4,
+                       metavar="N",
+                       help="executor threads bridging the asyncio "
+                            "front-end into the command path "
+                            "(default: %(default)s)")
+    serve.add_argument("--max-inflight", type=int, default=64,
+                       metavar="N",
+                       help="commands in flight before the asyncio "
+                            "front-end sheds load with 503 "
+                            "(default: %(default)s)")
+    serve.add_argument("--no-response-cache", action="store_true",
+                       help="recompute every read command instead of "
+                            "serving repeats from the versioned "
+                            "response cache")
     serve.set_defaults(func=cmd_serve)
 
     call = sub.add_parser(

@@ -20,13 +20,22 @@ library only.
   command; :class:`LocalBinding` runs it in-process (this is what
   :class:`~repro.api.Workbench` is sugar over), the server runs the
   same functions behind HTTP;
+* :mod:`repro.service.wire` — the shared bytes-in/bytes-out request
+  path (:func:`~repro.service.wire.execute_json`) plus the versioned
+  :class:`~repro.service.wire.ResponseCache`, which is what keeps
+  every front-end byte-identical;
+* :mod:`repro.service.aserver` — the asyncio front-end
+  (:class:`AsyncServiceServer`): keep-alive + pipelined HTTP/1.1 on
+  one event loop bridging into a bounded worker pool, with 503
+  load-shedding when saturated — the default server;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — the
-  embedded ``http.server``-based JSON endpoint and its thin
-  ``urllib`` client.
+  legacy threaded ``http.server`` endpoint and the thin persistent
+  keep-alive client.
 
 See ``docs/service.md`` for the protocol reference and curl examples.
 """
 
+from repro.service.aserver import AsyncServiceServer
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.executor import (
     LocalBinding,
@@ -43,6 +52,7 @@ from repro.service.protocol import (
 )
 from repro.service.registry import BuildJob, JobState, Session, SessionRegistry
 from repro.service.server import ServiceServer
+from repro.service.wire import ResponseCache, execute_json
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -59,6 +69,9 @@ __all__ = [
     "execute_command",
     "execute_command_safely",
     "ServiceServer",
+    "AsyncServiceServer",
+    "ResponseCache",
+    "execute_json",
     "ServiceClient",
     "ServiceError",
 ]

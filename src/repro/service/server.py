@@ -1,13 +1,20 @@
-"""The embedded trajectory server: the protocol over HTTP/JSON.
+"""The embedded threaded trajectory server (the legacy front-end).
 
 A thin, dependency-free wrapper around the standard library's
 ``http.server``: a :class:`ThreadingHTTPServer` whose handler parses
-each ``POST /v1/call`` body as one protocol command, executes it
-through :func:`~repro.service.executor.execute_command` (the same
-code path :class:`~repro.service.executor.LocalBinding` uses), and
-writes the response's canonical JSON back.  Because the store takes a
+each ``POST /v1/call`` body as one protocol command and executes it
+through :func:`~repro.service.wire.execute_json` — the same
+bytes-in/bytes-out path the asyncio front-end
+(:class:`~repro.service.aserver.AsyncServiceServer`) and
+:class:`~repro.service.executor.LocalBinding` use, so all three
+transports answer byte-identically.  Because the store takes a
 read-write lock and builds run as background jobs, many requests are
 served concurrently while a dataset is still ingesting.
+
+This server spawns one thread per connection and re-handshakes
+urllib-style clients per request; it remains as the
+``--legacy-server`` fallback.  For throughput, use the asyncio
+front-end (the default of ``repro serve`` and ``Workbench.serve``).
 
 Endpoints::
 
@@ -26,36 +33,27 @@ Usage::
     ...
     server.stop()
 
-or from the command line: ``repro serve --scale 0.05``.
+or from the command line: ``repro serve --legacy-server``.
 """
 
 from __future__ import annotations
 
-import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
 from repro import __version__
 from repro.service import protocol as P
-from repro.service.executor import execute_command_safely
 from repro.service.registry import SessionRegistry
+from repro.service.wire import (  # noqa: F401  (re-exported)
+    STATUS_OF_CODE,
+    ResponseCache,
+    execute_json,
+    health_payload,
+)
 
 #: Request bodies above this are rejected (a command is small).
 MAX_BODY_BYTES = 4 * 1024 * 1024
-
-#: Error code → HTTP status of the reply carrying it.
-STATUS_OF_CODE = {
-    "bad_request": 400,
-    "protocol": 400,
-    "bad_cursor": 400,
-    "unserializable": 400,
-    "not_found": 404,
-    "unknown_session": 404,
-    "unknown_job": 404,
-    "persistence": 500,
-    "internal": 500,
-}
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -63,6 +61,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     server_version = "repro-service/" + __version__
     protocol_version = "HTTP/1.1"
+    # A response is several small writes; without these a keep-alive
+    # client pays the Nagle x delayed-ACK stall (~40ms) per request.
+    disable_nagle_algorithm = True
+    wbufsize = -1  # buffered: one segment per response, not five
 
     # the ServiceServer injects this
     registry: SessionRegistry
@@ -90,12 +92,21 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply_error(404, "not_found",
                               "unknown path {!r}".format(self.path))
             return
-        roster = [{"name": session.name, "state": session.state,
-                   "trajectories": len(session.workbench.store)}
-                  for session in self.registry.sessions()]
-        self._reply(200, P.canonical_json({
-            "ok": True, "version": __version__,
-            "protocol": P.PROTOCOL_VERSION, "sessions": roster}))
+        server = self.server
+        cache = server.cache  # type: ignore[attr-defined]
+        with server.stats_lock:  # type: ignore[attr-defined]
+            load = {
+                "backend": "threading",
+                "inflight": server.inflight,  # type: ignore
+                "queued": 0,  # one thread per request: nothing queues
+                "max_inflight": None,  # never sheds load
+                "rejected": 0,
+                "served": server.served,  # type: ignore
+            }
+        if cache is not None:
+            load["cache"] = cache.stats()
+        self._reply(200, P.canonical_json(
+            health_payload(self.registry, load=load)))
 
     def do_POST(self) -> None:  # noqa: N802 (http.server convention)
         if self.path.rstrip("/") != "/v1/call":
@@ -111,16 +122,18 @@ class _Handler(BaseHTTPRequestHandler):
                               "bad or oversized request body")
             return
         raw = self.rfile.read(length)
+        server = self.server
+        with server.stats_lock:  # type: ignore[attr-defined]
+            server.inflight += 1  # type: ignore[attr-defined]
         try:
-            command = P.command_from_json(raw)
-        except P.ProtocolError as error:
-            self._reply_error(400, "protocol", str(error))
-            return
-        response = execute_command_safely(self.registry, command)
-        status = 200
-        if isinstance(response, P.ErrorInfo):
-            status = STATUS_OF_CODE.get(response.code, 500)
-        self._reply(status, response.to_json())
+            status, payload = execute_json(
+                self.registry, raw,
+                cache=server.cache)  # type: ignore[attr-defined]
+        finally:
+            with server.stats_lock:  # type: ignore[attr-defined]
+                server.inflight -= 1  # type: ignore[attr-defined]
+                server.served += 1  # type: ignore[attr-defined]
+        self._reply(status, payload)
 
 
 class ServiceServer:
@@ -133,11 +146,15 @@ class ServiceServer:
             front for anything else).
         port: TCP port; ``0`` picks an ephemeral free port.
         verbose: log each request line to stderr.
+        response_cache: serve repeated read commands from the
+            versioned :class:`~repro.service.wire.ResponseCache`
+            (pass ``False`` to recompute every request).
     """
 
     def __init__(self, registry: Optional[SessionRegistry] = None,
                  host: str = "127.0.0.1", port: int = 0,
-                 verbose: bool = False) -> None:
+                 verbose: bool = False,
+                 response_cache: bool = True) -> None:
         self.registry = registry if registry is not None \
             else SessionRegistry()
         handler = type("BoundHandler", (_Handler,),
@@ -145,7 +162,17 @@ class ServiceServer:
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
         self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._httpd.cache = (  # type: ignore[attr-defined]
+            ResponseCache() if response_cache else None)
+        self._httpd.stats_lock = threading.Lock()  # type: ignore
+        self._httpd.inflight = 0  # type: ignore[attr-defined]
+        self._httpd.served = 0  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+
+    @property
+    def cache(self) -> Optional[ResponseCache]:
+        """The response cache (None when disabled)."""
+        return self._httpd.cache  # type: ignore[attr-defined]
 
     # -- addresses ------------------------------------------------------
     @property

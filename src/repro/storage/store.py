@@ -26,6 +26,7 @@ and iteration snapshots the document count up front so a concurrent
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
@@ -44,10 +45,16 @@ class StoredTrajectory:
     trajectory: SemanticTrajectory
 
 
+#: Process-wide store identities (see :attr:`TrajectoryStore.serial`).
+_STORE_SERIALS = itertools.count(1)
+
+
 class TrajectoryStore:
     """Insert-only trajectory corpus with secondary indexes."""
 
     def __init__(self) -> None:
+        self._serial = next(_STORE_SERIALS)
+        self._version = 0
         self._docs: List[SemanticTrajectory] = []
         self._by_state = InvertedIndex()
         self._by_annotation = InvertedIndex()
@@ -124,6 +131,7 @@ class TrajectoryStore:
                 self._wal.append(batch)
             doc_ids = [self._index_one(t) for t in batch]
             if doc_ids:
+                self._version += 1
                 self._interval_index = None  # one invalidation per batch
                 self._span = None
                 if rebuild_interval:
@@ -205,6 +213,30 @@ class TrajectoryStore:
                 self._by_annotation.add(
                     (annotation.kind, annotation.value), doc_id)
         return doc_id
+
+    # ------------------------------------------------------------------
+    # identity (the service response cache keys on these)
+    # ------------------------------------------------------------------
+    @property
+    def serial(self) -> int:
+        """Process-unique store identity.
+
+        Unlike ``id()``, serials are never reused after garbage
+        collection, so ``(serial, version)`` names one exact corpus
+        state for the lifetime of the process — the validity stamp
+        the service-layer response cache checks.
+        """
+        return self._serial
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped once per non-empty ``extend``.
+
+        The store is insert-only and every write funnels through
+        :meth:`extend`, so an unchanged version guarantees unchanged
+        query/mining results.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # reads

@@ -1,0 +1,212 @@
+"""Group commit under concurrency: the durability contract holds.
+
+The write-ahead log's promise — an acknowledged ``append`` survives
+``kill -9`` — must not weaken now that concurrent appenders share
+write+fsync groups.  These tests attack exactly that seam: many
+threads appending at once (every ack recoverable, batches intact),
+fsync failures (exactly the in-flight group dies, the log heals), and
+the real thing — a subprocess SIGKILLed mid-stream whose every
+*observed* ack must be in the recovered log, torn tail tolerated.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from tests.conftest import make_trajectory
+
+from repro.persist.format import PersistError
+from repro.persist.wal import WriteAheadLog
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def recovered_ids(path):
+    """``{seq: [mo ids]}`` of every valid record on disk."""
+    return {seq: [t.mo_id for t in batch]
+            for seq, batch in WriteAheadLog(str(path)).records()}
+
+
+class TestConcurrentAppends:
+    def test_every_ack_is_recovered_and_fsyncs_coalesce(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"), fsync=True)
+        acked = []
+        lock = threading.Lock()
+
+        def worker(tid):
+            for i in range(30):
+                mo = "t{}-{}".format(tid, i)
+                seq = wal.append([make_trajectory(mo_id=mo)])
+                with lock:
+                    acked.append((seq, mo))
+
+        threads = [threading.Thread(target=worker, args=(tid,))
+                   for tid in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wal.close()
+
+        assert len(acked) == 240
+        assert len({seq for seq, _ in acked}) == 240  # unique seqs
+        on_disk = recovered_ids(tmp_path / "wal.log")
+        for seq, mo in acked:
+            assert on_disk[seq] == [mo]
+        assert wal.appends == 240
+        # the whole point: appenders shared flushes
+        assert wal.group_flushes < wal.appends
+
+    def test_multi_document_batches_stay_intact(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        batches = {}
+        lock = threading.Lock()
+
+        def worker(tid):
+            for i in range(10):
+                ids = ["t{}-{}-{}".format(tid, i, k)
+                       for k in range(3)]
+                seq = wal.append([make_trajectory(mo_id=mo)
+                                  for mo in ids])
+                with lock:
+                    batches[seq] = ids
+
+        threads = [threading.Thread(target=worker, args=(tid,))
+                   for tid in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wal.close()
+        assert recovered_ids(tmp_path / "wal.log") == batches
+
+    def test_sequences_on_disk_strictly_increase(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        threads = [threading.Thread(
+            target=lambda tid=tid: [
+                wal.append([make_trajectory(
+                    mo_id="t{}-{}".format(tid, i))])
+                for i in range(20)])
+            for tid in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wal.close()
+        seqs = [seq for seq, _, _ in
+                WriteAheadLog(str(tmp_path / "wal.log"))._iter_raw()]
+        assert len(seqs) == 120
+        assert seqs == sorted(seqs)
+
+
+class TestFlushFailure:
+    def test_failed_group_dies_log_heals(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, fsync=True)
+        wal.append([make_trajectory(mo_id="before")])
+
+        real_fsync = os.fsync
+
+        def exploding_fsync(fd):
+            raise OSError("injected")
+
+        monkeypatch.setattr("repro.persist.wal.os.fsync",
+                            exploding_fsync)
+        outcomes = []
+        lock = threading.Lock()
+
+        def worker(tid):
+            try:
+                wal.append([make_trajectory(
+                    mo_id="doomed-{}".format(tid))])
+            except PersistError:
+                with lock:
+                    outcomes.append(tid)
+
+        threads = [threading.Thread(target=worker, args=(tid,))
+                   for tid in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(outcomes) == [0, 1, 2, 3]  # all four failed
+
+        monkeypatch.setattr("repro.persist.wal.os.fsync", real_fsync)
+        seq = wal.append([make_trajectory(mo_id="after")])
+        wal.close()
+        on_disk = recovered_ids(tmp_path / "wal.log")
+        assert on_disk[1] == ["before"]
+        assert on_disk[seq] == ["after"]
+        # no doomed record survived to shadow anything
+        assert {mo for ids in on_disk.values()
+                for mo in ids} == {"before", "after"}
+
+
+_CHILD = r"""
+import sys, threading
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {root!r})
+from repro.persist.wal import WriteAheadLog
+from tests.conftest import make_trajectory
+
+wal = WriteAheadLog(sys.argv[1], fsync=True)
+lock = threading.Lock()
+
+def worker(tid):
+    for i in range(100000):
+        mo = "t%d-%d" % (tid, i)
+        seq = wal.append([make_trajectory(mo_id=mo)])
+        with lock:
+            # printed strictly AFTER the ack: a line the parent
+            # reads proves this exact record was acknowledged
+            sys.stdout.write("%d %s\n" % (seq, mo))
+            sys.stdout.flush()
+
+threads = [threading.Thread(target=worker, args=(tid,))
+           for tid in range(4)]
+print("READY", flush=True)  # before any worker shares stdout
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+"""
+
+
+class TestKillNine:
+    def test_every_observed_ack_survives_sigkill(self, tmp_path):
+        """4 appender threads, SIGKILL at an arbitrary moment: the
+        recovered log must contain every append whose ack the parent
+        saw (a torn unacknowledged tail is fine)."""
+        wal_path = str(tmp_path / "wal.log")
+        script = tmp_path / "appender.py"
+        script.write_text(_CHILD.format(
+            src=str(REPO_ROOT / "src"), root=str(REPO_ROOT)))
+        child = subprocess.Popen(
+            [sys.executable, str(script), wal_path],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+        acked = []
+        try:
+            for line in child.stdout:
+                if line == "READY\n" or not line.endswith("\n"):
+                    continue
+                seq_text, mo = line.split()
+                acked.append((int(seq_text), mo))
+                if len(acked) >= 120:
+                    break
+        finally:
+            child.send_signal(signal.SIGKILL)
+            child.wait(timeout=30)
+        if not acked:  # pragma: no cover
+            pytest.fail("child produced no acks: {}".format(
+                child.stderr.read()))
+
+        on_disk = recovered_ids(wal_path)
+        for seq, mo in acked:
+            assert on_disk.get(seq) == [mo], \
+                "acked record seq={} {} lost".format(seq, mo)

@@ -1,0 +1,148 @@
+"""The versioned response cache: validity, bounds, and what may
+never be cached.
+
+The invariant under test: a cache hit returns exactly the bytes that
+re-executing the command would produce.  Staleness is impossible by
+construction — entries are stamped with the store's
+``(serial, version)`` captured before execution and validated against
+the live session on every hit — so these tests attack the stamp
+logic: ingestion, session drop/rebuild, space swaps, and the error
+paths that must bypass the cache entirely.
+"""
+
+import json
+
+from repro.service import protocol as P
+from repro.service.registry import SessionRegistry
+from repro.service.wire import (
+    CACHEABLE_KINDS,
+    ResponseCache,
+    execute_json,
+)
+
+
+def build_registry(name="s", scale=0.01):
+    registry = SessionRegistry()
+    registry.build(name, scale=scale, wait=True)
+    return registry
+
+
+def raw_query(session="s", **kwargs):
+    return P.RunQuery(session=session, **kwargs).to_json()
+
+
+class TestHitSemantics:
+    def test_second_call_is_a_hit_with_identical_bytes(self):
+        registry = build_registry()
+        cache = ResponseCache()
+        raw = raw_query(limit=5)
+        first = execute_json(registry, raw, cache=cache)
+        second = execute_json(registry, raw, cache=cache)
+        assert first == second
+        assert cache.hits == 1
+        assert len(cache) == 1
+
+    def test_ingest_invalidates(self):
+        registry = build_registry()
+        cache = ResponseCache()
+        raw = raw_query(limit=500)
+        status, before = execute_json(registry, raw, cache=cache)
+        assert status == 200
+        registry.build("s", scale=0.01, wait=True)  # more documents
+        status, after = execute_json(registry, raw, cache=cache)
+        assert status == 200
+        assert cache.hits == 0
+        assert len(json.loads(after)["hits"]) \
+            > len(json.loads(before)["hits"])
+
+    def test_rebuilt_session_does_not_serve_old_bytes(self):
+        registry = build_registry()
+        cache = ResponseCache()
+        raw = raw_query(limit=5)
+        execute_json(registry, raw, cache=cache)
+        registry.drop("s")
+        registry.build("s", scale=0.01, wait=True)
+        execute_json(registry, raw, cache=cache)
+        # the rebuilt store has a different serial: never a hit
+        assert cache.hits == 0
+
+    def test_unknown_session_errors_are_not_cached(self):
+        registry = SessionRegistry()
+        cache = ResponseCache()
+        status, body = execute_json(registry, raw_query("ghost"),
+                                    cache=cache)
+        assert status == 404
+        assert len(cache) == 0
+
+    def test_bad_request_errors_are_not_cached(self):
+        registry = build_registry()
+        cache = ResponseCache()
+        status, _ = execute_json(registry, raw_query(limit=0),
+                                 cache=cache)
+        assert status == 400
+        assert len(cache) == 0
+
+    def test_mutating_and_lifecycle_kinds_are_not_cached(self):
+        registry = build_registry()
+        cache = ResponseCache()
+        assert "ListSessions" not in CACHEABLE_KINDS
+        assert "BuildDataset" not in CACHEABLE_KINDS
+        status, _ = execute_json(registry,
+                                 P.ListSessions().to_json(),
+                                 cache=cache)
+        assert status == 200
+        assert len(cache) == 0
+
+
+class TestBounds:
+    def test_entry_count_eviction_is_lru(self):
+        registry = build_registry()
+        cache = ResponseCache(max_entries=2)
+        first = raw_query(limit=1)
+        second = raw_query(limit=2)
+        third = raw_query(limit=3)
+        execute_json(registry, first, cache=cache)
+        execute_json(registry, second, cache=cache)
+        execute_json(registry, first, cache=cache)   # refresh first
+        execute_json(registry, third, cache=cache)   # evicts second
+        assert len(cache) == 2
+        execute_json(registry, first, cache=cache)
+        assert cache.hits == 2  # first survived both evictions
+        execute_json(registry, second, cache=cache)
+        assert cache.hits == 2  # second was the LRU victim
+
+    def test_byte_bound_eviction(self):
+        registry = build_registry()
+        cache = ResponseCache(max_bytes=1)  # nothing fits
+        execute_json(registry, raw_query(limit=5), cache=cache)
+        assert len(cache) == 0
+
+    def test_clear_drops_entries(self):
+        registry = build_registry()
+        cache = ResponseCache()
+        execute_json(registry, raw_query(limit=5), cache=cache)
+        cache.clear()
+        assert len(cache) == 0
+        execute_json(registry, raw_query(limit=5), cache=cache)
+        assert cache.hits == 0
+
+    def test_stats_shape(self):
+        cache = ResponseCache()
+        stats = cache.stats()
+        assert set(stats) == {"entries", "bytes", "hits", "misses"}
+
+
+class TestStoreVersioning:
+    def test_version_bumps_only_on_growth(self):
+        registry = build_registry()
+        store = registry.get("s").workbench.store
+        before = store.version
+        store.extend([])
+        assert store.version == before
+        registry.build("s", scale=0.01, wait=True)
+        assert store.version > before
+
+    def test_serials_are_unique_across_stores(self):
+        from repro.storage.store import TrajectoryStore
+
+        assert TrajectoryStore().serial != TrajectoryStore().serial

@@ -1,10 +1,12 @@
-"""End-to-end: the embedded server over a real socket.
+"""End-to-end: the embedded servers over a real socket.
 
-Starts a :class:`ServiceServer` on an ephemeral port and drives the
-whole lifecycle — build, query with ``explain``, cursor pagination,
-mining — through :class:`ServiceClient`, asserting the acceptance
-bar: pure-JSON payloads whose bytes are identical to the in-process
-``Workbench``/:class:`LocalBinding` path.
+Drives the whole lifecycle — build, query with ``explain``, cursor
+pagination, mining — through :class:`ServiceClient` against an
+ephemeral-port server, asserting the acceptance bar: pure-JSON
+payloads whose bytes are identical to the in-process
+``Workbench``/:class:`LocalBinding` path.  The ``service`` fixture
+(``tests/service/conftest.py``) parameterizes every test here over
+both the threaded and the asyncio front-end.
 """
 
 import json
@@ -14,27 +16,15 @@ import urllib.request
 
 import pytest
 
+from tests.service.conftest import SESSION
+
 from repro.service import protocol as P
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import ServiceError
 from repro.service.executor import LocalBinding
 from repro.service.registry import SessionRegistry
 from repro.service.server import ServiceServer
 
-SESSION = "louvre@0.02"
 QUERY = {"expr": {"op": "state", "state": "zone60853"}}
-
-
-@pytest.fixture(scope="module")
-def service():
-    """A served registry with one built session (module-scoped)."""
-    registry = SessionRegistry()
-    registry.build(SESSION, scale=0.02, wait=True)
-    server = ServiceServer(registry, port=0)
-    server.start()
-    try:
-        yield server, ServiceClient(server.url), registry
-    finally:
-        server.stop()
 
 
 class TestLifecycle:
