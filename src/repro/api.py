@@ -33,6 +33,7 @@ See ``docs/service.md`` (the protocol reference) and ``docs/query.md``
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.builder import DetectionRecord, TrajectoryBuilder
@@ -50,6 +51,12 @@ from repro.storage.store import TrajectoryStore
 #: The session name a workbench's corpus occupies in its private
 #: service registry (the local binding's one tenant).
 LOCAL_SESSION = "local"
+
+#: Process-wide space-assignment counter backing
+#: :attr:`Workbench.space_generation` — never reused, unlike
+#: ``id(space)``, so response-cache stamps cannot collide with a
+#: garbage-collected predecessor.
+_SPACE_GENERATIONS = itertools.count(1)
 
 
 class Workbench:
@@ -69,6 +76,29 @@ class Workbench:
         #: Metrics of the most recent :meth:`build` run.
         self.metrics: Optional[PipelineMetrics] = None
         self._binding = None
+
+    @property
+    def space(self) -> Optional[object]:
+        """The indoor space model (settable; see
+        :attr:`space_generation`)."""
+        return self._space
+
+    @space.setter
+    def space(self, value: Optional[object]) -> None:
+        self._space = value
+        self._space_generation = next(_SPACE_GENERATIONS)
+
+    @property
+    def space_generation(self) -> int:
+        """Monotonic stamp of space assignments.
+
+        Bumped (from a process-wide counter) on every assignment to
+        :attr:`space`, including construction.  The response cache
+        keys on this instead of ``id(space)``: two distinct space
+        objects can share an ``id`` across a garbage collection, but
+        never a generation.
+        """
+        return self._space_generation
 
     # ------------------------------------------------------------------
     # constructors

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import List, Optional
@@ -459,69 +460,156 @@ def cmd_restore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_url_file(path: str, url: str) -> None:
+    """Atomically announce a bound server (URL + pid) to watchers."""
+    import tempfile
+
+    payload = json.dumps({"url": url, "pid": os.getpid()})
+    handle = tempfile.NamedTemporaryFile(
+        "w", encoding="utf-8", dir=os.path.dirname(path) or ".",
+        suffix=".tmp", delete=False)
+    try:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    finally:
+        handle.close()
+    os.replace(handle.name, path)
+
+
+def _serve_engine(args: argparse.Namespace):
+    """The command engine behind the server: a plain registry, or a
+    shard coordinator when --shards is given.  Returns
+    ``(engine, pool)`` — the worker pool (process backend only) must
+    be stopped by the caller."""
+    if not args.shards:
+        from repro.service.registry import SessionRegistry
+
+        return SessionRegistry(persist_dir=args.persist_dir), None
+    from repro.shard.coordinator import ShardCoordinator
+
+    if args.shard_backend == "process":
+        from repro.shard.workers import ShardWorkerPool
+
+        pool = ShardWorkerPool(args.shards, root=args.persist_dir,
+                               verbose=args.verbose)
+        pool.start()
+        return pool.coordinator(), pool
+    return ShardCoordinator.local(args.shards,
+                                  persist_dir=args.persist_dir), None
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the embedded trajectory server (repro.service)."""
-    from repro.service.registry import SessionRegistry
-
-    registry = SessionRegistry(persist_dir=args.persist_dir)
-    # Bind first: a port conflict must fail fast, not after minutes
-    # of corpus building.
+    pool = None
     try:
-        if args.legacy_server:
-            from repro.service.server import ServiceServer
-
-            server = ServiceServer(
-                registry, host=args.host, port=args.port,
-                verbose=args.verbose,
-                response_cache=not args.no_response_cache)
-        else:
-            from repro.service.aserver import AsyncServiceServer
-
-            server = AsyncServiceServer(
-                registry, host=args.host, port=args.port,
-                verbose=args.verbose,
-                sync_workers=args.sync_workers,
-                max_inflight=args.max_inflight,
-                response_cache=not args.no_response_cache)
-    except OSError as error:
-        print("error: cannot bind {}:{}: {}".format(
-            args.host, args.port, error), file=sys.stderr)
-        return 1
-    for name, message in registry.restore_errors.items():
-        print("warning: session {!r} failed to restore: {}".format(
-            name, message), file=sys.stderr)
-    preloaded = (args.persist_dir is not None
-                 and args.session in registry.names()
-                 and len(registry.get(args.session).workbench.store))
-    if preloaded:
-        print("session {!r}: {} trajectories (restored from "
-              "{})".format(args.session, preloaded, args.persist_dir))
-    if not args.empty and not preloaded:
-        source = "csv" if args.csv else "louvre"
-        job = registry.build(args.session, source=source,
-                             scale=args.scale, path=args.csv,
-                             workers=args.workers,
-                             executor=args.executor,
-                             wait=not args.lazy)
-        if args.lazy:
-            print("building session {!r} in the background "
-                  "({})".format(args.session, job.job_id))
-        elif job.state.value == "failed":
-            print("error: build failed: {}".format(job.error),
-                  file=sys.stderr)
+        try:
+            engine, pool = _serve_engine(args)
+        except Exception as error:
+            print("error: cannot start shard backends: {}".format(
+                error), file=sys.stderr)
             return 1
-        else:
-            print("session {!r}: {} trajectories".format(
-                args.session,
-                len(registry.get(args.session).workbench.store)))
-    print("serving on {}  (POST /v1/call, GET /v1/health)".format(
-        server.url))
-    print("try: repro call --url {} "
-          "'{{\"command\": \"ListSessions\"}}'".format(server.url))
+        # Bind first: a port conflict must fail fast, not after
+        # minutes of corpus building.
+        try:
+            if args.legacy_server:
+                from repro.service.server import ServiceServer
+
+                server = ServiceServer(
+                    engine, host=args.host, port=args.port,
+                    verbose=args.verbose,
+                    response_cache=not args.no_response_cache)
+            else:
+                from repro.service.aserver import AsyncServiceServer
+
+                server = AsyncServiceServer(
+                    engine, host=args.host, port=args.port,
+                    verbose=args.verbose,
+                    sync_workers=args.sync_workers,
+                    max_inflight=args.max_inflight,
+                    response_cache=not args.no_response_cache)
+        except OSError as error:
+            print("error: cannot bind {}:{}: {}".format(
+                args.host, args.port, error), file=sys.stderr)
+            return 1
+        if args.url_file:
+            _write_url_file(args.url_file, server.url)
+        for name, message in engine.restore_errors.items():
+            print("warning: session {!r} failed to restore: "
+                  "{}".format(name, message), file=sys.stderr)
+        from repro.service import protocol as P
+        from repro.service.executor import run_command
+
+        counts = {info.name: info.trajectories for info in
+                  run_command(engine, P.ListSessions()).sessions}
+        preloaded = (args.persist_dir is not None
+                     and counts.get(args.session, 0))
+        if preloaded:
+            print("session {!r}: {} trajectories (restored from "
+                  "{})".format(args.session, preloaded,
+                               args.persist_dir))
+        if not args.empty and not preloaded:
+            source = "csv" if args.csv else "louvre"
+            job = run_command(engine, P.BuildDataset(
+                session=args.session, source=source,
+                scale=args.scale, path=args.csv,
+                workers=args.workers, executor=args.executor,
+                wait=not args.lazy))
+            if isinstance(job, P.ErrorInfo):
+                print("error: build failed: {}".format(job.message),
+                      file=sys.stderr)
+                return 1
+            if args.lazy:
+                print("building session {!r} in the background "
+                      "({})".format(args.session, job.job_id))
+            elif job.state == "failed":
+                print("error: build failed: {}".format(job.error),
+                      file=sys.stderr)
+                return 1
+            else:
+                built = {info.name: info.trajectories for info in
+                         run_command(engine,
+                                     P.ListSessions()).sessions}
+                print("session {!r}: {} trajectories".format(
+                    args.session, built.get(args.session, 0)))
+        if args.shards:
+            print("sharding across {} {} shard(s)".format(
+                args.shards, args.shard_backend))
+        print("serving on {}  (POST /v1/call, GET /v1/health)".format(
+            server.url))
+        print("try: repro call --url {} "
+              "'{{\"command\": \"ListSessions\"}}'".format(server.url))
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("\nbye")
+        return 0
+    finally:
+        if pool is not None:
+            pool.stop()
+
+
+def cmd_rebalance(args: argparse.Namespace) -> int:
+    """Re-split a durable shard root onto a new shard count."""
+    from repro.shard.rebalance import rebalance
+    from repro.shard.ring import ShardStateError
+
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("\nbye")
+        report = rebalance(args.dir, args.shards)
+    except ShardStateError as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report, sort_keys=True, indent=2))
+        return 0
+    print("rebalanced {} -> {} shards at {}".format(
+        report["old_shard_count"], report["new_shard_count"],
+        report["root"]))
+    for name, info in sorted(report["sessions"].items()):
+        print("  session {!r}: {} documents, per-shard {}".format(
+            name, info["documents"], info["per_shard"]))
+    print("  moved {} document(s) across shards".format(
+        report["moved"]))
     return 0
 
 
@@ -828,7 +916,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="recompute every read command instead of "
                             "serving repeats from the versioned "
                             "response cache")
+    serve.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="shard sessions across N executors and "
+                            "serve through the scatter-gather "
+                            "coordinator (repro.shard)")
+    serve.add_argument("--shard-backend",
+                       choices=["local", "process"], default="local",
+                       help="shard executors: in-process registries "
+                            "or one spawned server per shard "
+                            "(default: %(default)s)")
+    serve.add_argument("--url-file", metavar="PATH",
+                       help="announce the bound URL and pid as JSON "
+                            "to PATH (written atomically after bind)")
     serve.set_defaults(func=cmd_serve)
+
+    rebalance = sub.add_parser(
+        "rebalance",
+        help="re-split a durable shard root onto a new shard count",
+        description="Offline resharding: reopens every shard's "
+                    "snapshot under DIR, reroutes each document "
+                    "through the new consistent-hash ring and swaps "
+                    "in the re-split stores atomically.  No server "
+                    "may hold DIR open while this runs.")
+    rebalance.add_argument("--dir", required=True, metavar="DIR",
+                           help="shard persist root (contains "
+                                "shard.json and shard-K/)")
+    rebalance.add_argument("--shards", type=int, required=True,
+                           metavar="N", help="new shard count")
+    rebalance.add_argument("--json", action="store_true",
+                           help="print the rebalance report as JSON")
+    rebalance.set_defaults(func=cmd_rebalance)
 
     call = sub.add_parser(
         "call",

@@ -243,3 +243,66 @@ def similarity_matrix(hierarchy: Optional[LayerHierarchy],
             matrix[i][j] = value
             matrix[j][i] = value
     return matrix
+
+
+def similarity_block(hierarchy: Optional[LayerHierarchy],
+                     sequences: Sequence[Sequence[str]],
+                     row_start: int, row_end: int
+                     ) -> List[List[float]]:
+    """Rows ``[row_start, row_end)`` of :func:`similarity_matrix`.
+
+    The shard-partition unit for distributed similarity: every pair's
+    score depends only on the two sequences and the hierarchy (the
+    cost table is symmetric and per-state-pair), and the DP is always
+    run with the lower unique index first — exactly as the full
+    matrix does — so a block computed against the full column set is
+    bit-identical to the same rows of the full matrix.
+    """
+    size = len(sequences)
+    if not 0 <= row_start <= row_end <= size:
+        raise ValueError("row block [{}, {}) out of range for {} "
+                         "sequences".format(row_start, row_end, size))
+    if hierarchy is None:
+        block = []
+        for i in range(row_start, row_end):
+            row = [1.0] * size
+            for j in range(size):
+                if j != i:
+                    row[j] = normalized_edit_similarity(sequences[i],
+                                                        sequences[j])
+            block.append(row)
+        return block
+    encoded, costs = _encoded_costs(hierarchy, sequences)
+    unique_index: Dict[Tuple[int, ...], int] = {}
+    member_of: List[int] = []
+    unique: List[List[int]] = []
+    for codes in encoded:
+        key = tuple(codes)
+        found = unique_index.get(key)
+        if found is None:
+            found = len(unique)
+            unique_index[key] = found
+            unique.append(codes)
+        member_of.append(found)
+    pair_value: Dict[Tuple[int, int], float] = {}
+    block = []
+    for i in range(row_start, row_end):
+        unique_i = member_of[i]
+        row = [1.0] * size
+        for j in range(size):
+            if j == i:
+                continue
+            unique_j = member_of[j]
+            if unique_i == unique_j:
+                value = 1.0
+            else:
+                pair = (unique_i, unique_j) \
+                    if unique_i < unique_j else (unique_j, unique_i)
+                value = pair_value.get(pair)
+                if value is None:
+                    value = _soft_edit_similarity(
+                        unique[pair[0]], unique[pair[1]], costs)
+                    pair_value[pair] = value
+            row[j] = value
+        block.append(row)
+    return block

@@ -167,6 +167,136 @@ def _drop_session(registry: SessionRegistry,
     return P.Dropped(session=command.session)
 
 
+# ----------------------------------------------------------------------
+# RunQuery, split into route / execute / merge phases
+#
+# The *route* phase (validation, page shaping, cursor decoding) and
+# the *merge* phase (page assembly, cursor issuing) are pure functions
+# of the command, shared verbatim by the single-process path below and
+# the shard coordinator (repro.shard.coordinator) — that sharing is
+# what makes sharded pages byte-identical, error messages included.
+# Only the *execute* phase differs: one store here, a k-way merged
+# scatter there.
+# ----------------------------------------------------------------------
+class PageSpec:
+    """The routed shape of one RunQuery page."""
+
+    __slots__ = ("limit", "offset", "order_by", "descending",
+                 "fingerprint")
+
+    def __init__(self, limit: int, offset: int,
+                 order_by: Optional[str], descending: bool,
+                 fingerprint: str) -> None:
+        self.limit = limit
+        self.offset = offset
+        self.order_by = order_by
+        self.descending = descending
+        self.fingerprint = fingerprint
+
+
+def route_page(command: P.RunQuery) -> PageSpec:
+    """Validate page shaping and resolve the effective ordering.
+
+    Raises:
+        CommandError: on an unusable limit/offset/order_by.
+    """
+    if command.limit < 1:
+        raise CommandError("bad_request",
+                           "limit must be >= 1, got {}".format(
+                               command.limit))
+    if command.offset < 0:
+        raise CommandError("bad_request", "offset must be >= 0")
+    if command.order_by is not None \
+            and command.order_by not in ORDER_KEYS:
+        raise CommandError(
+            "bad_request",
+            "unknown order_by {!r}; one of: {}".format(
+                command.order_by, ", ".join(sorted(ORDER_KEYS))))
+    limit = min(command.limit, MAX_PAGE_SIZE)
+    fingerprint = P.page_fingerprint(command.query, command.order_by,
+                                     command.descending)
+    # ``descending`` without an explicit key means newest-first
+    # natural order: honor it as an explicit doc_id sort, never
+    # silently ignore it.
+    order_by = command.order_by
+    if order_by is None and command.descending:
+        order_by = "doc_id"
+    return PageSpec(limit, command.offset, order_by,
+                    command.descending, fingerprint)
+
+
+def decode_page_cursor(command: P.RunQuery, spec: PageSpec
+                       ) -> Tuple[Optional[Tuple], Optional[int]]:
+    """Decode and validate a resume cursor against the routed page.
+
+    Returns ``(boundary, last_doc_id)``: a keyset ``(order-key
+    value, doc id)`` boundary for explicit orderings, a plain last
+    doc id for natural order, both ``None`` without a cursor.
+
+    Raises:
+        CommandError: ``bad_cursor`` on any malformed/mismatched
+            token.
+    """
+    if command.cursor is None:
+        return None, None
+    try:
+        token = P.decode_cursor(command.cursor)
+    except P.ProtocolError as error:
+        raise CommandError("bad_cursor", str(error))
+    if token.get("f") != spec.fingerprint:
+        raise CommandError(
+            "bad_cursor",
+            "cursor belongs to a different query/ordering")
+    try:
+        doc_id = int(token.get("k", -1))
+    except (TypeError, ValueError):
+        raise CommandError("bad_cursor",
+                           "cursor position is not an integer")
+    if doc_id < 0:  # cursors are forgeable base64 — validate
+        raise CommandError("bad_cursor",
+                           "cursor position is negative")
+    if spec.order_by is not None:
+        # Keyset cursor: (order-key value, doc id) of the last hit
+        # served.  The value's JSON type must match what the order
+        # key yields — a forged/stale token surfaces as bad_cursor,
+        # not as a TypeError mid-sort.
+        if "okv" not in token:
+            raise CommandError(
+                "bad_cursor",
+                "cursor carries no keyset boundary for ordered "
+                "pagination (offset cursors are no longer "
+                "issued)")
+        value = token["okv"]
+        if not isinstance(value, (str, int, float)) \
+                or isinstance(value, bool):
+            raise CommandError(
+                "bad_cursor", "unorderable cursor boundary")
+        return (value, doc_id), None
+    return None, doc_id
+
+
+def assemble_page(window: List, spec: PageSpec
+                  ) -> Tuple[List, Optional[str]]:
+    """Cut the probed window into a page and its resume cursor.
+
+    ``window`` holds up to ``spec.limit + 1`` hits — a full probe
+    means a next page exists and earns a cursor keyed on the last
+    served hit.
+    """
+    page = window[:spec.limit]
+    next_cursor: Optional[str] = None
+    if len(window) > spec.limit and page:
+        last = page[-1]
+        if spec.order_by is not None:
+            token = {"f": spec.fingerprint,
+                     "okv": ORDER_KEYS[spec.order_by](last),
+                     "k": last.doc_id}
+        else:
+            token = {"f": spec.fingerprint, "k": last.doc_id}
+        next_cursor = P.encode_cursor(token)
+    return page, next_cursor
+
+
 def _keyset_view(results: ResultSet, order_by: str,
                  descending: bool,
                  boundary: Optional[Tuple]) -> List:
@@ -196,72 +326,13 @@ def _keyset_view(results: ResultSet, order_by: str,
 
 def _run_query(registry: SessionRegistry,
                command: P.RunQuery) -> P.Response:
+    # -- route: validate shape, resolve ordering, decode the cursor
     session = _session(registry, command.session)
-    if command.limit < 1:
-        raise CommandError("bad_request",
-                           "limit must be >= 1, got {}".format(
-                               command.limit))
-    if command.offset < 0:
-        raise CommandError("bad_request", "offset must be >= 0")
-    if command.order_by is not None \
-            and command.order_by not in ORDER_KEYS:
-        raise CommandError(
-            "bad_request",
-            "unknown order_by {!r}; one of: {}".format(
-                command.order_by, ", ".join(sorted(ORDER_KEYS))))
-    limit = min(command.limit, MAX_PAGE_SIZE)
-    fingerprint = P.page_fingerprint(command.query, command.order_by,
-                                     command.descending)
-
-    # ``descending`` without an explicit key means newest-first
-    # natural order: honor it as an explicit doc_id sort, never
-    # silently ignore it.
-    order_by = command.order_by
-    if order_by is None and command.descending:
-        order_by = "doc_id"
-
+    spec = route_page(command)
     query = _query(session, command.query)
+    boundary, last_doc_id = decode_page_cursor(command, spec)
 
-    offset = command.offset
-    last_doc_id: Optional[int] = None
-    boundary: Optional[Tuple] = None
-    if command.cursor is not None:
-        try:
-            token = P.decode_cursor(command.cursor)
-        except P.ProtocolError as error:
-            raise CommandError("bad_cursor", str(error))
-        if token.get("f") != fingerprint:
-            raise CommandError(
-                "bad_cursor",
-                "cursor belongs to a different query/ordering")
-        try:
-            doc_id = int(token.get("k", -1))
-        except (TypeError, ValueError):
-            raise CommandError("bad_cursor",
-                               "cursor position is not an integer")
-        if doc_id < 0:  # cursors are forgeable base64 — validate
-            raise CommandError("bad_cursor",
-                               "cursor position is negative")
-        if order_by is not None:
-            # Keyset cursor: (order-key value, doc id) of the last
-            # hit served.  The value's JSON type must match what the
-            # order key yields — a forged/stale token surfaces as
-            # bad_cursor, not as a TypeError mid-sort.
-            if "okv" not in token:
-                raise CommandError(
-                    "bad_cursor",
-                    "cursor carries no keyset boundary for ordered "
-                    "pagination (offset cursors are no longer "
-                    "issued)")
-            value = token["okv"]
-            if not isinstance(value, (str, int, float)) \
-                    or isinstance(value, bool):
-                raise CommandError(
-                    "bad_cursor", "unorderable cursor boundary")
-            boundary = (value, doc_id)
-        else:
-            last_doc_id = doc_id
-
+    # -- execute: one probed window from the single local store
     if last_doc_id is not None:
         # Resume below the result-set layer: the plan drops candidate
         # ids <= the boundary *before* fetching/residual-checking, so
@@ -270,9 +341,9 @@ def _run_query(registry: SessionRegistry,
         view = ResultSet(
             lambda: query.plan().iter_results(
                 start_after=resume_after))
-    elif order_by is not None:
+    elif spec.order_by is not None:
         try:
-            hits_past = _keyset_view(query.execute(), order_by,
+            hits_past = _keyset_view(query.execute(), spec.order_by,
                                      command.descending, boundary)
         except TypeError:
             raise CommandError(
@@ -280,26 +351,17 @@ def _run_query(registry: SessionRegistry,
                 "cursor boundary does not order against this "
                 "key")
         view = ResultSet(lambda: iter(hits_past))
-        if offset:
-            view = view.offset(offset)
-    elif offset:
-        view = query.execute().offset(offset)
+        if spec.offset:
+            view = view.offset(spec.offset)
+    elif spec.offset:
+        view = query.execute().offset(spec.offset)
     else:
         view = query.execute()
     # Probe one past the page: a full probe means a next page exists.
-    window = view.limit(limit + 1).to_list()
-    page = window[:limit]
+    window = view.limit(spec.limit + 1).to_list()
 
-    next_cursor: Optional[str] = None
-    if len(window) > limit and page:
-        last = page[-1]
-        if order_by is not None:
-            token = {"f": fingerprint,
-                     "okv": ORDER_KEYS[order_by](last),
-                     "k": last.doc_id}
-        else:
-            token = {"f": fingerprint, "k": last.doc_id}
-        next_cursor = P.encode_cursor(token)
+    # -- merge: assemble the page and its resume cursor
+    page, next_cursor = assemble_page(window, spec)
 
     # The total costs a second plan execution when residuals remain,
     # so it is computed once per pagination stream (the cursor-less
@@ -358,6 +420,105 @@ def _summary(registry: SessionRegistry,
         stats=corpus_summary(_corpus(session, command.query)))
 
 
+def _ingest_documents(registry: SessionRegistry,
+                      command: P.IngestDocuments) -> P.Response:
+    from repro.core.trajectory import SemanticTrajectory
+    from repro.persist.session import revive_space
+
+    session = registry.create(command.session)
+    workbench = session.workbench
+    if workbench.space is None and command.space is not None:
+        workbench.space = revive_space(command.space)
+    try:
+        docs = [SemanticTrajectory.from_dict(item)
+                for item in command.docs]
+    except (KeyError, TypeError, ValueError) as error:
+        raise CommandError(
+            "bad_request", "unparseable document: {}".format(error))
+    # The build lock serializes against checkpoints, exactly like a
+    # pipeline build; the store's write lock covers the extend itself.
+    with session.build_lock:
+        if docs:
+            workbench.store.extend(docs)
+    return P.Ingested(session=command.session, count=len(docs),
+                      total=len(workbench.store))
+
+
+def _count_patterns(registry: SessionRegistry,
+                    command: P.CountPatterns) -> P.Response:
+    from repro.mining.prefixspan import pattern_support
+
+    session = _session(registry, command.session)
+    sequences = state_sequences(_corpus(session, command.query))
+    supports = [pattern_support(sequences, tuple(pattern))
+                for pattern in command.patterns]
+    return P.PatternSupports(supports=supports,
+                             sequences=len(sequences))
+
+
+def _similarity_block(registry: SessionRegistry,
+                      command: P.SimilarityBlock) -> P.Response:
+    from repro.mining.similarity import similarity_block
+
+    session = _session(registry, command.session)
+    size = len(command.sequences)
+    if not 0 <= command.row_start <= command.row_end <= size:
+        raise CommandError(
+            "bad_request",
+            "row block [{}, {}) out of range for {} "
+            "sequences".format(command.row_start, command.row_end,
+                               size))
+    hierarchy = getattr(session.workbench.space, "zone_hierarchy",
+                        None)
+    rows = similarity_block(hierarchy, command.sequences,
+                            command.row_start, command.row_end)
+    return P.SimilarityRows(rows=rows)
+
+
+def _summary_parts(registry: SessionRegistry,
+                   command: P.SummaryParts) -> P.Response:
+    from repro.mining.corpus import iter_trajectories
+
+    session = _session(registry, command.session)
+    visits = detections = transitions = 0
+    mo_ids = set()
+    max_duration: Optional[float] = None
+    min_duration: Optional[float] = None
+    for trajectory in iter_trajectories(
+            _corpus(session, command.query)):
+        visits += 1
+        mo_ids.add(trajectory.mo_id)
+        detections += len(trajectory.trace)
+        transitions += len(trajectory.trace) - 1
+        duration = trajectory.duration
+        if max_duration is None or duration > max_duration:
+            max_duration = duration
+        if min_duration is None or duration < min_duration:
+            min_duration = duration
+    return P.SummaryPartsInfo(
+        visits=visits, mo_ids=sorted(mo_ids),
+        detections=detections, transitions=transitions,
+        max_visit_duration=max_duration,
+        min_visit_duration=min_duration)
+
+
+def _store_stats(registry: SessionRegistry,
+                 command: P.StoreStats) -> P.Response:
+    session = _session(registry, command.session)
+    store = session.workbench.store
+    annotations = [[kind.value, value, count]
+                   for (kind, value), count
+                   in store.annotation_cardinalities().items()]
+    annotations.sort(key=lambda item: (item[0], repr(item[1])))
+    span = store.time_span()
+    return P.StoreStatsInfo(
+        doc_count=len(store),
+        states=store.state_cardinalities(),
+        annotations=annotations,
+        mos=store.mo_cardinalities(),
+        time_span=None if span is None else list(span))
+
+
 def _save_session(registry: SessionRegistry,
                   command: P.SaveSession) -> P.Response:
     import os
@@ -411,6 +572,11 @@ _HANDLERS: Dict[Type[P.Command], Callable] = {
     P.Flow: _flow,
     P.Sequences: _sequences,
     P.Summary: _summary,
+    P.IngestDocuments: _ingest_documents,
+    P.CountPatterns: _count_patterns,
+    P.SimilarityBlock: _similarity_block,
+    P.SummaryParts: _summary_parts,
+    P.StoreStats: _store_stats,
     P.SaveSession: _save_session,
     P.RestoreSession: _restore_session,
 }
@@ -452,17 +618,41 @@ def execute_command_safely(registry: SessionRegistry,
             message="{}: {}".format(type(error).__name__, error))
 
 
+def run_command(engine, command: P.Command) -> P.Response:
+    """Dispatch a command to whatever engine is behind the service.
+
+    A plain :class:`SessionRegistry` goes through
+    :func:`execute_command`; an engine carrying its own
+    ``execute_command`` method (the shard coordinator) dispatches
+    there.  Every front-end routes through this, so swapping the
+    engine never touches a transport.
+    """
+    runner = getattr(engine, "execute_command", None)
+    if runner is not None:
+        return runner(command)
+    return execute_command(engine, command)
+
+
+def run_command_safely(engine, command: P.Command) -> P.Response:
+    """:func:`run_command` with the wire-boundary catch-all."""
+    runner = getattr(engine, "execute_command_safely", None)
+    if runner is not None:
+        return runner(command)
+    return execute_command_safely(engine, command)
+
+
 class LocalBinding:
     """The service protocol without sockets.
 
-    Wraps a registry so commands execute in-process through the exact
+    Wraps an engine — a :class:`SessionRegistry` or a shard
+    coordinator — so commands execute in-process through the exact
     code path the HTTP server uses.  :class:`~repro.api.Workbench` is
     sugar over one of these; tests use :meth:`call_json` to prove the
     wire form is byte-identical to the in-process form.
     """
 
     def __init__(self,
-                 registry: Optional[SessionRegistry] = None) -> None:
+                 registry: Optional[object] = None) -> None:
         self.registry = registry if registry is not None \
             else SessionRegistry()
 
@@ -476,7 +666,7 @@ class LocalBinding:
         Raises:
             ServiceError: when the service answers with ``Error``.
         """
-        response = execute_command(self.registry, command)
+        response = run_command(self.registry, command)
         if isinstance(response, P.ErrorInfo):
             raise P.ServiceError(response.code, response.message)
         return response
@@ -493,5 +683,5 @@ class LocalBinding:
         except P.ProtocolError as error:
             return P.ErrorInfo(code="protocol",
                                message=str(error)).to_json()
-        return execute_command_safely(self.registry,
-                                      command).to_json()
+        return run_command_safely(self.registry,
+                                  command).to_json()

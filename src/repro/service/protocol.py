@@ -454,6 +454,101 @@ class RestoreSession(Command):
     session: str
 
 
+@dataclass(frozen=True)
+class IngestDocuments(Command):
+    """Append already-built trajectories to a session's store.
+
+    The shard coordinator's fan-out primitive: the coordinator runs
+    the build pipeline once, routes each document by global id, and
+    ships each shard its subset as serialized trajectories
+    (:meth:`SemanticTrajectory.to_dict
+    <repro.core.trajectory.SemanticTrajectory.to_dict>` payloads).
+    An empty ``docs`` list is valid and creates the session (with
+    ``space``, when given) without ingesting anything.
+
+    Not idempotent: replaying an ingest duplicates documents.
+    """
+
+    kind = "IngestDocuments"
+
+    session: str
+    docs: List[Dict] = field(default_factory=list)
+    space: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CountPatterns(Command):
+    """Exact support counts for explicit patterns over a (queried)
+    corpus.
+
+    The combine half of distributed PrefixSpan: the coordinator mines
+    per-shard candidates with a lowered local threshold, unions them,
+    and recounts every candidate on every shard with this command so
+    global supports are exact.  With ``patterns == []`` it degrades
+    to a sequence-count probe (the denominator for fractional
+    ``min_support``).
+    """
+
+    kind = "CountPatterns"
+    idempotent = True
+
+    session: str
+    query: Optional[Dict] = None
+    patterns: List[List[str]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class SimilarityBlock(Command):
+    """Rows ``[row_start, row_end)`` of the similarity matrix over an
+    explicit sequence list.
+
+    The partition unit of the sharded ``Similarity`` command: each
+    pair's score depends only on the two sequences and the session's
+    zone hierarchy, so a row block computed against the full column
+    set is exactly the corresponding rows of the full matrix.
+    """
+
+    kind = "SimilarityBlock"
+    idempotent = True
+
+    session: str
+    sequences: List[List[str]] = field(default_factory=list)
+    row_start: int = 0
+    row_end: int = 0
+
+
+@dataclass(frozen=True)
+class SummaryParts(Command):
+    """The combinable pieces of ``Summary`` over a (queried) corpus.
+
+    Unlike ``Summary`` itself, the reply carries the distinct
+    moving-object ids, so a coordinator can union visitor sets across
+    shards instead of incorrectly summing per-shard distinct counts.
+    """
+
+    kind = "SummaryParts"
+    idempotent = True
+
+    session: str
+    query: Optional[Dict] = None
+
+
+@dataclass(frozen=True)
+class StoreStats(Command):
+    """A session store's planner statistics (cardinalities, span).
+
+    Every field is additive over disjoint document sets, so a
+    coordinator can sum per-shard replies into the statistics of the
+    logical corpus and run the query planner — hence ``Explain`` —
+    without fetching a single document.
+    """
+
+    kind = "StoreStats"
+    idempotent = True
+
+    session: str
+
+
 # ----------------------------------------------------------------------
 # responses
 # ----------------------------------------------------------------------
@@ -717,3 +812,80 @@ class SummaryStats(Response):
     kind = "SummaryStats"
 
     stats: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Ingested(Response):
+    """Reply to ``IngestDocuments``.
+
+    Attributes:
+        session: the session ingested into.
+        count: documents appended by this command.
+        total: documents the store holds afterwards.
+    """
+
+    kind = "Ingested"
+
+    session: str
+    count: int
+    total: int
+
+
+@dataclass(frozen=True)
+class PatternSupports(Response):
+    """Reply to ``CountPatterns``.
+
+    ``supports[i]`` is the exact support of ``patterns[i]`` from the
+    command; ``sequences`` is the corpus sequence count (the
+    fractional-support denominator).
+    """
+
+    kind = "PatternSupports"
+
+    supports: List[int] = field(default_factory=list)
+    sequences: int = 0
+
+
+@dataclass(frozen=True)
+class SimilarityRows(Response):
+    """Reply to ``SimilarityBlock``: the requested row block."""
+
+    kind = "SimilarityRows"
+
+    rows: List[List[float]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class SummaryPartsInfo(Response):
+    """Reply to ``SummaryParts``: combinable summary pieces.
+
+    ``mo_ids`` lists the distinct moving-object ids (sorted);
+    durations are ``None`` when the corpus slice is empty.
+    """
+
+    kind = "SummaryPartsInfo"
+
+    visits: int = 0
+    mo_ids: List[str] = field(default_factory=list)
+    detections: int = 0
+    transitions: int = 0
+    max_visit_duration: Optional[float] = None
+    min_visit_duration: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class StoreStatsInfo(Response):
+    """Reply to ``StoreStats``: additive planner statistics.
+
+    ``annotations`` is a list of ``[kind, value, count]`` triples
+    (enum kinds carried by value); ``time_span`` is ``[t_min,
+    t_max]`` or ``None`` for an empty store.
+    """
+
+    kind = "StoreStatsInfo"
+
+    doc_count: int = 0
+    states: Dict[str, int] = field(default_factory=dict)
+    annotations: List[List] = field(default_factory=list)
+    mos: Dict[str, int] = field(default_factory=dict)
+    time_span: Optional[List[float]] = None

@@ -31,7 +31,7 @@ from typing import Dict, Optional, Tuple
 
 from repro import __version__
 from repro.service import protocol as P
-from repro.service.executor import execute_command_safely
+from repro.service.executor import run_command_safely
 from repro.service.registry import SessionRegistry, UnknownSessionError
 
 #: Error code → HTTP status of the reply carrying it.
@@ -88,16 +88,28 @@ class ResponseCache:
     def stamp(registry: SessionRegistry,
               session: Optional[str]) -> Optional[Tuple]:
         """The validity stamp of ``session`` right now (None when the
-        session does not resolve — such commands are not cached)."""
+        session does not resolve — such commands are not cached).
+
+        The space component is the workbench's monotonic
+        ``space_generation`` counter, not ``id(space)``: id values
+        are reused after garbage collection, so a dropped session
+        whose replacement space landed at the same address could
+        otherwise revalidate stale bytes.  An engine carrying its own
+        ``cache_stamp`` (the shard coordinator) stamps itself.
+        """
         if not isinstance(session, str):
             return None
+        stamper = getattr(registry, "cache_stamp", None)
+        if stamper is not None:
+            return stamper(session)
         try:
             held = registry.get(session)
         except UnknownSessionError:
             return None
-        store = held.workbench.store
+        workbench = held.workbench
+        store = workbench.store
         return (session, store.serial, store.version,
-                id(held.workbench.space))
+                getattr(workbench, "space_generation", 0))
 
     # -- lookup/insert --------------------------------------------------
     def get(self, registry: SessionRegistry,
@@ -188,7 +200,7 @@ def execute_json(registry: SessionRegistry, raw: bytes,
         # can only fail validation — never serve mixed-state bytes.
         stamp = cache.stamp(registry, getattr(command, "session",
                                               None))
-    response = execute_command_safely(registry, command)
+    response = run_command_safely(registry, command)
     status = 200
     if isinstance(response, P.ErrorInfo):
         status = STATUS_OF_CODE.get(response.code, 500)
@@ -198,6 +210,20 @@ def execute_json(registry: SessionRegistry, raw: bytes,
     return status, body
 
 
+def wal_report(wal) -> Dict:
+    """Group-commit counters of one write-ahead log.
+
+    ``coalescing`` is appends per physical flush — the fan-in the
+    group-commit leader achieved (1.0 means every append paid its own
+    fsync; ``None`` before the first flush).
+    """
+    appends = wal.appends
+    flushes = wal.group_flushes
+    return {"appends": appends, "group_flushes": flushes,
+            "coalescing": (round(appends / flushes, 3)
+                           if flushes else None)}
+
+
 def health_payload(registry: SessionRegistry,
                    load: Optional[Dict] = None) -> Dict:
     """The ``GET /v1/health`` document both servers serve.
@@ -205,12 +231,27 @@ def health_payload(registry: SessionRegistry,
     ``load`` is the front-end's saturation report (in-flight count,
     queue depth, rejection counter, cache stats) — keyed in only when
     given so the threaded and asyncio servers stay shape-compatible.
+    Durable sessions additionally report their WAL group-commit
+    counters, and a shard coordinator engine contributes a per-shard
+    fan-out/saturation section under ``"shards"``.
     """
-    roster = [{"name": session.name, "state": session.state,
-               "trajectories": len(session.workbench.store)}
-              for session in registry.sessions()]
+    roster_fn = getattr(registry, "health_roster", None)
+    if roster_fn is not None:
+        roster = roster_fn()
+    else:
+        roster = []
+        for session in registry.sessions():
+            entry = {"name": session.name, "state": session.state,
+                     "trajectories": len(session.workbench.store)}
+            wal = session.workbench.store.wal
+            if wal is not None:
+                entry["wal"] = wal_report(wal)
+            roster.append(entry)
     payload = {"ok": True, "version": __version__,
                "protocol": P.PROTOCOL_VERSION, "sessions": roster}
+    shards_fn = getattr(registry, "shard_report", None)
+    if shards_fn is not None:
+        payload["shards"] = shards_fn()
     if load is not None:
         payload["load"] = load
     return payload

@@ -1,0 +1,34 @@
+"""Horizontal sharding: scatter-gather execution over N executors.
+
+The subsystem splits a session's corpus across N shard executors by
+consistent hashing of global document ids and makes every read
+command shard-transparent — same commands, same bytes out, whichever
+engine serves them:
+
+* :mod:`repro.shard.ring` — the consistent-hash ring and the derived
+  global↔local id topology;
+* :mod:`repro.shard.merge` — the k-way ordered merge under paginated
+  scatter-gather reads;
+* :mod:`repro.shard.coordinator` — the engine: routed ingest,
+  translated cursors, partial-aggregate mining, fan-out builds;
+* :mod:`repro.shard.workers` — process-backed shards (one
+  ``repro serve`` each) for real isolation and kill -9 recovery;
+* :mod:`repro.shard.rebalance` — offline N → M re-splitting of a
+  durable shard root.
+"""
+
+from repro.shard.coordinator import ShardCoordinator
+from repro.shard.ring import (
+    DEFAULT_REPLICAS,
+    HashRing,
+    ShardStateError,
+    ShardTopology,
+)
+
+__all__ = [
+    "DEFAULT_REPLICAS",
+    "HashRing",
+    "ShardCoordinator",
+    "ShardStateError",
+    "ShardTopology",
+]

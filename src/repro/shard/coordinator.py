@@ -1,0 +1,1099 @@
+"""The scatter-gather coordinator over N shard executors.
+
+:class:`ShardCoordinator` presents the *engine* surface the service
+front-ends already speak (``execute_command`` /
+``execute_command_safely`` plus the duck-typed ``cache_stamp`` /
+``health_roster`` / ``shard_report`` hooks), so the threaded server,
+the asyncio server and :class:`~repro.service.executor.LocalBinding`
+all serve a sharded corpus without a line of transport change.
+
+Behind that surface every session is split across N shard executors —
+in-process registries or remote ``repro serve`` workers — by
+consistent hashing of **global document ids** (:mod:`repro.shard
+.ring`).  The coordinator reuses the executor's route/merge phases
+verbatim (:func:`~repro.service.executor.route_page` and friends), so
+validation, cursors, page shapes and error strings are byte-identical
+to the single-process engine; only the execute phase differs:
+
+* ``RunQuery`` — per-shard cursor-translated page streams, k-way
+  merged on ``(order key, global doc id)`` (:mod:`repro.shard.merge`);
+* ``Explain`` — per-shard ``StoreStats`` summed into the logical
+  corpus statistics, planned against a stats-only store proxy;
+* ``MinePatterns`` — count-distribution PrefixSpan: local mining at a
+  pigeonhole-lowered threshold, then an exact ``CountPatterns``
+  recount of the candidate union;
+* ``Similarity`` — the merged sequence list scattered as
+  ``SimilarityBlock`` row ranges and stitched;
+* ``Flow`` / ``Summary`` — additive partial aggregates combined
+  (``SummaryParts`` carries visitor *sets* so distinct counts stay
+  exact);
+* ``BuildDataset`` — the pipeline runs once on the coordinator with a
+  fan-out sink that routes each built batch to its shards as
+  ``IngestDocuments``.
+
+Nothing about placement is persisted beyond the shard count: shard
+``k`` ingests its documents in global order, so local↔global id
+translation is re-derived from the router alone (see
+:class:`~repro.shard.ring.ShardTopology`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import math
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.mining.prefixspan import SequentialPattern
+from repro.service import protocol as P
+from repro.service.executor import (
+    MAX_PAGE_SIZE,
+    CommandError,
+    PageSpec,
+    assemble_page,
+    decode_page_cursor,
+    route_page,
+)
+from repro.service.registry import MAX_FINISHED_JOBS, BuildJob, JobState
+from repro.shard.merge import merge_sorted
+from repro.shard.ring import (
+    DEFAULT_REPLICAS,
+    HashRing,
+    ShardStateError,
+    ShardTopology,
+)
+from repro.storage.query import Query
+from repro.storage.results import ORDER_KEYS
+
+#: Process-wide coordinator serial for response-cache stamps: two
+#: coordinator instances must never produce colliding stamps.
+_COORD_SERIALS = itertools.count(1)
+
+
+class _CoordSession:
+    """Coordinator-side bookkeeping of one sharded session."""
+
+    def __init__(self, name: str, shard_count: int,
+                 router: Callable[[int], int]) -> None:
+        self.name = name
+        self.space_name: Optional[str] = None
+        self.doc_count = 0
+        self.topology = ShardTopology(shard_count, router)
+        #: Bumped per ingest batch / restore — the cache-stamp
+        #: component standing in for the stores' versions.
+        self.generation = 0
+        #: Serializes ingestion so global ids are assigned in order.
+        self.ingest_lock = threading.Lock()
+        self._building = 0
+        self._failed = False
+
+    @property
+    def state(self) -> str:
+        """Mirrors :attr:`repro.service.registry.Session.state`."""
+        if self._building:
+            return "building"
+        if self._failed:
+            return "failed"
+        return "ready" if self.doc_count else "empty"
+
+
+class _StatsProxy:
+    """A stats-only stand-in for :class:`TrajectoryStore`.
+
+    Carries exactly the store surface the query planner touches while
+    *explaining* (cardinalities, corpus size, time span); the fetch
+    closures the plan builds are lazy and never fire during
+    ``explain()``, so no document access is needed — the coordinator
+    plans the logical corpus from summed per-shard statistics alone.
+    """
+
+    def __init__(self, doc_count: int, states: Dict[str, int],
+                 annotations: Dict, mos: Dict[str, int],
+                 time_span: Optional[Tuple[float, float]]) -> None:
+        self._doc_count = doc_count
+        self._states = states
+        self._annotations = annotations
+        self._mos = mos
+        self._time_span = time_span
+
+    def __len__(self) -> int:
+        return self._doc_count
+
+    def all_ids(self):
+        return frozenset(range(self._doc_count))
+
+    def state_cardinalities(self) -> Dict[str, int]:
+        return dict(self._states)
+
+    def annotation_cardinalities(self) -> Dict:
+        return dict(self._annotations)
+
+    def mo_cardinalities(self) -> Dict[str, int]:
+        return dict(self._mos)
+
+    def ids_of_mo(self, mo_id: str):
+        return range(self._mos.get(str(mo_id), 0))
+
+    def time_span(self) -> Optional[Tuple[float, float]]:
+        return self._time_span
+
+
+class ShardCoordinator:
+    """Scatter-gather engine over N shard executors.
+
+    Args:
+        backends: one protocol binding per shard — anything with a
+            ``call(command) -> Response`` raising
+            :class:`~repro.service.protocol.ServiceError`
+            (:class:`~repro.service.executor.LocalBinding`,
+            :class:`~repro.service.client.ServiceClient`).
+        router: global doc id → shard index; defaults to a
+            :class:`~repro.shard.ring.HashRing` over ``len(backends)``
+            shards.
+        replicas: virtual nodes of the default ring.
+        autosave: checkpoint every shard (``SaveSession``) after a
+            successful build — on for durable shard sets.
+
+    Raises:
+        ShardStateError: when sessions found on the shards do not
+            match the routing-derived document layout.
+    """
+
+    def __init__(self, backends: List,
+                 router: Optional[Callable[[int], int]] = None,
+                 replicas: int = DEFAULT_REPLICAS,
+                 autosave: bool = False) -> None:
+        if not backends:
+            raise ValueError("need at least one shard backend")
+        self.backends = list(backends)
+        self.shard_count = len(self.backends)
+        self.ring = HashRing(self.shard_count, replicas=replicas)
+        self.router = router if router is not None \
+            else self.ring.shard_of
+        self.autosave = autosave
+        self._serial = next(_COORD_SERIALS)
+        self._sessions: Dict[str, _CoordSession] = {}
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, BuildJob] = {}
+        self._job_ids = itertools.count(1)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(2, self.shard_count),
+            thread_name_prefix="repro-shard")
+        self._stats_lock = threading.Lock()
+        self._shard_stats = [{"requests": 0, "errors": 0,
+                              "inflight": 0}
+                             for _ in range(self.shard_count)]
+        #: "shard-k/name" → restore failure message (local shards).
+        self.restore_errors: Dict[str, str] = {}
+        self._discover_sessions()
+
+    # ------------------------------------------------------------------
+    # construction sugar
+    # ------------------------------------------------------------------
+    @classmethod
+    def local(cls, shard_count: int,
+              persist_dir: Optional[str] = None, fsync: bool = True,
+              router: Optional[Callable[[int], int]] = None,
+              replicas: int = DEFAULT_REPLICAS) -> "ShardCoordinator":
+        """A coordinator over ``shard_count`` in-process registries.
+
+        With a ``persist_dir``, shard ``k`` journals to
+        ``<persist_dir>/shard-k`` and the root carries a ``shard.json``
+        manifest; reopening the root with a different shard count
+        raises :class:`~repro.shard.ring.ShardStateError` (run
+        ``repro rebalance`` to re-split).
+        """
+        from repro.service.executor import LocalBinding
+        from repro.service.registry import SessionRegistry
+        from repro.shard.rebalance import check_manifest, shard_home
+
+        if persist_dir is not None:
+            check_manifest(persist_dir, shard_count, replicas)
+        backends = []
+        registries = []
+        for shard in range(shard_count):
+            home = shard_home(persist_dir, shard) \
+                if persist_dir is not None else None
+            registry = SessionRegistry(persist_dir=home, fsync=fsync)
+            registries.append(registry)
+            backends.append(LocalBinding(registry))
+        coordinator = cls(backends, router=router, replicas=replicas,
+                          autosave=persist_dir is not None)
+        for shard, registry in enumerate(registries):
+            for name, message in registry.restore_errors.items():
+                coordinator.restore_errors[
+                    "shard-{}/{}".format(shard, name)] = message
+        return coordinator
+
+    # ------------------------------------------------------------------
+    # shard RPC plumbing
+    # ------------------------------------------------------------------
+    def _call(self, shard: int, command: P.Command) -> P.Response:
+        """One shard call with saturation accounting."""
+        stats = self._shard_stats[shard]
+        with self._stats_lock:
+            stats["requests"] += 1
+            stats["inflight"] += 1
+        try:
+            return self.backends[shard].call(command)
+        except Exception:
+            with self._stats_lock:
+                stats["errors"] += 1
+            raise
+        finally:
+            with self._stats_lock:
+                stats["inflight"] -= 1
+
+    def _scatter(self, commands: List[Optional[P.Command]]) -> List:
+        """Run one command per shard concurrently (``None`` skips a
+        shard).  Raises the lowest-indexed shard's failure, so error
+        relay is deterministic regardless of completion order."""
+        futures = [None if command is None
+                   else self._pool.submit(self._call, shard, command)
+                   for shard, command in enumerate(commands)]
+        results: List = []
+        failure: Optional[BaseException] = None
+        for future in futures:
+            if future is None:
+                results.append(None)
+                continue
+            try:
+                results.append(future.result())
+            except BaseException as error:
+                if failure is None:
+                    failure = error
+                results.append(None)
+        if failure is not None:
+            raise failure
+        return results
+
+    def _scatter_same(self, command: P.Command) -> List:
+        return self._scatter([command] * self.shard_count)
+
+    # ------------------------------------------------------------------
+    # session bookkeeping
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        """Session names, insertion-ordered."""
+        with self._lock:
+            return list(self._sessions)
+
+    def _held(self, name: str) -> _CoordSession:
+        with self._lock:
+            session = self._sessions.get(name)
+        if session is None:
+            raise CommandError(
+                "unknown_session",
+                "no session named {!r}; sessions: {}".format(
+                    name, ", ".join(self.names()) or "(none)"))
+        return session
+
+    def _create_session(self, name: str,
+                        space: Optional[str] = None) -> _CoordSession:
+        with self._lock:
+            session = self._sessions.get(name)
+            created = session is None
+            if created:
+                session = _CoordSession(name, self.shard_count,
+                                        self.router)
+                session.space_name = space
+                self._sessions[name] = session
+            elif session.space_name is None and space is not None:
+                session.space_name = space
+        if created:
+            # Materialize the session on *every* shard up front so
+            # scattered reads never 404 on a shard that received no
+            # documents yet.
+            self._scatter_same(P.IngestDocuments(
+                session=name, docs=[], space=session.space_name))
+        return session
+
+    def _adopt_layout(self, name: str, per_shard: List[int],
+                      space: Optional[str]) -> _CoordSession:
+        """Adopt a session the shards already hold (discovery or
+        restore), validating the counts against the routing."""
+        session = _CoordSession(name, self.shard_count, self.router)
+        session.space_name = space
+        session.doc_count = sum(per_shard)
+        session.generation = 1
+        expected = session.topology.counts(session.doc_count)
+        if expected != per_shard:
+            raise ShardStateError(
+                "session {!r}: shard document counts {} do not match "
+                "the routing-derived layout {} for {} shards; run "
+                "'repro rebalance' to re-split the corpus".format(
+                    name, per_shard, expected, self.shard_count))
+        return session
+
+    def _discover_sessions(self) -> None:
+        """Adopt sessions the shard set restored from disk."""
+        listings = self._scatter_same(P.ListSessions())
+        per_shard: List[Dict[str, P.SessionInfo]] = [
+            {info.name: info for info in listing.sessions}
+            for listing in listings]
+        names: List[str] = []
+        for shard_map in per_shard:
+            for name in shard_map:
+                if name not in names:
+                    names.append(name)
+        for name in names:
+            counts = [len_of.get(name) for len_of in per_shard]
+            space = next((info.space for info in counts
+                          if info is not None
+                          and info.space is not None), None)
+            session = self._adopt_layout(
+                name,
+                [0 if info is None else info.trajectories
+                 for info in counts],
+                space)
+            with self._lock:
+                self._sessions[name] = session
+            missing = [shard for shard, info in enumerate(counts)
+                       if info is None]
+            if missing:
+                self._scatter([
+                    P.IngestDocuments(session=name, docs=[],
+                                      space=space)
+                    if shard in missing else None
+                    for shard in range(self.shard_count)])
+
+    # ------------------------------------------------------------------
+    # engine surface (duck-typed hooks the front-ends consult)
+    # ------------------------------------------------------------------
+    def cache_stamp(self, session) -> Optional[Tuple]:
+        """Response-cache validity stamp (see
+        :meth:`ResponseCache.stamp
+        <repro.service.wire.ResponseCache.stamp>`)."""
+        if not isinstance(session, str):
+            return None
+        with self._lock:
+            held = self._sessions.get(session)
+        if held is None:
+            return None
+        return (session, self._serial, held.generation)
+
+    def health_roster(self) -> List[Dict]:
+        """Per-session roster for ``GET /v1/health``."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return [{"name": session.name, "state": session.state,
+                 "trajectories": session.doc_count}
+                for session in sessions]
+
+    def shard_report(self) -> List[Dict]:
+        """Per-shard fan-out and saturation counters for
+        ``GET /v1/health``."""
+        with self._stats_lock:
+            return [{"shard": shard, "requests": stats["requests"],
+                     "errors": stats["errors"],
+                     "inflight": stats["inflight"]}
+                    for shard, stats in enumerate(self._shard_stats)]
+
+    # ------------------------------------------------------------------
+    # ingestion (global-id assignment + routed fan-out)
+    # ------------------------------------------------------------------
+    def _ingest_locked(self, session: _CoordSession,
+                       docs: List[Dict]) -> None:
+        """Route one already-validated batch (caller holds the
+        session's ingest lock)."""
+        if not docs:
+            return
+        start = session.doc_count
+        session.topology.extend_to(start + len(docs))
+        buckets: List[List[Dict]] = [[] for _ in
+                                     range(self.shard_count)]
+        for offset, doc in enumerate(docs):
+            buckets[self.router(start + offset)].append(doc)
+        self._scatter([
+            P.IngestDocuments(session=session.name, docs=bucket,
+                              space=session.space_name)
+            if bucket else None
+            for bucket in buckets])
+        session.doc_count += len(docs)
+        session.generation += 1
+
+    def _ingest_documents(self,
+                          command: P.IngestDocuments) -> P.Response:
+        from repro.core.trajectory import SemanticTrajectory
+
+        session = self._create_session(command.session,
+                                       space=command.space)
+        try:  # validate before any shard mutates
+            for item in command.docs:
+                SemanticTrajectory.from_dict(item)
+        except (KeyError, TypeError, ValueError) as error:
+            raise CommandError(
+                "bad_request",
+                "unparseable document: {}".format(error))
+        with session.ingest_lock:
+            self._ingest_locked(session, list(command.docs))
+        return P.Ingested(session=command.session,
+                          count=len(command.docs),
+                          total=session.doc_count)
+
+    # ------------------------------------------------------------------
+    # builds (pipeline once, fan the sink out)
+    # ------------------------------------------------------------------
+    def _build(self, command: P.BuildDataset) -> P.Response:
+        if command.source not in ("louvre", "csv"):
+            raise CommandError(
+                "bad_request",
+                "unknown source {!r}; one of: louvre, csv".format(
+                    command.source))
+        if command.source == "csv" and not command.path:
+            raise CommandError("bad_request", "csv source needs a path")
+        session = self._create_session(command.session,
+                                       space="LouvreSpace")
+        name = command.session
+
+        def target(job: BuildJob) -> None:
+            from repro.core.builder import TrajectoryBuilder
+            from repro.persist.session import revive_space
+            from repro.pipeline import Pipeline
+            from repro.pipeline.cache import DEFAULT_CACHE
+
+            with session.ingest_lock:
+                session._building += 1
+                try:
+                    space = revive_space(session.space_name)
+                    if command.source == "louvre":
+                        from repro.pipeline.sources import louvre_source
+                        stream = louvre_source(space,
+                                               scale=command.scale)
+                    else:
+                        from repro.pipeline.sources import csv_source
+                        stream = csv_source(command.path)
+                    builder = TrajectoryBuilder(
+                        space.dataset_zone_nrg())
+                    sink = _FanoutSinkStage(self, session)
+                    pipeline = Pipeline(
+                        builder.stages(streaming=command.streaming)
+                        + [sink],
+                        batch_size=command.batch_size,
+                        workers=command.workers,
+                        executor=command.executor,
+                        cache=DEFAULT_CACHE if command.cache
+                        else None)
+                    job._pipeline = pipeline
+                    pipeline.run(stream, collect=False)
+                    session._failed = False
+                    if self.autosave:
+                        self._scatter_same(
+                            P.SaveSession(session=name))
+                except BaseException:
+                    session._failed = True
+                    raise
+                finally:
+                    session._building -= 1
+
+        with self._lock:
+            job = BuildJob("job-{}".format(next(self._job_ids)), name,
+                           target)
+            self._jobs[job.job_id] = job
+            finished = [job_id for job_id, held in self._jobs.items()
+                        if held.state in (JobState.DONE,
+                                          JobState.FAILED)]
+            for job_id in finished[:max(0, len(finished)
+                                        - MAX_FINISHED_JOBS)]:
+                del self._jobs[job_id]
+        job._start()
+        if command.wait:
+            job.wait()
+        return P.JobInfo(job_id=job.job_id, session=job.session,
+                         state=job.state.value, error=job.error,
+                         metrics=P.JobInfo.metrics_dict(job.metrics))
+
+    def _job_status(self, command: P.JobStatus) -> P.Response:
+        with self._lock:
+            job = self._jobs.get(command.job_id)
+        if job is None:
+            raise CommandError("unknown_job",
+                               "no job {!r}".format(command.job_id))
+        return P.JobInfo(job_id=job.job_id, session=job.session,
+                         state=job.state.value, error=job.error,
+                         metrics=P.JobInfo.metrics_dict(job.metrics))
+
+    # ------------------------------------------------------------------
+    # session lifecycle commands
+    # ------------------------------------------------------------------
+    def _list_sessions(self, command: P.ListSessions) -> P.Response:
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return P.SessionList(sessions=[
+            P.SessionInfo(name=session.name,
+                          trajectories=session.doc_count,
+                          state=session.state,
+                          space=session.space_name)
+            for session in sessions])
+
+    def _drop_session(self, command: P.DropSession) -> P.Response:
+        with self._lock:
+            if command.session not in self._sessions:
+                raise CommandError(
+                    "unknown_session",
+                    "no session named {!r}".format(command.session))
+        for shard in range(self.shard_count):
+            try:
+                self._call(shard,
+                           P.DropSession(session=command.session))
+            except P.ServiceError as error:
+                if error.code != "unknown_session":
+                    raise
+        with self._lock:
+            self._sessions.pop(command.session, None)
+        return P.Dropped(session=command.session)
+
+    def _save_session(self, command: P.SaveSession) -> P.Response:
+        self._held(command.session)
+        saved = self._scatter_same(
+            P.SaveSession(session=command.session))
+        return P.SessionSaved(
+            session=command.session,
+            snapshot=saved[0].snapshot,
+            trajectories=sum(info.trajectories for info in saved),
+            total_bytes=sum(info.total_bytes for info in saved))
+
+    def _restore_session(self,
+                         command: P.RestoreSession) -> P.Response:
+        restored = self._scatter_same(
+            P.RestoreSession(session=command.session))
+        space = next((info.space for info in restored
+                      if info.space is not None), None)
+        try:
+            session = self._adopt_layout(
+                command.session,
+                [info.trajectories for info in restored], space)
+        except ShardStateError as error:
+            raise CommandError("persistence", str(error))
+        with self._lock:
+            self._sessions[command.session] = session
+        return P.SessionInfo(name=command.session,
+                             trajectories=session.doc_count,
+                             state=session.state,
+                             space=session.space_name)
+
+    # ------------------------------------------------------------------
+    # RunQuery: translated cursors + k-way merge
+    # ------------------------------------------------------------------
+    def _validate_query(self, query: Optional[Dict]) -> None:
+        """Parse-check a query payload with the executor's message
+        (parsing never touches the store, so no shard is needed)."""
+        if query is None:
+            return
+        try:
+            Query.from_dict(None, query)  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError) as error:
+            raise CommandError(
+                "bad_request",
+                "unparseable query: {}".format(error))
+
+    def _shard_boundary(self, spec: PageSpec, boundary: Optional[Tuple],
+                        last_doc_id: Optional[int],
+                        globals_list: List[int]
+                        ) -> Tuple[Optional[str], Optional[Callable]]:
+        """Translate the global resume boundary into shard terms.
+
+        Returns ``(cursor, gid_filter)``: a forged shard cursor token
+        (``None`` to stream the shard from the start) plus an optional
+        coordinator-side filter over ``(hit, global id)`` for the one
+        boundary shape a strict shard-local keyset cannot express.
+
+        The translation leans on the local↔global order isomorphism:
+        shard-local ids enumerate the shard's global ids in ascending
+        order, so a global boundary maps to the local index bracketing
+        it (``bisect``) — documents ingested after the cursor was
+        issued only ever extend the mapping past the boundary.
+        """
+        if boundary is None and last_doc_id is None:
+            return None, None
+        if spec.order_by is None:
+            # Natural order: resume past the last *global* id served.
+            local = bisect.bisect_right(globals_list, last_doc_id) - 1
+            if local < 0:
+                return None, None  # every shard doc is past the boundary
+            return P.encode_cursor({"f": spec.fingerprint,
+                                    "k": local}), None
+        value, gid = boundary
+        if spec.order_by == "doc_id":
+            if value == gid:
+                # A genuine doc_id keyset token (okv == id): localize
+                # both components so the shard's composite (id, id)
+                # comparison lands on the same split.
+                if spec.descending:
+                    local = bisect.bisect_left(globals_list, gid)
+                    if local >= len(globals_list):
+                        return None, None  # all shard docs precede it
+                else:
+                    local = bisect.bisect_right(globals_list, gid) - 1
+                    if local < 0:
+                        return None, None
+                return P.encode_cursor({"f": spec.fingerprint,
+                                        "okv": local,
+                                        "k": local}), None
+            # Forged token (okv diverges from the id): no local
+            # composite reproduces it — filter coordinator-side.
+            if spec.descending:
+                return None, (lambda hit, g: (g, g) < (value, gid))
+            return None, (lambda hit, g: (g, g) > (value, gid))
+        key_fn = ORDER_KEYS[spec.order_by]
+        if spec.descending:
+            # Ties on the order value must keep exactly g < gid:
+            # local index bisect_left(gid) splits them identically.
+            local = bisect.bisect_left(globals_list, gid)
+            return P.encode_cursor({"f": spec.fingerprint,
+                                    "okv": value, "k": local}), None
+        local = bisect.bisect_right(globals_list, gid) - 1
+        if local < 0:
+            # Every shard doc sorts after the boundary id; "order
+            # value strictly greater, or equal value" has no strict
+            # local keyset — filter on the global composite instead.
+            return None, (lambda hit, g:
+                          (key_fn(hit), g) > (value, gid))
+        return P.encode_cursor({"f": spec.fingerprint, "okv": value,
+                                "k": local}), None
+
+    def _merge_key(self, spec: Optional[PageSpec]) -> Callable:
+        """``(hit, global id) -> sort key`` for the k-way merge."""
+        if spec is None or spec.order_by is None:
+            return lambda hit, gid: gid
+        if spec.order_by == "doc_id":
+            return lambda hit, gid: (gid, gid)
+        key_fn = ORDER_KEYS[spec.order_by]
+        return lambda hit, gid: (key_fn(hit), gid)
+
+    def _shard_stream(self, shard: int, first_page: P.QueryPage,
+                      command: P.RunQuery, session: _CoordSession,
+                      key_of: Callable,
+                      gid_filter: Optional[Callable],
+                      totals: List[Optional[int]]
+                      ) -> Iterator[Tuple]:
+        """One shard's hit stream as ``(merge key, global Hit)``
+        pairs, following the shard's own ``next_cursor`` chain
+        lazily."""
+        page = first_page
+        while True:
+            if page.total is not None:
+                totals[shard] = page.total
+            for hit in page.hits:
+                gid = session.topology.global_for(shard, hit.doc_id)
+                if gid_filter is not None \
+                        and not gid_filter(hit, gid):
+                    continue
+                promoted = P.Hit(doc_id=gid,
+                                 trajectory=hit.trajectory)
+                yield key_of(hit, gid), promoted
+            if page.next_cursor is None:
+                return
+            page = self._call(shard,
+                              replace(command,
+                                      cursor=page.next_cursor,
+                                      include_total=False))
+
+    def _scatter_pages(self, session: _CoordSession,
+                       query: Optional[Dict], limit: int,
+                       order_by: Optional[str], descending: bool,
+                       want_total: bool,
+                       spec: Optional[PageSpec] = None,
+                       boundary: Optional[Tuple] = None,
+                       last_doc_id: Optional[int] = None
+                       ) -> Tuple[Iterator, List[Optional[int]]]:
+        """Scatter the first page to every shard and return the
+        merged hit iterator plus the per-shard totals slots."""
+        session.topology.extend_to(session.doc_count)
+        commands: List[P.RunQuery] = []
+        filters: List[Optional[Callable]] = []
+        for shard in range(self.shard_count):
+            cursor: Optional[str] = None
+            gid_filter: Optional[Callable] = None
+            if spec is not None:
+                cursor, gid_filter = self._shard_boundary(
+                    spec, boundary, last_doc_id,
+                    session.topology.globals_of(shard))
+            commands.append(P.RunQuery(
+                session=session.name, query=query, limit=limit,
+                cursor=cursor, offset=0, order_by=order_by,
+                descending=descending, include_total=want_total))
+            filters.append(gid_filter)
+        first_pages = self._scatter(commands)
+        totals: List[Optional[int]] = [None] * self.shard_count
+        key_of = self._merge_key(spec)
+        streams = [
+            self._shard_stream(shard, first_pages[shard],
+                               commands[shard], session, key_of,
+                               filters[shard], totals)
+            for shard in range(self.shard_count)]
+        return merge_sorted(streams, descending=descending), totals
+
+    def _run_query(self, command: P.RunQuery) -> P.Response:
+        # -- route: the executor's shared validation, verbatim
+        session = self._held(command.session)
+        spec = route_page(command)
+        self._validate_query(command.query)
+        boundary, last_doc_id = decode_page_cursor(command, spec)
+
+        # -- execute: translated per-shard streams, k-way merged.
+        # The executor applies ``offset`` on ordered pages and on
+        # cursor-less natural pages, but never on a natural-order
+        # resume — replicated here so the skip count matches.
+        skip = command.offset if (spec.order_by is not None
+                                  or command.cursor is None) else 0
+        needed = skip + spec.limit + 1
+        want_total = command.include_total and command.cursor is None
+        merged, totals = self._scatter_pages(
+            session, command.query,
+            min(MAX_PAGE_SIZE, needed),
+            command.order_by, command.descending, want_total,
+            spec=spec, boundary=boundary, last_doc_id=last_doc_id)
+        window: List[P.Hit] = []
+        try:
+            for hit in merged:
+                window.append(hit)
+                if len(window) >= needed:
+                    break
+        except TypeError:
+            raise CommandError(
+                "bad_cursor",
+                "cursor boundary does not order against this key")
+
+        # -- merge: the executor's shared page assembly, verbatim
+        page, next_cursor = assemble_page(window[skip:], spec)
+        total = sum(count or 0 for count in totals) if want_total \
+            else None
+        return P.QueryPage(hits=page, total=total,
+                           next_cursor=next_cursor)
+
+    def _merged_hits(self, session: _CoordSession,
+                     query: Optional[Dict]) -> Iterator[P.Hit]:
+        """Every matching hit in global doc-id order (the corpus
+        stream behind the mining commands)."""
+        merged, _ = self._scatter_pages(session, query,
+                                        MAX_PAGE_SIZE, None, False,
+                                        False)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Explain: summed statistics + the stats proxy
+    # ------------------------------------------------------------------
+    def _combined_stats(self, name: str) -> _StatsProxy:
+        from repro.core.annotations import AnnotationKind
+
+        replies = self._scatter_same(P.StoreStats(session=name))
+        doc_count = 0
+        states: Dict[str, int] = {}
+        mos: Dict[str, int] = {}
+        annotations: Dict = {}
+        span: Optional[List[float]] = None
+        for reply in replies:
+            doc_count += reply.doc_count
+            for state, count in reply.states.items():
+                states[state] = states.get(state, 0) + count
+            for mo, count in reply.mos.items():
+                mos[mo] = mos.get(mo, 0) + count
+            for kind, value, count in reply.annotations:
+                key = (AnnotationKind(kind), value)
+                annotations[key] = annotations.get(key, 0) + count
+            if reply.time_span is not None:
+                if span is None:
+                    span = list(reply.time_span)
+                else:
+                    span[0] = min(span[0], reply.time_span[0])
+                    span[1] = max(span[1], reply.time_span[1])
+        return _StatsProxy(doc_count, states, annotations, mos,
+                           None if span is None else tuple(span))
+
+    def _explain(self, command: P.Explain) -> P.Response:
+        self._held(command.session)
+        proxy = self._combined_stats(command.session)
+        try:
+            if command.query is None:
+                query = Query(proxy)  # type: ignore[arg-type]
+            else:
+                query = Query.from_dict(
+                    proxy, command.query)  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError) as error:
+            raise CommandError(
+                "bad_request",
+                "unparseable query: {}".format(error))
+        return P.Explanation(plan=query.explain())
+
+    def _store_stats(self, command: P.StoreStats) -> P.Response:
+        self._held(command.session)
+        proxy = self._combined_stats(command.session)
+        annotations = [[kind.value, value, count]
+                       for (kind, value), count
+                       in proxy.annotation_cardinalities().items()]
+        annotations.sort(key=lambda item: (item[0], repr(item[1])))
+        span = proxy.time_span()
+        return P.StoreStatsInfo(
+            doc_count=len(proxy),
+            states=proxy.state_cardinalities(),
+            annotations=annotations,
+            mos=proxy.mo_cardinalities(),
+            time_span=None if span is None else list(span))
+
+    # ------------------------------------------------------------------
+    # mining: partial aggregates + combine
+    # ------------------------------------------------------------------
+    def _mine_patterns(self, command: P.MinePatterns) -> P.Response:
+        session = self._held(command.session)
+        probe = self._scatter_same(P.CountPatterns(
+            session=command.session, query=command.query))
+        total = sum(reply.sequences for reply in probe)
+        if total == 0:
+            # patterns_over returns [] for an empty corpus before any
+            # parameter validation — mirrored for byte parity.
+            return P.PatternList(patterns=[])
+        if command.max_length < 1:
+            raise CommandError("bad_request",
+                               "max_length must be at least 1")
+        if command.min_support >= 1:
+            support = int(command.min_support)
+        else:
+            support = max(2, int(math.ceil(command.min_support
+                                           * total)))
+        # Pigeonhole: a pattern with global support >= S has local
+        # support >= ceil(S / N) on at least one shard, so mining
+        # every shard at the lowered threshold finds every candidate.
+        local_support = -(-support // self.shard_count)
+        mined = self._scatter_same(P.MinePatterns(
+            session=command.session, query=command.query,
+            min_support=local_support,
+            max_length=command.max_length))
+        candidates = sorted({tuple(pattern.sequence)
+                             for reply in mined
+                             for pattern in reply.patterns})
+        if not candidates:
+            return P.PatternList(patterns=[])
+        recount = self._scatter_same(P.CountPatterns(
+            session=command.session, query=command.query,
+            patterns=[list(candidate) for candidate in candidates]))
+        patterns = []
+        for index, candidate in enumerate(candidates):
+            count = sum(reply.supports[index] for reply in recount)
+            if count >= support:
+                patterns.append(SequentialPattern(
+                    sequence=candidate, support=count))
+        patterns.sort(key=lambda p: (-p.support, p.sequence))
+        return P.PatternList(patterns=patterns)
+
+    def _count_patterns(self, command: P.CountPatterns) -> P.Response:
+        self._held(command.session)
+        replies = self._scatter_same(command)
+        supports = [sum(reply.supports[index] for reply in replies)
+                    for index in range(len(command.patterns))]
+        return P.PatternSupports(
+            supports=supports,
+            sequences=sum(reply.sequences for reply in replies))
+
+    def _similarity(self, command: P.Similarity) -> P.Response:
+        session = self._held(command.session)
+        sequences = [hit.trajectory.distinct_state_sequence()
+                     for hit in self._merged_hits(session,
+                                                  command.query)]
+        size = len(sequences)
+        if size == 0:
+            return P.SimilarityMatrix(matrix=[])
+        # Contiguous row blocks, one per shard; each pair's score
+        # depends only on the two sequences + the shared hierarchy,
+        # so stitched rows are bit-identical to the full matrix.
+        chunk = -(-size // self.shard_count)
+        commands = []
+        for shard in range(self.shard_count):
+            row_start = min(size, shard * chunk)
+            row_end = min(size, (shard + 1) * chunk)
+            commands.append(P.SimilarityBlock(
+                session=command.session, sequences=sequences,
+                row_start=row_start, row_end=row_end))
+        blocks = self._scatter(commands)
+        matrix: List[List[float]] = []
+        for block in blocks:
+            matrix.extend(block.rows)
+        return P.SimilarityMatrix(matrix=matrix)
+
+    def _similarity_block(self,
+                          command: P.SimilarityBlock) -> P.Response:
+        self._held(command.session)
+        size = len(command.sequences)
+        if not 0 <= command.row_start <= command.row_end <= size:
+            raise CommandError(
+                "bad_request",
+                "row block [{}, {}) out of range for {} "
+                "sequences".format(command.row_start,
+                                   command.row_end, size))
+        # The sequences are explicit and the hierarchy identical on
+        # every shard — any one shard computes the exact block.
+        return self._call(0, command)
+
+    def _flow(self, command: P.Flow) -> P.Response:
+        from repro.mining.flow import FlowBalance
+
+        self._held(command.session)
+        replies = self._scatter_same(command)
+        inflow: Dict[str, int] = {}
+        outflow: Dict[str, int] = {}
+        starts: Dict[str, int] = {}
+        ends: Dict[str, int] = {}
+        for reply in replies:
+            for balance in reply.balances:
+                state = balance.state
+                inflow[state] = inflow.get(state, 0) + balance.inflow
+                outflow[state] = outflow.get(state, 0) \
+                    + balance.outflow
+                starts[state] = starts.get(state, 0) \
+                    + balance.started_here
+                ends[state] = ends.get(state, 0) + balance.ended_here
+        balances = [FlowBalance(state, inflow[state], outflow[state],
+                                starts[state], ends[state])
+                    for state in inflow]
+        balances.sort(key=lambda b: (-abs(b.imbalance), b.state))
+        return P.FlowList(balances=balances)
+
+    def _sequences(self, command: P.Sequences) -> P.Response:
+        session = self._held(command.session)
+        return P.SequenceList(sequences=[
+            hit.trajectory.distinct_state_sequence()
+            for hit in self._merged_hits(session, command.query)])
+
+    def _summary_parts(self, command: P.SummaryParts
+                       ) -> Tuple[int, List[str], int, int,
+                                  Optional[float], Optional[float]]:
+        replies = self._scatter_same(P.SummaryParts(
+            session=command.session, query=command.query))
+        visits = sum(reply.visits for reply in replies)
+        mo_ids: set = set()
+        for reply in replies:
+            mo_ids.update(reply.mo_ids)
+        detections = sum(reply.detections for reply in replies)
+        transitions = sum(reply.transitions for reply in replies)
+        maxima = [reply.max_visit_duration for reply in replies
+                  if reply.max_visit_duration is not None]
+        minima = [reply.min_visit_duration for reply in replies
+                  if reply.min_visit_duration is not None]
+        return (visits, sorted(mo_ids), detections, transitions,
+                max(maxima) if maxima else None,
+                min(minima) if minima else None)
+
+    def _summary(self, command: P.Summary) -> P.Response:
+        self._held(command.session)
+        visits, mo_ids, detections, transitions, longest, shortest = \
+            self._summary_parts(P.SummaryParts(
+                session=command.session, query=command.query))
+        if visits == 0:
+            # corpus_summary's exact empty shape (int/float split
+            # matters for canonical JSON).
+            return P.SummaryStats(stats={
+                "visits": 0, "visitors": 0, "detections": 0,
+                "transitions": 0, "max_visit_duration": 0.0,
+                "min_visit_duration": 0.0})
+        return P.SummaryStats(stats={
+            "visits": visits, "visitors": len(mo_ids),
+            "detections": detections, "transitions": transitions,
+            "max_visit_duration": longest,
+            "min_visit_duration": shortest})
+
+    def _summary_parts_command(self,
+                               command: P.SummaryParts) -> P.Response:
+        self._held(command.session)
+        visits, mo_ids, detections, transitions, longest, shortest = \
+            self._summary_parts(command)
+        return P.SummaryPartsInfo(
+            visits=visits, mo_ids=mo_ids, detections=detections,
+            transitions=transitions, max_visit_duration=longest,
+            min_visit_duration=shortest)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    _HANDLERS: Dict = {}
+
+    def execute_command(self, command: P.Command) -> P.Response:
+        """Run one command against the sharded engine.
+
+        The same contract as :func:`~repro.service.executor
+        .execute_command`: expected failures — including error replies
+        relayed from a shard — come back as ``ErrorInfo``; genuine
+        bugs propagate.
+        """
+        from repro.storage.expr import ExprSerializationError
+
+        handler = self._HANDLERS.get(type(command))
+        if handler is None:
+            return P.ErrorInfo(
+                code="bad_request",
+                message="unhandled command {!r}".format(command.kind))
+        try:
+            return handler(self, command)
+        except CommandError as error:
+            return P.ErrorInfo(code=error.code, message=error.message)
+        except P.ServiceError as error:
+            # A shard's error reply, relayed verbatim.
+            return P.ErrorInfo(code=error.code, message=error.message)
+        except ExprSerializationError as error:
+            return P.ErrorInfo(code="unserializable",
+                               message=str(error))
+        except P.ProtocolError as error:
+            return P.ErrorInfo(code="protocol", message=str(error))
+
+    def execute_command_safely(self,
+                               command: P.Command) -> P.Response:
+        """:meth:`execute_command` with the wire-boundary
+        catch-all."""
+        try:
+            return self.execute_command(command)
+        except Exception as error:
+            return P.ErrorInfo(
+                code="internal",
+                message="{}: {}".format(type(error).__name__, error))
+
+
+class _FanoutSinkStage:
+    """Pipeline sink routing built trajectories to the shards.
+
+    Takes :class:`~repro.pipeline.engine.Stage`'s place at the end of
+    the build chain (imported lazily to keep module import light);
+    batches arrive in stream order, so global ids are assigned exactly
+    as a single-process store sink would.
+    """
+
+    def __new__(cls, coordinator: ShardCoordinator,
+                session: _CoordSession):
+        from repro.pipeline.engine import Stage
+
+        class _Sink(Stage):
+            name = "shard-fanout"
+
+            def __init__(self) -> None:
+                super().__init__()
+
+            def process(self, batch):
+                coordinator._ingest_locked(
+                    session,
+                    [trajectory.to_dict() for trajectory in batch])
+                return list(batch)
+
+        return _Sink()
+
+
+ShardCoordinator._HANDLERS = {
+    P.BuildDataset: ShardCoordinator._build,
+    P.JobStatus: ShardCoordinator._job_status,
+    P.ListSessions: ShardCoordinator._list_sessions,
+    P.DropSession: ShardCoordinator._drop_session,
+    P.RunQuery: ShardCoordinator._run_query,
+    P.Explain: ShardCoordinator._explain,
+    P.MinePatterns: ShardCoordinator._mine_patterns,
+    P.Similarity: ShardCoordinator._similarity,
+    P.Flow: ShardCoordinator._flow,
+    P.Sequences: ShardCoordinator._sequences,
+    P.Summary: ShardCoordinator._summary,
+    P.IngestDocuments: ShardCoordinator._ingest_documents,
+    P.CountPatterns: ShardCoordinator._count_patterns,
+    P.SimilarityBlock: ShardCoordinator._similarity_block,
+    P.SummaryParts: ShardCoordinator._summary_parts_command,
+    P.StoreStats: ShardCoordinator._store_stats,
+    P.SaveSession: ShardCoordinator._save_session,
+    P.RestoreSession: ShardCoordinator._restore_session,
+}

@@ -1,0 +1,49 @@
+"""K-way ordered merge over per-shard result streams.
+
+The scatter-gather read path turns each shard's page stream into an
+iterator of ``(sort key, item)`` pairs and merges them here.  Keys are
+composites like ``(order value, global doc id)`` whose first element
+may be a string, so the usual heapq trick of negating keys for
+descending order is unavailable; with shard counts in the single
+digits, a linear scan over the current heads is simpler and plenty
+fast (O(k) per item against heapq's O(log k), with k ≤ 8).
+
+Keys never tie: every composite ends with the global document id,
+unique across shards by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Tuple
+
+
+def merge_sorted(iterables: Iterable[Iterator[Tuple[Any, Any]]],
+                 descending: bool = False) -> Iterator[Any]:
+    """Merge already-sorted ``(key, item)`` iterators into one item
+    stream, ascending by key (or descending when asked).
+
+    All heads are primed **eagerly** before the first item is
+    yielded: the shard read path relies on this to observe every
+    shard's first page (and the totals it carries) even when the
+    caller stops after a single merged item.
+
+    A ``TypeError`` from comparing keys (e.g. a cursor boundary of
+    the wrong type against an order key) propagates to the caller.
+    """
+    heads = []
+    for iterable in iterables:
+        iterator = iter(iterable)
+        for key, item in iterator:
+            heads.append([key, item, iterator])
+            break
+    pick: Callable = max if descending else min
+    while heads:
+        entry = pick(heads, key=lambda head: head[0])
+        yield entry[1]
+        iterator = entry[2]
+        for key, item in iterator:
+            entry[0] = key
+            entry[1] = item
+            break
+        else:
+            heads.remove(entry)

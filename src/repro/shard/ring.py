@@ -1,0 +1,149 @@
+"""Consistent document routing: the hash ring and derived topology.
+
+Sharding routes every document by its **global id** — the id the
+coordinator's logical corpus assigns in ingest order, identical to
+what a single-process store would assign.  Routing is a pure function
+of ``(global id, shard count, replicas)``: nothing about placement is
+ever persisted beyond the shard count, because everything else is
+derivable.
+
+:class:`HashRing` is a classic consistent-hash ring with virtual
+nodes, so growing the shard count moves only ``~1/N`` of the corpus
+(see :mod:`repro.shard.rebalance`).
+
+:class:`ShardTopology` is the other half of the trick: because
+routing is deterministic and each shard ingests its subset **in
+global order**, shard ``k``'s local document id ``i`` always maps to
+the ``i``-th global id routed to ``k``.  The per-shard global-id
+lists grow append-only as the corpus grows, so local↔global
+translation — the basis of cross-shard cursor translation — is
+stable across ingestion, restarts, and resumed pagination walks.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+from typing import Callable, List
+
+#: Virtual nodes per shard; enough for a smooth split at small N.
+DEFAULT_REPLICAS = 64
+
+
+class ShardStateError(RuntimeError):
+    """The shard set does not match the routing-derived layout.
+
+    Raised when the documents found on disk (or announced by running
+    shards) could not have been produced by this coordinator's router
+    — e.g. a persist root re-opened with a different shard count.
+    The remedy is offline: ``repro rebalance``.
+    """
+
+
+def _hash64(data: bytes) -> int:
+    """Stable 64-bit hash (never Python's salted ``hash()``)."""
+    return int.from_bytes(hashlib.sha256(data).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent hashing of global document ids onto shards.
+
+    Args:
+        shard_count: number of shards (>= 1).
+        replicas: virtual nodes per shard; more replicas → a more
+            even split and less movement on resize.
+    """
+
+    def __init__(self, shard_count: int,
+                 replicas: int = DEFAULT_REPLICAS) -> None:
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.shard_count = shard_count
+        self.replicas = replicas
+        points = []
+        for shard in range(shard_count):
+            for replica in range(replicas):
+                token = "shard-{}-replica-{}".format(shard, replica)
+                points.append((_hash64(token.encode("ascii")), shard))
+        points.sort()
+        self._shards = [shard for _, shard in points]
+        self._keys = [key for key, _ in points]
+
+    def shard_of(self, doc_id: int) -> int:
+        """The shard owning a global document id."""
+        point = _hash64(b"doc-%d" % int(doc_id))
+        index = bisect.bisect_right(self._keys, point)
+        if index == len(self._keys):
+            index = 0
+        return self._shards[index]
+
+    def assignments(self, doc_count: int) -> List[int]:
+        """``[shard_of(0), ..., shard_of(doc_count - 1)]``."""
+        return [self.shard_of(doc_id) for doc_id in range(doc_count)]
+
+    def __repr__(self) -> str:
+        return "HashRing(shard_count={}, replicas={})".format(
+            self.shard_count, self.replicas)
+
+
+class ShardTopology:
+    """Derived global↔local id mapping for one sharded session.
+
+    Both directions follow from the router alone: walking global ids
+    ``0, 1, 2, ...`` and appending each to its shard's list yields,
+    for every shard, exactly the local-id → global-id array its store
+    built while ingesting in global order.  The arrays only ever grow
+    at the tail, so translations computed against an older corpus
+    size stay valid forever — the property cursor translation relies
+    on.
+
+    Thread-safe: extension happens under a lock; reads of already
+    derived prefixes need none (the lists are append-only).
+    """
+
+    def __init__(self, shard_count: int,
+                 router: Callable[[int], int]) -> None:
+        self.shard_count = shard_count
+        self.router = router
+        self._globals: List[List[int]] = [[] for _ in
+                                          range(shard_count)]
+        self._derived = 0
+        self._lock = threading.Lock()
+
+    def extend_to(self, doc_count: int) -> None:
+        """Derive the mapping for global ids below ``doc_count``."""
+        if self._derived >= doc_count:
+            return
+        with self._lock:
+            while self._derived < doc_count:
+                global_id = self._derived
+                shard = self.router(global_id)
+                if not 0 <= shard < self.shard_count:
+                    raise ValueError(
+                        "router sent doc {} to shard {} of {}".format(
+                            global_id, shard, self.shard_count))
+                self._globals[shard].append(global_id)
+                self._derived += 1
+
+    def globals_of(self, shard: int) -> List[int]:
+        """Shard ``k``'s local-id → global-id array (do not mutate)."""
+        return self._globals[shard]
+
+    def global_for(self, shard: int, local_id: int) -> int:
+        """The global id behind one shard-local id (derives more of
+        the mapping on demand — e.g. for documents ingested after the
+        coordinator last looked)."""
+        globals_list = self._globals[shard]
+        while len(globals_list) <= local_id:
+            self.extend_to(self._derived + 1 + local_id
+                           - len(globals_list))
+        return globals_list[local_id]
+
+    def counts(self, doc_count: int) -> List[int]:
+        """Documents per shard for a corpus of ``doc_count``."""
+        self.extend_to(doc_count)
+        return [bisect.bisect_left(self._globals[shard], doc_count)
+                for shard in range(self.shard_count)]

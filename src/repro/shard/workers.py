@@ -1,0 +1,201 @@
+"""Process-backed shard workers: one ``repro serve`` per shard.
+
+:class:`ShardWorkerPool` spawns N empty servers (``repro serve
+--empty --port 0``), waits for each to announce its bound URL through
+an atomically written announce file, and hands the coordinator one
+:class:`~repro.service.client.ServiceClient` per worker.  Each worker
+owns its slice of the corpus end to end — store, WAL, snapshots — in
+``<root>/shard-k``, so a ``kill -9``'d worker restarts from its own
+journal with nothing but its announce file to find it again.
+
+Restarts re-bind the worker's *recorded* port (the first boot uses an
+ephemeral one): the coordinator's clients hold the URL, so the
+replacement process must come back at the same address.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+from repro.service.client import ServiceClient
+
+#: Seconds to wait for a worker's announce file on spawn/restart.
+SPAWN_TIMEOUT = 30.0
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker failed to start or announce itself."""
+
+
+def _write_announce_path(root: str, shard: int) -> str:
+    return os.path.join(root, "shard-{}.url".format(shard))
+
+
+class ShardWorker:
+    """One shard's server process and its announce bookkeeping."""
+
+    def __init__(self, shard: int, root: str, host: str = "127.0.0.1",
+                 fsync: bool = True, verbose: bool = False) -> None:
+        self.shard = shard
+        self.root = root
+        self.host = host
+        self.fsync = fsync
+        self.verbose = verbose
+        self.url: Optional[str] = None
+        self.port = 0  # pinned to the announced port after first boot
+        self.process: Optional[subprocess.Popen] = None
+        self.announce_path = _write_announce_path(root, shard)
+        self.persist_dir = os.path.join(root,
+                                        "shard-{}".format(shard))
+
+    # ------------------------------------------------------------------
+    def spawn(self) -> None:
+        """Start (or restart) the worker and wait for its URL."""
+        if os.path.exists(self.announce_path):
+            os.unlink(self.announce_path)
+        argv = [sys.executable, "-m", "repro.cli", "serve",
+                "--empty", "--host", self.host,
+                "--port", str(self.port),
+                "--persist-dir", self.persist_dir,
+                "--url-file", self.announce_path]
+        if self.verbose:
+            argv.append("--verbose")
+        environment = dict(os.environ)
+        package_root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        existing = environment.get("PYTHONPATH")
+        environment["PYTHONPATH"] = package_root if not existing \
+            else package_root + os.pathsep + existing
+        self.process = subprocess.Popen(
+            argv, env=environment,
+            stdout=subprocess.DEVNULL if not self.verbose else None,
+            stderr=subprocess.DEVNULL if not self.verbose else None)
+        self._await_announce()
+
+    def _await_announce(self) -> None:
+        deadline = time.monotonic() + SPAWN_TIMEOUT
+        while time.monotonic() < deadline:
+            if self.process is not None \
+                    and self.process.poll() is not None:
+                raise ShardWorkerError(
+                    "shard {} worker exited with status {} before "
+                    "announcing".format(self.shard,
+                                        self.process.returncode))
+            if os.path.exists(self.announce_path):
+                with open(self.announce_path, "r",
+                          encoding="utf-8") as handle:
+                    announce = json.load(handle)
+                self.url = announce["url"]
+                self.port = int(self.url.rsplit(":", 1)[1])
+                return
+            time.sleep(0.05)
+        raise ShardWorkerError(
+            "shard {} worker did not announce within {}s".format(
+                self.shard, SPAWN_TIMEOUT))
+
+    # ------------------------------------------------------------------
+    def kill(self, sig: int = signal.SIGKILL) -> None:
+        """Deliver a signal to the worker process (SIGKILL by
+        default — the crash-recovery drill)."""
+        if self.process is not None:
+            self.process.send_signal(sig)
+            self.process.wait()
+
+    def restart(self) -> None:
+        """Respawn a (dead) worker on its recorded port."""
+        self.spawn()
+
+    def stop(self) -> None:
+        """Terminate the worker gracefully."""
+        if self.process is None:
+            return
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return None if self.process is None else self.process.pid
+
+    def alive(self) -> bool:
+        return self.process is not None \
+            and self.process.poll() is None
+
+
+class ShardWorkerPool:
+    """N shard worker processes plus their protocol clients.
+
+    Usable as a context manager; :meth:`backends` plugs straight into
+    :class:`~repro.shard.coordinator.ShardCoordinator`.
+    """
+
+    def __init__(self, shard_count: int,
+                 root: Optional[str] = None,
+                 host: str = "127.0.0.1", fsync: bool = True,
+                 verbose: bool = False,
+                 timeout: float = 60.0) -> None:
+        from repro.shard.rebalance import check_manifest
+
+        self.shard_count = shard_count
+        self._own_root = root is None
+        self.root = root if root is not None \
+            else tempfile.mkdtemp(prefix="repro-shards-")
+        check_manifest(self.root, shard_count)
+        self.timeout = timeout
+        self.workers = [ShardWorker(shard, self.root, host=host,
+                                    fsync=fsync, verbose=verbose)
+                        for shard in range(shard_count)]
+
+    def start(self) -> "ShardWorkerPool":
+        started: List[ShardWorker] = []
+        try:
+            for worker in self.workers:
+                worker.spawn()
+                started.append(worker)
+        except BaseException:
+            for worker in started:
+                worker.stop()
+            raise
+        return self
+
+    def backends(self) -> List[ServiceClient]:
+        """One keep-alive client per worker, coordinator-ready."""
+        return [ServiceClient(worker.url, timeout=self.timeout)
+                for worker in self.workers]
+
+    def coordinator(self, **kwargs):
+        """A :class:`ShardCoordinator` over this pool's workers."""
+        from repro.shard.coordinator import ShardCoordinator
+
+        kwargs.setdefault("autosave", True)
+        return ShardCoordinator(self.backends(), **kwargs)
+
+    def report(self) -> List[Dict]:
+        return [{"shard": worker.shard, "url": worker.url,
+                 "pid": worker.pid, "alive": worker.alive()}
+                for worker in self.workers]
+
+    def stop(self, remove_root: bool = False) -> None:
+        for worker in self.workers:
+            worker.stop()
+        if remove_root and self._own_root:
+            import shutil
+
+            shutil.rmtree(self.root, ignore_errors=True)
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop(remove_root=True)

@@ -382,3 +382,9 @@ class TrajectoryStore:
         """All distinct moving-object ids."""
         with self._lock.read_locked():
             return [str(k) for k in self._by_mo.keys()]
+
+    def mo_cardinalities(self) -> Dict[str, int]:
+        """Moving object → number of trajectories (selectivity)."""
+        with self._lock.read_locked():
+            return {str(k): v
+                    for k, v in self._by_mo.posting_sizes().items()}

@@ -87,6 +87,22 @@ COMMAND_STRATEGIES = {
     P.Summary: st.builds(P.Summary, session=names, query=query_dicts),
     P.SaveSession: st.builds(P.SaveSession, session=names),
     P.RestoreSession: st.builds(P.RestoreSession, session=names),
+    P.IngestDocuments: st.builds(
+        P.IngestDocuments, session=names,
+        docs=st.lists(trajectories().map(
+            lambda t: t.to_dict()), max_size=3),
+        space=st.none() | names),
+    P.CountPatterns: st.builds(
+        P.CountPatterns, session=names, query=query_dicts,
+        patterns=st.lists(st.lists(names, min_size=1, max_size=3),
+                          max_size=3)),
+    P.SimilarityBlock: st.builds(
+        P.SimilarityBlock, session=names,
+        sequences=st.lists(st.lists(names, max_size=3), max_size=3),
+        row_start=counts, row_end=counts),
+    P.SummaryParts: st.builds(P.SummaryParts, session=names,
+                              query=query_dicts),
+    P.StoreStats: st.builds(P.StoreStats, session=names),
 }
 
 RESPONSE_STRATEGIES = {
@@ -140,6 +156,29 @@ RESPONSE_STRATEGIES = {
     P.SummaryStats: st.builds(
         P.SummaryStats,
         stats=st.dictionaries(names, floats, max_size=4)),
+    P.Ingested: st.builds(P.Ingested, session=names, count=counts,
+                          total=counts),
+    P.PatternSupports: st.builds(
+        P.PatternSupports, supports=st.lists(counts, max_size=4),
+        sequences=counts),
+    P.SimilarityRows: st.builds(
+        P.SimilarityRows,
+        rows=st.lists(st.lists(st.floats(0, 1), min_size=2,
+                               max_size=2), max_size=2)),
+    P.SummaryPartsInfo: st.builds(
+        P.SummaryPartsInfo, visits=counts,
+        mo_ids=st.lists(names, max_size=3), detections=counts,
+        transitions=counts,
+        max_visit_duration=st.none() | floats,
+        min_visit_duration=st.none() | floats),
+    P.StoreStatsInfo: st.builds(
+        P.StoreStatsInfo, doc_count=counts,
+        states=st.dictionaries(names, counts, max_size=3),
+        annotations=st.lists(
+            st.tuples(st.sampled_from(["goal", "means", "weather"]),
+                      names, counts).map(list), max_size=3),
+        mos=st.dictionaries(names, counts, max_size=3),
+        time_span=st.none() | st.tuples(floats, floats).map(list)),
 }
 
 

@@ -146,3 +146,67 @@ class TestStoreVersioning:
         from repro.storage.store import TrajectoryStore
 
         assert TrajectoryStore().serial != TrajectoryStore().serial
+
+class TestSpaceGeneration:
+    """The stamp's space component: a monotonic generation counter,
+    not ``id(space)`` (ids are reused after garbage collection)."""
+
+    def test_space_reassignment_bumps_generation(self):
+        registry = build_registry()
+        workbench = registry.get("s").workbench
+        before = workbench.space_generation
+        workbench.space = workbench.space
+        assert workbench.space_generation > before
+
+    def test_generations_are_unique_across_workbenches(self):
+        from repro.api import Workbench
+
+        a = Workbench()
+        b = Workbench()
+        a.space = None
+        b.space = None
+        assert a.space_generation != b.space_generation
+
+    def test_space_swap_invalidates_cached_reads(self):
+        registry = build_registry()
+        cache = ResponseCache()
+        raw = raw_query(limit=5)
+        first = execute_json(registry, raw, cache=cache)
+        workbench = registry.get("s").workbench
+        workbench.space = workbench.space  # same object, new epoch
+        second = execute_json(registry, raw, cache=cache)
+        assert first == second  # recomputed, not served stale
+        assert cache.hits == 0
+
+
+class TestCoordinatorStamp:
+    """The duck-typed ``cache_stamp`` hook: a shard coordinator's
+    responses cache and invalidate like a registry's."""
+
+    def test_coordinator_reads_hit_until_ingest(self):
+        from repro.shard import ShardCoordinator
+
+        coordinator = ShardCoordinator.local(2)
+        doc_source = build_registry()
+        docs = [t.to_dict()
+                for t in doc_source.get("s").workbench.store]
+        coordinator.execute_command(
+            P.IngestDocuments(session="s", docs=docs[:5]))
+        cache = ResponseCache()
+        raw = raw_query(limit=50)
+        first = execute_json(coordinator, raw, cache=cache)
+        again = execute_json(coordinator, raw, cache=cache)
+        assert first == again
+        assert cache.hits == 1
+        coordinator.execute_command(
+            P.IngestDocuments(session="s", docs=docs[5:]))
+        status, after = execute_json(coordinator, raw, cache=cache)
+        assert cache.hits == 1  # stamp changed: recomputed
+        assert len(json.loads(after)["hits"]) \
+            > len(json.loads(first[1])["hits"])
+
+    def test_unknown_session_stamp_is_none(self):
+        from repro.shard import ShardCoordinator
+
+        coordinator = ShardCoordinator.local(1)
+        assert coordinator.cache_stamp("ghost") is None

@@ -1,0 +1,43 @@
+"""Shared sharding fixtures: one small built corpus per test run.
+
+Everything in this package compares a sharded engine against the
+single-process executor, so the corpus itself only needs to be built
+once (the louvre source is seeded — identical documents every time).
+"""
+
+import pytest
+
+from repro.service import protocol as P
+from repro.service.executor import LocalBinding
+from repro.service.registry import SessionRegistry
+
+SESSION = "s"
+
+
+@pytest.fixture(scope="session")
+def corpus_docs():
+    """The reference corpus as wire documents, built once."""
+    registry = SessionRegistry()
+    registry.build(SESSION, source="louvre", scale=0.03, wait=True)
+    store = registry.get(SESSION).workbench.store
+    return [trajectory.to_dict() for trajectory in store]
+
+
+@pytest.fixture()
+def single(corpus_docs):
+    """The unsharded reference engine, pre-ingested."""
+    binding = LocalBinding(SessionRegistry())
+    binding.call(P.IngestDocuments(session=SESSION,
+                                   docs=corpus_docs))
+    return binding
+
+
+def ingested_coordinator(shard_count, corpus_docs, **kwargs):
+    """A fresh local coordinator holding the reference corpus."""
+    from repro.shard import ShardCoordinator
+
+    coordinator = ShardCoordinator.local(shard_count, **kwargs)
+    response = coordinator.execute_command(P.IngestDocuments(
+        session=SESSION, docs=corpus_docs))
+    assert isinstance(response, P.Ingested), response
+    return coordinator

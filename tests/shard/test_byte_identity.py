@@ -1,0 +1,246 @@
+"""The sharding regression gate: byte-identity with the executor.
+
+Every read command against a sharded session (N ∈ {1, 2, 4}) must
+produce *exactly* the bytes the single-process executor produces —
+same hits, same order, same cursors, same totals, same error
+payloads.  Comparison happens at the wire layer
+(:func:`~repro.service.wire.execute_json`), so serialization and
+HTTP-status mapping are part of the contract, not just the Python
+values.
+"""
+
+import json
+
+import pytest
+
+from repro.service import protocol as P
+from repro.service.wire import execute_json
+from tests.shard.conftest import SESSION, ingested_coordinator
+
+SHARD_COUNTS = [1, 2, 4]
+
+
+@pytest.fixture(scope="module", params=SHARD_COUNTS)
+def sharded(request, corpus_docs):
+    return ingested_coordinator(request.param, corpus_docs)
+
+
+@pytest.fixture(scope="module")
+def reference(corpus_docs):
+    from repro.service.executor import LocalBinding
+    from repro.service.registry import SessionRegistry
+
+    binding = LocalBinding(SessionRegistry())
+    binding.call(P.IngestDocuments(session=SESSION,
+                                   docs=corpus_docs))
+    return binding.registry
+
+
+def wire(engine, command):
+    """(status, body) for one command at the wire layer."""
+    return execute_json(engine, command.to_json())
+
+
+COMMANDS = [
+    P.ListSessions(),
+    P.Summary(session=SESSION),
+    P.Summary(session=SESSION,
+              query={"expr": {"op": "state", "state": "zone60886"}}),
+    P.Flow(session=SESSION),
+    P.Sequences(session=SESSION),
+    P.Similarity(session=SESSION),
+    P.MinePatterns(session=SESSION, min_support=0.2, max_length=3),
+    P.MinePatterns(session=SESSION, min_support=3, max_length=4),
+    P.Explain(session=SESSION),
+    P.Explain(session=SESSION,
+              query={"expr": {"op": "state", "state": "zone60886"}}),
+    P.RunQuery(session=SESSION, limit=7),
+    P.RunQuery(session=SESSION, limit=7, order_by="duration"),
+    P.RunQuery(session=SESSION, limit=7, order_by="duration",
+               descending=True),
+    P.RunQuery(session=SESSION, limit=5, order_by="doc_id",
+               descending=True),
+    P.RunQuery(session=SESSION, limit=5, offset=3,
+               order_by="t_start"),
+    P.RunQuery(session=SESSION, limit=4, offset=2),
+    P.RunQuery(session=SESSION, limit=500),
+    P.RunQuery(session=SESSION, limit=6, include_total=False),
+    # Error paths must relay byte-identically too.
+    P.Summary(session="nope"),
+    P.RunQuery(session=SESSION, limit=0),
+    P.RunQuery(session=SESSION, order_by="bogus"),
+    P.RunQuery(session=SESSION, cursor="not-a-cursor"),
+    P.MinePatterns(session=SESSION, min_support=0.2, max_length=0),
+    P.RunQuery(session=SESSION,
+               query={"expr": {"op": "no-such-op"}}),
+]
+
+
+@pytest.mark.parametrize("command", COMMANDS,
+                         ids=lambda c: type(c).__name__)
+def test_command_bytes_match(reference, sharded, command):
+    assert wire(sharded, command) == wire(reference, command)
+
+
+ORDERINGS = [(None, False), ("doc_id", False), ("doc_id", True),
+             ("mo_id", False), ("t_start", False), ("t_end", True),
+             ("duration", False), ("duration", True),
+             ("entries", True)]
+
+
+@pytest.mark.parametrize("order_by,descending", ORDERINGS)
+def test_full_cursor_walk_matches(reference, sharded, order_by,
+                                  descending):
+    def walk(engine):
+        pages = []
+        cursor = None
+        while True:
+            status, body = wire(engine, P.RunQuery(
+                session=SESSION, limit=4, cursor=cursor,
+                order_by=order_by, descending=descending))
+            assert status == 200
+            pages.append(body)
+            cursor = json.loads(body)["next_cursor"]
+            if cursor is None:
+                return pages
+
+    assert walk(sharded) == walk(reference)
+
+
+def test_filtered_walk_matches(reference, sharded):
+    query = {"expr": {"op": "min-entries", "count": 3}}
+
+    def walk(engine):
+        pages = []
+        cursor = None
+        while True:
+            status, body = wire(engine, P.RunQuery(
+                session=SESSION, limit=3, cursor=cursor, query=query,
+                order_by="duration", descending=True))
+            pages.append((status, body))
+            cursor = json.loads(body)["next_cursor"]
+            if cursor is None:
+                return pages
+
+    assert walk(sharded) == walk(reference)
+
+
+def test_resume_after_ingest_matches(corpus_docs):
+    """A cursor issued before more documents arrive must resume to
+    the same bytes on both engines."""
+    from repro.service.executor import LocalBinding
+    from repro.service.registry import SessionRegistry
+
+    half = len(corpus_docs) // 2
+    reference = LocalBinding(SessionRegistry())
+    reference.call(P.IngestDocuments(session=SESSION,
+                                     docs=corpus_docs[:half]))
+    sharded = ingested_coordinator(3, corpus_docs[:half])
+
+    for order_by, descending in [(None, False), ("duration", False),
+                                 ("duration", True),
+                                 ("doc_id", True)]:
+        first = P.RunQuery(session=SESSION, limit=5,
+                           order_by=order_by, descending=descending)
+        page_r = wire(reference.registry, first)
+        page_s = wire(sharded, first)
+        assert page_s == page_r
+        cursor = json.loads(page_r[1])["next_cursor"]
+
+        reference.call(P.IngestDocuments(session=SESSION,
+                                         docs=corpus_docs[half:]))
+        sharded.execute_command(P.IngestDocuments(
+            session=SESSION, docs=corpus_docs[half:]))
+        while cursor is not None:
+            resume = P.RunQuery(session=SESSION, limit=5,
+                                cursor=cursor, order_by=order_by,
+                                descending=descending)
+            page_r = wire(reference.registry, resume)
+            page_s = wire(sharded, resume)
+            assert page_s == page_r
+            cursor = json.loads(page_r[1])["next_cursor"]
+
+        # reset both engines for the next ordering
+        reference.call(P.DropSession(session=SESSION))
+        reference.call(P.IngestDocuments(session=SESSION,
+                                         docs=corpus_docs[:half]))
+        sharded.execute_command(P.DropSession(session=SESSION))
+        sharded.execute_command(P.IngestDocuments(
+            session=SESSION, docs=corpus_docs[:half]))
+
+
+def test_http_frontends_serve_the_coordinator(corpus_docs):
+    """Both HTTP front-ends over a 2-shard coordinator return the
+    same bytes a front-end over a plain registry returns."""
+    from repro.service.client import ServiceClient
+    from repro.service.registry import SessionRegistry
+    from tests.service.conftest import make_server
+
+    registry = SessionRegistry()
+    reference = make_server("asyncio", registry)
+
+    coordinator = ingested_coordinator(2, corpus_docs)
+    probes = [P.Summary(session=SESSION),
+              P.RunQuery(session=SESSION, limit=6,
+                         order_by="duration", descending=True),
+              P.Summary(session="nope")]
+
+    import urllib.error
+    import urllib.request
+
+    def fetch(url, command):
+        request = urllib.request.Request(
+            url + "/v1/call", data=command.to_json(),
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request) as reply:
+                return reply.status, reply.read()
+        except urllib.error.HTTPError as error:
+            return error.code, error.read()
+
+    reference.start()
+    try:
+        client = ServiceClient(reference.url)
+        client.call(P.IngestDocuments(session=SESSION,
+                                      docs=corpus_docs))
+        expected = [fetch(reference.url, probe) for probe in probes]
+    finally:
+        reference.stop()
+
+    for backend in ("threading", "asyncio"):
+        server = make_server(backend, coordinator)
+        server.start()
+        try:
+            got = [fetch(server.url, probe) for probe in probes]
+            assert got == expected
+            health = ServiceClient(server.url).health()
+            assert len(health["shards"]) == 2
+            assert health["shards"][0]["requests"] > 0
+        finally:
+            server.stop()
+
+
+def test_build_dataset_fans_out(corpus_docs):
+    """A build through the coordinator yields the same session bytes
+    as the same build through a registry."""
+    from repro.service.registry import SessionRegistry
+    from repro.shard import ShardCoordinator
+
+    registry = SessionRegistry()
+    registry.build("b", source="louvre", scale=0.02, wait=True)
+
+    coordinator = ShardCoordinator.local(2)
+    info = coordinator.execute_command(P.BuildDataset(
+        session="b", source="louvre", scale=0.02, wait=True))
+    assert isinstance(info, P.JobInfo) and info.state == "done"
+
+    for probe in (P.Summary(session="b"),
+                  P.RunQuery(session="b", limit=9,
+                             order_by="duration"),
+                  P.Flow(session="b")):
+        assert wire(coordinator, probe) == wire(registry, probe)
+
+    status = coordinator.execute_command(
+        P.JobStatus(job_id=info.job_id))
+    assert isinstance(status, P.JobInfo)
+    assert status.state == "done"

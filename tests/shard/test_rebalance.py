@@ -1,0 +1,85 @@
+"""Offline resharding: snapshots in, re-split snapshots out."""
+
+import os
+
+import pytest
+
+from repro.service import protocol as P
+from repro.service.wire import execute_json
+from repro.shard import ShardCoordinator, ShardStateError
+from repro.shard.rebalance import (
+    read_manifest,
+    rebalance,
+    write_manifest,
+)
+from tests.shard.conftest import SESSION
+
+
+def saved_root(tmp_path, corpus_docs, shard_count=2):
+    root = str(tmp_path / "shards")
+    coordinator = ShardCoordinator.local(shard_count,
+                                         persist_dir=root,
+                                         fsync=False)
+    coordinator.execute_command(P.IngestDocuments(
+        session=SESSION, docs=corpus_docs))
+    saved = coordinator.execute_command(
+        P.SaveSession(session=SESSION))
+    assert isinstance(saved, P.SessionSaved)
+    assert saved.trajectories == len(corpus_docs)
+    return root
+
+
+def wire(engine, command):
+    return execute_json(engine, command.to_json())
+
+
+@pytest.mark.parametrize("new_count", [1, 3, 4])
+def test_resharded_root_is_byte_identical(tmp_path, corpus_docs,
+                                          single, new_count):
+    root = saved_root(tmp_path, corpus_docs)
+    report = rebalance(root, new_count, fsync=False)
+    assert sum(report["sessions"][SESSION]["per_shard"]) \
+        == len(corpus_docs)
+    assert read_manifest(root)["shard_count"] == new_count
+
+    coordinator = ShardCoordinator.local(new_count,
+                                         persist_dir=root,
+                                         fsync=False)
+    for probe in (P.Summary(session=SESSION),
+                  P.RunQuery(session=SESSION, limit=6,
+                             order_by="duration", descending=True),
+                  P.Sequences(session=SESSION),
+                  P.MinePatterns(session=SESSION, min_support=0.25,
+                                 max_length=3)):
+        assert wire(coordinator, probe) \
+            == wire(single.registry, probe)
+
+
+def test_growing_moves_a_minority(tmp_path, corpus_docs):
+    root = saved_root(tmp_path, corpus_docs, shard_count=4)
+    report = rebalance(root, 5, fsync=False)
+    assert report["moved"] < len(corpus_docs) / 2
+
+
+def test_wrong_shard_count_is_rejected_until_rebalanced(
+        tmp_path, corpus_docs):
+    root = saved_root(tmp_path, corpus_docs)
+    with pytest.raises(ShardStateError):
+        ShardCoordinator.local(3, persist_dir=root, fsync=False)
+    rebalance(root, 3, fsync=False)
+    coordinator = ShardCoordinator.local(3, persist_dir=root,
+                                         fsync=False)
+    assert coordinator.names() == [SESSION]
+
+
+def test_rebalance_without_manifest_fails(tmp_path):
+    root = str(tmp_path / "empty")
+    os.makedirs(root)
+    with pytest.raises(ShardStateError, match="manifest"):
+        rebalance(root, 2)
+
+
+def test_manifest_round_trip(tmp_path):
+    root = str(tmp_path / "m")
+    write_manifest(root, 3, replicas=16)
+    assert read_manifest(root) == {"shard_count": 3, "replicas": 16}

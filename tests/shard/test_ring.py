@@ -1,0 +1,101 @@
+"""The consistent-hash ring and the derived shard topology."""
+
+import pytest
+
+from repro.shard.ring import (
+    DEFAULT_REPLICAS,
+    HashRing,
+    ShardTopology,
+)
+
+
+class TestHashRing:
+    def test_routing_is_deterministic_across_instances(self):
+        a = HashRing(4)
+        b = HashRing(4)
+        assert a.assignments(500) == b.assignments(500)
+
+    def test_every_shard_owns_documents(self):
+        ring = HashRing(4)
+        owned = set(ring.assignments(1000))
+        assert owned == {0, 1, 2, 3}
+
+    def test_split_is_roughly_even(self):
+        ring = HashRing(4)
+        counts = [0] * 4
+        for shard in ring.assignments(4000):
+            counts[shard] += 1
+        # A loose bound: no shard under a third or over double its
+        # fair share (virtual nodes smooth the split).
+        for count in counts:
+            assert 4000 / 12 < count < 4000 / 2
+
+    def test_growing_the_ring_moves_a_minority(self):
+        docs = 2000
+        before = HashRing(4).assignments(docs)
+        after = HashRing(5).assignments(docs)
+        moved = sum(1 for a, b in zip(before, after) if a != b)
+        # Consistent hashing moves ~1/5 of the corpus; a rehash-all
+        # scheme would move ~4/5.  Assert well under half.
+        assert moved < docs / 2
+
+    def test_replica_count_changes_the_layout(self):
+        a = HashRing(4, replicas=8)
+        b = HashRing(4, replicas=DEFAULT_REPLICAS)
+        assert a.assignments(200) != b.assignments(200)
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(1)
+        assert set(ring.assignments(100)) == {0}
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(2, replicas=0)
+
+
+class TestShardTopology:
+    def brute_force(self, router, shard_count, doc_count):
+        globals_of = [[] for _ in range(shard_count)]
+        for doc_id in range(doc_count):
+            globals_of[router(doc_id)].append(doc_id)
+        return globals_of
+
+    def test_matches_brute_force_enumeration(self):
+        ring = HashRing(3)
+        topology = ShardTopology(3, ring.shard_of)
+        topology.extend_to(300)
+        expected = self.brute_force(ring.shard_of, 3, 300)
+        for shard in range(3):
+            assert topology.globals_of(shard) == expected[shard]
+
+    def test_counts_partition_the_corpus(self):
+        ring = HashRing(4)
+        topology = ShardTopology(4, ring.shard_of)
+        counts = topology.counts(257)
+        assert sum(counts) == 257
+
+    def test_global_for_derives_on_demand(self):
+        ring = HashRing(2)
+        topology = ShardTopology(2, ring.shard_of)
+        expected = self.brute_force(ring.shard_of, 2, 64)
+        # Ask for a local id before any extend_to: the mapping must
+        # grow itself until the answer exists.
+        assert topology.global_for(0, 5) == expected[0][5]
+        assert topology.global_for(1, 5) == expected[1][5]
+
+    def test_mapping_is_prefix_stable_across_growth(self):
+        ring = HashRing(3)
+        topology = ShardTopology(3, ring.shard_of)
+        topology.extend_to(50)
+        before = [list(topology.globals_of(s)) for s in range(3)]
+        topology.extend_to(200)
+        for shard in range(3):
+            grown = topology.globals_of(shard)
+            assert grown[:len(before[shard])] == before[shard]
+
+    def test_rejects_out_of_range_router(self):
+        topology = ShardTopology(2, lambda doc_id: 7)
+        with pytest.raises(ValueError, match="router sent doc"):
+            topology.extend_to(1)

@@ -1,0 +1,67 @@
+"""Process-backed shards: spawn, crash, restart, rediscover.
+
+These tests spawn real ``repro serve`` worker processes, so they are
+the slowest in the package — kept to one pool each and a tiny corpus.
+"""
+
+import json
+import signal
+
+import pytest
+
+from repro.service import protocol as P
+from repro.service.wire import execute_json
+from repro.shard.workers import ShardWorkerPool
+from tests.shard.conftest import SESSION
+
+
+def wire(engine, command):
+    return execute_json(engine, command.to_json())
+
+
+PROBES = [
+    P.Summary(session=SESSION),
+    P.RunQuery(session=SESSION, limit=6, order_by="duration",
+               descending=True),
+]
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with ShardWorkerPool(2, fsync=False) as live:
+        yield live
+
+
+def test_kill9_restart_and_rediscovery(pool, corpus_docs, single):
+    coordinator = pool.coordinator()
+    coordinator.execute_command(P.IngestDocuments(
+        session=SESSION, docs=corpus_docs))
+    for probe in PROBES:
+        assert wire(coordinator, probe) \
+            == wire(single.registry, probe)
+
+    report = coordinator.shard_report()
+    assert len(report) == 2
+    assert all(entry["requests"] > 0 for entry in report)
+
+    # Checkpoint, then kill -9 one worker and bring it back on the
+    # port it announced — the coordinator's clients hold the URL.
+    coordinator.execute_command(P.SaveSession(session=SESSION))
+    worker = pool.workers[1]
+    old_url = worker.url
+    worker.kill(signal.SIGKILL)
+    assert not worker.alive()
+    worker.restart()
+    assert worker.url == old_url
+
+    # A fresh coordinator rediscovers the restored layout and serves
+    # the same bytes.
+    revived = pool.coordinator()
+    assert revived.names() == [SESSION]
+    for probe in PROBES:
+        assert wire(revived, probe) == wire(single.registry, probe)
+
+    with open(worker.announce_path, "r", encoding="utf-8") as handle:
+        announce = json.load(handle)
+    assert announce["url"] == old_url
+    assert announce["pid"] == worker.pid
