@@ -485,23 +485,32 @@ def _serve_engine(args: argparse.Namespace):
     if not args.shards:
         from repro.service.registry import SessionRegistry
 
-        return SessionRegistry(persist_dir=args.persist_dir), None
+        # Restore is deferred so the listener binds (and answers
+        # health probes, readiness 503) while the corpus loads;
+        # cmd_serve calls finish_restore() before announcing.
+        return SessionRegistry(persist_dir=args.persist_dir,
+                               standby=args.standby,
+                               defer_restore=True), None
     from repro.shard.coordinator import ShardCoordinator
 
     if args.shard_backend == "process":
         from repro.shard.workers import ShardWorkerPool
 
         pool = ShardWorkerPool(args.shards, root=args.persist_dir,
-                               verbose=args.verbose)
+                               verbose=args.verbose,
+                               replicas=args.replicas)
         pool.start()
         return pool.coordinator(), pool
-    return ShardCoordinator.local(args.shards,
-                                  persist_dir=args.persist_dir), None
+    return ShardCoordinator.local(
+        args.shards, persist_dir=args.persist_dir,
+        replicas_per_shard=args.replicas), None
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the embedded trajectory server (repro.service)."""
     pool = None
+    server = None
+    supervisor = None
     try:
         try:
             engine, pool = _serve_engine(args)
@@ -531,12 +540,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
         except OSError as error:
             print("error: cannot bind {}:{}: {}".format(
                 args.host, args.port, error), file=sys.stderr)
+            server = None
             return 1
-        if args.url_file:
-            _write_url_file(args.url_file, server.url)
+        # Serve from a background thread so liveness answers during
+        # the restore; GET /v1/ready stays 503 until it finishes.
+        server.start()
+        finish_restore = getattr(engine, "finish_restore", None)
+        if finish_restore is not None:
+            finish_restore()
         for name, message in engine.restore_errors.items():
             print("warning: session {!r} failed to restore: "
                   "{}".format(name, message), file=sys.stderr)
+        # Announce only after the corpus is restored: a watcher that
+        # reads the url file may immediately query, and an
+        # I-am-up-but-empty answer would be wrong, not just slow.
+        if args.url_file:
+            _write_url_file(args.url_file, server.url)
         from repro.service import protocol as P
         from repro.service.executor import run_command
 
@@ -572,19 +591,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                      P.ListSessions()).sessions}
                 print("session {!r}: {} trajectories".format(
                     args.session, built.get(args.session, 0)))
+        if pool is not None:
+            supervisor = pool.supervisor(engine).start()
         if args.shards:
-            print("sharding across {} {} shard(s)".format(
-                args.shards, args.shard_backend))
-        print("serving on {}  (POST /v1/call, GET /v1/health)".format(
-            server.url))
+            print("sharding across {} {} shard(s), {} replica(s) "
+                  "each".format(args.shards, args.shard_backend,
+                                args.replicas))
+        print("serving on {}  (POST /v1/call, GET /v1/health, "
+              "GET /v1/ready)".format(server.url))
         print("try: repro call --url {} "
               "'{{\"command\": \"ListSessions\"}}'".format(server.url))
         try:
-            server.serve_forever()
+            while True:
+                time.sleep(3600)
         except KeyboardInterrupt:
             print("\nbye")
         return 0
     finally:
+        if supervisor is not None:
+            supervisor.stop()
+        if server is not None:
+            server.stop()
         if pool is not None:
             pool.stop()
 
@@ -925,6 +952,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shard executors: in-process registries "
                             "or one spawned server per shard "
                             "(default: %(default)s)")
+    serve.add_argument("--replicas", type=int, default=1,
+                       metavar="R",
+                       help="replicas per shard: reads load-balance "
+                            "and fail over across R executors; "
+                            "replicas past the first are standbys "
+                            "fed by write fan-out (default: "
+                            "%(default)s)")
+    serve.add_argument("--standby", action="store_true",
+                       help="open --persist-dir read-only: restore "
+                            "the primary's snapshots + journal but "
+                            "never write them (read-replica mode; "
+                            "used by --replicas worker processes)")
     serve.add_argument("--url-file", metavar="PATH",
                        help="announce the bound URL and pid as JSON "
                             "to PATH (written atomically after bind)")

@@ -1,0 +1,39 @@
+"""Failure-path machinery for the sharded service.
+
+The shard coordinator treats every backend as fallible: reads are
+load-balanced across replicas and fail over when one dies, every call
+can carry a deadline that is decremented as it propagates, flapping
+targets are ejected by circuit breakers, and dead worker processes are
+restarted by a supervisor.  A deterministic fault-injection wire layer
+(:mod:`repro.resilience.faults`) exists to prove all of it under test.
+
+Modules:
+
+- :mod:`~repro.resilience.policy` — deadlines and retry backoff.
+- :mod:`~repro.resilience.breaker` — the per-target circuit breaker.
+- :mod:`~repro.resilience.replicas` — a shard's replica set: read
+  load balancing, failover, write fan-out.
+- :mod:`~repro.resilience.faults` — seeded fault injection around any
+  protocol binding.
+- :mod:`~repro.resilience.supervisor` — auto-restart of dead shard
+  worker processes with backoff.
+"""
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import FaultSchedule, FaultyBinding, FaultyClient
+from repro.resilience.policy import Deadline, DeadlineExceeded, RetryPolicy
+from repro.resilience.replicas import ReplicaUnavailable, ShardTarget
+from repro.resilience.supervisor import WorkerSupervisor
+
+__all__ = [
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultSchedule",
+    "FaultyBinding",
+    "FaultyClient",
+    "ReplicaUnavailable",
+    "RetryPolicy",
+    "ShardTarget",
+    "WorkerSupervisor",
+]

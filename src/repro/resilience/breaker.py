@@ -1,0 +1,107 @@
+"""A per-target circuit breaker: closed → open → half-open → closed.
+
+One breaker guards one replica endpoint.  Consecutive failures trip
+it *open*; while open every call is refused without touching the
+wire, so a dead or hung replica stops consuming scatter threads.
+After ``cooldown`` seconds the next :meth:`allow` admits exactly one
+probe (*half-open*); the probe's outcome either closes the breaker or
+re-opens it for another cooldown.  A probe whose caller never reports
+back (a hung wire with no deadline) is abandoned after a further
+cooldown so the breaker cannot wedge half-open forever.
+
+Thread-safe; all transitions happen under one lock and the clock is
+injectable for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Trip after ``failure_threshold`` consecutive failures, probe
+    again after ``cooldown`` seconds."""
+
+    def __init__(self, failure_threshold: int = 3,
+                 cooldown: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_started = 0.0
+        self._trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May the caller place a call right now?
+
+        Open breakers refuse until the cooldown elapses; then one
+        caller is admitted as the half-open probe and must report via
+        :meth:`record_success` / :meth:`record_failure`.
+        """
+        now = self._clock()
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if now - self._opened_at < self.cooldown:
+                    return False
+                self._state = HALF_OPEN
+                self._probe_started = now
+                return True
+            # Half-open: one probe outstanding.  Admit a replacement
+            # if the previous prober vanished without reporting.
+            if now - self._probe_started >= self.cooldown:
+                self._probe_started = now
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        now = self._clock()
+        with self._lock:
+            self._failures += 1
+            if self._state == HALF_OPEN \
+                    or self._failures >= self.failure_threshold:
+                if self._state != OPEN:
+                    self._trips += 1
+                self._state = OPEN
+                self._opened_at = now
+
+    def reset(self) -> None:
+        """Force-close (a supervisor healed the target)."""
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._state,
+                "failures": self._failures,
+                "trips": self._trips,
+            }
+
+    def __repr__(self) -> str:
+        return "CircuitBreaker(state={!r}, failures={})".format(
+            self._state, self._failures)

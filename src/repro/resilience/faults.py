@@ -1,0 +1,190 @@
+"""Deterministic fault injection around any protocol binding.
+
+A :class:`FaultyBinding` wraps anything with ``call(command)`` — a
+:class:`~repro.service.executor.LocalBinding`, a
+:class:`~repro.service.client.ServiceClient` — and injects the
+failure modes a real wire exhibits: connection drops, delays, error
+responses, hangs, and byte corruption.  Faults are drawn from a
+seeded :class:`FaultSchedule`, so a chaos run is reproducible from
+its seed alone.
+
+Hangs are *releasable*: a hung call blocks on an event, not a bare
+sleep, so tests can free every stuck thread at teardown (scatter
+pools are joined at interpreter exit — an unreleased hang would stall
+the test process for the full hang duration).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Dict, Iterable, List, Optional
+
+from repro.service import protocol as P
+
+#: Fault kinds, in the order the schedule's thresholds stack.
+FAULT_KINDS = ("drop", "error", "hang", "corrupt", "delay")
+
+
+class FaultSchedule:
+    """A seeded plan of which calls fail, and how.
+
+    Either probabilistic (``*_rate`` arguments, drawn from one seeded
+    RNG shared by every draw) or scripted (:meth:`scripted` — an
+    explicit per-call fault sequence, ``None`` entries pass through).
+    """
+
+    def __init__(self, seed: int = 0, drop_rate: float = 0.0,
+                 error_rate: float = 0.0, hang_rate: float = 0.0,
+                 corrupt_rate: float = 0.0, delay_rate: float = 0.0,
+                 delay_seconds: float = 0.01,
+                 hang_seconds: float = 30.0) -> None:
+        self.rates = {
+            "drop": drop_rate,
+            "error": error_rate,
+            "hang": hang_rate,
+            "corrupt": corrupt_rate,
+            "delay": delay_rate,
+        }
+        self.delay_seconds = delay_seconds
+        self.hang_seconds = hang_seconds
+        self._rng = random.Random(seed)
+        self._script: Optional[List[Optional[str]]] = None
+        self._cursor = 0
+        self._lock = threading.Lock()
+
+    @classmethod
+    def scripted(cls, plan: Iterable[Optional[str]],
+                 delay_seconds: float = 0.01,
+                 hang_seconds: float = 30.0) -> "FaultSchedule":
+        """An explicit fault-per-call plan; exhausted → pass-through."""
+        schedule = cls(delay_seconds=delay_seconds,
+                       hang_seconds=hang_seconds)
+        plan = list(plan)
+        for kind in plan:
+            if kind is not None and kind not in FAULT_KINDS:
+                raise ValueError("unknown fault kind {!r}".format(kind))
+        schedule._script = plan
+        return schedule
+
+    def draw(self) -> Optional[str]:
+        """The fault for the next call, or ``None`` (healthy)."""
+        with self._lock:
+            if self._script is not None:
+                if self._cursor >= len(self._script):
+                    return None
+                kind = self._script[self._cursor]
+                self._cursor += 1
+                return kind
+            roll = self._rng.random()
+            floor = 0.0
+            for kind in FAULT_KINDS:
+                floor += self.rates[kind]
+                if roll < floor:
+                    return kind
+            return None
+
+
+class FaultyBinding:
+    """A protocol binding that misbehaves on schedule.
+
+    Injected faults surface exactly as the real failures would:
+
+    - ``drop`` → :class:`ConnectionResetError`
+    - ``error`` → ``ServiceError("internal", ...)``
+    - ``hang`` → blocks until :meth:`release` or ``hang_seconds``,
+      then raises :class:`ConnectionResetError`
+    - ``corrupt`` → serializes the real response, flips a byte, and
+      raises the resulting :class:`~repro.service.protocol.ProtocolError`
+    - ``delay`` → sleeps ``delay_seconds``, then proceeds normally
+
+    :meth:`kill` simulates a dead process (every call refused until
+    :meth:`revive`).  Per-kind injection counts are kept in
+    :attr:`injected` for assertions.
+    """
+
+    def __init__(self, inner, schedule: FaultSchedule,
+                 name: str = "faulty") -> None:
+        self.inner = inner
+        self.schedule = schedule
+        self.name = name
+        self.injected: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self.injected["dead"] = 0
+        self._dead = False
+        self._release = threading.Event()
+        self._lock = threading.Lock()
+
+    def kill(self) -> None:
+        """Refuse every call from now on, like a SIGKILLed worker."""
+        self._dead = True
+
+    def revive(self) -> None:
+        self._dead = False
+
+    @property
+    def dead(self) -> bool:
+        return self._dead
+
+    def release(self) -> None:
+        """Free every call currently blocked in an injected hang.
+
+        Call this at test teardown — scatter threads parked in a hang
+        would otherwise stall interpreter exit.
+        """
+        self._release.set()
+
+    def _count(self, kind: str) -> None:
+        with self._lock:
+            self.injected[kind] += 1
+
+    def call(self, command):
+        if self._dead:
+            self._count("dead")
+            raise ConnectionRefusedError(
+                "injected: {} is down".format(self.name))
+        fault = self.schedule.draw()
+        if fault == "delay":
+            self._count("delay")
+            self._release.wait(self.schedule.delay_seconds)
+        elif fault == "drop":
+            self._count("drop")
+            raise ConnectionResetError(
+                "injected: {} dropped the connection".format(self.name))
+        elif fault == "error":
+            self._count("error")
+            raise P.ServiceError(
+                "internal", "injected: {} error response".format(self.name))
+        elif fault == "hang":
+            self._count("hang")
+            self._release.wait(self.schedule.hang_seconds)
+            raise ConnectionResetError(
+                "injected: {} hung and was reset".format(self.name))
+        elif fault == "corrupt":
+            self._count("corrupt")
+            raw = bytearray(self.inner.call(command).to_json())
+            raw[len(raw) // 2] ^= 0xFF
+            P.response_from_json(bytes(raw))  # raises ProtocolError
+            raise P.ProtocolError(
+                "injected: {} returned corrupt bytes".format(self.name))
+        return self.inner.call(command)
+
+    def __repr__(self) -> str:
+        return "FaultyBinding({!r}, dead={})".format(self.name, self._dead)
+
+
+class FaultyClient(FaultyBinding):
+    """A :class:`FaultyBinding` over a ``ServiceClient`` that keeps
+    the client surface (``health``/``close``/``url``) intact."""
+
+    @property
+    def url(self) -> str:
+        return self.inner.url
+
+    def health(self):
+        if self._dead:
+            raise ConnectionRefusedError(
+                "injected: {} is down".format(self.name))
+        return self.inner.health()
+
+    def close(self) -> None:
+        self.inner.close()

@@ -1,0 +1,115 @@
+"""Deadlines and retry backoff — the two budgets every call carries.
+
+A :class:`Deadline` is an absolute point on the monotonic clock.  It
+is created once where a request enters the system (from the command's
+``deadline_ms`` field) and flows *by reference* through the scatter
+layers; whoever forwards the command over a wire re-stamps the
+*remaining* budget so the far side sees a decremented deadline rather
+than the original one.
+
+A :class:`RetryPolicy` implements capped exponential backoff with
+full jitter (``uniform(0, min(cap, base * 2^(attempt-1)))``), the
+standard defence against retry synchronization.  The jitter source is
+a per-instance :class:`random.Random` so tests can seed it.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Optional
+
+
+class DeadlineExceeded(RuntimeError):
+    """The propagated deadline ran out before the call completed.
+
+    Maps to the typed ``deadline_exceeded`` protocol error (HTTP 504).
+    """
+
+
+class Deadline:
+    """An absolute budget on :func:`time.monotonic`."""
+
+    __slots__ = ("at",)
+
+    def __init__(self, at: float) -> None:
+        self.at = at
+
+    @classmethod
+    def after_ms(cls, ms: float) -> "Deadline":
+        """A deadline ``ms`` milliseconds from now."""
+        return cls(time.monotonic() + ms / 1000.0)
+
+    @classmethod
+    def of(cls, command) -> Optional["Deadline"]:
+        """The deadline a command's ``deadline_ms`` budget implies,
+        anchored at the moment of the call — or ``None``."""
+        ms = getattr(command, "deadline_ms", None)
+        if ms is None:
+            return None
+        return cls.after_ms(ms)
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+        return self.at - time.monotonic()
+
+    def remaining_ms(self) -> int:
+        """Whole milliseconds left, floored at zero."""
+        return max(0, int(self.remaining() * 1000))
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def clamp(self, timeout: Optional[float],
+              floor: float = 0.05) -> Optional[float]:
+        """``timeout`` shrunk to the remaining budget (never below
+        ``floor`` so sockets still get a chance to fail cleanly)."""
+        remaining = max(floor, self.remaining())
+        if timeout is None:
+            return remaining
+        return min(timeout, remaining)
+
+    def __repr__(self) -> str:
+        return "Deadline(remaining={:.3f}s)".format(self.remaining())
+
+
+class RetryPolicy:
+    """Capped exponential backoff with full jitter.
+
+    Args:
+        attempts: total attempt budget (1 = no retries).
+        base: first-retry backoff ceiling in seconds; the ceiling
+            doubles each further attempt.  ``0`` disables sleeping.
+        cap: upper bound on any single backoff.
+        seed: seeds the jitter source (tests); ``None`` is entropy.
+    """
+
+    def __init__(self, attempts: int = 3, base: float = 0.05,
+                 cap: float = 2.0, seed: Optional[int] = None) -> None:
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        self.attempts = attempts
+        self.base = base
+        self.cap = cap
+        self._rng = random.Random(seed)
+
+    def backoff(self, attempt: int) -> float:
+        """Jittered delay after the ``attempt``-th failure (1-based)."""
+        if self.base <= 0:
+            return 0.0
+        ceiling = min(self.cap, self.base * (2 ** max(0, attempt - 1)))
+        return self._rng.uniform(0.0, ceiling)
+
+    def sleep(self, attempt: int,
+              deadline: Optional[Deadline] = None) -> float:
+        """Sleep the jittered backoff, never past the deadline.
+
+        Returns the delay actually slept.
+        """
+        delay = self.backoff(attempt)
+        if deadline is not None:
+            delay = min(delay, max(0.0, deadline.remaining()))
+        if delay > 0:
+            time.sleep(delay)
+        return delay

@@ -1,0 +1,122 @@
+"""Auto-restart of dead shard worker processes, with backoff.
+
+A :class:`WorkerSupervisor` watches a pool of workers (anything with
+``alive()``/``restart()`` — :class:`~repro.shard.workers.ShardWorker`
+in practice) from a daemon thread.  A worker found dead is restarted
+on its pinned port; a restart that fails is retried with capped
+exponential backoff so a crash-looping worker cannot spin the
+supervisor.  After each successful restart the optional
+``on_restart(worker)`` callback runs — the worker pool uses it to
+tell the coordinator to heal the matching replica (clear its stale
+flag, reset its breaker) now that the process has replayed the
+shared journal.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+
+class WorkerSupervisor:
+    """Poll workers; restart the dead ones.
+
+    Args:
+        workers: the worker list to watch (shared, not copied).
+        poll_interval: seconds between liveness sweeps.
+        restart_backoff: first retry delay after a *failed* restart;
+            doubles per consecutive failure, capped at
+            ``restart_backoff_cap``.
+        on_restart: called with the worker after a successful restart.
+    """
+
+    def __init__(self, workers: List, poll_interval: float = 0.5,
+                 restart_backoff: float = 0.5,
+                 restart_backoff_cap: float = 10.0,
+                 on_restart: Optional[Callable] = None) -> None:
+        self.workers = workers
+        self.poll_interval = poll_interval
+        self.restart_backoff = restart_backoff
+        self.restart_backoff_cap = restart_backoff_cap
+        self.on_restart = on_restart
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._restarts: Dict[int, int] = {}
+        self._failures: Dict[int, int] = {}
+        self._next_attempt: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def start(self) -> "WorkerSupervisor":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-supervisor", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=10.0)
+        self._thread = None
+
+    def __enter__(self) -> "WorkerSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def sweep(self) -> int:
+        """One liveness pass; restarts what it finds dead.  Returns
+        the number of workers restarted (exposed for tests)."""
+        restarted = 0
+        now = time.monotonic()
+        for slot, worker in enumerate(self.workers):
+            try:
+                if worker.alive():
+                    continue
+            except Exception:
+                continue
+            if now < self._next_attempt.get(slot, 0.0):
+                continue
+            try:
+                worker.restart()
+            except Exception:
+                failures = self._failures.get(slot, 0) + 1
+                self._failures[slot] = failures
+                delay = min(self.restart_backoff_cap,
+                            self.restart_backoff * (2 ** (failures - 1)))
+                self._next_attempt[slot] = time.monotonic() + delay
+                continue
+            self._failures[slot] = 0
+            self._next_attempt[slot] = 0.0
+            with self._lock:
+                self._restarts[slot] = self._restarts.get(slot, 0) + 1
+            restarted += 1
+            if self.on_restart is not None:
+                try:
+                    self.on_restart(worker)
+                except Exception:
+                    pass  # healing is advisory; the breaker recovers too
+        return restarted
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            self.sweep()
+
+    # ------------------------------------------------------------------
+    def report(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "running": self._thread is not None,
+                "restarts": dict(self._restarts),
+                "pending_backoff": {
+                    slot: max(0.0, when - time.monotonic())
+                    for slot, when in self._next_attempt.items()
+                    if when > time.monotonic()},
+            }

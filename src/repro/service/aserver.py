@@ -52,7 +52,12 @@ from typing import Optional, Tuple
 
 from repro.service import protocol as P
 from repro.service.registry import SessionRegistry
-from repro.service.wire import ResponseCache, execute_json, health_payload
+from repro.service.wire import (
+    ResponseCache,
+    execute_json,
+    health_payload,
+    ready_payload,
+)
 
 #: Request bodies above this are rejected (a command is small).
 MAX_BODY_BYTES = 4 * 1024 * 1024
@@ -64,6 +69,7 @@ _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 431: "Request Header Fields Too Large",
     500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -320,6 +326,11 @@ class AsyncServiceServer:
                 return
             path = target.rstrip(b"/")
             if method == b"GET":
+                if path == b"/v1/ready":
+                    status, payload = ready_payload(self.registry)
+                    await self._enqueue(queue, _response_bytes(
+                        status, P.canonical_json(payload)))
+                    continue
                 if path not in (b"/v1/health", b""):
                     await self._enqueue(queue, _error_bytes(
                         404, "not_found", "unknown path {!r}".format(

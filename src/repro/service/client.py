@@ -31,6 +31,7 @@ import time
 import urllib.parse
 from typing import Dict, Iterator, Optional, Tuple
 
+from repro.resilience.policy import Deadline, RetryPolicy
 from repro.service import protocol as P
 
 #: Transport failures a dropped/half-closed connection produces.
@@ -67,9 +68,13 @@ class ServiceClient:
 
     Idempotent commands (reads, ``SaveSession``/``RestoreSession`` —
     see :attr:`Command.idempotent
-    <repro.service.protocol.Command.idempotent>`) are retried **once**
-    after a short backoff when the connection is reset or the server
-    disconnects mid-request; mutating commands are never blindly
+    <repro.service.protocol.Command.idempotent>`) are retried on
+    connection resets / server disconnects with **capped exponential
+    backoff and full jitter** up to ``retry_attempts`` total
+    attempts; exhausting the budget raises
+    :class:`~repro.service.protocol.ServiceUnavailable` (an
+    ``OSError`` subclass, so legacy transport handling still works)
+    carrying the attempt count.  Mutating commands are never blindly
     retried (the first attempt may have been applied).
 
     The connection is persistent (HTTP/1.1 keep-alive, one per
@@ -81,18 +86,33 @@ class ServiceClient:
     Failures on a fresh connection mean the server itself misbehaved
     and fall through to the idempotent-only retry above.
 
+    A command carrying ``deadline_ms`` bounds the whole call: each
+    attempt's socket timeout shrinks to the remaining budget and no
+    retry sleeps past the deadline.
+
     Args:
         url: base URL, e.g. ``http://127.0.0.1:8731``.
         timeout: per-request socket timeout in seconds.
-        retry_backoff: seconds to sleep before the single retry of an
-            idempotent command (0 disables retries).
+        retry_backoff: base backoff in seconds before the first retry
+            of an idempotent command; the jittered ceiling doubles
+            per attempt (0 disables retries entirely).
+        retry_attempts: total attempt budget for idempotent commands
+            (1 = no retries).
+        retry_cap: upper bound on any single backoff sleep.
+        retry_seed: seeds the jitter RNG (deterministic tests).
     """
 
     def __init__(self, url: str, timeout: float = 30.0,
-                 retry_backoff: float = 0.1) -> None:
+                 retry_backoff: float = 0.1,
+                 retry_attempts: int = 3, retry_cap: float = 2.0,
+                 retry_seed: Optional[int] = None) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
         self.retry_backoff = retry_backoff
+        self.retry_attempts = max(1, int(retry_attempts))
+        self._retry = RetryPolicy(
+            attempts=self.retry_attempts,
+            base=retry_backoff, cap=retry_cap, seed=retry_seed)
         parts = urllib.parse.urlsplit(self.url)
         if parts.scheme != "http" or not parts.hostname:
             raise ValueError(
@@ -130,10 +150,15 @@ class ServiceClient:
         self._drop_connection()
 
     def _once(self, method: str, path: str,
-              payload: Optional[bytes]) -> Tuple[int, bytes]:
+              payload: Optional[bytes],
+              timeout: Optional[float] = None) -> Tuple[int, bytes]:
         """One request on the cached connection; drops it on any
         transport failure so the next attempt reconnects."""
         connection = self._connection()
+        if timeout is not None and timeout != connection.timeout:
+            connection.timeout = timeout
+            if connection.sock is not None:
+                connection.sock.settimeout(timeout)
         headers = {}
         if payload is not None:
             headers["Content-Type"] = "application/json"
@@ -152,27 +177,36 @@ class ServiceClient:
         return reply.status, body
 
     def _roundtrip(self, method: str, path: str,
-                   payload: Optional[bytes] = None
+                   payload: Optional[bytes] = None,
+                   timeout: Optional[float] = None
                    ) -> Tuple[int, bytes]:
         """``_once`` plus the stale-keep-alive replay (see class
         docs)."""
         was_reused = (self._local.connection is not None
                       and self._local.reused)
         try:
-            return self._once(method, path, payload)
+            return self._once(method, path, payload, timeout=timeout)
         except OSError as error:
             if was_reused and _is_retryable(error):
-                return self._once(method, path, payload)
+                return self._once(method, path, payload,
+                                  timeout=timeout)
             raise
 
-    def _post(self, payload: bytes) -> tuple:
+    def _post(self, payload: bytes,
+              deadline: Optional[Deadline] = None) -> tuple:
         """One ``POST /v1/call``; returns ``(status, body)``."""
-        return self._roundtrip("POST", "/v1/call", payload)
+        timeout = self.timeout if deadline is None \
+            else deadline.clamp(self.timeout)
+        return self._roundtrip("POST", "/v1/call", payload,
+                               timeout=timeout)
 
     def call(self, command: P.Command) -> P.Response:
         """POST one command; typed response or raised error.
 
         Raises:
+            ServiceUnavailable: when an idempotent command's retry
+                budget is exhausted by retryable transport failures
+                (carries the attempt count; also an ``OSError``).
             ServiceError: when the service answers with ``Error`` (any
                 HTTP status — the payload decides); the exception
                 carries the service code *and* the HTTP status.
@@ -181,14 +215,29 @@ class ServiceClient:
                 reset on a non-idempotent command, ...).
         """
         payload = command.to_json()
-        try:
-            status, raw = self._post(payload)
-        except OSError as error:
-            if not (command.idempotent and self.retry_backoff > 0
-                    and _is_retryable(error)):
-                raise
-            time.sleep(self.retry_backoff)
-            status, raw = self._post(payload)
+        deadline = Deadline.of(command)
+        budget = self.retry_attempts \
+            if (command.idempotent and self.retry_backoff > 0) else 1
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                status, raw = self._post(payload, deadline=deadline)
+                break
+            except OSError as error:
+                exhausted = (attempts >= budget
+                             or not _is_retryable(error)
+                             or (deadline is not None
+                                 and deadline.expired))
+                if exhausted:
+                    if attempts > 1:
+                        raise P.ServiceUnavailable(
+                            "unavailable",
+                            "{} gave no answer: {}".format(
+                                self.url, error),
+                            attempts=attempts) from error
+                    raise
+                self._retry.sleep(attempts, deadline)
         response = P.response_from_json(raw)
         if isinstance(response, P.ErrorInfo):
             raise P.ServiceError(response.code, response.message,
@@ -260,12 +309,13 @@ class ServiceClient:
                   limit: int = 50, cursor: Optional[str] = None,
                   offset: int = 0, order_by: Optional[str] = None,
                   descending: bool = False,
-                  include_total: bool = True) -> P.QueryPage:
+                  include_total: bool = True,
+                  allow_partial: bool = False) -> P.QueryPage:
         """One page of planned-query hits."""
         return self.call(P.RunQuery(
             session=session, query=query, limit=limit, cursor=cursor,
             offset=offset, order_by=order_by, descending=descending,
-            include_total=include_total))
+            include_total=include_total, allow_partial=allow_partial))
 
     def iter_pages(self, session: str, query: Optional[Dict] = None,
                    limit: int = 200, order_by: Optional[str] = None,

@@ -597,6 +597,12 @@ def execute_command(registry: SessionRegistry,
         return P.ErrorInfo(
             code="bad_request",
             message="unhandled command {!r}".format(command.kind))
+    if command.deadline_ms is not None and command.deadline_ms <= 0:
+        # The propagated budget was already spent in transit; answer
+        # fast instead of doing work nobody is waiting for.
+        return P.ErrorInfo(
+            code="deadline_exceeded",
+            message="deadline expired before execution began")
     try:
         return handler(registry, command)
     except CommandError as error:

@@ -39,7 +39,7 @@ import base64
 import binascii
 import hashlib
 import json
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict, List, Mapping, Optional, Tuple, Type
 
 from repro.core.trajectory import SemanticTrajectory
@@ -70,19 +70,37 @@ class ServiceError(RuntimeError):
             travelled over the wire (``None`` in-process) — surfaced
             in the exception text so a log line alone identifies
             both the service code and the transport status.
+        attempts: how many transport attempts the client made before
+            giving up (``None`` when the call did not involve a
+            retrying client) — also surfaced in the text.
     """
 
     def __init__(self, code: str, message: str,
-                 http_status: Optional[int] = None) -> None:
+                 http_status: Optional[int] = None,
+                 attempts: Optional[int] = None) -> None:
         if http_status is None:
             text = "{}: {}".format(code, message)
         else:
             text = "{} [HTTP {}]: {}".format(code, http_status,
                                              message)
+        if attempts is not None:
+            text += " (after {} attempt{})".format(
+                attempts, "" if attempts == 1 else "s")
         super().__init__(text)
         self.code = code
         self.message = message
         self.http_status = http_status
+        self.attempts = attempts
+
+
+class ServiceUnavailable(ServiceError, ConnectionError):
+    """The transport failed and every retry was exhausted.
+
+    Subclasses both :class:`ServiceError` (it is a typed service
+    failure, code ``unavailable``) and :class:`ConnectionError` (so
+    pre-existing ``except OSError`` transport handling still catches
+    it).  Raised by the retrying HTTP client, never by a server.
+    """
 
 
 def canonical_json(data: object) -> bytes:
@@ -156,10 +174,22 @@ def _parse(data: Mapping, tag: str,
 def command_from_dict(data: Mapping) -> "Command":
     """Parse a command object from plain data.
 
+    The ``deadline_ms`` envelope key — the remaining time budget, not
+    a dataclass field — is re-applied after parsing so the budget
+    survives the wire.
+
     Raises:
         ProtocolError: on version/kind/payload mismatch.
     """
-    return _parse(data, "command", COMMANDS)  # type: ignore[return-value]
+    command = _parse(data, "command", COMMANDS)
+    ms = data.get("deadline_ms")
+    if ms is not None:
+        if not isinstance(ms, int) or isinstance(ms, bool) or ms < 0:
+            raise ProtocolError(
+                "deadline_ms must be a non-negative integer, got "
+                "{!r}".format(ms))
+        object.__setattr__(command, "deadline_ms", ms)
+    return command  # type: ignore[return-value]
 
 
 def response_from_dict(data: Mapping) -> "Response":
@@ -194,17 +224,39 @@ class Command(_Message):
 
     ``idempotent`` marks commands that are safe to retry blindly on a
     dropped connection (reads, and persistence operations that
-    converge): the HTTP client retries exactly those once.  Mutating
-    commands (``BuildDataset``, ``DropSession``) stay ``False`` — a
-    retry could double-ingest or mask a real state change.
+    converge): the HTTP client retries exactly those, within its
+    attempt budget.  Mutating commands (``BuildDataset``,
+    ``DropSession``) stay ``False`` — a retry could double-ingest or
+    mask a real state change.
+
+    ``deadline_ms`` is the command's remaining time budget in
+    milliseconds — an *envelope* attribute, not a dataclass field, so
+    ``dataclasses.replace`` derivatives (cursor follow-ups) do not
+    inherit a stale budget; whoever forwards a command re-stamps the
+    remaining time via :meth:`with_deadline`.  ``None`` (the default)
+    means unbounded, and is not serialized, keeping deadline-less
+    wire bytes identical to protocol revision 1 clients.
     """
 
     _tag = "command"
     idempotent: bool = False
+    deadline_ms: Optional[int] = None
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
         COMMANDS[cls.kind] = cls
+
+    def to_dict(self) -> Dict:
+        data = super().to_dict()
+        if self.deadline_ms is not None:
+            data["deadline_ms"] = self.deadline_ms
+        return data
+
+    def with_deadline(self, deadline_ms: Optional[int]) -> "Command":
+        """A copy of this command carrying ``deadline_ms`` budget."""
+        clone = replace(self)  # type: ignore[type-var]
+        object.__setattr__(clone, "deadline_ms", deadline_ms)
+        return clone
 
 
 class Response(_Message):
@@ -341,6 +393,12 @@ class RunQuery(Command):
             page only — follow-up pages always report ``total:
             null`` so paginating never re-executes the plan per
             page.
+        allow_partial: on a sharded engine, opt into degraded
+            results: when some shards are unreachable the reply
+            merges the live shards and carries a ``degraded``
+            annotation instead of failing (see
+            ``docs/resilience.md``).  Ignored by a single-process
+            executor, which has no shards to lose.
     """
 
     kind = "RunQuery"
@@ -354,6 +412,7 @@ class RunQuery(Command):
     order_by: Optional[str] = None
     descending: bool = False
     include_total: bool = True
+    allow_partial: bool = False
 
 
 @dataclass(frozen=True)
@@ -401,6 +460,7 @@ class Flow(Command):
 
     session: str
     query: Optional[Dict] = None
+    allow_partial: bool = False
 
 
 @dataclass(frozen=True)
@@ -412,6 +472,7 @@ class Sequences(Command):
 
     session: str
     query: Optional[Dict] = None
+    allow_partial: bool = False
 
 
 @dataclass(frozen=True)
@@ -423,6 +484,7 @@ class Summary(Command):
 
     session: str
     query: Optional[Dict] = None
+    allow_partial: bool = False
 
 
 @dataclass(frozen=True)
@@ -560,7 +622,10 @@ class ErrorInfo(Response):
     ``unknown_job``, ``bad_cursor``, ``unserializable``,
     ``not_found`` (unknown HTTP path), ``persistence`` (durable
     storage failure: no persist dir, unwritable disk, corrupt
-    snapshot), ``internal``.
+    snapshot), ``deadline_exceeded`` (the command's propagated
+    ``deadline_ms`` budget ran out), ``unavailable`` (every replica
+    of a required shard failed or the transport exhausted its
+    retries), ``internal``.
     """
 
     kind = "Error"
@@ -707,6 +772,11 @@ class QueryPage(Response):
     ``next_cursor`` is ``None`` on the last page.  ``total`` is the
     full (un-paginated) match count, reported on the cursor-less
     first page only (see ``RunQuery.include_total``).
+
+    ``degraded`` is only present (and only serialized) when the page
+    was assembled under ``allow_partial`` with shards missing:
+    ``{"missing_shards": [...]}``.  A page without it is complete —
+    byte-identical to the unsharded executor's answer.
     """
 
     kind = "QueryPage"
@@ -714,12 +784,16 @@ class QueryPage(Response):
     hits: List[Hit] = field(default_factory=list)
     total: Optional[int] = None
     next_cursor: Optional[str] = None
+    degraded: Optional[Dict] = None
 
     def to_dict(self) -> Dict:
-        return {"v": PROTOCOL_VERSION, self._tag: self.kind,
+        data = {"v": PROTOCOL_VERSION, self._tag: self.kind,
                 "hits": [h.to_dict() for h in self.hits],
                 "total": self.total,
                 "next_cursor": self.next_cursor}
+        if self.degraded is not None:
+            data["degraded"] = self.degraded
+        return data
 
     @classmethod
     def _from_fields(cls, data: Mapping) -> "QueryPage":
@@ -731,7 +805,8 @@ class QueryPage(Response):
         total = data.get("total")
         return cls(hits=hits,
                    total=None if total is None else int(total),
-                   next_cursor=data.get("next_cursor"))
+                   next_cursor=data.get("next_cursor"),
+                   degraded=data.get("degraded"))
 
 
 @dataclass(frozen=True)
@@ -781,10 +856,14 @@ class FlowList(Response):
     kind = "FlowList"
 
     balances: List[FlowBalance] = field(default_factory=list)
+    degraded: Optional[Dict] = None
 
     def to_dict(self) -> Dict:
-        return {"v": PROTOCOL_VERSION, self._tag: self.kind,
+        data = {"v": PROTOCOL_VERSION, self._tag: self.kind,
                 "balances": [b.to_dict() for b in self.balances]}
+        if self.degraded is not None:
+            data["degraded"] = self.degraded
+        return data
 
     @classmethod
     def _from_fields(cls, data: Mapping) -> "FlowList":
@@ -793,7 +872,7 @@ class FlowList(Response):
                         for item in data.get("balances", ())]
         except (KeyError, TypeError, AttributeError):
             raise ProtocolError("bad FlowList payload")
-        return cls(balances=balances)
+        return cls(balances=balances, degraded=data.get("degraded"))
 
 
 @dataclass(frozen=True)
@@ -803,6 +882,14 @@ class SequenceList(Response):
     kind = "SequenceList"
 
     sequences: List[List[str]] = field(default_factory=list)
+    degraded: Optional[Dict] = None
+
+    def to_dict(self) -> Dict:
+        data = {"v": PROTOCOL_VERSION, self._tag: self.kind,
+                "sequences": self.sequences}
+        if self.degraded is not None:
+            data["degraded"] = self.degraded
+        return data
 
 
 @dataclass(frozen=True)
@@ -812,6 +899,14 @@ class SummaryStats(Response):
     kind = "SummaryStats"
 
     stats: Dict[str, float] = field(default_factory=dict)
+    degraded: Optional[Dict] = None
+
+    def to_dict(self) -> Dict:
+        data = {"v": PROTOCOL_VERSION, self._tag: self.kind,
+                "stats": self.stats}
+        if self.degraded is not None:
+            data["degraded"] = self.degraded
+        return data
 
 
 @dataclass(frozen=True)

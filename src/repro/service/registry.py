@@ -189,22 +189,40 @@ class SessionRegistry:
         fsync: fsync every log append (the durability default).
         autosave: checkpoint a session after each successful build
             (folds the build's log records into a fresh snapshot).
+        standby: open ``persist_dir`` **read-only**: sessions restore
+            from the snapshots + journal the primary wrote, but this
+            registry never attaches the WAL, never checkpoints and
+            never autosaves — a read replica sharing the primary's
+            directory must not double-journal its writes.
+        defer_restore: skip the synchronous restore-on-construction;
+            the owner binds its listener first and then calls
+            :meth:`finish_restore`, with :attr:`restoring` True in
+            between so ``GET /v1/ready`` reports 503 while the corpus
+            loads.
     """
 
     def __init__(self, persist_dir: Optional[str] = None,
-                 fsync: bool = True, autosave: bool = True) -> None:
+                 fsync: bool = True, autosave: bool = True,
+                 standby: bool = False,
+                 defer_restore: bool = False) -> None:
         self._sessions: Dict[str, Session] = {}
         self._jobs: Dict[str, BuildJob] = {}
         self._job_ids = itertools.count(1)
         self._lock = threading.Lock()
         self.persist_dir = persist_dir
         self._fsync = fsync
-        self._autosave = autosave
+        self.standby = standby
+        self._autosave = autosave and not standby
         #: Session name → error message for persisted sessions that
         #: failed to restore at construction (corrupt snapshots);
         #: healthy sessions are served regardless.
         self.restore_errors: Dict[str, str] = {}
-        if persist_dir is not None:
+        self._restore_pending = (persist_dir is not None
+                                 and defer_restore)
+        #: True while persisted sessions are still being loaded — the
+        #: readiness probe's drain signal.
+        self.restoring = self._restore_pending
+        if persist_dir is not None and not defer_restore:
             self._restore_all()
 
     # ------------------------------------------------------------------
@@ -225,14 +243,24 @@ class SessionRegistry:
 
     def _load_session(self, name: str) -> Session:
         """Recover one session from disk (no registry lock needed —
-        the caller swaps the result into ``_sessions``)."""
+        the caller swaps the result into ``_sessions``).
+
+        A standby registry replays the snapshot + journal like the
+        primary would, then detaches the log and keeps no durable
+        handle: the restored corpus is read-only state, and two
+        processes appending to one journal would corrupt it.
+        """
         from repro.persist.session import revive_space
 
         durable = self._durable_for(name)
         store, space_name = durable.open()
+        if self.standby:
+            store.detach_wal()
+            durable.close()
         workbench = Workbench(space=revive_space(space_name),
                               store=store)
-        return Session(name, workbench, durable=durable)
+        return Session(name, workbench,
+                       durable=None if self.standby else durable)
 
     def _restore_session(self, name: str) -> Session:
         """Recover one session from disk (caller holds the lock)."""
@@ -266,6 +294,18 @@ class SessionRegistry:
                 # healthy ones (the CLI surfaces this map).
                 self.restore_errors[name] = str(error)
 
+    def finish_restore(self) -> None:
+        """Run the restore a ``defer_restore=True`` construction
+        postponed; clears :attr:`restoring` (the readiness gate) when
+        the corpus is loaded.  No-op otherwise."""
+        if not self._restore_pending:
+            return
+        try:
+            self._restore_all()
+        finally:
+            self.restoring = False
+            self._restore_pending = False
+
     # ------------------------------------------------------------------
     # sessions
     # ------------------------------------------------------------------
@@ -281,7 +321,13 @@ class SessionRegistry:
         with self._lock:
             session = self._sessions.get(name)
             if session is None:
-                durable = self._durable_for(name)
+                # A standby tracks live writes in memory only — it
+                # must not restore from (or journal to) the shared
+                # directory here, or a fan-out ingest would apply
+                # both the primary's journal *and* the in-memory
+                # write, double-counting documents.
+                durable = None if self.standby \
+                    else self._durable_for(name)
                 if durable is not None and durable.exists():
                     return self._restore_session(name)
                 workbench = Workbench(space=space)
@@ -296,7 +342,8 @@ class SessionRegistry:
         any previous session of that name)."""
         with self._lock:
             session = Session(name, workbench,
-                              durable=self._durable_for(name))
+                              durable=None if self.standby
+                              else self._durable_for(name))
             self._sessions[name] = session
             return session
 
@@ -309,9 +356,16 @@ class SessionRegistry:
 
         Raises:
             UnknownSessionError: for names never created.
-            PersistError: without a ``persist_dir`` or on disk
+            PersistError: without a ``persist_dir``, on a standby
+                registry (the primary owns the journal), or on disk
                 failure.
         """
+        if self.standby:
+            from repro.persist import PersistError
+
+            raise PersistError(
+                "standby registry does not checkpoint — the primary "
+                "owns session {!r}'s journal".format(name))
         session = self.get(name)
         with session.build_lock:
             return session.checkpoint()

@@ -20,6 +20,7 @@ Endpoints::
 
     POST /v1/call     body = one command object   → response object
     GET  /v1/health   liveness + session roster   → plain JSON
+    GET  /v1/ready    readiness (drain signal)    → 200/503 JSON
 
 Error responses carry an ``Error`` protocol object and a matching
 HTTP status (400 for bad requests, 404 for unknown sessions/jobs,
@@ -50,6 +51,7 @@ from repro.service.wire import (  # noqa: F401  (re-exported)
     ResponseCache,
     execute_json,
     health_payload,
+    ready_payload,
 )
 
 #: Request bodies above this are rejected (a command is small).
@@ -88,7 +90,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- endpoints ------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server convention)
-        if self.path.rstrip("/") not in ("/v1/health", ""):
+        path = self.path.rstrip("/")
+        if path == "/v1/ready":
+            status, payload = ready_payload(self.registry)
+            self._reply(status, P.canonical_json(payload))
+            return
+        if path not in ("/v1/health", ""):
             self._reply_error(404, "not_found",
                               "unknown path {!r}".format(self.path))
             return

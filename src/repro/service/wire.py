@@ -47,6 +47,10 @@ STATUS_OF_CODE = {
     "internal": 500,
     # Front-end-generated (never by the executor): load shedding.
     "saturated": 503,
+    # Resilience layer: every replica of a shard failed / the
+    # propagated deadline ran out.
+    "unavailable": 503,
+    "deadline_exceeded": 504,
 }
 
 #: Commands whose responses are pure functions of one session's store
@@ -255,3 +259,37 @@ def health_payload(registry: SessionRegistry,
     if load is not None:
         payload["load"] = load
     return payload
+
+
+def ready_payload(registry: SessionRegistry
+                  ) -> Tuple[int, Dict]:
+    """The ``GET /v1/ready`` document: ``(status, payload)``.
+
+    Liveness (``/v1/health``) answers 200 whenever the process can
+    answer at all; *readiness* is the load-balancer drain signal and
+    goes 503 while the engine should not receive traffic:
+
+    - sessions are still restoring from disk (``registry.restoring``,
+      duck-typed — a registry serving before its corpus is loaded
+      would answer reads with wrong/empty results), or
+    - more than half of a shard coordinator's replica targets have
+      open circuit breakers (``registry.breaker_report``) — the
+      coordinator can no longer mask failures and this instance
+      should be drained rather than trusted with traffic.
+    """
+    reasons = []
+    if getattr(registry, "restoring", False):
+        reasons.append("sessions restoring from disk")
+    breakers_fn = getattr(registry, "breaker_report", None)
+    breakers = breakers_fn() if breakers_fn is not None else None
+    if breakers:
+        open_count = sum(1 for entry in breakers
+                         if entry.get("state") == "open")
+        if open_count * 2 > len(breakers):
+            reasons.append(
+                "{} of {} shard targets have open circuit "
+                "breakers".format(open_count, len(breakers)))
+    payload: Dict = {"ready": not reasons, "reasons": reasons}
+    if breakers is not None:
+        payload["breakers"] = breakers
+    return (200 if not reasons else 503), payload

@@ -15,6 +15,11 @@ engine serves them:
   ``repro serve`` each) for real isolation and kill -9 recovery;
 * :mod:`repro.shard.rebalance` — offline N → M re-splitting of a
   durable shard root.
+
+Each shard may be served by a replica set (primary + standbys) with
+read failover, circuit breakers and deadline propagation — the
+resilience layer lives in :mod:`repro.resilience` and plugs in
+through :class:`~repro.resilience.replicas.ShardTarget`.
 """
 
 from repro.shard.coordinator import ShardCoordinator
@@ -24,6 +29,7 @@ from repro.shard.ring import (
     ShardStateError,
     ShardTopology,
 )
+from repro.shard.workers import ShardWorker, ShardWorkerPool
 
 __all__ = [
     "DEFAULT_REPLICAS",
@@ -31,4 +37,6 @@ __all__ = [
     "ShardCoordinator",
     "ShardStateError",
     "ShardTopology",
+    "ShardWorker",
+    "ShardWorkerPool",
 ]

@@ -35,6 +35,17 @@ Nothing about placement is persisted beyond the shard count: shard
 ``k`` ingests its documents in global order, so local↔global id
 translation is re-derived from the router alone (see
 :class:`~repro.shard.ring.ShardTopology`).
+
+Each shard may be backed by a *replica set* rather than a single
+binding (pass a list per shard): reads rotate across live replicas
+behind per-replica circuit breakers and fail over on transport
+faults, writes fan out primary-first, and an optional request
+deadline (``deadline_ms`` on any command) is decremented and
+forwarded so a hung replica costs bounded time instead of a hung
+client (:mod:`repro.resilience`).  Read commands sent with
+``allow_partial`` degrade instead of failing when a whole shard is
+lost: the merged live-shard result carries a
+``degraded: {"missing_shards": [...]}`` marker.
 """
 
 from __future__ import annotations
@@ -44,10 +55,17 @@ import itertools
 import math
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import replace
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.mining.prefixspan import SequentialPattern
+from repro.resilience.policy import Deadline, DeadlineExceeded, RetryPolicy
+from repro.resilience.replicas import (
+    ReplicaUnavailable,
+    ShardTarget,
+    is_shard_loss,
+)
 from repro.service import protocol as P
 from repro.service.executor import (
     MAX_PAGE_SIZE,
@@ -145,17 +163,25 @@ class ShardCoordinator:
     """Scatter-gather engine over N shard executors.
 
     Args:
-        backends: one protocol binding per shard — anything with a
-            ``call(command) -> Response`` raising
-            :class:`~repro.service.protocol.ServiceError`
-            (:class:`~repro.service.executor.LocalBinding`,
-            :class:`~repro.service.client.ServiceClient`).
+        backends: one entry per shard — either a single protocol
+            binding (anything with ``call(command) -> Response``
+            raising :class:`~repro.service.protocol.ServiceError`,
+            e.g. :class:`~repro.service.executor.LocalBinding` or
+            :class:`~repro.service.client.ServiceClient`), or a
+            **list** of bindings forming that shard's replica set
+            (index 0 is the primary — it owns the shard's journal).
         router: global doc id → shard index; defaults to a
             :class:`~repro.shard.ring.HashRing` over ``len(backends)``
             shards.
         replicas: virtual nodes of the default ring.
         autosave: checkpoint every shard (``SaveSession``) after a
             successful build — on for durable shard sets.
+        retry: per-shard read retry/backoff policy
+            (:class:`~repro.resilience.policy.RetryPolicy`; a
+            default one when None).
+        breaker_factory: per-replica circuit-breaker constructor
+            (:class:`~repro.resilience.breaker.CircuitBreaker` by
+            default) — injectable for tests and tuning.
 
     Raises:
         ShardStateError: when sessions found on the shards do not
@@ -165,11 +191,27 @@ class ShardCoordinator:
     def __init__(self, backends: List,
                  router: Optional[Callable[[int], int]] = None,
                  replicas: int = DEFAULT_REPLICAS,
-                 autosave: bool = False) -> None:
+                 autosave: bool = False,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker_factory: Optional[Callable] = None) -> None:
         if not backends:
             raise ValueError("need at least one shard backend")
-        self.backends = list(backends)
-        self.shard_count = len(self.backends)
+        groups = [list(group) if isinstance(group, (list, tuple))
+                  else [group] for group in backends]
+        #: Primaries, one per shard (the pre-replica surface).
+        self.backends = [group[0] for group in groups]
+        self.shard_count = len(groups)
+        total_replicas = sum(len(group) for group in groups)
+        # One shared guard pool for every deadline-bounded replica
+        # call: sized so a full scatter with one hung replica per
+        # shard still has threads for the failover tries.
+        self._guard = ThreadPoolExecutor(
+            max_workers=2 * total_replicas + 4,
+            thread_name_prefix="repro-shard-guard")
+        self.targets = [ShardTarget(shard, group, retry=retry,
+                                    breaker_factory=breaker_factory,
+                                    executor=self._guard)
+                        for shard, group in enumerate(groups)]
         self.ring = HashRing(self.shard_count, replicas=replicas)
         self.router = router if router is not None \
             else self.ring.shard_of
@@ -182,6 +224,10 @@ class ShardCoordinator:
         self._pool = ThreadPoolExecutor(
             max_workers=max(2, self.shard_count),
             thread_name_prefix="repro-shard")
+        # The request deadline travels by thread-local so the twenty
+        # call sites below need no signature change; _scatter captures
+        # it before hopping threads.
+        self._deadlines = threading.local()
         self._stats_lock = threading.Lock()
         self._shard_stats = [{"requests": 0, "errors": 0,
                               "inflight": 0}
@@ -197,7 +243,11 @@ class ShardCoordinator:
     def local(cls, shard_count: int,
               persist_dir: Optional[str] = None, fsync: bool = True,
               router: Optional[Callable[[int], int]] = None,
-              replicas: int = DEFAULT_REPLICAS) -> "ShardCoordinator":
+              replicas: int = DEFAULT_REPLICAS,
+              replicas_per_shard: int = 1,
+              retry: Optional[RetryPolicy] = None,
+              breaker_factory: Optional[Callable] = None
+              ) -> "ShardCoordinator":
         """A coordinator over ``shard_count`` in-process registries.
 
         With a ``persist_dir``, shard ``k`` journals to
@@ -205,11 +255,19 @@ class ShardCoordinator:
         manifest; reopening the root with a different shard count
         raises :class:`~repro.shard.ring.ShardStateError` (run
         ``repro rebalance`` to re-split).
+
+        ``replicas_per_shard > 1`` adds standby registries per shard:
+        each reads the same snapshot + WAL directory at boot but never
+        writes it (:class:`SessionRegistry(standby=True)
+        <repro.service.registry.SessionRegistry>`), staying current
+        through the coordinator's write fan-out.
         """
         from repro.service.executor import LocalBinding
         from repro.service.registry import SessionRegistry
         from repro.shard.rebalance import check_manifest, shard_home
 
+        if replicas_per_shard < 1:
+            raise ValueError("replicas_per_shard must be >= 1")
         if persist_dir is not None:
             check_manifest(persist_dir, shard_count, replicas)
         backends = []
@@ -219,9 +277,17 @@ class ShardCoordinator:
                 if persist_dir is not None else None
             registry = SessionRegistry(persist_dir=home, fsync=fsync)
             registries.append(registry)
-            backends.append(LocalBinding(registry))
+            group: List = [LocalBinding(registry)]
+            for _ in range(1, replicas_per_shard):
+                standby = SessionRegistry(persist_dir=home,
+                                          fsync=fsync, standby=True)
+                group.append(LocalBinding(standby))
+            backends.append(group if replicas_per_shard > 1
+                            else group[0])
         coordinator = cls(backends, router=router, replicas=replicas,
-                          autosave=persist_dir is not None)
+                          autosave=persist_dir is not None,
+                          retry=retry,
+                          breaker_factory=breaker_factory)
         for shard, registry in enumerate(registries):
             for name, message in registry.restore_errors.items():
                 coordinator.restore_errors[
@@ -231,14 +297,35 @@ class ShardCoordinator:
     # ------------------------------------------------------------------
     # shard RPC plumbing
     # ------------------------------------------------------------------
-    def _call(self, shard: int, command: P.Command) -> P.Response:
-        """One shard call with saturation accounting."""
+    #: Mutating commands — fanned to every replica of the shard so
+    #: in-memory standbys track the live corpus.
+    _WRITE_ALL = (P.IngestDocuments, P.DropSession, P.RestoreSession)
+    #: Commands only the journal owner may execute.
+    _PRIMARY_ONLY = (P.SaveSession,)
+
+    def _deadline(self) -> Optional[Deadline]:
+        """The calling thread's request deadline (None outside a
+        deadline-carrying command)."""
+        return getattr(self._deadlines, "value", None)
+
+    def _call(self, shard: int, command: P.Command,
+              deadline: Optional[Deadline] = None) -> P.Response:
+        """One shard call with saturation accounting, routed through
+        the shard's replica set (balance/failover for reads, fan-out
+        for writes, primary-only for checkpoints)."""
+        if deadline is None:
+            deadline = self._deadline()
+        target = self.targets[shard]
         stats = self._shard_stats[shard]
         with self._stats_lock:
             stats["requests"] += 1
             stats["inflight"] += 1
         try:
-            return self.backends[shard].call(command)
+            if isinstance(command, self._WRITE_ALL):
+                return target.call_write(command, deadline)
+            if isinstance(command, self._PRIMARY_ONLY):
+                return target.call_primary(command, deadline)
+            return target.call_read(command, deadline)
         except Exception:
             with self._stats_lock:
                 stats["errors"] += 1
@@ -247,25 +334,51 @@ class ShardCoordinator:
             with self._stats_lock:
                 stats["inflight"] -= 1
 
-    def _scatter(self, commands: List[Optional[P.Command]]) -> List:
+    def _scatter(self, commands: List[Optional[P.Command]],
+                 partial: bool = False,
+                 missing: Optional[List[int]] = None) -> List:
         """Run one command per shard concurrently (``None`` skips a
         shard).  Raises the lowest-indexed shard's failure, so error
-        relay is deterministic regardless of completion order."""
+        relay is deterministic regardless of completion order.
+
+        With ``partial``, a shard lost to transport faults or an
+        exhausted replica set (:func:`~repro.resilience.replicas
+        .is_shard_loss`) yields ``None`` in its slot — and its index
+        in ``missing`` — instead of failing the scatter; application
+        errors still raise.
+        """
+        deadline = self._deadline()
         futures = [None if command is None
-                   else self._pool.submit(self._call, shard, command)
+                   else self._pool.submit(self._call, shard, command,
+                                          deadline)
                    for shard, command in enumerate(commands)]
         results: List = []
         failure: Optional[BaseException] = None
-        for future in futures:
+        for shard, future in enumerate(futures):
             if future is None:
                 results.append(None)
                 continue
+            # The replica layer bounds each call; the grace window
+            # only fires if a scatter worker itself wedges.
+            grace = None if deadline is None \
+                else max(0.0, deadline.remaining()) + 0.5
             try:
-                results.append(future.result())
-            except BaseException as error:
-                if failure is None:
-                    failure = error
+                results.append(future.result(timeout=grace))
+                continue
+            except FuturesTimeout:
+                error: BaseException = DeadlineExceeded(
+                    "shard {} did not answer within the "
+                    "deadline".format(shard))
+            except BaseException as caught:
+                error = caught
+            if partial and is_shard_loss(error):
+                if missing is not None:
+                    missing.append(shard)
                 results.append(None)
+                continue
+            if failure is None:
+                failure = error
+            results.append(None)
         if failure is not None:
             raise failure
         return results
@@ -391,6 +504,27 @@ class ShardCoordinator:
                      "errors": stats["errors"],
                      "inflight": stats["inflight"]}
                     for shard, stats in enumerate(self._shard_stats)]
+
+    def breaker_report(self) -> List[Dict]:
+        """Per-replica circuit-breaker states for ``GET /v1/ready``
+        (one entry per shard×replica)."""
+        report: List[Dict] = []
+        for target in self.targets:
+            report.extend(target.report())
+        return report
+
+    def heal_replica(self, shard: int, replica: int) -> None:
+        """Re-admit a replica to its shard's read rotation (called by
+        the supervisor after a restarted process replayed its
+        journal, or by tests after reviving a faulty wire)."""
+        self.targets[shard].heal(replica)
+
+    def close(self) -> None:
+        """Shut the scatter and guard pools down (no more calls)."""
+        self._pool.shutdown(wait=False)
+        self._guard.shutdown(wait=False)
+        for target in self.targets:
+            target.close()
 
     # ------------------------------------------------------------------
     # ingestion (global-id assignment + routed fan-out)
@@ -668,11 +802,14 @@ class ShardCoordinator:
                       command: P.RunQuery, session: _CoordSession,
                       key_of: Callable,
                       gid_filter: Optional[Callable],
-                      totals: List[Optional[int]]
+                      totals: List[Optional[int]],
+                      missing: Optional[List[int]] = None
                       ) -> Iterator[Tuple]:
         """One shard's hit stream as ``(merge key, global Hit)``
         pairs, following the shard's own ``next_cursor`` chain
-        lazily."""
+        lazily.  With a ``missing`` list (the *allow_partial* mode),
+        losing the shard mid-walk ends the stream and records the
+        shard instead of raising."""
         page = first_page
         while True:
             if page.total is not None:
@@ -687,10 +824,16 @@ class ShardCoordinator:
                 yield key_of(hit, gid), promoted
             if page.next_cursor is None:
                 return
-            page = self._call(shard,
-                              replace(command,
-                                      cursor=page.next_cursor,
-                                      include_total=False))
+            try:
+                page = self._call(shard,
+                                  replace(command,
+                                          cursor=page.next_cursor,
+                                          include_total=False))
+            except Exception as error:
+                if missing is not None and is_shard_loss(error):
+                    missing.append(shard)
+                    return
+                raise
 
     def _scatter_pages(self, session: _CoordSession,
                        query: Optional[Dict], limit: int,
@@ -698,10 +841,14 @@ class ShardCoordinator:
                        want_total: bool,
                        spec: Optional[PageSpec] = None,
                        boundary: Optional[Tuple] = None,
-                       last_doc_id: Optional[int] = None
-                       ) -> Tuple[Iterator, List[Optional[int]]]:
+                       last_doc_id: Optional[int] = None,
+                       partial: bool = False
+                       ) -> Tuple[Iterator, List[Optional[int]],
+                                  List[int]]:
         """Scatter the first page to every shard and return the
-        merged hit iterator plus the per-shard totals slots."""
+        merged hit iterator, the per-shard totals slots, and the
+        missing-shard list (mutated lazily as the iterator is
+        consumed — read it only after the merge is exhausted)."""
         session.topology.extend_to(session.doc_count)
         commands: List[P.RunQuery] = []
         filters: List[Optional[Callable]] = []
@@ -717,15 +864,27 @@ class ShardCoordinator:
                 cursor=cursor, offset=0, order_by=order_by,
                 descending=descending, include_total=want_total))
             filters.append(gid_filter)
-        first_pages = self._scatter(commands)
+        missing: List[int] = []
+        first_pages = self._scatter(commands, partial=partial,
+                                    missing=missing)
         totals: List[Optional[int]] = [None] * self.shard_count
         key_of = self._merge_key(spec)
         streams = [
             self._shard_stream(shard, first_pages[shard],
                                commands[shard], session, key_of,
-                               filters[shard], totals)
-            for shard in range(self.shard_count)]
-        return merge_sorted(streams, descending=descending), totals
+                               filters[shard], totals,
+                               missing=missing if partial else None)
+            for shard in range(self.shard_count)
+            if first_pages[shard] is not None]
+        return (merge_sorted(streams, descending=descending), totals,
+                missing)
+
+    @staticmethod
+    def _degraded(missing: List[int]) -> Optional[Dict]:
+        """The ``degraded`` response marker (None when whole)."""
+        if not missing:
+            return None
+        return {"missing_shards": sorted(set(missing))}
 
     def _run_query(self, command: P.RunQuery) -> P.Response:
         # -- route: the executor's shared validation, verbatim
@@ -742,11 +901,12 @@ class ShardCoordinator:
                                   or command.cursor is None) else 0
         needed = skip + spec.limit + 1
         want_total = command.include_total and command.cursor is None
-        merged, totals = self._scatter_pages(
+        merged, totals, missing = self._scatter_pages(
             session, command.query,
             min(MAX_PAGE_SIZE, needed),
             command.order_by, command.descending, want_total,
-            spec=spec, boundary=boundary, last_doc_id=last_doc_id)
+            spec=spec, boundary=boundary, last_doc_id=last_doc_id,
+            partial=command.allow_partial)
         window: List[P.Hit] = []
         try:
             for hit in merged:
@@ -763,16 +923,20 @@ class ShardCoordinator:
         total = sum(count or 0 for count in totals) if want_total \
             else None
         return P.QueryPage(hits=page, total=total,
-                           next_cursor=next_cursor)
+                           next_cursor=next_cursor,
+                           degraded=self._degraded(missing))
 
     def _merged_hits(self, session: _CoordSession,
-                     query: Optional[Dict]) -> Iterator[P.Hit]:
+                     query: Optional[Dict],
+                     partial: bool = False
+                     ) -> Tuple[Iterator[P.Hit], List[int]]:
         """Every matching hit in global doc-id order (the corpus
-        stream behind the mining commands)."""
-        merged, _ = self._scatter_pages(session, query,
-                                        MAX_PAGE_SIZE, None, False,
-                                        False)
-        return merged
+        stream behind the mining commands) plus the lazily filled
+        missing-shard list."""
+        merged, _, missing = self._scatter_pages(
+            session, query, MAX_PAGE_SIZE, None, False, False,
+            partial=partial)
+        return merged, missing
 
     # ------------------------------------------------------------------
     # Explain: summed statistics + the stats proxy
@@ -890,9 +1054,9 @@ class ShardCoordinator:
 
     def _similarity(self, command: P.Similarity) -> P.Response:
         session = self._held(command.session)
+        merged, _ = self._merged_hits(session, command.query)
         sequences = [hit.trajectory.distinct_state_sequence()
-                     for hit in self._merged_hits(session,
-                                                  command.query)]
+                     for hit in merged]
         size = len(sequences)
         if size == 0:
             return P.SimilarityMatrix(matrix=[])
@@ -931,12 +1095,17 @@ class ShardCoordinator:
         from repro.mining.flow import FlowBalance
 
         self._held(command.session)
-        replies = self._scatter_same(command)
+        missing: List[int] = []
+        replies = self._scatter([command] * self.shard_count,
+                                partial=command.allow_partial,
+                                missing=missing)
         inflow: Dict[str, int] = {}
         outflow: Dict[str, int] = {}
         starts: Dict[str, int] = {}
         ends: Dict[str, int] = {}
         for reply in replies:
+            if reply is None:
+                continue
             for balance in reply.balances:
                 state = balance.state
                 inflow[state] = inflow.get(state, 0) + balance.inflow
@@ -949,19 +1118,29 @@ class ShardCoordinator:
                                 starts[state], ends[state])
                     for state in inflow]
         balances.sort(key=lambda b: (-abs(b.imbalance), b.state))
-        return P.FlowList(balances=balances)
+        return P.FlowList(balances=balances,
+                          degraded=self._degraded(missing))
 
     def _sequences(self, command: P.Sequences) -> P.Response:
         session = self._held(command.session)
-        return P.SequenceList(sequences=[
-            hit.trajectory.distinct_state_sequence()
-            for hit in self._merged_hits(session, command.query)])
+        merged, missing = self._merged_hits(
+            session, command.query, partial=command.allow_partial)
+        sequences = [hit.trajectory.distinct_state_sequence()
+                     for hit in merged]
+        return P.SequenceList(sequences=sequences,
+                              degraded=self._degraded(missing))
 
-    def _summary_parts(self, command: P.SummaryParts
+    def _summary_parts(self, command: P.SummaryParts,
+                       partial: bool = False
                        ) -> Tuple[int, List[str], int, int,
-                                  Optional[float], Optional[float]]:
-        replies = self._scatter_same(P.SummaryParts(
-            session=command.session, query=command.query))
+                                  Optional[float], Optional[float],
+                                  List[int]]:
+        missing: List[int] = []
+        replies = self._scatter(
+            [P.SummaryParts(session=command.session,
+                            query=command.query)] * self.shard_count,
+            partial=partial, missing=missing)
+        replies = [reply for reply in replies if reply is not None]
         visits = sum(reply.visits for reply in replies)
         mo_ids: set = set()
         for reply in replies:
@@ -974,31 +1153,34 @@ class ShardCoordinator:
                   if reply.min_visit_duration is not None]
         return (visits, sorted(mo_ids), detections, transitions,
                 max(maxima) if maxima else None,
-                min(minima) if minima else None)
+                min(minima) if minima else None, missing)
 
     def _summary(self, command: P.Summary) -> P.Response:
         self._held(command.session)
-        visits, mo_ids, detections, transitions, longest, shortest = \
-            self._summary_parts(P.SummaryParts(
-                session=command.session, query=command.query))
+        (visits, mo_ids, detections, transitions, longest, shortest,
+         missing) = self._summary_parts(
+            P.SummaryParts(session=command.session,
+                           query=command.query),
+            partial=command.allow_partial)
+        degraded = self._degraded(missing)
         if visits == 0:
             # corpus_summary's exact empty shape (int/float split
             # matters for canonical JSON).
             return P.SummaryStats(stats={
                 "visits": 0, "visitors": 0, "detections": 0,
                 "transitions": 0, "max_visit_duration": 0.0,
-                "min_visit_duration": 0.0})
+                "min_visit_duration": 0.0}, degraded=degraded)
         return P.SummaryStats(stats={
             "visits": visits, "visitors": len(mo_ids),
             "detections": detections, "transitions": transitions,
             "max_visit_duration": longest,
-            "min_visit_duration": shortest})
+            "min_visit_duration": shortest}, degraded=degraded)
 
     def _summary_parts_command(self,
                                command: P.SummaryParts) -> P.Response:
         self._held(command.session)
-        visits, mo_ids, detections, transitions, longest, shortest = \
-            self._summary_parts(command)
+        (visits, mo_ids, detections, transitions, longest, shortest,
+         _missing) = self._summary_parts(command)
         return P.SummaryPartsInfo(
             visits=visits, mo_ids=mo_ids, detections=detections,
             transitions=transitions, max_visit_duration=longest,
@@ -1024,10 +1206,22 @@ class ShardCoordinator:
             return P.ErrorInfo(
                 code="bad_request",
                 message="unhandled command {!r}".format(command.kind))
+        if command.deadline_ms is not None and command.deadline_ms <= 0:
+            # Mirrors the executor's check byte for byte.
+            return P.ErrorInfo(
+                code="deadline_exceeded",
+                message="deadline expired before execution began")
+        previous = getattr(self._deadlines, "value", None)
+        self._deadlines.value = Deadline.of(command)
         try:
             return handler(self, command)
         except CommandError as error:
             return P.ErrorInfo(code=error.code, message=error.message)
+        except DeadlineExceeded as error:
+            return P.ErrorInfo(code="deadline_exceeded",
+                               message=str(error))
+        except ReplicaUnavailable as error:
+            return P.ErrorInfo(code="unavailable", message=str(error))
         except P.ServiceError as error:
             # A shard's error reply, relayed verbatim.
             return P.ErrorInfo(code=error.code, message=error.message)
@@ -1036,6 +1230,8 @@ class ShardCoordinator:
                                message=str(error))
         except P.ProtocolError as error:
             return P.ErrorInfo(code="protocol", message=str(error))
+        finally:
+            self._deadlines.value = previous
 
     def execute_command_safely(self,
                                command: P.Command) -> P.Response:

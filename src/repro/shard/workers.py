@@ -11,6 +11,14 @@ journal with nothing but its announce file to find it again.
 Restarts re-bind the worker's *recorded* port (the first boot uses an
 ephemeral one): the coordinator's clients hold the URL, so the
 replacement process must come back at the same address.
+
+With ``replicas > 1`` each shard additionally gets standby worker
+processes (``repro serve --standby``) reading the primary's
+``shard-k`` directory: they restore the same snapshot + journal at
+boot but never write it, staying current through the coordinator's
+write fan-out.  A :class:`~repro.resilience.supervisor
+.WorkerSupervisor` built via :meth:`ShardWorkerPool.supervisor`
+respawns dead workers and re-admits them to the read rotation.
 """
 
 from __future__ import annotations
@@ -34,7 +42,11 @@ class ShardWorkerError(RuntimeError):
     """A shard worker failed to start or announce itself."""
 
 
-def _write_announce_path(root: str, shard: int) -> str:
+def _write_announce_path(root: str, shard: int,
+                         replica: int = 0) -> str:
+    if replica:
+        return os.path.join(root,
+                            "shard-{}.r{}.url".format(shard, replica))
     return os.path.join(root, "shard-{}.url".format(shard))
 
 
@@ -42,8 +54,11 @@ class ShardWorker:
     """One shard's server process and its announce bookkeeping."""
 
     def __init__(self, shard: int, root: str, host: str = "127.0.0.1",
-                 fsync: bool = True, verbose: bool = False) -> None:
+                 fsync: bool = True, verbose: bool = False,
+                 replica: int = 0) -> None:
         self.shard = shard
+        self.replica = replica
+        self.standby = replica > 0
         self.root = root
         self.host = host
         self.fsync = fsync
@@ -51,7 +66,8 @@ class ShardWorker:
         self.url: Optional[str] = None
         self.port = 0  # pinned to the announced port after first boot
         self.process: Optional[subprocess.Popen] = None
-        self.announce_path = _write_announce_path(root, shard)
+        self.announce_path = _write_announce_path(root, shard,
+                                                  replica)
         self.persist_dir = os.path.join(root,
                                         "shard-{}".format(shard))
 
@@ -65,6 +81,8 @@ class ShardWorker:
                 "--port", str(self.port),
                 "--persist-dir", self.persist_dir,
                 "--url-file", self.announce_path]
+        if self.standby:
+            argv.append("--standby")
         if self.verbose:
             argv.append("--verbose")
         environment = dict(os.environ)
@@ -79,6 +97,32 @@ class ShardWorker:
             stderr=subprocess.DEVNULL if not self.verbose else None)
         self._await_announce()
 
+    def _read_announce(self) -> Optional[Dict]:
+        """The live child's announce record, or None to keep waiting.
+
+        The server writes the file atomically, but the *waiter* must
+        still not trust whatever it finds: a ``kill -9`` during a
+        previous run can leave a stale file carrying the dead
+        incarnation's address, and a crash mid-replace on some
+        filesystems surfaces as a truncated or empty file.  A record
+        only counts when it parses AND names the pid of the child this
+        spawn started — anything else is treated as not-yet-announced
+        and re-polled.
+        """
+        try:
+            with open(self.announce_path, "r",
+                      encoding="utf-8") as handle:
+                announce = json.load(handle)
+        except (OSError, ValueError):
+            return None  # absent, torn, or half-written
+        if not isinstance(announce, dict) \
+                or not announce.get("url"):
+            return None
+        if self.process is not None \
+                and announce.get("pid") != self.process.pid:
+            return None  # a previous incarnation's stale file
+        return announce
+
     def _await_announce(self) -> None:
         deadline = time.monotonic() + SPAWN_TIMEOUT
         while time.monotonic() < deadline:
@@ -88,10 +132,8 @@ class ShardWorker:
                     "shard {} worker exited with status {} before "
                     "announcing".format(self.shard,
                                         self.process.returncode))
-            if os.path.exists(self.announce_path):
-                with open(self.announce_path, "r",
-                          encoding="utf-8") as handle:
-                    announce = json.load(handle)
+            announce = self._read_announce()
+            if announce is not None:
                 self.url = announce["url"]
                 self.port = int(self.url.rsplit(":", 1)[1])
                 return
@@ -144,18 +186,29 @@ class ShardWorkerPool:
                  root: Optional[str] = None,
                  host: str = "127.0.0.1", fsync: bool = True,
                  verbose: bool = False,
-                 timeout: float = 60.0) -> None:
+                 timeout: float = 60.0,
+                 replicas: int = 1) -> None:
         from repro.shard.rebalance import check_manifest
 
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
         self.shard_count = shard_count
+        self.replicas = replicas
         self._own_root = root is None
         self.root = root if root is not None \
             else tempfile.mkdtemp(prefix="repro-shards-")
         check_manifest(self.root, shard_count)
         self.timeout = timeout
-        self.workers = [ShardWorker(shard, self.root, host=host,
-                                    fsync=fsync, verbose=verbose)
-                        for shard in range(shard_count)]
+        #: ``replica_sets[shard][replica]`` — index 0 is the primary.
+        self.replica_sets = [
+            [ShardWorker(shard, self.root, host=host, fsync=fsync,
+                         verbose=verbose, replica=replica)
+             for replica in range(replicas)]
+            for shard in range(shard_count)]
+        #: Flat worker list (identical to the replica-free layout
+        #: when ``replicas == 1``).
+        self.workers = [worker for group in self.replica_sets
+                        for worker in group]
 
     def start(self) -> "ShardWorkerPool":
         started: List[ShardWorker] = []
@@ -169,10 +222,15 @@ class ShardWorkerPool:
             raise
         return self
 
-    def backends(self) -> List[ServiceClient]:
-        """One keep-alive client per worker, coordinator-ready."""
-        return [ServiceClient(worker.url, timeout=self.timeout)
-                for worker in self.workers]
+    def backends(self):
+        """Coordinator-ready keep-alive clients: one per shard, or
+        one replica-set list per shard when ``replicas > 1``."""
+        if self.replicas == 1:
+            return [ServiceClient(worker.url, timeout=self.timeout)
+                    for worker in self.workers]
+        return [[ServiceClient(worker.url, timeout=self.timeout)
+                 for worker in group]
+                for group in self.replica_sets]
 
     def coordinator(self, **kwargs):
         """A :class:`ShardCoordinator` over this pool's workers."""
@@ -181,9 +239,27 @@ class ShardWorkerPool:
         kwargs.setdefault("autosave", True)
         return ShardCoordinator(self.backends(), **kwargs)
 
+    def supervisor(self, coordinator=None, **kwargs):
+        """A :class:`~repro.resilience.supervisor.WorkerSupervisor`
+        respawning this pool's dead workers (not started).
+
+        With a ``coordinator``, each successful respawn also heals
+        the worker's slot in the read rotation — the restarted
+        process replayed the shard's journal, so it is current again.
+        """
+        from repro.resilience.supervisor import WorkerSupervisor
+
+        def heal(worker: ShardWorker) -> None:
+            if coordinator is not None:
+                coordinator.heal_replica(worker.shard, worker.replica)
+
+        kwargs.setdefault("on_restart", heal)
+        return WorkerSupervisor(self.workers, **kwargs)
+
     def report(self) -> List[Dict]:
-        return [{"shard": worker.shard, "url": worker.url,
-                 "pid": worker.pid, "alive": worker.alive()}
+        return [{"shard": worker.shard, "replica": worker.replica,
+                 "url": worker.url, "pid": worker.pid,
+                 "alive": worker.alive()}
                 for worker in self.workers]
 
     def stop(self, remove_root: bool = False) -> None:

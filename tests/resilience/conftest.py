@@ -1,0 +1,95 @@
+"""Shared resilience fixtures: a small reference corpus plus a
+faulty replicated cluster factory.
+
+Everything here compares a degraded/replicated engine against the
+single-process executor, so the corpus is built once per run (the
+louvre source is seeded — identical documents every time).
+"""
+
+import pytest
+
+from repro.resilience import FaultSchedule, FaultyBinding, RetryPolicy
+from repro.service import protocol as P
+from repro.service.executor import LocalBinding
+from repro.service.registry import SessionRegistry
+from repro.shard.coordinator import ShardCoordinator
+
+SESSION = "s"
+
+
+@pytest.fixture(scope="session")
+def corpus_docs():
+    """The reference corpus as wire documents, built once."""
+    registry = SessionRegistry()
+    registry.build(SESSION, source="louvre", scale=0.03, wait=True)
+    store = registry.get(SESSION).workbench.store
+    return [trajectory.to_dict() for trajectory in store]
+
+
+@pytest.fixture()
+def single(corpus_docs):
+    """The unsharded reference engine, pre-ingested."""
+    binding = LocalBinding(SessionRegistry())
+    binding.call(P.IngestDocuments(session=SESSION,
+                                   docs=corpus_docs))
+    return binding
+
+
+class FaultyCluster:
+    """A replicated local coordinator with every wire wrapped in a
+    :class:`FaultyBinding`, addressable as ``wires[shard][replica]``.
+
+    Fault schedules are swapped in *after* the corpus ingest: the
+    chaos targets the read workload, not the write fan-out (a fault
+    during ingest would legitimately mark the secondary stale and
+    pull it out of rotation before the experiment starts).
+    """
+
+    def __init__(self, corpus_docs, shard_count=2, replicas=2,
+                 schedules=None, retry=None, breaker_factory=None):
+        self.wires = []
+        groups = []
+        for shard in range(shard_count):
+            row = []
+            for replica in range(replicas):
+                registry = SessionRegistry(standby=replica > 0)
+                row.append(FaultyBinding(
+                    LocalBinding(registry),
+                    FaultSchedule(),
+                    name="s{}r{}".format(shard, replica)))
+            self.wires.append(row)
+            groups.append(row)
+        self.coordinator = ShardCoordinator(
+            groups,
+            retry=retry or RetryPolicy(seed=7, base=0.001, cap=0.01),
+            breaker_factory=breaker_factory)
+        response = self.coordinator.execute_command(P.IngestDocuments(
+            session=SESSION, docs=corpus_docs))
+        assert isinstance(response, P.Ingested), response
+        for (shard, replica), schedule in (schedules or {}).items():
+            self.wires[shard][replica].schedule = schedule
+
+    def release_all(self):
+        """Free every injected hang so teardown never blocks on one."""
+        for row in self.wires:
+            for wire in row:
+                wire.release()
+
+    def close(self):
+        self.release_all()
+        self.coordinator.close()
+
+
+@pytest.fixture()
+def cluster_factory(corpus_docs):
+    """Build :class:`FaultyCluster` instances, closed at teardown."""
+    built = []
+
+    def build(**kwargs):
+        cluster = FaultyCluster(corpus_docs, **kwargs)
+        built.append(cluster)
+        return cluster
+
+    yield build
+    for cluster in built:
+        cluster.close()

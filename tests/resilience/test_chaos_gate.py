@@ -1,0 +1,123 @@
+"""The chaos acceptance gate.
+
+A replicated sharded engine runs a 1 000-request read workload while
+the wire layer misbehaves on a deterministic schedule:
+
+* one replica drops 5 % of its calls,
+* one replica is permanently hung (every call stalls until its
+  deadline budget expires),
+* one replica is killed outright a quarter of the way in and never
+  revived.
+
+Every response must be byte-identical to the unsharded reference
+executor, explicitly degraded (``degraded.missing_shards``), or an
+explicitly typed failure (``deadline_exceeded`` / ``unavailable``).
+Zero silently-wrong answers are tolerated, and the p99 latency must
+stay bounded by the propagated deadline plus the coordinator's grace
+window.
+"""
+
+import time
+
+from repro.resilience import CircuitBreaker, FaultSchedule, RetryPolicy
+from repro.service import protocol as P
+
+from tests.resilience.conftest import SESSION
+
+REQUESTS = 1000
+KILL_AT = REQUESTS // 4
+DEADLINE_MS = 1000
+LIMITS = (1, 2, 3, 5, 8, 13)
+
+
+def test_chaos_gate(cluster_factory, single):
+    cluster = cluster_factory(
+        shard_count=2,
+        replicas=2,
+        schedules={
+            # shard 0, replica 1: lossy wire
+            (0, 1): FaultSchedule(seed=101, drop_rate=0.05),
+            # shard 1, replica 1: permanently hung
+            (1, 1): FaultSchedule(seed=102, hang_rate=1.0,
+                                  hang_seconds=5.0),
+        },
+        retry=RetryPolicy(attempts=4, seed=7, base=0.001, cap=0.01),
+        # Threshold high enough that the 5 % lossy-but-alive replica
+        # is never ejected (its drops are absorbed by retries, which
+        # reset the streak), while the dead and hung replicas fail
+        # every single call and trip quickly.  The long cooldown
+        # keeps them ejected for the whole run.
+        breaker_factory=lambda: CircuitBreaker(
+            failure_threshold=5, cooldown=120.0),
+    )
+
+    expected = {
+        limit: single.call(
+            P.RunQuery(session=SESSION, limit=limit)).to_dict()
+        for limit in LIMITS
+    }
+
+    exact = degraded = typed = incorrect = 0
+    latencies = []
+    for n in range(REQUESTS):
+        if n == KILL_AT:
+            # shard 0's primary dies mid-run; reads must fail over
+            # to the lossy replica without a wrong answer.
+            cluster.wires[0][0].kill()
+        limit = LIMITS[n % len(LIMITS)]
+        command = P.RunQuery(
+            session=SESSION, limit=limit,
+            allow_partial=True).with_deadline(DEADLINE_MS)
+        start = time.monotonic()
+        response = cluster.coordinator.execute_command(command)
+        latencies.append(time.monotonic() - start)
+
+        if isinstance(response, P.ErrorInfo):
+            assert response.code in ("deadline_exceeded",
+                                     "unavailable"), response
+            typed += 1
+            continue
+        payload = response.to_dict()
+        if payload == expected[limit]:
+            exact += 1
+        elif payload.get("degraded"):
+            # A degraded page must declare what it is missing and
+            # must never invent hits the reference engine lacks.
+            assert payload["degraded"]["missing_shards"], payload
+            reference_ids = {hit["doc_id"]
+                             for hit in expected[limit]["hits"]}
+            full = {
+                hit["doc_id"] for hit in single.call(P.RunQuery(
+                    session=SESSION, limit=10_000))
+                .to_dict()["hits"]}
+            assert all(hit["doc_id"] in full
+                       for hit in payload["hits"]), payload
+            degraded += 1
+            del reference_ids
+        else:
+            incorrect += 1
+
+    assert incorrect == 0
+    assert exact + degraded + typed == REQUESTS
+    # The lossy failover path must actually absorb the chaos: the
+    # overwhelming majority of answers stay byte-exact.
+    assert exact >= REQUESTS * 0.95, (exact, degraded, typed)
+    assert typed <= REQUESTS * 0.05
+
+    # The injected faults really fired.
+    assert cluster.wires[0][1].injected["drop"] > 0
+    assert cluster.wires[1][1].injected["hang"] > 0
+    assert cluster.wires[0][0].injected["dead"] > 0
+
+    latencies.sort()
+    p99 = latencies[int(0.99 * len(latencies))]
+    # Deadline (1s) + scatter grace (0.5s) + scheduling slack.
+    assert p99 < (DEADLINE_MS / 1000.0) + 1.0, p99
+
+    # The hung replica was ejected by its breaker, not retried
+    # forever: at most a handful of calls ever reached it.
+    assert cluster.wires[1][1].injected["hang"] <= 10
+    report = {(entry["shard"], entry["replica"]): entry["state"]
+              for entry in cluster.coordinator.breaker_report()}
+    assert report[(1, 1)] == "open"
+    assert report[(0, 0)] == "open"  # the killed primary

@@ -1,0 +1,120 @@
+"""The fault-injection wire layer: seeded schedules, scripted plans,
+and how each fault kind surfaces through a FaultyBinding."""
+
+import pytest
+
+from repro.resilience import FaultSchedule, FaultyBinding
+from repro.service import protocol as P
+from repro.service.executor import LocalBinding
+from repro.service.registry import SessionRegistry
+
+from tests.resilience.conftest import SESSION
+
+
+def make_wire(schedule, corpus_docs):
+    inner = LocalBinding(SessionRegistry())
+    inner.call(P.IngestDocuments(session=SESSION, docs=corpus_docs))
+    return FaultyBinding(inner, schedule, name="wire")
+
+
+QUERY = P.RunQuery(session=SESSION, limit=3)
+
+
+class TestFaultSchedule:
+    def test_same_seed_draws_the_same_sequence(self):
+        kwargs = dict(drop_rate=0.2, error_rate=0.2, hang_rate=0.1,
+                      corrupt_rate=0.1, delay_rate=0.1)
+        a = FaultSchedule(seed=11, **kwargs)
+        b = FaultSchedule(seed=11, **kwargs)
+        assert [a.draw() for _ in range(200)] == \
+            [b.draw() for _ in range(200)]
+
+    def test_zero_rates_never_fault(self):
+        schedule = FaultSchedule(seed=3)
+        assert all(schedule.draw() is None for _ in range(100))
+
+    def test_scripted_plan_plays_then_passes_through(self):
+        schedule = FaultSchedule.scripted(["drop", None, "error"])
+        assert [schedule.draw() for _ in range(5)] == \
+            ["drop", None, "error", None, None]
+
+    def test_scripted_rejects_unknown_kinds(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.scripted(["explode"])
+
+
+class TestFaultyBinding:
+    def test_pass_through_is_byte_identical(self, corpus_docs,
+                                            single):
+        wire = make_wire(FaultSchedule(seed=0), corpus_docs)
+        assert wire.call(QUERY).to_dict() == \
+            single.call(QUERY).to_dict()
+
+    def test_drop_surfaces_as_connection_reset(self, corpus_docs):
+        wire = make_wire(FaultSchedule.scripted(["drop"]),
+                         corpus_docs)
+        with pytest.raises(ConnectionResetError):
+            wire.call(QUERY)
+        assert wire.injected["drop"] == 1
+        assert wire.call(QUERY).hits  # plan exhausted, healthy again
+
+    def test_error_surfaces_as_internal_service_error(
+            self, corpus_docs):
+        wire = make_wire(FaultSchedule.scripted(["error"]),
+                         corpus_docs)
+        with pytest.raises(P.ServiceError) as excinfo:
+            wire.call(QUERY)
+        assert excinfo.value.code == "internal"
+        assert "injected" in str(excinfo.value)
+
+    def test_hang_blocks_until_released(self, corpus_docs):
+        import threading
+        import time
+
+        wire = make_wire(
+            FaultSchedule.scripted(["hang"], hang_seconds=30.0),
+            corpus_docs)
+        outcome = {}
+
+        def call():
+            start = time.monotonic()
+            try:
+                wire.call(QUERY)
+            except ConnectionResetError:
+                outcome["elapsed"] = time.monotonic() - start
+
+        thread = threading.Thread(target=call, daemon=True)
+        thread.start()
+        time.sleep(0.1)
+        assert thread.is_alive()  # still hung
+        wire.release()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert outcome["elapsed"] < 5  # released early, not 30s
+
+    def test_corrupt_surfaces_as_protocol_error(self, corpus_docs):
+        wire = make_wire(FaultSchedule.scripted(["corrupt"]),
+                         corpus_docs)
+        with pytest.raises(P.ProtocolError):
+            wire.call(QUERY)
+        assert wire.injected["corrupt"] == 1
+
+    def test_delay_still_returns_the_real_response(self, corpus_docs,
+                                                   single):
+        wire = make_wire(
+            FaultSchedule.scripted(["delay"], delay_seconds=0.01),
+            corpus_docs)
+        assert wire.call(QUERY).to_dict() == \
+            single.call(QUERY).to_dict()
+        assert wire.injected["delay"] == 1
+
+    def test_kill_and_revive(self, corpus_docs):
+        wire = make_wire(FaultSchedule(seed=0), corpus_docs)
+        wire.kill()
+        assert wire.dead
+        with pytest.raises(ConnectionRefusedError):
+            wire.call(QUERY)
+        assert wire.injected["dead"] == 1
+        wire.revive()
+        assert not wire.dead
+        assert wire.call(QUERY).hits

@@ -1,0 +1,193 @@
+"""Unit behavior of the resilience primitives: deadlines, backoff,
+circuit breakers, and the worker supervisor's restart loop."""
+
+import pytest
+
+from repro.resilience import (
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+    WorkerSupervisor,
+)
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
+from repro.service import protocol as P
+
+
+class TestDeadline:
+    def test_of_reads_the_command_envelope(self):
+        command = P.ListSessions().with_deadline(250)
+        deadline = Deadline.of(command)
+        assert deadline is not None
+        assert 0.0 < deadline.remaining() <= 0.25
+        assert Deadline.of(P.ListSessions()) is None
+
+    def test_remaining_ms_floors_at_zero(self):
+        expired = Deadline.after_ms(-100)
+        assert expired.expired
+        assert expired.remaining_ms() == 0
+        assert expired.remaining() < 0
+
+    def test_clamp_shrinks_but_keeps_the_floor(self):
+        deadline = Deadline.after_ms(10_000)
+        assert deadline.clamp(2.0) == 2.0
+        tight = Deadline.after_ms(1)
+        assert tight.clamp(30.0) == pytest.approx(0.05, abs=0.01)
+        assert Deadline.after_ms(500).clamp(None) <= 0.5
+
+
+class TestRetryPolicy:
+    def test_backoff_is_capped_exponential_with_full_jitter(self):
+        policy = RetryPolicy(attempts=5, base=0.1, cap=0.3, seed=42)
+        for attempt in range(1, 20):
+            ceiling = min(0.3, 0.1 * 2 ** (attempt - 1))
+            for _ in range(50):
+                delay = policy.backoff(attempt)
+                assert 0.0 <= delay <= ceiling
+
+    def test_jitter_is_deterministic_under_a_seed(self):
+        a = [RetryPolicy(seed=7).backoff(n) for n in range(1, 6)]
+        b = [RetryPolicy(seed=7).backoff(n) for n in range(1, 6)]
+        assert a == b
+
+    def test_zero_base_disables_sleeping(self):
+        policy = RetryPolicy(base=0.0)
+        assert policy.backoff(3) == 0.0
+        assert policy.sleep(3) == 0.0
+
+    def test_sleep_never_overshoots_the_deadline(self):
+        policy = RetryPolicy(base=10.0, cap=10.0, seed=1)
+        slept = policy.sleep(1, Deadline.after_ms(20))
+        assert slept <= 0.025
+
+    def test_attempt_budget_is_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_trips_open_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=5.0,
+                                 clock=clock)
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_recovers_or_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.now = 5.0
+        assert breaker.allow()  # the probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow()  # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        # Round two: a failing probe re-opens for a fresh cooldown.
+        breaker.record_failure()
+        clock.now = 10.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        clock.now = 14.9
+        assert not breaker.allow()
+
+    def test_vanished_probe_is_replaced_after_a_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.now = 5.0
+        assert breaker.allow()  # probe that will never report back
+        clock.now = 9.0
+        assert not breaker.allow()
+        clock.now = 10.0
+        assert breaker.allow()  # replacement probe admitted
+
+    def test_snapshot_counts_trips(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure()
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] == OPEN
+        assert snapshot["trips"] == 1
+
+
+class FakeWorker:
+    def __init__(self, fail_restarts=0):
+        self._alive = True
+        self.fail_restarts = fail_restarts
+        self.restarts = 0
+
+    def alive(self):
+        return self._alive
+
+    def die(self):
+        self._alive = False
+
+    def restart(self):
+        if self.fail_restarts > 0:
+            self.fail_restarts -= 1
+            raise RuntimeError("spawn failed")
+        self.restarts += 1
+        self._alive = True
+
+
+class TestWorkerSupervisor:
+    def test_sweep_restarts_only_the_dead(self):
+        workers = [FakeWorker(), FakeWorker(), FakeWorker()]
+        healed = []
+        supervisor = WorkerSupervisor(
+            workers, on_restart=lambda w: healed.append(w))
+        workers[1].die()
+        assert supervisor.sweep() == 1
+        assert workers[1].alive() and workers[1].restarts == 1
+        assert healed == [workers[1]]
+        assert supervisor.sweep() == 0
+
+    def test_failed_restart_backs_off_then_retries(self):
+        worker = FakeWorker(fail_restarts=1)
+        supervisor = WorkerSupervisor([worker], restart_backoff=30.0)
+        worker.die()
+        assert supervisor.sweep() == 0  # spawn failed
+        assert supervisor.sweep() == 0  # still inside the backoff
+        assert not worker.alive()
+        supervisor._next_attempt[0] = 0.0  # backoff elapsed
+        assert supervisor.sweep() == 1
+        assert worker.alive()
+
+    def test_on_restart_exceptions_are_advisory(self):
+        worker = FakeWorker()
+        supervisor = WorkerSupervisor(
+            [worker], on_restart=lambda w: 1 / 0)
+        worker.die()
+        assert supervisor.sweep() == 1  # heal failure is swallowed
+        assert supervisor.report()["restarts"] == {0: 1}
+
+    def test_thread_lifecycle(self):
+        worker = FakeWorker()
+        with WorkerSupervisor([worker],
+                              poll_interval=0.01) as supervisor:
+            assert supervisor.report()["running"]
+        assert not supervisor.report()["running"]

@@ -1,9 +1,11 @@
-"""Client transport resilience: one retry for idempotent commands.
+"""Client transport resilience: budgeted retries for idempotent
+commands.
 
 A flaky-transport double runs in front of a real served registry: it
 accepts a TCP connection and slams it shut (simulating a proxy reset
 or server restart mid-request), then hands subsequent connections to
-the real server.  Idempotent commands survive one such reset;
+the real server.  Idempotent commands survive up to
+``retry_attempts - 1`` such resets with capped-exponential backoff;
 mutating commands surface the error instead of risking a double
 apply.
 """
@@ -111,12 +113,30 @@ class TestRetry:
         finally:
             proxy.stop()
 
-    def test_two_resets_exhaust_the_single_retry(self, backend):
+    def test_resets_within_the_attempt_budget_are_absorbed(
+            self, backend):
         proxy = FlakyProxy(backend.address, resets=2)
         try:
-            client = ServiceClient(proxy.url, retry_backoff=0.01)
-            with pytest.raises(OSError):
+            client = ServiceClient(proxy.url, retry_backoff=0.01,
+                                   retry_attempts=3)
+            page = client.run_query(SESSION, limit=3)
+            assert page.hits
+            assert proxy.connections >= 3  # two resets + success
+        finally:
+            proxy.stop()
+
+    def test_resets_past_the_budget_exhaust_with_attempt_count(
+            self, backend):
+        proxy = FlakyProxy(backend.address, resets=5)
+        try:
+            client = ServiceClient(proxy.url, retry_backoff=0.01,
+                                   retry_attempts=2)
+            with pytest.raises(P.ServiceUnavailable) as excinfo:
                 client.run_query(SESSION, limit=3)
+            assert excinfo.value.attempts == 2
+            assert excinfo.value.code == "unavailable"
+            assert isinstance(excinfo.value, OSError)  # legacy shape
+            assert proxy.connections == 2
         finally:
             proxy.stop()
 

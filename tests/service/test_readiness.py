@@ -1,0 +1,103 @@
+"""The readiness drain signal: ``GET /v1/ready`` answers 503 while
+sessions restore from disk or while the shard layer can no longer
+mask failures, and 200 otherwise — on both HTTP front-ends."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.aserver import AsyncServiceServer
+from repro.service.registry import SessionRegistry
+from repro.service.server import ServiceServer
+from repro.service.wire import ready_payload
+
+
+def fetch_ready(url):
+    try:
+        with urllib.request.urlopen(url + "/v1/ready",
+                                    timeout=10) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+class BreakerStub:
+    """Duck-types the coordinator surface ``ready_payload`` reads."""
+
+    restoring = False
+
+    def __init__(self, states):
+        self._states = states
+
+    def breaker_report(self):
+        return [{"shard": 0, "replica": index, "state": state,
+                 "failures": 0, "trips": 0}
+                for index, state in enumerate(self._states)]
+
+
+class TestReadyPayload:
+    def test_plain_registry_is_ready(self):
+        status, payload = ready_payload(SessionRegistry())
+        assert status == 200
+        assert payload == {"ready": True, "reasons": []}
+
+    def test_deferred_restore_reports_not_ready(self, tmp_path):
+        registry = SessionRegistry(persist_dir=str(tmp_path),
+                                   defer_restore=True)
+        status, payload = ready_payload(registry)
+        assert status == 503
+        assert not payload["ready"]
+        assert payload["reasons"] == ["sessions restoring from disk"]
+        registry.finish_restore()
+        status, payload = ready_payload(registry)
+        assert status == 200
+        assert payload["ready"]
+
+    def test_majority_open_breakers_drain_the_instance(self):
+        healthy = BreakerStub(["closed", "open", "closed", "closed"])
+        status, payload = ready_payload(healthy)
+        assert status == 200
+        assert payload["ready"]
+        assert len(payload["breakers"]) == 4
+
+        draining = BreakerStub(["open", "open", "closed", "open"])
+        status, payload = ready_payload(draining)
+        assert status == 503
+        assert payload["reasons"] == [
+            "3 of 4 shard targets have open circuit breakers"]
+
+    def test_half_open_probes_do_not_drain(self):
+        probing = BreakerStub(["half_open", "half_open", "closed"])
+        status, payload = ready_payload(probing)
+        assert status == 200
+
+
+@pytest.mark.parametrize("server_cls",
+                         [ServiceServer, AsyncServiceServer])
+class TestReadyEndpoint:
+    def test_ready_then_draining(self, server_cls, tmp_path):
+        registry = SessionRegistry(persist_dir=str(tmp_path),
+                                   defer_restore=True)
+        server = server_cls(registry, port=0).start()
+        try:
+            status, payload = fetch_ready(server.url)
+            assert status == 503
+            assert not payload["ready"]
+            registry.finish_restore()
+            status, payload = fetch_ready(server.url)
+            assert status == 200
+            assert payload == {"ready": True, "reasons": []}
+        finally:
+            server.stop()
+
+    def test_breaker_drain_over_http(self, server_cls):
+        engine = BreakerStub(["open", "open"])
+        server = server_cls(engine, port=0).start()
+        try:
+            status, payload = fetch_ready(server.url)
+            assert status == 503
+            assert "open circuit breakers" in payload["reasons"][0]
+        finally:
+            server.stop()
