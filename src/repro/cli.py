@@ -16,6 +16,8 @@ Usage (after installation)::
     python -m repro.cli call '{"command": "ListSessions"}'
     python -m repro.cli snapshot --scale 0.05 --out ./data/louvre
     python -m repro.cli restore ./data/louvre
+    python -m repro.cli stream replay --scale 0.02 --session live
+    python -m repro.cli stream status --session live
 
 Every subcommand is a thin shell over the library API, so scripted
 pipelines can do exactly what the CLI does.  ``serve`` and ``call``
@@ -681,6 +683,157 @@ def cmd_call(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stream_records(args: argparse.Namespace) -> list:
+    """The corpus in deterministic event-time order.
+
+    Sorting every detection globally by ``(t_start, t_end, mo_id)``
+    interleaves the visitors exactly as a live gate feed would, and
+    makes ``--offset``/``--limit`` slices of one corpus land on the
+    same events in every invocation — which is what lets a replay
+    resume where a crashed one stopped.
+    """
+    if args.csv:
+        records = read_detrecords_csv(args.csv)
+    else:
+        space = LouvreSpace()
+        generator = LouvreDatasetGenerator(space,
+                                           _parameters(args.scale))
+        records = generator.detection_records()
+    return sorted(records, key=lambda r: (r.t_start, r.t_end,
+                                          r.mo_id))
+
+
+def cmd_stream_replay(args: argparse.Namespace) -> int:
+    """Replay a corpus as a live event stream against a server."""
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.stream.segmenter import event_to_dict
+
+    if args.chunk < 1:
+        print("error: --chunk must be >= 1", file=sys.stderr)
+        return 2
+    if args.offset < 0:
+        print("error: --offset must be >= 0", file=sys.stderr)
+        return 2
+    records = _stream_records(args)
+    total = len(records)
+    end = total if args.limit is None else min(total, args.offset
+                                               + args.limit)
+    client = ServiceClient(args.url, timeout=args.timeout)
+    summary = {"url": args.url, "session": args.session,
+               "stream": args.stream, "corpus_events": total,
+               "offset": args.offset, "replayed": 0,
+               "episodes_closed": 0, "watermark": None,
+               "closed": False}
+    position = args.offset
+    try:
+        client.open_stream(args.session, args.stream,
+                           gap_seconds=args.gap_seconds,
+                           checkpoint_every=args.checkpoint_every)
+        while position < end:
+            chunk = records[position:min(position + args.chunk, end)]
+            position += len(chunk)
+            # The next un-replayed event bounds the watermark: every
+            # later event starts at or after it, so no episode the
+            # segmenter closes now could be reopened by a later
+            # chunk — even one sent by a future resumed replay.
+            mark = (records[position].t_start if position < total
+                    else None)
+            ack = client.append_events(
+                args.session, args.stream,
+                [event_to_dict(record) for record in chunk],
+                watermark=mark)
+            summary["replayed"] += ack.appended
+            summary["episodes_closed"] += ack.episodes_closed
+            summary["watermark"] = ack.watermark
+        if position >= total and not args.no_close:
+            closed = client.close_stream(args.session, args.stream)
+            summary["closed"] = True
+            summary["events_acked"] = closed.events_acked
+            summary["episodes_total"] = closed.episodes_total
+    except ServiceError as error:
+        print("error: {}: {}".format(error.code, error.message),
+              file=sys.stderr)
+        return 1
+    except OSError as error:
+        print("error: cannot reach {}: {}".format(args.url, error),
+              file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    if args.json:
+        print(json.dumps(summary, sort_keys=True))
+        return 0
+    print("replayed events [{}:{}] of {} to {}/{} "
+          "({} episode(s) closed in flight)".format(
+              args.offset, position, total, args.session,
+              args.stream, summary["episodes_closed"]))
+    if summary["closed"]:
+        print("closed: {} event(s) acked, {} episode(s) "
+              "total".format(summary["events_acked"],
+                             summary["episodes_total"]))
+    else:
+        print("stream left open at watermark {}".format(
+            summary["watermark"]))
+    return 0
+
+
+def cmd_stream_status(args: argparse.Namespace) -> int:
+    """Poll one stream's watermark and counters."""
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        info = client.stream_status(args.session, args.stream)
+    except ServiceError as error:
+        print("error: {}: {}".format(error.code, error.message),
+              file=sys.stderr)
+        return 1
+    except OSError as error:
+        print("error: cannot reach {}: {}".format(args.url, error),
+              file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    if args.json:
+        print(json.dumps(info.status, sort_keys=True))
+        return 0
+    status = info.status
+    print("stream {}/{}: watermark={} acked={} open_events={} "
+          "episodes={} late={} dropped={}".format(
+              args.session, args.stream, status.get("watermark"),
+              status.get("events_acked"), status.get("open_events"),
+              status.get("episodes_stored"),
+              status.get("late_events"),
+              status.get("dropped_late")))
+    return 0
+
+
+def cmd_stream_close(args: argparse.Namespace) -> int:
+    """Flush and retire one stream."""
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        closed = client.close_stream(args.session, args.stream)
+    except ServiceError as error:
+        print("error: {}: {}".format(error.code, error.message),
+              file=sys.stderr)
+        return 1
+    except OSError as error:
+        print("error: cannot reach {}: {}".format(args.url, error),
+              file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    if args.json:
+        print(json.dumps(closed.to_dict(), sort_keys=True))
+        return 0
+    print("closed {}/{}: {} event(s) acked, {} episode(s) "
+          "total".format(args.session, args.stream,
+                         closed.events_acked, closed.episodes_total))
+    return 0
+
+
 def cmd_zones(args: argparse.Namespace) -> int:
     """Print the 52-zone table."""
     print("{:10s} {:10s} {:>5s} {:>8s}  {}".format(
@@ -1005,6 +1158,85 @@ def build_parser() -> argparse.ArgumentParser:
     call.add_argument("--pretty", action="store_true",
                       help="indent the response JSON")
     call.set_defaults(func=cmd_call)
+
+    stream = sub.add_parser(
+        "stream",
+        help="live trajectory ingestion over HTTP (repro.stream)",
+        description="Drives a server's durable ingestion streams: "
+                    "'replay' feeds a corpus as an interleaved "
+                    "event-time stream (resumable with --offset/"
+                    "--limit after a crash), 'status' polls the "
+                    "watermark and counters, 'close' flushes and "
+                    "retires the stream.  See docs/streaming.md.")
+    stream_sub = stream.add_subparsers(dest="stream_command",
+                                       required=True)
+
+    def stream_common(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--url",
+                            default="http://127.0.0.1:{}".format(
+                                DEFAULT_PORT),
+                            help="server base URL "
+                                 "(default: %(default)s)")
+        parser.add_argument("--session", default="live",
+                            help="target session, created on first "
+                                 "open (default: %(default)s)")
+        parser.add_argument("--stream", default="replay",
+                            help="stream name within the session "
+                                 "(default: %(default)s)")
+        parser.add_argument("--timeout", type=float, default=30.0,
+                            help="request timeout in seconds")
+        parser.add_argument("--json", action="store_true",
+                            help="emit the summary as JSON")
+
+    replay = stream_sub.add_parser(
+        "replay",
+        help="replay a corpus as a live event stream",
+        description="Opens (or re-attaches to) the stream and feeds "
+                    "the corpus in deterministic event-time order, "
+                    "one durability-acked batch at a time, with an "
+                    "honest watermark after every batch.  A partial "
+                    "replay (--limit, or a crash) resumes with "
+                    "--offset at the first unacked event.")
+    stream_common(replay)
+    replay.add_argument("--scale", type=float, default=0.05,
+                        help="synthetic corpus scale in (0, 1] "
+                             "(default: %(default)s)")
+    replay.add_argument("--csv", metavar="PATH",
+                        help="replay a detection CSV instead of the "
+                             "synthetic corpus")
+    replay.add_argument("--chunk", type=int, default=200,
+                        metavar="N",
+                        help="events per append batch "
+                             "(default: %(default)s)")
+    replay.add_argument("--offset", type=int, default=0,
+                        metavar="N",
+                        help="skip the first N events of the "
+                             "ordering (resume point)")
+    replay.add_argument("--limit", type=int, default=None,
+                        metavar="N",
+                        help="replay at most N events, then stop "
+                             "without closing")
+    replay.add_argument("--gap-seconds", type=float, default=None,
+                        help="episode gap threshold in seconds "
+                             "(default: the server's)")
+    replay.add_argument("--checkpoint-every", type=int, default=64,
+                        metavar="N",
+                        help="journal entries between state "
+                             "checkpoints (default: %(default)s)")
+    replay.add_argument("--no-close", action="store_true",
+                        help="leave the stream open after the last "
+                             "event")
+    replay.set_defaults(func=cmd_stream_replay)
+
+    stream_status = stream_sub.add_parser(
+        "status", help="poll a stream's watermark and counters")
+    stream_common(stream_status)
+    stream_status.set_defaults(func=cmd_stream_status)
+
+    stream_close = stream_sub.add_parser(
+        "close", help="flush and retire a stream")
+    stream_common(stream_close)
+    stream_close.set_defaults(func=cmd_stream_close)
     return parser
 
 

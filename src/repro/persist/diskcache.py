@@ -15,10 +15,12 @@ files of its own source.  Each file records the prefix keys it covers,
 the boundary batches (:meth:`SemanticTrajectory.to_dict
 <repro.core.trajectory.SemanticTrajectory.to_dict>` payloads), the
 replayed stage metrics, and a payload checksum; files that fail to
-parse or verify are treated as misses and removed.  Only prefixes
-whose boundary items are all :class:`~repro.core.trajectory
-.SemanticTrajectory` objects are persisted (the standard build chain's
-boundary is) — anything else still caches in memory.
+parse or verify are treated as misses and removed.  Only
+**trajectory-boundary** prefixes are persisted: the prefix must not
+end at a mid-trajectory stage (``clean``/``segment``/``trace``, whose
+boundaries are records, visit groups and trace drafts) and every
+boundary item must be a :class:`~repro.core.trajectory
+.SemanticTrajectory` — anything else still caches in memory.
 
 Memory stays the first level: a disk hit is promoted into the
 in-memory LRU, so repeated rebuilds within one process never re-read
@@ -39,6 +41,13 @@ from repro.service.protocol import canonical_json
 
 #: Entry-file format revision.
 ENTRY_VERSION = 1
+
+#: Build-chain stages whose boundary items are *not yet* trajectories
+#: (detection records, visit groups, trace drafts).  Their prefixes
+#: must never be persisted: the per-item isinstance gate below is
+#: vacuously true for all-empty batches, and a replay would then hand
+#: the next stage trajectory dicts where it expects records.
+_MID_TRAJECTORY_STAGES = frozenset({"clean", "segment", "trace"})
 
 
 def _metrics_to_dict(metrics: StageMetrics) -> dict:
@@ -197,6 +206,8 @@ class DiskStageCache(StageCache):
                     keys: Sequence[PrefixKey],
                     batches: List[List[Any]],
                     metrics: List[StageMetrics]) -> None:
+        if not keys or keys[-1][0] in _MID_TRAJECTORY_STAGES:
+            return  # the prefix boundary is not a trajectory batch
         if not all(isinstance(item, SemanticTrajectory)
                    for batch in batches for item in batch):
             return  # boundary items this format cannot round-trip

@@ -44,9 +44,11 @@ or from the command line: ``repro serve`` (the default backend).
 from __future__ import annotations
 
 import asyncio
+import json
 import socket
 import sys
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Tuple
 
@@ -162,10 +164,13 @@ class AsyncServiceServer:
             raise
         self._socket = sock
 
-        # Loop-confined counters (mutated only on the event loop).
+        # Loop-confined counters (mutated only on the event loop) —
+        # except _deadline_rejected, bumped by bridge workers (a bare
+        # int increment; the GIL keeps the counter coherent).
         self._inflight = 0   # executing or queued on the bridge
         self._pending = 0    # responses dispatched but not yet written
         self._rejected = 0
+        self._deadline_rejected = 0
         self._served = 0
 
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -396,10 +401,42 @@ class AsyncServiceServer:
                     self._inflight), retry_after=1))
             return
         self._inflight += 1
-        future = self._loop.run_in_executor(
-            self._executor, execute_json, self.registry, body,
-            self.cache)
+        if b'"deadline_ms"' in body:
+            # Deadline-aware shedding: remember when the request hit
+            # the bridge queue; the worker answers 504 without doing
+            # any work if the budget expired while it waited.
+            future = self._loop.run_in_executor(
+                self._executor, self._execute_deadlined, body,
+                time.monotonic())
+        else:
+            future = self._loop.run_in_executor(
+                self._executor, execute_json, self.registry, body,
+                self.cache)
         await self._enqueue(queue, future)
+
+    def _execute_deadlined(self, body: bytes,
+                           enqueued_at: float) -> Tuple[int, bytes]:
+        """Bridge-thread wrapper for deadline-carrying requests.
+
+        A request whose ``deadline_ms`` budget was consumed by queue
+        wait is shed with a typed ``deadline_exceeded`` 504 — the
+        caller stopped waiting, so executing it would burn a bridge
+        worker on an answer nobody reads.
+        """
+        try:
+            ms = json.loads(body.decode("utf-8")).get("deadline_ms")
+        except (UnicodeDecodeError, ValueError, AttributeError):
+            ms = None  # let execute_json produce the protocol error
+        if isinstance(ms, int) and not isinstance(ms, bool) \
+                and ms >= 0:
+            waited_ms = (time.monotonic() - enqueued_at) * 1000.0
+            if waited_ms >= ms:
+                self._deadline_rejected += 1
+                return 504, P.ErrorInfo(
+                    code="deadline_exceeded",
+                    message="deadline_ms={} expired after {:.0f} ms "
+                            "queued".format(ms, waited_ms)).to_json()
+        return execute_json(self.registry, body, self.cache)
 
     async def _enqueue(self, queue: "asyncio.Queue", item) -> None:
         self._pending += 1
@@ -443,6 +480,7 @@ class AsyncServiceServer:
             "max_inflight": self.max_inflight,
             "sync_workers": self.sync_workers,
             "rejected": self._rejected,
+            "deadline_rejected": self._deadline_rejected,
             "served": self._served,
         }
         if self.cache is not None:

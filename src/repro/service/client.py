@@ -367,6 +367,40 @@ class ServiceClient:
         """Corpus headline numbers."""
         return self.call(P.Summary(session=session, query=query))
 
+    # -- live streams ---------------------------------------------------
+    def open_stream(self, session: str, stream: str,
+                    gap_seconds: Optional[float] = None,
+                    checkpoint_every: int = 64,
+                    max_open_events: int = 100_000) -> P.StreamInfo:
+        """Open (or re-attach to) a live ingestion stream."""
+        return self.call(P.OpenStream(
+            session=session, stream=stream, gap_seconds=gap_seconds,
+            checkpoint_every=checkpoint_every,
+            max_open_events=max_open_events))
+
+    def append_events(self, session: str, stream: str,
+                      events: Optional[list] = None,
+                      watermark: Optional[float] = None
+                      ) -> P.EventsAppended:
+        """Append detection events (the reply is the durability
+        ack); an empty batch with a watermark is a heartbeat."""
+        return self.call(P.AppendEvents(
+            session=session, stream=stream,
+            events=list(events) if events else [],
+            watermark=watermark))
+
+    def stream_status(self, session: str,
+                      stream: str) -> P.StreamInfo:
+        """Poll a stream's watermark and counters."""
+        return self.call(P.StreamStatus(session=session,
+                                        stream=stream))
+
+    def close_stream(self, session: str,
+                     stream: str) -> P.StreamClosed:
+        """Flush and retire a stream."""
+        return self.call(P.CloseStream(session=session,
+                                       stream=stream))
+
 
 #: Re-exported here so client users need one import.
 ServiceError = P.ServiceError

@@ -519,6 +519,111 @@ def _store_stats(registry: SessionRegistry,
         time_span=None if span is None else list(span))
 
 
+# ----------------------------------------------------------------------
+# live streams (repro.stream) — imported lazily so the service layer
+# has no stream dependency until a stream command actually arrives
+# ----------------------------------------------------------------------
+def _streams(registry: SessionRegistry):
+    from repro.stream.manager import stream_manager
+
+    return stream_manager(registry)
+
+
+def _stream(registry: SessionRegistry, session: str, stream: str):
+    from repro.stream.manager import UnknownStreamError
+
+    try:
+        return _streams(registry).get(session, stream)
+    except UnknownStreamError:
+        raise CommandError(
+            "unknown_stream",
+            "no stream {!r} on session {!r}".format(stream, session))
+
+
+def _open_stream(registry: SessionRegistry,
+                 command: P.OpenStream) -> P.Response:
+    if command.checkpoint_every < 1:
+        raise CommandError("bad_request",
+                           "checkpoint_every must be >= 1")
+    if command.max_open_events < 1:
+        raise CommandError("bad_request",
+                           "max_open_events must be >= 1")
+    if command.gap_seconds is not None and command.gap_seconds <= 0:
+        raise CommandError("bad_request", "gap_seconds must be > 0")
+    stream = _streams(registry).open(
+        command.session, command.stream,
+        gap_seconds=command.gap_seconds,
+        checkpoint_every=command.checkpoint_every,
+        max_open_events=command.max_open_events,
+        relay=command.relay)
+    return P.StreamInfo(session=command.session,
+                        stream=command.stream,
+                        status=stream.status())
+
+
+def _append_events(registry: SessionRegistry,
+                   command: P.AppendEvents) -> P.Response:
+    from repro.persist.format import PersistError
+    from repro.stream.manager import StreamOverloadedError
+    from repro.stream.segmenter import NO_WATERMARK
+
+    stream = _stream(registry, command.session, command.stream)
+    if command.watermark is not None \
+            and not isinstance(command.watermark, (int, float)):
+        raise CommandError("bad_request",
+                           "watermark must be a number")
+    try:
+        result = stream.append(command.events,
+                               watermark=command.watermark)
+    except ValueError as error:
+        raise CommandError("bad_request", str(error))
+    except StreamOverloadedError as error:
+        raise CommandError("overloaded", str(error))
+    except PersistError as error:
+        raise CommandError("persistence", str(error))
+    watermark = stream.segmenter.watermark
+    return P.EventsAppended(
+        session=command.session, stream=command.stream,
+        appended=result["appended"],
+        episodes_closed=result["episodes_closed"],
+        watermark=None if watermark == NO_WATERMARK else watermark,
+        open_events=stream.segmenter.open_events,
+        seq=result["seq"],
+        episodes=result.get("episodes") or [])
+
+
+def _stream_status(registry: SessionRegistry,
+                   command: P.StreamStatus) -> P.Response:
+    stream = _stream(registry, command.session, command.stream)
+    return P.StreamInfo(session=command.session,
+                        stream=command.stream,
+                        status=stream.status())
+
+
+def _close_stream(registry: SessionRegistry,
+                  command: P.CloseStream) -> P.Response:
+    from repro.persist.format import PersistError
+    from repro.stream.manager import UnknownStreamError
+
+    _stream(registry, command.session, command.stream)
+    try:
+        summary = _streams(registry).close(command.session,
+                                           command.stream)
+    except UnknownStreamError:
+        raise CommandError(
+            "unknown_stream",
+            "no stream {!r} on session {!r}".format(
+                command.stream, command.session))
+    except PersistError as error:
+        raise CommandError("persistence", str(error))
+    return P.StreamClosed(
+        session=command.session, stream=command.stream,
+        episodes_closed=summary["episodes_closed"],
+        episodes_total=summary["episodes_total"],
+        events_acked=summary["events_acked"],
+        episodes=summary.get("episodes") or [])
+
+
 def _save_session(registry: SessionRegistry,
                   command: P.SaveSession) -> P.Response:
     import os
@@ -579,6 +684,10 @@ _HANDLERS: Dict[Type[P.Command], Callable] = {
     P.StoreStats: _store_stats,
     P.SaveSession: _save_session,
     P.RestoreSession: _restore_session,
+    P.OpenStream: _open_stream,
+    P.AppendEvents: _append_events,
+    P.StreamStatus: _stream_status,
+    P.CloseStream: _close_stream,
 }
 
 

@@ -596,6 +596,94 @@ class SummaryParts(Command):
 
 
 @dataclass(frozen=True)
+class OpenStream(Command):
+    """Open (or re-attach to) a live ingestion stream on a session.
+
+    The session is created on first use, exactly like a build.  On a
+    durable registry the stream gets an event journal + checkpoint
+    sidecar under the session's directory, so acked events survive
+    ``kill -9`` (see ``docs/streaming.md``).  Re-opening an existing
+    stream returns its current state unchanged — the shape arguments
+    of the first open win — which is what makes the command
+    idempotent.
+
+    Attributes:
+        session: target session name.
+        stream: stream name, unique within the session.
+        gap_seconds: inactivity gap that closes an episode (default:
+            the builder's 4-hour visit gap).
+        checkpoint_every: fold the event journal into a state
+            snapshot every N closed episodes.
+        max_open_events: back-pressure bound — an append that would
+            exceed this many buffered (not-yet-closed) events is
+            rejected with ``overloaded``.
+        relay: coordinator-internal mode — the stream segments and
+            journals locally but hands closed episodes back in its
+            acks (``EventsAppended.episodes``) instead of storing
+            them, so a shard coordinator can route them by global id.
+            Delivery is at-least-once; the harvester deduplicates by
+            canonical content.
+    """
+
+    kind = "OpenStream"
+    idempotent = True
+
+    session: str
+    stream: str
+    gap_seconds: Optional[float] = None
+    checkpoint_every: int = 64
+    max_open_events: int = 100_000
+    relay: bool = False
+
+
+@dataclass(frozen=True)
+class AppendEvents(Command):
+    """Append detection events to an open stream.
+
+    ``events`` are wire-form detection records (``mo_id``, ``state``,
+    ``t_start``, ``t_end``, optional ``visit_id``/``attributes``);
+    ``watermark`` asserts that no future event starts before it,
+    letting the segmenter close episodes whose inactivity gap the
+    watermark has passed.  An empty ``events`` list with a watermark
+    is the heartbeat that drains a quiet stream.
+
+    The reply is the durability ack: events are journaled before it
+    is sent.  Not idempotent — replaying an append re-ingests the
+    events.
+    """
+
+    kind = "AppendEvents"
+
+    session: str
+    stream: str
+    events: List[Dict] = field(default_factory=list)
+    watermark: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class StreamStatus(Command):
+    """Poll a stream's watermark, buffers and counters."""
+
+    kind = "StreamStatus"
+    idempotent = True
+
+    session: str
+    stream: str
+
+
+@dataclass(frozen=True)
+class CloseStream(Command):
+    """Flush a stream's open episodes into the store and retire it.
+
+    Not idempotent: a second close answers ``unknown_stream``."""
+
+    kind = "CloseStream"
+
+    session: str
+    stream: str
+
+
+@dataclass(frozen=True)
 class StoreStats(Command):
     """A session store's planner statistics (cardinalities, span).
 
@@ -619,13 +707,15 @@ class ErrorInfo(Response):
     """The failure reply; ``code`` is machine-matchable.
 
     Codes: ``bad_request``, ``protocol``, ``unknown_session``,
-    ``unknown_job``, ``bad_cursor``, ``unserializable``,
+    ``unknown_job``, ``unknown_stream`` (stream never opened or
+    already closed), ``bad_cursor``, ``unserializable``,
     ``not_found`` (unknown HTTP path), ``persistence`` (durable
     storage failure: no persist dir, unwritable disk, corrupt
     snapshot), ``deadline_exceeded`` (the command's propagated
-    ``deadline_ms`` budget ran out), ``unavailable`` (every replica
-    of a required shard failed or the transport exhausted its
-    retries), ``internal``.
+    ``deadline_ms`` budget ran out), ``overloaded`` (a stream append
+    was shed by back-pressure — retry after the watermark advances),
+    ``unavailable`` (every replica of a required shard failed or the
+    transport exhausted its retries), ``internal``.
     """
 
     kind = "Error"
@@ -966,6 +1056,78 @@ class SummaryPartsInfo(Response):
     transitions: int = 0
     max_visit_duration: Optional[float] = None
     min_visit_duration: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class StreamInfo(Response):
+    """Reply to ``OpenStream`` and ``StreamStatus``.
+
+    ``status`` is the stream's JSON-native state snapshot: watermark
+    (``null`` until first advanced), ``open_buffers`` /
+    ``open_events`` (live segmenter buffers), the segmenter's
+    accept/drop metrics, the durability counters (``events_acked``,
+    ``episodes_stored``, ``checkpoints``) and the back-pressure bound
+    ``max_open_events``.
+    """
+
+    kind = "StreamInfo"
+
+    session: str
+    stream: str
+    status: Dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class EventsAppended(Response):
+    """Reply to ``AppendEvents`` — the durability acknowledgement.
+
+    Attributes:
+        session / stream: where the events landed.
+        appended: events accepted by this call (all-or-nothing).
+        episodes_closed: episodes this batch (or its watermark)
+            completed and stored.
+        watermark: the stream's watermark after the append.
+        open_events: events still buffered in open episodes — the
+            client-visible back-pressure signal.
+        seq: the journal sequence that made the batch durable (0 on
+            a memory-only registry).
+        episodes: relay streams only — every closed episode not yet
+            handed to the harvester, as wire-form trajectory dicts
+            (empty on normal streams, which store episodes locally).
+    """
+
+    kind = "EventsAppended"
+
+    session: str
+    stream: str
+    appended: int = 0
+    episodes_closed: int = 0
+    watermark: Optional[float] = None
+    open_events: int = 0
+    seq: int = 0
+    episodes: List[Dict] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class StreamClosed(Response):
+    """Reply to ``CloseStream``.
+
+    Attributes:
+        episodes_closed: episodes the final flush completed.
+        episodes_total: episodes the stream stored over its life.
+        events_acked: events the stream acknowledged over its life.
+        episodes: relay streams only — the final flush's undelivered
+            episodes for the harvester (see ``EventsAppended``).
+    """
+
+    kind = "StreamClosed"
+
+    session: str
+    stream: str
+    episodes_closed: int = 0
+    episodes_total: int = 0
+    events_acked: int = 0
+    episodes: List[Dict] = field(default_factory=list)
 
 
 @dataclass(frozen=True)

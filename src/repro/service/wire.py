@@ -43,10 +43,14 @@ STATUS_OF_CODE = {
     "not_found": 404,
     "unknown_session": 404,
     "unknown_job": 404,
+    "unknown_stream": 404,
     "persistence": 500,
     "internal": 500,
     # Front-end-generated (never by the executor): load shedding.
     "saturated": 503,
+    # Stream back-pressure: an append exceeded the stream's
+    # open-event bound; retry after the watermark advances.
+    "overloaded": 503,
     # Resilience layer: every replica of a shard failed / the
     # propagated deadline ran out.
     "unavailable": 503,
@@ -256,6 +260,12 @@ def health_payload(registry: SessionRegistry,
     shards_fn = getattr(registry, "shard_report", None)
     if shards_fn is not None:
         payload["shards"] = shards_fn()
+    # Live-stream lag/watermark counters: present once the engine has
+    # opened a stream (the manager attaches itself lazily), duck-typed
+    # so the wire layer needs no stream import.
+    streams = getattr(registry, "_stream_manager", None)
+    if streams is not None:
+        payload["streams"] = streams.report()
     if load is not None:
         payload["load"] = load
     return payload

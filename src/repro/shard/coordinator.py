@@ -159,6 +159,57 @@ class _StatsProxy:
         return self._time_span
 
 
+class _CoordStream:
+    """Coordinator-side bookkeeping of one relayed stream.
+
+    The shards own segmentation and durability (each runs a relay
+    stream: segment + journal locally, hand closed episodes back in
+    acks); the coordinator owns routing — harvested episodes enter
+    the corpus through the global-id ingest fan-out.  Relay delivery
+    is at-least-once, so ``seen`` deduplicates episodes by canonical
+    content before they are ingested.
+    """
+
+    def __init__(self, session_name: str, stream: str,
+                 shard_count: int, max_open_events: int) -> None:
+        self.session_name = session_name
+        self.stream = stream
+        #: Per-shard back-pressure bound (the OpenStream shape).
+        self.max_open_events = max_open_events
+        self.lock = threading.Lock()
+        #: Canonical bytes of every episode already in the corpus.
+        self.seen: set = set()
+        #: Last-known buffered events per shard (pre-checked before a
+        #: scatter so no shard partially acks an overloaded append).
+        self.shard_open: List[int] = [0] * shard_count
+        #: Last-known per-shard watermarks; the stream's watermark is
+        #: their minimum (None until every shard has one).
+        self.shard_marks: List[Optional[float]] = [None] * shard_count
+        #: Cached gauges for the health report (refreshed on appends
+        #: and status polls — no shard round-trip from health).
+        self.counters: Dict[str, int] = {
+            "events_acked": 0, "episodes_stored": 0,
+            "late_events": 0, "dropped_late": 0}
+
+    @property
+    def watermark(self) -> Optional[float]:
+        if any(mark is None for mark in self.shard_marks):
+            return None
+        return min(self.shard_marks)
+
+
+class _CoordStreamTable:
+    """Duck-typed stand-in for the registry's ``_stream_manager``
+    attribute, so ``GET /v1/health`` reports stream gauges for a
+    sharded front-end through the same hook."""
+
+    def __init__(self, coordinator: "ShardCoordinator") -> None:
+        self._coordinator = coordinator
+
+    def report(self) -> Dict:
+        return self._coordinator._stream_report()
+
+
 class ShardCoordinator:
     """Scatter-gather engine over N shard executors.
 
@@ -218,6 +269,10 @@ class ShardCoordinator:
         self.autosave = autosave
         self._serial = next(_COORD_SERIALS)
         self._sessions: Dict[str, _CoordSession] = {}
+        self._streams: Dict[Tuple[str, str], _CoordStream] = {}
+        # Health's stream hook (wire.health_payload duck-types the
+        # registry attribute of the same name).
+        self._stream_manager = _CoordStreamTable(self)
         self._lock = threading.Lock()
         self._jobs: Dict[str, BuildJob] = {}
         self._job_ids = itertools.count(1)
@@ -678,6 +733,9 @@ class ShardCoordinator:
                     raise
         with self._lock:
             self._sessions.pop(command.session, None)
+            for key in [key for key in self._streams
+                        if key[0] == command.session]:
+                del self._streams[key]
         return P.Dropped(session=command.session)
 
     def _save_session(self, command: P.SaveSession) -> P.Response:
@@ -1187,6 +1245,259 @@ class ShardCoordinator:
             min_visit_duration=shortest)
 
     # ------------------------------------------------------------------
+    # streams: relayed shard segmentation, routed episode harvest
+    # ------------------------------------------------------------------
+    def _stream_report(self) -> Dict:
+        """Aggregate stream gauges for ``GET /v1/health`` from the
+        coordinator's cached state (no shard round-trip; the late
+        counters are as of the last append or status poll)."""
+        with self._lock:
+            states = list(self._streams.values())
+        live = [state.watermark for state in states
+                if state.watermark is not None]
+        return {
+            "open": len(states),
+            "events_acked": sum(s.counters["events_acked"]
+                                for s in states),
+            "open_events": sum(sum(s.shard_open) for s in states),
+            "episodes_stored": sum(s.counters["episodes_stored"]
+                                   for s in states),
+            "late_events": sum(s.counters["late_events"]
+                               for s in states),
+            "dropped_late": sum(s.counters["dropped_late"]
+                                for s in states),
+            "watermark_min": min(live) if live else None,
+        }
+
+    def _stream_state(self, session_name: str, stream: str,
+                      statuses: Optional[List[Dict]] = None
+                      ) -> _CoordStream:
+        """The coordinator's state for one stream, rebuilt lazily
+        after a coordinator restart by polling the shards (they own
+        the durable state).  The dedup set is seeded with the whole
+        corpus so redelivered episodes are never double-ingested."""
+        key = (session_name, stream)
+        with self._lock:
+            held = self._streams.get(key)
+        if held is not None:
+            return held
+        try:
+            session = self._held(session_name)
+        except CommandError:
+            raise CommandError(
+                "unknown_stream",
+                "no stream {!r} on session {!r}".format(
+                    stream, session_name))
+        if statuses is None:
+            replies = self._scatter_same(P.StreamStatus(
+                session=session_name, stream=stream))
+            statuses = [reply.status for reply in replies]
+        state = _CoordStream(
+            session_name, stream, self.shard_count,
+            int(statuses[0].get("max_open_events") or 1))
+        merged, _ = self._merged_hits(session, None)
+        state.seen = {P.canonical_json(hit.trajectory.to_dict())
+                      for hit in merged}
+        self._apply_statuses(state, statuses)
+        with self._lock:
+            return self._streams.setdefault(key, state)
+
+    @staticmethod
+    def _apply_statuses(state: _CoordStream,
+                        statuses: List[Dict]) -> None:
+        for shard, status in enumerate(statuses):
+            state.shard_open[shard] = int(
+                status.get("open_events") or 0)
+            state.shard_marks[shard] = status.get("watermark")
+        for key in ("events_acked", "episodes_stored",
+                    "late_events", "dropped_late"):
+            state.counters[key] = sum(int(status.get(key) or 0)
+                                      for status in statuses)
+
+    def _merged_stream_status(self, state: _CoordStream,
+                              statuses: List[Dict]) -> Dict:
+        """Sum the per-shard snapshots into the logical stream's."""
+        merged: Dict = {"session": state.session_name,
+                        "stream": state.stream}
+        for key in ("open_buffers", "open_events", "events_in",
+                    "accepted", "late_events", "dropped_late",
+                    "episodes", "events_acked", "episodes_stored",
+                    "checkpoints", "pending"):
+            merged[key] = sum(int(status.get(key) or 0)
+                              for status in statuses)
+        drops: Dict[str, int] = {}
+        for status in statuses:
+            for reason, count in (status.get("drops") or {}).items():
+                drops[reason] = drops.get(reason, 0) + int(count)
+        merged["drops"] = drops
+        marks = [status.get("watermark") for status in statuses]
+        merged["watermark"] = (None if any(mark is None
+                                           for mark in marks)
+                               else min(marks))
+        merged["shard_watermarks"] = marks
+        merged["durable"] = all(bool(status.get("durable"))
+                                for status in statuses)
+        merged["max_open_events"] = state.max_open_events
+        merged["relay"] = True
+        return merged
+
+    def _harvest(self, session: _CoordSession, state: _CoordStream,
+                 episode_lists: List[List[Dict]]) -> int:
+        """Ingest relayed episodes through the routed fan-out
+        (caller holds the stream's lock).  Relay delivery is
+        at-least-once, so duplicates are dropped by content."""
+        docs: List[Dict] = []
+        for episodes in episode_lists:
+            for doc in episodes:
+                raw = P.canonical_json(doc)
+                if raw in state.seen:
+                    continue
+                state.seen.add(raw)
+                docs.append(doc)
+        if docs:
+            with session.ingest_lock:
+                self._ingest_locked(session, docs)
+        return len(docs)
+
+    def _harvest_poll(self, session: _CoordSession,
+                      state: _CoordStream,
+                      shards: List[int]) -> None:
+        """Drain pending episodes a shard recovered after a crash
+        (an empty append is a pure poll — nothing is journaled)."""
+        replies = self._scatter([
+            P.AppendEvents(session=state.session_name,
+                           stream=state.stream)
+            if shard in shards else None
+            for shard in range(self.shard_count)])
+        self._harvest(session, state,
+                      [reply.episodes for reply in replies
+                       if reply is not None])
+
+    def _open_stream(self, command: P.OpenStream) -> P.Response:
+        if command.checkpoint_every < 1:
+            raise CommandError("bad_request",
+                               "checkpoint_every must be >= 1")
+        if command.max_open_events < 1:
+            raise CommandError("bad_request",
+                               "max_open_events must be >= 1")
+        if command.gap_seconds is not None \
+                and command.gap_seconds <= 0:
+            raise CommandError("bad_request",
+                               "gap_seconds must be > 0")
+        session = self._create_session(command.session)
+        replies = self._scatter_same(replace(command, relay=True))
+        statuses = [reply.status for reply in replies]
+        state = self._stream_state(command.session, command.stream,
+                                   statuses=statuses)
+        with state.lock:
+            pending = [shard for shard, status in enumerate(statuses)
+                       if int(status.get("pending") or 0)]
+            if pending:
+                self._harvest_poll(session, state, pending)
+                statuses = [reply.status for reply in
+                            self._scatter_same(P.StreamStatus(
+                                session=command.session,
+                                stream=command.stream))]
+            self._apply_statuses(state, statuses)
+            merged = self._merged_stream_status(state, statuses)
+        return P.StreamInfo(session=command.session,
+                            stream=command.stream, status=merged)
+
+    def _append_events(self, command: P.AppendEvents) -> P.Response:
+        from repro.stream.segmenter import event_from_dict
+
+        state = self._stream_state(command.session, command.stream)
+        session = self._held(command.session)
+        if command.watermark is not None \
+                and not isinstance(command.watermark, (int, float)):
+            raise CommandError("bad_request",
+                               "watermark must be a number")
+        try:  # validate up front so no shard partially acks
+            for event in command.events:
+                event_from_dict(event)
+        except (KeyError, TypeError, ValueError) as error:
+            raise CommandError("bad_request",
+                               "unparseable event: {}".format(error))
+        with state.lock:
+            buckets: List[List[Dict]] = [
+                [] for _ in range(self.shard_count)]
+            for event in command.events:
+                shard = self.ring.shard_of_key(str(event["mo_id"]))
+                buckets[shard].append(dict(event))
+            for shard, bucket in enumerate(buckets):
+                if state.shard_open[shard] + len(bucket) \
+                        > state.max_open_events:
+                    raise CommandError(
+                        "overloaded",
+                        "shard {} would hold {} open events (cap "
+                        "{}); retry after the watermark "
+                        "advances".format(
+                            shard,
+                            state.shard_open[shard] + len(bucket),
+                            state.max_open_events))
+            # Every shard gets the watermark (even with an empty
+            # bucket) so the stream watermark — their minimum —
+            # advances; a shard with neither is skipped.
+            replies = self._scatter([
+                P.AppendEvents(session=command.session,
+                               stream=command.stream, events=bucket,
+                               watermark=command.watermark)
+                if bucket or command.watermark is not None else None
+                for bucket in buckets])
+            self._harvest(session, state,
+                          [reply.episodes for reply in replies
+                           if reply is not None])
+            episodes_closed = sum(reply.episodes_closed
+                                  for reply in replies
+                                  if reply is not None)
+            for shard, reply in enumerate(replies):
+                if reply is None:
+                    continue
+                state.shard_open[shard] = reply.open_events
+                state.shard_marks[shard] = reply.watermark
+            state.counters["events_acked"] += len(command.events)
+            state.counters["episodes_stored"] += episodes_closed
+            return P.EventsAppended(
+                session=command.session, stream=command.stream,
+                appended=len(command.events),
+                episodes_closed=episodes_closed,
+                watermark=state.watermark,
+                open_events=sum(state.shard_open),
+                seq=max([reply.seq for reply in replies
+                         if reply is not None] or [0]))
+
+    def _stream_status(self, command: P.StreamStatus) -> P.Response:
+        state = self._stream_state(command.session, command.stream)
+        replies = self._scatter_same(P.StreamStatus(
+            session=command.session, stream=command.stream))
+        statuses = [reply.status for reply in replies]
+        with state.lock:
+            self._apply_statuses(state, statuses)
+            merged = self._merged_stream_status(state, statuses)
+        return P.StreamInfo(session=command.session,
+                            stream=command.stream, status=merged)
+
+    def _close_stream(self, command: P.CloseStream) -> P.Response:
+        state = self._stream_state(command.session, command.stream)
+        session = self._held(command.session)
+        with state.lock:
+            replies = self._scatter_same(P.CloseStream(
+                session=command.session, stream=command.stream))
+            self._harvest(session, state,
+                          [reply.episodes for reply in replies])
+        with self._lock:
+            self._streams.pop((command.session, command.stream),
+                              None)
+        return P.StreamClosed(
+            session=command.session, stream=command.stream,
+            episodes_closed=sum(reply.episodes_closed
+                                for reply in replies),
+            episodes_total=sum(reply.episodes_total
+                               for reply in replies),
+            events_acked=sum(reply.events_acked
+                             for reply in replies))
+
+    # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
     _HANDLERS: Dict = {}
@@ -1292,4 +1603,8 @@ ShardCoordinator._HANDLERS = {
     P.StoreStats: ShardCoordinator._store_stats,
     P.SaveSession: ShardCoordinator._save_session,
     P.RestoreSession: ShardCoordinator._restore_session,
+    P.OpenStream: ShardCoordinator._open_stream,
+    P.AppendEvents: ShardCoordinator._append_events,
+    P.StreamStatus: ShardCoordinator._stream_status,
+    P.CloseStream: ShardCoordinator._close_stream,
 }

@@ -72,13 +72,21 @@ class HashRing:
         self._shards = [shard for _, shard in points]
         self._keys = [key for key, _ in points]
 
-    def shard_of(self, doc_id: int) -> int:
-        """The shard owning a global document id."""
-        point = _hash64(b"doc-%d" % int(doc_id))
+    def _locate(self, point: int) -> int:
         index = bisect.bisect_right(self._keys, point)
         if index == len(self._keys):
             index = 0
         return self._shards[index]
+
+    def shard_of(self, doc_id: int) -> int:
+        """The shard owning a global document id."""
+        return self._locate(_hash64(b"doc-%d" % int(doc_id)))
+
+    def shard_of_key(self, key: str) -> int:
+        """The shard owning an arbitrary string key — the same ring,
+        a disjoint hash domain.  Used to pin a visitor's live event
+        stream to one shard so its segmenter sees every event."""
+        return self._locate(_hash64(b"key-" + key.encode("utf-8")))
 
     def assignments(self, doc_count: int) -> List[int]:
         """``[shard_of(0), ..., shard_of(doc_count - 1)]``."""

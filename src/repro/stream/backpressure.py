@@ -1,0 +1,202 @@
+"""Bounded inter-stage buffers: back-pressure for stream sources.
+
+An unbounded queue between a fast producer and a slow consumer is a
+memory leak with extra steps.  :class:`BoundedBuffer` is the bounded
+alternative with the two policies a stream pipeline needs:
+
+* ``block`` — a full buffer makes :meth:`put` wait, so the producer
+  runs at the consumer's pace (lossless back-pressure);
+* ``shed`` — a full buffer makes :meth:`put` drop the item and count
+  it, so the producer never stalls (lossy, for best-effort telemetry
+  feeds).
+
+:func:`bounded_iter` is the pipeline bridge: it drives any record
+iterable from a daemon thread through a :class:`BoundedBuffer` and
+yields from it, turning an unbounded source into a back-pressured one
+— the pipeline engine pulling slowly throttles the producer thread to
+at most ``capacity`` items of lead.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Iterable, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+#: Accepted overflow policies.
+POLICIES = ("block", "shed")
+
+
+class BufferClosed(RuntimeError):
+    """:meth:`BoundedBuffer.put` after :meth:`BoundedBuffer.close`."""
+
+
+class BoundedBuffer:
+    """A thread-safe bounded FIFO with back-pressure counters.
+
+    Args:
+        capacity: maximum buffered items (>= 1).
+        policy: ``"block"`` (producer waits) or ``"shed"`` (overflow
+            items are dropped and counted).
+
+    Counters ``puts`` / ``gets`` / ``sheds`` / ``blocked`` expose what
+    the buffer did; ``blocked`` counts the times a ``block`` put had
+    to wait, i.e. how often back-pressure actually throttled the
+    producer.
+    """
+
+    def __init__(self, capacity: int, policy: str = "block") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1, got {}".format(
+                capacity))
+        if policy not in POLICIES:
+            raise ValueError("unknown policy {!r}; one of: {}".format(
+                policy, ", ".join(POLICIES)))
+        self.capacity = capacity
+        self.policy = policy
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self.puts = 0
+        self.gets = 0
+        self.sheds = 0
+        self.blocked = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` was called."""
+        return self._closed
+
+    def put(self, item: T, timeout: Optional[float] = None) -> bool:
+        """Offer one item; returns True when it was buffered.
+
+        Under ``block`` a full buffer waits (up to ``timeout``
+        seconds; ``None`` waits forever) and returns False only on
+        timeout.  Under ``shed`` a full buffer drops the item
+        immediately (counted in ``sheds``) and returns False.
+
+        Raises:
+            BufferClosed: when the buffer was closed.
+        """
+        with self._not_full:
+            if self._closed:
+                raise BufferClosed("put() on a closed buffer")
+            if len(self._items) >= self.capacity:
+                if self.policy == "shed":
+                    self.sheds += 1
+                    return False
+                self.blocked += 1
+                if not self._not_full.wait_for(
+                        lambda: self._closed
+                        or len(self._items) < self.capacity,
+                        timeout=timeout):
+                    return False
+                if self._closed:
+                    raise BufferClosed("put() on a closed buffer")
+            self._items.append(item)
+            self.puts += 1
+            self._not_empty.notify()
+            return True
+
+    def get(self, timeout: Optional[float] = None):
+        """Take the oldest item, waiting up to ``timeout`` seconds.
+
+        Returns ``None`` when the buffer is closed and drained, or on
+        timeout (closed-and-drained is the end-of-stream signal; a
+        ``None`` item is not distinguishable, so don't buffer
+        ``None``).
+        """
+        with self._not_empty:
+            if not self._not_empty.wait_for(
+                    lambda: self._items or self._closed,
+                    timeout=timeout):
+                return None
+            if not self._items:
+                return None  # closed and drained
+            item = self._items.popleft()
+            self.gets += 1
+            self._not_full.notify()
+            return item
+
+    def close(self) -> None:
+        """No further puts; pending gets drain what is buffered."""
+        with self._lock:
+            self._closed = True
+            self._not_full.notify_all()
+            self._not_empty.notify_all()
+
+    def __iter__(self) -> Iterator:
+        """Drain until closed-and-empty (a blocking ``get`` loop)."""
+        while True:
+            item = self.get()
+            if item is None:
+                return
+            yield item
+
+    def report(self) -> dict:
+        """JSON-native counter snapshot."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "policy": self.policy,
+                "depth": len(self._items),
+                "puts": self.puts,
+                "gets": self.gets,
+                "sheds": self.sheds,
+                "blocked": self.blocked,
+            }
+
+
+def bounded_iter(source: Iterable[T], capacity: int = 1024,
+                 policy: str = "block",
+                 buffer: Optional[BoundedBuffer] = None
+                 ) -> Iterator[T]:
+    """Yield ``source`` through a bounded buffer fed by a thread.
+
+    The producer thread pushes source items into the buffer; the
+    caller pulls them out.  With the default ``block`` policy a slow
+    caller throttles the producer to ``capacity`` items of lead —
+    memory stays O(capacity) no matter how fast the source is.  A
+    source exception re-raises at the consumer, after the buffered
+    items drain.
+
+    Args:
+        source: any iterable (e.g. a pipeline record source).
+        capacity / policy: buffer shape, as :class:`BoundedBuffer`.
+        buffer: an existing buffer to feed (capacity/policy ignored)
+            — lets callers watch the counters while iterating.
+    """
+    queue = buffer if buffer is not None \
+        else BoundedBuffer(capacity, policy=policy)
+    failure: list = []
+
+    def produce() -> None:
+        try:
+            for item in source:
+                try:
+                    queue.put(item)
+                except BufferClosed:
+                    return  # consumer went away first
+        except BaseException as error:  # re-raised consumer-side
+            failure.append(error)
+        finally:
+            queue.close()
+
+    thread = threading.Thread(target=produce,
+                              name="repro-stream-source", daemon=True)
+    thread.start()
+    try:
+        for item in queue:
+            yield item
+        if failure:
+            raise failure[0]
+    finally:
+        queue.close()  # unblock the producer if we exit early

@@ -1,0 +1,332 @@
+"""Event-time watermark segmentation of live detection streams.
+
+The batch builder (:class:`~repro.core.builder.TrajectoryBuilder`)
+sees a whole corpus at once: it sorts globally by ``(mo_id, t_start,
+t_end)``, repairs overlaps per moving object, and splits visits on the
+inactivity gap.  A live deployment sees the same records *interleaved
+across visitors* and never "at once" — something must decide that an
+episode is finished while events for other visitors keep arriving.
+
+:class:`WatermarkSegmenter` makes that decision with an event-time
+**watermark**: the producer's promise that no future event will carry
+``t_start`` below the watermark.  An open episode whose last record
+ended more than the inactivity gap before the watermark can therefore
+never be extended by an in-order event — the batch builder would have
+split at that silence too — so the segmenter closes it and emits the
+completed :class:`~repro.core.trajectory.SemanticTrajectory`.
+
+**Byte-identity contract.**  Fed any corpus in per-visitor time order
+(arbitrarily interleaved across visitors, which is what a live feed
+delivers), the segmenter emits *exactly* the episodes the batch
+builder produces, each byte-identical under canonical JSON.  Closure
+order differs from the batch output order (episodes close when their
+watermark passes, not sorted by visitor), so the guarantee is per
+episode and store content, not store sequence — see
+``docs/streaming.md``.  The contract is property-tested in
+``tests/stream/``.
+
+Events that break the in-order premise are **late**: counted, and
+dropped when accepting them could contradict an already-emitted
+episode.  Records sharing a ``visit_id`` are never gap-split (exactly
+as in batch), but a visit that stays silent past the gap threshold
+while the watermark advances is considered complete — producers
+needing longer intra-visit silences must widen the gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.builder import DetectionRecord, TrajectoryBuilder
+from repro.core.trajectory import (
+    DETECTION_OVERLAP_TOLERANCE,
+    SemanticTrajectory,
+)
+
+#: The watermark before any ``advance()`` — every event is on time.
+NO_WATERMARK = float("-inf")
+
+
+# ----------------------------------------------------------------------
+# the wire codec for detection events
+# ----------------------------------------------------------------------
+def event_to_dict(record: DetectionRecord) -> Dict[str, object]:
+    """A JSON-native dict for one detection event (wire shape)."""
+    data: Dict[str, object] = {
+        "mo_id": record.mo_id,
+        "state": record.state,
+        "t_start": record.t_start,
+        "t_end": record.t_end,
+    }
+    if record.visit_id is not None:
+        data["visit_id"] = record.visit_id
+    if record.attributes:
+        data["attributes"] = dict(record.attributes)
+    return data
+
+
+def event_from_dict(data: Mapping) -> DetectionRecord:
+    """Parse one wire-shaped detection event.
+
+    Raises:
+        ValueError: for anything but a mapping with string
+            ``mo_id``/``state`` and numeric ``t_start``/``t_end``.
+    """
+    try:
+        mo_id = data["mo_id"]
+        state = data["state"]
+        if not isinstance(mo_id, str) or not isinstance(state, str):
+            raise TypeError("mo_id/state must be strings")
+        visit_id = data.get("visit_id")
+        if visit_id is not None and not isinstance(visit_id, str):
+            raise TypeError("visit_id must be a string or null")
+        return DetectionRecord(
+            mo_id=mo_id,
+            state=state,
+            t_start=float(data["t_start"]),
+            t_end=float(data["t_end"]),
+            visit_id=visit_id,
+            attributes=dict(data.get("attributes") or {}),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ValueError(
+            "malformed detection event {!r}: {}".format(data, error))
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+@dataclass
+class StreamMetrics:
+    """Counters of one stream's ingestion history.
+
+    ``drops`` uses the batch pipeline's stable reason keys
+    (``negative_duration``, ``zero_duration``, ``unknown_state``,
+    ``overlap_contained``) plus the stream-only reasons
+    ``out_of_order`` and ``late``.
+    """
+
+    events_in: int = 0
+    accepted: int = 0
+    drops: Dict[str, int] = field(default_factory=dict)
+    overlap_clipped: int = 0
+    #: events arriving with ``t_start`` behind the watermark.
+    late_events: int = 0
+    #: late or out-of-order events that had to be discarded.
+    dropped_late: int = 0
+    episodes: int = 0
+
+    def drop(self, reason: str) -> None:
+        """Count one dropped event under ``reason``."""
+        self.drops[reason] = self.drops.get(reason, 0) + 1
+
+    @property
+    def dropped(self) -> int:
+        """Total events dropped for any reason."""
+        return sum(self.drops.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-native snapshot (stable keys, sorted drop reasons)."""
+        return {
+            "events_in": self.events_in,
+            "accepted": self.accepted,
+            "drops": {k: self.drops[k] for k in sorted(self.drops)},
+            "overlap_clipped": self.overlap_clipped,
+            "late_events": self.late_events,
+            "dropped_late": self.dropped_late,
+            "episodes": self.episodes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "StreamMetrics":
+        """Rebuild a snapshot written by :meth:`to_dict`."""
+        return cls(
+            events_in=int(data.get("events_in", 0)),
+            accepted=int(data.get("accepted", 0)),
+            drops=dict(data.get("drops") or {}),
+            overlap_clipped=int(data.get("overlap_clipped", 0)),
+            late_events=int(data.get("late_events", 0)),
+            dropped_late=int(data.get("dropped_late", 0)),
+            episodes=int(data.get("episodes", 0)),
+        )
+
+
+#: One open episode's key: the visitor plus its (optional) visit id.
+BufferKey = Tuple[str, Optional[str]]
+
+
+class WatermarkSegmenter:
+    """Segments an interleaved event stream into semantic trajectories.
+
+    Args:
+        builder: the batch builder whose semantics (cleaning rules,
+            overlap tolerance, NRG, annotations, gap) this stream must
+            reproduce byte-identically.
+        gap_seconds: override of the builder's inactivity gap.
+
+    Events enter through :meth:`feed`; the watermark advances through
+    :meth:`advance`; both return the episodes they closed.
+    :meth:`close` flushes everything still open (end of stream).
+    """
+
+    def __init__(self, builder: TrajectoryBuilder,
+                 gap_seconds: Optional[float] = None) -> None:
+        self.builder = builder
+        self.gap_seconds = (builder.visit_gap_seconds
+                            if gap_seconds is None else gap_seconds)
+        self.watermark = NO_WATERMARK
+        self.metrics = StreamMetrics()
+        #: open episodes: ``(mo_id, visit_id) -> records`` in order.
+        self._buffers: Dict[BufferKey, List[DetectionRecord]] = {}
+        #: per-visitor repair state — carried *across* episodes,
+        #: exactly like the batch ``_resolve_overlaps`` last_end map.
+        self._last_end: Dict[str, float] = {}
+        #: per-visitor sort-order key of the last accepted event, for
+        #: detecting out-of-order arrivals (batch sorts globally).
+        self._last_key: Dict[str, Tuple[float, float]] = {}
+
+    # -- observation ----------------------------------------------------
+    @property
+    def open_buffers(self) -> int:
+        """Episodes currently open (distinct visitor/visit keys)."""
+        return len(self._buffers)
+
+    @property
+    def open_events(self) -> int:
+        """Events buffered in open episodes (the memory gauge)."""
+        return sum(len(records) for records in self._buffers.values())
+
+    # -- ingestion ------------------------------------------------------
+    def feed(self, record: DetectionRecord
+             ) -> List[SemanticTrajectory]:
+        """Ingest one event; returns episodes this event closed.
+
+        An event closes an episode only on the gap-split path: a
+        ``visit_id``-less record arriving more than the gap after its
+        visitor's open buffer finishes that buffer and starts the
+        next one.
+        """
+        metrics = self.metrics
+        metrics.events_in += 1
+        reason = self.builder.classify_record(record)
+        if reason is not None:
+            metrics.drop(reason)
+            return []
+        if record.t_start < self.watermark:
+            metrics.late_events += 1
+        order_key = (record.t_start, record.t_end)
+        previous_key = self._last_key.get(record.mo_id)
+        if previous_key is not None and order_key < previous_key:
+            # Behind an event this visitor already produced: the batch
+            # sort would have placed it earlier, so splicing it in now
+            # could rewrite an episode that may already be emitted.
+            metrics.drop("out_of_order")
+            metrics.dropped_late += 1
+            return []
+        key: BufferKey = (record.mo_id, record.visit_id)
+        buffer = self._buffers.get(key)
+        if buffer is None and record.t_start < self.watermark:
+            # Late with no open episode to extend: its episode (if it
+            # had one) closed when the watermark passed.
+            metrics.drop("late")
+            metrics.dropped_late += 1
+            return []
+        self._last_key[record.mo_id] = order_key
+        previous_end = self._last_end.get(record.mo_id)
+        if previous_end is not None and record.t_start \
+                < previous_end - DETECTION_OVERLAP_TOLERANCE:
+            if record.t_end <= previous_end:
+                metrics.drop("overlap_contained")
+                return []
+            record = DetectionRecord(
+                record.mo_id, record.state, previous_end,
+                record.t_end, record.visit_id, record.attributes)
+            metrics.overlap_clipped += 1
+        closed: List[SemanticTrajectory] = []
+        if buffer is not None and record.visit_id is None \
+                and record.t_start - buffer[-1].t_end \
+                > self.gap_seconds:
+            closed.append(self._emit(key))
+            buffer = None
+        if buffer is None:
+            buffer = self._buffers.setdefault(key, [])
+        buffer.append(record)
+        self._last_end[record.mo_id] = max(
+            record.t_end,
+            previous_end if previous_end is not None else record.t_end)
+        metrics.accepted += 1
+        return closed
+
+    def advance(self, watermark: float) -> List[SemanticTrajectory]:
+        """Advance the watermark; returns the episodes it closed.
+
+        A regressing (or equal) watermark is a no-op — watermarks are
+        monotonic by definition.  Closes every open episode whose last
+        record ended more than the gap before the new watermark, in
+        deterministic ``(mo_id, first t_start)`` order.
+        """
+        if watermark <= self.watermark:
+            return []
+        self.watermark = watermark
+        closable = [key for key, records in self._buffers.items()
+                    if watermark - records[-1].t_end > self.gap_seconds]
+        closable.sort(key=lambda key: (key[0],
+                                       self._buffers[key][0].t_start))
+        return [self._emit(key) for key in closable]
+
+    def close(self) -> List[SemanticTrajectory]:
+        """End of stream: flush every open episode."""
+        keys = sorted(self._buffers,
+                      key=lambda key: (key[0],
+                                       self._buffers[key][0].t_start))
+        return [self._emit(key) for key in keys]
+
+    def _emit(self, key: BufferKey) -> SemanticTrajectory:
+        records = self._buffers.pop(key)
+        draft = self.builder.construct_trace(records)
+        self.metrics.episodes += 1
+        return self.builder.annotate(draft)
+
+    # -- checkpoint state ----------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-native snapshot of everything :meth:`load_state`
+        needs to resume this stream after a restart."""
+        buffers = [
+            {"mo_id": key[0], "visit_id": key[1],
+             "records": [event_to_dict(r) for r in records]}
+            for key, records in sorted(
+                self._buffers.items(),
+                key=lambda item: (item[0][0], item[1][0].t_start))
+        ]
+        return {
+            "watermark": (None if self.watermark == NO_WATERMARK
+                          else self.watermark),
+            "gap_seconds": self.gap_seconds,
+            "buffers": buffers,
+            "last_end": dict(self._last_end),
+            "last_key": {mo: list(key)
+                         for mo, key in self._last_key.items()},
+            "metrics": self.metrics.to_dict(),
+        }
+
+    def load_state(self, state: Mapping) -> None:
+        """Restore a :meth:`state_dict` snapshot (replaces all
+        in-memory state)."""
+        watermark = state.get("watermark")
+        self.watermark = (NO_WATERMARK if watermark is None
+                          else float(watermark))
+        self.gap_seconds = float(state.get("gap_seconds",
+                                           self.gap_seconds))
+        self._buffers = {
+            (entry["mo_id"], entry.get("visit_id")):
+                [event_from_dict(r) for r in entry["records"]]
+            for entry in state.get("buffers", ())
+        }
+        self._last_end = {str(mo): float(end) for mo, end
+                          in (state.get("last_end") or {}).items()}
+        self._last_key = {str(mo): (float(key[0]), float(key[1]))
+                          for mo, key
+                          in (state.get("last_key") or {}).items()}
+        self.metrics = StreamMetrics.from_dict(
+            state.get("metrics") or {})

@@ -11,7 +11,9 @@ from repro.persist.diskcache import DiskStageCache
 from repro.pipeline.metrics import StageMetrics
 from tests.conftest import make_trajectory
 
-KEYS = [("clean", "cfg-1"), ("segment", "cfg-2")]
+# A persistable prefix must end at a trajectory boundary — both of
+# these do, so both the 1- and 2-deep prefixes may persist.
+KEYS = [("annotate", "cfg-1"), ("store", "cfg-2")]
 
 
 def batches(count=2):
@@ -68,6 +70,20 @@ class TestPersistence:
         cache.store("fp-1", KEYS, [[{"not": "a trajectory"}]],
                     [metrics()])
         assert cache.lookup("fp-1", KEYS) is not None  # memory level
+        assert not [name for name in os.listdir(str(tmp_path))
+                    if name.endswith(".json")]
+
+    @pytest.mark.parametrize("last", ["clean", "segment", "trace"])
+    def test_mid_trajectory_prefixes_stay_memory_only(self, tmp_path,
+                                                      last):
+        """A prefix ending mid-trajectory is never persisted — not
+        even with all-empty batches, which pass the per-item type
+        gate vacuously."""
+        cache = DiskStageCache(str(tmp_path))
+        keys = [("clean", "cfg-1"), (last, "cfg-2")]
+        cache.store("fp-1", keys, [[], []], [metrics(), metrics()])
+        cache.store("fp-2", keys, batches(), [metrics(), metrics()])
+        assert cache.lookup("fp-1", keys) is not None  # memory level
         assert not [name for name in os.listdir(str(tmp_path))
                     if name.endswith(".json")]
 

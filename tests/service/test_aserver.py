@@ -207,6 +207,68 @@ class TestBackPressure:
                     sock.close()
 
 
+class TestDeadlineShedding:
+    def test_expired_deadline_is_shed_with_504(self, monkeypatch):
+        """A request whose ``deadline_ms`` budget was consumed while
+        it waited behind a slow one gets a typed 504 instead of
+        burning a bridge worker."""
+        entered = threading.Semaphore(0)
+        release = threading.Event()
+        real_execute = A.execute_json
+
+        def gated_execute(registry, raw, cache=None):
+            if b'"slow"' in raw:
+                entered.release()
+                release.wait(10)
+                return 200, b'{"done": true}'
+            return real_execute(registry, raw, cache)
+
+        monkeypatch.setattr(A, "execute_json", gated_execute)
+        server = AsyncServiceServer(SessionRegistry(), port=0,
+                                    sync_workers=1,
+                                    response_cache=False)
+        with server:
+            slow = connect(server)
+            deadlined = connect(server)
+            try:
+                slow.sendall(post_bytes(b'{"tag": "slow"}'))
+                assert entered.acquire(timeout=5)
+                # 50 ms budget, but the single worker is busy — by
+                # the time a worker frees up, the budget is gone.
+                command = P.ListSessions().with_deadline(50)
+                deadlined.sendall(post_bytes(command.to_json()))
+                time.sleep(0.3)
+                release.set()
+                status, _, body, _ = read_response(deadlined)
+                assert status == 504
+                assert json.loads(body)["code"] == "deadline_exceeded"
+                status, _, _, _ = read_response(slow)
+                assert status == 200
+                # the shed is counted in the health load report
+                probe = connect(server)
+                probe.sendall(get_bytes())
+                _, _, body, _ = read_response(probe)
+                probe.close()
+                assert json.loads(body)["load"][
+                    "deadline_rejected"] == 1
+            finally:
+                release.set()
+                slow.close()
+                deadlined.close()
+
+    def test_live_deadline_executes_normally(self):
+        with AsyncServiceServer(SessionRegistry(), port=0) as server:
+            sock = connect(server)
+            try:
+                command = P.ListSessions().with_deadline(30_000)
+                sock.sendall(post_bytes(command.to_json()))
+                status, _, body, _ = read_response(sock)
+                assert status == 200
+                assert json.loads(body)["response"] == "SessionList"
+            finally:
+                sock.close()
+
+
 class TestGracefulDrain:
     def test_stop_flushes_inflight_responses(self, monkeypatch):
         def slow_execute(registry, raw, cache=None):

@@ -103,6 +103,22 @@ COMMAND_STRATEGIES = {
     P.SummaryParts: st.builds(P.SummaryParts, session=names,
                               query=query_dicts),
     P.StoreStats: st.builds(P.StoreStats, session=names),
+    P.OpenStream: st.builds(
+        P.OpenStream, session=names, stream=names,
+        gap_seconds=st.none() | st.floats(1.0, 1e6),
+        checkpoint_every=st.integers(1, 1000),
+        max_open_events=st.integers(1, 10 ** 6),
+        relay=st.booleans()),
+    P.AppendEvents: st.builds(
+        P.AppendEvents, session=names, stream=names,
+        events=st.lists(st.fixed_dictionaries(
+            {"mo_id": names, "state": names,
+             "t_start": floats, "t_end": floats}), max_size=3),
+        watermark=st.none() | floats),
+    P.StreamStatus: st.builds(P.StreamStatus, session=names,
+                              stream=names),
+    P.CloseStream: st.builds(P.CloseStream, session=names,
+                             stream=names),
 }
 
 RESPONSE_STRATEGIES = {
@@ -171,6 +187,24 @@ RESPONSE_STRATEGIES = {
         transitions=counts,
         max_visit_duration=st.none() | floats,
         min_visit_duration=st.none() | floats),
+    P.StreamInfo: st.builds(
+        P.StreamInfo, session=names, stream=names,
+        status=st.fixed_dictionaries(
+            {"watermark": st.none() | floats,
+             "open_events": counts, "events_acked": counts})),
+    P.EventsAppended: st.builds(
+        P.EventsAppended, session=names, stream=names,
+        appended=counts, episodes_closed=counts,
+        watermark=st.none() | floats, open_events=counts,
+        seq=counts,
+        episodes=st.lists(st.fixed_dictionaries(
+            {"mo_id": names}), max_size=2)),
+    P.StreamClosed: st.builds(
+        P.StreamClosed, session=names, stream=names,
+        episodes_closed=counts, episodes_total=counts,
+        events_acked=counts,
+        episodes=st.lists(st.fixed_dictionaries(
+            {"mo_id": names}), max_size=2)),
     P.StoreStatsInfo: st.builds(
         P.StoreStatsInfo, doc_count=counts,
         states=st.dictionaries(names, counts, max_size=3),

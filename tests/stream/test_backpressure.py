@@ -1,0 +1,152 @@
+"""Bounded buffer / back-pressure tests."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.stream.backpressure import (
+    BoundedBuffer,
+    BufferClosed,
+    bounded_iter,
+)
+
+
+class TestBoundedBuffer:
+    def test_fifo_order(self):
+        buffer = BoundedBuffer(capacity=4)
+        for i in range(4):
+            assert buffer.put(i)
+        assert [buffer.get() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_shed_policy_drops_and_counts(self):
+        buffer = BoundedBuffer(capacity=2, policy="shed")
+        assert buffer.put(1) and buffer.put(2)
+        assert not buffer.put(3)
+        assert buffer.sheds == 1
+        assert len(buffer) == 2
+        assert buffer.get() == 1  # oldest survives, overflow is lost
+
+    def test_block_policy_throttles_producer(self):
+        buffer = BoundedBuffer(capacity=1, policy="block")
+        assert buffer.put(1)
+        done = threading.Event()
+
+        def producer():
+            buffer.put(2)  # must wait for the consumer
+            done.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not done.is_set()  # back-pressure held it
+        assert buffer.get() == 1
+        assert done.wait(2.0)
+        assert buffer.blocked == 1
+        assert buffer.get() == 2
+
+    def test_block_put_timeout(self):
+        buffer = BoundedBuffer(capacity=1)
+        buffer.put(1)
+        assert not buffer.put(2, timeout=0.02)
+
+    def test_get_timeout_returns_none(self):
+        buffer = BoundedBuffer(capacity=1)
+        assert buffer.get(timeout=0.02) is None
+
+    def test_close_drains_then_ends(self):
+        buffer = BoundedBuffer(capacity=4)
+        buffer.put(1)
+        buffer.put(2)
+        buffer.close()
+        with pytest.raises(BufferClosed):
+            buffer.put(3)
+        assert list(buffer) == [1, 2]
+
+    def test_close_unblocks_waiting_producer(self):
+        buffer = BoundedBuffer(capacity=1)
+        buffer.put(1)
+        raised = threading.Event()
+
+        def producer():
+            try:
+                buffer.put(2)
+            except BufferClosed:
+                raised.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        buffer.close()
+        assert raised.wait(2.0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            BoundedBuffer(capacity=0)
+        with pytest.raises(ValueError):
+            BoundedBuffer(capacity=1, policy="explode")
+
+    def test_report_shape(self):
+        buffer = BoundedBuffer(capacity=2, policy="shed")
+        buffer.put(1)
+        report = buffer.report()
+        assert report["capacity"] == 2 and report["depth"] == 1
+        assert report["policy"] == "shed"
+
+
+class TestBoundedIter:
+    def test_yields_everything_in_order(self):
+        assert list(bounded_iter(range(100), capacity=7)) \
+            == list(range(100))
+
+    def test_bounded_lead(self):
+        """The producer never runs more than capacity ahead."""
+        lead = []
+        produced = [0]
+
+        def source():
+            for i in range(50):
+                produced[0] = i + 1
+                yield i
+
+        buffer = BoundedBuffer(capacity=4)
+        consumed = 0
+        for item in bounded_iter(source(), buffer=buffer):
+            consumed += 1
+            lead.append(produced[0] - consumed)
+        # the producer's lead is bounded by capacity plus the one item
+        # it may hold in-hand while blocked on a full buffer.
+        assert max(lead) <= 4 + 1
+        assert consumed == 50
+
+    def test_source_error_reraises_consumer_side(self):
+        def source():
+            yield 1
+            raise RuntimeError("sensor unplugged")
+
+        iterator = bounded_iter(source(), capacity=2)
+        assert next(iterator) == 1
+        with pytest.raises(RuntimeError, match="sensor unplugged"):
+            list(iterator)
+
+    def test_consumer_abandonment_releases_producer(self):
+        buffer = BoundedBuffer(capacity=1)
+        iterator = bounded_iter(iter(range(1000)), buffer=buffer)
+        assert next(iterator) == 0
+        iterator.close()  # generator exit closes the buffer
+        deadline = time.time() + 2.0
+        while not buffer.closed and time.time() < deadline:
+            time.sleep(0.01)
+        assert buffer.closed
+
+    def test_shed_policy_loses_but_finishes(self):
+        slow = bounded_iter(range(100), capacity=2, policy="shed")
+        first = next(slow)
+        time.sleep(0.05)  # let the producer race ahead and shed
+        rest = list(slow)
+        assert first == 0
+        assert len(rest) <= 99  # shed items are simply gone
+        assert all(a < b for a, b in zip([first] + rest,
+                                         rest))  # order kept

@@ -1,0 +1,169 @@
+"""Property suite: stream segmentation ≡ batch build, by construction.
+
+Hypothesis drives random per-visitor record sequences (including
+zero/negative durations, unknown states, overlaps, shared visit ids
+and multi-gap silences), interleaves them arbitrarily across
+visitors, and replays them through :class:`WatermarkSegmenter` with
+an honest producer watermark — the emitted episodes must be
+byte-identical (as a content multiset under canonical JSON) to
+:meth:`TrajectoryBuilder.build_all` over the same records.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import DetectionRecord
+from tests.stream.test_segmenter import (
+    GAP,
+    content_bytes,
+    interleave,
+    make_builder,
+    stream_replay,
+)
+
+STATES = ["a", "b", "c", "nowhere"]
+
+
+@st.composite
+def visitor_records(draw, mo_id: str):
+    """One visitor's in-order record sequence (may contain errors)."""
+    count = draw(st.integers(min_value=1, max_value=8))
+    t = draw(st.floats(min_value=0.0, max_value=50.0))
+    records = []
+    for _ in range(count):
+        state = draw(st.sampled_from(STATES))
+        # silence before this record: within-visit, exactly-gap (the
+        # split boundary), or past-gap (a split).
+        t += draw(st.sampled_from([0.0, 5.0, 30.0, GAP, GAP + 1.0,
+                                   GAP * 2]))
+        duration = draw(st.sampled_from([-5.0, 0.0, 8.0, 20.0, 60.0]))
+        records.append(DetectionRecord(
+            "v{}".format(mo_id), state, t, t + duration))
+        # overlapping starts: the next record may begin before this
+        # one ended (sensor echo) but never out of per-visitor order.
+        t = max(t, t + duration - draw(st.sampled_from([0.0, 5.0,
+                                                        15.0])))
+    records.sort(key=lambda r: (r.t_start, r.t_end))
+    return records
+
+
+@st.composite
+def corpora(draw):
+    visitors = draw(st.integers(min_value=1, max_value=4))
+    per_visitor = [draw(visitor_records(str(v)))
+                   for v in range(visitors)]
+    seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+    return per_visitor, seed
+
+
+@settings(max_examples=120, deadline=None)
+@given(corpora())
+def test_any_interleaving_matches_batch(corpus):
+    per_visitor, seed = corpus
+    builder = make_builder()
+    records = [r for records in per_visitor for r in records]
+    batch, _ = builder.build_all(records)
+    events = interleave(per_visitor, seed=seed)
+    segmenter, streamed = stream_replay(builder, events, seed=seed)
+    assert content_bytes(streamed) == content_bytes(batch)
+    assert segmenter.metrics.dropped_late == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(corpora())
+def test_interleaving_without_watermarks_matches_batch(corpus):
+    """No watermark at all (close() flushes everything) must match
+    batch too — the watermark only accelerates closure."""
+    per_visitor, seed = corpus
+    builder = make_builder()
+    records = [r for records in per_visitor for r in records]
+    batch, _ = builder.build_all(records)
+    events = interleave(per_visitor, seed=seed)
+    _, streamed = stream_replay(builder, events, watermarks=False,
+                                seed=seed)
+    assert content_bytes(streamed) == content_bytes(batch)
+
+
+@st.composite
+def visit_id_corpora(draw):
+    """Corpora where some visitors carry visit ids (never gap-split).
+
+    Visit ids switch when the silence between *kept* records exceeds
+    the gap — the streaming liveness contract: a visit that stays
+    silent past the gap threshold is complete, so a producer must not
+    reuse its id afterwards (``docs/streaming.md``).  Error records
+    (zero duration, unknown state) are still injected; being dropped,
+    they must not count as activity.
+    """
+    visitors = draw(st.integers(min_value=1, max_value=3))
+    per_visitor = []
+    for v in range(visitors):
+        count = draw(st.integers(min_value=1, max_value=8))
+        t = draw(st.floats(min_value=0.0, max_value=50.0))
+        records = []
+        run = 0
+        last_kept_end = None
+        for _ in range(count):
+            state = draw(st.sampled_from(STATES))
+            t += draw(st.sampled_from([0.0, 5.0, 30.0, GAP,
+                                       GAP + 1.0, GAP * 2]))
+            duration = draw(st.sampled_from([0.0, 8.0, 20.0, 60.0]))
+            kept = duration > 0 and state != "nowhere"
+            if kept and last_kept_end is not None \
+                    and t - last_kept_end > GAP:
+                run += 1
+            records.append(DetectionRecord(
+                "v{}".format(v), state, t, t + duration,
+                visit_id="s{}".format(run)))
+            if kept:
+                last_kept_end = t + duration
+            t += duration
+        per_visitor.append(records)
+    seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+    return per_visitor, seed
+
+
+@settings(max_examples=80, deadline=None)
+@given(visit_id_corpora())
+def test_visit_id_interleaving_matches_batch(corpus):
+    per_visitor, seed = corpus
+    builder = make_builder()
+    records = [r for records in per_visitor for r in records]
+    batch, _ = builder.build_all(records)
+    events = interleave(per_visitor, seed=seed)
+    _, streamed = stream_replay(builder, events, seed=seed)
+    assert content_bytes(streamed) == content_bytes(batch)
+
+
+@settings(max_examples=60, deadline=None)
+@given(corpora(), st.integers(min_value=1, max_value=6))
+def test_resume_from_any_cut_matches_batch(corpus, cut_step):
+    """Snapshot + resume at an arbitrary point changes nothing —
+    the durability substrate the stream manager builds on."""
+    import json
+
+    from repro.service.protocol import canonical_json
+    from repro.stream.segmenter import WatermarkSegmenter
+
+    per_visitor, seed = corpus
+    builder = make_builder()
+    records = [r for records in per_visitor for r in records]
+    batch, _ = builder.build_all(records)
+    events = interleave(per_visitor, seed=seed)
+    cut = min(len(events), cut_step)
+
+    segmenter = WatermarkSegmenter(builder)
+    streamed = []
+    for event in events[:cut]:
+        streamed.extend(segmenter.feed(event))
+    state = json.loads(canonical_json(segmenter.state_dict()))
+    resumed = WatermarkSegmenter(builder)
+    resumed.load_state(state)
+    for event in events[cut:]:
+        streamed.extend(resumed.feed(event))
+    streamed.extend(resumed.close())
+    assert content_bytes(streamed) == content_bytes(batch)

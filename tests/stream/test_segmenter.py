@@ -1,0 +1,340 @@
+"""Watermark segmenter unit tests: byte-identity and edge cases.
+
+The load-bearing guarantee is that replaying a batch corpus as an
+interleaved event stream yields episodes byte-identical (under
+canonical JSON) to :meth:`TrajectoryBuilder.build_all` — closure
+order differs, so identity is asserted on the sorted multiset of
+episode bytes.  The hypothesis suite in ``test_property.py`` explores
+the input space; these tests pin the named edge cases.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.builder import DetectionRecord, TrajectoryBuilder
+from repro.indoor.nrg import NodeRelationGraph
+from repro.service.protocol import canonical_json
+from repro.stream.segmenter import (
+    NO_WATERMARK,
+    WatermarkSegmenter,
+    event_from_dict,
+    event_to_dict,
+)
+
+GAP = 100.0
+
+
+def tiny_nrg() -> NodeRelationGraph:
+    nrg = NodeRelationGraph("test")
+    nrg.connect("a", "b", boundary_id="door-ab", bidirectional=True)
+    nrg.connect("b", "c", boundary_id="door-bc", bidirectional=True)
+    nrg.connect("a", "c", bidirectional=True)
+    return nrg
+
+
+def make_builder(**kwargs) -> TrajectoryBuilder:
+    kwargs.setdefault("visit_gap_seconds", GAP)
+    return TrajectoryBuilder(tiny_nrg(), **kwargs)
+
+
+def interleave(per_visitor, seed: int = 0):
+    """Merge per-visitor record lists, preserving per-visitor order."""
+    rng = random.Random(seed)
+    queues = [list(records) for records in per_visitor if records]
+    merged = []
+    while queues:
+        queue = rng.choice(queues)
+        merged.append(queue.pop(0))
+        if not queue:
+            queues.remove(queue)
+    return merged
+
+
+def content_bytes(trajectories):
+    """Order-insensitive content identity of a trajectory set."""
+    return sorted(canonical_json(t.to_dict()) for t in trajectories)
+
+
+def stream_replay(builder, events, watermarks=True, seed: int = 0):
+    """Feed interleaved events with an honest producer watermark.
+
+    The producer watermark after each event is the minimum ``t_start``
+    still to come — the strongest promise any producer can make for
+    this interleaving.
+    """
+    segmenter = WatermarkSegmenter(builder)
+    episodes = []
+    for index, event in enumerate(events):
+        episodes.extend(segmenter.feed(event))
+        if watermarks:
+            remaining = events[index + 1:]
+            if remaining:
+                episodes.extend(segmenter.advance(
+                    min(e.t_start for e in remaining)))
+    episodes.extend(segmenter.close())
+    return segmenter, episodes
+
+
+class TestByteIdentity:
+    def test_single_visitor_gap_split(self):
+        builder = make_builder()
+        records = [
+            DetectionRecord("v1", "a", 0.0, 10.0),
+            DetectionRecord("v1", "b", 20.0, 30.0),
+            # > GAP of silence: the batch builder splits here.
+            DetectionRecord("v1", "c", 30.0 + GAP + 1.0,
+                            30.0 + GAP + 50.0),
+        ]
+        batch, _ = builder.build_all(records)
+        _, streamed = stream_replay(builder, records)
+        assert len(batch) == 2
+        assert content_bytes(streamed) == content_bytes(batch)
+
+    def test_interleaved_visitors_match_batch(self):
+        builder = make_builder()
+        per_visitor = []
+        for v in range(5):
+            t = float(v)
+            records = []
+            for i in range(7):
+                records.append(DetectionRecord(
+                    "v{}".format(v), "abc"[i % 3], t, t + 10.0))
+                t += 12.0 if i != 3 else GAP + 50.0
+            per_visitor.append(records)
+        events = interleave(per_visitor, seed=7)
+        batch, _ = builder.build_all(events)
+        _, streamed = stream_replay(builder, events, seed=7)
+        assert len(streamed) == len(batch) == 10
+        assert content_bytes(streamed) == content_bytes(batch)
+
+    def test_visit_id_records_never_gap_split(self):
+        builder = make_builder()
+        records = [
+            DetectionRecord("v1", "a", 0.0, 10.0, visit_id="x"),
+            # Silence > GAP, but the shared visit_id binds them.
+            DetectionRecord("v1", "b", GAP + 50.0, GAP + 60.0,
+                            visit_id="x"),
+        ]
+        batch, _ = builder.build_all(records)
+        segmenter = WatermarkSegmenter(builder)
+        streamed = []
+        for record in records:
+            streamed.extend(segmenter.feed(record))
+        assert streamed == []  # still open despite the silence
+        streamed.extend(segmenter.close())
+        assert len(batch) == 1
+        assert content_bytes(streamed) == content_bytes(batch)
+
+    def test_error_records_dropped_like_batch(self):
+        builder = make_builder()
+        records = [
+            DetectionRecord("v1", "a", 0.0, 10.0),
+            DetectionRecord("v1", "b", 20.0, 20.0),      # zero duration
+            DetectionRecord("v1", "c", 30.0, 25.0),      # negative
+            DetectionRecord("v1", "nowhere", 40.0, 50.0),  # unknown
+            DetectionRecord("v1", "b", 60.0, 70.0),
+        ]
+        batch, report = builder.build_all(records)
+        segmenter, streamed = stream_replay(builder, records)
+        assert content_bytes(streamed) == content_bytes(batch)
+        assert segmenter.metrics.drops == {
+            "zero_duration": 1, "negative_duration": 1,
+            "unknown_state": 1}
+
+    def test_overlap_repair_matches_batch(self):
+        builder = make_builder()
+        records = [
+            DetectionRecord("v1", "a", 0.0, 50.0),
+            # starts 30 s before the previous end (tolerance is 10 s):
+            # clipped forward to start at 50.
+            DetectionRecord("v1", "b", 20.0, 80.0),
+            # fully contained in [0, 80]: dropped.
+            DetectionRecord("v1", "c", 30.0, 60.0),
+            DetectionRecord("v1", "c", 90.0, 120.0),
+        ]
+        batch, report = builder.build_all(records)
+        segmenter, streamed = stream_replay(builder, records)
+        assert report.cleaning.clipped_overlaps == 1
+        assert report.cleaning.dropped_contained == 1
+        assert segmenter.metrics.overlap_clipped == 1
+        assert segmenter.metrics.drops.get("overlap_contained") == 1
+        assert content_bytes(streamed) == content_bytes(batch)
+
+    def test_repair_state_carries_across_episodes(self):
+        builder = make_builder()
+        records = [
+            DetectionRecord("v1", "a", 0.0, 10.0),
+            DetectionRecord("v1", "b", 20.0, 500.0),
+            # next visit starts after the gap, but *overlaps* the
+            # previous visit's end beyond the tolerance... impossible
+            # in time order; instead check the batch last_end carrying
+            # forward: a record contained in the previous episode's
+            # span arriving late in order.
+            DetectionRecord("v1", "c", 500.0 + GAP + 1.0,
+                            500.0 + GAP + 30.0),
+        ]
+        batch, _ = builder.build_all(records)
+        _, streamed = stream_replay(builder, records)
+        assert content_bytes(streamed) == content_bytes(batch)
+
+
+class TestWatermark:
+    def test_close_requires_watermark_strictly_past_gap(self):
+        builder = make_builder()
+        segmenter = WatermarkSegmenter(builder)
+        segmenter.feed(DetectionRecord("v1", "a", 0.0, 10.0))
+        # watermark exactly at t_end + gap: batch would NOT split for
+        # a next record at that instant (split needs > gap), so the
+        # episode must stay open.
+        assert segmenter.advance(10.0 + GAP) == []
+        closed = segmenter.advance(10.0 + GAP + 0.5)
+        assert len(closed) == 1
+        assert segmenter.open_buffers == 0
+
+    def test_watermark_never_regresses(self):
+        segmenter = WatermarkSegmenter(make_builder())
+        segmenter.feed(DetectionRecord("v1", "a", 0.0, 10.0))
+        assert segmenter.advance(50.0) == []
+        assert segmenter.watermark == 50.0
+        assert segmenter.advance(40.0) == []
+        assert segmenter.watermark == 50.0
+
+    def test_initial_watermark_accepts_everything(self):
+        segmenter = WatermarkSegmenter(make_builder())
+        assert segmenter.watermark == NO_WATERMARK
+        segmenter.feed(DetectionRecord("v1", "a", -1e12, -1e12 + 1))
+        assert segmenter.metrics.late_events == 0
+
+    def test_visit_id_buffer_closes_on_silent_watermark(self):
+        # A visit_id buffer is never event-split, but the watermark
+        # passing its gap closes it — the streaming liveness contract.
+        builder = make_builder()
+        segmenter = WatermarkSegmenter(builder)
+        segmenter.feed(DetectionRecord("v1", "a", 0.0, 10.0,
+                                       visit_id="x"))
+        closed = segmenter.advance(10.0 + GAP + 1.0)
+        assert len(closed) == 1
+
+
+class TestLateEvents:
+    def test_late_event_with_closed_episode_is_dropped(self):
+        builder = make_builder()
+        segmenter = WatermarkSegmenter(builder)
+        segmenter.feed(DetectionRecord("v1", "a", 0.0, 10.0))
+        assert len(segmenter.advance(10.0 + GAP + 1.0)) == 1
+        # This event "belonged" to the emitted episode — accepting it
+        # now would contradict the served bytes.
+        assert segmenter.feed(
+            DetectionRecord("v1", "b", 15.0, 25.0)) == []
+        assert segmenter.metrics.late_events == 1
+        assert segmenter.metrics.dropped_late == 1
+        assert segmenter.metrics.drops.get("late") == 1
+
+    def test_late_event_extending_open_buffer_is_accepted(self):
+        builder = make_builder()
+        segmenter = WatermarkSegmenter(builder)
+        segmenter.feed(DetectionRecord("v1", "a", 0.0, 10.0))
+        segmenter.advance(50.0)  # not yet past the gap: still open
+        segmenter.feed(DetectionRecord("v1", "b", 20.0, 30.0))
+        assert segmenter.metrics.late_events == 1
+        assert segmenter.metrics.dropped_late == 0
+        closed = segmenter.close()
+        assert len(closed) == 1
+        assert len(closed[0].trace) == 2
+
+    def test_out_of_order_event_is_dropped(self):
+        builder = make_builder()
+        segmenter = WatermarkSegmenter(builder)
+        segmenter.feed(DetectionRecord("v1", "a", 100.0, 110.0))
+        assert segmenter.feed(
+            DetectionRecord("v1", "b", 50.0, 60.0)) == []
+        assert segmenter.metrics.drops.get("out_of_order") == 1
+        assert segmenter.metrics.dropped_late == 1
+
+
+class TestStateRoundTrip:
+    def test_event_codec_round_trips(self):
+        record = DetectionRecord("v1", "a", 1.5, 2.5, visit_id="x",
+                                 attributes={"device": "iPhone"})
+        assert event_from_dict(event_to_dict(record)) == record
+        bare = DetectionRecord("v1", "a", 1.5, 2.5)
+        data = event_to_dict(bare)
+        assert "visit_id" not in data and "attributes" not in data
+        assert event_from_dict(data) == bare
+
+    def test_event_codec_rejects_garbage(self):
+        import pytest
+
+        for bad in ({}, {"mo_id": "v", "state": "a"},
+                    {"mo_id": 3, "state": "a", "t_start": 0,
+                     "t_end": 1},
+                    {"mo_id": "v", "state": "a", "t_start": "x",
+                     "t_end": 1}):
+            with pytest.raises(ValueError):
+                event_from_dict(bad)
+
+    def test_state_dict_round_trip_resumes_identically(self):
+        builder = make_builder()
+        records = [
+            DetectionRecord("v{}".format(v), "abc"[i % 3],
+                            float(10 * i + v), float(10 * i + v + 8))
+            for v in range(3) for i in range(4)
+        ]
+        events = interleave([
+            [r for r in records if r.mo_id == "v{}".format(v)]
+            for v in range(3)], seed=3)
+        cut = len(events) // 2
+
+        whole = WatermarkSegmenter(builder)
+        resumed = WatermarkSegmenter(builder)
+        out_whole, out_resumed = [], []
+        for event in events[:cut]:
+            out_whole.extend(whole.feed(event))
+            out_resumed.extend(resumed.feed(event))
+        out_whole.extend(whole.advance(25.0))
+        out_resumed.extend(resumed.advance(25.0))
+
+        # restart: a fresh segmenter resumes from the snapshot
+        state = canonical_json(resumed.state_dict())
+        import json
+
+        fresh = WatermarkSegmenter(builder)
+        fresh.load_state(json.loads(state))
+        assert fresh.watermark == whole.watermark
+        assert fresh.metrics.to_dict() == whole.metrics.to_dict()
+        for event in events[cut:]:
+            out_whole.extend(whole.feed(event))
+            out_resumed.extend(fresh.feed(event))
+        out_whole.extend(whole.close())
+        out_resumed.extend(fresh.close())
+        assert content_bytes(out_resumed) == content_bytes(out_whole)
+
+    def test_metrics_to_dict_shape(self):
+        segmenter = WatermarkSegmenter(make_builder())
+        segmenter.feed(DetectionRecord("v1", "a", 0.0, 10.0))
+        data = segmenter.metrics.to_dict()
+        assert data["events_in"] == 1 and data["accepted"] == 1
+        assert canonical_json(data)  # JSON-native throughout
+
+
+class TestLouvreReplay:
+    def test_small_corpus_stream_matches_batch(self, louvre_space,
+                                               small_corpus):
+        """The acceptance gate at 2 % scale: replaying the Louvre
+        corpus as an interleaved per-visitor stream reproduces the
+        batch store content byte-for-byte."""
+        _, records = small_corpus
+        builder = TrajectoryBuilder(louvre_space.dataset_zone_nrg())
+        batch, _ = builder.build_all(records)
+
+        per_visitor = {}
+        for record in sorted(records,
+                             key=lambda r: (r.mo_id, r.t_start,
+                                            r.t_end)):
+            per_visitor.setdefault(record.mo_id, []).append(record)
+        events = interleave(list(per_visitor.values()), seed=42)
+        segmenter, streamed = stream_replay(builder, events, seed=42)
+        assert len(streamed) == len(batch)
+        assert content_bytes(streamed) == content_bytes(batch)
+        assert segmenter.metrics.dropped_late == 0

@@ -256,6 +256,83 @@ class TestSnapshotRestore:
         assert main(["restore", directory]) == 1
         assert "corrupt" in capsys.readouterr().err
 
+class TestStreamCommands:
+    @pytest.fixture()
+    def server(self):
+        from repro.service.registry import SessionRegistry
+        from repro.service.server import ServiceServer
+
+        registry = SessionRegistry()
+        server = ServiceServer(registry, port=0)
+        server.start()
+        try:
+            yield server
+        finally:
+            server.stop()
+
+    def test_stream_help_smoke(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["stream", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for name in ("replay", "status", "close"):
+            assert name in out
+
+    def test_replay_status_close_round_trip(self, server, capsys):
+        import json as json_module
+
+        base = ["--url", server.url, "--session", "live",
+                "--stream", "gates", "--json"]
+        assert main(["stream", "replay", "--scale", "0.01",
+                     "--chunk", "50", "--no-close"] + base) == 0
+        replayed = json_module.loads(capsys.readouterr().out)
+        assert replayed["replayed"] == replayed["corpus_events"] > 0
+        assert replayed["closed"] is False
+
+        assert main(["stream", "status"] + base) == 0
+        status = json_module.loads(capsys.readouterr().out)
+        assert status["events_acked"] == replayed["replayed"]
+
+        assert main(["stream", "close"] + base) == 0
+        closed = json_module.loads(capsys.readouterr().out)
+        assert closed["events_acked"] == replayed["replayed"]
+        assert closed["episodes_total"] > 0
+
+    def test_replay_resumes_with_offset(self, server, capsys):
+        base = ["--url", server.url, "--session", "live",
+                "--stream", "gates", "--json"]
+        import json as json_module
+
+        assert main(["stream", "replay", "--scale", "0.01",
+                     "--chunk", "40", "--limit", "100"] + base) == 0
+        first = json_module.loads(capsys.readouterr().out)
+        assert first["replayed"] == 100 and first["closed"] is False
+
+        assert main(["stream", "replay", "--scale", "0.01",
+                     "--chunk", "40", "--offset", "100"] + base) == 0
+        second = json_module.loads(capsys.readouterr().out)
+        assert second["closed"] is True
+        assert second["events_acked"] \
+            == first["replayed"] + second["replayed"] \
+            == second["corpus_events"]
+
+    def test_unknown_stream_status_fails(self, server, capsys):
+        assert main(["stream", "status", "--url", server.url,
+                     "--session", "nowhere"]) == 1
+        assert "unknown_stream" in capsys.readouterr().err
+
+    def test_unreachable_server_fails(self, capsys):
+        assert main(["stream", "status",
+                     "--url", "http://127.0.0.1:9",
+                     "--timeout", "2"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_chunk_rejected(self, capsys):
+        assert main(["stream", "replay", "--chunk", "0"]) == 2
+        assert "--chunk" in capsys.readouterr().err
+
+
+class TestCacheDir:
     def test_pipeline_run_cache_dir(self, tmp_path, capsys):
         cache_dir = str(tmp_path / "cache")
         assert main(["pipeline", "run", "--scale", "0.01",
