@@ -225,6 +225,9 @@ def run_benchmarks(smoke: bool, workers: int) -> Dict[str, object]:
                                   / metrics["push_timing_off_s"])
 
     import os
+
+    from provenance import louvre_provenance
+
     return {
         "meta": {
             "smoke": smoke,
@@ -232,6 +235,7 @@ def run_benchmarks(smoke: bool, workers: int) -> Dict[str, object]:
             "scale": scale,
             "records": len(records),
             "similarity_sequences": len(sequences),
+            "provenance": louvre_provenance(scale),
             "python": sys.version.split()[0],
             "cpus": os.cpu_count(),
         },

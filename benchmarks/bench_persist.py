@@ -234,10 +234,13 @@ def run_benchmarks(smoke: bool = False) -> Dict:
     finally:
         shutil.rmtree(base, ignore_errors=True)
 
+    from provenance import louvre_provenance
+
     return {
         "bench": "persist",
         "config": {"smoke": smoke, "scale": scale,
                    "corpus": len(trajectories),
+                   "provenance": louvre_provenance(scale),
                    "python": sys.version.split()[0]},
         "metrics": metrics,
     }

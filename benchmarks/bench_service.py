@@ -51,6 +51,7 @@ from repro.service.client import ServiceClient
 from repro.service.executor import LocalBinding
 from repro.service.registry import SessionRegistry
 from repro.service.server import ServiceServer
+from repro.synth.pacing import ArrivalSchedule
 
 SESSION = "bench"
 QUERY = {"expr": {"op": "annotation", "kind": "goal",
@@ -122,20 +123,20 @@ def open_loop(address, request: bytes, target_rps: float,
     """Drive ``request`` at ``target_rps`` for ``duration`` seconds.
 
     Each connection owns ``target_rps / connections`` of the arrival
-    schedule; a request's latency runs from its *intended* arrival
-    time, so queueing delay a saturated server causes is charged to
-    the tail instead of silently thinning the load.
+    schedule (an :class:`~repro.synth.pacing.ArrivalSchedule` split);
+    a request's latency runs from its *intended* arrival time, so
+    queueing delay a saturated server causes is charged to the tail
+    instead of silently thinning the load.
     """
-    per_conn_rate = target_rps / connections
-    count = max(1, int(per_conn_rate * duration))
-    interval = 1.0 / per_conn_rate
+    schedules = ArrivalSchedule(target_rps).split(connections)
+    count = max(1, int(target_rps / connections * duration))
     latencies: List[float] = []
     statuses: List[int] = []
     errors: List[BaseException] = []
     lock = threading.Lock()
     barrier = threading.Barrier(connections + 1)
 
-    def fire() -> None:
+    def fire(schedule: ArrivalSchedule) -> None:
         sock = socket.create_connection(address, timeout=30)
         sock.settimeout(30)
         local_latencies = []
@@ -143,12 +144,8 @@ def open_loop(address, request: bytes, target_rps: float,
         try:
             barrier.wait()
             buffer = b""
-            base = time.perf_counter()
             for index in range(count):
-                intended = base + index * interval
-                now = time.perf_counter()
-                if now < intended:
-                    time.sleep(intended - now)
+                intended = schedule.wait(index)
                 sock.sendall(request)
                 status, buffer = _read_response(sock, buffer)
                 local_statuses.append(status)
@@ -163,8 +160,8 @@ def open_loop(address, request: bytes, target_rps: float,
                 latencies.extend(local_latencies)
                 statuses.extend(local_statuses)
 
-    threads = [threading.Thread(target=fire)
-               for _ in range(connections)]
+    threads = [threading.Thread(target=fire, args=(schedule,))
+               for schedule in schedules]
     for thread in threads:
         thread.start()
     barrier.wait()
@@ -184,6 +181,8 @@ def open_loop(address, request: bytes, target_rps: float,
         "shed_503": sum(1 for status in statuses
                         if status == 503),
         "connections": connections,
+        "behind_schedule": sum(schedule.behind
+                               for schedule in schedules),
         "seconds": elapsed,
         "p50_ms": _percentile(latencies, 0.50) * 1000.0,
         "p95_ms": _percentile(latencies, 0.95) * 1000.0,
@@ -319,11 +318,14 @@ def run_benchmarks(smoke: bool = False) -> Dict:
     metrics["openloop"] = run_open_loop_suite(
         registry, command.to_json(), smoke)
 
+    from provenance import louvre_provenance
+
     return {
         "bench": "service",
         "config": {"smoke": smoke, "scale": scale,
                    "requests": requests, "limit": limit,
                    "corpus": corpus_size,
+                   "provenance": louvre_provenance(scale),
                    "python": sys.version.split()[0]},
         "metrics": metrics,
     }
@@ -436,11 +438,14 @@ def run_shard_benchmarks(smoke: bool = False) -> Dict:
             "mine_vs_unsharded":
                 section["mine_s"] / baseline["mine_s"],
         }
+    from provenance import louvre_provenance
+
     return {
         "bench": "shard",
         "config": {"smoke": smoke, "scale": scale,
                    "repeats": repeats, "corpus": len(docs),
                    "shard_counts": [1, 2, 4],
+                   "provenance": louvre_provenance(scale),
                    "python": sys.version.split()[0]},
         "metrics": metrics,
         "scaling": scaling,

@@ -43,6 +43,7 @@ from repro.service.executor import run_command
 from repro.service.registry import SessionRegistry
 from repro.stream import WatermarkSegmenter, bounded_iter
 from repro.stream.segmenter import event_to_dict
+from repro.synth.pacing import ArrivalSchedule
 
 CHUNK = 256
 
@@ -81,10 +82,14 @@ def bench_segmenter(space, records) -> Dict[str, Dict]:
     }
 
 
-def bench_stream_ingest(records, base: str) -> Dict[str, Dict]:
+def bench_stream_ingest(records, base: str,
+                        rate: float = None) -> Dict[str, Dict]:
     registry = SessionRegistry(persist_dir=base, fsync=False)
     session, stream = "bench", "replay"
     payloads = [event_to_dict(record) for record in records]
+    # --rate is events/s; one schedule slot covers one chunk.
+    schedule = ArrivalSchedule(
+        None if rate is None else rate / CHUNK)
 
     tracemalloc.start()
     started = time.perf_counter()
@@ -92,7 +97,9 @@ def bench_stream_ingest(records, base: str) -> Dict[str, Dict]:
                                        stream=stream))
     episodes = 0
     peak_open = 0
-    for position in range(0, len(payloads), CHUNK):
+    for index, position in enumerate(
+            range(0, len(payloads), CHUNK)):
+        schedule.wait(index)
         chunk = payloads[position:position + CHUNK]
         rest = position + CHUNK
         ack = run_command(registry, P.AppendEvents(
@@ -112,6 +119,8 @@ def bench_stream_ingest(records, base: str) -> Dict[str, Dict]:
         "stream_ingest": {
             "events": len(records),
             "chunk": CHUNK,
+            "target_rate": rate,
+            "behind_schedule": schedule.behind,
             "episodes": closed.episodes_total,
             "episodes_in_flight": episodes,
             "seconds": seconds,
@@ -142,7 +151,10 @@ def bench_backpressure(records) -> Dict[str, Dict]:
     }
 
 
-def run_benchmarks(smoke: bool = False) -> Dict:
+def run_benchmarks(smoke: bool = False,
+                   rate: float = None) -> Dict:
+    from provenance import louvre_provenance
+
     scale = 0.02 if smoke else 0.2
     space, records = _corpus(scale)
 
@@ -150,7 +162,8 @@ def run_benchmarks(smoke: bool = False) -> Dict:
     try:
         metrics: Dict[str, Dict] = {}
         metrics.update(bench_segmenter(space, records))
-        metrics.update(bench_stream_ingest(records, base))
+        metrics.update(bench_stream_ingest(records, base,
+                                           rate=rate))
         metrics.update(bench_backpressure(records))
     finally:
         shutil.rmtree(base, ignore_errors=True)
@@ -158,7 +171,8 @@ def run_benchmarks(smoke: bool = False) -> Dict:
     return {
         "bench": "stream",
         "config": {"smoke": smoke, "scale": scale,
-                   "events": len(records),
+                   "events": len(records), "rate": rate,
+                   "provenance": louvre_provenance(scale),
                    "python": sys.version.split()[0]},
         "metrics": metrics,
     }
@@ -168,11 +182,16 @@ def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="reduced corpus for CI")
+    parser.add_argument("--rate", type=float, default=None,
+                        metavar="EV_PER_S",
+                        help="pace stream_ingest at this many "
+                             "events/s (open loop; default: as "
+                             "fast as acked)")
     parser.add_argument("--out", metavar="PATH",
                         help="write the measurements as JSON")
     args = parser.parse_args(argv)
 
-    result = run_benchmarks(smoke=args.smoke)
+    result = run_benchmarks(smoke=args.smoke, rate=args.rate)
     if args.out and not args.smoke:
         # Embed a smoke-mode section so CI smoke runs have a
         # same-workload reference.

@@ -1,0 +1,178 @@
+"""Bench SY1 — synthesis throughput and production-rate replay.
+
+Run as a script (not under pytest-benchmark); for each ``repro.synth``
+archetype it measures
+
+* ``venue`` — seeded venue generation + full validation +
+  all-rooms route planning (venues/s and the venue size card);
+* ``crowd`` — deterministic crowd synthesis throughput (events/s
+  streamed in O(agents-per-day) memory, with the sha256 determinism
+  digest and the peak day-bucket size);
+* ``replay_batch`` / ``replay_stream`` — the
+  :class:`~repro.synth.replayer.TrafficReplayer` driving a live
+  asyncio front-end on an ephemeral port: locally-segmented episode
+  ingest vs raw ``AppendEvents`` streaming, unpaced (the ceiling),
+  with delivery verified against the server's health counters.
+
+``--out`` writes the measurements (the committed baseline is
+``BENCH_synth.json``); ``--smoke`` shrinks the crowds for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.service.aserver import AsyncServiceServer
+from repro.service.client import ServiceClient
+from repro.service.registry import SessionRegistry
+from repro.synth import (
+    ARCHETYPES,
+    CrowdSpec,
+    CrowdSynthesizer,
+    TrafficReplayer,
+    VenueSpec,
+    generate_venue,
+)
+from repro.synth.crowd import stream_digest
+
+VENUE_SEED = 7
+CROWD_SEED = 42
+
+
+def bench_venue(archetype: str, repeats: int) -> Dict:
+    venue = None
+    started = time.perf_counter()
+    for index in range(repeats):
+        venue = generate_venue(VenueSpec(archetype=archetype,
+                                         seed=VENUE_SEED + index))
+        problems = venue.validate()
+        assert not problems, problems
+        venue.plan_all_rooms()
+    seconds = time.perf_counter() - started
+    summary = venue.summary()
+    return {
+        "repeats": repeats,
+        "seconds": seconds,
+        "venues_per_s": repeats / seconds,
+        "cells": summary["cells"],
+        "floors": summary["floors"],
+        "edges": summary["edges"],
+    }
+
+
+def bench_crowd(venue, spec: CrowdSpec) -> Dict:
+    crowd = CrowdSynthesizer(venue, spec)
+    started = time.perf_counter()
+    counted = 0
+
+    def tap(events):
+        nonlocal counted
+        for record in events:
+            counted += 1
+            yield record
+
+    digest = stream_digest(tap(crowd.iter_events()))
+    seconds = time.perf_counter() - started
+    return {
+        "agents": spec.agents,
+        "events": counted,
+        "seconds": seconds,
+        "events_per_s": counted / seconds,
+        "peak_buffered": crowd.peak_buffered,
+        "digest": digest,
+    }
+
+
+def bench_replay(client, venue, spec: CrowdSpec,
+                 session_prefix: str) -> Dict[str, Dict]:
+    sections: Dict[str, Dict] = {}
+    for mode in ("batch", "stream"):
+        crowd = CrowdSynthesizer(venue, spec)
+        replayer = TrafficReplayer(
+            client, "{}-{}".format(session_prefix, mode), venue)
+        if mode == "batch":
+            report = replayer.replay_batch(crowd.iter_events())
+        else:
+            report = replayer.replay_stream(crowd.iter_events())
+        report.provenance = crowd.provenance()
+        replayer.verify_delivery(report)
+        payload = report.as_dict()
+        assert payload["errors"] == 0, payload
+        assert payload["server"]["delivery_ok"], payload
+        sections["replay_{}".format(mode)] = {
+            key: payload[key]
+            for key in ("requests", "ok", "shed", "errors",
+                        "events", "episodes", "seconds",
+                        "events_per_s", "latency_ms")}
+    return sections
+
+
+def run_benchmarks(smoke: bool = False) -> Dict:
+    agents = 200 if smoke else 2000
+    venue_repeats = 3 if smoke else 10
+    spec = CrowdSpec(agents=agents, seed=CROWD_SEED,
+                     agents_per_day=max(100, agents // 4))
+
+    registry = SessionRegistry()
+    server = AsyncServiceServer(registry, port=0).start()
+    client = ServiceClient(server.url)
+    metrics: Dict[str, Dict] = {}
+    provenance: Dict[str, Dict] = {}
+    try:
+        for archetype in sorted(ARCHETYPES):
+            venue = generate_venue(VenueSpec(archetype=archetype,
+                                             seed=VENUE_SEED))
+            section: Dict[str, Dict] = {
+                "venue": bench_venue(archetype, venue_repeats),
+                "crowd": bench_crowd(venue, spec),
+            }
+            section.update(bench_replay(client, venue, spec,
+                                        archetype))
+            metrics[archetype] = section
+            provenance[archetype] = CrowdSynthesizer(
+                venue, spec).provenance()
+    finally:
+        client.close()
+        server.stop()
+
+    return {
+        "bench": "synth",
+        "config": {"smoke": smoke, "agents": agents,
+                   "venue_seed": VENUE_SEED,
+                   "crowd_seed": CROWD_SEED,
+                   "archetypes": sorted(ARCHETYPES),
+                   "provenance": provenance,
+                   "python": sys.version.split()[0]},
+        "metrics": metrics,
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced crowds for CI")
+    parser.add_argument("--out", metavar="PATH",
+                        help="write the measurements as JSON")
+    args = parser.parse_args(argv)
+
+    result = run_benchmarks(smoke=args.smoke)
+    if args.out and not args.smoke:
+        # Embed a smoke-mode section so CI smoke runs have a
+        # same-workload reference.
+        result["smoke_metrics"] = run_benchmarks(
+            smoke=True)["metrics"]
+    print(json.dumps(result, indent=2))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+        print("\nwrote {}".format(args.out))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Corpus-generator provenance stamped into BENCH_*.json payloads.
+
+Every committed benchmark baseline records exactly which generator,
+seeds and population produced the corpus it measured — so a future
+run can tell a perf regression from a workload change.  Two corpus
+families exist:
+
+* :func:`louvre_provenance` — the paper-calibrated Louvre corpus
+  (``repro.louvre``): generator seed and the scaled visitor counts;
+* :func:`synth_provenance` — a ``repro.synth`` venue + crowd: the
+  archetype, both seeds and the agent count, as reported by
+  :meth:`CrowdSynthesizer.provenance
+  <repro.synth.crowd.CrowdSynthesizer.provenance>`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.louvre import DatasetParameters
+
+
+def louvre_provenance(scale: float) -> Dict[str, object]:
+    """Provenance of the (scaled) synthetic Louvre corpus."""
+    parameters = (DatasetParameters() if scale >= 1.0
+                  else DatasetParameters().scaled(scale))
+    return {
+        "generator": "louvre",
+        "seed": parameters.seed,
+        "scale": scale,
+        "agents": parameters.visitors,
+        "visits": parameters.total_visits,
+    }
+
+
+def synth_provenance(crowd) -> Dict[str, object]:
+    """Provenance of a synthetic venue + crowd corpus."""
+    payload = {"generator": "synth"}
+    payload.update(crowd.provenance())
+    return payload

@@ -154,6 +154,35 @@ class Workbench:
         workbench.store.extend(iter_trajectories(trajectories))
         return workbench
 
+    @classmethod
+    def synthetic(cls, archetype: str = "museum", seed: int = 0,
+                  agents: int = 1000, crowd_seed: int = 0,
+                  agents_per_day: int = 5000,
+                  batch_size: int = 512) -> "Workbench":
+        """A workbench over a parametric venue and synthetic crowd.
+
+        Generates a seeded :mod:`repro.synth` venue of the requested
+        archetype, synthesizes ``agents`` deterministic visitors over
+        it, and builds the corpus through the standard pipeline.  The
+        crowd stream is event-time interleaved (not visit-contiguous),
+        so the build uses the batching segmenter.
+
+        Raises:
+            KeyError: for an unknown archetype.
+        """
+        from repro.synth import (CrowdSpec, CrowdSynthesizer,
+                                 VenueSpec, generate_venue)
+
+        venue = generate_venue(VenueSpec(archetype=archetype,
+                                         seed=seed))
+        crowd = CrowdSynthesizer(
+            venue, CrowdSpec(agents=agents, seed=crowd_seed,
+                             agents_per_day=agents_per_day))
+        workbench = cls(space=venue)
+        workbench.build(crowd.iter_events(), batch_size=batch_size,
+                        streaming=False)
+        return workbench
+
     # ------------------------------------------------------------------
     # durability (repro.persist)
     # ------------------------------------------------------------------

@@ -18,6 +18,9 @@ Usage (after installation)::
     python -m repro.cli restore ./data/louvre
     python -m repro.cli stream replay --scale 0.02 --session live
     python -m repro.cli stream status --session live
+    python -m repro.cli synth venue --archetype airport --seed 7
+    python -m repro.cli synth crowd --agents 100000 --crowd-seed 42
+    python -m repro.cli synth replay --mode stream --rate 5000
 
 Every subcommand is a thin shell over the library API, so scripted
 pipelines can do exactly what the CLI does.  ``serve`` and ``call``
@@ -707,6 +710,7 @@ def cmd_stream_replay(args: argparse.Namespace) -> int:
     """Replay a corpus as a live event stream against a server."""
     from repro.service.client import ServiceClient, ServiceError
     from repro.stream.segmenter import event_to_dict
+    from repro.synth.pacing import ArrivalSchedule
 
     if args.chunk < 1:
         print("error: --chunk must be >= 1", file=sys.stderr)
@@ -723,13 +727,20 @@ def cmd_stream_replay(args: argparse.Namespace) -> int:
                "stream": args.stream, "corpus_events": total,
                "offset": args.offset, "replayed": 0,
                "episodes_closed": 0, "watermark": None,
-               "closed": False}
+               "closed": False, "target_rate": args.rate,
+               "behind_schedule": 0}
+    # --rate is events/s; one schedule slot covers one chunk.
+    schedule = ArrivalSchedule(
+        None if args.rate is None else args.rate / args.chunk)
+    batch_index = 0
     position = args.offset
     try:
         client.open_stream(args.session, args.stream,
                            gap_seconds=args.gap_seconds,
                            checkpoint_every=args.checkpoint_every)
         while position < end:
+            schedule.wait(batch_index)
+            batch_index += 1
             chunk = records[position:min(position + args.chunk, end)]
             position += len(chunk)
             # The next un-replayed event bounds the watermark: every
@@ -750,6 +761,7 @@ def cmd_stream_replay(args: argparse.Namespace) -> int:
             summary["closed"] = True
             summary["events_acked"] = closed.events_acked
             summary["episodes_total"] = closed.episodes_total
+        summary["behind_schedule"] = schedule.behind
     except ServiceError as error:
         print("error: {}: {}".format(error.code, error.message),
               file=sys.stderr)
@@ -832,6 +844,140 @@ def cmd_stream_close(args: argparse.Namespace) -> int:
           "total".format(args.session, args.stream,
                          closed.events_acked, closed.episodes_total))
     return 0
+
+
+def _synth_venue(args: argparse.Namespace):
+    """Generate the venue the synth subcommands share."""
+    from repro.synth import VenueSpec, generate_venue
+
+    spec = VenueSpec(archetype=args.archetype, seed=args.seed,
+                     floors=args.floors,
+                     rooms_per_floor=args.rooms_per_floor)
+    return generate_venue(spec)
+
+
+def cmd_synth_venue(args: argparse.Namespace) -> int:
+    """Generate one parametric venue, validate it, print its card."""
+    venue = _synth_venue(args)
+    problems = venue.validate()
+    summary = venue.summary()
+    summary["valid"] = not problems
+    summary["problems"] = problems
+    if not problems:
+        summary["route_hops"] = venue.plan_all_rooms()
+    if args.json:
+        print(json.dumps(summary, sort_keys=True))
+        return 0 if not problems else 1
+    if problems:
+        for problem in problems:
+            print("invalid: {}".format(problem), file=sys.stderr)
+        return 1
+    print("{venue}: {floors} floor(s), {cells} cell(s), "
+          "{edges} edge(s), {beacons} beacon(s)".format(**summary))
+    print("entrances: {}  exits: {}  route hops: {}".format(
+        ", ".join(summary["entrances"]),
+        ", ".join(summary["exits"]), summary["route_hops"]))
+    return 0
+
+
+def cmd_synth_crowd(args: argparse.Namespace) -> int:
+    """Stream a synthetic crowd; print its digest (and maybe CSV).
+
+    The default mode only *streams* — it hashes and counts the events
+    without materializing them, so ``--agents 1000000`` runs in
+    bounded memory.  The printed sha256 digest is the determinism
+    oracle: the same seeds must print the same digest on any machine.
+    """
+    import hashlib
+
+    from repro.synth import CrowdSpec, CrowdSynthesizer
+    from repro.synth.crowd import event_row
+
+    venue = _synth_venue(args)
+    spec = CrowdSpec(agents=args.agents, seed=args.crowd_seed,
+                     agents_per_day=args.agents_per_day)
+    crowd = CrowdSynthesizer(venue, spec)
+    digest = hashlib.sha256()
+    counted = {"events": 0}
+
+    def tap(events):
+        for record in events:
+            digest.update(event_row(record))
+            counted["events"] += 1
+            yield record
+
+    if args.out:
+        write_detections_csv(tap(crowd.iter_events()), args.out)
+    else:
+        for _ in tap(crowd.iter_events()):
+            pass
+    summary = dict(crowd.provenance())
+    summary.update({"events": counted["events"],
+                    "digest": digest.hexdigest(),
+                    "peak_buffered": crowd.peak_buffered,
+                    "days": spec.days, "out": args.out})
+    if args.json:
+        print(json.dumps(summary, sort_keys=True))
+        return 0
+    print("{agents} agent(s) over {days} day(s) in {venue}: "
+          "{events} event(s), peak buffer {peak_buffered}".format(
+              **summary))
+    print("digest: sha256:{}".format(summary["digest"]))
+    if args.out:
+        print("written: {}".format(args.out))
+    return 0
+
+
+def cmd_synth_replay(args: argparse.Namespace) -> int:
+    """Synthesize a crowd and replay it against a server."""
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.synth import CrowdSpec, CrowdSynthesizer, TrafficReplayer
+
+    venue = _synth_venue(args)
+    spec = CrowdSpec(agents=args.agents, seed=args.crowd_seed,
+                     agents_per_day=args.agents_per_day)
+    crowd = CrowdSynthesizer(venue, spec)
+    client = ServiceClient(args.url, timeout=args.timeout)
+    replayer = TrafficReplayer(client, args.session, venue,
+                               rate=args.rate, chunk=args.chunk)
+    try:
+        if args.mode == "batch":
+            report = replayer.replay_batch(crowd.iter_events())
+        elif args.mode == "stream":
+            report = replayer.replay_stream(crowd.iter_events(),
+                                            stream=args.stream)
+        else:
+            report = replayer.replay_queries(args.queries)
+        report.provenance = crowd.provenance()
+        replayer.verify_delivery(report)
+    except ServiceError as error:
+        print("error: {}: {}".format(error.code, error.message),
+              file=sys.stderr)
+        return 1
+    except OSError as error:
+        print("error: cannot reach {}: {}".format(args.url, error),
+              file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    payload = report.as_dict()
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print("{mode} replay to {session}: {ok}/{requests} request(s) "
+              "ok, {shed} shed, {errors} error(s)".format(**payload))
+        print("{events} event(s), {episodes} episode(s) in "
+              "{seconds:.2f}s ({events_per_s:.0f} ev/s)".format(
+                  **payload))
+        if payload["latency_ms"]:
+            print("latency ms: p50={p50:.1f} p95={p95:.1f} "
+                  "p99={p99:.1f} max={max:.1f}".format(
+                      **payload["latency_ms"]))
+        print("delivery ok: {}".format(
+            payload["server"].get("delivery_ok")))
+    failed = report.errors > 0 or (
+        payload["server"].get("delivery_ok") is False)
+    return 1 if failed else 0
 
 
 def cmd_zones(args: argparse.Namespace) -> int:
@@ -1226,6 +1372,10 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--no-close", action="store_true",
                         help="leave the stream open after the last "
                              "event")
+    replay.add_argument("--rate", type=float, default=None,
+                        metavar="EV_PER_S",
+                        help="open-loop pacing in events/second "
+                             "(default: as fast as acked)")
     replay.set_defaults(func=cmd_stream_replay)
 
     stream_status = stream_sub.add_parser(
@@ -1237,6 +1387,113 @@ def build_parser() -> argparse.ArgumentParser:
         "close", help="flush and retire a stream")
     stream_common(stream_close)
     stream_close.set_defaults(func=cmd_stream_close)
+
+    synth = sub.add_parser(
+        "synth",
+        help="parametric venues, crowds and load replay "
+             "(repro.synth)",
+        description="Seeded synthesis: 'venue' generates and "
+                    "validates one parametric venue, 'crowd' streams "
+                    "a deterministic crowd over it (printing the "
+                    "sha256 determinism digest), 'replay' drives a "
+                    "server with the crowd at a target rate.  See "
+                    "docs/synthetic.md.")
+    synth_sub = synth.add_subparsers(dest="synth_command",
+                                     required=True)
+
+    def synth_venue_args(parser: argparse.ArgumentParser) -> None:
+        from repro.synth import ARCHETYPES
+
+        parser.add_argument("--archetype", default="museum",
+                            choices=sorted(ARCHETYPES),
+                            help="venue grammar "
+                                 "(default: %(default)s)")
+        parser.add_argument("--seed", type=int, default=0,
+                            help="venue seed (default: %(default)s)")
+        parser.add_argument("--floors", type=int, default=None,
+                            metavar="N",
+                            help="override the grammar's floor draw")
+        parser.add_argument("--rooms-per-floor", type=int,
+                            default=None, metavar="N",
+                            help="override the grammar's room draw")
+        parser.add_argument("--json", action="store_true",
+                            help="emit the summary as JSON")
+
+    def synth_crowd_args(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--agents", type=int, default=1000,
+                            metavar="N",
+                            help="crowd size (default: %(default)s)")
+        parser.add_argument("--crowd-seed", type=int, default=0,
+                            metavar="SEED",
+                            help="crowd seed, independent of the "
+                                 "venue seed (default: %(default)s)")
+        parser.add_argument("--agents-per-day", type=int,
+                            default=5000, metavar="N",
+                            help="day-bucket size — the memory bound "
+                                 "(default: %(default)s)")
+
+    synth_venue = synth_sub.add_parser(
+        "venue",
+        help="generate and validate one parametric venue")
+    synth_venue_args(synth_venue)
+    synth_venue.set_defaults(func=cmd_synth_venue)
+
+    synth_crowd = synth_sub.add_parser(
+        "crowd",
+        help="stream a deterministic crowd; print its digest",
+        description="Streams the crowd in O(agents-per-day) memory; "
+                    "the sha256 digest over canonical event rows is "
+                    "byte-stable across processes and machines for "
+                    "one (venue seed, crowd seed) pair.")
+    synth_venue_args(synth_crowd)
+    synth_crowd_args(synth_crowd)
+    synth_crowd.add_argument("--out", metavar="PATH",
+                             help="also write the events as a "
+                                  "detection CSV")
+    synth_crowd.set_defaults(func=cmd_synth_crowd)
+
+    synth_replay = synth_sub.add_parser(
+        "replay",
+        help="replay a synthetic crowd against a server",
+        description="Open-loop load driver: batch mode segments "
+                    "locally and ships episodes as IngestDocuments; "
+                    "stream mode appends raw events with honest "
+                    "watermarks; queries mode runs a read mix.  "
+                    "Latency is measured from each request's "
+                    "intended time.")
+    synth_venue_args(synth_replay)
+    synth_crowd_args(synth_replay)
+    synth_replay.add_argument("--url",
+                              default="http://127.0.0.1:{}".format(
+                                  DEFAULT_PORT),
+                              help="server base URL "
+                                   "(default: %(default)s)")
+    synth_replay.add_argument("--session", default="synth",
+                              help="target session "
+                                   "(default: %(default)s)")
+    synth_replay.add_argument("--stream", default="replay",
+                              help="stream name for --mode stream "
+                                   "(default: %(default)s)")
+    synth_replay.add_argument("--mode", default="batch",
+                              choices=["batch", "stream", "queries"],
+                              help="replay mode "
+                                   "(default: %(default)s)")
+    synth_replay.add_argument("--rate", type=float, default=None,
+                              metavar="PER_S",
+                              help="events/s (batch, stream) or "
+                                   "requests/s (queries); default: "
+                                   "as fast as acked")
+    synth_replay.add_argument("--chunk", type=int, default=256,
+                              metavar="N",
+                              help="events per request "
+                                   "(default: %(default)s)")
+    synth_replay.add_argument("--queries", type=int, default=100,
+                              metavar="N",
+                              help="request count for --mode queries "
+                                   "(default: %(default)s)")
+    synth_replay.add_argument("--timeout", type=float, default=30.0,
+                              help="request timeout in seconds")
+    synth_replay.set_defaults(func=cmd_synth_replay)
     return parser
 
 

@@ -32,6 +32,10 @@ from repro.core.timeutil import from_date
 from repro.indoor.nrg import NodeRelationGraph
 from repro.louvre.space import LouvreSpace
 from repro.louvre.zones import ZONE_C, ZONE_ENTRANCE
+from repro.movement.calibration import (
+    LOUVRE_CALIBRATION,
+    MovementCalibration,
+)
 from repro.movement.profiles import PROFILES, VisitorProfile, choose_profile
 from repro.movement.walker import GraphWalker
 
@@ -139,13 +143,18 @@ class LouvreDatasetGenerator:
 
     Args:
         space: the Louvre space model (built on demand when omitted).
-        parameters: calibration; defaults match the paper.
+        parameters: corpus-shape calibration; defaults match the paper.
+        calibration: movement tuning; defaults to the values this
+            generator has always used (:data:`LOUVRE_CALIBRATION`).
     """
 
     def __init__(self, space: Optional[LouvreSpace] = None,
-                 parameters: Optional[DatasetParameters] = None) -> None:
+                 parameters: Optional[DatasetParameters] = None,
+                 calibration: Optional[MovementCalibration] = None
+                 ) -> None:
         self.space = space or LouvreSpace()
         self.parameters = parameters or DatasetParameters()
+        self.calibration = calibration or LOUVRE_CALIBRATION
         self.nrg: NodeRelationGraph = self.space.dataset_zone_nrg()
         self._attractions = self.space.zone_attractions()
         self._epoch = from_date(str(
@@ -162,9 +171,10 @@ class LouvreDatasetGenerator:
         lengths = self._visit_lengths(rng, len(plan),
                                       params.total_detections)
         visits: List[GeneratedVisit] = []
-        walker = GraphWalker(self.nrg, rng,
-                             revisit_penalty=0.25,
-                             attractions=self._attractions)
+        walker = GraphWalker(
+            self.nrg, rng,
+            revisit_penalty=self.calibration.revisit_penalty,
+            attractions=self._attractions)
         for index, ((visitor_id, device), length) in enumerate(
                 zip(plan, lengths)):
             visit = GeneratedVisit(
@@ -308,7 +318,8 @@ class LouvreDatasetGenerator:
         exit_zones = set(self.space.exit_zones())
         t = self._visit_start(rng)
         deadline = t + params.normal_visit_span_cap
-        current = ZONE_ENTRANCE if rng.random() < 0.8 else \
+        current = ZONE_ENTRANCE if rng.random() \
+            < self.calibration.entrance_start_probability else \
             rng.choice(["zone60866", "zone60867"])
         visited: List[str] = [current]
         records: List[DetectionRecord] = []
@@ -325,7 +336,9 @@ class LouvreDatasetGenerator:
                     visit.visitor_id, current, t, t + dwell,
                     visit_id=visit.visit_id,
                     attributes={"device": visit.device}))
-            t += dwell + rng.uniform(20.0, 90.0)  # transit to next zone
+            t += dwell + rng.uniform(
+                self.calibration.transit_min_s,
+                self.calibration.transit_max_s)  # transit to next zone
             if len(records) >= detections_needed:
                 break
             nxt = self._next_zone(rng, walker, current, visited,
@@ -339,7 +352,7 @@ class LouvreDatasetGenerator:
                    current: str, visited: Sequence[str],
                    exit_zones: set, remaining: int) -> str:
         """Choose the next zone, avoiding dead-end exits too early."""
-        for _ in range(6):
+        for _ in range(self.calibration.dead_end_retries):
             candidate = walker.next_state(current, visited)
             if candidate is None:
                 break

@@ -18,6 +18,10 @@ ant, fish, grasshopper, butterfly (:mod:`repro.movement.profiles`).
 from repro.movement.profiles import VisitorProfile, PROFILES
 from repro.movement.walker import GraphWalker, WalkStep
 from repro.movement.agents import GeometricAgent, WaypointPath
+from repro.movement.calibration import (
+    MovementCalibration,
+    LOUVRE_CALIBRATION,
+)
 
 __all__ = [
     "VisitorProfile",
@@ -26,4 +30,6 @@ __all__ = [
     "WalkStep",
     "GeometricAgent",
     "WaypointPath",
+    "MovementCalibration",
+    "LOUVRE_CALIBRATION",
 ]

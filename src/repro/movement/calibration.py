@@ -1,0 +1,62 @@
+"""Movement calibration shared by every synthetic corpus generator.
+
+The Louvre dataset generator of :mod:`repro.louvre.dataset` originally
+hardcoded its walk tuning — the revisit penalty, the chance a visit
+starts at the entrance, the transit-time band between zones, the
+dead-end retry budget.  Those numbers are not Louvre facts; they are
+*movement* facts (museum visitors rarely loop, walking between rooms
+takes tens of seconds), so they live here and parameterise both the
+Louvre generator and the parametric venue crowds of
+:mod:`repro.synth.crowd`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MovementCalibration:
+    """Tuning of a profile-driven walk through a venue.
+
+    Attributes:
+        revisit_penalty: multiplicative weight on already-visited
+            successors (0 forbids revisits, 1 is an unbiased walk).
+        entrance_start_probability: chance a visit starts at a
+            designated entrance instead of a random interior cell
+            (coverage gaps mean the first detection is not always at
+            the door).
+        transit_min_s / transit_max_s: uniform band of seconds spent
+            walking between two detected cells.
+        normal_dwell_cap_s: cap on ordinary per-cell dwell times, so
+            a lognormal tail sample cannot dominate a visit.
+        dead_end_retries: attempts to step away from exit/dead-end
+            cells before the walker teleports (re-appears elsewhere,
+            as sparse real data does).
+    """
+
+    revisit_penalty: float = 0.25
+    entrance_start_probability: float = 0.8
+    transit_min_s: float = 20.0
+    transit_max_s: float = 90.0
+    normal_dwell_cap_s: float = 3600.0
+    dead_end_retries: int = 6
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.revisit_penalty <= 1.0:
+            raise ValueError("revisit_penalty must lie in [0, 1]")
+        if not 0.0 <= self.entrance_start_probability <= 1.0:
+            raise ValueError(
+                "entrance_start_probability must lie in [0, 1]")
+        if self.transit_min_s < 0 or self.transit_max_s \
+                < self.transit_min_s:
+            raise ValueError("transit band must satisfy 0 <= min <= max")
+        if self.normal_dwell_cap_s <= 0:
+            raise ValueError("normal_dwell_cap_s must be positive")
+        if self.dead_end_retries < 1:
+            raise ValueError("dead_end_retries must be >= 1")
+
+
+#: The calibration the Louvre corpus has always used (the values that
+#: were hardcoded in ``LouvreDatasetGenerator`` before extraction).
+LOUVRE_CALIBRATION = MovementCalibration()

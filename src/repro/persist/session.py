@@ -55,6 +55,21 @@ def register_space(name: str,
     _SPACE_FACTORIES[name] = factory
 
 
+def space_token(space: Optional[object]) -> Optional[str]:
+    """The revivable manifest token of a space model.
+
+    A space exposing ``persist_token`` (parameterised spaces like the
+    synthetic venues) records that; anything else records its class
+    name, matching the registered factories.
+    """
+    if space is None:
+        return None
+    token = getattr(space, "persist_token", None)
+    if token is not None:
+        return str(token)
+    return type(space).__name__
+
+
 def revive_space(name: Optional[str]) -> Optional[object]:
     """A space model instance for a manifest-recorded class name.
 
@@ -69,6 +84,15 @@ def revive_space(name: Optional[str]) -> Optional[object]:
     if name == "LouvreSpace":  # the built-in default, lazily imported
         from repro.louvre.space import LouvreSpace
         return LouvreSpace()
+    if name.startswith("SyntheticVenue:"):
+        # Parametric venues are revived from their generation token
+        # (archetype + seeds fully determine the venue), so a session
+        # built over a synthetic venue restores on any process.
+        from repro.synth.venues import venue_from_token
+        try:
+            return venue_from_token(name)
+        except ValueError:
+            return None
     return None
 
 
@@ -250,7 +274,7 @@ def save_workbench(directory: str, workbench,
     """
     session = DurableSession(directory, fsync=fsync)
     space = workbench.space
-    space_name = type(space).__name__ if space is not None else None
+    space_name = space_token(space)
     info = session.checkpoint(workbench.store, space=space_name)
     workbench.store.attach_wal(session.log())
     return info

@@ -305,6 +305,17 @@ class ServiceClient:
         """(Re)load a session from the server's persist directory."""
         return self.call(P.RestoreSession(session=session))
 
+    def ingest_documents(self, session: str, docs: list,
+                         space: Optional[str] = None) -> P.Ingested:
+        """Append pre-built trajectory dicts to a session's store.
+
+        ``space`` is a revivable space token (e.g. ``"LouvreSpace"``
+        or a ``SyntheticVenue:...`` token) applied when the session
+        has no space model yet.
+        """
+        return self.call(P.IngestDocuments(
+            session=session, docs=list(docs), space=space))
+
     def run_query(self, session: str, query: Optional[Dict] = None,
                   limit: int = 50, cursor: Optional[str] = None,
                   offset: int = 0, order_by: Optional[str] = None,

@@ -433,6 +433,7 @@ def _ingest_documents(registry: SessionRegistry,
         docs = [SemanticTrajectory.from_dict(item)
                 for item in command.docs]
     except (KeyError, TypeError, ValueError) as error:
+        session.ingest_rejected += len(command.docs)
         raise CommandError(
             "bad_request", "unparseable document: {}".format(error))
     # The build lock serializes against checkpoints, exactly like a
@@ -440,6 +441,7 @@ def _ingest_documents(registry: SessionRegistry,
     with session.build_lock:
         if docs:
             workbench.store.extend(docs)
+        session.ingest_accepted += len(docs)
     return P.Ingested(session=command.session, count=len(docs),
                       total=len(workbench.store))
 

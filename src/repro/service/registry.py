@@ -129,6 +129,11 @@ class Session:
         self.build_lock = threading.Lock()
         self._building = 0
         self._failed = False
+        #: Documents accepted / rejected by ``IngestDocuments`` —
+        #: surfaced in ``/v1/health`` so a load replayer can assert
+        #: delivery without scraping logs.
+        self.ingest_accepted = 0
+        self.ingest_rejected = 0
 
     def checkpoint(self):
         """Fold the session's log into a fresh snapshot.
@@ -142,15 +147,15 @@ class Session:
                 the disk write fails.
         """
         from repro.persist import PersistError
+        from repro.persist.session import space_token
 
         if self.durable is None:
             raise PersistError(
                 "session {!r} has no durable home (registry has no "
                 "persist_dir)".format(self.name))
-        space = self.workbench.space
         return self.durable.checkpoint(
             self.workbench.store,
-            space=type(space).__name__ if space is not None else None)
+            space=space_token(self.workbench.space))
 
     @property
     def state(self) -> str:

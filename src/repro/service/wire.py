@@ -250,7 +250,10 @@ def health_payload(registry: SessionRegistry,
         roster = []
         for session in registry.sessions():
             entry = {"name": session.name, "state": session.state,
-                     "trajectories": len(session.workbench.store)}
+                     "trajectories": len(session.workbench.store),
+                     "ingest": {
+                         "accepted": session.ingest_accepted,
+                         "rejected": session.ingest_rejected}}
             wal = session.workbench.store.wal
             if wal is not None:
                 entry["wal"] = wal_report(wal)

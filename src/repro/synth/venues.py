@@ -1,0 +1,600 @@
+"""Seeded parametric venue grammar over the SITM indoor model.
+
+A venue archetype (museum, airport, stadium, hospital) fixes the
+*shape* of the grammar — how many floors, how rooms cluster around
+corridors, which vertical connectors join floors, how many one-way
+shortcuts and hotspot rooms appear.  A seed fixes every random draw.
+The output is a full :class:`~repro.indoor.multilayer.LayeredIndoorGraph`
+with the core Building → Floor → Room hierarchy, a directed
+accessibility NRG per layer, a beacon per cell, and entrance/exit/
+attraction metadata that the crowd synthesizer consumes.
+
+Layout invariants (checked by :meth:`SyntheticVenue.validate` and the
+Hypothesis suite in ``tests/synth``):
+
+* every cell footprint is interior-disjoint from its same-floor peers
+  (cells are laid out on a grid with 0.5 m gaps; boundaries are
+  declared symbolically, as the museum-administration zones are);
+* the rooms-layer NRG is strongly connected — every one-way boundary
+  is a *shortcut* added on top of an always-bidirectional base
+  topology (rooms ↔ row corridor ↔ neighbouring corridors ↔ vertical
+  connectors), so ``RoutePlanner`` can reach every room from every
+  entrance and every exit from every room;
+* the layer hierarchy passes the Section 3.2 rules (consecutive
+  layers, contains/covers only, single parent).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.indoor.cells import (
+    BoundaryKind,
+    Cell,
+    CellBoundary,
+    CellSpace,
+)
+from repro.indoor.dual import derive_accessibility_nrg
+from repro.indoor.hierarchy import LayerHierarchy, LayerRole
+from repro.indoor.multilayer import JointEdge, LayeredIndoorGraph
+from repro.indoor.navigation import RoutePlanner, UnreachableError
+from repro.indoor.nrg import NodeRelationGraph
+from repro.positioning.beacons import Beacon
+from repro.spatial.geometry import Polygon
+from repro.spatial.topology import TopologicalRelation
+
+#: Grid dimensions, metres.  Gaps keep same-floor footprints
+#: interior-disjoint so CellSpace geometry validation passes.
+ROOM_W = 8.0
+ROOM_H = 6.0
+CORRIDOR_H = 3.0
+GAP = 0.5
+ROW_WIDTH = 6  # rooms per corridor row
+
+
+@dataclass(frozen=True)
+class ArchetypeGrammar:
+    """The production rules of one venue archetype.
+
+    Attributes:
+        room_class: semantic class of ordinary rooms.
+        floor_range: inclusive (min, max) floor count.
+        rooms_per_floor_range: inclusive (min, max) rooms per floor.
+        vertical_kinds: boundary kinds joining consecutive floors
+            (one connector per kind per floor pair, on rotating rows).
+        one_way_fraction: chance an adjacent room pair gains an extra
+            one-way shortcut opening (museum flow control).
+        hotspot_fraction: share of rooms that become attraction
+            hotspots (Mona Lisa rooms, departure gates, home stands).
+        hotspot_weight: walker attraction weight of a hotspot.
+        dwell_scale: multiplier on profile dwell times (airport dwell
+            is shorter than museum dwell).
+        ring_corridor: close the corridor chain into a ring
+            (stadium concourse).
+        checkpoints: model the row-0 ↔ row-1 corridor link as a pair
+            of opposed one-way CHECKPOINT boundaries (airport
+            security) instead of one bidirectional opening.
+    """
+
+    room_class: str
+    floor_range: Tuple[int, int]
+    rooms_per_floor_range: Tuple[int, int]
+    vertical_kinds: Tuple[BoundaryKind, ...]
+    one_way_fraction: float
+    hotspot_fraction: float
+    hotspot_weight: float
+    dwell_scale: float = 1.0
+    ring_corridor: bool = False
+    checkpoints: bool = False
+
+
+#: The four supported archetypes.
+ARCHETYPES: Dict[str, ArchetypeGrammar] = {
+    "museum": ArchetypeGrammar(
+        room_class="Gallery",
+        floor_range=(2, 4),
+        rooms_per_floor_range=(6, 12),
+        vertical_kinds=(BoundaryKind.STAIRCASE, BoundaryKind.ELEVATOR),
+        one_way_fraction=0.15,
+        hotspot_fraction=0.15,
+        hotspot_weight=4.0,
+        dwell_scale=1.0,
+    ),
+    "airport": ArchetypeGrammar(
+        room_class="Gate",
+        floor_range=(1, 3),
+        rooms_per_floor_range=(10, 16),
+        vertical_kinds=(BoundaryKind.ELEVATOR, BoundaryKind.RAMP),
+        one_way_fraction=0.25,
+        hotspot_fraction=0.10,
+        hotspot_weight=3.0,
+        dwell_scale=0.5,
+        checkpoints=True,
+    ),
+    "stadium": ArchetypeGrammar(
+        room_class="Section",
+        floor_range=(2, 3),
+        rooms_per_floor_range=(12, 20),
+        vertical_kinds=(BoundaryKind.STAIRCASE, BoundaryKind.RAMP),
+        one_way_fraction=0.10,
+        hotspot_fraction=0.20,
+        hotspot_weight=2.5,
+        dwell_scale=2.0,
+        ring_corridor=True,
+    ),
+    "hospital": ArchetypeGrammar(
+        room_class="Ward",
+        floor_range=(3, 6),
+        rooms_per_floor_range=(5, 10),
+        vertical_kinds=(BoundaryKind.ELEVATOR, BoundaryKind.STAIRCASE),
+        one_way_fraction=0.05,
+        hotspot_fraction=0.10,
+        hotspot_weight=2.0,
+        dwell_scale=1.5,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class VenueSpec:
+    """What to generate: an archetype, a seed, optional size overrides.
+
+    Attributes:
+        archetype: one of :data:`ARCHETYPES`.
+        seed: master seed; a fixed (archetype, seed, overrides) tuple
+            regenerates the identical venue in any process.
+        floors: override the archetype's floor-count draw.
+        rooms_per_floor: override the archetype's rooms-per-floor draw.
+        name: venue name (defaults to ``"<archetype>-<seed>"``).
+    """
+
+    archetype: str
+    seed: int = 0
+    floors: Optional[int] = None
+    rooms_per_floor: Optional[int] = None
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.archetype not in ARCHETYPES:
+            raise ValueError(
+                "unknown archetype {!r}; pick one of {}".format(
+                    self.archetype, sorted(ARCHETYPES)))
+        if self.floors is not None and self.floors < 1:
+            raise ValueError("floors must be >= 1")
+        if self.rooms_per_floor is not None and self.rooms_per_floor < 2:
+            raise ValueError("rooms_per_floor must be >= 2")
+
+    @property
+    def venue_name(self) -> str:
+        return self.name or "{}-{}".format(self.archetype, self.seed)
+
+
+@dataclass
+class SyntheticVenue:
+    """A generated venue: the layered graph plus movement metadata.
+
+    Exposes the same duck-typed surface the Louvre space offers to the
+    rest of the system: ``zone_hierarchy`` for hierarchy-aware
+    similarity, attraction weights / entrances / exits for the walker.
+    """
+
+    spec: VenueSpec
+    grammar: ArchetypeGrammar
+    graph: LayeredIndoorGraph
+    hierarchy: LayerHierarchy
+    nrg: NodeRelationGraph
+    attractions: Dict[str, float]
+    entrances: List[str]
+    exits: List[str]
+    beacons: List[Beacon] = field(default_factory=list)
+
+    @property
+    def zone_hierarchy(self) -> LayerHierarchy:
+        """Duck-typing alias: similarity lifts states through this."""
+        return self.hierarchy
+
+    @property
+    def persist_token(self) -> str:
+        """A manifest token that regenerates this venue anywhere.
+
+        Recorded by session checkpoints and ``IngestDocuments``; see
+        :func:`venue_from_token`.
+        """
+        spec = self.spec
+        return "SyntheticVenue:{}:{}:{}:{}".format(
+            spec.archetype, spec.seed,
+            "-" if spec.floors is None else spec.floors,
+            "-" if spec.rooms_per_floor is None
+            else spec.rooms_per_floor)
+
+    def dataset_zone_nrg(self) -> NodeRelationGraph:
+        """The detection-layer NRG (Louvre-space duck typing).
+
+        The server's stream segmenter builds its
+        :class:`~repro.core.builder.TrajectoryBuilder` over
+        ``space.dataset_zone_nrg()``; for a synthetic venue the
+        detection layer is the rooms layer.
+        """
+        return self.nrg
+
+    def zone_attractions(self) -> Dict[str, float]:
+        """Walker attraction weights (Louvre-space duck typing)."""
+        return dict(self.attractions)
+
+    def entrance_zones(self) -> List[str]:
+        """Entrance cells (Louvre-space duck typing)."""
+        return list(self.entrances)
+
+    def exit_zones(self) -> List[str]:
+        """Exit cells (Louvre-space duck typing)."""
+        return list(self.exits)
+
+    @property
+    def floors(self) -> int:
+        return len(self.graph.layer("floors"))
+
+    @property
+    def room_count(self) -> int:
+        return len(self.graph.layer("rooms"))
+
+    def validate(self) -> List[str]:
+        """Structural + reachability validation; empty list means OK."""
+        problems = list(self.graph.validate())
+        problems.extend(self.hierarchy.validate())
+        nodes = set(self.nrg.nodes)
+        if not self.entrances:
+            problems.append("venue has no entrance")
+            return problems
+        reachable = set(self.nrg.reachable_from(self.entrances[0]))
+        missing = nodes - reachable - {self.entrances[0]}
+        if missing:
+            problems.append(
+                "{} cells unreachable from entrance {!r}: {}".format(
+                    len(missing), self.entrances[0],
+                    sorted(missing)[:5]))
+        # Co-reachability: every cell must be able to leave again
+        # (reach the entrance back over the reversed edge set), which
+        # together with forward reachability gives strong connectivity.
+        reverse: Dict[str, List[str]] = {}
+        for edge in self.nrg.edges:
+            reverse.setdefault(edge.target, []).append(edge.source)
+        seen = {self.entrances[0]}
+        frontier = [self.entrances[0]]
+        while frontier:
+            current = frontier.pop()
+            for predecessor in reverse.get(current, ()):
+                if predecessor not in seen:
+                    seen.add(predecessor)
+                    frontier.append(predecessor)
+        stuck = nodes - seen
+        if stuck:
+            problems.append(
+                "{} cells cannot reach entrance {!r} back: {}".format(
+                    len(stuck), self.entrances[0], sorted(stuck)[:5]))
+        return problems
+
+    def plan_all_rooms(self) -> int:
+        """Route from the first entrance to every room; count hops.
+
+        Raises :class:`UnreachableError` if any room is unreachable —
+        the stronger, planner-level form of the reachability check.
+        """
+        planner = RoutePlanner(self.nrg)
+        hops = 0
+        for node in self.nrg.nodes:
+            if node == self.entrances[0]:
+                continue
+            hops += planner.plan(self.entrances[0], node).hop_count
+        return hops
+
+    def summary(self) -> Dict[str, object]:
+        """Size card for logs and benchmark provenance."""
+        return {
+            "venue": self.spec.venue_name,
+            "archetype": self.spec.archetype,
+            "seed": self.spec.seed,
+            "floors": self.floors,
+            "cells": self.room_count,
+            "edges": self.nrg.transition_count(),
+            "joint_edges": self.graph.joint_edge_count,
+            "beacons": len(self.beacons),
+            "entrances": list(self.entrances),
+            "exits": list(self.exits),
+        }
+
+
+def venue_from_token(token: str) -> SyntheticVenue:
+    """Regenerate a venue from its :attr:`~SyntheticVenue
+    .persist_token` (``SyntheticVenue:archetype:seed:floors:rooms``).
+
+    Raises:
+        ValueError: on a malformed token.
+    """
+    parts = token.split(":")
+    if len(parts) != 5 or parts[0] != "SyntheticVenue":
+        raise ValueError("not a venue token: {!r}".format(token))
+    try:
+        spec = VenueSpec(
+            archetype=parts[1],
+            seed=int(parts[2]),
+            floors=None if parts[3] == "-" else int(parts[3]),
+            rooms_per_floor=None if parts[4] == "-"
+            else int(parts[4]))
+    except ValueError:
+        raise
+    except Exception as error:  # int() of garbage, archetype checks
+        raise ValueError("bad venue token {!r}: {}".format(
+            token, error))
+    return generate_venue(spec)
+
+
+def _accessibility_layer(space: CellSpace) -> NodeRelationGraph:
+    """Derive a layer NRG named after its cell space (layer-name rule)."""
+    nrg = derive_accessibility_nrg(space)
+    nrg.name = space.name
+    return nrg
+
+
+class _Layout:
+    """Mutable state of one generation run."""
+
+    def __init__(self, spec: VenueSpec) -> None:
+        self.spec = spec
+        self.grammar = ARCHETYPES[spec.archetype]
+        self.rng = random.Random(spec.seed)
+        self.rooms = CellSpace("rooms")
+        self.floors_space = CellSpace("floors")
+        self.venue_space = CellSpace("venue")
+        self.corridors: Dict[int, List[str]] = {}  # floor -> corridor ids
+        self.room_ids: Dict[int, List[str]] = {}   # floor -> room ids
+        self.attractions: Dict[str, float] = {}
+        self.entrances: List[str] = []
+        self.exits: List[str] = []
+
+
+def generate_venue(spec: VenueSpec) -> SyntheticVenue:
+    """Expand a :class:`VenueSpec` into a full :class:`SyntheticVenue`.
+
+    Deterministic: only ``random.Random(spec.seed)`` draws are used and
+    every container is iterated in insertion order, so a fixed spec
+    yields an identical venue in any process (no str-hash dependence).
+    """
+    state = _Layout(spec)
+    grammar = state.grammar
+    rng = state.rng
+
+    floor_count = spec.floors if spec.floors is not None else \
+        rng.randint(*grammar.floor_range)
+    rooms_per_floor = spec.rooms_per_floor \
+        if spec.rooms_per_floor is not None else \
+        rng.randint(*grammar.rooms_per_floor_range)
+
+    for floor in range(floor_count):
+        _lay_out_floor(state, floor, rooms_per_floor)
+    _connect_floors(state, floor_count)
+    _add_shortcuts(state, floor_count)
+    _pick_hotspots(state)
+    _pick_doors(state)
+
+    graph = LayeredIndoorGraph(spec.venue_name)
+    _build_upper_layers(state, graph, floor_count)
+    nrg = _accessibility_layer(state.rooms)
+    graph.add_layer(nrg, state.rooms)
+    _link_hierarchy(state, graph, floor_count)
+
+    hierarchy = LayerHierarchy(
+        graph, ["venue", "floors", "rooms"],
+        roles=[LayerRole.BUILDING, LayerRole.FLOOR, LayerRole.ROOM])
+
+    beacons = [
+        Beacon(beacon_id="b:" + cell.cell_id,
+               position=cell.representative_point(),
+               floor=cell.floor or 0)
+        for cell in state.rooms
+    ]
+
+    return SyntheticVenue(
+        spec=spec,
+        grammar=grammar,
+        graph=graph,
+        hierarchy=hierarchy,
+        nrg=nrg,
+        attractions=state.attractions,
+        entrances=state.entrances,
+        exits=state.exits,
+        beacons=beacons,
+    )
+
+
+# ----------------------------------------------------------------------
+# grammar productions
+# ----------------------------------------------------------------------
+def _room_id(floor: int, index: int) -> str:
+    return "f{}r{:02d}".format(floor, index)
+
+
+def _corridor_id(floor: int, row: int) -> str:
+    return "f{}c{}".format(floor, row)
+
+
+def _lay_out_floor(state: _Layout, floor: int,
+                   rooms_per_floor: int) -> None:
+    """Rows of rooms, one corridor strip per row, all gap-separated."""
+    grammar = state.grammar
+    rows = (rooms_per_floor + ROW_WIDTH - 1) // ROW_WIDTH
+    state.corridors[floor] = []
+    state.room_ids[floor] = []
+    row_pitch = ROOM_H + CORRIDOR_H + 2 * GAP
+    for row in range(rows):
+        first = row * ROW_WIDTH
+        count = min(ROW_WIDTH, rooms_per_floor - first)
+        base_y = row * row_pitch
+        for i in range(count):
+            room = _room_id(floor, first + i)
+            x0 = i * (ROOM_W + GAP)
+            state.rooms.add_cell(Cell(
+                cell_id=room,
+                name="{} {}".format(grammar.room_class, first + i),
+                semantic_class=grammar.room_class,
+                geometry=Polygon.rectangle(
+                    x0, base_y, x0 + ROOM_W, base_y + ROOM_H),
+                floor=floor,
+            ))
+            state.room_ids[floor].append(room)
+        corridor = _corridor_id(floor, row)
+        width = count * ROOM_W + (count - 1) * GAP
+        state.rooms.add_cell(Cell(
+            cell_id=corridor,
+            name="Corridor {}/{}".format(floor, row),
+            semantic_class="Corridor",
+            geometry=Polygon.rectangle(
+                0.0, base_y + ROOM_H + GAP,
+                width, base_y + ROOM_H + GAP + CORRIDOR_H),
+            floor=floor,
+        ))
+        state.corridors[floor].append(corridor)
+        for i in range(count):
+            room = _room_id(floor, first + i)
+            state.rooms.add_boundary(CellBoundary(
+                boundary_id="door:{}:{}".format(room, corridor),
+                source=room, target=corridor,
+                kind=BoundaryKind.DOOR))
+    _connect_corridors(state, floor, rows)
+
+
+def _connect_corridors(state: _Layout, floor: int, rows: int) -> None:
+    """Chain the floor's corridors; optionally close the ring."""
+    grammar = state.grammar
+    corridors = state.corridors[floor]
+    for row in range(rows - 1):
+        lower, upper = corridors[row], corridors[row + 1]
+        if grammar.checkpoints and row == 0:
+            # Airport security: landside → airside and the opposed
+            # exit lane, as two one-way checkpoint boundaries (the
+            # pair keeps the base topology strongly connected).
+            state.rooms.add_boundary(CellBoundary(
+                boundary_id="chk:{}:{}".format(lower, upper),
+                source=lower, target=upper,
+                kind=BoundaryKind.CHECKPOINT, bidirectional=False))
+            state.rooms.add_boundary(CellBoundary(
+                boundary_id="chk:{}:{}".format(upper, lower),
+                source=upper, target=lower,
+                kind=BoundaryKind.CHECKPOINT, bidirectional=False))
+        else:
+            state.rooms.add_boundary(CellBoundary(
+                boundary_id="open:{}:{}".format(lower, upper),
+                source=lower, target=upper,
+                kind=BoundaryKind.OPENING))
+    if grammar.ring_corridor and rows > 2:
+        state.rooms.add_boundary(CellBoundary(
+            boundary_id="ring:{}".format(floor),
+            source=corridors[-1], target=corridors[0],
+            kind=BoundaryKind.OPENING))
+
+
+def _connect_floors(state: _Layout, floor_count: int) -> None:
+    """Vertical connectors between consecutive floors' corridors."""
+    grammar = state.grammar
+    for floor in range(floor_count - 1):
+        below = state.corridors[floor]
+        above = state.corridors[floor + 1]
+        for offset, kind in enumerate(grammar.vertical_kinds):
+            src = below[offset % len(below)]
+            dst = above[offset % len(above)]
+            state.rooms.add_boundary(CellBoundary(
+                boundary_id="{}:{}:{}".format(kind.value, src, dst),
+                source=src, target=dst, kind=kind))
+
+
+def _add_shortcuts(state: _Layout, floor_count: int) -> None:
+    """Extra one-way openings between adjacent same-row rooms.
+
+    Always additive: the bidirectional room↔corridor base stays, so
+    one-way shortcuts can never disconnect the venue.
+    """
+    grammar = state.grammar
+    rng = state.rng
+    for floor in range(floor_count):
+        rooms = state.room_ids[floor]
+        for i in range(len(rooms) - 1):
+            if (i + 1) % ROW_WIDTH == 0:
+                continue  # next room starts a new row
+            if rng.random() < grammar.one_way_fraction:
+                state.rooms.add_boundary(CellBoundary(
+                    boundary_id="oneway:{}:{}".format(
+                        rooms[i], rooms[i + 1]),
+                    source=rooms[i], target=rooms[i + 1],
+                    kind=BoundaryKind.OPENING, bidirectional=False))
+
+
+def _pick_hotspots(state: _Layout) -> None:
+    """Attraction weights: a seeded sample of rooms become hotspots."""
+    grammar = state.grammar
+    all_rooms = [room for rooms in state.room_ids.values()
+                 for room in rooms]
+    hotspot_count = max(1, int(len(all_rooms)
+                               * grammar.hotspot_fraction))
+    hotspots = set(state.rng.sample(all_rooms, hotspot_count))
+    for room in all_rooms:
+        state.attractions[room] = (grammar.hotspot_weight
+                                   if room in hotspots else 1.0)
+    for corridors in state.corridors.values():
+        for corridor in corridors:
+            state.attractions[corridor] = 1.0
+
+
+def _pick_doors(state: _Layout) -> None:
+    """Entrance and exit: first and last ground-floor corridors."""
+    ground = state.corridors[0]
+    state.entrances = [ground[0]]
+    state.exits = [ground[-1] if len(ground) > 1 else ground[0]]
+
+
+def _build_upper_layers(state: _Layout, graph: LayeredIndoorGraph,
+                        floor_count: int) -> None:
+    """The venue and floors layers (symbolic cells, staircase chain)."""
+    spec = state.spec
+    state.venue_space.add_cell(Cell(
+        cell_id="venue:" + spec.venue_name,
+        name=spec.venue_name,
+        semantic_class="Building",
+    ))
+    graph.add_layer(_accessibility_layer(state.venue_space),
+                    state.venue_space)
+    for floor in range(floor_count):
+        state.floors_space.add_cell(Cell(
+            cell_id="floor:{}".format(floor),
+            name="Floor {}".format(floor),
+            semantic_class="Floor",
+            floor=floor,
+        ))
+    for floor in range(floor_count - 1):
+        state.floors_space.add_boundary(CellBoundary(
+            boundary_id="stairs:floor:{}".format(floor),
+            source="floor:{}".format(floor),
+            target="floor:{}".format(floor + 1),
+            kind=BoundaryKind.STAIRCASE))
+    graph.add_layer(_accessibility_layer(state.floors_space),
+                    state.floors_space)
+
+
+def _link_hierarchy(state: _Layout, graph: LayeredIndoorGraph,
+                    floor_count: int) -> None:
+    """Declared contains joint edges: venue → floors → rooms/corridors.
+
+    Declared (not geometry-derived) because the upper layers are
+    symbolic, exactly like the museum-administration zones.
+    """
+    venue_cell = "venue:" + state.spec.venue_name
+    for floor in range(floor_count):
+        floor_cell = "floor:{}".format(floor)
+        graph.add_joint_edge(JointEdge(
+            "venue", venue_cell, "floors", floor_cell,
+            TopologicalRelation.CONTAINS))
+        for cell_id in (state.room_ids[floor]
+                        + state.corridors[floor]):
+            graph.add_joint_edge(JointEdge(
+                "floors", floor_cell, "rooms", cell_id,
+                TopologicalRelation.CONTAINS))

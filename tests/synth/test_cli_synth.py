@@ -1,0 +1,125 @@
+"""`repro synth ...` CLI: venue cards, crowd digests, live replay."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.service.aserver import AsyncServiceServer
+from repro.service.registry import SessionRegistry
+
+
+@pytest.fixture(scope="module")
+def server_url():
+    server = AsyncServiceServer(SessionRegistry(), port=0).start()
+    try:
+        yield server.url
+    finally:
+        server.stop()
+
+
+class TestSynthVenue:
+    def test_card(self, capsys):
+        assert main(["synth", "venue", "--archetype", "museum",
+                     "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "floor(s)" in out
+        assert "route hops:" in out
+
+    def test_json_is_valid_and_routed(self, capsys):
+        assert main(["synth", "venue", "--archetype", "stadium",
+                     "--seed", "3", "--json"]) == 0
+        card = json.loads(capsys.readouterr().out)
+        assert card["valid"] is True
+        assert card["problems"] == []
+        assert card["route_hops"] > 0
+
+    def test_overrides_reach_the_generator(self, capsys):
+        assert main(["synth", "venue", "--archetype", "hospital",
+                     "--seed", "1", "--floors", "2",
+                     "--rooms-per-floor", "5", "--json"]) == 0
+        card = json.loads(capsys.readouterr().out)
+        assert card["floors"] == 2
+
+    def test_unknown_archetype_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["synth", "venue", "--archetype", "atlantis"])
+
+
+class TestSynthCrowd:
+    def run_json(self, capsys, *extra):
+        code = main(["synth", "crowd", "--archetype", "museum",
+                     "--seed", "7", "--agents", "200",
+                     "--crowd-seed", "42", "--agents-per-day", "100",
+                     "--json", *extra])
+        assert code == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_digest_is_reproducible(self, capsys):
+        first = self.run_json(capsys)
+        second = self.run_json(capsys)
+        assert first["digest"] == second["digest"]
+        assert first["events"] == second["events"] > 0
+        assert first["days"] == 2
+        assert first["peak_buffered"] >= 1
+
+    def test_provenance_in_payload(self, capsys):
+        card = self.run_json(capsys)
+        assert card["generator"] == "synth"
+        assert card["archetype"] == "museum"
+        assert card["venue_seed"] == 7
+        assert card["crowd_seed"] == 42
+        assert card["agents"] == 200
+
+    def test_out_writes_csv(self, capsys, tmp_path):
+        path = tmp_path / "crowd.csv"
+        card = self.run_json(capsys, "--out", str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == card["events"] + 1  # header row
+
+    def test_human_output_names_digest(self, capsys):
+        assert main(["synth", "crowd", "--archetype", "airport",
+                     "--seed", "2", "--agents", "50",
+                     "--agents-per-day", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "digest: sha256:" in out
+        assert "50 agent(s)" in out
+
+
+class TestSynthReplay:
+    def replay(self, capsys, server_url, mode, session, *extra):
+        code = main(["synth", "replay", "--url", server_url,
+                     "--archetype", "museum", "--seed", "7",
+                     "--agents", "80", "--crowd-seed", "42",
+                     "--agents-per-day", "40", "--session", session,
+                     "--mode", mode, "--json", *extra])
+        assert code == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_batch_mode(self, capsys, server_url):
+        payload = self.replay(capsys, server_url, "batch",
+                              "cli-batch")
+        assert payload["errors"] == 0
+        assert payload["episodes"] == 80
+        assert payload["server"]["delivery_ok"] is True
+        assert payload["provenance"]["crowd_seed"] == 42
+
+    def test_stream_mode(self, capsys, server_url):
+        payload = self.replay(capsys, server_url, "stream",
+                              "cli-stream")
+        assert payload["errors"] == 0
+        assert payload["server"]["events_acked"] == payload["events"]
+        assert payload["server"]["delivery_ok"] is True
+
+    def test_queries_mode(self, capsys, server_url):
+        payload = self.replay(capsys, server_url, "queries",
+                              "cli-batch", "--queries", "9")
+        assert payload["ok"] == 9
+        assert payload["errors"] == 0
+
+    def test_unreachable_server_fails_cleanly(self, capsys):
+        code = main(["synth", "replay", "--url",
+                     "http://127.0.0.1:1", "--agents", "5",
+                     "--agents-per-day", "5", "--timeout", "2"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

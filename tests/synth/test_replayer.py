@@ -1,0 +1,188 @@
+"""TrafficReplayer against a real asyncio front-end.
+
+The CI-gating guarantees live here: a synthesized crowd replayed as
+batch ingest and as an AppendEvents stream must land *identical*
+store content with zero failed requests, and the session health
+roster must account for every accepted document.
+"""
+
+import time
+
+import pytest
+
+from repro.service import protocol as P
+from repro.service.aserver import AsyncServiceServer
+from repro.service.client import ServiceClient
+from repro.service.registry import SessionRegistry
+from repro.synth import (
+    CrowdSpec,
+    CrowdSynthesizer,
+    TrafficReplayer,
+    VenueSpec,
+    generate_venue,
+)
+
+SPEC = CrowdSpec(agents=150, seed=42, agents_per_day=75)
+
+
+@pytest.fixture(scope="module")
+def venue():
+    return generate_venue(VenueSpec(archetype="museum", seed=7))
+
+
+@pytest.fixture(scope="module")
+def service():
+    registry = SessionRegistry()
+    server = AsyncServiceServer(registry, port=0).start()
+    client = ServiceClient(server.url)
+    try:
+        yield client, registry
+    finally:
+        client.close()
+        server.stop()
+
+
+def canonical_store(registry, session):
+    store = registry.get(session).workbench.store
+    return sorted(repr(sorted(t.to_dict().items())) for t in store)
+
+
+class TestEndToEnd:
+    def test_batch_and_stream_land_identical_content(self, service,
+                                                     venue):
+        client, registry = service
+        batch = TrafficReplayer(client, "e2e-batch", venue, chunk=64)
+        report_b = batch.verify_delivery(batch.replay_batch(
+            CrowdSynthesizer(venue, SPEC).iter_events()))
+        stream = TrafficReplayer(client, "e2e-stream", venue,
+                                 chunk=64)
+        report_s = stream.verify_delivery(stream.replay_stream(
+            CrowdSynthesizer(venue, SPEC).iter_events()))
+
+        assert report_b.errors == 0 and report_b.shed == 0
+        assert report_s.errors == 0 and report_s.shed == 0
+        assert report_b.events == report_s.events
+        assert report_b.episodes == report_s.episodes == SPEC.agents
+        assert report_b.server["delivery_ok"]
+        assert report_s.server["delivery_ok"]
+        assert canonical_store(registry, "e2e-batch") \
+            == canonical_store(registry, "e2e-stream")
+
+    def test_health_counts_batch_ingest(self, service, venue):
+        client, _ = service
+        health = client.health()
+        entry = {item["name"]: item
+                 for item in health["sessions"]}["e2e-batch"]
+        assert entry["ingest"]["accepted"] == SPEC.agents
+        assert entry["ingest"]["rejected"] == 0
+
+    def test_health_counts_rejected_docs(self, service, venue):
+        client, _ = service
+        with pytest.raises(P.ServiceError):
+            client.ingest_documents("e2e-reject",
+                                    [{"not": "a trajectory"}])
+        health = client.health()
+        entry = {item["name"]: item
+                 for item in health["sessions"]}["e2e-reject"]
+        assert entry["ingest"]["rejected"] == 1
+        assert entry["ingest"]["accepted"] == 0
+
+    def test_query_mix_over_loaded_session(self, service, venue):
+        client, _ = service
+        replayer = TrafficReplayer(client, "e2e-batch", venue,
+                                   rate=500.0)
+        report = replayer.replay_queries(12)
+        assert report.ok == 12
+        assert report.errors == 0
+        assert report.latencies_ms["p50"] >= 0.0
+
+    def test_paced_batch_respects_rate(self, service, venue):
+        client, _ = service
+        spec = CrowdSpec(agents=40, seed=2, agents_per_day=40)
+        replayer = TrafficReplayer(client, "e2e-paced", venue,
+                                   rate=2000.0, chunk=50)
+        started = time.perf_counter()
+        report = replayer.replay_batch(
+            CrowdSynthesizer(venue, spec).iter_events())
+        elapsed = time.perf_counter() - started
+        # ~200 events at 2000 ev/s in 50-event slots ≈ 0.1s floor.
+        assert report.events > 100
+        assert elapsed >= (report.events - 50) / 2000.0
+
+    def test_stream_session_revives_venue_space(self, service,
+                                                venue):
+        """The stream path must segment against the *venue's* NRG —
+        a session primed with the venue token gets a revived space
+        whose states match the crowd's."""
+        _, registry = service
+        session = registry.get("e2e-stream")
+        assert session.workbench.space is not None
+        assert set(session.workbench.space.dataset_zone_nrg().nodes) \
+            == set(venue.nrg.nodes)
+
+
+class TestChunking:
+    def test_watermarks_are_next_chunk_first_start(self, venue):
+        replayer = TrafficReplayer(object(), "x", venue, chunk=3)
+        events = list(CrowdSynthesizer(
+            venue, CrowdSpec(agents=4, seed=1,
+                             agents_per_day=4)).iter_events())
+        chunks = list(replayer._chunks(iter(events)))
+        assert sum(len(chunk) for chunk, _ in chunks) == len(events)
+        for (chunk, watermark), (following, _) in zip(chunks,
+                                                      chunks[1:]):
+            assert watermark == following[0].t_start
+        assert chunks[-1][1] is None
+
+    def test_chunk_must_be_positive(self, venue):
+        with pytest.raises(ValueError):
+            TrafficReplayer(object(), "x", venue, chunk=0)
+
+
+class _SheddingClient:
+    """Stub: sheds the first N calls with 503, then succeeds."""
+
+    def __init__(self, shed_first: int):
+        self.shed_left = shed_first
+        self.calls = 0
+
+    def ingest_documents(self, session, docs, space=None):
+        self.calls += 1
+        if self.shed_left > 0:
+            self.shed_left -= 1
+            raise P.ServiceError("overloaded", "busy",
+                                 http_status=503)
+        return P.Ingested(session=session, count=len(docs),
+                          total=len(docs))
+
+
+class TestShedHandling:
+    def test_ingest_retries_shed_chunks(self, venue):
+        from repro.synth.replayer import ReplayReport
+
+        client = _SheddingClient(shed_first=2)
+        replayer = TrafficReplayer(client, "x", venue)
+        report = ReplayReport(mode="batch", session="x")
+        replayer._ingest([{"doc": 1}], report,
+                         time.perf_counter(), [])
+        assert client.calls == 3
+        assert report.shed == 2
+        assert report.ok == 1
+        assert report.errors == 0
+        assert report.episodes == 1
+
+    def test_non_shed_errors_propagate(self, venue):
+        from repro.synth.replayer import ReplayReport
+
+        class FailingClient:
+            def ingest_documents(self, session, docs, space=None):
+                raise P.ServiceError("bad_request", "nope",
+                                     http_status=400)
+
+        replayer = TrafficReplayer(FailingClient(), "x", venue)
+        report = ReplayReport(mode="batch", session="x")
+        with pytest.raises(P.ServiceError):
+            replayer._ingest([{"doc": 1}], report,
+                             time.perf_counter(), [])
+        assert report.errors == 1
+        assert report.shed == 0

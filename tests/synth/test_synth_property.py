@@ -1,0 +1,78 @@
+"""Hypothesis properties of the synthesis subsystem.
+
+The ISSUE-level guarantees, stated as properties over the whole
+parameter space rather than example venues:
+
+* every venue the grammar can emit passes the full SITM validation
+  stack (CellSpace geometry, layered-graph rules, hierarchy rules)
+  and is completely RoutePlanner-reachable from its entrance;
+* a (venue seed, crowd seed) pair determines the crowd stream
+  byte-identically;
+* crowd streams are globally event-time ordered for any bucketing.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.synth import (
+    ARCHETYPES,
+    CrowdSpec,
+    CrowdSynthesizer,
+    VenueSpec,
+    generate_venue,
+)
+from repro.synth.crowd import stream_digest
+
+venue_specs = st.builds(
+    VenueSpec,
+    archetype=st.sampled_from(sorted(ARCHETYPES)),
+    seed=st.integers(0, 2**32 - 1),
+    floors=st.one_of(st.none(), st.integers(1, 4)),
+    rooms_per_floor=st.one_of(st.none(), st.integers(2, 12)),
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=venue_specs)
+def test_every_generated_venue_is_valid_and_reachable(spec):
+    venue = generate_venue(spec)
+    assert venue.validate() == []
+    # The planner-level (stronger) form: raises on any unreachable
+    # room, and every room needs at least one hop from the entrance.
+    assert venue.plan_all_rooms() >= venue.room_count - 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    venue_seed=st.integers(0, 2**16),
+    crowd_seed=st.integers(0, 2**16),
+    agents=st.integers(1, 60),
+    agents_per_day=st.integers(1, 60),
+)
+def test_crowd_stream_is_seed_deterministic(venue_seed, crowd_seed,
+                                            agents, agents_per_day):
+    venue = generate_venue(VenueSpec(archetype="museum",
+                                     seed=venue_seed,
+                                     floors=2, rooms_per_floor=4))
+    spec = CrowdSpec(agents=agents, seed=crowd_seed,
+                     agents_per_day=agents_per_day)
+    first = stream_digest(CrowdSynthesizer(venue, spec).iter_events())
+    second = stream_digest(
+        CrowdSynthesizer(venue, spec).iter_events())
+    assert first == second
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    crowd_seed=st.integers(0, 2**16),
+    agents=st.integers(2, 80),
+    agents_per_day=st.integers(1, 40),
+)
+def test_crowd_stream_is_event_time_ordered(crowd_seed, agents,
+                                            agents_per_day):
+    venue = generate_venue(VenueSpec(archetype="airport", seed=1,
+                                     floors=1, rooms_per_floor=6))
+    spec = CrowdSpec(agents=agents, seed=crowd_seed,
+                     agents_per_day=agents_per_day)
+    keys = [(e.t_start, e.t_end, e.mo_id)
+            for e in CrowdSynthesizer(venue, spec).iter_events()]
+    assert keys == sorted(keys)

@@ -1,0 +1,121 @@
+"""Venue grammar: validity, determinism, token revival, duck typing."""
+
+import pytest
+
+from repro.indoor.navigation import RoutePlanner
+from repro.synth.venues import (
+    ARCHETYPES,
+    SyntheticVenue,
+    VenueSpec,
+    generate_venue,
+    venue_from_token,
+)
+
+
+@pytest.fixture(scope="module", params=sorted(ARCHETYPES))
+def venue(request) -> SyntheticVenue:
+    return generate_venue(VenueSpec(archetype=request.param, seed=7))
+
+
+class TestValidity:
+    def test_validates_clean(self, venue):
+        assert venue.validate() == []
+
+    def test_every_room_reachable_by_planner(self, venue):
+        assert venue.plan_all_rooms() > 0
+
+    def test_every_room_can_reach_exit(self, venue):
+        planner = RoutePlanner(venue.nrg)
+        exit_cell = venue.exits[0]
+        for node in venue.nrg.nodes:
+            if node != exit_cell:
+                assert planner.plan(node, exit_cell).hop_count >= 1
+
+    def test_hierarchy_has_three_roles(self, venue):
+        assert list(venue.hierarchy.layers) == \
+            ["venue", "floors", "rooms"]
+
+    def test_beacon_per_cell(self, venue):
+        assert len(venue.beacons) == venue.room_count
+
+    def test_entrance_and_exit_on_ground_floor(self, venue):
+        assert venue.entrances and venue.exits
+        assert venue.entrances[0].startswith("f0")
+        assert venue.exits[0].startswith("f0")
+
+    def test_hotspots_draw_extra_weight(self, venue):
+        weights = set(venue.zone_attractions().values())
+        assert 1.0 in weights
+        assert max(weights) == venue.grammar.hotspot_weight
+
+
+class TestDeterminism:
+    def test_same_seed_same_venue(self, venue):
+        again = generate_venue(venue.spec)
+        assert again.summary() == venue.summary()
+        assert ([(e.source, e.target) for e in again.nrg.edges]
+                == [(e.source, e.target) for e in venue.nrg.edges])
+
+    def test_different_seed_different_venue(self, venue):
+        other = generate_venue(VenueSpec(
+            archetype=venue.spec.archetype, seed=8))
+        assert other.summary() != venue.summary()
+
+
+class TestTokens:
+    def test_round_trip(self, venue):
+        revived = venue_from_token(venue.persist_token)
+        assert revived.summary() == venue.summary()
+
+    def test_overrides_survive_the_token(self):
+        venue = generate_venue(VenueSpec(
+            archetype="museum", seed=3, floors=2, rooms_per_floor=4))
+        assert venue.floors == 2
+        revived = venue_from_token(venue.persist_token)
+        assert revived.summary() == venue.summary()
+
+    @pytest.mark.parametrize("token", [
+        "SyntheticVenue:museum:1",
+        "NotAVenue:museum:1:-:-",
+        "SyntheticVenue:atlantis:1:-:-",
+        "SyntheticVenue:museum:x:-:-",
+    ])
+    def test_malformed_token_raises(self, token):
+        with pytest.raises(ValueError):
+            venue_from_token(token)
+
+
+class TestSpecValidation:
+    def test_unknown_archetype(self):
+        with pytest.raises(ValueError, match="archetype"):
+            VenueSpec(archetype="atlantis")
+
+    def test_bad_overrides(self):
+        with pytest.raises(ValueError):
+            VenueSpec(archetype="museum", floors=0)
+        with pytest.raises(ValueError):
+            VenueSpec(archetype="museum", rooms_per_floor=1)
+
+
+class TestDuckTyping:
+    """The surface the walker, builder and server consume."""
+
+    def test_dataset_zone_nrg_is_rooms_layer(self, venue):
+        nrg = venue.dataset_zone_nrg()
+        assert set(nrg.nodes) == set(venue.graph.layer("rooms").nodes)
+
+    def test_zone_hierarchy_alias(self, venue):
+        assert venue.zone_hierarchy is venue.hierarchy
+
+    def test_entrance_exit_zone_lists(self, venue):
+        assert venue.entrance_zones() == venue.entrances
+        assert venue.exit_zones() == venue.exits
+
+    def test_airport_checkpoint_is_one_way_pair(self):
+        venue = generate_venue(VenueSpec(archetype="airport", seed=7,
+                                         floors=1,
+                                         rooms_per_floor=12))
+        # Two corridor rows joined by opposed one-way checkpoints:
+        # both directions exist as distinct directed edges, and the
+        # overall graph still validates strongly connected.
+        assert venue.validate() == []
